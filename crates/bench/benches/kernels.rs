@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the numerical kernels: stencils, face
+//! transfer operators, refinement data operators, checksums.
+
+use amr_mesh::block_id::{BlockId, Dir, Side};
+use amr_mesh::data::{merge_children, split_block, BlockData, BlockLayout};
+use amr_mesh::face;
+use amr_mesh::stencil::{apply_stencil, StencilKind};
+use amr_mesh::MeshParams;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn mesh(cells: usize, vars: usize) -> MeshParams {
+    MeshParams {
+        npx: 1,
+        npy: 1,
+        npz: 1,
+        init_x: 2,
+        init_y: 2,
+        init_z: 2,
+        nx: cells,
+        ny: cells,
+        nz: cells,
+        num_vars: vars,
+        num_refine: 2,
+        block_change: 1,
+    }
+}
+
+fn bench_stencils(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil");
+    g.sample_size(15);
+    for (cells, vars) in [(12usize, 20usize), (18, 60)] {
+        let p = mesh(cells, vars);
+        let l = BlockLayout::of(&p);
+        let b = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+        g.throughput(Throughput::Elements((cells * cells * cells * vars) as u64));
+        g.bench_function(format!("7pt_{cells}c_{vars}v"), |bench| {
+            bench.iter(|| apply_stencil(&b, &l, StencilKind::SevenPoint, 0..vars));
+        });
+        g.bench_function(format!("27pt_{cells}c_{vars}v"), |bench| {
+            bench.iter(|| apply_stencil(&b, &l, StencilKind::TwentySevenPoint, 0..vars));
+        });
+    }
+    g.finish();
+}
+
+fn bench_faces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("face");
+    g.sample_size(20);
+    let p = mesh(12, 20);
+    let l = BlockLayout::of(&p);
+    let a = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+    let b = BlockData::initialized(BlockId::new(0, 1, 0, 0), &p);
+    g.bench_function("extract_12c_20v", |bench| {
+        bench.iter(|| face::extract_face(&a, &l, Dir::X, Side::Hi, 0..20));
+    });
+    let f = face::extract_face(&a, &l, Dir::X, Side::Hi, 0..20);
+    g.bench_function("inject_12c_20v", |bench| {
+        bench.iter(|| face::inject_ghost_face(&b, &l, Dir::X, Side::Lo, 0..20, &f));
+    });
+    let (n1, n2) = face::face_dims(&l, Dir::X);
+    g.bench_function("restrict_12c_20v", |bench| {
+        bench.iter(|| face::restrict_face(&f, n1, n2, 20));
+    });
+    let q = face::restrict_face(&f, n1, n2, 20);
+    g.bench_function("prolong_12c_20v", |bench| {
+        bench.iter(|| face::prolong_face(&q, n1, n2, 20));
+    });
+    g.finish();
+}
+
+fn bench_refine_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refine");
+    g.sample_size(15);
+    let p = mesh(12, 20);
+    let parent = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+    g.bench_function("split_12c_20v", |bench| {
+        bench.iter(|| split_block(&parent, &p));
+    });
+    let children = split_block(&parent, &p);
+    g.bench_function("merge_12c_20v", |bench| {
+        bench.iter(|| merge_children(&children, &p));
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let p = mesh(12, 20);
+    let l = BlockLayout::of(&p);
+    let b = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+    c.bench_function("checksum_block_12c_20v", |bench| {
+        bench.iter(|| amr_mesh::checksum::block_sums(&b, &l, 0..20));
+    });
+}
+
+fn bench_refinement_plan(c: &mut Criterion) {
+    let p = mesh(8, 2);
+    let objects = vec![amr_mesh::Object::sphere([0.4, 0.5, 0.5], 0.25, [0.0; 3])];
+    c.bench_function("plan_refinement_small_mesh", |bench| {
+        bench.iter_batched(
+            || {
+                let mut d = amr_mesh::MeshDirectory::initial(p.clone());
+                d.refine_to_fixpoint(&objects);
+                d
+            },
+            |d| d.plan_refinement(&objects),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stencils,
+    bench_faces,
+    bench_refine_ops,
+    bench_checksum,
+    bench_refinement_plan
+);
+criterion_main!(benches);

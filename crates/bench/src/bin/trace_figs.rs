@@ -1,0 +1,135 @@
+//! Figures 1–3: execution trace analysis of MPI-only versus data-flow on
+//! two (simulated) nodes — **real execution** on the in-process runtime,
+//! with the trace recorder standing in for Extrae/Paraver.
+//!
+//! Reported per variant:
+//! * per-kind busy time (the task palette of Figs. 1 and 3),
+//! * non-refinement wall time and the data-flow speedup over MPI-only
+//!   (the paper observes ≈1.3× on this small input),
+//! * the fraction of busy time with ≥2 different task kinds running
+//!   simultaneously (the overlap that Fig. 3 visualizes; near zero for
+//!   MPI-only, substantial for data-flow),
+//! * the largest idle gap (the paper bounds the data-flow gaps at ~3 ms).
+//!
+//! Paper setup scaled to this container: the four-spheres problem, 9
+//! timesteps × 20 stages, 12³-cell blocks, 20 variables, refinement every
+//! 5 timesteps, checksum every 10 stages. `--dump-tsv PREFIX` writes raw
+//! `(kind, start, end)` event tables for external plotting.
+//!
+//! Usage: `trace_figs [--quick] [--dump-tsv PREFIX]`
+
+use miniamr::{Config, Variant};
+use vmpi::NetworkModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let dump = args
+        .iter()
+        .position(|a| a == "--dump-tsv")
+        .map(|i| args[i + 1].clone());
+
+    // Two "nodes" of 4 cores each on this container; the paper used two
+    // 48-core nodes.
+    let cores_per_node = 4usize;
+    let nodes = 2usize;
+    let (tsteps, stages, cells, num_vars) = if quick { (4, 6, 8, 4) } else { (9, 20, 12, 20) };
+
+    let net = || {
+        NetworkModel::new(std::time::Duration::from_micros(50), 2.0e9)
+            .with_intra_node_factor(0.2)
+    };
+
+    println!("# Figures 1-3: trace analysis on {nodes} nodes x {cores_per_node} cores");
+
+    // MPI-only: one rank per core.
+    let mpi_ranks = nodes * cores_per_node;
+    let mesh = amr_bench::mesh_for((4, 2, 2), cells, num_vars, 1, mpi_ranks);
+    let mut cfg = Config::new(mesh);
+    cfg.objects = amr_bench::four_spheres(tsteps);
+    cfg.num_tsteps = tsteps;
+    cfg.stages_per_ts = stages;
+    cfg.checksum_freq = 10;
+    cfg.refine_freq = 5;
+    cfg.variant = Variant::MpiOnly;
+    cfg.trace = true;
+    let mpi_stats = miniamr::run_world(&cfg, mpi_ranks, net().with_ranks_per_node(cores_per_node));
+
+    // Data-flow: one rank per node, cores-1 workers (one core drives the
+    // main thread).
+    let df_ranks = nodes;
+    let mesh = amr_bench::mesh_for((4, 2, 2), cells, num_vars, 1, df_ranks);
+    let mut cfg_df = Config::new(mesh);
+    cfg_df.objects = amr_bench::four_spheres(tsteps);
+    cfg_df.num_tsteps = tsteps;
+    cfg_df.stages_per_ts = stages;
+    cfg_df.checksum_freq = 10;
+    cfg_df.refine_freq = 5;
+    cfg_df.variant = Variant::DataFlow;
+    cfg_df.workers = cores_per_node;
+    cfg_df.send_faces = true;
+    cfg_df.separate_buffers = true;
+    cfg_df.max_comm_tasks = 8;
+    cfg_df.delayed_checksum = true;
+    cfg_df.trace = true;
+    let df_stats = miniamr::run_world(&cfg_df, df_ranks, net().with_ranks_per_node(1));
+
+    let report = |name: &str, stats: &[miniamr::RunStats]| -> (f64, f64) {
+        println!("\n## {name}");
+        if let Some(tr) = stats.first().and_then(|s| s.trace.as_ref()) {
+            println!("timeline (rank 0):\n{}", tr.render_ascii(96));
+        }
+        let total = stats.iter().map(|s| s.times.total.as_secs_f64()).fold(0.0, f64::max);
+        let refine = stats.iter().map(|s| s.times.refine.as_secs_f64()).fold(0.0, f64::max);
+        println!("total_s\t{total:.3}\trefine_s\t{refine:.3}\tno_refine_s\t{:.3}", total - refine);
+        let mut overlap_max: f64 = 0.0;
+        for s in stats {
+            if let Some(tr) = &s.trace {
+                let ov = tr.overlap_fraction();
+                overlap_max = overlap_max.max(ov);
+                if s.rank == 0 {
+                    println!("kind\tbusy_ms (rank 0)");
+                    for (kind, dur) in tr.totals() {
+                        println!("{kind:?}\t{:.2}", dur.as_secs_f64() * 1e3);
+                    }
+                    println!(
+                        "overlap_fraction\t{ov:.3}\tlargest_gap_ms\t{:.2}",
+                        tr.largest_gap().as_secs_f64() * 1e3
+                    );
+                }
+            }
+        }
+        (total - refine, overlap_max)
+    };
+
+    let (mpi_nr, _mpi_ov) = report("MPI-only (Figs. 1 upper, 2)", &mpi_stats);
+    let (df_nr, df_ov) = report("Data-flow (Figs. 1 lower, 3)", &df_stats);
+
+    println!("\n## Comparison");
+    println!("non_refine_speedup_dataflow_vs_mpi\t{:.2}", mpi_nr / df_nr);
+    let mut ok = true;
+    ok &= amr_bench::shape_check(
+        "data-flow overlaps phases (overlap fraction > 0.15)",
+        df_ov > 0.15,
+    );
+    ok &= amr_bench::shape_check(
+        "checksums pass in both variants",
+        mpi_stats.iter().all(|s| s.checksums_failed == 0)
+            && df_stats.iter().all(|s| s.checksums_failed == 0),
+    );
+
+    if let Some(prefix) = dump {
+        for (name, stats) in [("mpi", &mpi_stats), ("dataflow", &df_stats)] {
+            for s in stats {
+                if let Some(tr) = &s.trace {
+                    let path = format!("{prefix}_{name}_rank{}.tsv", s.rank);
+                    std::fs::write(&path, tr.to_tsv()).expect("write trace TSV");
+                    println!("wrote {path}");
+                }
+            }
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

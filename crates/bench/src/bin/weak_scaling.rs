@@ -1,0 +1,103 @@
+//! Figure 4: weak-scaling throughput (GFLOPS) and parallel efficiency,
+//! 1–256 nodes (48–12288 cores), four-spheres input.
+//!
+//! Paper setup: 99 timesteps × 40 stages, 12³-cell blocks, 40 variables,
+//! refinement every 5 timesteps, checksum every 10 stages, block count
+//! doubled with the node count. Expected shape (paper numbers): the
+//! data-flow variant reaches ≈1.5× the MPI-only throughput at 128–256
+//! nodes while fork-join stays ≤1.06×; efficiencies at 256 nodes ≈0.86
+//! (data-flow), 0.72 (MPI-only), 0.75 (fork-join), with the no-refinement
+//! efficiency of the data-flow variant ≈0.94.
+//!
+//! Usage: `weak_scaling [--max-nodes N] [--quick]`
+
+use amr_bench::{compare_variants, root_blocks_for_nodes, shape_check};
+use simnet::CostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_nodes = 256usize;
+    let mut tsteps = 99usize;
+    let mut stages = 40usize;
+    let mut cells = 12usize;
+    let mut num_vars = 40usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-nodes" => {
+                i += 1;
+                max_nodes = args[i].parse().expect("node count");
+            }
+            "--quick" => {
+                tsteps = 20;
+                stages = 10;
+                cells = 8;
+                num_vars = 8;
+            }
+            other => panic!("unknown option {other}"),
+        }
+        i += 1;
+    }
+
+    let cost = CostModel::default();
+    println!("# Figure 4 (weak scaling, four spheres): {tsteps} ts x {stages} stages, {cells}^3 cells, {num_vars} vars");
+    println!("nodes\tcores\tmpi_gflops\tfj_gflops\tdf_gflops\tdf_speedup\tfj_speedup\tmpi_eff\tfj_eff\tdf_eff\tmpi_eff_nr\tfj_eff_nr\tdf_eff_nr");
+
+    let mut base: Option<(f64, f64, f64, f64, f64, f64)> = None;
+    let mut rows = Vec::new();
+    let mut nodes = 1usize;
+    while nodes <= max_nodes {
+        let roots = root_blocks_for_nodes(nodes);
+        let r = compare_variants(nodes, roots, cells, num_vars, tsteps, stages, &cost);
+        let per_node = |g: f64| g / nodes as f64;
+        let (mg, fg, dg) = (r.mpi.gflops(), r.forkjoin.gflops(), r.dataflow.gflops());
+        let nr = |s: &simnet::SimResult| s.flops / s.non_refine() / 1e9;
+        let (mn, fn_, dn) = (nr(&r.mpi), nr(&r.forkjoin), nr(&r.dataflow));
+        let b = *base.get_or_insert((per_node(mg), per_node(fg), per_node(dg), per_node(mn), per_node(fn_), per_node(dn)));
+        let effs = (
+            per_node(mg) / b.0,
+            per_node(fg) / b.1,
+            per_node(dg) / b.2,
+            per_node(mn) / b.3,
+            per_node(fn_) / b.4,
+            per_node(dn) / b.5,
+        );
+        println!(
+            "{nodes}\t{}\t{mg:.1}\t{fg:.1}\t{dg:.1}\t{:.2}\t{:.2}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            nodes * amr_bench::CORES_PER_NODE,
+            dg / mg,
+            fg / mg,
+            effs.0,
+            effs.1,
+            effs.2,
+            effs.3,
+            effs.4,
+            effs.5,
+        );
+        rows.push((nodes, dg / mg, fg / mg, effs));
+        nodes *= 2;
+    }
+
+    // Shape checks against the paper's qualitative results.
+    if let Some(&(n, df_speedup, fj_speedup, effs)) = rows.last() {
+        let mut ok = true;
+        ok &= shape_check("data-flow faster than MPI-only at max nodes", df_speedup > 1.1);
+        ok &= shape_check(
+            "fork-join gains stay small vs data-flow gains",
+            fj_speedup < df_speedup && fj_speedup < 1.3,
+        );
+        ok &= shape_check("data-flow efficiency above MPI-only", effs.2 > effs.0);
+        ok &= shape_check(
+            "no-refine efficiency above total efficiency (data-flow)",
+            effs.5 >= effs.2 - 1e-9,
+        );
+        if rows.len() >= 3 {
+            let mid = rows[rows.len() / 2].1;
+            ok &= shape_check("data-flow advantage grows with scale", df_speedup >= mid - 0.05);
+        }
+        println!("# max nodes evaluated: {n}");
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}

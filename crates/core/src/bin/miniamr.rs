@@ -1,0 +1,230 @@
+//! The miniAMR command-line driver.
+//!
+//! Mirrors the reference mini-app's option surface, plus the paper's new
+//! options and a `--variant` selector. All ranks run inside this process
+//! on the in-process message-passing substrate; `--ranks-per-node` and
+//! the latency/bandwidth options configure the simulated interconnect.
+//!
+//! ```text
+//! miniamr --variant dataflow --npx 2 --npy 2 --npz 1 --nx 12 --ny 12 --nz 12 \
+//!         --num_vars 20 --num_tsteps 4 --stages_per_ts 10 --checksum_freq 5 \
+//!         --refine_freq 2 --num_refine 2 --input four_spheres \
+//!         --send_faces --separate_buffers --max_comm_tasks 8 --workers 4
+//! ```
+
+use amr_mesh::MeshParams;
+use miniamr::{BalanceKind, Config, Variant};
+use std::time::Duration;
+use vmpi::NetworkModel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: miniamr [options]
+  --variant {{mpi|forkjoin|dataflow}}   parallelization variant (default mpi)
+  --npx/--npy/--npz N                 rank grid (default 2/1/1)
+  --init_x/--init_y/--init_z N        initial blocks per rank per dim (default 1/2/2)
+  --nx/--ny/--nz N                    cells per block per dim (default 8)
+  --num_vars N                        variables per cell (default 8)
+  --num_refine N                      max refinement level (default 2)
+  --block_change N                    max level change per refine stage (default 1)
+  --num_tsteps N                      timesteps (default 8)
+  --stages_per_ts N                   stages per timestep (default 10)
+  --checksum_freq N                   stages between checksums (default 5)
+  --refine_freq N                     timesteps between refinements (default 4)
+  --comm_vars N                       vars per communication group (default: all)
+  --max_blocks N                      per-rank block capacity (default unlimited)
+  --input {{single_sphere|four_spheres}} input problem (default four_spheres)
+  --send_faces                        one message per face
+  --separate_buffers                  per-direction communication buffers
+  --max_comm_tasks N                  cap comm tasks per neighbor+direction
+  --delayed_checksum                  validate previous checkpoint (dataflow)
+  --lb {{sfc|rcb|none}}                 load balancer (default sfc)
+  --workers N                         worker threads per rank (default 2)
+  --latency_us N                      network latency in µs (default 20)
+  --bandwidth_gbps F                  network bandwidth (default 10)
+  --ranks_per_node N                  node grouping for intra-node discount
+  --trace                             record and summarize a phase trace
+  --stencil {{7|27}}                    stencil kind (default 7)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = MeshParams {
+        npx: 2,
+        npy: 1,
+        npz: 1,
+        init_x: 1,
+        init_y: 2,
+        init_z: 2,
+        nx: 8,
+        ny: 8,
+        nz: 8,
+        num_vars: 8,
+        num_refine: 2,
+        block_change: 1,
+    };
+    let mut variant = Variant::MpiOnly;
+    let mut input = "four_spheres".to_string();
+    let mut num_tsteps = 8usize;
+    let mut stages_per_ts = 10usize;
+    let mut checksum_freq = 5usize;
+    let mut refine_freq = 4usize;
+    let mut comm_vars = usize::MAX;
+    let mut max_blocks = usize::MAX;
+    let mut send_faces = false;
+    let mut separate_buffers = false;
+    let mut max_comm_tasks = 0usize;
+    let mut delayed_checksum = false;
+    let mut balance = BalanceKind::Sfc;
+    let mut workers = 2usize;
+    let mut latency_us = 20u64;
+    let mut bandwidth_gbps = 10.0f64;
+    let mut ranks_per_node = 0usize;
+    let mut trace = false;
+    let mut stencil = amr_mesh::stencil::StencilKind::SevenPoint;
+
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        let parse = |s: String| -> usize { s.parse().unwrap_or_else(|_| usage()) };
+        match args[i].as_str() {
+            "--variant" => {
+                variant = match next(&mut i).as_str() {
+                    "mpi" => Variant::MpiOnly,
+                    "forkjoin" => Variant::ForkJoin,
+                    "dataflow" => Variant::DataFlow,
+                    _ => usage(),
+                }
+            }
+            "--npx" => params.npx = parse(next(&mut i)),
+            "--npy" => params.npy = parse(next(&mut i)),
+            "--npz" => params.npz = parse(next(&mut i)),
+            "--init_x" => params.init_x = parse(next(&mut i)),
+            "--init_y" => params.init_y = parse(next(&mut i)),
+            "--init_z" => params.init_z = parse(next(&mut i)),
+            "--nx" => params.nx = parse(next(&mut i)),
+            "--ny" => params.ny = parse(next(&mut i)),
+            "--nz" => params.nz = parse(next(&mut i)),
+            "--num_vars" => params.num_vars = parse(next(&mut i)),
+            "--num_refine" => params.num_refine = parse(next(&mut i)) as u8,
+            "--block_change" => params.block_change = parse(next(&mut i)) as u8,
+            "--num_tsteps" => num_tsteps = parse(next(&mut i)),
+            "--stages_per_ts" => stages_per_ts = parse(next(&mut i)),
+            "--checksum_freq" => checksum_freq = parse(next(&mut i)),
+            "--refine_freq" => refine_freq = parse(next(&mut i)),
+            "--comm_vars" => comm_vars = parse(next(&mut i)),
+            "--max_blocks" => max_blocks = parse(next(&mut i)),
+            "--input" => input = next(&mut i),
+            "--send_faces" => send_faces = true,
+            "--separate_buffers" => separate_buffers = true,
+            "--max_comm_tasks" => max_comm_tasks = parse(next(&mut i)),
+            "--delayed_checksum" => delayed_checksum = true,
+            "--lb" => {
+                balance = match next(&mut i).as_str() {
+                    "sfc" => BalanceKind::Sfc,
+                    "rcb" => BalanceKind::Rcb,
+                    "none" => BalanceKind::None,
+                    _ => usage(),
+                }
+            }
+            "--workers" => workers = parse(next(&mut i)),
+            "--latency_us" => latency_us = parse(next(&mut i)) as u64,
+            "--bandwidth_gbps" => {
+                bandwidth_gbps = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--ranks_per_node" => ranks_per_node = parse(next(&mut i)),
+            "--trace" => trace = true,
+            "--stencil" => {
+                stencil = match next(&mut i).as_str() {
+                    "7" => amr_mesh::stencil::StencilKind::SevenPoint,
+                    "27" => amr_mesh::stencil::StencilKind::TwentySevenPoint,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let mut cfg = match input.as_str() {
+        "single_sphere" => Config::single_sphere(params, num_tsteps),
+        "four_spheres" => Config::four_spheres(params, num_tsteps),
+        _ => usage(),
+    };
+    cfg.variant = variant;
+    cfg.num_tsteps = num_tsteps;
+    cfg.stages_per_ts = stages_per_ts;
+    cfg.checksum_freq = checksum_freq;
+    cfg.refine_freq = refine_freq;
+    cfg.comm_vars = comm_vars;
+    cfg.max_blocks = max_blocks;
+    cfg.send_faces = send_faces;
+    cfg.separate_buffers = separate_buffers;
+    cfg.max_comm_tasks = max_comm_tasks;
+    cfg.delayed_checksum = delayed_checksum;
+    cfg.balance = balance;
+    cfg.workers = workers;
+    cfg.trace = trace;
+    cfg.stencil = stencil;
+    if let Err(e) = cfg.params.validate() {
+        eprintln!("invalid mesh parameters: {e}");
+        std::process::exit(2);
+    }
+
+    let net = NetworkModel::new(Duration::from_micros(latency_us), bandwidth_gbps * 1e9)
+        .with_ranks_per_node(ranks_per_node)
+        .with_intra_node_factor(if ranks_per_node > 0 { 0.1 } else { 1.0 });
+    let n_ranks = cfg.params.num_ranks();
+    eprintln!(
+        "miniamr: variant={variant:?} ranks={n_ranks} workers={workers} input={input} \
+         tsteps={num_tsteps} stages/ts={stages_per_ts}"
+    );
+    let start = std::time::Instant::now();
+    let stats = miniamr::run_world(&cfg, n_ranks, net);
+    let wall = start.elapsed();
+
+    let total_flops: u64 = stats.iter().map(|s| s.flops).sum();
+    let failed: usize = stats.iter().map(|s| s.checksums_failed).sum();
+    let passed: usize = stats.iter().map(|s| s.checksums_passed).sum();
+    let moved: u64 = stats.iter().map(|s| s.blocks_moved).sum();
+    let msgs: u64 = stats.iter().map(|s| s.msgs_sent).sum();
+    let max = |f: fn(&miniamr::RunStats) -> Duration| -> Duration {
+        stats.iter().map(f).max().unwrap_or_default()
+    };
+    println!("wall_time_s\t{:.4}", wall.as_secs_f64());
+    println!("gflops\t{:.4}", total_flops as f64 / wall.as_secs_f64() / 1e9);
+    println!("time_total_s\t{:.4}", max(|s| s.times.total).as_secs_f64());
+    println!("time_refine_s\t{:.4}", max(|s| s.times.refine).as_secs_f64());
+    println!("time_no_refine_s\t{:.4}", max(|s| s.times.non_refine()).as_secs_f64());
+    println!("time_comm_s\t{:.4}", max(|s| s.times.communicate).as_secs_f64());
+    println!("time_stencil_s\t{:.4}", max(|s| s.times.stencil).as_secs_f64());
+    println!("checksums_passed\t{passed}");
+    println!("checksums_failed\t{failed}");
+    println!("final_blocks\t{}", stats.iter().map(|s| s.final_blocks).sum::<usize>());
+    println!("blocks_moved\t{moved}");
+    println!("msgs_sent\t{msgs}");
+    if trace {
+        for s in &stats {
+            if let Some(tr) = &s.trace {
+                println!(
+                    "rank {} overlap_fraction\t{:.3}\tlargest_gap_ms\t{:.3}",
+                    s.rank,
+                    tr.overlap_fraction(),
+                    tr.largest_gap().as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,417 @@
+//! The communication plan: which faces cross which rank boundary, how
+//! they aggregate into messages, and where they live in the buffers.
+//!
+//! Every rank derives the *same* plan from the replicated mesh directory
+//! (enumeration order is deterministic), then acts on its own slice of
+//! it. The plan encodes the paper's communication-granularity options:
+//!
+//! * default: one message per `(source, destination, direction)` — the
+//!   reference behavior of aggregating all faces for a neighbor;
+//! * `--send_faces`: one message per face;
+//! * `--send_faces --max_comm_tasks k`: at most `k` messages per neighbor
+//!   and direction (§IV-A, Table II).
+//!
+//! Tags are drawn from three disjoint sub-spaces, one per direction, so
+//! communication tasks of different directions can fly concurrently
+//! (§IV-A).
+
+use crate::config::Config;
+use amr_mesh::block_id::{Dir, Side};
+use amr_mesh::data::BlockLayout;
+use amr_mesh::face;
+use amr_mesh::{BlockId, MeshDirectory, NeighborInfo};
+
+/// Tag sub-space size per direction. User tags must stay below
+/// `vmpi::TAG_UB` (2^30); three direction spaces plus a control space fit.
+pub const DIR_TAG_SPACE: i32 = 1 << 28;
+
+/// Base tag of the refinement/load-balance control+data space.
+pub const EXCHANGE_TAG_BASE: i32 = 3 * DIR_TAG_SPACE;
+
+/// How a face is transformed in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// Same refinement level: plain copy.
+    Same,
+    /// Fine sender → coarse receiver: sender restricts (2×2 average), the
+    /// data lands in `quarter` of the receiver's ghost plane.
+    Restrict {
+        /// Receiver ghost-plane quarter.
+        quarter: usize,
+    },
+    /// Coarse sender → fine receiver: sender extracts `quarter` of its
+    /// face, receiver prolongates over its whole ghost plane.
+    Prolong {
+        /// Sender face quarter.
+        quarter: usize,
+    },
+}
+
+/// One block-face transfer (possibly rank-local).
+#[derive(Debug, Clone)]
+pub struct FaceTransfer {
+    /// Owner of the sending block.
+    pub src_rank: usize,
+    /// Owner of the receiving block.
+    pub dst_rank: usize,
+    /// Sending block.
+    pub src_block: BlockId,
+    /// Receiving block.
+    pub dst_block: BlockId,
+    /// Exchange direction.
+    pub dir: Dir,
+    /// Side of the *receiver* where the ghost plane fills.
+    pub dst_side: Side,
+    /// In-flight transformation.
+    pub kind: TransferKind,
+    /// Elements per variable transmitted.
+    pub elems_per_var: usize,
+    /// Offset (per variable) of this face within its message payload.
+    pub offset_in_msg: usize,
+}
+
+impl FaceTransfer {
+    /// Side of the sender's face (opposite the receiver's ghost side).
+    pub fn src_side(&self) -> Side {
+        self.dst_side.opposite()
+    }
+}
+
+/// One cross-rank message: an aggregated, contiguous run of transfers.
+#[derive(Debug, Clone)]
+pub struct MsgPlan {
+    /// Sending rank.
+    pub src_rank: usize,
+    /// Receiving rank.
+    pub dst_rank: usize,
+    /// Direction (determines buffer + tag space).
+    pub dir: Dir,
+    /// Message tag.
+    pub tag: i32,
+    /// The faces in this message, in payload order.
+    pub transfers: Vec<FaceTransfer>,
+    /// Payload elements per variable.
+    pub elems_per_var: usize,
+    /// Offset (per variable) in the sender's send buffer for `dir`.
+    pub send_offset: usize,
+    /// Offset (per variable) in the receiver's recv buffer for `dir`.
+    pub recv_offset: usize,
+}
+
+/// The complete exchange plan for one mesh configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CommPlan {
+    /// Cross-rank messages in deterministic global order.
+    pub msgs: Vec<MsgPlan>,
+    /// Rank-local copies (source and destination on the same rank).
+    pub locals: Vec<FaceTransfer>,
+    /// Domain-boundary ghost fills `(block, dir, side)`.
+    pub boundaries: Vec<(BlockId, Dir, Side)>,
+    /// Per-rank, per-direction send buffer sizes (elements per variable).
+    pub send_elems: Vec<[usize; 3]>,
+    /// Per-rank, per-direction recv buffer sizes (elements per variable).
+    pub recv_elems: Vec<[usize; 3]>,
+}
+
+impl CommPlan {
+    /// Builds the plan for the current mesh.
+    pub fn build(cfg: &Config, dir_map: &MeshDirectory, n_ranks: usize) -> CommPlan {
+        let layout = BlockLayout::of(&cfg.params);
+        let mut plan = CommPlan {
+            send_elems: vec![[0; 3]; n_ranks],
+            recv_elems: vec![[0; 3]; n_ranks],
+            ..Default::default()
+        };
+
+        // Group cross-rank transfers by (src, dst, dir) preserving the
+        // deterministic receiver-centric enumeration order.
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<(usize, usize, usize), Vec<FaceTransfer>> = BTreeMap::new();
+
+        for (block, &owner) in dir_map.iter() {
+            for dir in Dir::ALL {
+                let (n1, n2) = face::face_dims(&layout, dir);
+                for side in Side::BOTH {
+                    match dir_map.neighbor_info(block, dir, side) {
+                        NeighborInfo::Boundary => {
+                            plan.boundaries.push((*block, dir, side));
+                        }
+                        NeighborInfo::Same(nb) => {
+                            let src_rank = dir_map.owner(&nb).expect("active neighbor");
+                            let t = FaceTransfer {
+                                src_rank,
+                                dst_rank: owner,
+                                src_block: nb,
+                                dst_block: *block,
+                                dir,
+                                dst_side: side,
+                                kind: TransferKind::Same,
+                                elems_per_var: n1 * n2,
+                                offset_in_msg: 0,
+                            };
+                            push_transfer(&mut plan, &mut groups, t);
+                        }
+                        NeighborInfo::Coarser(nb) => {
+                            let src_rank = dir_map.owner(&nb).expect("active neighbor");
+                            let quarter = block.quarter_of_coarse_face(dir);
+                            let t = FaceTransfer {
+                                src_rank,
+                                dst_rank: owner,
+                                src_block: nb,
+                                dst_block: *block,
+                                dir,
+                                dst_side: side,
+                                kind: TransferKind::Prolong { quarter },
+                                elems_per_var: (n1 / 2) * (n2 / 2),
+                                offset_in_msg: 0,
+                            };
+                            push_transfer(&mut plan, &mut groups, t);
+                        }
+                        NeighborInfo::Finer(fine) => {
+                            for (quarter, nb) in fine.iter().enumerate() {
+                                let src_rank = dir_map.owner(nb).expect("active neighbor");
+                                let t = FaceTransfer {
+                                    src_rank,
+                                    dst_rank: owner,
+                                    src_block: *nb,
+                                    dst_block: *block,
+                                    dir,
+                                    dst_side: side,
+                                    kind: TransferKind::Restrict { quarter },
+                                    elems_per_var: (n1 / 2) * (n2 / 2),
+                                    offset_in_msg: 0,
+                                };
+                                push_transfer(&mut plan, &mut groups, t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Chunk each group into messages per the granularity options.
+        let mut tag_seq = [0i32; 3];
+        for ((src, dst, d), transfers) in groups {
+            let dir = Dir::ALL[d];
+            let n = transfers.len();
+            let n_msgs = if !cfg.send_faces {
+                1
+            } else if cfg.max_comm_tasks == 0 {
+                n
+            } else {
+                cfg.max_comm_tasks.min(n)
+            };
+            let mut iter = transfers.into_iter();
+            for c in 0..n_msgs {
+                let lo = n * c / n_msgs;
+                let hi = n * (c + 1) / n_msgs;
+                let mut chunk: Vec<FaceTransfer> = Vec::with_capacity(hi - lo);
+                let mut offset = 0usize;
+                for _ in lo..hi {
+                    let mut t = iter.next().expect("chunk arithmetic covers all transfers");
+                    t.offset_in_msg = offset;
+                    offset += t.elems_per_var;
+                    chunk.push(t);
+                }
+                let tag = d as i32 * DIR_TAG_SPACE + tag_seq[d];
+                tag_seq[d] += 1;
+                let send_offset = plan.send_elems[src][d];
+                let recv_offset = plan.recv_elems[dst][d];
+                plan.send_elems[src][d] += offset;
+                plan.recv_elems[dst][d] += offset;
+                plan.msgs.push(MsgPlan {
+                    src_rank: src,
+                    dst_rank: dst,
+                    dir,
+                    tag,
+                    transfers: chunk,
+                    elems_per_var: offset,
+                    send_offset,
+                    recv_offset,
+                });
+            }
+        }
+        plan
+    }
+
+    /// Messages this rank receives, in plan order.
+    pub fn inbound(&self, rank: usize) -> impl Iterator<Item = &MsgPlan> {
+        self.msgs.iter().filter(move |m| m.dst_rank == rank)
+    }
+
+    /// Messages this rank sends, in plan order.
+    pub fn outbound(&self, rank: usize) -> impl Iterator<Item = &MsgPlan> {
+        self.msgs.iter().filter(move |m| m.src_rank == rank)
+    }
+
+    /// Required send/recv buffer capacity (elements per variable) for a
+    /// rank and direction, considering the shared-buffer option.
+    pub fn buffer_elems(&self, rank: usize, separate: bool) -> ([usize; 3], [usize; 3]) {
+        if separate {
+            (self.send_elems[rank], self.recv_elems[rank])
+        } else {
+            let smax = *self.send_elems[rank].iter().max().unwrap_or(&0);
+            let rmax = *self.recv_elems[rank].iter().max().unwrap_or(&0);
+            ([smax; 3], [rmax; 3])
+        }
+    }
+}
+
+fn push_transfer(
+    plan: &mut CommPlan,
+    groups: &mut std::collections::BTreeMap<(usize, usize, usize), Vec<FaceTransfer>>,
+    t: FaceTransfer,
+) {
+    if t.src_rank == t.dst_rank {
+        plan.locals.push(t);
+    } else {
+        groups.entry((t.src_rank, t.dst_rank, t.dir.index())).or_default().push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amr_mesh::Object;
+
+    fn two_rank_cfg() -> Config {
+        crate::config::Config::smoke_test()
+    }
+
+    fn build(cfg: &Config) -> (MeshDirectory, CommPlan) {
+        let dir = MeshDirectory::initial(cfg.params.clone());
+        let plan = CommPlan::build(cfg, &dir, cfg.params.num_ranks());
+        (dir, plan)
+    }
+
+    #[test]
+    fn aggregated_plan_has_one_message_per_neighbor_dir() {
+        let cfg = two_rank_cfg();
+        let (_, plan) = build(&cfg);
+        // 2×1×1 rank grid, each rank a 1×2×2 brick: only X-direction
+        // cross-rank faces. One aggregated message each way.
+        let x_msgs: Vec<_> = plan.msgs.iter().filter(|m| m.dir == Dir::X).collect();
+        assert_eq!(x_msgs.len(), 2);
+        assert_eq!(x_msgs[0].transfers.len(), 4, "4 face pairs cross the rank boundary");
+        assert!(plan.msgs.iter().all(|m| m.dir == Dir::X));
+    }
+
+    #[test]
+    fn send_faces_splits_into_per_face_messages() {
+        let mut cfg = two_rank_cfg();
+        cfg.send_faces = true;
+        let (_, plan) = build(&cfg);
+        assert_eq!(plan.msgs.len(), 8, "one message per face, both directions");
+        assert!(plan.msgs.iter().all(|m| m.transfers.len() == 1));
+    }
+
+    #[test]
+    fn max_comm_tasks_caps_messages() {
+        let mut cfg = two_rank_cfg();
+        cfg.send_faces = true;
+        cfg.max_comm_tasks = 2;
+        let (_, plan) = build(&cfg);
+        // 4 faces per (src,dst,dir) group capped at 2 messages.
+        assert_eq!(plan.msgs.len(), 4);
+        assert!(plan.msgs.iter().all(|m| m.transfers.len() == 2));
+    }
+
+    #[test]
+    fn tags_are_unique_and_in_direction_spaces() {
+        let mut cfg = two_rank_cfg();
+        cfg.send_faces = true;
+        let (_, plan) = build(&cfg);
+        let mut tags: Vec<i32> = plan.msgs.iter().map(|m| m.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), plan.msgs.len(), "duplicate tags");
+        for m in &plan.msgs {
+            let space = m.tag / DIR_TAG_SPACE;
+            assert_eq!(space as usize, m.dir.index());
+        }
+    }
+
+    #[test]
+    fn buffer_offsets_are_disjoint_per_rank_dir() {
+        let mut cfg = two_rank_cfg();
+        cfg.send_faces = true;
+        cfg.max_comm_tasks = 3;
+        let (_, plan) = build(&cfg);
+        for rank in 0..2 {
+            for d in 0..3 {
+                let mut spans: Vec<(usize, usize)> = plan
+                    .outbound(rank)
+                    .filter(|m| m.dir.index() == d)
+                    .map(|m| (m.send_offset, m.send_offset + m.elems_per_var))
+                    .collect();
+                spans.sort_unstable();
+                for w in spans.windows(2) {
+                    assert!(w[0].1 <= w[1].0, "overlapping send buffer spans");
+                }
+                let total: usize = spans.iter().map(|(a, b)| b - a).sum();
+                assert_eq!(total, plan.send_elems[rank][d]);
+            }
+        }
+    }
+
+    #[test]
+    fn refined_mesh_has_level_crossing_transfers() {
+        let mut cfg = two_rank_cfg();
+        let mut dir = MeshDirectory::initial(cfg.params.clone());
+        let sphere = Object::sphere([0.1, 0.25, 0.25], 0.1, [0.0; 3]);
+        dir.refine_to_fixpoint(&[sphere]);
+        cfg.send_faces = true;
+        let plan = CommPlan::build(&cfg, &dir, 2);
+        let all: Vec<&FaceTransfer> = plan
+            .msgs
+            .iter()
+            .flat_map(|m| m.transfers.iter())
+            .chain(plan.locals.iter())
+            .collect();
+        assert!(all.iter().any(|t| matches!(t.kind, TransferKind::Restrict { .. })));
+        assert!(all.iter().any(|t| matches!(t.kind, TransferKind::Prolong { .. })));
+        // Restrict/Prolong pair up: a fine/coarse boundary seen from both
+        // sides.
+        let restricts = all.iter().filter(|t| matches!(t.kind, TransferKind::Restrict { .. })).count();
+        let prolongs = all.iter().filter(|t| matches!(t.kind, TransferKind::Prolong { .. })).count();
+        assert_eq!(restricts, prolongs);
+    }
+
+    #[test]
+    fn every_active_face_is_covered_exactly_once() {
+        let cfg = two_rank_cfg();
+        let mut dir = MeshDirectory::initial(cfg.params.clone());
+        let sphere = Object::sphere([0.4, 0.5, 0.5], 0.2, [0.0; 3]);
+        dir.refine_to_fixpoint(&[sphere]);
+        let plan = CommPlan::build(&cfg, &dir, 2);
+        // Expected transfer count from the directory itself: one per
+        // same/coarser neighbor face, four per finer face, one boundary
+        // entry per boundary face.
+        let mut expected_transfers = 0usize;
+        let mut expected_boundaries = 0usize;
+        for (b, _) in dir.iter() {
+            for d in Dir::ALL {
+                for s in Side::BOTH {
+                    match dir.neighbor_info(b, d, s) {
+                        amr_mesh::NeighborInfo::Boundary => expected_boundaries += 1,
+                        amr_mesh::NeighborInfo::Finer(_) => expected_transfers += 4,
+                        _ => expected_transfers += 1,
+                    }
+                }
+            }
+        }
+        let msg_faces: usize = plan.msgs.iter().map(|m| m.transfers.len()).sum();
+        assert_eq!(msg_faces + plan.locals.len(), expected_transfers);
+        assert_eq!(plan.boundaries.len(), expected_boundaries);
+    }
+
+    #[test]
+    fn shared_buffer_sizing_takes_direction_max() {
+        let cfg = two_rank_cfg();
+        let (_, plan) = build(&cfg);
+        let (send_sep, _) = plan.buffer_elems(0, true);
+        let (send_shared, _) = plan.buffer_elems(0, false);
+        let max = *send_sep.iter().max().unwrap();
+        assert_eq!(send_shared, [max; 3]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Run configuration: the miniAMR command-line surface plus the paper's
+//! new options, and the two input problems used in the evaluation.
+
+use amr_mesh::{MeshParams, Object};
+
+/// Which parallelization runs (§V: the three compared variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Reference MPI-only execution (one rank per core).
+    MpiOnly,
+    /// MPI + fork-join shared-memory parallelism; serialized
+    /// communication.
+    ForkJoin,
+    /// The paper's full data-flow taskification over the task-aware
+    /// communication layer.
+    DataFlow,
+}
+
+/// Load-balancing strategy applied after refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceKind {
+    /// Morton space-filling-curve repartition (primary).
+    Sfc,
+    /// Recursive coordinate bisection (the reference's strategy).
+    Rcb,
+    /// No load balancing (ablation).
+    None,
+}
+
+/// Full configuration of a miniAMR run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Mesh geometry (`--npx/--npy/--npz/--init_*/--nx/--ny/--nz/
+    /// --num_vars/--num_refine/--block_change`).
+    pub params: MeshParams,
+    /// Timesteps to simulate (`--num_tsteps`).
+    pub num_tsteps: usize,
+    /// Stages per timestep (`--stages_per_ts`).
+    pub stages_per_ts: usize,
+    /// Checksum validation period in stages (`--checksum_freq`).
+    pub checksum_freq: usize,
+    /// Refinement period in timesteps (`--refine_freq`).
+    pub refine_freq: usize,
+    /// Variables per communication group (`--comm_vars`; the paper uses
+    /// one group).
+    pub comm_vars: usize,
+    /// Stencil kind (7-point in all paper experiments).
+    pub stencil: amr_mesh::stencil::StencilKind,
+    /// One message per block face instead of one aggregated message per
+    /// neighbor and direction (`--send_faces`).
+    pub send_faces: bool,
+    /// Separate communication buffers per direction, removing the false
+    /// dependency that serializes directions (`--separate_buffers`,
+    /// §IV-A).
+    pub separate_buffers: bool,
+    /// With `send_faces`: cap on communication tasks (messages) per
+    /// neighbor and direction; 0 = one per face (`--max_comm_tasks`).
+    pub max_comm_tasks: usize,
+    /// Per-rank block capacity for the exchange protocol's ACK check
+    /// (`--max_blocks`).
+    pub max_blocks: usize,
+    /// The simulated objects (`--num_objects` + specs).
+    pub objects: Vec<Object>,
+    /// Load balancing strategy (`--lb_opt`).
+    pub balance: BalanceKind,
+    /// Worker threads per rank for the hybrid variants.
+    pub workers: usize,
+    /// Variant under test.
+    pub variant: Variant,
+    /// Delay checksum validation one checkpoint using
+    /// taskwait-with-dependencies (§IV-C; DataFlow only).
+    pub delayed_checksum: bool,
+    /// Relative tolerance of checksum validation.
+    pub validate_tol: f64,
+    /// Record a phase/task trace (Figures 1–3).
+    pub trace: bool,
+    /// Run a finishing task's first unblocked successor next on the same
+    /// worker (the locality policy credited for the IPC gain, §V-B);
+    /// disable for ablation studies.
+    pub immediate_successor: bool,
+}
+
+impl Config {
+    /// Baseline configuration over the given mesh: sensible defaults for
+    /// everything else.
+    pub fn new(params: MeshParams) -> Config {
+        Config {
+            params,
+            num_tsteps: 4,
+            stages_per_ts: 4,
+            checksum_freq: 4,
+            refine_freq: 2,
+            comm_vars: usize::MAX, // one group covering all vars
+            stencil: amr_mesh::stencil::StencilKind::SevenPoint,
+            send_faces: false,
+            separate_buffers: false,
+            max_comm_tasks: 0,
+            max_blocks: usize::MAX,
+            objects: Vec::new(),
+            balance: BalanceKind::Sfc,
+            workers: 2,
+            variant: Variant::MpiOnly,
+            delayed_checksum: false,
+            validate_tol: 0.05,
+            trace: false,
+            immediate_successor: true,
+        }
+    }
+
+    /// Tiny two-rank configuration for fast tests.
+    pub fn smoke_test() -> Config {
+        let params = MeshParams {
+            npx: 2,
+            npy: 1,
+            npz: 1,
+            init_x: 1,
+            init_y: 2,
+            init_z: 2,
+            nx: 4,
+            ny: 4,
+            nz: 4,
+            num_vars: 2,
+            num_refine: 1,
+            block_change: 1,
+        };
+        let mut cfg = Config::new(params);
+        cfg.objects = vec![Object::sphere([0.3, 0.4, 0.5], 0.2, [0.05, 0.0, 0.0])];
+        cfg
+    }
+
+    /// The *single sphere* input (Rico et al.; §V, Table I): one big
+    /// sphere entering the mesh from a lower corner, causing early
+    /// imbalance on the ranks owning that corner.
+    pub fn single_sphere(params: MeshParams, num_tsteps: usize) -> Config {
+        let mut cfg = Config::new(params);
+        cfg.num_tsteps = num_tsteps;
+        // Starts outside the corner and moves diagonally in, crossing the
+        // mesh over the configured timesteps.
+        let rate = 1.4 / num_tsteps.max(1) as f64;
+        cfg.objects = vec![Object::sphere([-0.3, -0.3, -0.3], 0.35, [rate, rate, rate])];
+        cfg
+    }
+
+    /// The *four spheres* input (Vaughan et al.; §V, Figures 4–5): two
+    /// spheres on one side moving along +X, two on the opposite side
+    /// moving along −X, placed so they pass near the center without
+    /// colliding; rates sized so they reach the opposite side without
+    /// leaving the mesh.
+    pub fn four_spheres(params: MeshParams, num_tsteps: usize) -> Config {
+        let mut cfg = Config::new(params);
+        cfg.num_tsteps = num_tsteps;
+        let travel = 0.6; // from x=0.2 to x=0.8 (and back side mirrored)
+        let rate = travel / num_tsteps.max(1) as f64;
+        let r = 0.12;
+        cfg.objects = vec![
+            Object::sphere([0.2, 0.30, 0.35], r, [rate, 0.0, 0.0]),
+            Object::sphere([0.2, 0.70, 0.65], r, [rate, 0.0, 0.0]),
+            Object::sphere([0.8, 0.30, 0.65], r, [-rate, 0.0, 0.0]),
+            Object::sphere([0.8, 0.70, 0.35], r, [-rate, 0.0, 0.0]),
+        ];
+        cfg
+    }
+
+    /// Number of variables in communication group `g`, and the variable
+    /// range it covers.
+    pub fn var_group(&self, g: usize) -> std::ops::Range<usize> {
+        let per = self.comm_vars.min(self.params.num_vars).max(1);
+        let start = g * per;
+        let end = (start + per).min(self.params.num_vars);
+        start..end
+    }
+
+    /// Number of communication groups per stage.
+    pub fn num_groups(&self) -> usize {
+        let per = self.comm_vars.min(self.params.num_vars).max(1);
+        self.params.num_vars.div_ceil(per)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_groups_cover_all_vars() {
+        let mut cfg = Config::smoke_test();
+        cfg.params.num_vars = 7;
+        cfg.comm_vars = 3;
+        assert_eq!(cfg.num_groups(), 3);
+        assert_eq!(cfg.var_group(0), 0..3);
+        assert_eq!(cfg.var_group(1), 3..6);
+        assert_eq!(cfg.var_group(2), 6..7);
+    }
+
+    #[test]
+    fn default_single_group() {
+        let cfg = Config::smoke_test();
+        assert_eq!(cfg.num_groups(), 1);
+        assert_eq!(cfg.var_group(0), 0..2);
+    }
+
+    #[test]
+    fn four_spheres_never_leave_the_mesh() {
+        let params = MeshParams::test_small();
+        let cfg = Config::four_spheres(params, 20);
+        let mut objs = cfg.objects.clone();
+        for _ in 0..20 {
+            for o in objs.iter_mut() {
+                o.step();
+            }
+        }
+        for o in &objs {
+            for d in 0..3 {
+                assert!(
+                    o.center[d] > 0.0 && o.center[d] < 1.0,
+                    "sphere left the mesh: {:?}",
+                    o.center
+                );
+            }
+        }
+    }
+}

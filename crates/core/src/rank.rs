@@ -1,0 +1,251 @@
+//! Per-rank application state and the shared numerical operations.
+//!
+//! Every variant drives the same [`RankState`] through the same sequence
+//! of mesh mutations — only the orchestration (serial, fork-join,
+//! data-flow) differs, which is what makes the cross-variant checksum
+//! equivalence meaningful.
+
+use crate::comm_plan::{FaceTransfer, TransferKind};
+use crate::config::Config;
+use amr_mesh::block_id::{Dir, Side};
+use amr_mesh::data::{split_block, BlockData, BlockLayout};
+use amr_mesh::face;
+use amr_mesh::stencil::apply_stencil;
+use amr_mesh::{checksum, BlockId, MeshDirectory};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// The state one rank owns: the replicated directory, the local block
+/// data, and the moving objects.
+pub struct RankState {
+    /// Run configuration.
+    pub cfg: Config,
+    /// Data layout of every block.
+    pub layout: BlockLayout,
+    /// Replicated directory of active blocks and owners.
+    pub dir: MeshDirectory,
+    /// The simulated objects (advanced identically on every rank).
+    pub objects: Vec<amr_mesh::Object>,
+    /// Blocks whose data lives on this rank.
+    pub blocks: BTreeMap<BlockId, BlockData>,
+    /// This rank.
+    pub rank: usize,
+    /// World size.
+    pub n_ranks: usize,
+}
+
+impl RankState {
+    /// Builds the initial state: root blocks with analytic data, then the
+    /// initial refinement around the objects' starting positions, with
+    /// block data prolongated level by level. Purely local (the initial
+    /// refinement plan is replicated), so all ranks stay consistent.
+    pub fn init(cfg: &Config, rank: usize, n_ranks: usize) -> RankState {
+        assert_eq!(n_ranks, cfg.params.num_ranks());
+        let layout = BlockLayout::of(&cfg.params);
+        let mut dir = MeshDirectory::initial(cfg.params.clone());
+        let mut blocks = BTreeMap::new();
+        for (id, &owner) in dir.iter() {
+            if owner == rank {
+                blocks.insert(*id, BlockData::initialized(*id, &cfg.params));
+            }
+        }
+        let objects = cfg.objects.clone();
+        // Initial refinement: repeat single-level plans, splitting local
+        // data as the structure refines. Merges cannot occur from a
+        // uniform level-0 mesh.
+        for _ in 0..=cfg.params.num_refine {
+            let plan = dir.plan_refinement(&objects);
+            if plan.is_empty() {
+                break;
+            }
+            assert!(plan.merges.is_empty(), "initial refinement cannot coarsen");
+            for parent in &plan.splits {
+                if dir.owner(parent) == Some(rank) {
+                    let pdata = blocks.remove(parent).expect("owner holds the data");
+                    for child in split_block(&pdata, &cfg.params) {
+                        blocks.insert(child.id, child);
+                    }
+                }
+            }
+            dir.apply_plan(&plan);
+        }
+        RankState { cfg: cfg.clone(), layout, dir, objects, blocks, rank, n_ranks, }
+    }
+
+    /// The blocks this rank owns, in id order (cheap clones of handles).
+    pub fn local_blocks(&self) -> Vec<BlockData> {
+        self.blocks.values().cloned().collect()
+    }
+
+    /// Looks up a local block handle.
+    pub fn block(&self, id: &BlockId) -> &BlockData {
+        self.blocks
+            .get(id)
+            .unwrap_or_else(|| panic!("rank {} does not own {:?}", self.rank, id))
+    }
+
+    /// Advances all objects one timestep.
+    pub fn move_objects(&mut self) {
+        for o in self.objects.iter_mut() {
+            o.step();
+        }
+    }
+
+    /// Applies the stencil to one block for a variable group and returns
+    /// the flops executed.
+    pub fn stencil_block(&self, block: &BlockData, vars: Range<usize>) -> u64 {
+        let nvars = vars.len() as u64;
+        apply_stencil(block, &self.layout, self.cfg.stencil, vars);
+        self.layout.cells() as u64 * nvars * self.cfg.stencil.flops_per_cell()
+    }
+
+    /// Local checksum contribution: per-block per-var sums in id order,
+    /// combined in id order.
+    pub fn local_checksum(&self, vars: Range<usize>) -> Vec<f64> {
+        let per_block: Vec<Vec<f64>> = self
+            .blocks
+            .values()
+            .map(|b| checksum::block_sums(b, &self.layout, vars.clone()))
+            .collect();
+        checksum::combine_block_sums(&per_block, vars.len())
+    }
+}
+
+/// Extracts (and transforms) the payload of one face transfer from the
+/// sending block — the *pack* operation.
+pub fn pack_transfer(layout: &BlockLayout, src: &BlockData, t: &FaceTransfer, vars: Range<usize>) -> Vec<f64> {
+    debug_assert_eq!(src.id, t.src_block);
+    let (n1, n2) = face::face_dims(layout, t.dir);
+    match t.kind {
+        TransferKind::Same => face::extract_face(src, layout, t.dir, t.src_side(), vars),
+        TransferKind::Restrict { .. } => {
+            let full = face::extract_face(src, layout, t.dir, t.src_side(), vars.clone());
+            face::restrict_face(&full, n1, n2, vars.len())
+        }
+        TransferKind::Prolong { quarter } => {
+            face::extract_face_quarter(src, layout, t.dir, t.src_side(), quarter, vars)
+        }
+    }
+}
+
+/// Injects a received payload into the receiving block's ghost plane —
+/// the *unpack* operation.
+pub fn unpack_transfer(
+    layout: &BlockLayout,
+    dst: &BlockData,
+    t: &FaceTransfer,
+    vars: Range<usize>,
+    payload: &[f64],
+) {
+    debug_assert_eq!(dst.id, t.dst_block);
+    let (n1, n2) = face::face_dims(layout, t.dir);
+    match t.kind {
+        TransferKind::Same => face::inject_ghost_face(dst, layout, t.dir, t.dst_side, vars, payload),
+        TransferKind::Restrict { quarter } => {
+            face::inject_ghost_quarter(dst, layout, t.dir, t.dst_side, quarter, vars, payload)
+        }
+        TransferKind::Prolong { .. } => {
+            let full = face::prolong_face(payload, n1, n2, vars.len());
+            face::inject_ghost_face(dst, layout, t.dir, t.dst_side, vars, &full)
+        }
+    }
+}
+
+/// Performs a rank-local transfer: pack from the source block and unpack
+/// into the destination — miniAMR's intra-process communication.
+pub fn apply_local_transfer(
+    layout: &BlockLayout,
+    src: &BlockData,
+    dst: &BlockData,
+    t: &FaceTransfer,
+    vars: Range<usize>,
+) {
+    let payload = pack_transfer(layout, src, t, vars.clone());
+    unpack_transfer(layout, dst, t, vars, &payload);
+}
+
+/// Fills a domain-boundary ghost plane (zero-gradient).
+pub fn apply_boundary(layout: &BlockLayout, block: &BlockData, dir: Dir, side: Side, vars: Range<usize>) {
+    block.fill_boundary_ghosts(layout, dir, side, vars);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_plan::CommPlan;
+
+    #[test]
+    fn init_refines_around_object() {
+        let cfg = Config::smoke_test();
+        let s0 = RankState::init(&cfg, 0, 2);
+        let s1 = RankState::init(&cfg, 1, 2);
+        assert_eq!(s0.dir, s1.dir, "replicated directories must agree");
+        assert!(s0.dir.len() > 8, "initial refinement did not trigger");
+        // Every directory block is owned exactly once.
+        let total = s0.blocks.len() + s1.blocks.len();
+        assert_eq!(total, s0.dir.len());
+        assert!(s0.dir.check_balance().is_ok());
+    }
+
+    #[test]
+    fn local_then_remote_transfer_equivalence() {
+        // Packing on one "rank" and unpacking on another must equal the
+        // rank-local shortcut.
+        let cfg = Config::smoke_test();
+        let state = RankState::init(&cfg, 0, 2);
+        let plan = CommPlan::build(&cfg, &state.dir, 2);
+        let vars = 0..cfg.params.num_vars;
+        let Some(t) = plan.locals.iter().find(|t| t.src_rank == 0) else {
+            panic!("no local transfer in plan");
+        };
+        let src = state.block(&t.src_block);
+        let dst_a = state.block(&t.dst_block);
+        // Remote path.
+        let payload = pack_transfer(&state.layout, src, t, vars.clone());
+        let dst_b = BlockData::empty(t.dst_block, &cfg.params);
+        unpack_transfer(&state.layout, &dst_b, t, vars.clone(), &payload);
+        // Local path.
+        apply_local_transfer(&state.layout, src, dst_a, t, vars.clone());
+        // Compare the ghost planes by re-extracting them.
+        let ghost_of = |b: &BlockData| {
+            // Read the ghost plane via pack of the opposite interior face
+            // is not possible; read raw.
+            b.buf.full().to_vec()
+        };
+        let (a, b) = (ghost_of(dst_a), ghost_of(&dst_b));
+        // dst_b started zeroed; only compare cells the unpack touched.
+        let mut diffs = 0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            if *y != 0.0 && x != y {
+                diffs += 1;
+            }
+        }
+        assert_eq!(diffs, 0, "local and remote unpack disagree");
+    }
+
+    #[test]
+    fn checksum_is_ghost_independent() {
+        let cfg = Config::smoke_test();
+        let state = RankState::init(&cfg, 0, 2);
+        let before = state.local_checksum(0..cfg.params.num_vars);
+        // Pollute every local ghost plane.
+        for b in state.blocks.values() {
+            for d in Dir::ALL {
+                for s in Side::BOTH {
+                    apply_boundary(&state.layout, b, d, s, 0..cfg.params.num_vars);
+                }
+            }
+        }
+        let after = state.local_checksum(0..cfg.params.num_vars);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn stencil_reports_flops() {
+        let cfg = Config::smoke_test();
+        let state = RankState::init(&cfg, 0, 2);
+        let b = state.blocks.values().next().unwrap().clone();
+        let flops = state.stencil_block(&b, 0..2);
+        assert_eq!(flops, (4 * 4 * 4) as u64 * 2 * 7);
+    }
+}

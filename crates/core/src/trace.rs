@@ -1,0 +1,325 @@
+//! Phase/task trace recording — the data behind Figures 1–3.
+//!
+//! The paper analyzes Extrae/Paraver timelines of the MPI-only and
+//! TAMPI+OSS executions (Figs. 1–3): which task kinds execute when, how
+//! phases overlap, and how large the gaps without useful work are. This
+//! module records the equivalent information: `(worker, kind, start,
+//! end)` intervals per rank, plus summary statistics (per-kind totals,
+//! concurrency-weighted overlap, largest idle gap).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Kind of traced work, mirroring the task palette of Fig. 1/3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kind {
+    /// Stencil sweep over one block.
+    Stencil,
+    /// Face pack into a send buffer.
+    Pack,
+    /// Face unpack from a receive buffer.
+    Unpack,
+    /// Send operation (issue + in-flight binding).
+    Send,
+    /// Receive operation.
+    Recv,
+    /// Intra-process neighbor copy.
+    LocalCopy,
+    /// Local checksum reduction.
+    ChecksumLocal,
+    /// Global checksum reduction + validation.
+    ChecksumRemote,
+    /// Refinement: split/coarsen data copies.
+    RefineCopy,
+    /// Refinement: block exchange (pack/send/recv/unpack of whole
+    /// blocks).
+    RefineExchange,
+    /// Waitany/waitall progress loops (MPI-only; the green regions of
+    /// Fig. 2).
+    Wait,
+}
+
+impl Kind {
+    /// Every kind, for iteration in reports.
+    pub const ALL: [Kind; 11] = [
+        Kind::Stencil,
+        Kind::Pack,
+        Kind::Unpack,
+        Kind::Send,
+        Kind::Recv,
+        Kind::LocalCopy,
+        Kind::ChecksumLocal,
+        Kind::ChecksumRemote,
+        Kind::RefineCopy,
+        Kind::RefineExchange,
+        Kind::Wait,
+    ];
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Work kind.
+    pub kind: Kind,
+    /// Start offset from trace epoch.
+    pub start: Duration,
+    /// End offset from trace epoch.
+    pub end: Duration,
+}
+
+/// A per-rank trace recorder. Cheap when disabled (an `Option` in the
+/// caller); all methods are thread-safe so task bodies can record from
+/// any worker.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    epoch: Instant,
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl Trace {
+    /// Creates an empty trace whose epoch is now.
+    pub fn new() -> Trace {
+        Trace { epoch: Instant::now(), events: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Records the execution of `f` as one interval of `kind`.
+    pub fn record<R>(&self, kind: Kind, f: impl FnOnce() -> R) -> R {
+        let start = self.epoch.elapsed();
+        let out = f();
+        let end = self.epoch.elapsed();
+        self.events.lock().push(Event { kind, start, end });
+        out
+    }
+
+    /// Copies out the recorded events, sorted by start time.
+    pub fn events(&self) -> Vec<Event> {
+        let mut ev = self.events.lock().clone();
+        ev.sort_by_key(|e| e.start);
+        ev
+    }
+
+    /// Total recorded busy time per kind.
+    pub fn totals(&self) -> Vec<(Kind, Duration)> {
+        let mut totals: std::collections::BTreeMap<Kind, Duration> = Default::default();
+        for e in self.events.lock().iter() {
+            *totals.entry(e.kind).or_default() += e.end.saturating_sub(e.start);
+        }
+        totals.into_iter().collect()
+    }
+
+    /// Fraction of the busy span during which at least two intervals of
+    /// *different kinds* were active simultaneously — the "phases
+    /// overlap" measure of Fig. 3. Returns 0 for traces with fewer than
+    /// two events.
+    pub fn overlap_fraction(&self) -> f64 {
+        let events = self.events();
+        if events.len() < 2 {
+            return 0.0;
+        }
+        // Sweep line over starts/ends.
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        enum Edge {
+            End,
+            Start,
+        }
+        let mut points: Vec<(Duration, Edge, Kind)> = Vec::with_capacity(events.len() * 2);
+        for e in &events {
+            points.push((e.start, Edge::Start, e.kind));
+            points.push((e.end, Edge::End, e.kind));
+        }
+        points.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let mut active: std::collections::BTreeMap<Kind, usize> = Default::default();
+        let mut overlap = Duration::ZERO;
+        let mut busy = Duration::ZERO;
+        let mut prev = points[0].0;
+        for (t, edge, kind) in points {
+            let span = t.saturating_sub(prev);
+            let kinds_active = active.values().filter(|&&c| c > 0).count();
+            if kinds_active >= 1 {
+                busy += span;
+            }
+            if kinds_active >= 2 {
+                overlap += span;
+            }
+            match edge {
+                Edge::Start => *active.entry(kind).or_insert(0) += 1,
+                Edge::End => {
+                    if let Some(c) = active.get_mut(&kind) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+            }
+            prev = t;
+        }
+        if busy.is_zero() {
+            0.0
+        } else {
+            overlap.as_secs_f64() / busy.as_secs_f64()
+        }
+    }
+
+    /// Largest gap with no recorded activity within the busy span (the
+    /// "blank spaces" of Fig. 3, which the paper bounds at ~3 ms).
+    pub fn largest_gap(&self) -> Duration {
+        let events = self.events();
+        let mut largest = Duration::ZERO;
+        let mut horizon = Duration::ZERO;
+        for e in &events {
+            if e.start > horizon && !horizon.is_zero() {
+                largest = largest.max(e.start - horizon);
+            }
+            horizon = horizon.max(e.end);
+        }
+        largest
+    }
+
+    /// Renders a Paraver-style ASCII timeline: one lane per kind, a
+    /// glyph per time bucket in which at least one interval of that kind
+    /// was active. The textual counterpart of the paper's Figs. 1-3.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let events = self.events();
+        let Some(end) = events.iter().map(|e| e.end).max() else {
+            return String::from("(empty trace)\n");
+        };
+        if end.is_zero() || width == 0 {
+            return String::from("(empty trace)\n");
+        }
+        let glyph = |k: Kind| -> char {
+            match k {
+                Kind::Stencil => 'S',
+                Kind::Pack => 'p',
+                Kind::Unpack => 'u',
+                Kind::Send => '>',
+                Kind::Recv => '<',
+                Kind::LocalCopy => 'c',
+                Kind::ChecksumLocal => 'k',
+                Kind::ChecksumRemote => 'K',
+                Kind::RefineCopy => 'r',
+                Kind::RefineExchange => 'x',
+                Kind::Wait => 'w',
+            }
+        };
+        let bucket = end.as_secs_f64() / width as f64;
+        let mut out = String::new();
+        for kind in Kind::ALL {
+            let mut lane = vec![' '; width];
+            let mut any = false;
+            for e in events.iter().filter(|e| e.kind == kind) {
+                let lo = (e.start.as_secs_f64() / bucket) as usize;
+                let hi = ((e.end.as_secs_f64() / bucket).ceil() as usize).max(lo + 1);
+                for slot in lane.iter_mut().take(hi.min(width)).skip(lo.min(width - 1)) {
+                    *slot = glyph(kind);
+                    any = true;
+                }
+            }
+            if any {
+                out.push_str(&format!("{:>14} |", format!("{kind:?}")));
+                out.extend(lane);
+                out.push_str("|\n");
+            }
+        }
+        out.push_str(&format!(
+            "{:>14} |{}|\n",
+            "",
+            (0..width)
+                .map(|i| if i % 10 == 0 { '+' } else { '-' })
+                .collect::<String>()
+        ));
+        out
+    }
+
+    /// Renders a TSV dump (`kind\tstart_us\tend_us`) for external
+    /// plotting.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("kind\tstart_us\tend_us\n");
+        for e in self.events() {
+            out.push_str(&format!(
+                "{:?}\t{}\t{}\n",
+                e.kind,
+                e.start.as_micros(),
+                e.end.as_micros()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_intervals_and_totals() {
+        let t = Trace::new();
+        t.record(Kind::Stencil, || std::thread::sleep(Duration::from_millis(5)));
+        t.record(Kind::Pack, || std::thread::sleep(Duration::from_millis(2)));
+        let totals = t.totals();
+        assert_eq!(totals.len(), 2);
+        let stencil = totals.iter().find(|(k, _)| *k == Kind::Stencil).unwrap().1;
+        assert!(stencil >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn overlap_detected_for_concurrent_kinds() {
+        let t = Trace::new();
+        std::thread::scope(|s| {
+            let t1 = t.clone();
+            s.spawn(move || t1.record(Kind::Stencil, || std::thread::sleep(Duration::from_millis(20))));
+            let t2 = t.clone();
+            s.spawn(move || t2.record(Kind::Unpack, || std::thread::sleep(Duration::from_millis(20))));
+        });
+        assert!(t.overlap_fraction() > 0.5, "overlap {:.2}", t.overlap_fraction());
+    }
+
+    #[test]
+    fn serial_trace_has_no_overlap() {
+        let t = Trace::new();
+        t.record(Kind::Stencil, || std::thread::sleep(Duration::from_millis(3)));
+        t.record(Kind::Pack, || std::thread::sleep(Duration::from_millis(3)));
+        assert_eq!(t.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gap_measurement() {
+        let t = Trace::new();
+        t.record(Kind::Stencil, || {});
+        std::thread::sleep(Duration::from_millis(10));
+        t.record(Kind::Pack, || {});
+        assert!(t.largest_gap() >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn ascii_timeline_shows_active_kinds() {
+        let t = Trace::new();
+        t.record(Kind::Stencil, || std::thread::sleep(Duration::from_millis(4)));
+        t.record(Kind::Pack, || std::thread::sleep(Duration::from_millis(4)));
+        let art = t.render_ascii(40);
+        assert!(art.contains("Stencil"), "{art}");
+        assert!(art.contains("Pack"));
+        assert!(art.contains('S') && art.contains('p'));
+        // Unused kinds do not produce lanes.
+        assert!(!art.contains("RefineCopy"));
+    }
+
+    #[test]
+    fn ascii_timeline_empty_trace() {
+        let t = Trace::new();
+        assert!(t.render_ascii(40).contains("empty"));
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let t = Trace::new();
+        t.record(Kind::Send, || {});
+        let tsv = t.to_tsv();
+        assert!(tsv.starts_with("kind\tstart_us\tend_us\n"));
+        assert!(tsv.contains("Send"));
+    }
+}

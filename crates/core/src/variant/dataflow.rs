@@ -1,0 +1,535 @@
+//! The data-flow variant: the paper's contribution (Algorithms 3 and 4).
+//!
+//! Every phase is decomposed into tasks connected through region
+//! dependencies:
+//!
+//! * **communicate** (Algorithm 3) — per direction: *receive* tasks post
+//!   task-aware receives into buffer sections (`out` on the section);
+//!   *pack* tasks copy block faces into send-buffer sections (`in` block,
+//!   `out` section); *send* tasks ship sections through the task-aware
+//!   layer (`in` on all the sections of the message — multideps);
+//!   *local-copy* tasks handle intra-rank neighbors; *unpack* tasks wait
+//!   on the receive section and write the ghost plane (`inout` block).
+//!   Since a receive task's dependencies only release when the payload
+//!   has arrived, unpackers start exactly when their data is ready — no
+//!   `waitany` loop exists anywhere (§IV-A).
+//! * **stencil** tasks (`inout` block/vars) chain naturally behind the
+//!   unpackers and in front of the next stage's packers; stages overlap
+//!   without any barrier.
+//! * **checksum** (Algorithm 4) — per-block local reductions write slots
+//!   of a checksum structure; with `--delayed_checksum` the global
+//!   validation of checkpoint *k* happens at checkpoint *k+1* behind an
+//!   OmpSs-2-style `taskwait_on` (§IV-C), so even checksums do not drain
+//!   the task graph.
+//! * **refinement** (§IV-B) — split/coarsen copies run as dependent
+//!   tasks; the block exchange sends control messages from the main
+//!   thread while pack/send/receive/unpack of block data are tasks bound
+//!   through the task-aware layer.
+
+use crate::comm_plan::CommPlan;
+use crate::config::Config;
+use crate::exchange::{run_refinement, BlockMover, RefineJob};
+use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer, unpack_transfer, RankState};
+use crate::stats::{RunStats, Stopwatch};
+use crate::trace::{Kind, Trace};
+use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
+use amr_mesh::block_id::Dir;
+use amr_mesh::data::{BlockData, BlockLayout};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use taskrt::{Access, ObjId, Region, Runtime};
+use vmpi::Comm;
+
+/// Runs the data-flow variant on one rank.
+pub fn run(cfg: &Config, comm: Comm) -> RunStats {
+    let rt = Arc::new(Runtime::with_config(taskrt::RuntimeConfig {
+        workers: cfg.workers.max(1),
+        immediate_successor: cfg.immediate_successor,
+    }));
+    let comm = Arc::new(comm);
+    let mut state = RankState::init(cfg, comm.rank(), comm.size());
+    let mut stats = RunStats { rank: state.rank, ..Default::default() };
+    let trace = cfg.trace.then(Trace::new);
+    let gmax = cfg.var_group(0).len();
+
+    let mut prev_checksum: Option<Checkpoint> = None;
+    let mut mesh_epoch = 0u64;
+    let total_sw = Stopwatch::start();
+    // Initial refinement phase with load balancing, taskified like every
+    // other refinement (the colorful region at the left of Fig. 1's lower
+    // trace).
+    {
+        let sw = Stopwatch::start();
+        let mut mover = TaskMover { rt: Arc::clone(&rt), trace: trace.clone() };
+        let rt2 = Arc::clone(&rt);
+        let trace2 = trace.clone();
+        stats.blocks_moved += run_refinement(&mut state, &comm, &mut mover, &mut |state, jobs| {
+            run_jobs_tasked(&rt2, state, jobs, trace2.as_ref())
+        });
+        sw.stop(&mut stats.times.refine);
+    }
+    let mut plan = Arc::new(CommPlan::build(cfg, &state.dir, state.n_ranks));
+    let mut bufs = Buffers::alloc(&plan, state.rank, gmax, cfg.separate_buffers);
+    // The delayed-validation pipeline: local sums of the previous
+    // checkpoint, still possibly being produced by in-flight tasks.
+    let mut pending: Option<PendingChecksum> = None;
+    let flops = Arc::new(AtomicU64::new(0));
+
+    let mut stage_counter = 0usize;
+    for ts in 0..cfg.num_tsteps {
+        for _stage in 0..cfg.stages_per_ts {
+            stage_counter += 1;
+            for g in 0..cfg.num_groups() {
+                let vars = cfg.var_group(g);
+                let sw = Stopwatch::start();
+                spawn_communicate(&rt, &state, &comm, &plan, &bufs, vars.clone(), &mut stats, trace.as_ref());
+                sw.stop(&mut stats.times.communicate);
+
+                // Stencil tasks chain behind the unpackers via block
+                // dependencies; no barrier.
+                let sw = Stopwatch::start();
+                for block in state.blocks.values() {
+                    spawn_stencil(&rt, &state, block, vars.clone(), &flops, trace.as_ref());
+                }
+                sw.stop(&mut stats.times.stencil);
+            }
+            if stage_counter.is_multiple_of(cfg.checksum_freq) {
+                let sw = Stopwatch::start();
+                let fresh = spawn_local_checksum(&rt, &state, cfg, mesh_epoch, trace.as_ref());
+                if cfg.delayed_checksum {
+                    // Validate the *previous* checkpoint; only its slots
+                    // must be quiescent (taskwait with dependencies).
+                    if let Some(prev) = pending.take() {
+                        rt.taskwait_on(&[Region::whole(prev.obj)]);
+                        let local = prev.combine();
+                        let total = checksum_remote(&comm, &local);
+                        record_validation(&mut stats, &mut prev_checksum, total, prev.total_cells, prev.epoch, cfg.validate_tol);
+                    }
+                    pending = Some(fresh);
+                } else {
+                    rt.taskwait();
+                    let local = fresh.combine();
+                    let total = checksum_remote(&comm, &local);
+                    record_validation(&mut stats, &mut prev_checksum, total, fresh.total_cells, fresh.epoch, cfg.validate_tol);
+                }
+                sw.stop(&mut stats.times.checksum);
+            }
+        }
+        if (ts + 1) % cfg.refine_freq == 0 {
+            let sw = Stopwatch::start();
+            // Explicit barrier before refinement (Algorithm 4).
+            rt.taskwait();
+            state.move_objects();
+            let mut mover = TaskMover { rt: Arc::clone(&rt), trace: trace.clone() };
+            let rt2 = Arc::clone(&rt);
+            let trace2 = trace.clone();
+            let moved = run_refinement(&mut state, &comm, &mut mover, &mut |state, jobs| {
+                run_jobs_tasked(&rt2, state, jobs, trace2.as_ref())
+            });
+            stats.blocks_moved += moved;
+            mesh_epoch += 1;
+            plan = Arc::new(CommPlan::build(cfg, &state.dir, state.n_ranks));
+            bufs = Buffers::alloc(&plan, state.rank, gmax, cfg.separate_buffers);
+            sw.stop(&mut stats.times.refine);
+        }
+    }
+    // Drain the graph and the delayed checksum pipeline.
+    // Diagnostic watchdog: with MINIAMR_DEBUG set, a stuck drain dumps
+    // the unreleased tasks (label + pending/event counts) after 5 s.
+    if std::env::var_os("MINIAMR_DEBUG").is_some() {
+        let rt2 = Arc::clone(&rt);
+        let rank = state.rank;
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(5));
+            let live = rt2.debug_live_tasks();
+            if !live.is_empty() {
+                eprintln!("rank {rank}: {} unreleased tasks", live.len());
+                for (id, label, pending, events) in live.iter().take(20) {
+                    eprintln!("rank {rank}:   task {id} '{label}' pending={pending} events={events}");
+                }
+            }
+        });
+    }
+    rt.taskwait();
+
+    if let Some(prev) = pending.take() {
+        let local = prev.combine();
+        let total = checksum_remote(&comm, &local);
+        record_validation(&mut stats, &mut prev_checksum, total, prev.total_cells, prev.epoch, cfg.validate_tol);
+    }
+    total_sw.stop(&mut stats.times.total);
+    stats.flops = flops.load(Ordering::Relaxed);
+    stats.tasks_spawned = rt.stats().spawned;
+    stats.final_blocks = state.blocks.len();
+    stats.trace = trace;
+    stats
+}
+
+fn block_region(layout: &BlockLayout, block: &BlockData, vars: std::ops::Range<usize>) -> Region {
+    Region::new(ObjId(block.uid), layout.var_elem_range(vars))
+}
+
+fn spawn_stencil(
+    rt: &Runtime,
+    state: &RankState,
+    block: &BlockData,
+    vars: std::ops::Range<usize>,
+    flops: &Arc<AtomicU64>,
+    trace: Option<&Trace>,
+) {
+    let region = block_region(&state.layout, block, vars.clone());
+    let block = block.clone();
+    let layout = state.layout;
+    let kind = state.cfg.stencil;
+    let flops = Arc::clone(flops);
+    let tr = trace.cloned();
+    rt.task()
+        .label("stencil")
+        .inout(region)
+        .body(move || {
+            let work = || {
+                amr_mesh::stencil::apply_stencil(&block, &layout, kind, vars.clone());
+                layout.cells() as u64 * vars.len() as u64 * kind.flops_per_cell()
+            };
+            let f = match &tr {
+                Some(t) => t.record(Kind::Stencil, work),
+                None => work(),
+            };
+            flops.fetch_add(f, Ordering::Relaxed);
+        })
+        .spawn();
+}
+
+/// Algorithm 3: the fully taskified communicate.
+#[allow(clippy::too_many_arguments)]
+fn spawn_communicate(
+    rt: &Runtime,
+    state: &RankState,
+    comm: &Arc<Comm>,
+    plan: &Arc<CommPlan>,
+    bufs: &Buffers,
+    vars: std::ops::Range<usize>,
+    stats: &mut RunStats,
+    trace: Option<&Trace>,
+) {
+    let g = vars.len();
+    for dir in Dir::ALL {
+        let d = dir.index();
+
+        // Receive tasks: out-dependency on the buffer section; the
+        // task-aware receive binds arrival to dependency release.
+        for m in plan.inbound(state.rank).filter(|m| m.dir == dir) {
+            let lo = m.recv_offset * g;
+            let hi = lo + m.elems_per_var * g;
+            let slice = bufs.recv[d].slice(lo..hi);
+            let comm = Arc::clone(comm);
+            let (src, tag) = (m.src_rank, m.tag);
+            let tr = trace.cloned();
+            rt.task()
+                .label("recv")
+                // Communication tasks jump the ready queue: getting
+                // receives posted early maximizes the overlap window.
+                .priority(1)
+                .out(Region::new(bufs.recv_obj[d], lo..hi))
+                .body(move || {
+                    let work = || tampi::irecv_into(&comm, slice, src as i32, tag).expect("recv task");
+                    match &tr {
+                        Some(t) => t.record(Kind::Recv, work),
+                        None => work(),
+                    }
+                })
+                .spawn();
+        }
+
+        // Pack + send tasks.
+        for m in plan.outbound(state.rank).filter(|m| m.dir == dir) {
+            let mut section_accesses = Vec::with_capacity(m.transfers.len());
+            for t in m.transfers.clone() {
+                let slo = (m.send_offset + t.offset_in_msg) * g;
+                let shi = slo + t.elems_per_var * g;
+                section_accesses.push(Access::read(Region::new(bufs.send_obj[d], slo..shi)));
+                let slice = bufs.send[d].slice(slo..shi);
+                let src = state.block(&t.src_block).clone();
+                let layout = state.layout;
+                let vars2 = vars.clone();
+                let block_reg = block_region(&layout, &src, vars2.clone());
+                let tr = trace.cloned();
+                rt.task()
+                    .label("pack")
+                    .input(block_reg)
+                    .out(Region::new(bufs.send_obj[d], slo..shi))
+                    .body(move || {
+                        let work = || {
+                            let payload = pack_transfer(&layout, &src, &t, vars2.clone());
+                            slice.write_from(&payload);
+                        };
+                        match &tr {
+                            Some(trc) => trc.record(Kind::Pack, work),
+                            None => work(),
+                        }
+                    })
+                    .spawn();
+            }
+            // The send task multi-depends on every section the packers
+            // write (§IV-A).
+            let lo = m.send_offset * g;
+            let hi = lo + m.elems_per_var * g;
+            let slice = bufs.send[d].slice(lo..hi);
+            let comm = Arc::clone(comm);
+            let (dst, tag) = (m.dst_rank, m.tag);
+            let tr = trace.cloned();
+            rt.task()
+                .label("send")
+                .priority(1)
+                .accesses(section_accesses)
+                .body(move || {
+                    let work = || tampi::isend_from(&comm, &slice, dst, tag).expect("send task");
+                    match &tr {
+                        Some(t) => t.record(Kind::Send, work),
+                        None => work(),
+                    }
+                })
+                .spawn();
+            stats.msgs_sent += 1;
+            stats.elems_sent += (m.elems_per_var * g) as u64;
+        }
+
+        // Intra-process copies (already taskified by Rico et al., kept).
+        for t in plan.locals.iter().filter(|t| t.dir == dir && t.src_rank == state.rank) {
+            let src = state.block(&t.src_block).clone();
+            let dst = state.block(&t.dst_block).clone();
+            let layout = state.layout;
+            let vars2 = vars.clone();
+            let t = t.clone();
+            let src_reg = block_region(&layout, &src, vars2.clone());
+            let dst_reg = block_region(&layout, &dst, vars2.clone());
+            let tr = trace.cloned();
+            rt.task()
+                .label("local_copy")
+                .input(src_reg)
+                .inout(dst_reg)
+                .body(move || {
+                    let work = || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone());
+                    match &tr {
+                        Some(trc) => trc.record(Kind::LocalCopy, work),
+                        None => work(),
+                    }
+                })
+                .spawn();
+        }
+
+        // Domain-boundary ghost fills.
+        for (block, bdir, side) in plan
+            .boundaries
+            .iter()
+            .filter(|(b, bd, _)| *bd == dir && state.dir.owner(b) == Some(state.rank))
+        {
+            let b = state.block(block).clone();
+            let layout = state.layout;
+            let vars2 = vars.clone();
+            let (bdir, side) = (*bdir, *side);
+            let reg = block_region(&layout, &b, vars2.clone());
+            rt.task()
+                .label("boundary")
+                .inout(reg)
+                .body(move || apply_boundary(&layout, &b, bdir, side, vars2.clone()))
+                .spawn();
+        }
+
+        // Unpack tasks are instantiated *last* within the direction
+        // (Algorithm 3, lines 19-20). Spawn order matters: with
+        // whole-block dependency granularity (§IV-D), an unpack (`inout`
+        // block) spawned before this rank's packs (`in` block) would make
+        // the packs — and through them the sends — wait on data from the
+        // peer, closing a cross-rank cycle.
+        for m in plan.inbound(state.rank).filter(|m| m.dir == dir) {
+            for t in m.transfers.clone() {
+                let slo = (m.recv_offset + t.offset_in_msg) * g;
+                let shi = slo + t.elems_per_var * g;
+                let slice = bufs.recv[d].slice(slo..shi);
+                let dst = state.block(&t.dst_block).clone();
+                let layout = state.layout;
+                let vars2 = vars.clone();
+                let block_reg = block_region(&layout, &dst, vars2.clone());
+                let tr = trace.cloned();
+                rt.task()
+                    .label("unpack")
+                    .input(Region::new(bufs.recv_obj[d], slo..shi))
+                    .inout(block_reg)
+                    .body(move || {
+                        let work = || {
+                            let payload = slice.to_vec();
+                            unpack_transfer(&layout, &dst, &t, vars2.clone(), &payload);
+                        };
+                        match &tr {
+                            Some(trc) => trc.record(Kind::Unpack, work),
+                            None => work(),
+                        }
+                    })
+                    .spawn();
+            }
+        }
+    }
+}
+
+/// In-flight local checksum: per-block slots plus the structure's
+/// dependency object.
+struct PendingChecksum {
+    obj: ObjId,
+    slots: Arc<Mutex<Vec<Vec<f64>>>>,
+    num_vars: usize,
+    /// Global cell count at the time the checkpoint was taken (the
+    /// normalization denominator; refinement may change it before the
+    /// delayed validation runs).
+    total_cells: f64,
+    /// Mesh epoch at checkpoint time.
+    epoch: u64,
+}
+
+impl PendingChecksum {
+    fn combine(&self) -> Vec<f64> {
+        let slots = self.slots.lock();
+        amr_mesh::checksum::combine_block_sums(&slots, self.num_vars)
+    }
+}
+
+/// Spawns the per-block local reduction tasks of one checkpoint.
+fn spawn_local_checksum(
+    rt: &Runtime,
+    state: &RankState,
+    cfg: &Config,
+    epoch: u64,
+    trace: Option<&Trace>,
+) -> PendingChecksum {
+    let nv = cfg.params.num_vars;
+    let blocks = state.local_blocks();
+    let obj = ObjId::fresh();
+    let slots = Arc::new(Mutex::new(vec![Vec::new(); blocks.len()]));
+    for (i, block) in blocks.into_iter().enumerate() {
+        let layout = state.layout;
+        let slots = Arc::clone(&slots);
+        let reg_in = block_region(&layout, &block, 0..nv);
+        let tr = trace.cloned();
+        rt.task()
+            .label("checksum_local")
+            .input(reg_in)
+            .out(Region::new(obj, i..i + 1))
+            .body(move || {
+                let work = || amr_mesh::checksum::block_sums(&block, &layout, 0..nv);
+                let sums = match &tr {
+                    Some(t) => t.record(Kind::ChecksumLocal, work),
+                    None => work(),
+                };
+                slots.lock()[i] = sums;
+            })
+            .spawn();
+    }
+    let total_cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
+    PendingChecksum { obj, slots, num_vars: nv, total_cells, epoch }
+}
+
+/// Split/merge data operations as dependent tasks.
+fn run_jobs_tasked(
+    rt: &Runtime,
+    state: &RankState,
+    jobs: Vec<RefineJob>,
+    trace: Option<&Trace>,
+) -> Vec<BlockData> {
+    let results: Arc<Mutex<Vec<BlockData>>> = Arc::new(Mutex::new(Vec::new()));
+    let params = state.cfg.params.clone();
+    let layout = state.layout;
+    let nv = params.num_vars;
+    for job in jobs {
+        let deps: Vec<Access> = match &job {
+            RefineJob::Split(parent) => vec![Access::read(block_region(&layout, parent, 0..nv))],
+            RefineJob::Merge(children) => children
+                .iter()
+                .map(|c| Access::read(block_region(&layout, c, 0..nv)))
+                .collect(),
+        };
+        let results = Arc::clone(&results);
+        let params = params.clone();
+        let tr = trace.cloned();
+        rt.task()
+            .label("refine_copy")
+            .accesses(deps)
+            .body(move || {
+                let out = match &tr {
+                    Some(t) => t.record(Kind::RefineCopy, || job.run(&params)),
+                    None => job.run(&params),
+                };
+                results.lock().extend(out);
+            })
+            .spawn();
+    }
+    rt.taskwait();
+    let mut out = std::mem::take(&mut *results.lock());
+    out.sort_by_key(|b| b.id);
+    out
+}
+
+/// The taskified block mover of §IV-B: pack/send and receive/unpack are
+/// tasks bound through the task-aware layer; `finish` closes the
+/// parallelism before the exchange function returns.
+struct TaskMover {
+    rt: Arc<Runtime>,
+    trace: Option<Trace>,
+}
+
+impl BlockMover for TaskMover {
+    fn send_block(&mut self, comm: &Arc<Comm>, state: &RankState, block: BlockData, to: usize, tag: i32) {
+        let comm = Arc::clone(comm);
+        let layout = state.layout;
+        let nv = state.cfg.params.num_vars;
+        let reg = block_region(&layout, &block, 0..nv);
+        let tr = self.trace.clone();
+        self.rt
+            .task()
+            .label("exchange_send")
+            .input(reg)
+            .body(move || {
+                let work = || {
+                    let payload = block.pack_interior(&layout, 0..nv);
+                    tampi::isend(&comm, &payload, to, tag).expect("exchange send");
+                };
+                match &tr {
+                    Some(t) => t.record(Kind::RefineExchange, work),
+                    None => work(),
+                }
+            })
+            .spawn();
+    }
+
+    fn recv_block(&mut self, comm: &Arc<Comm>, state: &RankState, id: amr_mesh::BlockId, from: usize, tag: i32) -> BlockData {
+        let comm = Arc::clone(comm);
+        let layout = state.layout;
+        let nv = state.cfg.params.num_vars;
+        let block = BlockData::empty(id, &state.cfg.params);
+        let handle = block.clone();
+        let reg = block_region(&layout, &block, 0..nv);
+        let tr = self.trace.clone();
+        self.rt
+            .task()
+            .label("exchange_recv")
+            .out(reg)
+            .body(move || {
+                let work = || {
+                    tampi::irecv_with::<f64, _>(&comm, from as i32, tag, move |payload| {
+                        handle.unpack_interior(&layout, 0..nv, &payload);
+                    })
+                    .expect("exchange recv");
+                };
+                match &tr {
+                    Some(t) => t.record(Kind::RefineExchange, work),
+                    None => work(),
+                }
+            })
+            .spawn();
+        block
+    }
+
+    fn finish(&mut self, _comm: &Arc<Comm>) {
+        self.rt.taskwait();
+    }
+}

@@ -1,0 +1,117 @@
+//! The three parallelization variants and their shared helpers.
+
+pub mod dataflow;
+pub mod fork_join;
+pub mod mpi_only;
+
+use crate::comm_plan::CommPlan;
+use shmem::SharedBuffer;
+use std::sync::Arc;
+use taskrt::ObjId;
+use vmpi::Comm;
+
+/// Per-direction send/receive communication buffers plus their dependency
+/// object ids.
+///
+/// With `--separate_buffers` each direction gets its own allocation (and
+/// its own dependency object), so communication tasks of different
+/// directions are independent. Without it, one allocation (sized for the
+/// largest direction) is shared — reproducing the reference behavior
+/// where reusing the buffer space serializes the directions through a
+/// *false dependency* (§IV-A).
+pub(crate) struct Buffers {
+    pub send: [Arc<SharedBuffer<f64>>; 3],
+    pub recv: [Arc<SharedBuffer<f64>>; 3],
+    pub send_obj: [ObjId; 3],
+    pub recv_obj: [ObjId; 3],
+}
+
+impl Buffers {
+    /// Allocates buffers for the current plan. `gmax` is the largest
+    /// variable-group size.
+    pub fn alloc(plan: &CommPlan, rank: usize, gmax: usize, separate: bool) -> Buffers {
+        let (send_elems, recv_elems) = plan.buffer_elems(rank, separate);
+        let mk = |elems: [usize; 3]| -> ([Arc<SharedBuffer<f64>>; 3], [ObjId; 3]) {
+            if separate {
+                let bufs = [
+                    SharedBuffer::new(elems[0] * gmax),
+                    SharedBuffer::new(elems[1] * gmax),
+                    SharedBuffer::new(elems[2] * gmax),
+                ];
+                let objs = [ObjId::fresh(), ObjId::fresh(), ObjId::fresh()];
+                (bufs, objs)
+            } else {
+                let buf = SharedBuffer::new(elems[0] * gmax);
+                let obj = ObjId::fresh();
+                ([Arc::clone(&buf), Arc::clone(&buf), buf], [obj, obj, obj])
+            }
+        };
+        let (send, send_obj) = mk(send_elems);
+        let (recv, recv_obj) = mk(recv_elems);
+        Buffers { send, recv, send_obj, recv_obj }
+    }
+}
+
+/// The global checksum combination: gather per-rank partials on rank 0,
+/// combine **in rank order** (deterministic, and — with SFC ownership —
+/// equal to the global block-ordered sum), broadcast the totals.
+pub(crate) fn checksum_remote(comm: &Comm, local: &[f64]) -> Vec<f64> {
+    let gathered = comm.gather(local, 0).expect("checksum gather");
+    let totals = gathered.map(|parts| {
+        let mut acc = vec![0.0f64; local.len()];
+        for part in parts {
+            debug_assert_eq!(part.len(), acc.len());
+            for (a, p) in acc.iter_mut().zip(part.iter()) {
+                *a += p;
+            }
+        }
+        acc
+    });
+    comm.bcast(totals.as_deref(), 0).expect("checksum bcast")
+}
+
+/// The previous checkpoint a fresh checksum is validated against.
+pub(crate) struct Checkpoint {
+    /// Per-cell means at the previous checkpoint.
+    pub means: Vec<f64>,
+    /// Mesh epoch (refinement counter) the means were taken under.
+    pub epoch: u64,
+}
+
+/// Validates a fresh checksum against the previous checkpoint, updating
+/// counters.
+///
+/// Refinement changes the cell population (splitting a block multiplies
+/// its cells by eight) and re-weights the per-cell mean, so checksums are
+/// only comparable between checkpoints of the same *mesh epoch*. Within
+/// an epoch the averaging stencil keeps the per-cell mean nearly
+/// constant; corruption (a race, a lost message) shifts it by whole
+/// cells. A checkpoint taken under a new epoch resets the baseline —
+/// exactly the role of miniAMR's periodic validation. The raw sums are
+/// recorded unconditionally (they are the cross-variant bitwise
+/// fingerprint).
+pub(crate) fn record_validation(
+    stats: &mut crate::stats::RunStats,
+    prev: &mut Option<Checkpoint>,
+    current: Vec<f64>,
+    total_cells: f64,
+    epoch: u64,
+    tol: f64,
+) {
+    let means: Vec<f64> = current.iter().map(|s| s / total_cells).collect();
+    match prev.as_ref() {
+        Some(p) if p.epoch == epoch => match amr_mesh::checksum::validate(&p.means, &means, tol) {
+            amr_mesh::checksum::Validation::Ok => stats.checksums_passed += 1,
+            amr_mesh::checksum::Validation::Failed { var, rel_err } => {
+                stats.checksums_failed += 1;
+                eprintln!(
+                    "rank {}: checksum validation FAILED: var {var} drifted {rel_err:.3e}",
+                    stats.rank
+                );
+            }
+        },
+        _ => stats.checksums_passed += 1,
+    }
+    stats.checksums.push(current);
+    *prev = Some(Checkpoint { means, epoch });
+}

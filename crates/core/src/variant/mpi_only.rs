@@ -1,0 +1,193 @@
+//! The reference MPI-only variant (Algorithms 1 and 2).
+//!
+//! One rank per core, everything serial inside a rank. The communicate
+//! function processes the three directions sequentially over shared
+//! buffers: post receives, pack and send, do the intra-process copies
+//! while messages fly, then a `waitany` loop unpacks faces as they
+//! arrive, and a final `waitall` drains the sends (§II-A, Algorithm 2).
+
+use crate::comm_plan::{CommPlan, MsgPlan};
+use crate::config::Config;
+use crate::exchange::{run_refinement, BlockingMover};
+use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer, unpack_transfer, RankState};
+use crate::stats::{RunStats, Stopwatch};
+use crate::trace::{Kind, Trace};
+use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
+use amr_mesh::block_id::Dir;
+use vmpi::{Comm, RequestSet};
+
+/// Runs the MPI-only variant on one rank.
+pub fn run(cfg: &Config, comm: Comm) -> RunStats {
+    let comm = std::sync::Arc::new(comm);
+    let mut state = RankState::init(cfg, comm.rank(), comm.size());
+    let mut stats = RunStats { rank: state.rank, ..Default::default() };
+    let trace = cfg.trace.then(Trace::new);
+    let gmax = cfg.var_group(0).len();
+
+    let mut prev_checksum: Option<Checkpoint> = None;
+    let mut mesh_epoch = 0u64;
+
+    let total_sw = Stopwatch::start();
+    // Initial refinement phase: the mesh was refined locally during init;
+    // load-balance it before the main loop starts (the block exchanges
+    // visible at the left of the paper's Fig. 1).
+    {
+        let sw = Stopwatch::start();
+        let mut mover = BlockingMover::default();
+        stats.blocks_moved += run_refinement(&mut state, &comm, &mut mover, &mut |state, jobs| {
+            jobs.iter().flat_map(|j| j.run(&state.cfg.params)).collect()
+        });
+        sw.stop(&mut stats.times.refine);
+    }
+    let mut plan = CommPlan::build(cfg, &state.dir, state.n_ranks);
+    let mut bufs = Buffers::alloc(&plan, state.rank, gmax, cfg.separate_buffers);
+    let mut stage_counter = 0usize;
+    for ts in 0..cfg.num_tsteps {
+        for _stage in 0..cfg.stages_per_ts {
+            stage_counter += 1;
+            for g in 0..cfg.num_groups() {
+                let vars = cfg.var_group(g);
+                let sw = Stopwatch::start();
+                communicate(&state, &comm, &plan, &bufs, vars.clone(), &mut stats, trace.as_ref());
+                sw.stop(&mut stats.times.communicate);
+
+                let sw = Stopwatch::start();
+                for block in state.blocks.values() {
+                    let t = trace.as_ref();
+                    let flops = match t {
+                        Some(tr) => tr.record(Kind::Stencil, || state.stencil_block(block, vars.clone())),
+                        None => state.stencil_block(block, vars.clone()),
+                    };
+                    stats.flops += flops;
+                }
+                sw.stop(&mut stats.times.stencil);
+            }
+            if stage_counter.is_multiple_of(cfg.checksum_freq) {
+                let sw = Stopwatch::start();
+                let local = state.local_checksum(0..cfg.params.num_vars);
+                let total = match trace.as_ref() {
+                    Some(tr) => tr.record(Kind::ChecksumRemote, || checksum_remote(&comm, &local)),
+                    None => checksum_remote(&comm, &local),
+                };
+                let cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
+                record_validation(&mut stats, &mut prev_checksum, total, cells, mesh_epoch, cfg.validate_tol);
+                sw.stop(&mut stats.times.checksum);
+            }
+        }
+        if (ts + 1) % cfg.refine_freq == 0 {
+            let sw = Stopwatch::start();
+            state.move_objects();
+            let mut mover = BlockingMover::default();
+            let moved = run_refinement(&mut state, &comm, &mut mover, &mut |state, jobs| {
+                jobs.iter().flat_map(|j| j.run(&state.cfg.params)).collect()
+            });
+            stats.blocks_moved += moved;
+            mesh_epoch += 1;
+            plan = CommPlan::build(cfg, &state.dir, state.n_ranks);
+            bufs = Buffers::alloc(&plan, state.rank, gmax, cfg.separate_buffers);
+            sw.stop(&mut stats.times.refine);
+        }
+    }
+    total_sw.stop(&mut stats.times.total);
+    stats.final_blocks = state.blocks.len();
+    stats.trace = trace;
+    stats
+}
+
+/// Algorithm 2: per-direction exchange with a waitany consume loop.
+fn communicate(
+    state: &RankState,
+    comm: &Comm,
+    plan: &CommPlan,
+    bufs: &Buffers,
+    vars: std::ops::Range<usize>,
+    stats: &mut RunStats,
+    trace: Option<&Trace>,
+) {
+    let g = vars.len();
+    for dir in Dir::ALL {
+        let d = dir.index();
+        // Post all receives for this direction.
+        let inbound: Vec<&MsgPlan> =
+            plan.inbound(state.rank).filter(|m| m.dir == dir).collect();
+        let mut reqs = Vec::with_capacity(inbound.len());
+        for m in &inbound {
+            let lo = m.recv_offset * g;
+            let hi = lo + m.elems_per_var * g;
+            let slice = bufs.recv[d].slice(lo..hi);
+            reqs.push(comm.irecv_into(slice, m.src_rank as i32, m.tag).expect("post recv"));
+        }
+
+        // Pack and send.
+        let mut send_reqs = Vec::new();
+        for m in plan.outbound(state.rank).filter(|m| m.dir == dir) {
+            for t in &m.transfers {
+                let payload = match trace {
+                    Some(tr) => tr.record(Kind::Pack, || {
+                        pack_transfer(&state.layout, state.block(&t.src_block), t, vars.clone())
+                    }),
+                    None => pack_transfer(&state.layout, state.block(&t.src_block), t, vars.clone()),
+                };
+                let lo = (m.send_offset + t.offset_in_msg) * g;
+                bufs.send[d].slice(lo..lo + payload.len()).write_from(&payload);
+            }
+            let lo = m.send_offset * g;
+            let hi = lo + m.elems_per_var * g;
+            let slice = bufs.send[d].slice(lo..hi);
+            send_reqs.push(comm.isend_from(&slice, m.dst_rank, m.tag).expect("send faces"));
+            stats.msgs_sent += 1;
+            stats.elems_sent += (m.elems_per_var * g) as u64;
+        }
+
+        // Intra-process copies and domain-boundary fills while messages
+        // are in flight.
+        for t in plan.locals.iter().filter(|t| t.dir == dir && t.src_rank == state.rank) {
+            let src = state.block(&t.src_block);
+            let dst = state.block(&t.dst_block);
+            match trace {
+                Some(tr) => tr.record(Kind::LocalCopy, || {
+                    apply_local_transfer(&state.layout, src, dst, t, vars.clone())
+                }),
+                None => apply_local_transfer(&state.layout, src, dst, t, vars.clone()),
+            }
+        }
+        for (block, bdir, side) in plan
+            .boundaries
+            .iter()
+            .filter(|(b, bd, _)| *bd == dir && state.dir.owner(b) == Some(state.rank))
+        {
+            apply_boundary(&state.layout, state.block(block), *bdir, *side, vars.clone());
+        }
+
+        // Waitany loop: unpack each message as it arrives.
+        let mut set = RequestSet::new(reqs);
+        loop {
+            let next = match trace {
+                Some(tr) => tr.record(Kind::Wait, || set.waitany()),
+                None => set.waitany(),
+            };
+            let Some((idx, _status)) = next else { break };
+            let m = inbound[idx];
+            for t in &m.transfers {
+                let lo = (m.recv_offset + t.offset_in_msg) * g;
+                let payload = bufs.recv[d].slice(lo..lo + t.elems_per_var * g).to_vec();
+                let dst = state.block(&t.dst_block);
+                match trace {
+                    Some(tr) => tr.record(Kind::Unpack, || {
+                        unpack_transfer(&state.layout, dst, t, vars.clone(), &payload)
+                    }),
+                    None => unpack_transfer(&state.layout, dst, t, vars.clone(), &payload),
+                }
+            }
+        }
+
+        // Wait for the sends before reusing the buffers for the next
+        // direction.
+        for r in send_reqs {
+            match trace {
+                Some(tr) => tr.record(Kind::Wait, || r.wait()),
+                None => r.wait(),
+            };
+        }
+    }
+}

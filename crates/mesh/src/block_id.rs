@@ -1,0 +1,359 @@
+//! Block identity and octree geometry.
+//!
+//! A block is identified by its refinement level and integer coordinates
+//! within the block grid of that level. All structural queries — parent,
+//! children, face neighbors at equal or adjacent levels, Morton keys for
+//! the space-filling-curve partitioner — are pure functions of the id.
+
+use crate::params::MeshParams;
+
+/// One of the three axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// X axis.
+    X = 0,
+    /// Y axis.
+    Y = 1,
+    /// Z axis.
+    Z = 2,
+}
+
+impl Dir {
+    /// All three directions in X, Y, Z order (the order miniAMR processes
+    /// them in `communicate`).
+    pub const ALL: [Dir; 3] = [Dir::X, Dir::Y, Dir::Z];
+
+    /// Index 0..3.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Low or high side of an axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// The −axis face.
+    Lo,
+    /// The +axis face.
+    Hi,
+}
+
+impl Side {
+    /// Both sides.
+    pub const BOTH: [Side; 2] = [Side::Lo, Side::Hi];
+
+    /// The opposite side.
+    #[inline]
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Lo => Side::Hi,
+            Side::Hi => Side::Lo,
+        }
+    }
+
+    /// 0 for `Lo`, 1 for `Hi`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Side::Lo => 0,
+            Side::Hi => 1,
+        }
+    }
+}
+
+/// Identity of a mesh block: refinement level plus integer coordinates in
+/// that level's block grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Refinement level (0 = coarsest).
+    pub level: u8,
+    /// X coordinate in the level's block grid.
+    pub x: u32,
+    /// Y coordinate.
+    pub y: u32,
+    /// Z coordinate.
+    pub z: u32,
+}
+
+impl BlockId {
+    /// Builds an id.
+    pub fn new(level: u8, x: u32, y: u32, z: u32) -> BlockId {
+        BlockId { level, x, y, z }
+    }
+
+    /// The parent block one level coarser; `None` at level 0.
+    pub fn parent(&self) -> Option<BlockId> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(BlockId { level: self.level - 1, x: self.x / 2, y: self.y / 2, z: self.z / 2 })
+        }
+    }
+
+    /// The eight children one level finer, in Z-major octant order
+    /// (dz, dy, dx nested loops — the order split/merge data operators
+    /// use).
+    pub fn children(&self) -> [BlockId; 8] {
+        let mut out = [*self; 8];
+        let mut i = 0;
+        for dz in 0..2u32 {
+            for dy in 0..2u32 {
+                for dx in 0..2u32 {
+                    out[i] = BlockId {
+                        level: self.level + 1,
+                        x: self.x * 2 + dx,
+                        y: self.y * 2 + dy,
+                        z: self.z * 2 + dz,
+                    };
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// This block's octant index (0..8) within its parent.
+    pub fn octant(&self) -> usize {
+        ((self.z % 2) * 4 + (self.y % 2) * 2 + (self.x % 2)) as usize
+    }
+
+    /// The same-level neighbor across `(dir, side)`, or `None` at the
+    /// domain boundary.
+    pub fn neighbor(&self, dir: Dir, side: Side, params: &MeshParams) -> Option<BlockId> {
+        let (bx, by, bz) = params.blocks_at_level(self.level);
+        let limit = [bx as u32, by as u32, bz as u32][dir.index()];
+        let coord = [self.x, self.y, self.z][dir.index()];
+        let new = match side {
+            Side::Lo => coord.checked_sub(1)?,
+            Side::Hi => {
+                let n = coord + 1;
+                if n >= limit {
+                    return None;
+                }
+                n
+            }
+        };
+        let mut id = *self;
+        match dir {
+            Dir::X => id.x = new,
+            Dir::Y => id.y = new,
+            Dir::Z => id.z = new,
+        }
+        Some(id)
+    }
+
+    /// The four same-level blocks forming the `(dir, side)` face of the
+    /// neighbor region one level finer — i.e. the potential finer
+    /// neighbors across that face. Returns `None` at the domain boundary.
+    ///
+    /// The four are ordered by the two transverse coordinates (minor axis
+    /// first), matching the quarter-face packing order of the transfer
+    /// operators.
+    pub fn finer_neighbors(&self, dir: Dir, side: Side, params: &MeshParams) -> Option<[BlockId; 4]> {
+        let same = self.neighbor(dir, side, params)?;
+        // Children of `same` touching the face that looks back at us.
+        let child_base = BlockId {
+            level: same.level + 1,
+            x: same.x * 2,
+            y: same.y * 2,
+            z: same.z * 2,
+        };
+        // Fixed coordinate along `dir`: the child layer adjacent to us.
+        let fixed = match side {
+            // Our Hi side ⇒ neighbor's Lo layer.
+            Side::Hi => 0,
+            Side::Lo => 1,
+        };
+        let (t1, t2) = transverse(dir);
+        let mut out = [child_base; 4];
+        let mut i = 0;
+        for c2 in 0..2u32 {
+            for c1 in 0..2u32 {
+                let mut id = child_base;
+                set_coord(&mut id, dir, coord(&child_base, dir) + fixed);
+                set_coord(&mut id, t1, coord(&child_base, t1) + c1);
+                set_coord(&mut id, t2, coord(&child_base, t2) + c2);
+                out[i] = id;
+                i += 1;
+            }
+        }
+        Some(out)
+    }
+
+    /// Which quarter (0..4) of the coarser neighbor's face this block
+    /// covers, ordered consistently with [`BlockId::finer_neighbors`].
+    pub fn quarter_of_coarse_face(&self, dir: Dir) -> usize {
+        let (t1, t2) = transverse(dir);
+        let c1 = coord(self, t1) % 2;
+        let c2 = coord(self, t2) % 2;
+        (c2 * 2 + c1) as usize
+    }
+
+    /// Spatial bounds `[lo, hi)` of the block in the unit cube.
+    pub fn bounds(&self, params: &MeshParams) -> ([f64; 3], [f64; 3]) {
+        let (ex, ey, ez) = params.block_extent(self.level);
+        let lo = [self.x as f64 * ex, self.y as f64 * ey, self.z as f64 * ez];
+        let hi = [lo[0] + ex, lo[1] + ey, lo[2] + ez];
+        (lo, hi)
+    }
+
+    /// Spatial center of the block.
+    pub fn center(&self, params: &MeshParams) -> [f64; 3] {
+        let (lo, hi) = self.bounds(params);
+        [(lo[0] + hi[0]) * 0.5, (lo[1] + hi[1]) * 0.5, (lo[2] + hi[2]) * 0.5]
+    }
+
+    /// Morton (Z-order) key at the finest coordinate resolution, with the
+    /// level appended as a tiebreak. Sorting active blocks by this key
+    /// yields the space-filling-curve order used by the load balancer.
+    pub fn morton_key(&self, params: &MeshParams) -> u128 {
+        let shift = params.num_refine - self.level;
+        let fx = (self.x as u64) << shift;
+        let fy = (self.y as u64) << shift;
+        let fz = (self.z as u64) << shift;
+        let interleaved = interleave3(fx) | (interleave3(fy) << 1) | (interleave3(fz) << 2);
+        (interleaved << 8) | self.level as u128
+    }
+}
+
+#[inline]
+fn coord(id: &BlockId, dir: Dir) -> u32 {
+    match dir {
+        Dir::X => id.x,
+        Dir::Y => id.y,
+        Dir::Z => id.z,
+    }
+}
+
+#[inline]
+fn set_coord(id: &mut BlockId, dir: Dir, v: u32) {
+    match dir {
+        Dir::X => id.x = v,
+        Dir::Y => id.y = v,
+        Dir::Z => id.z = v,
+    }
+}
+
+/// The two axes transverse to `dir`, in a fixed (minor, major) order.
+#[inline]
+pub(crate) fn transverse(dir: Dir) -> (Dir, Dir) {
+    match dir {
+        Dir::X => (Dir::Y, Dir::Z),
+        Dir::Y => (Dir::X, Dir::Z),
+        Dir::Z => (Dir::X, Dir::Y),
+    }
+}
+
+/// Spreads the low 21 bits of `v` so consecutive bits land 3 apart.
+fn interleave3(v: u64) -> u128 {
+    let mut out = 0u128;
+    for bit in 0..21 {
+        if v & (1 << bit) != 0 {
+            out |= 1u128 << (3 * bit);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MeshParams {
+        MeshParams::test_small()
+    }
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let b = BlockId::new(1, 3, 2, 1);
+        for c in b.children() {
+            assert_eq!(c.parent().unwrap(), b);
+            assert_eq!(c.level, 2);
+        }
+        assert!(BlockId::new(0, 0, 0, 0).parent().is_none());
+    }
+
+    #[test]
+    fn octant_indices_are_distinct() {
+        let b = BlockId::new(0, 0, 0, 0);
+        let octants: Vec<usize> = b.children().iter().map(|c| c.octant()).collect();
+        assert_eq!(octants, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn neighbors_respect_domain_boundary() {
+        let p = params();
+        let b = BlockId::new(0, 0, 0, 0);
+        assert!(b.neighbor(Dir::X, Side::Lo, &p).is_none());
+        assert_eq!(b.neighbor(Dir::X, Side::Hi, &p), Some(BlockId::new(0, 1, 0, 0)));
+        let edge = BlockId::new(0, 1, 1, 1);
+        assert!(edge.neighbor(Dir::X, Side::Hi, &p).is_none());
+        assert!(edge.neighbor(Dir::Z, Side::Lo, &p).is_some());
+    }
+
+    #[test]
+    fn finer_neighbors_touch_the_shared_face() {
+        let p = params();
+        let b = BlockId::new(0, 0, 0, 0);
+        let finer = b.finer_neighbors(Dir::X, Side::Hi, &p).unwrap();
+        for f in finer {
+            assert_eq!(f.level, 1);
+            // All four sit in the x=2 fine layer (the Lo face of block (0,1,0,0)).
+            assert_eq!(f.x, 2);
+            assert_eq!(f.parent().unwrap(), BlockId::new(0, 1, 0, 0));
+        }
+        // The four cover the 2×2 transverse combinations.
+        let mut yz: Vec<(u32, u32)> = finer.iter().map(|f| (f.y, f.z)).collect();
+        yz.sort_unstable();
+        assert_eq!(yz, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn quarter_index_matches_finer_neighbor_order() {
+        let p = params();
+        let b = BlockId::new(0, 0, 0, 0);
+        let finer = b.finer_neighbors(Dir::X, Side::Hi, &p).unwrap();
+        for (i, f) in finer.iter().enumerate() {
+            assert_eq!(f.quarter_of_coarse_face(Dir::X), i);
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_cube() {
+        let p = params();
+        let (lo, hi) = BlockId::new(0, 1, 1, 1).bounds(&p);
+        assert_eq!(lo, [0.5, 0.5, 0.5]);
+        assert_eq!(hi, [1.0, 1.0, 1.0]);
+        let (lo, hi) = BlockId::new(2, 7, 0, 0).bounds(&p);
+        assert!((lo[0] - 0.875).abs() < 1e-12);
+        assert!((hi[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn morton_orders_children_contiguously() {
+        let p = params();
+        let parent = BlockId::new(0, 1, 0, 0);
+        let sibling = BlockId::new(0, 0, 1, 0);
+        let pk = parent.morton_key(&p);
+        let sk = sibling.morton_key(&p);
+        // All children of `parent` sort between parent and any block whose
+        // key exceeds the parent's subtree range.
+        for c in parent.children() {
+            let ck = c.morton_key(&p);
+            if pk < sk {
+                assert!(ck < sk, "child escaped its parent's Morton range");
+            } else {
+                assert!(ck > sk);
+            }
+        }
+    }
+
+    #[test]
+    fn morton_keys_unique_across_levels() {
+        let p = params();
+        let a = BlockId::new(0, 0, 0, 0);
+        let child = BlockId::new(1, 0, 0, 0);
+        assert_ne!(a.morton_key(&p), child.morton_key(&p));
+    }
+}

@@ -1,0 +1,480 @@
+//! The replicated mesh directory and the refinement decision algorithm.
+//!
+//! Every rank holds an identical copy of the directory (active blocks +
+//! owners) and runs the identical, deterministic refinement decision, so
+//! no metadata communication is needed to agree on the new mesh — only
+//! block *data* moves (splits, merges, load balancing), exactly the
+//! expensive parts the paper taskifies in §IV-B.
+
+use crate::block_id::{BlockId, Dir, Side};
+use crate::object::Object;
+use crate::params::MeshParams;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What lies across a block face.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NeighborInfo {
+    /// The domain boundary.
+    Boundary,
+    /// One neighbor at the same refinement level.
+    Same(BlockId),
+    /// One neighbor one level coarser.
+    Coarser(BlockId),
+    /// Four neighbors one level finer, in quarter order.
+    Finer([BlockId; 4]),
+}
+
+/// The set of active blocks with their owning ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshDirectory {
+    params: MeshParams,
+    blocks: BTreeMap<BlockId, usize>,
+}
+
+/// One refinement step: which blocks split, which octets merge, and the
+/// resulting directory.
+#[derive(Debug, Clone, Default)]
+pub struct RefinePlan {
+    /// Blocks that split into their eight children (children keep the
+    /// parent's owner).
+    pub splits: Vec<BlockId>,
+    /// Octets that merge into their parent. The parent is owned by the
+    /// owner of the first child; data of the remaining children moves
+    /// there.
+    pub merges: Vec<BlockId>,
+}
+
+impl RefinePlan {
+    /// True when the step changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.splits.is_empty() && self.merges.is_empty()
+    }
+}
+
+impl MeshDirectory {
+    /// The initial (coarsest) mesh with miniAMR's brick-per-rank owner
+    /// layout.
+    pub fn initial(params: MeshParams) -> MeshDirectory {
+        params.validate().expect("invalid mesh parameters");
+        let (bx, by, bz) = params.root_blocks();
+        let mut blocks = BTreeMap::new();
+        for z in 0..bz {
+            for y in 0..by {
+                for x in 0..bx {
+                    blocks.insert(
+                        BlockId::new(0, x as u32, y as u32, z as u32),
+                        params.initial_owner(x, y, z),
+                    );
+                }
+            }
+        }
+        MeshDirectory { params, blocks }
+    }
+
+    /// The mesh parameters.
+    pub fn params(&self) -> &MeshParams {
+        &self.params
+    }
+
+    /// Number of active blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the mesh has no blocks (never the case after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Owner rank of a block, if active.
+    pub fn owner(&self, id: &BlockId) -> Option<usize> {
+        self.blocks.get(id).copied()
+    }
+
+    /// True when `id` is an active block.
+    pub fn contains(&self, id: &BlockId) -> bool {
+        self.blocks.contains_key(id)
+    }
+
+    /// Iterates `(block, owner)` in BlockId order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&BlockId, &usize)> {
+        self.blocks.iter()
+    }
+
+    /// The blocks owned by `rank`, in BlockId order.
+    pub fn blocks_of(&self, rank: usize) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter_map(|(id, &o)| (o == rank).then_some(*id))
+            .collect()
+    }
+
+    /// Per-rank block counts (`ranks` entries).
+    pub fn counts_per_rank(&self, ranks: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; ranks];
+        for &o in self.blocks.values() {
+            counts[o] += 1;
+        }
+        counts
+    }
+
+    /// Reassigns a block's owner (load balancing).
+    pub fn set_owner(&mut self, id: BlockId, owner: usize) {
+        let slot = self.blocks.get_mut(&id).expect("set_owner on inactive block");
+        *slot = owner;
+    }
+
+    /// Resolves what lies across a face, or `None` if the mesh structure
+    /// is inconsistent there (a 2:1 invariant violation).
+    pub fn try_neighbor_info(&self, id: &BlockId, dir: Dir, side: Side) -> Option<NeighborInfo> {
+        let Some(same) = id.neighbor(dir, side, &self.params) else {
+            return Some(NeighborInfo::Boundary);
+        };
+        if self.blocks.contains_key(&same) {
+            return Some(NeighborInfo::Same(same));
+        }
+        if let Some(parent) = same.parent() {
+            if self.blocks.contains_key(&parent) {
+                return Some(NeighborInfo::Coarser(parent));
+            }
+        }
+        if let Some(finer) = id.finer_neighbors(dir, side, &self.params) {
+            if finer.iter().all(|f| self.blocks.contains_key(f)) {
+                return Some(NeighborInfo::Finer(finer));
+            }
+        }
+        None
+    }
+
+    /// Resolves what lies across a face.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mesh inconsistency (2:1 violation) — that indicates a
+    /// bug in the refinement planner.
+    pub fn neighbor_info(&self, id: &BlockId, dir: Dir, side: Side) -> NeighborInfo {
+        self.try_neighbor_info(id, dir, side).unwrap_or_else(|| {
+            panic!("mesh inconsistency: no neighbor across {dir:?}/{side:?} of {id:?}")
+        })
+    }
+
+    /// Verifies the 2:1 face balance for the whole mesh. Returns the
+    /// offending block on failure.
+    pub fn check_balance(&self) -> Result<(), BlockId> {
+        for id in self.blocks.keys() {
+            for dir in Dir::ALL {
+                for side in Side::BOTH {
+                    if self.try_neighbor_info(id, dir, side).is_none() {
+                        return Err(*id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes one refinement step (±1 level per block) from the current
+    /// object positions: object-intersecting blocks refine, object-free
+    /// octets coarsen, and the 2:1 constraint is enforced by propagation.
+    pub fn plan_refinement(&self, objects: &[Object]) -> RefinePlan {
+        // Desired post-step level per block.
+        let mut desired: BTreeMap<BlockId, u8> = BTreeMap::new();
+        for id in self.blocks.keys() {
+            let wants_refine = objects.iter().any(|o| o.drives_refinement(id, &self.params));
+            let level = if wants_refine {
+                (id.level + 1).min(self.params.num_refine)
+            } else if id.level > 0 {
+                id.level - 1
+            } else {
+                0
+            };
+            desired.insert(*id, level);
+        }
+
+        // Fixpoint over two interacting rules, both of which only *raise*
+        // desired levels (so the loop terminates):
+        //
+        // 1. **2:1 propagation** — a block's resulting level may exceed a
+        //    face neighbor's by at most one.
+        // 2. **merge coherence** — coarsening requires the whole octet: a
+        //    block desiring `level-1` whose siblings are not all active
+        //    and coarsen-willing reverts to its current level.
+        //
+        // Rule 2 must run *inside* the fixpoint: a canceled merge raises
+        // the block back to its current level, which can invalidate 2:1
+        // constraints that were satisfied against the merged level.
+        loop {
+            let mut changed = false;
+            for id in self.blocks.keys() {
+                let my_level = desired[id];
+                if my_level <= 1 {
+                    continue;
+                }
+                for dir in Dir::ALL {
+                    for side in Side::BOTH {
+                        let neighbors: Vec<BlockId> = match self.neighbor_info(id, dir, side) {
+                            NeighborInfo::Boundary => continue,
+                            NeighborInfo::Same(n) => vec![n],
+                            NeighborInfo::Coarser(n) => vec![n],
+                            NeighborInfo::Finer(ns) => ns.to_vec(),
+                        };
+                        for n in neighbors {
+                            let nd = desired.get_mut(&n).expect("neighbor is active");
+                            if my_level > *nd + 1 {
+                                *nd = my_level - 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Merge coherence: cancel coarsening of incoherent octets.
+            let mut cancels: Vec<BlockId> = Vec::new();
+            for (id, &lvl) in desired.iter() {
+                if lvl >= id.level {
+                    continue;
+                }
+                let parent = id.parent().expect("level > 0 since it wants to coarsen");
+                let ok = parent.children().iter().all(|c| {
+                    self.blocks.contains_key(c) && desired.get(c) == Some(&parent.level)
+                });
+                if !ok {
+                    cancels.push(*id);
+                }
+            }
+            for id in cancels {
+                desired.insert(id, id.level);
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Splits: desire one level above current.
+        let mut splits = Vec::new();
+        for (id, &lvl) in desired.iter() {
+            debug_assert!(
+                lvl <= id.level + 1 && lvl + 1 >= id.level,
+                "desired level moved more than one step"
+            );
+            if lvl > id.level {
+                splits.push(*id);
+            }
+        }
+
+        // Merges: all eight children of a parent are active and desire the
+        // parent's level.
+        let mut merges = Vec::new();
+        let mut seen_parents = BTreeSet::new();
+        for (id, &lvl) in desired.iter() {
+            if lvl >= id.level {
+                continue;
+            }
+            let parent = id.parent().expect("level > 0 since it wants to coarsen");
+            if !seen_parents.insert(parent) {
+                continue;
+            }
+            let ok = parent.children().iter().all(|c| {
+                self.blocks.contains_key(c) && desired.get(c) == Some(&(parent.level))
+            });
+            if ok {
+                merges.push(parent);
+            }
+        }
+
+        RefinePlan { splits, merges }
+    }
+
+    /// Applies a refinement plan, producing the updated directory.
+    pub fn apply_plan(&mut self, plan: &RefinePlan) {
+        for parent in &plan.merges {
+            let children = parent.children();
+            let owner = self.blocks[&children[0]];
+            for c in &children {
+                self.blocks.remove(c).expect("merged child was active");
+            }
+            self.blocks.insert(*parent, owner);
+        }
+        for id in &plan.splits {
+            let owner = self.blocks.remove(id).expect("split block was active");
+            for c in id.children() {
+                self.blocks.insert(c, owner);
+            }
+        }
+        debug_assert!(self.check_balance().is_ok(), "plan produced an unbalanced mesh");
+    }
+
+    /// Runs refinement steps until the mesh no longer changes (used for
+    /// the initial refinement before the main loop), bounded by
+    /// `num_refine` steps.
+    pub fn refine_to_fixpoint(&mut self, objects: &[Object]) -> usize {
+        let mut steps = 0;
+        for _ in 0..=self.params.num_refine {
+            let plan = self.plan_refinement(objects);
+            if plan.is_empty() {
+                break;
+            }
+            self.apply_plan(&plan);
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Total cells across active blocks (each block has the same count;
+    /// convenience for workload accounting).
+    pub fn total_cells(&self) -> usize {
+        self.len() * self.params.cells_per_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir2() -> MeshDirectory {
+        MeshDirectory::initial(MeshParams::test_small())
+    }
+
+    #[test]
+    fn initial_mesh_is_root_grid() {
+        let d = dir2();
+        assert_eq!(d.len(), 8);
+        assert!(d.check_balance().is_ok());
+        assert_eq!(d.owner(&BlockId::new(0, 0, 0, 0)), Some(0));
+    }
+
+    #[test]
+    fn neighbor_info_same_level() {
+        let d = dir2();
+        let b = BlockId::new(0, 0, 0, 0);
+        assert_eq!(d.neighbor_info(&b, Dir::X, Side::Lo), NeighborInfo::Boundary);
+        assert_eq!(
+            d.neighbor_info(&b, Dir::X, Side::Hi),
+            NeighborInfo::Same(BlockId::new(0, 1, 0, 0))
+        );
+    }
+
+    #[test]
+    fn refinement_splits_boundary_blocks() {
+        let mut d = dir2();
+        let sphere = Object::sphere([0.5, 0.5, 0.5], 0.3, [0.0; 3]);
+        let plan = d.plan_refinement(&[sphere]);
+        assert!(!plan.splits.is_empty());
+        assert!(plan.merges.is_empty(), "nothing to coarsen at level 0");
+        let before = d.len();
+        d.apply_plan(&plan);
+        // Each split adds 7 net blocks.
+        assert_eq!(d.len(), before + 7 * plan.splits.len());
+        assert!(d.check_balance().is_ok());
+    }
+
+    #[test]
+    fn finer_neighbors_resolved_after_split() {
+        let mut d = dir2();
+        // Split exactly one corner block.
+        let target = BlockId::new(0, 0, 0, 0);
+        let plan = RefinePlan { splits: vec![target], merges: vec![] };
+        d.apply_plan(&plan);
+        let right = BlockId::new(0, 1, 0, 0);
+        match d.neighbor_info(&right, Dir::X, Side::Lo) {
+            NeighborInfo::Finer(f) => {
+                for b in f {
+                    assert_eq!(b.level, 1);
+                    assert_eq!(b.x, 1);
+                }
+            }
+            other => panic!("expected finer neighbors, got {other:?}"),
+        }
+        // And the fine block sees the coarse one.
+        let fine = BlockId::new(1, 1, 0, 0);
+        assert_eq!(d.neighbor_info(&fine, Dir::X, Side::Hi), NeighborInfo::Coarser(right));
+    }
+
+    #[test]
+    fn object_leaving_region_coarsens_it_back() {
+        let mut d = dir2();
+        let mut sphere = Object::sphere([0.25, 0.25, 0.25], 0.15, [0.5, 0.5, 0.5]);
+        d.refine_to_fixpoint(&[sphere.clone()]);
+        let refined = d.len();
+        assert!(refined > 8);
+        // Move the object away and re-plan: the old region coarsens.
+        sphere.step(); // center now (0.75, 0.75, 0.75)
+        let mut last = d.len();
+        for _ in 0..4 {
+            let plan = d.plan_refinement(&[sphere.clone()]);
+            d.apply_plan(&plan);
+            last = d.len();
+        }
+        assert!(d.check_balance().is_ok());
+        // Still refined (object still in the mesh) but around the new
+        // position; old corner went back toward level 0.
+        let corner_children = BlockId::new(0, 0, 0, 0).children();
+        let active_fine = corner_children.iter().filter(|c| d.contains(c)).count();
+        assert_eq!(active_fine, 0, "old corner did not coarsen, {last} blocks");
+    }
+
+    #[test]
+    fn two_to_one_propagation_forces_intermediate_levels() {
+        let p = MeshParams {
+            num_refine: 3,
+            ..MeshParams::test_small()
+        };
+        let mut d = MeshDirectory::initial(p);
+        // A tiny object in one corner, refined to the maximum level.
+        let tiny = Object::sphere([0.06, 0.06, 0.06], 0.04, [0.0; 3]);
+        d.refine_to_fixpoint(&[tiny]);
+        assert!(d.check_balance().is_ok());
+        // There must be blocks at intermediate levels forming the graded
+        // transition.
+        let mut levels: Vec<u8> = d.iter().map(|(b, _)| b.level).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.contains(&3), "max level not reached: {levels:?}");
+        assert!(levels.contains(&2) && levels.contains(&1), "no graded transition: {levels:?}");
+    }
+
+    #[test]
+    fn merges_keep_first_childs_owner() {
+        let mut d = dir2();
+        let target = BlockId::new(0, 1, 1, 1); // owned by rank 0 (single-rank mesh)
+        d.apply_plan(&RefinePlan { splits: vec![target], merges: vec![] });
+        // Reassign one child to a fictitious rank then merge back.
+        let children = target.children();
+        d.set_owner(children[0], 5);
+        d.apply_plan(&RefinePlan { splits: vec![], merges: vec![target] });
+        assert_eq!(d.owner(&target), Some(5));
+        assert_eq!(d.len(), 8);
+    }
+
+    #[test]
+    fn counts_per_rank_sum_to_len() {
+        let p = MeshParams {
+            npx: 2,
+            npy: 1,
+            npz: 1,
+            init_x: 1,
+            init_y: 2,
+            init_z: 2,
+            ..MeshParams::test_small()
+        };
+        let d = MeshDirectory::initial(p);
+        let counts = d.counts_per_rank(2);
+        assert_eq!(counts.iter().sum::<usize>(), d.len());
+        assert_eq!(counts, vec![4, 4]);
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let mk = || {
+            let mut d = dir2();
+            let sphere = Object::sphere([0.4, 0.6, 0.3], 0.25, [0.0; 3]);
+            d.refine_to_fixpoint(&[sphere]);
+            d
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+    }
+}

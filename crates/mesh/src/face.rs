@@ -1,0 +1,350 @@
+//! Face transfer operators: the data plumbing of the `communicate` phase.
+//!
+//! Ghost exchange between neighboring blocks comes in three flavors,
+//! matching miniAMR:
+//!
+//! * **same level** — copy the neighbor's boundary face plane into the
+//!   ghost plane;
+//! * **fine → coarse** — the fine block's full face is *restricted*
+//!   (2×2 average) on the sender side and lands in one quarter of the
+//!   coarse block's ghost plane;
+//! * **coarse → fine** — the coarse block extracts the face *quarter*
+//!   facing the fine neighbor; the receiver *prolongates* it (2×
+//!   duplication) over its full ghost plane.
+//!
+//! All faces are packed variable-major, then by the major transverse
+//! axis, then the minor one — the same canonical order everywhere, so a
+//! packed face is exactly what `inject` expects.
+
+use crate::block_id::{transverse, Dir, Side};
+use crate::data::{BlockData, BlockLayout};
+use std::ops::Range;
+
+/// Transverse face dimensions `(n1, n2)` for a direction (minor, major).
+pub fn face_dims(layout: &BlockLayout, dir: Dir) -> (usize, usize) {
+    let n = [layout.nx, layout.ny, layout.nz];
+    let (t1, t2) = transverse(dir);
+    (n[t1.index()], n[t2.index()])
+}
+
+// For Dir::Z the plane coordinates are (x, y): c1 = x, c2 = y, fixed = z.
+// The match above folds X and Z because idx argument order differs; keep a
+// dedicated helper to stay explicit:
+#[inline]
+fn cell_index(layout: &BlockLayout, dir: Dir, v: usize, fixed: usize, c1: usize, c2: usize) -> usize {
+    match dir {
+        // (c1, c2) = (y, z)
+        Dir::X => layout.idx(v, c2, c1, fixed),
+        // (c1, c2) = (x, z)
+        Dir::Y => layout.idx(v, c2, fixed, c1),
+        // (c1, c2) = (x, y)
+        Dir::Z => layout.idx(v, fixed, c2, c1),
+    }
+}
+
+/// Extracts the interior boundary plane on `side` into a packed face.
+pub fn extract_face(block: &BlockData, layout: &BlockLayout, dir: Dir, side: Side, vars: Range<usize>) -> Vec<f64> {
+    let (n1, n2) = face_dims(layout, dir);
+    let n = [layout.nx, layout.ny, layout.nz][dir.index()];
+    let fixed = match side {
+        Side::Lo => 1,
+        Side::Hi => n,
+    };
+    let mut out = Vec::with_capacity(vars.len() * n1 * n2);
+    let vstart = vars.start;
+    let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
+    slab.with_read(|data| {
+        for v in vars {
+            for c2 in 1..=n2 {
+                for c1 in 1..=n1 {
+                    out.push(data[cell_index(layout, dir, v - vstart, fixed, c1, c2)]);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Writes a packed face into the ghost plane on `side`.
+pub fn inject_ghost_face(block: &BlockData, layout: &BlockLayout, dir: Dir, side: Side, vars: Range<usize>, face: &[f64]) {
+    let (n1, n2) = face_dims(layout, dir);
+    assert_eq!(face.len(), vars.len() * n1 * n2, "face size mismatch");
+    let n = [layout.nx, layout.ny, layout.nz][dir.index()];
+    let fixed = match side {
+        Side::Lo => 0,
+        Side::Hi => n + 1,
+    };
+    let mut i = 0;
+    let vstart = vars.start;
+    let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
+    slab.with_write(|data| {
+        for v in vars {
+            for c2 in 1..=n2 {
+                for c1 in 1..=n1 {
+                    data[cell_index(layout, dir, v - vstart, fixed, c1, c2)] = face[i];
+                    i += 1;
+                }
+            }
+        }
+    });
+}
+
+/// Restricts a packed fine face (`n1 × n2` per variable) to coarse
+/// resolution (`n1/2 × n2/2`) by averaging 2×2 cell groups — the
+/// sender-side operator of a fine→coarse exchange.
+pub fn restrict_face(face: &[f64], n1: usize, n2: usize, nvars: usize) -> Vec<f64> {
+    assert_eq!(face.len(), nvars * n1 * n2);
+    let h1 = n1 / 2;
+    let h2 = n2 / 2;
+    let mut out = Vec::with_capacity(nvars * h1 * h2);
+    for v in 0..nvars {
+        let base = v * n1 * n2;
+        for c2 in 0..h2 {
+            for c1 in 0..h1 {
+                let i00 = base + (2 * c2) * n1 + 2 * c1;
+                let i01 = i00 + 1;
+                let i10 = base + (2 * c2 + 1) * n1 + 2 * c1;
+                let i11 = i10 + 1;
+                out.push((face[i00] + face[i01] + face[i10] + face[i11]) * 0.25);
+            }
+        }
+    }
+    out
+}
+
+/// Prolongates a packed quarter face (`n1/2 × n2/2` per variable) to fine
+/// resolution (`n1 × n2`) by 2× duplication — the receiver-side operator
+/// of a coarse→fine exchange.
+pub fn prolong_face(quarter: &[f64], n1: usize, n2: usize, nvars: usize) -> Vec<f64> {
+    let h1 = n1 / 2;
+    let h2 = n2 / 2;
+    assert_eq!(quarter.len(), nvars * h1 * h2);
+    let mut out = vec![0.0; nvars * n1 * n2];
+    for v in 0..nvars {
+        let qbase = v * h1 * h2;
+        let obase = v * n1 * n2;
+        for c2 in 0..n2 {
+            for c1 in 0..n1 {
+                out[obase + c2 * n1 + c1] = quarter[qbase + (c2 / 2) * h1 + c1 / 2];
+            }
+        }
+    }
+    out
+}
+
+/// Extracts one quarter (`0..4`, minor-axis-first order matching
+/// [`crate::block_id::BlockId::quarter_of_coarse_face`]) of the interior
+/// boundary plane — what a coarse block sends to one fine neighbor.
+pub fn extract_face_quarter(
+    block: &BlockData,
+    layout: &BlockLayout,
+    dir: Dir,
+    side: Side,
+    quarter: usize,
+    vars: Range<usize>,
+) -> Vec<f64> {
+    let (n1, n2) = face_dims(layout, dir);
+    let h1 = n1 / 2;
+    let h2 = n2 / 2;
+    let o1 = (quarter % 2) * h1;
+    let o2 = (quarter / 2) * h2;
+    let n = [layout.nx, layout.ny, layout.nz][dir.index()];
+    let fixed = match side {
+        Side::Lo => 1,
+        Side::Hi => n,
+    };
+    let mut out = Vec::with_capacity(vars.len() * h1 * h2);
+    let vstart = vars.start;
+    let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
+    slab.with_read(|data| {
+        for v in vars {
+            for c2 in 1..=h2 {
+                for c1 in 1..=h1 {
+                    out.push(data[cell_index(layout, dir, v - vstart, fixed, o1 + c1, o2 + c2)]);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Writes a coarse-resolution face (`n1/2 × n2/2` per variable) into one
+/// quarter of the ghost plane — what a coarse block does with a restricted
+/// face received from a fine neighbor.
+pub fn inject_ghost_quarter(
+    block: &BlockData,
+    layout: &BlockLayout,
+    dir: Dir,
+    side: Side,
+    quarter: usize,
+    vars: Range<usize>,
+    face: &[f64],
+) {
+    let (n1, n2) = face_dims(layout, dir);
+    let h1 = n1 / 2;
+    let h2 = n2 / 2;
+    assert_eq!(face.len(), vars.len() * h1 * h2, "quarter face size mismatch");
+    let o1 = (quarter % 2) * h1;
+    let o2 = (quarter / 2) * h2;
+    let n = [layout.nx, layout.ny, layout.nz][dir.index()];
+    let fixed = match side {
+        Side::Lo => 0,
+        Side::Hi => n + 1,
+    };
+    let mut i = 0;
+    let vstart = vars.start;
+    let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
+    slab.with_write(|data| {
+        for v in vars {
+            for c2 in 1..=h2 {
+                for c1 in 1..=h1 {
+                    data[cell_index(layout, dir, v - vstart, fixed, o1 + c1, o2 + c2)] = face[i];
+                    i += 1;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_id::BlockId;
+    use crate::params::MeshParams;
+
+    fn setup() -> (MeshParams, BlockLayout) {
+        let p = MeshParams::test_small();
+        let l = BlockLayout::of(&p);
+        (p, l)
+    }
+
+    #[test]
+    fn same_level_exchange_fills_ghosts() {
+        let (p, l) = setup();
+        let a = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+        let b = BlockData::initialized(BlockId::new(0, 1, 0, 0), &p);
+        // a's Hi-X face goes into b's Lo-X ghosts.
+        let face = extract_face(&a, &l, Dir::X, Side::Hi, 0..p.num_vars);
+        inject_ghost_face(&b, &l, Dir::X, Side::Lo, 0..p.num_vars, &face);
+        b.buf.full().with_read(|data| {
+            a.buf.full().with_read(|adata| {
+                for v in 0..p.num_vars {
+                    for z in 1..=l.nz {
+                        for y in 1..=l.ny {
+                            assert_eq!(
+                                data[l.idx(v, z, y, 0)],
+                                adata[l.idx(v, z, y, l.nx)],
+                                "ghost does not match neighbor face"
+                            );
+                        }
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn all_directions_roundtrip() {
+        let (p, l) = setup();
+        for dir in Dir::ALL {
+            let a = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+            let b = BlockData::empty(BlockId::new(0, 0, 0, 0), &p);
+            let face = extract_face(&a, &l, dir, Side::Hi, 0..1);
+            let (n1, n2) = face_dims(&l, dir);
+            assert_eq!(face.len(), n1 * n2);
+            inject_ghost_face(&b, &l, dir, Side::Lo, 0..1, &face);
+            // The injected ghost plane must reproduce the packed face.
+            let mut got = Vec::new();
+            b.buf.full().with_read(|data| {
+                for c2 in 1..=n2 {
+                    for c1 in 1..=n1 {
+                        got.push(data[cell_index(&l, dir, 0, 0, c1, c2)]);
+                    }
+                }
+            });
+            assert_eq!(got, face, "direction {dir:?} roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn restriction_averages_quads() {
+        let face = vec![
+            1.0, 2.0, 3.0, 4.0, //
+            5.0, 6.0, 7.0, 8.0, //
+            1.0, 1.0, 2.0, 2.0, //
+            1.0, 1.0, 2.0, 2.0,
+        ];
+        let r = restrict_face(&face, 4, 4, 1);
+        assert_eq!(r, vec![(1.0 + 2.0 + 5.0 + 6.0) / 4.0, (3.0 + 4.0 + 7.0 + 8.0) / 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn prolongation_duplicates() {
+        let quarter = vec![1.0, 2.0, 3.0, 4.0]; // 2×2
+        let p = prolong_face(&quarter, 4, 4, 1);
+        assert_eq!(
+            p,
+            vec![
+                1.0, 1.0, 2.0, 2.0, //
+                1.0, 1.0, 2.0, 2.0, //
+                3.0, 3.0, 4.0, 4.0, //
+                3.0, 3.0, 4.0, 4.0,
+            ]
+        );
+    }
+
+    #[test]
+    fn restrict_then_prolong_preserves_mean() {
+        let (_, l) = setup();
+        let (n1, n2) = face_dims(&l, Dir::Y);
+        let face: Vec<f64> = (0..n1 * n2).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+        let r = restrict_face(&face, n1, n2, 1);
+        let back = prolong_face(&r, n1, n2, 1);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean(&face) - mean(&back)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarter_extract_covers_face_exactly() {
+        let (p, l) = setup();
+        let a = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+        let full = extract_face(&a, &l, Dir::Z, Side::Hi, 0..1);
+        let (n1, n2) = face_dims(&l, Dir::Z);
+        let mut reassembled = vec![0.0; n1 * n2];
+        for q in 0..4 {
+            let quarter = extract_face_quarter(&a, &l, Dir::Z, Side::Hi, q, 0..1);
+            let o1 = (q % 2) * n1 / 2;
+            let o2 = (q / 2) * n2 / 2;
+            for c2 in 0..n2 / 2 {
+                for c1 in 0..n1 / 2 {
+                    reassembled[(o2 + c2) * n1 + o1 + c1] = quarter[c2 * (n1 / 2) + c1];
+                }
+            }
+        }
+        assert_eq!(reassembled, full);
+    }
+
+    #[test]
+    fn fine_to_coarse_quarter_injection() {
+        let (p, l) = setup();
+        let coarse = BlockData::empty(BlockId::new(0, 0, 0, 0), &p);
+        let (n1, n2) = face_dims(&l, Dir::X);
+        // Fine neighbor's restricted face: all sevens.
+        let restricted = vec![7.0; (n1 / 2) * (n2 / 2)];
+        inject_ghost_quarter(&coarse, &l, Dir::X, Side::Hi, 3, 0..1, &restricted);
+        // Quarter 3 occupies the high halves of both transverse axes.
+        coarse.buf.full().with_read(|data| {
+            let mut sevens = 0;
+            for z in 1..=l.nz {
+                for y in 1..=l.ny {
+                    let v = data[l.idx(0, z, y, l.nx + 1)];
+                    if v == 7.0 {
+                        sevens += 1;
+                        assert!(y > l.ny / 2 && z > l.nz / 2, "value landed in wrong quarter");
+                    }
+                }
+            }
+            assert_eq!(sevens, (n1 / 2) * (n2 / 2));
+        });
+    }
+}

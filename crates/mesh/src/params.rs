@@ -1,0 +1,185 @@
+//! Mesh configuration parameters (the miniAMR command-line surface).
+
+/// Static parameters of a miniAMR-style mesh.
+///
+/// The physical domain is the unit cube. The coarsest level divides it
+/// into `npx*init_x × npy*init_y × npz*init_z` blocks of
+/// `nx × ny × nz` cells, each cell holding `num_vars` variables. Blocks
+/// refine at most `num_refine` times; every refinement halves the block's
+/// spatial extent in each dimension while keeping the cell count, so the
+/// finest blocks resolve `2^num_refine` times finer detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshParams {
+    /// Ranks in X (`--npx`).
+    pub npx: usize,
+    /// Ranks in Y (`--npy`).
+    pub npy: usize,
+    /// Ranks in Z (`--npz`).
+    pub npz: usize,
+    /// Initial blocks per rank in X (`--init_x`).
+    pub init_x: usize,
+    /// Initial blocks per rank in Y (`--init_y`).
+    pub init_y: usize,
+    /// Initial blocks per rank in Z (`--init_z`).
+    pub init_z: usize,
+    /// Cells per block in X (`--nx`); must be even for restriction.
+    pub nx: usize,
+    /// Cells per block in Y (`--ny`); must be even.
+    pub ny: usize,
+    /// Cells per block in Z (`--nz`); must be even.
+    pub nz: usize,
+    /// Variables per cell (`--num_vars`).
+    pub num_vars: usize,
+    /// Maximum refinement level (`--num_refine`).
+    pub num_refine: u8,
+    /// Maximum levels a block may change per refinement stage
+    /// (`--block_change`; the paper's weak-scaling runs use 1).
+    pub block_change: u8,
+}
+
+impl MeshParams {
+    /// A small configuration for tests: one rank, 2×2×2 blocks of 4³
+    /// cells, 2 variables, up to 2 refinement levels.
+    pub fn test_small() -> MeshParams {
+        MeshParams {
+            npx: 1,
+            npy: 1,
+            npz: 1,
+            init_x: 2,
+            init_y: 2,
+            init_z: 2,
+            nx: 4,
+            ny: 4,
+            nz: 4,
+            num_vars: 2,
+            num_refine: 2,
+            block_change: 1,
+        }
+    }
+
+    /// Validates invariants (even cell counts, non-zero sizes, level
+    /// bounds) and returns a descriptive error otherwise.
+    pub fn validate(&self) -> Result<(), String> {
+        let dims = [self.nx, self.ny, self.nz];
+        if dims.iter().any(|&d| d == 0 || d % 2 != 0) {
+            return Err(format!("block cell counts must be even and non-zero, got {dims:?}"));
+        }
+        if self.num_vars == 0 {
+            return Err("num_vars must be at least 1".into());
+        }
+        let roots = [
+            self.npx * self.init_x,
+            self.npy * self.init_y,
+            self.npz * self.init_z,
+        ];
+        if roots.contains(&0) {
+            return Err("initial block grid must be non-empty in every dimension".into());
+        }
+        // BlockId packs per-dimension coordinates in 20 bits.
+        for (i, &r) in roots.iter().enumerate() {
+            let finest = r << self.num_refine;
+            if finest > (1 << 20) {
+                return Err(format!(
+                    "dimension {i}: {r} root blocks at {} refinement levels exceeds the 2^20 coordinate space",
+                    self.num_refine
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of ranks the mesh is laid out for.
+    pub fn num_ranks(&self) -> usize {
+        self.npx * self.npy * self.npz
+    }
+
+    /// Root-level block grid dimensions `(X, Y, Z)`.
+    pub fn root_blocks(&self) -> (usize, usize, usize) {
+        (self.npx * self.init_x, self.npy * self.init_y, self.npz * self.init_z)
+    }
+
+    /// Block grid dimensions at refinement `level`.
+    pub fn blocks_at_level(&self, level: u8) -> (usize, usize, usize) {
+        let (x, y, z) = self.root_blocks();
+        (x << level, y << level, z << level)
+    }
+
+    /// Cells in one block (without ghosts).
+    pub fn cells_per_block(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Elements (cells × variables, with a 1-cell ghost halo) stored per
+    /// block.
+    pub fn elems_per_block(&self) -> usize {
+        (self.nx + 2) * (self.ny + 2) * (self.nz + 2) * self.num_vars
+    }
+
+    /// Spatial edge lengths of a block at `level`.
+    pub fn block_extent(&self, level: u8) -> (f64, f64, f64) {
+        let (bx, by, bz) = self.blocks_at_level(level);
+        (1.0 / bx as f64, 1.0 / by as f64, 1.0 / bz as f64)
+    }
+
+    /// Initial owner of root block `(x, y, z)`: miniAMR assigns each rank
+    /// the `init_x × init_y × init_z` brick of root blocks matching its
+    /// position in the `npx × npy × npz` rank grid.
+    pub fn initial_owner(&self, x: usize, y: usize, z: usize) -> usize {
+        let rx = x / self.init_x;
+        let ry = y / self.init_y;
+        let rz = z / self.init_z;
+        (rz * self.npy + ry) * self.npx + rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_odd_cells() {
+        let mut p = MeshParams::test_small();
+        assert!(p.validate().is_ok());
+        p.nx = 5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_coordinate_overflow() {
+        let mut p = MeshParams::test_small();
+        p.num_refine = 30;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn level_scaling() {
+        let p = MeshParams::test_small();
+        assert_eq!(p.root_blocks(), (2, 2, 2));
+        assert_eq!(p.blocks_at_level(2), (8, 8, 8));
+        let (ex, ey, ez) = p.block_extent(1);
+        assert_eq!((ex, ey, ez), (0.25, 0.25, 0.25));
+    }
+
+    #[test]
+    fn initial_owner_matches_rank_grid() {
+        let p = MeshParams {
+            npx: 2,
+            npy: 2,
+            npz: 1,
+            init_x: 3,
+            init_y: 3,
+            init_z: 3,
+            ..MeshParams::test_small()
+        };
+        assert_eq!(p.initial_owner(0, 0, 0), 0);
+        assert_eq!(p.initial_owner(3, 0, 0), 1);
+        assert_eq!(p.initial_owner(0, 3, 0), 2);
+        assert_eq!(p.initial_owner(5, 5, 2), 3);
+    }
+
+    #[test]
+    fn elems_include_ghosts_and_vars() {
+        let p = MeshParams::test_small();
+        assert_eq!(p.elems_per_block(), 6 * 6 * 6 * 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! Shared communication buffers with dynamic race detection.
+//!
+//! miniAMR packs block faces into large contiguous communication buffers;
+//! in the data-flow variant, *disjoint sections* of one buffer are written
+//! and read concurrently by pack/send/receive/unpack tasks whose ordering
+//! is guaranteed by task dependencies — not by the type system. A
+//! [`SharedBuffer`] reproduces that model safely-in-practice: interior
+//! mutability plus an always-on interval-claim checker that panics on any
+//! genuinely overlapping concurrent access, turning a dependency-annotation
+//! bug into an immediate, diagnosable failure instead of silent corruption.
+
+use crate::pod::Pod;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Claim {
+    start: usize,
+    end: usize,
+    write: bool,
+    id: u64,
+}
+
+struct ClaimTable {
+    active: Mutex<Vec<Claim>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl ClaimTable {
+    fn acquire(&self, start: usize, end: usize, write: bool) -> u64 {
+        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut active = self.active.lock();
+        for c in active.iter() {
+            let overlaps = c.start < end && start < c.end;
+            if overlaps && (write || c.write) {
+                panic!(
+                    "SharedBuffer race: {} access to [{start}, {end}) overlaps active {} \
+                     access to [{}, {}) — missing task dependency",
+                    if write { "write" } else { "read" },
+                    if c.write { "write" } else { "read" },
+                    c.start,
+                    c.end,
+                );
+            }
+        }
+        active.push(Claim { start, end, write, id });
+        id
+    }
+
+    fn release(&self, id: u64) {
+        let mut active = self.active.lock();
+        if let Some(pos) = active.iter().position(|c| c.id == id) {
+            active.swap_remove(pos);
+        }
+    }
+}
+
+/// A fixed-size buffer of `Pod` elements shared between threads, with
+/// access mediated through [`BufSlice`] regions.
+pub struct SharedBuffer<T: Pod> {
+    data: UnsafeCell<Box<[T]>>,
+    len: usize,
+    claims: ClaimTable,
+}
+
+// SAFETY: all access to `data` goes through the claim table, which panics
+// on overlapping read/write or write/write access; disjoint regions are
+// distinct memory.
+unsafe impl<T: Pod> Sync for SharedBuffer<T> {}
+unsafe impl<T: Pod> Send for SharedBuffer<T> {}
+
+impl<T: Pod + Default> SharedBuffer<T> {
+    /// Allocates a zero-initialised shared buffer of `len` elements.
+    pub fn new(len: usize) -> Arc<Self> {
+        Arc::new(SharedBuffer {
+            data: UnsafeCell::new(vec![T::default(); len].into_boxed_slice()),
+            len,
+            claims: ClaimTable {
+                active: Mutex::new(Vec::new()),
+                next_id: std::sync::atomic::AtomicU64::new(0),
+            },
+        })
+    }
+}
+
+impl<T: Pod> SharedBuffer<T> {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true for a zero-length buffer.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A [`BufSlice`] covering `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer bounds.
+    pub fn slice(self: &Arc<Self>, range: Range<usize>) -> BufSlice<T> {
+        assert!(range.start <= range.end && range.end <= self.len, "slice out of bounds");
+        BufSlice { buf: Arc::clone(self), start: range.start, len: range.end - range.start }
+    }
+
+    /// A [`BufSlice`] covering the whole buffer.
+    pub fn full(self: &Arc<Self>) -> BufSlice<T> {
+        self.slice(0..self.len)
+    }
+}
+
+/// A region of a [`SharedBuffer`]. Cloneable and `Send`; every data access
+/// acquires a read or write claim for the region's interval.
+#[derive(Clone)]
+pub struct BufSlice<T: Pod> {
+    buf: Arc<SharedBuffer<T>>,
+    start: usize,
+    len: usize,
+}
+
+impl<T: Pod> BufSlice<T> {
+    /// Number of elements in the region.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true for an empty region.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Start offset inside the underlying buffer.
+    pub fn offset(&self) -> usize {
+        self.start
+    }
+
+    /// Narrows the region. `range` is relative to this slice.
+    pub fn subslice(&self, range: Range<usize>) -> BufSlice<T> {
+        assert!(range.start <= range.end && range.end <= self.len, "subslice out of bounds");
+        BufSlice {
+            buf: Arc::clone(&self.buf),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Runs `f` with shared read access to the region.
+    pub fn with_read<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
+        let claim = self.buf.claims.acquire(self.start, self.start + self.len, false);
+        // SAFETY: the claim table guarantees no concurrent writer overlaps
+        // this interval for the duration of the claim.
+        let result = {
+            let data = unsafe { &*self.buf.data.get() };
+            f(&data[self.start..self.start + self.len])
+        };
+        self.buf.claims.release(claim);
+        result
+    }
+
+    /// Runs `f` with exclusive write access to the region.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut [T]) -> R) -> R {
+        let claim = self.buf.claims.acquire(self.start, self.start + self.len, true);
+        // SAFETY: the claim table guarantees exclusive access to this
+        // interval for the duration of the claim.
+        let result = {
+            let data = unsafe { &mut *self.buf.data.get() };
+            f(&mut data[self.start..self.start + self.len])
+        };
+        self.buf.claims.release(claim);
+        result
+    }
+
+    /// Copies `src` into the region (must match the region length).
+    pub fn write_from(&self, src: &[T]) {
+        assert_eq!(src.len(), self.len, "write_from length mismatch");
+        self.with_write(|dst| dst.copy_from_slice(src));
+    }
+
+    /// Copies the region into `dst` (must match the region length).
+    pub fn read_into(&self, dst: &mut [T]) {
+        assert_eq!(dst.len(), self.len, "read_into length mismatch");
+        self.with_read(|src| dst.copy_from_slice(src));
+    }
+
+    /// Copies the region into a fresh vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.with_read(|src| src.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_writes_in_parallel() {
+        let buf = SharedBuffer::<f64>::new(1000);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let slice = buf.slice(i * 250..(i + 1) * 250);
+                s.spawn(move || {
+                    slice.with_write(|w| {
+                        for v in w.iter_mut() {
+                            *v = i as f64;
+                        }
+                    });
+                });
+            }
+        });
+        let all = buf.full().to_vec();
+        for (idx, v) in all.iter().enumerate() {
+            assert_eq!(*v, (idx / 250) as f64);
+        }
+    }
+
+    #[test]
+    fn overlapping_reads_allowed() {
+        let buf = SharedBuffer::<f64>::new(100);
+        let a = buf.slice(0..80);
+        let b = buf.slice(20..100);
+        a.with_read(|_| {
+            // Nested overlapping read must not panic.
+            b.with_read(|_| {});
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "SharedBuffer race")]
+    fn overlapping_write_write_panics() {
+        let buf = SharedBuffer::<f64>::new(100);
+        let a = buf.slice(0..60);
+        let b = buf.slice(40..100);
+        a.with_write(|_| {
+            b.with_write(|_| {});
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "SharedBuffer race")]
+    fn overlapping_read_write_panics() {
+        let buf = SharedBuffer::<f64>::new(100);
+        let a = buf.slice(0..60);
+        let b = buf.slice(59..61);
+        a.with_read(|_| {
+            b.with_write(|_| {});
+        });
+    }
+
+    #[test]
+    fn adjacent_regions_do_not_conflict() {
+        let buf = SharedBuffer::<f64>::new(100);
+        let a = buf.slice(0..50);
+        let b = buf.slice(50..100);
+        a.with_write(|_| {
+            b.with_write(|_| {});
+        });
+    }
+
+    #[test]
+    fn subslice_arithmetic() {
+        let buf = SharedBuffer::<i32>::new(100);
+        let s = buf.slice(10..60);
+        let sub = s.subslice(5..15);
+        assert_eq!(sub.offset(), 15);
+        assert_eq!(sub.len(), 10);
+        sub.write_from(&[7; 10]);
+        assert_eq!(buf.slice(15..25).to_vec(), vec![7; 10]);
+        assert_eq!(buf.slice(10..15).to_vec(), vec![0; 5]);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let buf = SharedBuffer::<f64>::new(8);
+        let s = buf.full();
+        let data: Vec<f64> = (0..8).map(|i| i as f64 * 1.5).collect();
+        s.write_from(&data);
+        let mut out = vec![0.0; 8];
+        s.read_into(&mut out);
+        assert_eq!(out, data);
+    }
+}

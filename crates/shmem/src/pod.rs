@@ -1,0 +1,127 @@
+//! Plain-old-data trait for typed message payloads.
+//!
+//! Messages travel through the substrate as byte buffers; the [`Pod`]
+//! trait marks element types for which the bytes⇄elements conversion is a
+//! plain `memcpy`. It is deliberately sealed to a fixed set of numeric
+//! types — exactly the datatypes the AMR application exchanges — rather
+//! than being a general-purpose derive, to keep the `unsafe` surface
+//! auditable.
+
+/// Marker trait for types that can be sent through the substrate by
+/// copying their raw bytes.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding bytes, no invalid bit
+/// patterns, and no pointers/references. The provided implementations
+/// cover only primitive numeric types, which all satisfy this.
+pub unsafe trait Pod: Copy + Send + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for isize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+/// Reinterprets a slice of `Pod` elements as raw bytes.
+#[inline]
+pub fn as_bytes<T: Pod>(data: &[T]) -> &[u8] {
+    // SAFETY: T is Pod (no padding, no invalid bit patterns), so viewing
+    // its memory as bytes is always valid.
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data)) }
+}
+
+/// Copies raw bytes into a freshly-allocated vector of `Pod` elements.
+///
+/// Returns `None` if `bytes.len()` is not a multiple of the element size.
+#[inline]
+pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Option<Vec<T>> {
+    let elem = std::mem::size_of::<T>();
+    if elem == 0 || !bytes.len().is_multiple_of(elem) {
+        return None;
+    }
+    let n = bytes.len() / elem;
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: capacity is n; we copy exactly n*size_of::<T>() bytes of
+    // valid Pod data and then set the length.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(n);
+    }
+    Some(out)
+}
+
+/// Copies raw bytes into an existing slice of `Pod` elements.
+///
+/// Returns the number of elements written, or `None` on size mismatch
+/// (payload not a multiple of the element size, or larger than `dst`).
+#[inline]
+pub fn copy_to_slice<T: Pod>(bytes: &[u8], dst: &mut [T]) -> Option<usize> {
+    let elem = std::mem::size_of::<T>();
+    if elem == 0 || !bytes.len().is_multiple_of(elem) {
+        return None;
+    }
+    let n = bytes.len() / elem;
+    if n > dst.len() {
+        return None;
+    }
+    // SAFETY: dst has at least n elements; byte count matches exactly.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst.as_mut_ptr().cast::<u8>(), bytes.len());
+    }
+    Some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let data = [1.5f64, -2.25, 0.0, f64::MAX];
+        let bytes = as_bytes(&data);
+        assert_eq!(bytes.len(), 32);
+        let back: Vec<f64> = from_bytes(bytes).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_i32() {
+        let data = [i32::MIN, -1, 0, 1, i32::MAX];
+        let back: Vec<i32> = from_bytes(as_bytes(&data)).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn from_bytes_rejects_misaligned_length() {
+        let bytes = [0u8; 7];
+        assert!(from_bytes::<f64>(&bytes).is_none());
+        assert!(from_bytes::<u32>(&bytes).is_none());
+        assert!(from_bytes::<u8>(&bytes).is_some());
+    }
+
+    #[test]
+    fn copy_to_slice_respects_capacity() {
+        let data = [1.0f64, 2.0, 3.0];
+        let bytes = as_bytes(&data);
+        let mut small = [0.0f64; 2];
+        assert!(copy_to_slice(bytes, &mut small).is_none());
+        let mut big = [0.0f64; 5];
+        assert_eq!(copy_to_slice(bytes, &mut big), Some(3));
+        assert_eq!(&big[..3], &data);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let data: [f64; 0] = [];
+        let back: Vec<f64> = from_bytes(as_bytes(&data)).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the interval-claim checker: disjoint access
+//! patterns never trip it; overlapping write patterns always do.
+
+use proptest::prelude::*;
+use shmem::SharedBuffer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any partition of the buffer into disjoint chunks can be written
+    /// concurrently without tripping the claim checker, and the data
+    /// lands intact.
+    #[test]
+    fn disjoint_concurrent_writes_are_clean(
+        cuts in prop::collection::btree_set(1usize..255, 1..6),
+        threads in 1usize..4,
+    ) {
+        let len = 256usize;
+        let buf = SharedBuffer::<f64>::new(len);
+        let mut bounds: Vec<usize> = std::iter::once(0)
+            .chain(cuts.iter().cloned())
+            .chain(std::iter::once(len))
+            .collect();
+        bounds.dedup();
+        let chunks: Vec<(usize, usize)> =
+            bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        std::thread::scope(|s| {
+            for group in chunks.chunks(chunks.len().div_ceil(threads)) {
+                let group = group.to_vec();
+                let buf = &buf;
+                s.spawn(move || {
+                    for (lo, hi) in group {
+                        buf.slice(lo..hi).with_write(|w| {
+                            for (i, v) in w.iter_mut().enumerate() {
+                                *v = (lo + i) as f64;
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        let all = buf.full().to_vec();
+        for (i, v) in all.iter().enumerate() {
+            prop_assert_eq!(*v, i as f64);
+        }
+    }
+
+    /// Overlapping nested write claims always panic with the race
+    /// diagnostic.
+    #[test]
+    fn overlapping_writes_always_panic(
+        a_lo in 0usize..200, a_len in 1usize..56,
+        b_off in 0usize..40,
+    ) {
+        let buf = SharedBuffer::<f64>::new(256);
+        let a = buf.slice(a_lo..a_lo + a_len);
+        // b starts inside a's range: guaranteed overlap.
+        let b_lo = a_lo + b_off.min(a_len - 1);
+        let b = buf.slice(b_lo..(b_lo + 1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.with_write(|_| {
+                b.with_write(|_| {});
+            });
+        }));
+        prop_assert!(result.is_err(), "overlapping writes must panic");
+    }
+
+    /// Reads can nest arbitrarily (shared claims).
+    #[test]
+    fn nested_reads_never_panic(ranges in prop::collection::vec((0usize..200, 1usize..56), 1..5)) {
+        let buf = SharedBuffer::<f64>::new(256);
+        fn nest(buf: &std::sync::Arc<SharedBuffer<f64>>, ranges: &[(usize, usize)]) {
+            if let Some(((lo, len), rest)) = ranges.split_first() {
+                buf.slice(*lo..lo + len).with_read(|_| nest(buf, rest));
+            }
+        }
+        nest(&buf, &ranges);
+    }
+
+    /// subslice arithmetic composes: narrowing twice equals narrowing
+    /// once with composed offsets.
+    #[test]
+    fn subslice_composition(lo in 0usize..100, mid in 0usize..50, inner in 0usize..25) {
+        let buf = SharedBuffer::<i64>::new(256);
+        let outer = buf.slice(lo..lo + 100.min(256 - lo));
+        if mid + 10 <= outer.len() {
+            let a = outer.subslice(mid..mid + 10);
+            if inner + 2 <= a.len() {
+                let b = a.subslice(inner..inner + 2);
+                prop_assert_eq!(b.offset(), lo + mid + inner);
+                prop_assert_eq!(b.len(), 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Workload extraction: the real mesh evolution, reduced to per-rank
+//! per-phase work and traffic statistics.
+//!
+//! The generator replays exactly what the application does — initial
+//! refinement, per-stage ghost exchanges, object movement, ±1-level
+//! refinement plans with 2:1 balance, merge gathering and SFC load
+//! balancing — using the same `amr-mesh` engine, but touches no cell
+//! data. Within one refinement interval the mesh is static, so one
+//! [`StageStat`] describes every stage of the interval.
+
+use amr_mesh::block_id::{Dir, Side};
+use amr_mesh::data::BlockLayout;
+use amr_mesh::face::face_dims;
+use amr_mesh::partition::sfc_partition;
+use amr_mesh::{MeshDirectory, MeshParams, NeighborInfo, Object};
+
+/// Parameters of a workload generation run.
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Mesh geometry; `npx*npy*npz` is the rank count of this workload.
+    pub mesh: MeshParams,
+    /// Moving objects (advanced per timestep, like the app).
+    pub objects: Vec<Object>,
+    /// Timesteps.
+    pub num_tsteps: usize,
+    /// Stages per timestep.
+    pub stages_per_ts: usize,
+    /// Stages between checksums.
+    pub checksum_freq: usize,
+    /// Timesteps between refinements.
+    pub refine_freq: usize,
+    /// Messages per `(src, dst, direction)` pair: 0 = one aggregated
+    /// message (the reference default), `k` = up to `k` (the
+    /// `--max_comm_tasks` sweep of Table II), `usize::MAX` = one per
+    /// face.
+    pub msgs_per_pair_dir: usize,
+    /// Ranks per node (for the intra-node message discount).
+    pub ranks_per_node: usize,
+}
+
+/// Per-rank statistics of one (repeated) stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageStat {
+    /// Blocks owned per rank.
+    pub blocks: Vec<f64>,
+    /// Face elements (per variable) packed + unpacked per rank.
+    pub pack_elems: Vec<f64>,
+    /// Intra-rank copy elements (per variable) per rank.
+    pub local_elems: Vec<f64>,
+    /// Inter-node elements (per variable) received per rank.
+    pub in_elems_inter: Vec<f64>,
+    /// Intra-node elements (per variable) received per rank.
+    pub in_elems_intra: Vec<f64>,
+    /// Inter-node messages received per rank.
+    pub in_msgs_inter: Vec<f64>,
+    /// Intra-node messages received per rank.
+    pub in_msgs_intra: Vec<f64>,
+    /// Messages sent per rank (all destinations).
+    pub out_msgs: Vec<f64>,
+    /// Inter-node messages sent per rank.
+    pub out_msgs_inter: Vec<f64>,
+    /// Face transfers touching each rank (task-count estimate).
+    pub face_units: Vec<f64>,
+}
+
+/// Per-rank statistics of one refinement phase.
+#[derive(Debug, Clone, Default)]
+pub struct RefineStat {
+    /// Blocks per rank after the phase (control-code work).
+    pub ctrl_blocks: Vec<f64>,
+    /// Split/merge copy elements (per variable) per rank.
+    pub job_elems: Vec<f64>,
+    /// Block-exchange elements (per variable) moved out of each rank.
+    pub move_elems: Vec<f64>,
+    /// Block moves out of each rank.
+    pub move_msgs: Vec<f64>,
+    /// Plan iterations (collective agreement rounds).
+    pub plan_rounds: usize,
+}
+
+/// One refinement interval: `stages` identical stages (with `checksums`
+/// checkpoints among them) followed by an optional refinement phase.
+#[derive(Debug, Clone)]
+pub struct Interval {
+    /// Number of stages in the interval.
+    pub stages: usize,
+    /// Checkpoints inside the interval.
+    pub checksums: usize,
+    /// Per-stage statistics.
+    pub stage: StageStat,
+    /// The refinement ending the interval, if any.
+    pub refine: Option<RefineStat>,
+}
+
+/// The full extracted workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Rank count.
+    pub n_ranks: usize,
+    /// Ranks per node.
+    pub ranks_per_node: usize,
+    /// Variables per cell.
+    pub num_vars: usize,
+    /// Cells per block.
+    pub cells_per_block: usize,
+    /// The interval sequence.
+    pub intervals: Vec<Interval>,
+    /// Total stencil flops over the run.
+    pub total_flops: f64,
+    /// Peak blocks on any rank at any time.
+    pub peak_blocks: f64,
+}
+
+impl Workload {
+    /// Generates the workload by replaying the mesh evolution.
+    pub fn generate(p: &WorkloadParams) -> Workload {
+        let n = p.mesh.num_ranks();
+        let layout = BlockLayout::of(&p.mesh);
+        let mut dir = MeshDirectory::initial(p.mesh.clone());
+        let mut objects = p.objects.clone();
+        dir.refine_to_fixpoint(&objects);
+        // The initial refinement phase load-balances before the main loop
+        // starts (visible as block exchanges in the paper's Fig. 1).
+        for (id, &owner) in sfc_partition(&dir, n).iter() {
+            dir.set_owner(*id, owner);
+        }
+
+        let mut intervals = Vec::new();
+        let mut total_flops = 0.0;
+        let mut peak_blocks: f64 = 0.0;
+        let flops_per_stage = |d: &MeshDirectory| {
+            (d.len() * p.mesh.cells_per_block() * p.mesh.num_vars) as f64 * 7.0
+        };
+
+        let mut stage_stat = compute_stage(&dir, p, &layout);
+        peak_blocks = peak_blocks.max(stage_stat.blocks.iter().cloned().fold(0.0, f64::max));
+        let mut pending_stages = 0usize;
+        let mut pending_checksums = 0usize;
+        let mut stage_counter = 0usize;
+
+        for ts in 0..p.num_tsteps {
+            for _ in 0..p.stages_per_ts {
+                stage_counter += 1;
+                pending_stages += 1;
+                total_flops += flops_per_stage(&dir);
+                if stage_counter.is_multiple_of(p.checksum_freq) {
+                    pending_checksums += 1;
+                }
+            }
+            if (ts + 1) % p.refine_freq == 0 {
+                for o in objects.iter_mut() {
+                    o.step();
+                }
+                let refine = apply_refinement(&mut dir, &objects, p, &layout);
+                intervals.push(Interval {
+                    stages: pending_stages,
+                    checksums: pending_checksums,
+                    stage: stage_stat,
+                    refine: Some(refine),
+                });
+                pending_stages = 0;
+                pending_checksums = 0;
+                stage_stat = compute_stage(&dir, p, &layout);
+                peak_blocks =
+                    peak_blocks.max(stage_stat.blocks.iter().cloned().fold(0.0, f64::max));
+            }
+        }
+        if pending_stages > 0 {
+            intervals.push(Interval {
+                stages: pending_stages,
+                checksums: pending_checksums,
+                stage: stage_stat,
+                refine: None,
+            });
+        }
+
+        Workload {
+            n_ranks: n,
+            ranks_per_node: p.ranks_per_node,
+            num_vars: p.mesh.num_vars,
+            cells_per_block: p.mesh.cells_per_block(),
+            intervals,
+            total_flops,
+            peak_blocks,
+        }
+    }
+}
+
+fn same_node(a: usize, b: usize, rpn: usize) -> bool {
+    rpn > 0 && a / rpn == b / rpn
+}
+
+/// Enumerates the face traffic of the current mesh (the same enumeration
+/// the application's communication plan uses).
+fn compute_stage(dir: &MeshDirectory, p: &WorkloadParams, layout: &BlockLayout) -> StageStat {
+    let n = p.mesh.num_ranks();
+    let mut s = StageStat {
+        blocks: vec![0.0; n],
+        pack_elems: vec![0.0; n],
+        local_elems: vec![0.0; n],
+        in_elems_inter: vec![0.0; n],
+        in_elems_intra: vec![0.0; n],
+        in_msgs_inter: vec![0.0; n],
+        in_msgs_intra: vec![0.0; n],
+        out_msgs: vec![0.0; n],
+        out_msgs_inter: vec![0.0; n],
+        face_units: vec![0.0; n],
+    };
+    // faces per (src, dst, dir): (count, elems)
+    let mut pairs: std::collections::BTreeMap<(usize, usize, usize), (f64, f64)> =
+        Default::default();
+
+    for (block, &owner) in dir.iter() {
+        s.blocks[owner] += 1.0;
+        for d in Dir::ALL {
+            let (n1, n2) = face_dims(layout, d);
+            for side in Side::BOTH {
+                let mut add = |src_rank: usize, elems: f64| {
+                    s.face_units[owner] += 1.0;
+                    if src_rank == owner {
+                        s.local_elems[owner] += elems;
+                    } else {
+                        s.pack_elems[src_rank] += elems;
+                        s.pack_elems[owner] += elems;
+                        s.face_units[src_rank] += 1.0;
+                        let e = pairs.entry((src_rank, owner, d.index())).or_insert((0.0, 0.0));
+                        e.0 += 1.0;
+                        e.1 += elems;
+                    }
+                };
+                match dir.neighbor_info(block, d, side) {
+                    NeighborInfo::Boundary => {
+                        s.local_elems[owner] += (n1 * n2) as f64 * 0.5;
+                    }
+                    NeighborInfo::Same(nb) => {
+                        add(dir.owner(&nb).expect("active"), (n1 * n2) as f64)
+                    }
+                    NeighborInfo::Coarser(nb) => {
+                        add(dir.owner(&nb).expect("active"), (n1 * n2) as f64 / 4.0)
+                    }
+                    NeighborInfo::Finer(fine) => {
+                        for f in fine {
+                            add(dir.owner(&f).expect("active"), (n1 * n2) as f64 / 4.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for ((src, dst, _d), (faces, elems)) in pairs {
+        let msgs = match p.msgs_per_pair_dir {
+            0 => 1.0,
+            k => (k as f64).min(faces),
+        };
+        s.out_msgs[src] += msgs;
+        if same_node(src, dst, p.ranks_per_node) {
+            s.in_msgs_intra[dst] += msgs;
+            s.in_elems_intra[dst] += elems;
+        } else {
+            s.out_msgs_inter[src] += msgs;
+            s.in_msgs_inter[dst] += msgs;
+            s.in_elems_inter[dst] += elems;
+        }
+    }
+    s
+}
+
+/// Applies one refinement phase (plans + merge gathering + SFC balance)
+/// to the directory and records its per-rank costs.
+fn apply_refinement(
+    dir: &mut MeshDirectory,
+    objects: &[Object],
+    p: &WorkloadParams,
+    layout: &BlockLayout,
+) -> RefineStat {
+    let n = p.mesh.num_ranks();
+    let cells = layout.cells() as f64;
+    let mut r = RefineStat {
+        ctrl_blocks: vec![0.0; n],
+        job_elems: vec![0.0; n],
+        move_elems: vec![0.0; n],
+        move_msgs: vec![0.0; n],
+        plan_rounds: 0,
+    };
+
+    for _ in 0..p.mesh.block_change.max(1) {
+        let plan = dir.plan_refinement(objects);
+        if plan.is_empty() {
+            break;
+        }
+        r.plan_rounds += 1;
+        // Merge gathering: children move to the first child's owner.
+        for parent in &plan.merges {
+            let children = parent.children();
+            let target = dir.owner(&children[0]).expect("active");
+            for c in &children[1..] {
+                let from = dir.owner(c).expect("active");
+                if from != target {
+                    r.move_elems[from] += cells;
+                    r.move_msgs[from] += 1.0;
+                    dir.set_owner(*c, target);
+                }
+            }
+            // Merge restriction: 8 children read + 1 parent written.
+            r.job_elems[target] += 9.0 * cells;
+        }
+        for id in &plan.splits {
+            let owner = dir.owner(id).expect("active");
+            // Split prolongation: parent read + 8 children written.
+            r.job_elems[owner] += 9.0 * cells;
+        }
+        dir.apply_plan(&plan);
+    }
+
+    // SFC load balance.
+    let assignment = sfc_partition(dir, n);
+    for (id, &new_owner) in assignment.iter() {
+        let cur = dir.owner(id).expect("active");
+        if cur != new_owner {
+            r.move_elems[cur] += cells;
+            r.move_msgs[cur] += 1.0;
+            dir.set_owner(*id, new_owner);
+        }
+    }
+    for (_, &o) in dir.iter() {
+        r.ctrl_blocks[o] += 1.0;
+    }
+    r
+}
+
+/// Factors `ranks` into an `(npx, npy, npz)` grid dividing the given root
+/// block counts, preferring near-cubic shapes; returns the mesh
+/// parameters for that layout. This is how the paper keeps "the same
+/// initial mesh" across variants with different ranks per node (§V-C).
+pub fn rank_grid_for(
+    root_blocks: (usize, usize, usize),
+    cells: (usize, usize, usize),
+    num_vars: usize,
+    num_refine: u8,
+    ranks: usize,
+) -> Option<MeshParams> {
+    let (bx, by, bz) = root_blocks;
+    let mut best: Option<(f64, (usize, usize, usize))> = None;
+    let mut px = 1;
+    while px <= ranks {
+        if ranks.is_multiple_of(px) && bx.is_multiple_of(px) {
+            let rest = ranks / px;
+            let mut py = 1;
+            while py <= rest {
+                if rest.is_multiple_of(py) && by.is_multiple_of(py) {
+                    let pz = rest / py;
+                    if bz % pz == 0 {
+                        // Prefer balanced grids: minimize the max/min ratio
+                        // of blocks per rank per dimension.
+                        let dims = [bx / px, by / py, bz / pz];
+                        let max = *dims.iter().max().expect("3 dims") as f64;
+                        let min = *dims.iter().min().expect("3 dims") as f64;
+                        let score = max / min;
+                        if best.is_none_or(|(s, _)| score < s) {
+                            best = Some((score, (px, py, pz)));
+                        }
+                    }
+                }
+                py += 1;
+            }
+        }
+        px += 1;
+    }
+    let (_, (px, py, pz)) = best?;
+    Some(MeshParams {
+        npx: px,
+        npy: py,
+        npz: pz,
+        init_x: bx / px,
+        init_y: by / py,
+        init_z: bz / pz,
+        nx: cells.0,
+        ny: cells.1,
+        nz: cells.2,
+        num_vars,
+        num_refine,
+        block_change: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(ranks_per_node: usize) -> WorkloadParams {
+        WorkloadParams {
+            mesh: MeshParams {
+                npx: 2,
+                npy: 2,
+                npz: 1,
+                init_x: 2,
+                init_y: 2,
+                init_z: 4,
+                nx: 4,
+                ny: 4,
+                nz: 4,
+                num_vars: 4,
+                num_refine: 2,
+                block_change: 1,
+            },
+            objects: vec![Object::sphere([0.3, 0.4, 0.5], 0.2, [0.04, 0.0, 0.0])],
+            num_tsteps: 6,
+            stages_per_ts: 4,
+            checksum_freq: 4,
+            refine_freq: 2,
+            msgs_per_pair_dir: 0,
+            ranks_per_node,
+        }
+    }
+
+    #[test]
+    fn workload_covers_all_stages() {
+        let p = params(0);
+        let w = Workload::generate(&p);
+        let stages: usize = w.intervals.iter().map(|i| i.stages).sum();
+        assert_eq!(stages, 24);
+        let checksums: usize = w.intervals.iter().map(|i| i.checksums).sum();
+        assert_eq!(checksums, 6);
+        assert!(w.total_flops > 0.0);
+        assert_eq!(w.intervals.iter().filter(|i| i.refine.is_some()).count(), 3);
+    }
+
+    #[test]
+    fn stage_traffic_is_symmetric_in_totals() {
+        let p = params(0);
+        let w = Workload::generate(&p);
+        for i in &w.intervals {
+            let sent_elems: f64 = i.stage.in_elems_inter.iter().sum::<f64>()
+                + i.stage.in_elems_intra.iter().sum::<f64>();
+            // pack_elems counts both the pack (sender) and unpack
+            // (receiver) sides.
+            let packed: f64 = i.stage.pack_elems.iter().sum();
+            assert!((packed - 2.0 * sent_elems).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn refinement_moves_blocks() {
+        let p = params(0);
+        let w = Workload::generate(&p);
+        let moved: f64 = w
+            .intervals
+            .iter()
+            .filter_map(|i| i.refine.as_ref())
+            .map(|r| r.move_msgs.iter().sum::<f64>())
+            .sum();
+        assert!(moved > 0.0, "the moving sphere must trigger load balancing");
+    }
+
+    #[test]
+    fn intra_node_grouping_reclassifies_traffic() {
+        let inter_only = Workload::generate(&params(0));
+        let grouped = Workload::generate(&params(2));
+        let inter_of = |w: &Workload| -> f64 {
+            w.intervals.iter().map(|i| i.stage.in_elems_inter.iter().sum::<f64>()).sum()
+        };
+        assert!(inter_of(&grouped) < inter_of(&inter_only));
+    }
+
+    #[test]
+    fn msg_granularity_scales_message_counts() {
+        let mut p1 = params(0);
+        p1.msgs_per_pair_dir = 0;
+        let mut pk = params(0);
+        pk.msgs_per_pair_dir = 4;
+        let w1 = Workload::generate(&p1);
+        let wk = Workload::generate(&pk);
+        let msgs = |w: &Workload| -> f64 {
+            w.intervals.iter().map(|i| i.stage.out_msgs.iter().sum::<f64>()).sum()
+        };
+        assert!(msgs(&wk) > msgs(&w1));
+    }
+
+    #[test]
+    fn rank_grid_factors_divide_blocks() {
+        let p = rank_grid_for((8, 8, 4), (12, 12, 12), 40, 2, 16).expect("grid exists");
+        assert_eq!(p.num_ranks(), 16);
+        assert_eq!(p.root_blocks(), (8, 8, 4));
+        assert!(rank_grid_for((3, 3, 3), (4, 4, 4), 1, 0, 16).is_none(), "16 does not divide 27");
+    }
+
+    #[test]
+    fn same_mesh_different_rank_grids_have_same_flops() {
+        let base = params(0);
+        let w1 = Workload::generate(&base);
+        let mesh4 = rank_grid_for((4, 4, 4), (4, 4, 4), 4, 2, 8).expect("8-rank grid");
+        let mut p8 = base.clone();
+        p8.mesh = mesh4;
+        let w8 = Workload::generate(&p8);
+        assert_eq!(w1.total_flops, w8.total_flops, "same mesh ⇒ same flops");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the workload extractor and execution models:
+//! conservation, monotonicity, and ordering robustness over random
+//! configurations.
+
+use amr_mesh::{MeshParams, Object};
+use proptest::prelude::*;
+use simnet::workload::WorkloadParams;
+use simnet::{simulate, CostModel, ExecModel, Workload};
+
+fn arb_mesh() -> impl Strategy<Value = MeshParams> {
+    (1usize..=2, 1usize..=2, 1usize..=2).prop_map(|(px, py, pz)| MeshParams {
+        npx: px * 2,
+        npy: py,
+        npz: pz,
+        init_x: 2,
+        init_y: 2,
+        init_z: 2,
+        nx: 12,
+        ny: 12,
+        nz: 12,
+        num_vars: 20,
+        num_refine: 2,
+        block_change: 1,
+    })
+}
+
+fn arb_sphere() -> impl Strategy<Value = Object> {
+    ((0.1f64..0.9, 0.1f64..0.9, 0.1f64..0.9), 0.05f64..0.3, -0.05f64..0.05).prop_map(
+        |((x, y, z), r, v)| Object::sphere([x, y, z], r, [v, 0.0, 0.0]),
+    )
+}
+
+fn workload(mesh: MeshParams, objects: Vec<Object>, msgs: usize) -> Workload {
+    Workload::generate(&WorkloadParams {
+        mesh,
+        objects,
+        num_tsteps: 6,
+        stages_per_ts: 5,
+        checksum_freq: 5,
+        refine_freq: 3,
+        msgs_per_pair_dir: msgs,
+        ranks_per_node: 4,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Stage and interval accounting is conserved: total stages equal the
+    /// run length, block sums equal the directory population, and flops
+    /// are positive whenever blocks exist.
+    #[test]
+    fn workload_conservation(mesh in arb_mesh(), obj in arb_sphere()) {
+        let w = workload(mesh, vec![obj], 0);
+        let stages: usize = w.intervals.iter().map(|i| i.stages).sum();
+        prop_assert_eq!(stages, 30);
+        for iv in &w.intervals {
+            let total: f64 = iv.stage.blocks.iter().sum();
+            prop_assert!(total >= 1.0);
+            // Pack elems count both ends of every cross-rank transfer.
+            let sent: f64 =
+                iv.stage.in_elems_inter.iter().sum::<f64>() + iv.stage.in_elems_intra.iter().sum::<f64>();
+            let packed: f64 = iv.stage.pack_elems.iter().sum();
+            prop_assert!((packed - 2.0 * sent).abs() < 1e-6);
+        }
+        prop_assert!(w.total_flops > 0.0);
+    }
+
+    /// Simulated times are positive, finite, and decrease (or hold) when
+    /// the machine gets strictly faster.
+    #[test]
+    fn model_monotone_in_costs(mesh in arb_mesh(), obj in arb_sphere()) {
+        let w = workload(mesh, vec![obj], 8);
+        let base = CostModel::default();
+        let mut faster = base.clone();
+        faster.stencil_per_cell_var *= 0.5;
+        faster.latency *= 0.5;
+        faster.bandwidth *= 2.0;
+        for model in [ExecModel::MpiOnly, ExecModel::ForkJoin { workers: 4 }, ExecModel::dataflow(4)] {
+            let slow = simulate(&w, &model, &base);
+            let fast = simulate(&w, &model, &faster);
+            prop_assert!(slow.total.is_finite() && slow.total > 0.0);
+            prop_assert!(fast.total <= slow.total + 1e-12, "{model:?} got slower on a faster machine");
+            prop_assert!(slow.refine >= 0.0 && slow.refine <= slow.total);
+        }
+    }
+
+    /// Ablations never make the data-flow model faster: full ≤ any
+    /// switch disabled.
+    #[test]
+    fn ablations_only_slow_down(mesh in arb_mesh(), obj in arb_sphere()) {
+        let w = workload(mesh, vec![obj], 8);
+        let c = CostModel::default();
+        let full = simulate(&w, &ExecModel::dataflow(4), &c);
+        for (overlap, smooth) in [(false, true), (true, false), (false, false)] {
+            let ablated = simulate(
+                &w,
+                &ExecModel::DataFlow { workers: 4, overlap, smooth_imbalance: smooth },
+                &c,
+            );
+            prop_assert!(
+                ablated.total >= full.total - 1e-12,
+                "ablation ({overlap},{smooth}) sped the model up"
+            );
+        }
+    }
+
+    /// More messages per pair never decreases the message counts and
+    /// never changes the element volumes.
+    #[test]
+    fn granularity_affects_counts_not_volumes(mesh in arb_mesh(), obj in arb_sphere()) {
+        let w1 = workload(mesh.clone(), vec![obj.clone()], 1);
+        let w8 = workload(mesh, vec![obj], 8);
+        for (a, b) in w1.intervals.iter().zip(w8.intervals.iter()) {
+            let msgs = |s: &simnet::workload::StageStat| -> f64 { s.out_msgs.iter().sum() };
+            let elems = |s: &simnet::workload::StageStat| -> f64 {
+                s.in_elems_inter.iter().sum::<f64>() + s.in_elems_intra.iter().sum::<f64>()
+            };
+            prop_assert!(msgs(&b.stage) >= msgs(&a.stage));
+            prop_assert!((elems(&b.stage) - elems(&a.stage)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! External events: deferred dependency release.
+//!
+//! OmpSs-2 lets external agents (like a task-aware MPI library) bind a
+//! task's dependency release to events that outlive the task body. An
+//! [`EventHold`] is one such binding: while any hold on a task is alive,
+//! the task's successors stay blocked even after the body returns. The
+//! `tampi` crate acquires one hold per in-flight communication request
+//! and drops it from the request's completion callback — exactly the
+//! `TAMPI_Iwait` contract of the paper (§II-B).
+
+use crate::task::TaskShared;
+use std::sync::Arc;
+
+/// Keeps the dependencies of a task unreleased until dropped.
+///
+/// Holds are acquired from inside the task body (see
+/// [`crate::current_event_hold`]) and may be released from any thread.
+pub struct EventHold {
+    task: Option<Arc<TaskShared>>,
+}
+
+impl EventHold {
+    pub(crate) fn acquire(task: Arc<TaskShared>) -> EventHold {
+        let prev = task.events.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        assert!(prev >= 1, "event hold acquired on a task whose body already finished");
+        EventHold { task: Some(task) }
+    }
+
+    /// Explicitly releases the hold (equivalent to dropping it).
+    pub fn release(mut self) {
+        self.release_inner();
+    }
+
+    fn release_inner(&mut self) {
+        if let Some(task) = self.task.take() {
+            task.event_done();
+        }
+    }
+}
+
+impl Drop for EventHold {
+    fn drop(&mut self) {
+        self.release_inner();
+    }
+}
+
+impl std::fmt::Debug for EventHold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.task {
+            Some(t) => write!(f, "EventHold(task {})", t.id),
+            None => write!(f, "EventHold(released)"),
+        }
+    }
+}

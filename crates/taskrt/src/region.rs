@@ -1,0 +1,179 @@
+//! Abstract data regions and access declarations.
+//!
+//! Dependencies in this runtime are *symbolic*: a [`Region`] names a range
+//! of an abstract object (a mesh block's variable range, a communication
+//! buffer section, a control structure), and the runtime orders tasks by
+//! overlap — it never dereferences anything. This mirrors OmpSs-2, where
+//! the `depend` clauses describe data, and matches the paper's note that
+//! miniAMR tasks depend on "the range of variables in the block that they
+//! are processing" rather than on exact geometric subsets (§IV-D).
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of an abstract data object that tasks can depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u64);
+
+static NEXT_OBJ: AtomicU64 = AtomicU64::new(1);
+
+impl ObjId {
+    /// Allocates a process-unique object id.
+    pub fn fresh() -> ObjId {
+        ObjId(NEXT_OBJ.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl From<u64> for ObjId {
+    fn from(v: u64) -> Self {
+        ObjId(v)
+    }
+}
+
+/// A contiguous element range of an abstract object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// The object this region belongs to.
+    pub obj: ObjId,
+    /// Start element (inclusive).
+    pub start: usize,
+    /// End element (exclusive).
+    pub end: usize,
+}
+
+impl Region {
+    /// Builds a region over `range` of object `obj`.
+    pub fn new(obj: ObjId, range: Range<usize>) -> Region {
+        debug_assert!(range.start <= range.end, "inverted region range");
+        Region { obj, start: range.start, end: range.end }
+    }
+
+    /// A region covering the whole (conceptually unbounded) object — use
+    /// for scalar objects or whole-structure dependencies.
+    pub fn whole(obj: ObjId) -> Region {
+        Region { obj, start: 0, end: usize::MAX }
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the region covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Range overlap test (same object and non-empty intersection; empty
+    /// regions overlap nothing).
+    #[inline]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.obj == other.obj && self.start.max(other.start) < self.end.min(other.end)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}[{}..{})", self.obj.0, self.start, self.end)
+    }
+}
+
+/// How a task uses a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Read-only (`in` in OmpSs-2): orders after overlapping writers.
+    In,
+    /// Write-only (`out`): orders after overlapping readers and writers.
+    Out,
+    /// Read-write (`inout`): same ordering as `Out`.
+    InOut,
+}
+
+impl AccessMode {
+    /// Whether this access writes the region.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessMode::In)
+    }
+}
+
+/// One declared access of a task.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// The region accessed.
+    pub region: Region,
+    /// Read/write mode.
+    pub mode: AccessMode,
+}
+
+impl Access {
+    /// Read access (`in`).
+    pub fn read(region: Region) -> Access {
+        Access { region, mode: AccessMode::In }
+    }
+
+    /// Write access (`out`).
+    pub fn write(region: Region) -> Access {
+        Access { region, mode: AccessMode::Out }
+    }
+
+    /// Read-write access (`inout`).
+    pub fn read_write(region: Region) -> Access {
+        Access { region, mode: AccessMode::InOut }
+    }
+
+    /// Whether two accesses conflict (overlapping regions, at least one
+    /// write): conflicting accesses execute in spawn order.
+    #[inline]
+    pub fn conflicts_with(&self, other: &Access) -> bool {
+        (self.mode.is_write() || other.mode.is_write()) && self.region.overlaps(&other.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let a = ObjId::fresh();
+        let b = ObjId::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn overlap_rules() {
+        let o = ObjId::fresh();
+        let p = ObjId::fresh();
+        let a = Region::new(o, 0..10);
+        assert!(a.overlaps(&Region::new(o, 9..20)));
+        assert!(!a.overlaps(&Region::new(o, 10..20)), "adjacent ranges do not overlap");
+        assert!(!a.overlaps(&Region::new(p, 0..10)), "different objects never overlap");
+        assert!(Region::whole(o).overlaps(&a));
+        assert!(!Region::new(o, 5..5).overlaps(&a), "empty region overlaps nothing");
+    }
+
+    #[test]
+    fn conflict_matrix() {
+        let o = ObjId::fresh();
+        let r = Region::new(o, 0..4);
+        let read = Access::read(r.clone());
+        let write = Access::write(r.clone());
+        let inout = Access::read_write(r);
+        assert!(!read.conflicts_with(&read));
+        assert!(read.conflicts_with(&write));
+        assert!(write.conflicts_with(&read));
+        assert!(write.conflicts_with(&write));
+        assert!(inout.conflicts_with(&read));
+        assert!(inout.conflicts_with(&inout));
+    }
+
+    #[test]
+    fn disjoint_writes_do_not_conflict() {
+        let o = ObjId::fresh();
+        let a = Access::write(Region::new(o, 0..4));
+        let b = Access::write(Region::new(o, 4..8));
+        assert!(!a.conflicts_with(&b));
+    }
+}

@@ -1,0 +1,342 @@
+//! The runtime: spawning, task building, taskwait.
+
+use crate::region::{Access, Region};
+use crate::registry::Registry;
+use crate::scheduler::Scheduler;
+use crate::task::{TaskBody, TaskLinks, TaskShared};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads executing tasks.
+    pub workers: usize,
+    /// Whether a finishing task's first unblocked successor is executed
+    /// next on the same worker (cache-locality policy). Disable for
+    /// ablation studies.
+    pub immediate_successor: bool,
+}
+
+impl RuntimeConfig {
+    /// Default configuration with `workers` threads.
+    pub fn with_workers(workers: usize) -> RuntimeConfig {
+        RuntimeConfig { workers, immediate_successor: true }
+    }
+}
+
+/// Counters accumulated over the runtime's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Tasks spawned.
+    pub spawned: u64,
+    /// Dependency edges created at registration.
+    pub edges: u64,
+    /// Tasks that were ready immediately at spawn (no predecessors).
+    pub ready_at_spawn: u64,
+}
+
+pub(crate) struct RtInner {
+    pub registry: Registry,
+    pub scheduler: Scheduler,
+    next_id: AtomicU64,
+    live: AtomicUsize,
+    live_set: Mutex<std::collections::BTreeMap<u64, std::sync::Weak<TaskShared>>>,
+    wait_lock: Mutex<()>,
+    wait_cond: Condvar,
+    stat_spawned: AtomicU64,
+    stat_edges: AtomicU64,
+    stat_ready_at_spawn: AtomicU64,
+}
+
+impl RtInner {
+    pub(crate) fn enqueue_ready(&self, task: Arc<TaskShared>, local_hint: bool) {
+        self.scheduler.push(task, local_hint);
+    }
+
+    pub(crate) fn task_released(&self, id: u64) {
+        self.live_set.lock().remove(&id);
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.wait_lock.lock();
+            self.wait_cond.notify_all();
+        }
+    }
+}
+
+/// A data-flow task runtime: an OmpSs-2-like pool of workers executing
+/// dependency-ordered tasks. See the crate docs for the model.
+///
+/// Dropping the runtime shuts the workers down; tasks still pending at
+/// that point are abandoned — call [`Runtime::taskwait`] first.
+pub struct Runtime {
+    inner: Arc<RtInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Creates a runtime with `workers` worker threads and default
+    /// configuration.
+    pub fn new(workers: usize) -> Runtime {
+        Runtime::with_config(RuntimeConfig::with_workers(workers))
+    }
+
+    /// Creates a runtime from an explicit configuration.
+    pub fn with_config(config: RuntimeConfig) -> Runtime {
+        assert!(config.workers >= 1, "runtime needs at least one worker");
+        let (scheduler, locals) = Scheduler::new(config.workers, config.immediate_successor);
+        let inner = Arc::new(RtInner {
+            registry: Registry::new(),
+            scheduler,
+            next_id: AtomicU64::new(1),
+            live: AtomicUsize::new(0),
+            live_set: Mutex::new(std::collections::BTreeMap::new()),
+            wait_lock: Mutex::new(()),
+            wait_cond: Condvar::new(),
+            stat_spawned: AtomicU64::new(0),
+            stat_edges: AtomicU64::new(0),
+            stat_ready_at_spawn: AtomicU64::new(0),
+        });
+        let workers = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let rt = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("taskrt-worker-{i}"))
+                    .spawn(move || rt.scheduler.worker_loop(local, i))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Runtime { inner, workers }
+    }
+
+    /// Starts building a task; finish with [`TaskBuilder::spawn`].
+    pub fn task(&self) -> TaskBuilder<'_> {
+        TaskBuilder {
+            rt: self,
+            accesses: Vec::new(),
+            priority: 0,
+            label: "",
+            body: None,
+        }
+    }
+
+    /// Spawns a task with explicit accesses (convenience for the builder).
+    pub fn spawn(&self, accesses: Vec<Access>, body: impl FnOnce() + Send + 'static) {
+        self.spawn_boxed(accesses, 0, "", Box::new(body));
+    }
+
+    fn spawn_boxed(&self, accesses: Vec<Access>, priority: i32, label: &'static str, body: TaskBody) {
+        let inner = &self.inner;
+        let task = Arc::new(TaskShared {
+            id: inner.next_id.fetch_add(1, Ordering::Relaxed),
+            priority,
+            label,
+            accesses,
+            body: Mutex::new(Some(body)),
+            // One guard count held through registration so the task cannot
+            // become ready while its edges are still being created.
+            pending: AtomicUsize::new(1),
+            events: AtomicUsize::new(1),
+            state: Mutex::new(TaskLinks { released: false, successors: Vec::new() }),
+            rt: Arc::clone(inner),
+        });
+        inner.live.fetch_add(1, Ordering::AcqRel);
+        inner.live_set.lock().insert(task.id, Arc::downgrade(&task));
+        let edges = inner.registry.register(&task);
+        inner.stat_spawned.fetch_add(1, Ordering::Relaxed);
+        inner.stat_edges.fetch_add(edges as u64, Ordering::Relaxed);
+        if edges == 0 {
+            inner.stat_ready_at_spawn.fetch_add(1, Ordering::Relaxed);
+        }
+        // Drop the registration guard; enqueues if no predecessor is live.
+        task.dep_satisfied(false);
+    }
+
+    /// Blocks until every spawned task (including tasks spawned by tasks)
+    /// has released its dependencies.
+    ///
+    /// Must be called from outside task bodies (the main thread of a
+    /// rank); calling it from inside a task would stall a worker.
+    pub fn taskwait(&self) {
+        debug_assert!(
+            crate::task::current_task_id().is_none(),
+            "taskwait called from inside a task body"
+        );
+        let mut guard = self.inner.wait_lock.lock();
+        while self.inner.live.load(Ordering::Acquire) != 0 {
+            self.inner.wait_cond.wait(&mut guard);
+        }
+    }
+
+    /// OmpSs-2 *taskwait with dependencies*: blocks until all live tasks
+    /// conflicting with an `inout` access on `regions` have released —
+    /// without draining the rest of the task graph.
+    pub fn taskwait_on(&self, regions: &[Region]) {
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let signal = Arc::clone(&done);
+        let accesses = regions.iter().cloned().map(Access::read_write).collect();
+        self.spawn_boxed(
+            accesses,
+            // Jump the queue: the waiter should run as soon as its inputs
+            // are quiescent.
+            i32::MAX,
+            "taskwait_on",
+            Box::new(move || {
+                let (lock, cond) = &*signal;
+                *lock.lock() = true;
+                cond.notify_all();
+            }),
+        );
+        let (lock, cond) = &*done;
+        let mut flag = lock.lock();
+        while !*flag {
+            cond.wait(&mut flag);
+        }
+    }
+
+    /// Fork-join helper: runs `f` over `range` split into `chunks`
+    /// contiguous pieces (static schedule, like an OpenMP `for`), then
+    /// waits for completion. Spawned chunks carry no data dependencies;
+    /// note that the final wait is a full [`Runtime::taskwait`].
+    pub fn parallel_for<F>(&self, range: std::ops::Range<usize>, chunks: usize, f: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Send + Sync + 'static,
+    {
+        let n = range.len();
+        if n == 0 {
+            return;
+        }
+        let chunks = chunks.max(1).min(n);
+        let f = Arc::new(f);
+        let base = range.start;
+        for c in 0..chunks {
+            let lo = base + n * c / chunks;
+            let hi = base + n * (c + 1) / chunks;
+            let f = Arc::clone(&f);
+            self.spawn(Vec::new(), move || f(lo..hi));
+        }
+        self.taskwait();
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of lifetime counters.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            spawned: self.inner.stat_spawned.load(Ordering::Relaxed),
+            edges: self.inner.stat_edges.load(Ordering::Relaxed),
+            ready_at_spawn: self.inner.stat_ready_at_spawn.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of objects with live accesses (diagnostics; 0 after a
+    /// `taskwait`).
+    pub fn live_objects(&self) -> usize {
+        self.inner.registry.live_objects()
+    }
+
+    /// Diagnostic snapshot of unreleased tasks: `(id, label, pending
+    /// predecessor count, outstanding event count)`. Intended for
+    /// deadlock post-mortems.
+    pub fn debug_live_tasks(&self) -> Vec<(u64, &'static str, usize, usize)> {
+        self.inner
+            .live_set
+            .lock()
+            .values()
+            .filter_map(|w| w.upgrade())
+            .map(|t| {
+                (
+                    t.id,
+                    t.label,
+                    t.pending.load(Ordering::Relaxed),
+                    t.events.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.inner.scheduler.shutdown.store(true, Ordering::Release);
+        self.inner.scheduler.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Fluent task construction: accesses, priority, label, body.
+pub struct TaskBuilder<'rt> {
+    rt: &'rt Runtime,
+    accesses: Vec<Access>,
+    priority: i32,
+    label: &'static str,
+    body: Option<TaskBody>,
+}
+
+impl<'rt> TaskBuilder<'rt> {
+    /// Declares a read (`in`) dependency.
+    pub fn input(mut self, region: Region) -> Self {
+        self.accesses.push(Access::read(region));
+        self
+    }
+
+    /// Declares a write (`out`) dependency.
+    pub fn out(mut self, region: Region) -> Self {
+        self.accesses.push(Access::write(region));
+        self
+    }
+
+    /// Declares a read-write (`inout`) dependency.
+    pub fn inout(mut self, region: Region) -> Self {
+        self.accesses.push(Access::read_write(region));
+        self
+    }
+
+    /// Adds a pre-built access (multi-dependency friendly).
+    pub fn access(mut self, access: Access) -> Self {
+        self.accesses.push(access);
+        self
+    }
+
+    /// Adds many accesses at once (the paper's multideps).
+    pub fn accesses(mut self, iter: impl IntoIterator<Item = Access>) -> Self {
+        self.accesses.extend(iter);
+        self
+    }
+
+    /// Scheduling priority (higher runs earlier among ready tasks).
+    pub fn priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Debug label shown in panics and traces.
+    pub fn label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+
+    /// Sets the task body.
+    pub fn body(mut self, body: impl FnOnce() + Send + 'static) -> Self {
+        self.body = Some(Box::new(body));
+        self
+    }
+
+    /// Spawns the task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no body was set.
+    pub fn spawn(self) {
+        let body = self.body.expect("task spawned without a body");
+        self.rt.spawn_boxed(self.accesses, self.priority, self.label, body);
+    }
+}

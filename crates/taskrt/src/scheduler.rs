@@ -1,0 +1,171 @@
+//! Work-stealing scheduler.
+//!
+//! Each worker owns a LIFO `crossbeam_deque::Worker`; ready tasks from
+//! outside (the main thread, the delivery thread of the communication
+//! substrate) land in a global injector, while tasks unblocked by a
+//! completing task are pushed to the completing worker's own deque —
+//! popped next because the deque is LIFO. That is the *immediate
+//! successor* policy the paper credits for the cache-locality (IPC)
+//! improvement of the data-flow variant.
+
+use crate::task::TaskShared;
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type TaskRef = Arc<TaskShared>;
+
+struct ParkState {
+    pending_wakes: usize,
+}
+
+pub(crate) struct Scheduler {
+    injector: Injector<TaskRef>,
+    hi_injector: Injector<TaskRef>,
+    stealers: Vec<Stealer<TaskRef>>,
+    park_lock: Mutex<ParkState>,
+    park_cond: Condvar,
+    pub shutdown: AtomicBool,
+    pub immediate_successor: bool,
+}
+
+thread_local! {
+    /// The local deque of the worker running on this thread (None on
+    /// non-worker threads).
+    static LOCAL: RefCell<Option<Worker<TaskRef>>> = const { RefCell::new(None) };
+}
+
+impl Scheduler {
+    /// Creates the scheduler and the per-worker deques; returns the
+    /// scheduler plus the workers' local deques (handed to the worker
+    /// threads).
+    pub(crate) fn new(n_workers: usize, immediate_successor: bool) -> (Scheduler, Vec<Worker<TaskRef>>) {
+        let locals: Vec<Worker<TaskRef>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        (
+            Scheduler {
+                injector: Injector::new(),
+                hi_injector: Injector::new(),
+                stealers,
+                park_lock: Mutex::new(ParkState { pending_wakes: 0 }),
+                park_cond: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                immediate_successor,
+            },
+            locals,
+        )
+    }
+
+    /// Enqueues a ready task. `local_hint` marks the immediate successor
+    /// of a task that just completed on this thread.
+    pub(crate) fn push(&self, task: TaskRef, local_hint: bool) {
+        let use_local = local_hint && self.immediate_successor;
+        if use_local {
+            let pushed = LOCAL.with(|l| {
+                if let Some(w) = l.borrow().as_ref() {
+                    w.push(task.clone());
+                    true
+                } else {
+                    false
+                }
+            });
+            if pushed {
+                // Other workers may be idle; give them a chance to steal
+                // the rest of this worker's backlog.
+                self.notify();
+                return;
+            }
+        }
+        if task.priority > 0 {
+            self.hi_injector.push(task);
+        } else {
+            self.injector.push(task);
+        }
+        self.notify();
+    }
+
+    fn notify(&self) {
+        let mut state = self.park_lock.lock();
+        state.pending_wakes = state.pending_wakes.saturating_add(1);
+        drop(state);
+        self.park_cond.notify_one();
+    }
+
+    /// Wakes all workers (shutdown).
+    pub(crate) fn notify_all(&self) {
+        let mut state = self.park_lock.lock();
+        state.pending_wakes = usize::MAX / 2;
+        drop(state);
+        self.park_cond.notify_all();
+    }
+
+    fn find_task(&self, local: &Worker<TaskRef>, index: usize) -> Option<TaskRef> {
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            match self.hi_injector.steal() {
+                crossbeam_deque::Steal::Success(t) => return Some(t),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                crossbeam_deque::Steal::Success(t) => return Some(t),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        // Steal from siblings, starting after our own index to spread
+        // contention.
+        let n = self.stealers.len();
+        for k in 1..n {
+            let victim = (index + k) % n;
+            loop {
+                match self.stealers[victim].steal() {
+                    crossbeam_deque::Steal::Success(t) => return Some(t),
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// The worker main loop. `index` is the worker's position in the
+    /// stealer array.
+    pub(crate) fn worker_loop(&self, local: Worker<TaskRef>, index: usize) {
+        LOCAL.with(|l| *l.borrow_mut() = Some(local));
+        loop {
+            let task = LOCAL.with(|l| {
+                let borrow = l.borrow();
+                let local = borrow.as_ref().expect("worker deque installed above");
+                self.find_task(local, index)
+            });
+            match task {
+                Some(t) => t.execute(),
+                None => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let mut state = self.park_lock.lock();
+                    if state.pending_wakes > 0 {
+                        state.pending_wakes -= 1;
+                        continue;
+                    }
+                    // Bounded park: a timeout bounds the damage of any
+                    // lost-wakeup scenario to one tick.
+                    self.park_cond.wait_for(&mut state, Duration::from_millis(1));
+                    if state.pending_wakes > 0 {
+                        state.pending_wakes -= 1;
+                    }
+                }
+            }
+        }
+        LOCAL.with(|l| *l.borrow_mut() = None);
+    }
+}

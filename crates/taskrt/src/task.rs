@@ -1,0 +1,106 @@
+//! Task objects and their lifecycle.
+//!
+//! A task moves through: *created* → (all predecessor dependencies
+//! released) *ready* → *running* → (body finished **and** event count
+//! zero) *released*. Release removes the task's accesses from the
+//! dependency registry, decrements successors' pending counts, and wakes
+//! `taskwait`ers.
+
+use crate::region::Access;
+use crate::runtime::RtInner;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+pub(crate) type TaskBody = Box<dyn FnOnce() + Send>;
+
+pub(crate) struct TaskShared {
+    pub id: u64,
+    pub priority: i32,
+    pub label: &'static str,
+    pub accesses: Vec<Access>,
+    pub body: Mutex<Option<TaskBody>>,
+    /// Predecessors not yet released, plus one registration guard.
+    pub pending: AtomicUsize,
+    /// Body (counted as 1) plus outstanding event holds.
+    pub events: AtomicUsize,
+    pub state: Mutex<TaskLinks>,
+    pub rt: Arc<RtInner>,
+}
+
+pub(crate) struct TaskLinks {
+    pub released: bool,
+    pub successors: Vec<Arc<TaskShared>>,
+}
+
+impl TaskShared {
+    /// Called when a predecessor releases; enqueues the task when its last
+    /// dependency (or the registration guard) clears.
+    pub(crate) fn dep_satisfied(self: &Arc<Self>, local_hint: bool) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.rt.enqueue_ready(Arc::clone(self), local_hint);
+        }
+    }
+
+    /// Drops one event hold; the final drop (after the body finished)
+    /// releases the task's dependencies.
+    pub(crate) fn event_done(self: &Arc<Self>) {
+        if self.events.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.release();
+        }
+    }
+
+    /// Releases the task: removes its accesses from the registry, readies
+    /// unblocked successors, and signals scope completion.
+    fn release(self: &Arc<Self>) {
+        let successors = {
+            let mut links = self.state.lock();
+            debug_assert!(!links.released, "task released twice");
+            links.released = true;
+            std::mem::take(&mut links.successors)
+        };
+        // Registry removal happens after the `released` flag is visible,
+        // and never while holding the task's own state lock (see the lock
+        // ordering note in registry.rs).
+        self.rt.registry.remove_task(self);
+        let n = successors.len();
+        for (i, succ) in successors.into_iter().enumerate() {
+            // The first unblocked successor is offered to the local worker
+            // (immediate-successor locality policy); the rest go wherever
+            // the scheduler decides.
+            succ.dep_satisfied(i + 1 == n);
+        }
+        self.rt.task_released(self.id);
+    }
+
+    /// Runs the task body on the current thread.
+    pub(crate) fn execute(self: Arc<Self>) {
+        let body = self
+            .body
+            .lock()
+            .take()
+            .unwrap_or_else(|| panic!("task '{}' (id {}) executed twice", self.label, self.id));
+        let prev = CURRENT.with(|c| c.replace(Some(Arc::clone(&self))));
+        body();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+        self.event_done();
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<TaskShared>>> = const { RefCell::new(None) };
+}
+
+/// Id of the task currently executing on this thread, if any.
+pub fn current_task_id() -> Option<u64> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|t| t.id))
+}
+
+pub(crate) fn current_task() -> Option<Arc<TaskShared>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn current_event_hold() -> Option<crate::events::EventHold> {
+    current_task().map(crate::events::EventHold::acquire)
+}

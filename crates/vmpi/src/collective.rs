@@ -1,0 +1,260 @@
+//! Collective operations over the point-to-point layer.
+//!
+//! All collectives are blocking and must be invoked by every rank of the
+//! communicator in the same order (the standard MPI contract). They run
+//! in a reserved tag space (`tag >= 1<<30`) derived from a per-communicator
+//! sequence number, so collective traffic can never match user receives.
+
+use crate::comm::{Comm, COLL_TAG_BASE};
+use crate::datatype::Pod;
+use crate::error::Result;
+use crate::ReduceOp;
+use std::sync::atomic::Ordering;
+
+/// Element types that support [`ReduceOp`] combination in `reduce` /
+/// `allreduce`.
+pub trait Reducible: Pod {
+    /// Combines two values under `op`.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            #[inline]
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                }
+            }
+        }
+    )*};
+}
+impl_reducible_int!(i32, i64, u32, u64, usize);
+
+impl Reducible for f64 {
+    #[inline]
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+        op.apply_f64(a, b)
+    }
+}
+
+impl Reducible for f32 {
+    #[inline]
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+        match op {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+}
+
+impl Comm {
+    /// Allocates a fresh collective tag block (64 tags) for one collective
+    /// invocation.
+    fn next_coll_tag(&self) -> i32 {
+        let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        COLL_TAG_BASE + ((seq * 64) % (1 << 29)) as i32
+    }
+
+    pub(crate) fn send_coll<T: Pod>(&self, data: &[T], dst: usize, tag: i32) -> Result<()> {
+        // Collective edges reuse the point-to-point machinery but skip the
+        // user-tag validation (collective tags live above TAG_UB).
+        let req = {
+            let bytes = crate::datatype::as_bytes(data).to_vec();
+            self.isend_coll_bytes(bytes, dst, tag)
+        };
+        req.wait_checked()?;
+        Ok(())
+    }
+
+    pub(crate) fn recv_coll<T: Pod>(&self, src: usize, tag: i32) -> Result<Vec<T>> {
+        let req = self.irecv_coll(src, tag);
+        req.wait_checked()?;
+        req.take_data::<T>()
+    }
+
+    /// Synchronizes all ranks (dissemination barrier, `MPI_Barrier`).
+    pub fn barrier(&self) -> Result<()> {
+        let p = self.size();
+        if p <= 1 {
+            return Ok(());
+        }
+        let tag_base = self.next_coll_tag();
+        let token = [1u8];
+        let mut round = 0;
+        let mut dist = 1usize;
+        while dist < p {
+            let to = (self.rank() + dist) % p;
+            let from = (self.rank() + p - dist) % p;
+            let tag = tag_base + round;
+            let send = self.isend_coll_bytes(token.to_vec(), to, tag);
+            let _ = self.recv_coll::<u8>(from, tag)?;
+            send.wait_checked()?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcasts `data` from `root` to every rank (binomial tree,
+    /// `MPI_Bcast`). Non-root ranks receive the payload into the returned
+    /// vector; the root gets its input back.
+    pub fn bcast<T: Pod>(&self, data: Option<&[T]>, root: usize) -> Result<Vec<T>> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        let rel = (self.rank() + p - root) % p;
+        let mut buf: Option<Vec<T>> = if self.rank() == root {
+            Some(data.expect("root must provide data to bcast").to_vec())
+        } else {
+            None
+        };
+        // Receive from parent.
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                let src = (rel - mask + root) % p;
+                buf = Some(self.recv_coll::<T>(src, tag)?);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        let payload = buf.expect("every rank receives or roots the bcast payload");
+        let mut m = mask >> 1;
+        let mut sends = Vec::new();
+        while m > 0 {
+            if rel + m < p {
+                let dst = (rel + m + root) % p;
+                sends.push(self.isend_coll_bytes(crate::datatype::as_bytes(&payload).to_vec(), dst, tag));
+            }
+            m >>= 1;
+        }
+        for s in sends {
+            s.wait_checked()?;
+        }
+        Ok(payload)
+    }
+
+    /// Reduces elementwise to `root` (binomial tree, `MPI_Reduce`).
+    /// Returns `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce<T: Reducible>(&self, data: &[T], op: ReduceOp, root: usize) -> Result<Option<Vec<T>>> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        let rel = (self.rank() + p - root) % p;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask == 0 {
+                let src_rel = rel | mask;
+                if src_rel < p {
+                    let src = (src_rel + root) % p;
+                    let incoming = self.recv_coll::<T>(src, tag)?;
+                    debug_assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
+                    for (a, b) in acc.iter_mut().zip(incoming.iter()) {
+                        *a = T::combine(op, *a, *b);
+                    }
+                }
+            } else {
+                let dst = ((rel & !mask) + root) % p;
+                self.send_coll(&acc, dst, tag)?;
+                return Ok(None);
+            }
+            mask <<= 1;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Elementwise reduction visible on all ranks (`MPI_Allreduce`):
+    /// reduce-to-0 followed by a broadcast, which keeps the combination
+    /// order identical on every rank (bitwise-reproducible checksums).
+    pub fn allreduce<T: Reducible>(&self, data: &[T], op: ReduceOp) -> Result<Vec<T>> {
+        let reduced = self.reduce(data, op, 0)?;
+        self.bcast(reduced.as_deref(), 0)
+    }
+
+    /// Scalar convenience wrapper over [`Comm::allreduce`].
+    pub fn allreduce_scalar<T: Reducible>(&self, value: T, op: ReduceOp) -> Result<T> {
+        Ok(self.allreduce(&[value], op)?[0])
+    }
+
+    /// Gathers every rank's (possibly differently sized) contribution on
+    /// `root` (`MPI_Gatherv`). Returns `Some(per-rank vectors)` on root.
+    pub fn gather<T: Pod>(&self, data: &[T], root: usize) -> Result<Option<Vec<Vec<T>>>> {
+        let p = self.size();
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out: Vec<Vec<T>> = Vec::with_capacity(p);
+            for r in 0..p {
+                if r == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(self.recv_coll::<T>(r, tag)?);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send_coll(data, root, tag)?;
+            Ok(None)
+        }
+    }
+
+    /// Gathers every rank's contribution on all ranks
+    /// (`MPI_Allgatherv`): gather on rank 0 followed by a broadcast of the
+    /// flattened payload plus per-rank counts.
+    pub fn allgather<T: Pod>(&self, data: &[T]) -> Result<Vec<Vec<T>>> {
+        let p = self.size();
+        let gathered = self.gather(data, 0)?;
+        let (flat, counts): (Vec<T>, Vec<u64>) = match gathered {
+            Some(parts) => {
+                let counts = parts.iter().map(|v| v.len() as u64).collect();
+                (parts.into_iter().flatten().collect(), counts)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let counts = self.bcast(if self.rank() == 0 { Some(&counts) } else { None }, 0)?;
+        let flat = self.bcast(if self.rank() == 0 { Some(&flat) } else { None }, 0)?;
+        debug_assert_eq!(counts.len(), p);
+        let mut out = Vec::with_capacity(p);
+        let mut off = 0usize;
+        for &c in &counts {
+            let c = c as usize;
+            out.push(flat[off..off + c].to_vec());
+            off += c;
+        }
+        Ok(out)
+    }
+
+    /// Personalized all-to-all exchange (`MPI_Alltoallv`): `parts[i]` goes
+    /// to rank `i`; returns what each rank sent to this one.
+    pub fn alltoall<T: Pod>(&self, parts: &[Vec<T>]) -> Result<Vec<Vec<T>>> {
+        let p = self.size();
+        assert_eq!(parts.len(), p, "alltoall needs one part per rank");
+        let tag = self.next_coll_tag();
+        let mut sends = Vec::with_capacity(p);
+        for (dst, part) in parts.iter().enumerate() {
+            if dst != self.rank() {
+                sends.push(
+                    self.isend_coll_bytes(crate::datatype::as_bytes(part.as_slice()).to_vec(), dst, tag),
+                );
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(p);
+        for (src, part) in parts.iter().enumerate() {
+            if src == self.rank() {
+                out.push(part.clone());
+            } else {
+                out.push(self.recv_coll::<T>(src, tag)?);
+            }
+        }
+        for s in sends {
+            s.wait_checked()?;
+        }
+        Ok(out)
+    }
+}

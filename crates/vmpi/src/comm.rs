@@ -1,0 +1,404 @@
+//! Communicators and point-to-point operations.
+
+use shmem::BufSlice;
+use crate::datatype::{self, Pod};
+use crate::error::{Result, VmpiError};
+use crate::mailbox::{complete_transfer, Envelope, PendingRecv, RecvTarget};
+use crate::request::{Request, RequestState};
+use crate::world::WorldShared;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wildcard source for receives (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag for receives (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -2;
+
+/// First tag reserved for internal collective traffic; user tags must be
+/// in `0..TAG_UB`.
+pub(crate) const COLL_TAG_BASE: i32 = 1 << 30;
+/// Upper bound (exclusive) of the user tag space.
+pub const TAG_UB: i32 = COLL_TAG_BASE;
+
+/// Completion information of a receive (or probe), like `MPI_Status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank (within the communicator) of the sender.
+    pub source: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+impl Status {
+    /// Number of elements of type `T` in the payload (`MPI_Get_count`).
+    pub fn count<T: Pod>(&self) -> usize {
+        self.bytes / std::mem::size_of::<T>().max(1)
+    }
+}
+
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer — used to derive communicator ids
+    // deterministically on every rank.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A communicator: an isolated message-matching context over a group of
+/// ranks. Each rank holds its own `Comm` value (they are not shared
+/// between ranks).
+pub struct Comm {
+    pub(crate) shared: Arc<WorldShared>,
+    pub(crate) comm_id: u64,
+    rank: usize,
+    group: Arc<Vec<usize>>,
+    /// Sequence number for collectives (same on all ranks because
+    /// collectives are called in the same order on all ranks).
+    pub(crate) coll_seq: AtomicU64,
+    /// Sequence number for communicator derivation (`dup`/`split`).
+    derive_seq: AtomicU64,
+}
+
+impl Comm {
+    pub(crate) fn new(shared: Arc<WorldShared>, comm_id: u64, rank: usize, group: Arc<Vec<usize>>) -> Self {
+        Comm {
+            shared,
+            comm_id,
+            rank,
+            group,
+            coll_seq: AtomicU64::new(0),
+            derive_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// This rank's index within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// World rank backing a communicator rank.
+    #[inline]
+    pub fn world_rank_of(&self, comm_rank: usize) -> usize {
+        self.group[comm_rank]
+    }
+
+    fn check_rank(&self, r: usize) -> Result<()> {
+        if r >= self.size() {
+            return Err(VmpiError::InvalidRank(r));
+        }
+        Ok(())
+    }
+
+    fn check_tag(&self, tag: i32) -> Result<()> {
+        if !(0..TAG_UB).contains(&tag) {
+            return Err(VmpiError::InvalidTag(tag));
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // sends
+    // ---------------------------------------------------------------
+
+    /// Non-blocking typed send (`MPI_Isend`). The payload is copied at
+    /// call time (eager buffering), so the caller's slice is immediately
+    /// reusable; the returned request still completes per the network
+    /// model (rendezvous sends complete when the transfer drains).
+    pub fn isend<T: Pod>(&self, data: &[T], dst: usize, tag: i32) -> Result<Request> {
+        self.check_rank(dst)?;
+        self.check_tag(tag)?;
+        Ok(self.isend_impl(datatype::as_bytes(data).to_vec(), dst, tag))
+    }
+
+    /// Non-blocking send sourcing the payload from a shared-buffer region
+    /// (the pack-buffer path of miniAMR's `communicate`).
+    pub fn isend_from<T: Pod>(&self, slice: &BufSlice<T>, dst: usize, tag: i32) -> Result<Request> {
+        self.check_rank(dst)?;
+        self.check_tag(tag)?;
+        let bytes = slice.with_read(|s| datatype::as_bytes(s).to_vec());
+        Ok(self.isend_impl(bytes, dst, tag))
+    }
+
+    /// Blocking typed send (`MPI_Send`).
+    pub fn send<T: Pod>(&self, data: &[T], dst: usize, tag: i32) -> Result<()> {
+        let req = self.isend(data, dst, tag)?;
+        req.wait_checked()?;
+        Ok(())
+    }
+
+    fn isend_impl(&self, payload: Vec<u8>, dst: usize, tag: i32) -> Request {
+        let dst_world = self.group[dst];
+        let src_world = self.group[self.rank];
+        let nbytes = payload.len();
+        let available_at =
+            Instant::now() + self.shared.net.delay(nbytes, src_world, dst_world);
+        let eager = self.shared.net.is_eager(nbytes) || src_world == dst_world;
+        let send_state = RequestState::new();
+        let send_status = Status { source: self.rank, tag, bytes: nbytes };
+
+        let mailbox = &self.shared.mailboxes[dst_world];
+        enum Outcome {
+            Matched(PendingRecv, Vec<u8>),
+            Queued,
+        }
+        let outcome = {
+            let mut inner = mailbox.inner.lock();
+            match inner.match_arriving(self.rank, tag, self.comm_id) {
+                Some(pr) => Outcome::Matched(pr, payload),
+                None => {
+                    inner.push_envelope(Envelope {
+                        src: self.rank,
+                        tag,
+                        comm: self.comm_id,
+                        payload,
+                        available_at,
+                        send_state: if eager { None } else { Some(Arc::clone(&send_state)) },
+                    });
+                    Outcome::Queued
+                }
+            }
+        };
+        match outcome {
+            Outcome::Matched(pr, payload) => {
+                let send_for_job =
+                    if eager { None } else { Some(Arc::clone(&send_state)) };
+                let src = self.rank;
+                self.shared.delivery.schedule(
+                    available_at,
+                    Box::new(move || {
+                        complete_transfer(payload, src, tag, send_for_job, pr.state, pr.target);
+                    }),
+                );
+            }
+            Outcome::Queued => {
+                mailbox.arrived.notify_all();
+            }
+        }
+        if eager {
+            send_state.complete(send_status, None);
+        }
+        Request::from_state(send_state)
+    }
+
+    // ---------------------------------------------------------------
+    // receives
+    // ---------------------------------------------------------------
+
+    fn irecv_impl(&self, src: i32, tag: i32, target: RecvTarget) -> Request {
+        let state = RequestState::new();
+        let my_world = self.group[self.rank];
+        let mailbox = &self.shared.mailboxes[my_world];
+        enum Outcome {
+            Matched(Envelope, RecvTarget),
+            Queued,
+        }
+        let outcome = {
+            let mut inner = mailbox.inner.lock();
+            match inner.match_posted(src, tag, self.comm_id) {
+                Some(env) => Outcome::Matched(env, target),
+                None => {
+                    inner.push_recv(PendingRecv {
+                        src,
+                        tag,
+                        comm: self.comm_id,
+                        state: Arc::clone(&state),
+                        target,
+                    });
+                    Outcome::Queued
+                }
+            }
+        };
+        if let Outcome::Matched(env, target) = outcome {
+            let recv_state = Arc::clone(&state);
+            let Envelope { src: esrc, tag: etag, payload, available_at, send_state, .. } = env;
+            self.shared.delivery.schedule(
+                available_at,
+                Box::new(move || {
+                    complete_transfer(payload, esrc, etag, send_state, recv_state, target);
+                }),
+            );
+        }
+        Request::from_state(state)
+    }
+
+    /// Non-blocking typed receive (`MPI_Irecv`); the payload is owned by
+    /// the request and extracted with [`Request::take_data`].
+    pub fn irecv(&self, src: i32, tag: i32) -> Result<Request> {
+        self.validate_recv(src, tag)?;
+        Ok(self.irecv_impl(src, tag, RecvTarget::Owned))
+    }
+
+    /// Non-blocking receive into a shared-buffer region. The payload is
+    /// copied into `slice` when the message becomes available; the
+    /// request fails with [`VmpiError::Truncated`] if the message is
+    /// larger than the region.
+    pub fn irecv_into<T: Pod>(&self, slice: BufSlice<T>, src: i32, tag: i32) -> Result<Request> {
+        self.validate_recv(src, tag)?;
+        let writer: crate::mailbox::PayloadWriter = Box::new(move |payload| {
+            let elem = std::mem::size_of::<T>();
+            if elem == 0 || payload.len() % elem != 0 {
+                return Err(VmpiError::TypeMismatch {
+                    payload_bytes: payload.len(),
+                    elem_bytes: elem,
+                });
+            }
+            let n = payload.len() / elem;
+            if n > slice.len() {
+                return Err(VmpiError::Truncated { expected: slice.len(), got: n });
+            }
+            slice.subslice(0..n).with_write(|dst| {
+                datatype::copy_to_slice(payload, dst)
+                    .expect("length verified above");
+            });
+            Ok(())
+        });
+        Ok(self.irecv_impl(src, tag, RecvTarget::Writer(writer)))
+    }
+
+    /// Blocking typed receive returning an owned payload.
+    pub fn recv<T: Pod>(&self, src: i32, tag: i32) -> Result<(Vec<T>, Status)> {
+        let req = self.irecv(src, tag)?;
+        let status = req.wait_checked()?;
+        let data = req.take_data::<T>()?;
+        Ok((data, status))
+    }
+
+    /// Blocking receive into a caller-provided slice; returns the status.
+    /// Errors if the message holds more elements than `dst`.
+    pub fn recv_into<T: Pod>(&self, dst: &mut [T], src: i32, tag: i32) -> Result<Status> {
+        let (data, status) = self.recv::<T>(src, tag)?;
+        if data.len() > dst.len() {
+            return Err(VmpiError::Truncated { expected: dst.len(), got: data.len() });
+        }
+        dst[..data.len()].copy_from_slice(&data);
+        Ok(status)
+    }
+
+    fn validate_recv(&self, src: i32, tag: i32) -> Result<()> {
+        if src != ANY_SOURCE {
+            if src < 0 {
+                return Err(VmpiError::InvalidRank(usize::MAX));
+            }
+            self.check_rank(src as usize)?;
+        }
+        if tag != ANY_TAG {
+            self.check_tag(tag)?;
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // internal entry points for collectives (reserved tag space, so the
+    // user-tag validation is skipped)
+    // ---------------------------------------------------------------
+
+    pub(crate) fn isend_coll_bytes(&self, payload: Vec<u8>, dst: usize, tag: i32) -> Request {
+        debug_assert!(tag >= COLL_TAG_BASE);
+        self.isend_impl(payload, dst, tag)
+    }
+
+    pub(crate) fn irecv_coll(&self, src: usize, tag: i32) -> Request {
+        debug_assert!(tag >= COLL_TAG_BASE);
+        self.irecv_impl(src as i32, tag, RecvTarget::Owned)
+    }
+
+    // ---------------------------------------------------------------
+    // probes
+    // ---------------------------------------------------------------
+
+    /// Non-blocking probe: returns the status of a matching *available*
+    /// message without consuming it.
+    pub fn iprobe(&self, src: i32, tag: i32) -> Result<Option<Status>> {
+        self.validate_recv(src, tag)?;
+        let my_world = self.group[self.rank];
+        let inner = self.shared.mailboxes[my_world].inner.lock();
+        Ok(inner.peek_available(src, tag, self.comm_id, Instant::now()))
+    }
+
+    /// Blocking probe: waits until a matching message is available.
+    pub fn probe(&self, src: i32, tag: i32) -> Result<Status> {
+        self.validate_recv(src, tag)?;
+        let my_world = self.group[self.rank];
+        let mailbox = &self.shared.mailboxes[my_world];
+        let mut inner = mailbox.inner.lock();
+        loop {
+            let now = Instant::now();
+            if let Some(st) = inner.peek_available(src, tag, self.comm_id, now) {
+                return Ok(st);
+            }
+            match inner.earliest_match(src, tag, self.comm_id) {
+                Some(due) => {
+                    mailbox.arrived.wait_until(&mut inner, due);
+                }
+                None => {
+                    mailbox.arrived.wait(&mut inner);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // communicator derivation
+    // ---------------------------------------------------------------
+
+    /// Duplicates the communicator into an isolated matching context
+    /// (`MPI_Comm_dup`). Must be called by all ranks in the same order.
+    pub fn dup(&self) -> Comm {
+        let seq = self.derive_seq.fetch_add(1, Ordering::Relaxed);
+        let id = mix64(self.comm_id ^ mix64(seq.wrapping_mul(2) + 1));
+        Comm::new(Arc::clone(&self.shared), id, self.rank, Arc::clone(&self.group))
+    }
+
+    /// Splits the communicator by color (`MPI_Comm_split`); ranks with the
+    /// same `color` land in the same sub-communicator, ordered by
+    /// `(key, parent rank)`. Collective over the parent communicator.
+    pub fn split(&self, color: i64, key: i64) -> Comm {
+        let seq = self.derive_seq.fetch_add(1, Ordering::Relaxed);
+        let mine = [color, key, self.rank as i64];
+        let all = self.allgather(&mine).expect("split allgather");
+        let mut members: Vec<(i64, i64)> = all
+            .iter()
+            .filter(|v| v[0] == color)
+            .map(|v| (v[1], v[2]))
+            .collect();
+        members.sort_unstable();
+        let group: Vec<usize> =
+            members.iter().map(|&(_, parent)| self.group[parent as usize]).collect();
+        let new_rank = members
+            .iter()
+            .position(|&(_, parent)| parent as usize == self.rank)
+            .expect("calling rank is in its own color group");
+        let id = mix64(self.comm_id ^ mix64(seq.wrapping_mul(2)) ^ (color as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        Comm::new(Arc::clone(&self.shared), id, new_rank, Arc::new(group))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_count() {
+        let st = Status { source: 0, tag: 0, bytes: 32 };
+        assert_eq!(st.count::<f64>(), 4);
+        assert_eq!(st.count::<u8>(), 32);
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(1), mix64(2));
+        // Adjacent inputs land far apart (avalanche property).
+        assert!(mix64(1).abs_diff(mix64(2)) > 1 << 32);
+    }
+}

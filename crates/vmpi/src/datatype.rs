@@ -1,0 +1,5 @@
+//! Typed payload support, re-exported from the `shmem` crate so that the
+//! storage layer and the transport layer agree on one `Pod` definition.
+
+pub use shmem::Pod;
+pub(crate) use shmem::{as_bytes, copy_to_slice, from_bytes};

@@ -1,0 +1,52 @@
+//! Error type for vmpi operations.
+
+use std::fmt;
+
+/// Errors returned by vmpi operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmpiError {
+    /// The destination or source rank is outside `0..size`.
+    InvalidRank(usize),
+    /// The tag is outside the user tag space (negative bits reserved).
+    InvalidTag(i32),
+    /// A receive completed with a payload whose length does not match the
+    /// provided buffer (truncation error, like `MPI_ERR_TRUNCATE`).
+    Truncated {
+        /// Number of elements the receive buffer could hold.
+        expected: usize,
+        /// Number of elements the arriving message carried.
+        got: usize,
+    },
+    /// A receive completed with a payload whose byte size is not a
+    /// multiple of the requested element type.
+    TypeMismatch {
+        /// Byte length of the payload.
+        payload_bytes: usize,
+        /// Size of the requested element type.
+        elem_bytes: usize,
+    },
+    /// The world was already shut down.
+    WorldDown,
+}
+
+impl fmt::Display for VmpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            VmpiError::InvalidTag(t) => write!(f, "invalid tag {t}"),
+            VmpiError::Truncated { expected, got } => {
+                write!(f, "message truncated: buffer holds {expected}, message has {got}")
+            }
+            VmpiError::TypeMismatch { payload_bytes, elem_bytes } => write!(
+                f,
+                "payload of {payload_bytes} bytes is not a multiple of element size {elem_bytes}"
+            ),
+            VmpiError::WorldDown => write!(f, "world has been shut down"),
+        }
+    }
+}
+
+impl std::error::Error for VmpiError {}
+
+/// Convenience result alias for vmpi operations.
+pub type Result<T> = std::result::Result<T, VmpiError>;

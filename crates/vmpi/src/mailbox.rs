@@ -1,0 +1,229 @@
+//! Per-rank message matching engine.
+//!
+//! Matching happens under the destination rank's mailbox lock at send /
+//! receive-post time, which makes matching order identical to operation
+//! order and therefore preserves MPI's non-overtaking guarantee. The
+//! payload only becomes *available* at the envelope's due time (see
+//! [`crate::delivery`]).
+
+use crate::comm::{Status, ANY_SOURCE, ANY_TAG};
+use crate::error::Result;
+use crate::request::RequestState;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A closure that copies an arrived payload into user-provided storage.
+pub(crate) type PayloadWriter = Box<dyn FnOnce(&[u8]) -> Result<()> + Send>;
+
+/// Where a matched payload ends up.
+pub(crate) enum RecvTarget {
+    /// The request owns the payload; the user extracts it afterwards.
+    Owned,
+    /// A writer closure copies the payload into user-provided storage
+    /// (a [`crate::BufSlice`] region or a borrowed slice).
+    Writer(PayloadWriter),
+}
+
+/// A sent-but-unmatched message waiting in the destination mailbox.
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: i32,
+    pub comm: u64,
+    pub payload: Vec<u8>,
+    pub available_at: Instant,
+    /// Present for rendezvous sends: completed when the payload drains.
+    pub send_state: Option<Arc<RequestState>>,
+}
+
+/// A posted-but-unmatched receive.
+pub(crate) struct PendingRecv {
+    pub src: i32,
+    pub tag: i32,
+    pub comm: u64,
+    pub state: Arc<RequestState>,
+    pub target: RecvTarget,
+}
+
+fn matches(env_src: usize, env_tag: i32, env_comm: u64, src: i32, tag: i32, comm: u64) -> bool {
+    comm == env_comm
+        && (src == ANY_SOURCE || src as usize == env_src)
+        && (tag == ANY_TAG || tag == env_tag)
+}
+
+#[derive(Default)]
+pub(crate) struct MailboxInner {
+    msgs: VecDeque<Envelope>,
+    recvs: VecDeque<PendingRecv>,
+}
+
+impl MailboxInner {
+    /// Finds the first posted receive matching an incoming message.
+    pub(crate) fn match_arriving(&mut self, src: usize, tag: i32, comm: u64) -> Option<PendingRecv> {
+        let idx = self
+            .recvs
+            .iter()
+            .position(|r| matches(src, tag, comm, r.src, r.tag, r.comm))?;
+        self.recvs.remove(idx)
+    }
+
+    /// Finds the earliest-sent unmatched message matching a posted receive.
+    pub(crate) fn match_posted(&mut self, src: i32, tag: i32, comm: u64) -> Option<Envelope> {
+        let idx = self
+            .msgs
+            .iter()
+            .position(|m| matches(m.src, m.tag, m.comm, src, tag, comm))?;
+        self.msgs.remove(idx)
+    }
+
+    /// Looks (without consuming) for a matching message whose payload is
+    /// already available; used by `probe`/`iprobe`.
+    pub(crate) fn peek_available(&self, src: i32, tag: i32, comm: u64, now: Instant) -> Option<Status> {
+        self.msgs
+            .iter()
+            .find(|m| matches(m.src, m.tag, m.comm, src, tag, comm) && m.available_at <= now)
+            .map(|m| Status { source: m.src, tag: m.tag, bytes: m.payload.len() })
+    }
+
+    /// Earliest availability time of any matching message (for blocking
+    /// probes that need to sleep until a payload drains).
+    pub(crate) fn earliest_match(&self, src: i32, tag: i32, comm: u64) -> Option<Instant> {
+        self.msgs
+            .iter()
+            .filter(|m| matches(m.src, m.tag, m.comm, src, tag, comm))
+            .map(|m| m.available_at)
+            .min()
+    }
+
+    pub(crate) fn push_envelope(&mut self, env: Envelope) {
+        self.msgs.push_back(env);
+    }
+
+    pub(crate) fn push_recv(&mut self, recv: PendingRecv) {
+        self.recvs.push_back(recv);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn queued_msgs(&self) -> usize {
+        self.msgs.len()
+    }
+}
+
+/// One rank's mailbox: matching state plus a condvar so blocking probes
+/// can sleep until a new envelope arrives.
+pub(crate) struct Mailbox {
+    pub inner: Mutex<MailboxInner>,
+    pub arrived: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Self {
+        Mailbox { inner: Mutex::new(MailboxInner::default()), arrived: Condvar::new() }
+    }
+}
+
+/// Runs the completion of a matched (envelope, receive) pair: copies the
+/// payload to its target and completes both the receive request and, for
+/// rendezvous sends, the send request.
+pub(crate) fn complete_transfer(
+    env_payload: Vec<u8>,
+    env_src: usize,
+    env_tag: i32,
+    send_state: Option<Arc<RequestState>>,
+    recv_state: Arc<RequestState>,
+    target: RecvTarget,
+) {
+    let status = Status { source: env_src, tag: env_tag, bytes: env_payload.len() };
+    match target {
+        RecvTarget::Owned => recv_state.complete(status, Some(env_payload)),
+        RecvTarget::Writer(writer) => match writer(&env_payload) {
+            Ok(()) => recv_state.complete(status, None),
+            Err(e) => recv_state.fail(e),
+        },
+    }
+    if let Some(send) = send_state {
+        send.complete(Status { source: env_src, tag: env_tag, bytes: status.bytes }, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, tag: i32, comm: u64) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            comm,
+            payload: vec![0u8; 8],
+            available_at: Instant::now(),
+            send_state: None,
+        }
+    }
+
+    #[test]
+    fn non_overtaking_same_tag() {
+        let mut mb = MailboxInner::default();
+        let mut e1 = env(0, 5, 0);
+        e1.payload = vec![1];
+        let mut e2 = env(0, 5, 0);
+        e2.payload = vec![2];
+        mb.push_envelope(e1);
+        mb.push_envelope(e2);
+        let first = mb.match_posted(0, 5, 0).unwrap();
+        assert_eq!(first.payload, vec![1]);
+        let second = mb.match_posted(0, 5, 0).unwrap();
+        assert_eq!(second.payload, vec![2]);
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let mut mb = MailboxInner::default();
+        mb.push_envelope(env(3, 9, 0));
+        assert!(mb.match_posted(ANY_SOURCE, ANY_TAG, 0).is_some());
+        assert!(mb.match_posted(ANY_SOURCE, ANY_TAG, 0).is_none());
+    }
+
+    #[test]
+    fn communicator_isolation() {
+        let mut mb = MailboxInner::default();
+        mb.push_envelope(env(0, 1, 7));
+        assert!(mb.match_posted(0, 1, 8).is_none());
+        assert!(mb.match_posted(0, 1, 7).is_some());
+    }
+
+    #[test]
+    fn tag_selectivity_skips_non_matching() {
+        let mut mb = MailboxInner::default();
+        mb.push_envelope(env(0, 1, 0));
+        mb.push_envelope(env(0, 2, 0));
+        let got = mb.match_posted(0, 2, 0).unwrap();
+        assert_eq!(got.tag, 2);
+        // The tag-1 message is still there.
+        assert_eq!(mb.queued_msgs(), 1);
+    }
+
+    #[test]
+    fn posted_recvs_match_in_post_order() {
+        let mut mb = MailboxInner::default();
+        let r1 = PendingRecv {
+            src: ANY_SOURCE,
+            tag: 5,
+            comm: 0,
+            state: RequestState::new(),
+            target: RecvTarget::Owned,
+        };
+        let r2 = PendingRecv {
+            src: 0,
+            tag: 5,
+            comm: 0,
+            state: RequestState::new(),
+            target: RecvTarget::Owned,
+        };
+        mb.push_recv(r1);
+        mb.push_recv(r2);
+        let m = mb.match_arriving(0, 5, 0).unwrap();
+        assert_eq!(m.src, ANY_SOURCE, "first posted receive wins");
+    }
+}

@@ -1,0 +1,280 @@
+//! Request objects for non-blocking operations.
+
+use crate::comm::Status;
+use crate::datatype::{self, Pod};
+use crate::error::{Result, VmpiError};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Callback = Box<dyn FnOnce(&Status) + Send>;
+
+pub(crate) struct RequestInner {
+    done: bool,
+    status: Option<Status>,
+    error: Option<VmpiError>,
+    /// Payload kept for receives that own their data (taken by the user
+    /// after completion).
+    payload: Option<Vec<u8>>,
+    callbacks: Vec<Callback>,
+}
+
+/// Shared completion state between the issuing rank and the delivery
+/// engine.
+pub(crate) struct RequestState {
+    inner: Mutex<RequestInner>,
+    cond: Condvar,
+}
+
+impl RequestState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(RequestState {
+            inner: Mutex::new(RequestInner {
+                done: false,
+                status: None,
+                error: None,
+                payload: None,
+                callbacks: Vec::new(),
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Marks the request complete, stores the payload (for owned
+    /// receives), and fires registered callbacks.
+    pub(crate) fn complete(&self, status: Status, payload: Option<Vec<u8>>) {
+        let callbacks = {
+            let mut inner = self.inner.lock();
+            debug_assert!(!inner.done, "request completed twice");
+            inner.done = true;
+            inner.status = Some(status);
+            inner.payload = payload;
+            std::mem::take(&mut inner.callbacks)
+        };
+        self.cond.notify_all();
+        for cb in callbacks {
+            cb(&status);
+        }
+    }
+
+    /// Marks the request complete with an error.
+    pub(crate) fn fail(&self, error: VmpiError) {
+        let status = Status { source: usize::MAX, tag: -1, bytes: 0 };
+        let callbacks = {
+            let mut inner = self.inner.lock();
+            inner.done = true;
+            inner.error = Some(error);
+            inner.status = Some(status);
+            std::mem::take(&mut inner.callbacks)
+        };
+        self.cond.notify_all();
+        for cb in callbacks {
+            cb(&status);
+        }
+    }
+}
+
+/// Handle to an in-flight non-blocking operation.
+///
+/// Dropping a `Request` without waiting is allowed (the operation still
+/// completes in the background), mirroring `MPI_Request_free` semantics.
+#[derive(Clone)]
+pub struct Request {
+    state: Arc<RequestState>,
+}
+
+impl Request {
+    pub(crate) fn from_state(state: Arc<RequestState>) -> Self {
+        Request { state }
+    }
+
+    /// Blocks until the operation completes and returns its [`Status`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation completed with a transfer error (e.g. a
+    /// truncated receive). This mirrors MPI's default
+    /// `MPI_ERRORS_ARE_FATAL` handler; use [`Request::wait_checked`] to
+    /// handle errors programmatically.
+    pub fn wait(&self) -> Status {
+        match self.wait_checked() {
+            Ok(s) => s,
+            Err(e) => panic!("vmpi request failed: {e}"),
+        }
+    }
+
+    /// Blocks until the operation completes, returning the error if the
+    /// transfer failed.
+    pub fn wait_checked(&self) -> Result<Status> {
+        let mut inner = self.state.inner.lock();
+        while !inner.done {
+            self.state.cond.wait(&mut inner);
+        }
+        match &inner.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(inner.status.expect("completed request has a status")),
+        }
+    }
+
+    /// Non-blocking completion test. Returns the status if complete.
+    pub fn test(&self) -> Option<Status> {
+        let inner = self.state.inner.lock();
+        if inner.done {
+            if let Some(e) = &inner.error {
+                panic!("vmpi request failed: {e}");
+            }
+            inner.status
+        } else {
+            None
+        }
+    }
+
+    /// Returns true once the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.state.inner.lock().done
+    }
+
+    /// Registers a callback invoked exactly once when the operation
+    /// completes. If it already completed, the callback runs immediately
+    /// on the calling thread; otherwise it runs on the delivery thread.
+    ///
+    /// Callbacks must be short and non-blocking — this is the hook the
+    /// task-aware layer uses to release task dependencies.
+    pub fn on_complete<F: FnOnce(&Status) + Send + 'static>(&self, f: F) {
+        let status = {
+            let mut inner = self.state.inner.lock();
+            if inner.done {
+                inner.status
+            } else {
+                inner.callbacks.push(Box::new(f));
+                return;
+            }
+        };
+        f(&status.expect("done request has status"));
+    }
+
+    /// Takes the received payload as a typed vector.
+    ///
+    /// Only meaningful for receives issued with [`crate::Comm::irecv`];
+    /// returns an empty vector for sends. Blocks until completion.
+    pub fn take_data<T: Pod>(&self) -> Result<Vec<T>> {
+        self.wait_checked()?;
+        let mut inner = self.state.inner.lock();
+        match inner.payload.take() {
+            Some(bytes) => datatype::from_bytes(&bytes).ok_or(VmpiError::TypeMismatch {
+                payload_bytes: bytes.len(),
+                elem_bytes: std::mem::size_of::<T>(),
+            }),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Blocks until completion and copies the payload into `dst`,
+    /// returning the number of elements written.
+    pub fn wait_into<T: Pod>(&self, dst: &mut [T]) -> Result<usize> {
+        self.wait_checked()?;
+        let inner = self.state.inner.lock();
+        match &inner.payload {
+            Some(bytes) => datatype::copy_to_slice(bytes, dst).ok_or(VmpiError::Truncated {
+                expected: dst.len(),
+                got: bytes.len() / std::mem::size_of::<T>().max(1),
+            }),
+            None => Ok(0),
+        }
+    }
+}
+
+/// A set of requests supporting `waitall`/`waitany`, mirroring the
+/// `MPI_Waitall`/`MPI_Waitany` combinators the reference miniAMR uses in
+/// its `communicate` loop.
+pub struct RequestSet {
+    requests: Vec<Option<Request>>,
+    remaining: usize,
+}
+
+impl RequestSet {
+    /// Builds a set from individual requests.
+    pub fn new(requests: Vec<Request>) -> Self {
+        let remaining = requests.len();
+        RequestSet { requests: requests.into_iter().map(Some).collect(), remaining }
+    }
+
+    /// Number of not-yet-waited requests in the set.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Waits until all remaining requests complete.
+    pub fn waitall(&mut self) -> Vec<Status> {
+        let mut out = Vec::with_capacity(self.remaining);
+        for slot in self.requests.iter_mut() {
+            if let Some(req) = slot.take() {
+                out.push(req.wait());
+                self.remaining -= 1;
+            }
+        }
+        out
+    }
+
+    /// Waits until *any* remaining request completes, returning its index
+    /// in the original vector and its status. Returns `None` when the set
+    /// is exhausted.
+    ///
+    /// The implementation registers a one-shot waker on every pending
+    /// request rather than polling, so a `waitany` loop costs O(n) per
+    /// completion like a real MPI progress engine, not O(n²) spinning.
+    pub fn waitany(&mut self) -> Option<(usize, Status)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // Fast path: something already finished.
+        for (i, slot) in self.requests.iter_mut().enumerate() {
+            if let Some(req) = slot {
+                if req.is_complete() {
+                    let req = slot.take().expect("checked above");
+                    self.remaining -= 1;
+                    return Some((i, req.wait()));
+                }
+            }
+        }
+        // Slow path: park until a callback fires.
+        let waker = Arc::new((Mutex::new(false), Condvar::new()));
+        for slot in self.requests.iter().flatten() {
+            let waker = Arc::clone(&waker);
+            slot.on_complete(move |_| {
+                let (lock, cond) = &*waker;
+                *lock.lock() = true;
+                cond.notify_all();
+            });
+        }
+        loop {
+            for (i, slot) in self.requests.iter_mut().enumerate() {
+                if let Some(req) = slot {
+                    if req.is_complete() {
+                        let req = slot.take().expect("checked above");
+                        self.remaining -= 1;
+                        return Some((i, req.wait()));
+                    }
+                }
+            }
+            let (lock, cond) = &*waker;
+            let mut fired = lock.lock();
+            if !*fired {
+                cond.wait_for(&mut fired, Duration::from_millis(50));
+            }
+            *fired = false;
+        }
+    }
+
+    /// Retrieves the request at `index` if it has not been consumed by a
+    /// prior `waitany`.
+    pub fn get(&self, index: usize) -> Option<&Request> {
+        self.requests.get(index).and_then(|s| s.as_ref())
+    }
+}
+
+impl FromIterator<Request> for RequestSet {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        RequestSet::new(iter.into_iter().collect())
+    }
+}

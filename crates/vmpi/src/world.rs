@@ -1,0 +1,276 @@
+//! World setup: rank threads and shared infrastructure.
+
+use crate::comm::Comm;
+use crate::delivery::DeliveryService;
+use crate::mailbox::Mailbox;
+use crate::net::NetworkModel;
+use std::sync::Arc;
+
+pub(crate) struct WorldShared {
+    pub n: usize,
+    pub net: NetworkModel,
+    pub mailboxes: Vec<Mailbox>,
+    pub delivery: Arc<DeliveryService>,
+}
+
+/// A fixed-size group of ranks sharing one in-process "cluster".
+///
+/// `World::run` executes one closure per rank, each on its own OS thread,
+/// handing each a [`Comm`] for the world communicator. The closure's
+/// return values are collected in rank order — this is how benchmarks and
+/// tests extract per-rank results.
+pub struct World {
+    shared: Arc<WorldShared>,
+}
+
+impl World {
+    /// Creates a world of `n` ranks with the given network model.
+    pub fn new(n: usize, net: NetworkModel) -> Self {
+        assert!(n > 0, "world needs at least one rank");
+        let mailboxes = (0..n).map(|_| Mailbox::new()).collect();
+        World {
+            shared: Arc::new(WorldShared {
+                n,
+                net,
+                mailboxes,
+                delivery: DeliveryService::new(),
+            }),
+        }
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Builds the world communicator handle for one rank. Prefer
+    /// [`World::run`]; this is for tests driving ranks manually.
+    pub fn comm_for(&self, rank: usize) -> Comm {
+        assert!(rank < self.shared.n, "rank {rank} out of range");
+        let group: Arc<Vec<usize>> = Arc::new((0..self.shared.n).collect());
+        Comm::new(Arc::clone(&self.shared), 0, rank, group)
+    }
+
+    /// Runs `f` once per rank, each invocation on its own OS thread, and
+    /// returns the per-rank results in rank order.
+    ///
+    /// # Panics
+    ///
+    /// If any rank's closure panics, the panic is propagated after all
+    /// threads have been joined.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        let n = self.shared.n;
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let comm = self.comm_for(rank);
+                let f = &f;
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("vmpi-rank-{rank}"))
+                        .spawn_scoped(s, move || {
+                            *slot = Some(f(comm));
+                        })
+                        .expect("spawn rank thread"),
+                );
+            }
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                if let Err(e) = h.join() {
+                    panic.get_or_insert(e);
+                }
+            }
+            if let Some(p) = panic {
+                std::panic::resume_unwind(p);
+            }
+        });
+        results.into_iter().map(|r| r.expect("every rank produced a result")).collect()
+    }
+}
+
+impl Drop for World {
+    fn drop(&mut self) {
+        self.shared.delivery.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ReduceOp, ANY_SOURCE, ANY_TAG};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn ring_pass() {
+        let world = World::new(5, NetworkModel::instant());
+        let sums = world.run(|comm| {
+            let p = comm.size();
+            let next = (comm.rank() + 1) % p;
+            let prev = (comm.rank() + p - 1) % p;
+            let send = comm.isend(&[comm.rank() as i64], next, 1).unwrap();
+            let (data, st) = comm.recv::<i64>(prev as i32, 1).unwrap();
+            send.wait();
+            assert_eq!(st.source, prev);
+            data[0]
+        });
+        assert_eq!(sums, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_send_does_not_deadlock() {
+        let world = World::new(1, NetworkModel::cluster());
+        world.run(|comm| {
+            comm.send(&[1.0f64; 100_000], 0, 3).unwrap();
+            let (data, _) = comm.recv::<f64>(0, 3).unwrap();
+            assert_eq!(data.len(), 100_000);
+        });
+    }
+
+    #[test]
+    fn wildcard_receive_collects_all() {
+        let world = World::new(4, NetworkModel::instant());
+        world.run(|comm| {
+            if comm.rank() == 0 {
+                let mut seen = [false; 4];
+                seen[0] = true;
+                for _ in 0..3 {
+                    let (data, st) = comm.recv::<u64>(ANY_SOURCE, ANY_TAG).unwrap();
+                    assert_eq!(data[0] as usize, st.source);
+                    seen[st.source] = true;
+                }
+                assert!(seen.iter().all(|&s| s));
+            } else {
+                comm.send(&[comm.rank() as u64], 0, comm.rank() as i32).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn network_model_delays_availability() {
+        let world = World::new(2, NetworkModel::new(Duration::from_millis(30), f64::INFINITY));
+        world.run(|comm| {
+            if comm.rank() == 0 {
+                comm.isend(&[9u8], 1, 0).unwrap();
+            } else {
+                let t0 = Instant::now();
+                let _ = comm.recv::<u8>(0, 0).unwrap();
+                assert!(t0.elapsed() >= Duration::from_millis(25), "latency was not applied");
+            }
+        });
+    }
+
+    #[test]
+    fn collectives_roundtrip() {
+        let world = World::new(6, NetworkModel::instant());
+        world.run(|comm| {
+            let r = comm.rank();
+            comm.barrier().unwrap();
+            // bcast
+            let data = comm
+                .bcast(if r == 2 { Some(&[10i64, 20, 30][..]) } else { None }, 2)
+                .unwrap();
+            assert_eq!(data, vec![10, 20, 30]);
+            // reduce / allreduce
+            let total = comm.allreduce_scalar(r as i64 + 1, ReduceOp::Sum).unwrap();
+            assert_eq!(total, 21);
+            let max = comm.allreduce_scalar(r as i64, ReduceOp::Max).unwrap();
+            assert_eq!(max, 5);
+            // gather (variable sizes)
+            let mine: Vec<u32> = (0..r as u32).collect();
+            let g = comm.gather(&mine, 1).unwrap();
+            if r == 1 {
+                let g = g.unwrap();
+                for (i, v) in g.iter().enumerate() {
+                    assert_eq!(v.len(), i);
+                }
+            } else {
+                assert!(g.is_none());
+            }
+            // allgather
+            let all = comm.allgather(&[r as i64]).unwrap();
+            assert_eq!(all.len(), 6);
+            for (i, v) in all.iter().enumerate() {
+                assert_eq!(v[0], i as i64);
+            }
+            // alltoall
+            let parts: Vec<Vec<i64>> = (0..6).map(|d| vec![(r * 10 + d) as i64]).collect();
+            let got = comm.alltoall(&parts).unwrap();
+            for (src, v) in got.iter().enumerate() {
+                assert_eq!(v[0], (src * 10 + r) as i64);
+            }
+        });
+    }
+
+    #[test]
+    fn probe_reports_size_without_consuming() {
+        let world = World::new(2, NetworkModel::instant());
+        world.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1.0f64, 2.0, 3.0], 1, 5).unwrap();
+            } else {
+                let st = comm.probe(0, 5).unwrap();
+                assert_eq!(st.count::<f64>(), 3);
+                let (data, _) = comm.recv::<f64>(0, 5).unwrap();
+                assert_eq!(data, vec![1.0, 2.0, 3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn split_partitions_by_color() {
+        let world = World::new(6, NetworkModel::instant());
+        world.run(|comm| {
+            let color = (comm.rank() % 2) as i64;
+            let sub = comm.split(color, comm.rank() as i64);
+            assert_eq!(sub.size(), 3);
+            let sum = sub.allreduce_scalar(comm.rank() as i64, ReduceOp::Sum).unwrap();
+            if color == 0 {
+                assert_eq!(sum, 2 + 4);
+            } else {
+                assert_eq!(sum, 1 + 3 + 5);
+            }
+            // Sub-communicator traffic must not leak into the parent.
+            comm.barrier().unwrap();
+        });
+    }
+
+    #[test]
+    fn dup_isolates_matching() {
+        let world = World::new(2, NetworkModel::instant());
+        world.run(|comm| {
+            let dup = comm.dup();
+            if comm.rank() == 0 {
+                comm.send(&[1i32], 1, 0).unwrap();
+                dup.send(&[2i32], 1, 0).unwrap();
+            } else {
+                // Receive in the opposite order: matching is per-communicator.
+                let (d, _) = dup.recv::<i32>(0, 0).unwrap();
+                let (c, _) = comm.recv::<i32>(0, 0).unwrap();
+                assert_eq!(d, vec![2]);
+                assert_eq!(c, vec![1]);
+            }
+        });
+    }
+
+    #[test]
+    fn nonovertaking_order_preserved_under_latency() {
+        let world = World::new(2, NetworkModel::new(Duration::from_millis(2), 1.0e6));
+        world.run(|comm| {
+            if comm.rank() == 0 {
+                for i in 0..10i64 {
+                    comm.isend(&[i], 1, 7).unwrap();
+                }
+            } else {
+                for i in 0..10i64 {
+                    let (d, _) = comm.recv::<i64>(0, 7).unwrap();
+                    assert_eq!(d[0], i, "messages overtook each other");
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,80 @@
+//! The *four spheres* input problem (Vaughan et al., used in the paper's
+//! Table II and Figures 4–5): two pairs of spheres cross the mesh in
+//! opposite directions along X, passing near the center without
+//! colliding. The refined region follows the spheres, so blocks are
+//! created, destroyed and rebalanced continuously.
+//!
+//! This example compares the three variants' phase times on the same
+//! input and prints the communication statistics.
+//!
+//! ```text
+//! cargo run --release --example four_spheres
+//! ```
+
+use miniamr::{Config, Variant};
+use vmpi::NetworkModel;
+
+fn main() {
+    let params = amr_mesh::MeshParams {
+        npx: 2,
+        npy: 2,
+        npz: 1,
+        init_x: 2,
+        init_y: 2,
+        init_z: 4,
+        nx: 6,
+        ny: 6,
+        nz: 6,
+        num_vars: 8,
+        num_refine: 1,
+        block_change: 1,
+    };
+    let base = {
+        let mut cfg = Config::four_spheres(params, 10);
+        cfg.stages_per_ts = 6;
+        cfg.checksum_freq = 6;
+        cfg.refine_freq = 5;
+        cfg.workers = 2;
+        cfg
+    };
+
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "variant", "total[s]", "comm[s]", "stencil", "refine", "msgs", "moved"
+    );
+    let mut reference: Option<Vec<Vec<f64>>> = None;
+    for variant in [Variant::MpiOnly, Variant::ForkJoin, Variant::DataFlow] {
+        let mut cfg = base.clone();
+        cfg.variant = variant;
+        if variant == Variant::DataFlow {
+            cfg.send_faces = true;
+            cfg.separate_buffers = true;
+            cfg.max_comm_tasks = 8;
+            cfg.delayed_checksum = true;
+        }
+        let net = NetworkModel::new(std::time::Duration::from_micros(40), 4.0e9);
+        let stats = miniamr::run_world(&cfg, 4, net);
+        let max = |f: fn(&miniamr::RunStats) -> std::time::Duration| {
+            stats.iter().map(f).max().unwrap_or_default().as_secs_f64()
+        };
+        println!(
+            "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8} {:>8}",
+            format!("{variant:?}"),
+            max(|s| s.times.total),
+            max(|s| s.times.communicate),
+            max(|s| s.times.stencil),
+            max(|s| s.times.refine),
+            stats.iter().map(|s| s.msgs_sent).sum::<u64>(),
+            stats.iter().map(|s| s.blocks_moved).sum::<u64>(),
+        );
+        for s in &stats {
+            assert_eq!(s.checksums_failed, 0, "{variant:?} failed validation");
+        }
+        match &reference {
+            None => reference = Some(stats[0].checksums.clone()),
+            Some(r) => assert_eq!(r, &stats[0].checksums, "{variant:?} diverged"),
+        }
+    }
+    println!("\nall variants agree bitwise ✓ (the spheres moved, blocks refined,");
+    println!("coarsened and migrated — and every variant saw the identical physics)");
+}

@@ -1,0 +1,53 @@
+//! A tour of the `simnet` API: extract a workload from a real mesh
+//! evolution and preview how the three execution models scale it —
+//! a miniature of the Figure 4 study that runs in seconds.
+//!
+//! ```text
+//! cargo run --release --example scaling_preview
+//! ```
+
+use simnet::workload::WorkloadParams;
+use simnet::{rank_grid_for, simulate, CostModel, ExecModel, Workload};
+
+fn main() {
+    let cost = CostModel::default();
+    println!("nodes  mpi[s]   fj[s]    df[s]   df/mpi  df_refine%");
+    for nodes in [1usize, 2, 4, 8] {
+        // 48 cores per node; the hybrid variants run 4 ranks/node × 12
+        // workers. Same root mesh for everyone.
+        let roots = (4 * nodes, 4, 3);
+        let objects = vec![
+            amr_mesh::Object::sphere([0.25, 0.4, 0.5], 0.15, [0.03, 0.0, 0.0]),
+            amr_mesh::Object::sphere([0.75, 0.6, 0.5], 0.15, [-0.03, 0.0, 0.0]),
+        ];
+        let gen = |ranks: usize, rpn: usize, msgs: usize| -> Workload {
+            let mesh = rank_grid_for(roots, (12, 12, 12), 20, 2, ranks)
+                .expect("rank grid divides the root blocks");
+            Workload::generate(&WorkloadParams {
+                mesh,
+                objects: objects.clone(),
+                num_tsteps: 20,
+                stages_per_ts: 10,
+                checksum_freq: 10,
+                refine_freq: 5,
+                msgs_per_pair_dir: msgs,
+                ranks_per_node: rpn,
+            })
+        };
+        let w_mpi = gen(48 * nodes, 48, 0);
+        let w_hyb = gen(4 * nodes, 4, 8);
+
+        let mpi = simulate(&w_mpi, &ExecModel::MpiOnly, &cost);
+        let fj = simulate(&w_hyb, &ExecModel::ForkJoin { workers: 12 }, &cost);
+        let df = simulate(&w_hyb, &ExecModel::dataflow(12), &cost);
+        println!(
+            "{nodes:>5}  {:>7.2}  {:>7.2}  {:>7.2}  {:>6.2}  {:>9.1}",
+            mpi.total,
+            fj.total,
+            df.total,
+            mpi.total / df.total,
+            100.0 * df.refine / df.total,
+        );
+    }
+    println!("\n(the full Figure 4/5 sweeps: cargo run --release -p amr-bench --bin weak_scaling)");
+}

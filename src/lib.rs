@@ -1,0 +1,26 @@
+//! # miniamr-repro — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *"Towards Data-Flow
+//! Parallelization for Adaptive Mesh Refinement Applications"* (Sala,
+//! Rico, Beltran; IEEE CLUSTER 2020). See the repository README for the
+//! architecture and DESIGN.md / EXPERIMENTS.md for the reproduction
+//! methodology and results.
+//!
+//! This crate re-exports the workspace members so integration tests and
+//! examples can reach everything through one dependency:
+//!
+//! * [`shmem`] — shared buffers with dynamic race detection
+//! * [`vmpi`] — the in-process message-passing substrate
+//! * [`taskrt`] — the OmpSs-2-like data-flow task runtime
+//! * [`tampi`] — the task-aware communication layer
+//! * [`amr_mesh`] — the AMR mesh engine
+//! * [`miniamr`] — the proxy application and its three variants
+//! * [`simnet`] — the at-scale cluster performance model
+
+pub use amr_mesh;
+pub use miniamr;
+pub use shmem;
+pub use simnet;
+pub use tampi;
+pub use taskrt;
+pub use vmpi;
