@@ -1,0 +1,249 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `Throughput`, `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, one warmup call, then `sample_size`
+//! samples of an adaptively-sized inner loop; the reported figure is the
+//! fastest sample (least-noise estimator). Results are printed to stdout
+//! and, when the `CRITERION_JSON` environment variable names a file, also
+//! appended there as JSON lines:
+//! `{"group":…,"name":…,"ns_per_iter":…,"throughput_per_s":…}`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget; total ≈ `sample_size × TARGET_SAMPLE`.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How batched inputs are grouped per timing sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    /// One setup per timed call (used when the routine consumes its input
+    /// and setup is expensive, e.g. spawning a runtime).
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (implicit anonymous group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark("", &id.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, &id.into(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Best (ns-per-iteration, iters) observed, filled by iter/iter_batched.
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over adaptively-sized inner loops.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup + calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / per_sample as f64;
+            best = best.min(ns);
+        }
+        self.best_ns_per_iter = best;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // Calibrate with one timed call.
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Setup cost is excluded from timing but still paid per call, so
+        // bound the per-sample batch harder than in `iter`.
+        let per_sample = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            let ns = elapsed.as_nanos() as f64 / per_sample as f64;
+            best = best.min(ns);
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+fn run_benchmark<F>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { sample_size, best_ns_per_iter: f64::NAN };
+    f(&mut bencher);
+    let ns = bencher.best_ns_per_iter;
+
+    let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let (rate, unit) = match throughput {
+        Some(Throughput::Elements(n)) => (n as f64 / (ns * 1e-9), "elem/s"),
+        Some(Throughput::Bytes(n)) => (n as f64 / (ns * 1e-9), "B/s"),
+        None => (0.0, ""),
+    };
+    if unit.is_empty() {
+        println!("bench {full:<44} {ns:>14.1} ns/iter");
+    } else {
+        println!("bench {full:<44} {ns:>14.1} ns/iter  {:>12.3e} {unit}", rate);
+    }
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            let line = format!(
+                "{{\"group\":\"{group}\",\"name\":\"{id}\",\"ns_per_iter\":{ns:.1},\"throughput_per_s\":{rate:.1},\"throughput_unit\":\"{unit}\"}}\n",
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut fh| fh.write_all(line.as_bytes()));
+        }
+    }
+}
+
+/// Declares a benchmark group runner function (criterion API parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_finite_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default();
+        c.bench_function("drain", |b| {
+            b.iter_batched(|| vec![1u8; 32], |v| v.len(), BatchSize::PerIteration);
+        });
+    }
+}

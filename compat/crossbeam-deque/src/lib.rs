@@ -1,0 +1,218 @@
+//! Offline shim for `crossbeam-deque`, backed by `Mutex<VecDeque>`.
+//!
+//! Semantics match the subset the task scheduler uses: a LIFO [`Worker`]
+//! owned by one thread, [`Stealer`] handles that take from the opposite
+//! end, and a shared FIFO [`Injector`]. The lock-based implementation is
+//! slower than the real lock-free deque but behaviourally equivalent.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was observed empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The attempt lost a race and may be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+
+    /// Whether the source was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Whether a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A worker-local deque. The owner pushes and pops at the back (LIFO);
+/// stealers take from the front.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a LIFO worker queue.
+    pub fn new_lifo() -> Worker<T> {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Creates a FIFO worker queue. With the mutex-backed deque, FIFO is
+    /// modelled the same way; only the owner's pop end differs, which the
+    /// scheduler does not rely on.
+    pub fn new_fifo() -> Worker<T> {
+        Worker::new_lifo()
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops a task from the owner's end (most recently pushed).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_back()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Creates a stealer handle sharing this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A handle for stealing tasks from a [`Worker`]'s queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the worker's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A shared FIFO queue that any thread can push to or steal from.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Injector<T> {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Steals the oldest task from the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks, moving the surplus into `dest` and
+    /// returning the first one.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.queue);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        // Move up to half of the remainder (crossbeam's batch heuristic).
+        let extra = q.len() / 2;
+        if extra > 0 {
+            let mut dst = lock(&dest.queue);
+            for _ in 0..extra {
+                if let Some(task) = q.pop_front() {
+                    dst.push_back(task);
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_pop() {
+        let inj = Injector::new();
+        for i in 0..6 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Half of the remaining five (two tasks) moved into the worker.
+        assert_eq!(w.len(), 2);
+        assert_eq!(inj.len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Implements the subset used by this workspace's tests: a seedable
+//! [`rngs::StdRng`] (SplitMix64 core — deterministic, not the real
+//! StdRng stream, which the tests do not depend on) and
+//! [`Rng::gen_range`] over half-open and inclusive integer/float ranges.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Trait for RNGs, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Extension methods for RNGs, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a value of type `T` from its full standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<G: RngCore + ?Sized> Rng for G {}
+
+/// Trait for seedable RNGs, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from an RNG's full range (mirrors `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    fn sample<G: RngCore>(rng: &mut G) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<G: RngCore>(rng: &mut G) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<G: RngCore>(rng: &mut G) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<G: RngCore>(rng: &mut G) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<G: RngCore>(rng: &mut G) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types uniformly samplable from a bounded range (mirrors
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` (`inclusive` ⇒ `[lo, hi]`).
+    fn sample_uniform<G: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut G)
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<G: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut G,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "gen_range: empty range");
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<G: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut G) -> f64 {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<G: RngCore + ?Sized>(lo: f32, hi: f32, _inclusive: bool, rng: &mut G) -> f32 {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Ranges a value can be uniformly sampled from (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// Implemented as two blanket impls over [`SampleUniform`] — matching the
+/// real crate's structure so integer-literal type inference behaves the
+/// same (`start + rng.gen_range(1..10)` unifies with `start`'s type).
+pub trait SampleRange<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic 64-bit PRNG (SplitMix64). Stands in for rand's
+    /// `StdRng`; the stream differs from upstream, which is fine for the
+    /// seeded stress tests in this workspace.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(1..3);
+            assert!((1..3).contains(&v));
+            let u: usize = rng.gen_range(0..20);
+            assert!(u < 20);
+            let f: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let i: u8 = rng.gen_range(0..=4);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_full_span() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

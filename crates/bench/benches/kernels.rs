@@ -4,9 +4,10 @@
 use amr_mesh::block_id::{BlockId, Dir, Side};
 use amr_mesh::data::{merge_children, split_block, BlockData, BlockLayout};
 use amr_mesh::face;
-use amr_mesh::stencil::{apply_stencil, StencilKind};
+use amr_mesh::stencil::{apply_stencil, apply_stencil_reference, StencilKind};
 use amr_mesh::MeshParams;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use shmem::BufferPool;
 
 fn mesh(cells: usize, vars: usize) -> MeshParams {
     MeshParams {
@@ -33,11 +34,19 @@ fn bench_stencils(c: &mut Criterion) {
         let l = BlockLayout::of(&p);
         let b = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
         g.throughput(Throughput::Elements((cells * cells * cells * vars) as u64));
+        // `apply_stencil` is the plane-sliding kernel; `*_ref` is the
+        // original full-work-array kernel kept for comparison.
         g.bench_function(format!("7pt_{cells}c_{vars}v"), |bench| {
             bench.iter(|| apply_stencil(&b, &l, StencilKind::SevenPoint, 0..vars));
         });
+        g.bench_function(format!("7pt_ref_{cells}c_{vars}v"), |bench| {
+            bench.iter(|| apply_stencil_reference(&b, &l, StencilKind::SevenPoint, 0..vars));
+        });
         g.bench_function(format!("27pt_{cells}c_{vars}v"), |bench| {
             bench.iter(|| apply_stencil(&b, &l, StencilKind::TwentySevenPoint, 0..vars));
+        });
+        g.bench_function(format!("27pt_ref_{cells}c_{vars}v"), |bench| {
+            bench.iter(|| apply_stencil_reference(&b, &l, StencilKind::TwentySevenPoint, 0..vars));
         });
     }
     g.finish();
@@ -53,6 +62,15 @@ fn bench_faces(c: &mut Criterion) {
     g.bench_function("extract_12c_20v", |bench| {
         bench.iter(|| face::extract_face(&a, &l, Dir::X, Side::Hi, 0..20));
     });
+    // Zero-copy variant: same work, but straight into a reused buffer.
+    let mut out = vec![0.0; 20 * l.face_cells(Dir::X)];
+    g.bench_function("extract_into_12c_20v", |bench| {
+        bench.iter(|| face::extract_face_into(&a, &l, Dir::X, Side::Hi, 0..20, &mut out));
+    });
+    let mut out_z = vec![0.0; 20 * l.face_cells(Dir::Z)];
+    g.bench_function("extract_into_z_12c_20v", |bench| {
+        bench.iter(|| face::extract_face_into(&a, &l, Dir::Z, Side::Hi, 0..20, &mut out_z));
+    });
     let f = face::extract_face(&a, &l, Dir::X, Side::Hi, 0..20);
     g.bench_function("inject_12c_20v", |bench| {
         bench.iter(|| face::inject_ghost_face(&b, &l, Dir::X, Side::Lo, 0..20, &f));
@@ -60,6 +78,17 @@ fn bench_faces(c: &mut Criterion) {
     let (n1, n2) = face::face_dims(&l, Dir::X);
     g.bench_function("restrict_12c_20v", |bench| {
         bench.iter(|| face::restrict_face(&f, n1, n2, 20));
+    });
+    // Fused single pass vs the two-step extract + restrict.
+    let mut rout = vec![0.0; 20 * (n1 / 2) * (n2 / 2)];
+    g.bench_function("restrict_fused_12c_20v", |bench| {
+        bench.iter(|| face::restrict_from_block_into(&a, &l, Dir::X, Side::Hi, 0..20, &mut rout));
+    });
+    g.bench_function("restrict_two_step_12c_20v", |bench| {
+        bench.iter(|| {
+            let full = face::extract_face(&a, &l, Dir::X, Side::Hi, 0..20);
+            face::restrict_face(&full, n1, n2, 20)
+        });
     });
     let q = face::restrict_face(&f, n1, n2, 20);
     g.bench_function("prolong_12c_20v", |bench| {
@@ -108,12 +137,55 @@ fn bench_refinement_plan(c: &mut Criterion) {
     });
 }
 
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool");
+    g.sample_size(20);
+    // Steady-state take: every call is a free-list hit.
+    let pool = BufferPool::new();
+    drop(pool.take(4096));
+    g.bench_function("take_hit_4096", |bench| {
+        bench.iter(|| {
+            let buf = pool.take(4096);
+            black_box(buf[0]);
+        });
+    });
+    g.bench_function("alloc_4096", |bench| {
+        bench.iter(|| {
+            let buf = vec![0.0f64; 4096];
+            black_box(buf[0]);
+        });
+    });
+    // Mixed face-payload sizes, as a stage produces them; report hit rate.
+    let pool = BufferPool::new();
+    let sizes = [144usize, 2880, 720, 36, 2880, 144];
+    for &s in &sizes {
+        drop(pool.take(s));
+    }
+    g.bench_function("take_hit_mixed_sizes", |bench| {
+        bench.iter(|| {
+            for &s in &sizes {
+                let buf = pool.take(s);
+                black_box(buf.len());
+            }
+        });
+    });
+    let stats = pool.stats();
+    println!(
+        "pool hit rate after warmup: {:.4} ({} hits / {} misses)",
+        stats.hit_rate(),
+        stats.hits,
+        stats.misses
+    );
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_stencils,
     bench_faces,
     bench_refine_ops,
     bench_checksum,
-    bench_refinement_plan
+    bench_refinement_plan,
+    bench_pool
 );
 criterion_main!(benches);

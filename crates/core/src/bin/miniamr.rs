@@ -212,6 +212,13 @@ fn main() {
     println!("final_blocks\t{}", stats.iter().map(|s| s.final_blocks).sum::<usize>());
     println!("blocks_moved\t{moved}");
     println!("msgs_sent\t{msgs}");
+    let pool_hits: u64 = stats.iter().map(|s| s.pool.hits).sum();
+    let pool_misses: u64 = stats.iter().map(|s| s.pool.misses).sum();
+    println!("pool_hits\t{pool_hits}");
+    println!("pool_misses\t{pool_misses}");
+    if pool_hits + pool_misses > 0 {
+        println!("pool_hit_rate\t{:.4}", pool_hits as f64 / (pool_hits + pool_misses) as f64);
+    }
     if trace {
         for s in &stats {
             if let Some(tr) = &s.trace {

@@ -74,7 +74,11 @@ pub struct BlockingMover {
 
 impl BlockMover for BlockingMover {
     fn send_block(&mut self, comm: &Arc<Comm>, state: &RankState, block: BlockData, to: usize, tag: i32) {
-        let payload = block.pack_interior(&state.layout, 0..state.cfg.params.num_vars);
+        // Stage through the rank's buffer pool: `isend` snapshots the
+        // payload, so the pooled buffer recycles immediately.
+        let nv = state.cfg.params.num_vars;
+        let mut payload = state.pool.take(nv * state.layout.cells());
+        block.pack_interior_into(&state.layout, 0..nv, &mut payload);
         self.pending_sends.push(comm.isend(&payload, to, tag).expect("send block"));
     }
 

@@ -12,8 +12,10 @@ use amr_mesh::data::{split_block, BlockData, BlockLayout};
 use amr_mesh::face;
 use amr_mesh::stencil::apply_stencil;
 use amr_mesh::{checksum, BlockId, MeshDirectory};
+use shmem::BufferPool;
 use std::collections::BTreeMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// The state one rank owns: the replicated directory, the local block
 /// data, and the moving objects.
@@ -32,6 +34,9 @@ pub struct RankState {
     pub rank: usize,
     /// World size.
     pub n_ranks: usize,
+    /// Recyclable scratch buffers for payload staging (local transfers,
+    /// block exchanges). Shared with worker tasks via `Arc`.
+    pub pool: Arc<BufferPool>,
 }
 
 impl RankState {
@@ -69,7 +74,7 @@ impl RankState {
             }
             dir.apply_plan(&plan);
         }
-        RankState { cfg: cfg.clone(), layout, dir, objects, blocks, rank, n_ranks, }
+        RankState { cfg: cfg.clone(), layout, dir, objects, blocks, rank, n_ranks, pool: BufferPool::new() }
     }
 
     /// The blocks this rank owns, in id order (cheap clones of handles).
@@ -111,25 +116,47 @@ impl RankState {
     }
 }
 
+/// Number of payload elements a transfer carries for `nvars` variables
+/// (what [`pack_transfer_into`] writes and [`unpack_transfer`] reads).
+#[inline]
+pub fn transfer_payload_elems(t: &FaceTransfer, nvars: usize) -> usize {
+    t.elems_per_var * nvars
+}
+
 /// Extracts (and transforms) the payload of one face transfer from the
-/// sending block — the *pack* operation.
+/// sending block — the *pack* operation (allocating convenience wrapper
+/// around [`pack_transfer_into`]).
 pub fn pack_transfer(layout: &BlockLayout, src: &BlockData, t: &FaceTransfer, vars: Range<usize>) -> Vec<f64> {
+    let mut out = vec![0.0; transfer_payload_elems(t, vars.len())];
+    pack_transfer_into(layout, src, t, vars, &mut out);
+    out
+}
+
+/// [`pack_transfer`] writing directly into a caller-supplied buffer
+/// (typically a message-buffer section), with no intermediate vector even
+/// for the restrict path: restriction is fused with the face read.
+pub fn pack_transfer_into(
+    layout: &BlockLayout,
+    src: &BlockData,
+    t: &FaceTransfer,
+    vars: Range<usize>,
+    out: &mut [f64],
+) {
     debug_assert_eq!(src.id, t.src_block);
-    let (n1, n2) = face::face_dims(layout, t.dir);
     match t.kind {
-        TransferKind::Same => face::extract_face(src, layout, t.dir, t.src_side(), vars),
+        TransferKind::Same => face::extract_face_into(src, layout, t.dir, t.src_side(), vars, out),
         TransferKind::Restrict { .. } => {
-            let full = face::extract_face(src, layout, t.dir, t.src_side(), vars.clone());
-            face::restrict_face(&full, n1, n2, vars.len())
+            face::restrict_from_block_into(src, layout, t.dir, t.src_side(), vars, out)
         }
         TransferKind::Prolong { quarter } => {
-            face::extract_face_quarter(src, layout, t.dir, t.src_side(), quarter, vars)
+            face::extract_face_quarter_into(src, layout, t.dir, t.src_side(), quarter, vars, out)
         }
     }
 }
 
 /// Injects a received payload into the receiving block's ghost plane —
-/// the *unpack* operation.
+/// the *unpack* operation. Allocation-free: the prolongation path writes
+/// the duplicated coarse values straight into the ghost plane.
 pub fn unpack_transfer(
     layout: &BlockLayout,
     dst: &BlockData,
@@ -138,29 +165,31 @@ pub fn unpack_transfer(
     payload: &[f64],
 ) {
     debug_assert_eq!(dst.id, t.dst_block);
-    let (n1, n2) = face::face_dims(layout, t.dir);
     match t.kind {
         TransferKind::Same => face::inject_ghost_face(dst, layout, t.dir, t.dst_side, vars, payload),
         TransferKind::Restrict { quarter } => {
             face::inject_ghost_quarter(dst, layout, t.dir, t.dst_side, quarter, vars, payload)
         }
         TransferKind::Prolong { .. } => {
-            let full = face::prolong_face(payload, n1, n2, vars.len());
-            face::inject_ghost_face(dst, layout, t.dir, t.dst_side, vars, &full)
+            face::inject_prolonged_face(dst, layout, t.dir, t.dst_side, vars, payload)
         }
     }
 }
 
 /// Performs a rank-local transfer: pack from the source block and unpack
-/// into the destination — miniAMR's intra-process communication.
+/// into the destination — miniAMR's intra-process communication. The
+/// staging payload comes from the rank's [`BufferPool`], so the hot path
+/// performs no heap allocation once the pool is warm.
 pub fn apply_local_transfer(
     layout: &BlockLayout,
     src: &BlockData,
     dst: &BlockData,
     t: &FaceTransfer,
     vars: Range<usize>,
+    pool: &Arc<BufferPool>,
 ) {
-    let payload = pack_transfer(layout, src, t, vars.clone());
+    let mut payload = pool.take(transfer_payload_elems(t, vars.len()));
+    pack_transfer_into(layout, src, t, vars.clone(), &mut payload);
     unpack_transfer(layout, dst, t, vars, &payload);
 }
 
@@ -205,7 +234,7 @@ mod tests {
         let dst_b = BlockData::empty(t.dst_block, &cfg.params);
         unpack_transfer(&state.layout, &dst_b, t, vars.clone(), &payload);
         // Local path.
-        apply_local_transfer(&state.layout, src, dst_a, t, vars.clone());
+        apply_local_transfer(&state.layout, src, dst_a, t, vars.clone(), &state.pool);
         // Compare the ghost planes by re-extracting them.
         let ghost_of = |b: &BlockData| {
             // Read the ghost plane via pack of the opposite interior face

@@ -53,6 +53,9 @@ pub struct RunStats {
     pub blocks_moved: u64,
     /// Tasks spawned (hybrid variants).
     pub tasks_spawned: u64,
+    /// Buffer-pool reuse counters at the end of the run (hit rate ≈ 1
+    /// once the pool is warm — allocation-free steady state).
+    pub pool: shmem::PoolStats,
     /// Recorded trace, if tracing was enabled.
     pub trace: Option<crate::trace::Trace>,
 }

@@ -29,7 +29,7 @@
 use crate::comm_plan::CommPlan;
 use crate::config::Config;
 use crate::exchange::{run_refinement, BlockMover, RefineJob};
-use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer, unpack_transfer, RankState};
+use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState};
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
 use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
@@ -162,6 +162,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     stats.flops = flops.load(Ordering::Relaxed);
     stats.tasks_spawned = rt.stats().spawned;
     stats.final_blocks = state.blocks.len();
+    stats.pool = state.pool.stats();
     stats.trace = trace;
     stats
 }
@@ -261,8 +262,9 @@ fn spawn_communicate(
                     .out(Region::new(bufs.send_obj[d], slo..shi))
                     .body(move || {
                         let work = || {
-                            let payload = pack_transfer(&layout, &src, &t, vars2.clone());
-                            slice.write_from(&payload);
+                            slice.with_write(|dst| {
+                                pack_transfer_into(&layout, &src, &t, vars2.clone(), dst)
+                            });
                         };
                         match &tr {
                             Some(trc) => trc.record(Kind::Pack, work),
@@ -305,12 +307,13 @@ fn spawn_communicate(
             let src_reg = block_region(&layout, &src, vars2.clone());
             let dst_reg = block_region(&layout, &dst, vars2.clone());
             let tr = trace.cloned();
+            let pool = Arc::clone(&state.pool);
             rt.task()
                 .label("local_copy")
                 .input(src_reg)
                 .inout(dst_reg)
                 .body(move || {
-                    let work = || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone());
+                    let work = || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone(), &pool);
                     match &tr {
                         Some(trc) => trc.record(Kind::LocalCopy, work),
                         None => work(),
@@ -359,8 +362,9 @@ fn spawn_communicate(
                     .inout(block_reg)
                     .body(move || {
                         let work = || {
-                            let payload = slice.to_vec();
-                            unpack_transfer(&layout, &dst, &t, vars2.clone(), &payload);
+                            slice.with_read(|payload| {
+                                unpack_transfer(&layout, &dst, &t, vars2.clone(), payload)
+                            });
                         };
                         match &tr {
                             Some(trc) => trc.record(Kind::Unpack, work),
@@ -484,13 +488,16 @@ impl BlockMover for TaskMover {
         let nv = state.cfg.params.num_vars;
         let reg = block_region(&layout, &block, 0..nv);
         let tr = self.trace.clone();
+        let pool = Arc::clone(&state.pool);
         self.rt
             .task()
             .label("exchange_send")
             .input(reg)
             .body(move || {
                 let work = || {
-                    let payload = block.pack_interior(&layout, 0..nv);
+                    // Pooled staging buffer, recycled when the task drops it.
+                    let mut payload = pool.take(nv * layout.cells());
+                    block.pack_interior_into(&layout, 0..nv, &mut payload);
                     tampi::isend(&comm, &payload, to, tag).expect("exchange send");
                 };
                 match &tr {

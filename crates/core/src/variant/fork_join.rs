@@ -16,7 +16,7 @@
 use crate::comm_plan::{CommPlan, MsgPlan};
 use crate::config::Config;
 use crate::exchange::{run_refinement, BlockingMover, RefineJob};
-use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer, unpack_transfer, RankState};
+use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState};
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
 use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
@@ -124,6 +124,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     let rts = rt.stats();
     stats.tasks_spawned = rts.spawned;
     stats.final_blocks = state.blocks.len();
+    stats.pool = state.pool.stats();
     stats.trace = trace;
     stats
 }
@@ -223,8 +224,9 @@ fn communicate(
                 let tr = trace.cloned();
                 rt.spawn(Vec::new(), move || {
                     let work = || {
-                        let payload = pack_transfer(&layout, &src, &t, vars.clone());
-                        slice.write_from(&payload);
+                        slice.with_write(|dst| {
+                            pack_transfer_into(&layout, &src, &t, vars.clone(), dst)
+                        });
                     };
                     match &tr {
                         Some(trc) => trc.record(Kind::Pack, work),
@@ -259,8 +261,9 @@ fn communicate(
                 taskrt::Access::read_write(Region::new(ObjId(dst.uid), layout.var_elem_range(vars2.clone()))),
             ];
             let tr = trace.cloned();
+            let pool = Arc::clone(&state.pool);
             rt.spawn(deps, move || {
-                let work = || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone());
+                let work = || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone(), &pool);
                 match &tr {
                     Some(trc) => trc.record(Kind::LocalCopy, work),
                     None => work(),
@@ -314,8 +317,9 @@ fn communicate(
                 let tr = trace.cloned();
                 rt.spawn(deps, move || {
                     let work = || {
-                        let payload = slice.to_vec();
-                        unpack_transfer(&layout, &dst, &t, vars2.clone(), &payload);
+                        slice.with_read(|payload| {
+                            unpack_transfer(&layout, &dst, &t, vars2.clone(), payload)
+                        });
                     };
                     match &tr {
                         Some(trc) => trc.record(Kind::Unpack, work),

@@ -9,7 +9,10 @@
 use crate::comm_plan::{CommPlan, MsgPlan};
 use crate::config::Config;
 use crate::exchange::{run_refinement, BlockingMover};
-use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer, unpack_transfer, RankState};
+use crate::rank::{
+    apply_boundary, apply_local_transfer, pack_transfer_into, transfer_payload_elems,
+    unpack_transfer, RankState,
+};
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
 use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
@@ -90,6 +93,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     }
     total_sw.stop(&mut stats.times.total);
     stats.final_blocks = state.blocks.len();
+    stats.pool = state.pool.stats();
     stats.trace = trace;
     stats
 }
@@ -118,18 +122,22 @@ fn communicate(
             reqs.push(comm.irecv_into(slice, m.src_rank as i32, m.tag).expect("post recv"));
         }
 
-        // Pack and send.
+        // Pack straight into the send buffer sections and send — no
+        // intermediate payload vector.
         let mut send_reqs = Vec::new();
         for m in plan.outbound(state.rank).filter(|m| m.dir == dir) {
             for t in &m.transfers {
-                let payload = match trace {
-                    Some(tr) => tr.record(Kind::Pack, || {
-                        pack_transfer(&state.layout, state.block(&t.src_block), t, vars.clone())
-                    }),
-                    None => pack_transfer(&state.layout, state.block(&t.src_block), t, vars.clone()),
-                };
                 let lo = (m.send_offset + t.offset_in_msg) * g;
-                bufs.send[d].slice(lo..lo + payload.len()).write_from(&payload);
+                let slice = bufs.send[d].slice(lo..lo + transfer_payload_elems(t, g));
+                let pack = || {
+                    slice.with_write(|dst| {
+                        pack_transfer_into(&state.layout, state.block(&t.src_block), t, vars.clone(), dst)
+                    })
+                };
+                match trace {
+                    Some(tr) => tr.record(Kind::Pack, pack),
+                    None => pack(),
+                }
             }
             let lo = m.send_offset * g;
             let hi = lo + m.elems_per_var * g;
@@ -146,9 +154,9 @@ fn communicate(
             let dst = state.block(&t.dst_block);
             match trace {
                 Some(tr) => tr.record(Kind::LocalCopy, || {
-                    apply_local_transfer(&state.layout, src, dst, t, vars.clone())
+                    apply_local_transfer(&state.layout, src, dst, t, vars.clone(), &state.pool)
                 }),
-                None => apply_local_transfer(&state.layout, src, dst, t, vars.clone()),
+                None => apply_local_transfer(&state.layout, src, dst, t, vars.clone(), &state.pool),
             }
         }
         for (block, bdir, side) in plan
@@ -170,13 +178,16 @@ fn communicate(
             let m = inbound[idx];
             for t in &m.transfers {
                 let lo = (m.recv_offset + t.offset_in_msg) * g;
-                let payload = bufs.recv[d].slice(lo..lo + t.elems_per_var * g).to_vec();
+                let slice = bufs.recv[d].slice(lo..lo + transfer_payload_elems(t, g));
                 let dst = state.block(&t.dst_block);
+                let unpack = || {
+                    slice.with_read(|payload| {
+                        unpack_transfer(&state.layout, dst, t, vars.clone(), payload)
+                    })
+                };
                 match trace {
-                    Some(tr) => tr.record(Kind::Unpack, || {
-                        unpack_transfer(&state.layout, dst, t, vars.clone(), &payload)
-                    }),
-                    None => unpack_transfer(&state.layout, dst, t, vars.clone(), &payload),
+                    Some(tr) => tr.record(Kind::Unpack, unpack),
+                    None => unpack(),
                 }
             }
         }

@@ -41,11 +41,13 @@ impl BlockLayout {
     }
 
     /// Total elements (cells with ghosts × variables).
+    #[inline]
     pub fn elems(&self) -> usize {
         (self.nx + 2) * (self.ny + 2) * (self.nz + 2) * self.num_vars
     }
 
     /// Elements per variable (one ghosted cell grid).
+    #[inline]
     pub fn elems_per_var(&self) -> usize {
         (self.nx + 2) * (self.ny + 2) * (self.nz + 2)
     }
@@ -59,17 +61,20 @@ impl BlockLayout {
     }
 
     /// Element range covering variables `vars` (contiguous by layout).
+    #[inline]
     pub fn var_elem_range(&self, vars: std::ops::Range<usize>) -> std::ops::Range<usize> {
         let per = self.elems_per_var();
         vars.start * per..vars.end * per
     }
 
     /// Interior cell count per variable.
+    #[inline]
     pub fn cells(&self) -> usize {
         self.nx * self.ny * self.nz
     }
 
     /// Cell count of one X/Y/Z face plane (per variable).
+    #[inline]
     pub fn face_cells(&self, dir: Dir) -> usize {
         match dir {
             Dir::X => self.ny * self.nz,
@@ -148,7 +153,16 @@ impl BlockData {
     /// Copies the interior cells of variables `vars` into a payload (the
     /// block-exchange wire format; ghosts are not transmitted).
     pub fn pack_interior(&self, layout: &BlockLayout, vars: std::ops::Range<usize>) -> Vec<f64> {
-        let mut out = Vec::with_capacity(vars.len() * layout.cells());
+        let mut out = vec![0.0; vars.len() * layout.cells()];
+        self.pack_interior_into(layout, vars, &mut out);
+        out
+    }
+
+    /// [`BlockData::pack_interior`] writing into a caller-supplied buffer
+    /// of exactly `vars.len() · cells` elements (e.g. a pooled buffer).
+    pub fn pack_interior_into(&self, layout: &BlockLayout, vars: std::ops::Range<usize>, out: &mut [f64]) {
+        assert_eq!(out.len(), vars.len() * layout.cells(), "payload size mismatch");
+        let mut i = 0;
         let vstart = vars.start;
         let slab = self.buf.slice(layout.var_elem_range(vars.clone()));
         slab.with_read(|data| {
@@ -156,12 +170,12 @@ impl BlockData {
                 for z in 1..=layout.nz {
                     for y in 1..=layout.ny {
                         let base = layout.idx(v, z, y, 1);
-                        out.extend_from_slice(&data[base..base + layout.nx]);
+                        out[i..i + layout.nx].copy_from_slice(&data[base..base + layout.nx]);
+                        i += layout.nx;
                     }
                 }
             }
         });
-        out
     }
 
     /// Writes a payload produced by [`BlockData::pack_interior`] back into

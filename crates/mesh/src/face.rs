@@ -45,24 +45,51 @@ fn cell_index(layout: &BlockLayout, dir: Dir, v: usize, fixed: usize, c1: usize,
 /// Extracts the interior boundary plane on `side` into a packed face.
 pub fn extract_face(block: &BlockData, layout: &BlockLayout, dir: Dir, side: Side, vars: Range<usize>) -> Vec<f64> {
     let (n1, n2) = face_dims(layout, dir);
+    let mut out = vec![0.0; vars.len() * n1 * n2];
+    extract_face_into(block, layout, dir, side, vars, &mut out);
+    out
+}
+
+/// [`extract_face`] writing into a caller-supplied buffer (e.g. a message
+/// buffer section), avoiding the intermediate `Vec` + copy.
+///
+/// `out` must hold exactly `vars.len() · n1 · n2` elements.
+pub fn extract_face_into(
+    block: &BlockData,
+    layout: &BlockLayout,
+    dir: Dir,
+    side: Side,
+    vars: Range<usize>,
+    out: &mut [f64],
+) {
+    let (n1, n2) = face_dims(layout, dir);
+    assert_eq!(out.len(), vars.len() * n1 * n2, "face buffer size mismatch");
     let n = [layout.nx, layout.ny, layout.nz][dir.index()];
     let fixed = match side {
         Side::Lo => 1,
         Side::Hi => n,
     };
-    let mut out = Vec::with_capacity(vars.len() * n1 * n2);
+    let mut i = 0;
     let vstart = vars.start;
     let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
     slab.with_read(|data| {
         for v in vars {
             for c2 in 1..=n2 {
-                for c1 in 1..=n1 {
-                    out.push(data[cell_index(layout, dir, v - vstart, fixed, c1, c2)]);
+                // For Y and Z faces c1 runs along x, the contiguous axis,
+                // so the whole row is one memcpy.
+                if dir != Dir::X {
+                    let base = cell_index(layout, dir, v - vstart, fixed, 1, c2);
+                    out[i..i + n1].copy_from_slice(&data[base..base + n1]);
+                    i += n1;
+                } else {
+                    for c1 in 1..=n1 {
+                        out[i] = data[cell_index(layout, dir, v - vstart, fixed, c1, c2)];
+                        i += 1;
+                    }
                 }
             }
         }
     });
-    out
 }
 
 /// Writes a packed face into the ghost plane on `side`.
@@ -80,9 +107,16 @@ pub fn inject_ghost_face(block: &BlockData, layout: &BlockLayout, dir: Dir, side
     slab.with_write(|data| {
         for v in vars {
             for c2 in 1..=n2 {
-                for c1 in 1..=n1 {
-                    data[cell_index(layout, dir, v - vstart, fixed, c1, c2)] = face[i];
-                    i += 1;
+                // Row memcpy on the contiguous axis (see extract_face_into).
+                if dir != Dir::X {
+                    let base = cell_index(layout, dir, v - vstart, fixed, 1, c2);
+                    data[base..base + n1].copy_from_slice(&face[i..i + n1]);
+                    i += n1;
+                } else {
+                    for c1 in 1..=n1 {
+                        data[cell_index(layout, dir, v - vstart, fixed, c1, c2)] = face[i];
+                        i += 1;
+                    }
                 }
             }
         }
@@ -93,10 +127,22 @@ pub fn inject_ghost_face(block: &BlockData, layout: &BlockLayout, dir: Dir, side
 /// resolution (`n1/2 × n2/2`) by averaging 2×2 cell groups — the
 /// sender-side operator of a fine→coarse exchange.
 pub fn restrict_face(face: &[f64], n1: usize, n2: usize, nvars: usize) -> Vec<f64> {
+    let mut out = vec![0.0; nvars * (n1 / 2) * (n2 / 2)];
+    restrict_face_into(face, n1, n2, nvars, &mut out);
+    out
+}
+
+/// [`restrict_face`] writing into a caller-supplied buffer.
+///
+/// `out` must hold exactly `nvars · (n1/2) · (n2/2)` elements. The 2×2
+/// groups are summed in the fixed order `i00 + i01 + i10 + i11`, which
+/// [`restrict_from_block_into`] reproduces cell-for-cell.
+pub fn restrict_face_into(face: &[f64], n1: usize, n2: usize, nvars: usize, out: &mut [f64]) {
     assert_eq!(face.len(), nvars * n1 * n2);
     let h1 = n1 / 2;
     let h2 = n2 / 2;
-    let mut out = Vec::with_capacity(nvars * h1 * h2);
+    assert_eq!(out.len(), nvars * h1 * h2, "restricted face buffer size mismatch");
+    let mut o = 0;
     for v in 0..nvars {
         let base = v * n1 * n2;
         for c2 in 0..h2 {
@@ -105,21 +151,73 @@ pub fn restrict_face(face: &[f64], n1: usize, n2: usize, nvars: usize) -> Vec<f6
                 let i01 = i00 + 1;
                 let i10 = base + (2 * c2 + 1) * n1 + 2 * c1;
                 let i11 = i10 + 1;
-                out.push((face[i00] + face[i01] + face[i10] + face[i11]) * 0.25);
+                out[o] = (face[i00] + face[i01] + face[i10] + face[i11]) * 0.25;
+                o += 1;
             }
         }
     }
-    out
+}
+
+/// Fused extract + restrict: reads the fine block's boundary plane and
+/// writes the coarse-resolution face straight into `out`, skipping the
+/// intermediate full-resolution face entirely.
+///
+/// Bitwise-identical to `extract_face` → `restrict_face`: each 2×2 group
+/// is read in the same `i00, i01, i10, i11` order and summed identically.
+pub fn restrict_from_block_into(
+    block: &BlockData,
+    layout: &BlockLayout,
+    dir: Dir,
+    side: Side,
+    vars: Range<usize>,
+    out: &mut [f64],
+) {
+    let (n1, n2) = face_dims(layout, dir);
+    let h1 = n1 / 2;
+    let h2 = n2 / 2;
+    assert_eq!(out.len(), vars.len() * h1 * h2, "restricted face buffer size mismatch");
+    let n = [layout.nx, layout.ny, layout.nz][dir.index()];
+    let fixed = match side {
+        Side::Lo => 1,
+        Side::Hi => n,
+    };
+    let mut o = 0;
+    let vstart = vars.start;
+    let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
+    slab.with_read(|data| {
+        for v in vars {
+            let v = v - vstart;
+            for c2 in 0..h2 {
+                for c1 in 0..h1 {
+                    // Cells (2c1+1, 2c2+1) … (2c1+2, 2c2+2), 1-based.
+                    let i00 = data[cell_index(layout, dir, v, fixed, 2 * c1 + 1, 2 * c2 + 1)];
+                    let i01 = data[cell_index(layout, dir, v, fixed, 2 * c1 + 2, 2 * c2 + 1)];
+                    let i10 = data[cell_index(layout, dir, v, fixed, 2 * c1 + 1, 2 * c2 + 2)];
+                    let i11 = data[cell_index(layout, dir, v, fixed, 2 * c1 + 2, 2 * c2 + 2)];
+                    out[o] = (i00 + i01 + i10 + i11) * 0.25;
+                    o += 1;
+                }
+            }
+        }
+    });
 }
 
 /// Prolongates a packed quarter face (`n1/2 × n2/2` per variable) to fine
 /// resolution (`n1 × n2`) by 2× duplication — the receiver-side operator
 /// of a coarse→fine exchange.
 pub fn prolong_face(quarter: &[f64], n1: usize, n2: usize, nvars: usize) -> Vec<f64> {
+    let mut out = vec![0.0; nvars * n1 * n2];
+    prolong_face_into(quarter, n1, n2, nvars, &mut out);
+    out
+}
+
+/// [`prolong_face`] writing into a caller-supplied buffer of
+/// `nvars · n1 · n2` elements.
+pub fn prolong_face_into(quarter: &[f64], n1: usize, n2: usize, nvars: usize, out: &mut [f64]) {
     let h1 = n1 / 2;
     let h2 = n2 / 2;
     assert_eq!(quarter.len(), nvars * h1 * h2);
-    let mut out = vec![0.0; nvars * n1 * n2];
+    assert_eq!(out.len(), nvars * n1 * n2, "prolonged face buffer size mismatch");
     for v in 0..nvars {
         let qbase = v * h1 * h2;
         let obase = v * n1 * n2;
@@ -129,7 +227,45 @@ pub fn prolong_face(quarter: &[f64], n1: usize, n2: usize, nvars: usize) -> Vec<
             }
         }
     }
-    out
+}
+
+/// Fused prolong + inject: duplicates a packed quarter face (`n1/2 × n2/2`
+/// per variable) 2× in both transverse axes directly into the ghost plane
+/// on `side`, skipping the intermediate full-resolution face.
+///
+/// Bitwise-identical to `prolong_face` → `inject_ghost_face`: prolongation
+/// is pure duplication, so only the write path changes.
+pub fn inject_prolonged_face(
+    block: &BlockData,
+    layout: &BlockLayout,
+    dir: Dir,
+    side: Side,
+    vars: Range<usize>,
+    quarter: &[f64],
+) {
+    let (n1, n2) = face_dims(layout, dir);
+    let h1 = n1 / 2;
+    let h2 = n2 / 2;
+    assert_eq!(quarter.len(), vars.len() * h1 * h2, "quarter face size mismatch");
+    let n = [layout.nx, layout.ny, layout.nz][dir.index()];
+    let fixed = match side {
+        Side::Lo => 0,
+        Side::Hi => n + 1,
+    };
+    let vstart = vars.start;
+    let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
+    slab.with_write(|data| {
+        for v in vars {
+            let qbase = (v - vstart) * h1 * h2;
+            for c2 in 1..=n2 {
+                let qrow = qbase + ((c2 - 1) / 2) * h1;
+                for c1 in 1..=n1 {
+                    data[cell_index(layout, dir, v - vstart, fixed, c1, c2)] =
+                        quarter[qrow + (c1 - 1) / 2];
+                }
+            }
+        }
+    });
 }
 
 /// Extracts one quarter (`0..4`, minor-axis-first order matching
@@ -144,8 +280,26 @@ pub fn extract_face_quarter(
     vars: Range<usize>,
 ) -> Vec<f64> {
     let (n1, n2) = face_dims(layout, dir);
+    let mut out = vec![0.0; vars.len() * (n1 / 2) * (n2 / 2)];
+    extract_face_quarter_into(block, layout, dir, side, quarter, vars, &mut out);
+    out
+}
+
+/// [`extract_face_quarter`] writing into a caller-supplied buffer of
+/// `vars.len() · (n1/2) · (n2/2)` elements.
+pub fn extract_face_quarter_into(
+    block: &BlockData,
+    layout: &BlockLayout,
+    dir: Dir,
+    side: Side,
+    quarter: usize,
+    vars: Range<usize>,
+    out: &mut [f64],
+) {
+    let (n1, n2) = face_dims(layout, dir);
     let h1 = n1 / 2;
     let h2 = n2 / 2;
+    assert_eq!(out.len(), vars.len() * h1 * h2, "quarter face buffer size mismatch");
     let o1 = (quarter % 2) * h1;
     let o2 = (quarter / 2) * h2;
     let n = [layout.nx, layout.ny, layout.nz][dir.index()];
@@ -153,19 +307,25 @@ pub fn extract_face_quarter(
         Side::Lo => 1,
         Side::Hi => n,
     };
-    let mut out = Vec::with_capacity(vars.len() * h1 * h2);
+    let mut i = 0;
     let vstart = vars.start;
     let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
     slab.with_read(|data| {
         for v in vars {
             for c2 in 1..=h2 {
-                for c1 in 1..=h1 {
-                    out.push(data[cell_index(layout, dir, v - vstart, fixed, o1 + c1, o2 + c2)]);
+                if dir != Dir::X {
+                    let base = cell_index(layout, dir, v - vstart, fixed, o1 + 1, o2 + c2);
+                    out[i..i + h1].copy_from_slice(&data[base..base + h1]);
+                    i += h1;
+                } else {
+                    for c1 in 1..=h1 {
+                        out[i] = data[cell_index(layout, dir, v - vstart, fixed, o1 + c1, o2 + c2)];
+                        i += 1;
+                    }
                 }
             }
         }
     });
-    out
 }
 
 /// Writes a coarse-resolution face (`n1/2 × n2/2` per variable) into one
@@ -322,6 +482,90 @@ mod tests {
             }
         }
         assert_eq!(reassembled, full);
+    }
+
+    /// Deterministic irregular fill so bitwise comparisons are meaningful.
+    fn scramble(b: &BlockData, seed: u64) {
+        b.buf.full().with_write(|d| {
+            let mut s = seed | 1;
+            for v in d.iter_mut() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                *v = ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 64.0;
+            }
+        });
+    }
+
+    /// The fused sender-side restrict must match extract → restrict
+    /// bitwise, and the `_into` extract must match the allocating one.
+    #[test]
+    fn fused_restrict_matches_two_step_bitwise() {
+        let (p, l) = setup();
+        let a = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+        scramble(&a, 0x51CA);
+        for dir in Dir::ALL {
+            for side in [Side::Lo, Side::Hi] {
+                let full = extract_face(&a, &l, dir, side, 0..p.num_vars);
+                let (n1, n2) = face_dims(&l, dir);
+                let two_step = restrict_face(&full, n1, n2, p.num_vars);
+
+                let mut into = vec![0.0; full.len()];
+                extract_face_into(&a, &l, dir, side, 0..p.num_vars, &mut into);
+                assert_eq!(into, full, "extract_face_into diverged ({dir:?} {side:?})");
+
+                let mut fused = vec![0.0; two_step.len()];
+                restrict_from_block_into(&a, &l, dir, side, 0..p.num_vars, &mut fused);
+                for (i, (f, t)) in fused.iter().zip(&two_step).enumerate() {
+                    assert_eq!(
+                        f.to_bits(),
+                        t.to_bits(),
+                        "fused restrict mismatch at {i} ({dir:?} {side:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fused receiver-side prolong-inject must leave the ghost plane
+    /// exactly as prolong_face → inject_ghost_face would.
+    #[test]
+    fn fused_prolong_inject_matches_two_step() {
+        let (p, l) = setup();
+        for dir in Dir::ALL {
+            for side in [Side::Lo, Side::Hi] {
+                let (n1, n2) = face_dims(&l, dir);
+                let quarter: Vec<f64> = (0..p.num_vars * (n1 / 2) * (n2 / 2))
+                    .map(|i| (i as f64 * 0.73).sin() * 9.0)
+                    .collect();
+
+                let two_step = BlockData::empty(BlockId::new(0, 0, 0, 0), &p);
+                let full = prolong_face(&quarter, n1, n2, p.num_vars);
+                inject_ghost_face(&two_step, &l, dir, side, 0..p.num_vars, &full);
+
+                let fused = BlockData::empty(BlockId::new(0, 0, 0, 0), &p);
+                inject_prolonged_face(&fused, &l, dir, side, 0..p.num_vars, &quarter);
+
+                let want = two_step.buf.full().to_vec();
+                let got = fused.buf.full().to_vec();
+                assert_eq!(got, want, "fused prolong-inject diverged ({dir:?} {side:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn quarter_extract_into_matches_allocating() {
+        let (p, l) = setup();
+        let a = BlockData::initialized(BlockId::new(0, 0, 0, 0), &p);
+        scramble(&a, 0x9A9A);
+        for dir in Dir::ALL {
+            for q in 0..4 {
+                let alloc = extract_face_quarter(&a, &l, dir, Side::Hi, q, 0..p.num_vars);
+                let mut into = vec![0.0; alloc.len()];
+                extract_face_quarter_into(&a, &l, dir, Side::Hi, q, 0..p.num_vars, &mut into);
+                assert_eq!(into, alloc, "quarter {q} ({dir:?})");
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,31 @@
 //! neighbors, §II-A); the 27-point variant from the reference
 //! implementation is provided as well. Both read the ghost layer, so the
 //! communicate phase must run first.
+//!
+//! ## Memory strategy
+//!
+//! The production kernel ([`apply_stencil`] / [`apply_stencil_with`]) is
+//! allocation-free in steady state: instead of materialising a full
+//! `nx·ny·nz` work array per call, it slides a rotating pair of
+//! `(ny+2)·(nx+2)` plane snapshots through the block. When plane `z` is
+//! being updated, `prev` holds the *old* values of plane `z−1` (already
+//! overwritten in the block), `cur` holds the old values of plane `z`
+//! (overwritten as the sweep advances), and plane `z+1` is read straight
+//! from the block, where it is still untouched. Ghost planes are never
+//! written, so the update stays Jacobi regardless of traversal order.
+//!
+//! The scratch planes live in a [`KernelWorkspace`] that callers (or a
+//! thread-local fallback) reuse across calls. All inner loops run over
+//! row-contiguous slices, so the per-cell `layout.idx` multiplies are
+//! hoisted out and the compiler can vectorise.
+//!
+//! The floating-point summation order of [`apply_stencil_reference`] is
+//! preserved **exactly** — additions happen in the same sequence, so all
+//! three run variants keep producing bitwise-identical checksums (see the
+//! bitwise-equality proptests in `crates/mesh/tests/`).
 
 use crate::data::{BlockData, BlockLayout};
+use std::cell::RefCell;
 use std::ops::Range;
 
 /// Which stencil the computation phase applies.
@@ -31,17 +54,171 @@ impl StencilKind {
     }
 }
 
+/// Reusable scratch memory for the stencil kernels.
+///
+/// Holds the two rotating plane snapshots. Grows to the largest plane it
+/// has seen and never shrinks, so a workspace reused across the blocks of
+/// a rank performs zero allocations once warm.
+#[derive(Debug, Default)]
+pub struct KernelWorkspace {
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+}
+
+impl KernelWorkspace {
+    /// Creates an empty workspace; planes are grown on first use.
+    pub fn new() -> KernelWorkspace {
+        KernelWorkspace::default()
+    }
+
+    /// Creates a workspace pre-sized for blocks of `layout`, so even the
+    /// first kernel call performs no allocation.
+    pub fn for_layout(layout: &BlockLayout) -> KernelWorkspace {
+        let plane = (layout.ny + 2) * (layout.nx + 2);
+        KernelWorkspace { prev: vec![0.0; plane], cur: vec![0.0; plane] }
+    }
+
+    /// Bytes currently held by the scratch planes.
+    pub fn scratch_bytes(&self) -> usize {
+        (self.prev.capacity() + self.cur.capacity()) * std::mem::size_of::<f64>()
+    }
+
+    /// Both planes, grown to `plane_elems` if needed.
+    fn planes(&mut self, plane_elems: usize) -> (&mut [f64], &mut [f64]) {
+        if self.prev.len() < plane_elems {
+            self.prev.resize(plane_elems, 0.0);
+        }
+        if self.cur.len() < plane_elems {
+            self.cur.resize(plane_elems, 0.0);
+        }
+        (&mut self.prev[..plane_elems], &mut self.cur[..plane_elems])
+    }
+}
+
+thread_local! {
+    /// Fallback workspace for [`apply_stencil`] callers that do not thread
+    /// their own; per-thread so worker tasks never contend.
+    static THREAD_WORKSPACE: RefCell<KernelWorkspace> = RefCell::new(KernelWorkspace::new());
+}
+
 /// Applies the stencil to variables `vars` of a block, in place.
 ///
-/// The update is Jacobi-style: new values are computed from a snapshot
-/// of the old ones (miniAMR computes into a `work` array and copies
-/// back), so the result is independent of traversal order.
+/// The update is Jacobi-style: new values are computed from a snapshot of
+/// the old ones, so the result is independent of traversal order. Scratch
+/// comes from a per-thread [`KernelWorkspace`]; use
+/// [`apply_stencil_with`] to supply your own.
 ///
 /// The 27-point variant reads edge and corner ghost cells, which the
 /// face-only exchange never fills; they are populated first with the
 /// zero-gradient diagonal fill (clamp the coordinates to the interior),
 /// identically in every variant, so results stay bitwise comparable.
 pub fn apply_stencil(block: &BlockData, layout: &BlockLayout, kind: StencilKind, vars: Range<usize>) {
+    THREAD_WORKSPACE.with(|ws| {
+        apply_stencil_with(block, layout, kind, vars, &mut ws.borrow_mut());
+    });
+}
+
+/// [`apply_stencil`] with caller-supplied scratch memory.
+pub fn apply_stencil_with(
+    block: &BlockData,
+    layout: &BlockLayout,
+    kind: StencilKind,
+    vars: Range<usize>,
+    ws: &mut KernelWorkspace,
+) {
+    let (nx, ny, nz) = (layout.nx, layout.ny, layout.nz);
+    let row = nx + 2;
+    let plane = (ny + 2) * row;
+    let vstart = vars.start;
+    let (mut prev, mut cur) = ws.planes(plane);
+    let slab = block.buf.slice(layout.var_elem_range(vars.clone()));
+    slab.with_write(|data| {
+        for v in vars.map(|v| v - vstart) {
+            if kind == StencilKind::TwentySevenPoint {
+                fill_diagonal_ghosts(data, layout, v);
+            }
+            let vbase = v * (nz + 2) * plane;
+            // Seed `prev` with the z=0 ghost plane (never written, but
+            // copied so the per-z rotation below stays uniform).
+            prev.copy_from_slice(&data[vbase..vbase + plane]);
+            for z in 1..=nz {
+                // Snapshot the old plane z before overwriting it.
+                cur.copy_from_slice(&data[vbase + z * plane..vbase + (z + 1) * plane]);
+                // Split so plane z (written) and plane z+1 (read) can be
+                // borrowed simultaneously; `hi` starts at plane z+1.
+                let (lo, hi) = data.split_at_mut(vbase + (z + 1) * plane);
+                match kind {
+                    StencilKind::SevenPoint => {
+                        for y in 1..=ny {
+                            let r = y * row;
+                            // Row slices centered on x=1..=nx; index i = x−1.
+                            let c = &cur[r + 1..r + 1 + nx];
+                            let xm = &cur[r..r + nx];
+                            let xp = &cur[r + 2..r + 2 + nx];
+                            let ym = &cur[r - row + 1..r - row + 1 + nx];
+                            let yp = &cur[r + row + 1..r + row + 1 + nx];
+                            let zm = &prev[r + 1..r + 1 + nx];
+                            let zp = &hi[r + 1..r + 1 + nx];
+                            let out = &mut lo[vbase + z * plane + r + 1..][..nx];
+                            for i in 0..nx {
+                                // Same summation order as the reference:
+                                // center, x−1, x+1, y−1, y+1, z−1, z+1.
+                                let sum = c[i] + xm[i] + xp[i] + ym[i] + yp[i] + zm[i] + zp[i];
+                                out[i] = sum / 7.0;
+                            }
+                        }
+                    }
+                    StencilKind::TwentySevenPoint => {
+                        for y in 1..=ny {
+                            let r = y * row;
+                            // Nine rows in reference order: dz ∈ {z−1, z, z+1}
+                            // outermost, then dy ∈ {y−1, y, y+1}; each row is
+                            // summed dx ∈ {x−1, x, x+1}. Index i = x−1, so a
+                            // row slice starting at x−1 covers all three taps
+                            // as r[i], r[i+1], r[i+2].
+                            let rows: [&[f64]; 9] = [
+                                &prev[r - row..r - row + nx + 2],
+                                &prev[r..r + nx + 2],
+                                &prev[r + row..r + row + nx + 2],
+                                &cur[r - row..r - row + nx + 2],
+                                &cur[r..r + nx + 2],
+                                &cur[r + row..r + row + nx + 2],
+                                &hi[r - row..r - row + nx + 2],
+                                &hi[r..r + nx + 2],
+                                &hi[r + row..r + row + nx + 2],
+                            ];
+                            let out = &mut lo[vbase + z * plane + r + 1..][..nx];
+                            for i in 0..nx {
+                                // Accumulate from 0.0 exactly like the
+                                // reference's `sum += …` loop (matters for
+                                // the sign of zero).
+                                let mut sum = 0.0;
+                                for rw in rows {
+                                    sum += rw[i];
+                                    sum += rw[i + 1];
+                                    sum += rw[i + 2];
+                                }
+                                out[i] = sum / 27.0;
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+    });
+}
+
+/// The original full-work-array kernel, kept as the semantic reference.
+///
+/// Allocates an `nx·ny·nz` scratch array per call; the bitwise-equality
+/// tests and the kernel benchmarks compare [`apply_stencil`] against it.
+pub fn apply_stencil_reference(
+    block: &BlockData,
+    layout: &BlockLayout,
+    kind: StencilKind,
+    vars: Range<usize>,
+) {
     let (nx, ny, nz) = (layout.nx, layout.ny, layout.nz);
     let mut work = vec![0.0f64; nx * ny * nz];
     let vstart = vars.start;
@@ -217,5 +394,65 @@ mod tests {
         let per_var = l.cells();
         assert_ne!(&before[..per_var], &after[..per_var], "var 0 should change");
         assert_eq!(&before[per_var..], &after[per_var..], "var 1 must be untouched");
+    }
+
+    /// Fills a block with a deterministic, irregular pattern (bit-mixed,
+    /// mixed signs and magnitudes) so FP-order differences cannot hide.
+    fn scramble(b: &BlockData, seed: u64) {
+        b.buf.full().with_write(|d| {
+            let mut s = seed | 1;
+            for v in d.iter_mut() {
+                // xorshift64*
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let m = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                *v = ((m >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1.0e3;
+            }
+        });
+    }
+
+    /// The plane-sliding kernel must agree **bitwise** with the reference
+    /// full-work-array kernel, for both stencils and var subranges.
+    #[test]
+    fn plane_sliding_matches_reference_bitwise() {
+        for kind in [StencilKind::SevenPoint, StencilKind::TwentySevenPoint] {
+            for (vlo, vhi) in [(0usize, 2usize), (1, 2)] {
+                let (_p, l, a) = setup();
+                let (_p2, _l2, b) = setup();
+                scramble(&a, 0xBEEF ^ (vlo as u64) << 8 ^ kind as u64);
+                // Identical contents in both blocks.
+                let bits = a.buf.full().to_vec();
+                b.buf.full().with_write(|d| d.copy_from_slice(&bits));
+
+                let mut ws = KernelWorkspace::new();
+                apply_stencil_with(&a, &l, kind, vlo..vhi, &mut ws);
+                apply_stencil_reference(&b, &l, kind, vlo..vhi);
+
+                let got = a.buf.full().to_vec();
+                let want = b.buf.full().to_vec();
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "bitwise mismatch at elem {i} ({kind:?}, vars {vlo}..{vhi})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Repeated calls through one workspace must not allocate after the
+    /// first: the scratch planes keep their capacity.
+    #[test]
+    fn workspace_is_reused_across_calls() {
+        let (_p, l, b) = setup();
+        let mut ws = KernelWorkspace::for_layout(&l);
+        let bytes_before = ws.scratch_bytes();
+        for _ in 0..4 {
+            apply_stencil_with(&b, &l, StencilKind::SevenPoint, 0..1, &mut ws);
+            apply_stencil_with(&b, &l, StencilKind::TwentySevenPoint, 0..1, &mut ws);
+        }
+        assert_eq!(ws.scratch_bytes(), bytes_before, "workspace grew after warmup");
     }
 }

@@ -21,8 +21,14 @@
 //! block-sized copies and stencil sweeps it guards.
 #![warn(missing_docs)]
 
+//!
+//! The crate also hosts the per-rank [`BufferPool`] of recyclable scratch
+//! buffers used to keep the communication hot path allocation-free.
+
 mod buffer;
 mod pod;
+mod pool;
 
 pub use buffer::{BufSlice, SharedBuffer};
 pub use pod::{as_bytes, copy_to_slice, from_bytes, Pod};
+pub use pool::{BufferPool, PoolStats, PooledBuf};

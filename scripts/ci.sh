@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, full test suite, lint wall.
+#
+# Run from the repo root (or anywhere inside it). Mirrors what the
+# driver enforces, plus `--workspace` so every crate's tests run, not
+# just the root package's.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1, root package)"
+cargo test -q
+
+echo "==> cargo test --workspace -q (all crates)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -1,0 +1,115 @@
+//! Steady-state allocation behavior of the communication/compute hot path.
+//!
+//! The PR-1 rewrite promises: once workspaces, message buffers, and the
+//! per-rank `BufferPool` are warm, a stage's packed-face path (pack →
+//! unpack → stencil) performs **zero heap allocations**. A counting
+//! global allocator verifies that directly; pool statistics from full
+//! variant runs verify recycling end-to-end.
+
+use miniamr::comm_plan::CommPlan;
+use miniamr::rank::{
+    apply_local_transfer, pack_transfer_into, transfer_payload_elems, unpack_transfer, RankState,
+};
+use miniamr::Config;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Wraps the system allocator, counting allocation events (alloc,
+/// alloc_zeroed, realloc — not dealloc, which is alloc-free by nature)
+/// **per thread**, so the measurement is immune to allocations from the
+/// test harness or any other concurrently-running thread.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // Ignore accesses during TLS teardown — nothing is measured then.
+    let _ = ALLOC_EVENTS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn events() -> u64 {
+    ALLOC_EVENTS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn packed_face_path_is_allocation_free_in_steady_state() {
+    let cfg = Config::smoke_test();
+    let state = RankState::init(&cfg, 0, 2);
+    let plan = CommPlan::build(&cfg, &state.dir, 2);
+    let vars = 0..cfg.params.num_vars;
+    let nv = vars.len();
+
+    // Local transfers whose src and dst both live on rank 0 exercise
+    // pack → unpack of every transfer kind present in the plan.
+    let locals: Vec<_> = plan
+        .locals
+        .iter()
+        .filter(|t| t.src_rank == 0 && t.dst_rank == 0)
+        .cloned()
+        .collect();
+    assert!(!locals.is_empty(), "smoke config must have rank-local transfers");
+
+    // Preallocated message-buffer stand-ins for the explicit
+    // pack_into/unpack pairs.
+    let mut payloads: Vec<Vec<f64>> =
+        locals.iter().map(|t| vec![0.0; transfer_payload_elems(t, nv)]).collect();
+
+    let one_round = |payloads: &mut Vec<Vec<f64>>| {
+        for (t, payload) in locals.iter().zip(payloads.iter_mut()) {
+            let src = state.block(&t.src_block);
+            let dst = state.block(&t.dst_block);
+            // Explicit zero-copy pair (message-buffer path)...
+            pack_transfer_into(&state.layout, src, t, vars.clone(), payload);
+            unpack_transfer(&state.layout, dst, t, vars.clone(), payload);
+            // ...and the pooled intra-rank path.
+            apply_local_transfer(&state.layout, src, dst, t, vars.clone(), &state.pool);
+        }
+        for b in state.blocks.values() {
+            amr_mesh::stencil::apply_stencil(b, &state.layout, cfg.stencil, vars.clone());
+        }
+    };
+
+    // Warmup: grows the stencil workspace, the pool's free lists, and the
+    // claim-table vectors to their steady-state capacity.
+    one_round(&mut payloads);
+    one_round(&mut payloads);
+
+    let before = events();
+    for _ in 0..10 {
+        one_round(&mut payloads);
+    }
+    let after = events();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state packed-face path allocated {} times over 10 rounds",
+        after - before
+    );
+
+    // The pooled path must be recycling, not allocating fresh.
+    let pool = state.pool.stats();
+    assert!(pool.hits > pool.misses, "pool not recycling: {pool:?}");
+}

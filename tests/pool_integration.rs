@@ -1,0 +1,54 @@
+//! End-to-end behavior of the per-rank `BufferPool` under full variant
+//! runs: buffers are recycled (high hit rates once warm) and pooling
+//! never perturbs the numerics (bitwise-equal cross-variant checksums).
+
+use miniamr::{Config, Variant};
+use vmpi::NetworkModel;
+
+fn cfg(tsteps: usize) -> Config {
+    let mut cfg = Config::smoke_test();
+    cfg.num_tsteps = tsteps;
+    cfg.stages_per_ts = 3;
+    cfg.checksum_freq = 3;
+    cfg.refine_freq = 2;
+    cfg.workers = 2;
+    cfg
+}
+
+#[test]
+fn variant_runs_reach_high_pool_hit_rates() {
+    for variant in [Variant::MpiOnly, Variant::ForkJoin, Variant::DataFlow] {
+        let mut c = cfg(6);
+        c.variant = variant;
+        let stats = miniamr::run_world(&c, c.params.num_ranks(), NetworkModel::instant());
+        for s in &stats {
+            let p = s.pool;
+            assert!(p.hits + p.misses > 0, "{variant:?}: pool never used");
+            assert!(
+                p.hit_rate() > 0.8,
+                "{variant:?} rank {}: pool hit rate {:.3} too low ({:?})",
+                s.rank,
+                p.hit_rate(),
+                p
+            );
+        }
+    }
+}
+
+#[test]
+fn variants_agree_bitwise_with_pooling() {
+    // Cross-variant checksum equality with the buffer pool active on
+    // every payload path.
+    let base = cfg(4);
+    let mut histories = Vec::new();
+    for variant in [Variant::MpiOnly, Variant::ForkJoin, Variant::DataFlow] {
+        let mut c = base.clone();
+        c.variant = variant;
+        let stats = miniamr::run_world(&c, c.params.num_ranks(), NetworkModel::instant());
+        assert!(stats.iter().all(|s| s.checksums_failed == 0));
+        histories.push(stats[0].checksums.clone());
+    }
+    assert!(!histories[0].is_empty());
+    assert_eq!(histories[0], histories[1], "fork-join diverged under pooling");
+    assert_eq!(histories[0], histories[2], "data-flow diverged under pooling");
+}
