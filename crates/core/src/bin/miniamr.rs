@@ -44,7 +44,15 @@ fn usage() -> ! {
   --bandwidth_gbps F                  network bandwidth (default 10)
   --ranks_per_node N                  node grouping for intra-node discount
   --trace                             record and summarize a phase trace
-  --stencil {{7|27}}                    stencil kind (default 7)"
+  --stencil {{7|27}}                    stencil kind (default 7)
+  --trace-json PATH                   write a merged Chrome trace_event JSON
+                                      (all ranks; load in Perfetto/about:tracing)
+  --metrics                           print the runtime metrics registry
+  --watchdog_ms N                     stall watchdog: dump diagnostics and exit
+                                      {} if no event-bus progress for N ms
+  --legacy_group_offsets              reproduce the seed's buggy group-relative
+                                      comm-buffer offsets (known deadlock)",
+        obs::STALL_EXIT_CODE
     );
     std::process::exit(2);
 }
@@ -84,6 +92,10 @@ fn main() {
     let mut ranks_per_node = 0usize;
     let mut trace = false;
     let mut stencil = amr_mesh::stencil::StencilKind::SevenPoint;
+    let mut trace_json: Option<String> = None;
+    let mut metrics = false;
+    let mut watchdog_ms = 0u64;
+    let mut legacy_group_offsets = false;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -146,6 +158,10 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--trace-json" => trace_json = Some(next(&mut i)),
+            "--metrics" => metrics = true,
+            "--watchdog_ms" => watchdog_ms = parse(next(&mut i)) as u64,
+            "--legacy_group_offsets" => legacy_group_offsets = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -175,6 +191,7 @@ fn main() {
     cfg.workers = workers;
     cfg.trace = trace;
     cfg.stencil = stencil;
+    cfg.legacy_group_offsets = legacy_group_offsets;
     if let Err(e) = cfg.params.validate() {
         eprintln!("invalid mesh parameters: {e}");
         std::process::exit(2);
@@ -188,6 +205,14 @@ fn main() {
         "miniamr: variant={variant:?} ranks={n_ranks} workers={workers} input={input} \
          tsteps={num_tsteps} stages/ts={stages_per_ts}"
     );
+    // Enable the observability layer *before* the world is built so the
+    // runtime/transport layers cache their metric handles at construction.
+    if trace_json.is_some() || metrics || watchdog_ms > 0 {
+        obs::enable();
+    }
+    let _watchdog = (watchdog_ms > 0).then(|| {
+        obs::Watchdog::start(obs::WatchdogConfig::exiting(Duration::from_millis(watchdog_ms)))
+    });
     let start = std::time::Instant::now();
     let stats = miniamr::run_world(&cfg, n_ranks, net);
     let wall = start.elapsed();
@@ -228,6 +253,35 @@ fn main() {
                     tr.overlap_fraction(),
                     tr.largest_gap().as_secs_f64() * 1e3
                 );
+            }
+        }
+    }
+    if metrics {
+        // The registry is process-wide; the last-finishing rank's snapshot
+        // (or a fresh one now that all ranks joined) is the full picture.
+        for (name, value) in obs::metrics().snapshot() {
+            println!("metric:{name}\t{value}");
+        }
+    }
+    if let Some(path) = trace_json {
+        if let Some(bus) = obs::bus() {
+            let drained = bus.drain();
+            if drained.dropped > 0 {
+                eprintln!(
+                    "miniamr: trace ring overflow dropped {} events (raise obs ring capacity or shrink the run)",
+                    drained.dropped
+                );
+            }
+            let json = obs::export_chrome(&drained.events);
+            match std::fs::write(&path, &json) {
+                Ok(()) => eprintln!(
+                    "miniamr: wrote {} trace events to {path}",
+                    drained.events.len()
+                ),
+                Err(e) => {
+                    eprintln!("miniamr: failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

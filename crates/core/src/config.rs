@@ -78,6 +78,20 @@ pub struct Config {
     /// worker (the locality policy credited for the IPC gain, §V-B);
     /// disable for ablation studies.
     pub immediate_successor: bool,
+    /// Reproduce the seed's group-size-relative communication-buffer
+    /// offsets in the data-flow variant (`--legacy_group_offsets`).
+    ///
+    /// Buffers are allocated with a stride of the *largest* group size,
+    /// but the seed computed message base offsets with the *current*
+    /// group's size. With `--comm_vars` producing uneven groups plus
+    /// `--send_faces`, the last group's buffer regions become disjoint
+    /// from the other groups' regions for the same message tag, the WAR
+    /// edges that serialize receive posting across groups disappear, and
+    /// out-of-order receives match wrong-size payloads — a fatal
+    /// `Truncated` transfer that kills the delivery thread and deadlocks
+    /// the run. Kept as an ablation so the stall watchdog has a known
+    /// in-tree deadlock to detect (see `scripts/ci.sh`).
+    pub legacy_group_offsets: bool,
 }
 
 impl Config {
@@ -104,6 +118,7 @@ impl Config {
             validate_tol: 0.05,
             trace: false,
             immediate_successor: true,
+            legacy_group_offsets: false,
         }
     }
 

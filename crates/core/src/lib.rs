@@ -61,11 +61,16 @@ use vmpi::{Comm, NetworkModel, World};
 /// Runs one rank of the configured variant (call from inside
 /// [`vmpi::World::run`] or an equivalent harness).
 pub fn run_rank(cfg: &Config, comm: Comm) -> RunStats {
-    match cfg.variant {
+    obs::set_thread_rank(comm.rank() as u32);
+    let mut stats = match cfg.variant {
         Variant::MpiOnly => variant::mpi_only::run(cfg, comm),
         Variant::ForkJoin => variant::fork_join::run(cfg, comm),
         Variant::DataFlow => variant::dataflow::run(cfg, comm),
+    };
+    if obs::is_enabled() {
+        stats.metrics = obs::metrics().snapshot();
     }
+    stats
 }
 
 /// Convenience: builds a world of `n_ranks` and runs the configured

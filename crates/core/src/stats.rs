@@ -58,6 +58,11 @@ pub struct RunStats {
     pub pool: shmem::PoolStats,
     /// Recorded trace, if tracing was enabled.
     pub trace: Option<crate::trace::Trace>,
+    /// Snapshot of the global runtime metrics registry taken when this
+    /// rank finished (empty unless observability is enabled). The
+    /// registry is process-wide, so counters aggregate over *all* ranks;
+    /// the final rank's snapshot is the complete picture.
+    pub metrics: Vec<(&'static str, i64)>,
 }
 
 impl RunStats {

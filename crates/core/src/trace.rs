@@ -41,6 +41,23 @@ pub enum Kind {
 }
 
 impl Kind {
+    /// Short stable name, used by the structured-event exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kind::Stencil => "stencil",
+            Kind::Pack => "pack",
+            Kind::Unpack => "unpack",
+            Kind::Send => "send",
+            Kind::Recv => "recv",
+            Kind::LocalCopy => "local_copy",
+            Kind::ChecksumLocal => "checksum_local",
+            Kind::ChecksumRemote => "checksum_remote",
+            Kind::RefineCopy => "refine_copy",
+            Kind::RefineExchange => "refine_exchange",
+            Kind::Wait => "wait",
+        }
+    }
+
     /// Every kind, for iteration in reports.
     pub const ALL: [Kind; 11] = [
         Kind::Stencil,
@@ -89,13 +106,28 @@ impl Trace {
         Trace { epoch: Instant::now(), events: Arc::new(Mutex::new(Vec::new())) }
     }
 
-    /// Records the execution of `f` as one interval of `kind`.
+    /// Records the execution of `f` as one interval of `kind`. When the
+    /// observability bus is enabled the interval is also emitted as a
+    /// [`obs::EventData::Span`], stamped in *bus* time so it merges with
+    /// the runtime/transport events in the Chrome export.
     pub fn record<R>(&self, kind: Kind, f: impl FnOnce() -> R) -> R {
         let start = self.epoch.elapsed();
+        let bus_start = obs::bus().map(|b| b.now_us());
         let out = f();
         let end = self.epoch.elapsed();
         self.events.lock().push(Event { kind, start, end });
+        if let (Some(bus), Some(start_us)) = (obs::bus(), bus_start) {
+            bus.emit(obs::EventData::Span { kind: kind.name(), start_us, end_us: bus.now_us() });
+        }
         out
+    }
+
+    /// Records an interval measured externally, as offsets from the trace
+    /// epoch. Useful when the interval's endpoints come from another
+    /// clock source (and for deterministic tests); `end` is clamped to
+    /// `start` if it precedes it.
+    pub fn record_interval(&self, kind: Kind, start: Duration, end: Duration) {
+        self.events.lock().push(Event { kind, start, end: end.max(start) });
     }
 
     /// Copies out the recorded events, sorted by start time.
@@ -206,15 +238,25 @@ impl Trace {
                 Kind::Wait => 'w',
             }
         };
-        let bucket = end.as_secs_f64() / width as f64;
+        // Integer bucket math: bucket b covers the half-open time range
+        // [b*total/width, (b+1)*total/width). An interval ending exactly
+        // on a bucket boundary does not spill into the next bucket, an
+        // interval starting at or past `end` draws nothing (the old float
+        // math clamped such events into the last column), and a
+        // zero-length interval inside the range still gets one glyph.
+        let total_ns = end.as_nanos();
         let mut out = String::new();
         for kind in Kind::ALL {
             let mut lane = vec![' '; width];
             let mut any = false;
             for e in events.iter().filter(|e| e.kind == kind) {
-                let lo = (e.start.as_secs_f64() / bucket) as usize;
-                let hi = ((e.end.as_secs_f64() / bucket).ceil() as usize).max(lo + 1);
-                for slot in lane.iter_mut().take(hi.min(width)).skip(lo.min(width - 1)) {
+                let lo = (e.start.as_nanos() * width as u128 / total_ns) as usize;
+                if lo >= width {
+                    continue;
+                }
+                let hi = ((e.end.as_nanos() * width as u128).div_ceil(total_ns) as usize)
+                    .clamp(lo + 1, width);
+                for slot in lane.iter_mut().take(hi).skip(lo) {
                     *slot = glyph(kind);
                     any = true;
                 }
@@ -312,6 +354,74 @@ mod tests {
     fn ascii_timeline_empty_trace() {
         let t = Trace::new();
         assert!(t.render_ascii(40).contains("empty"));
+    }
+
+    #[test]
+    fn zero_length_events_do_not_count_as_overlap() {
+        let t = Trace::new();
+        let at = Duration::from_millis(5);
+        // Two instantaneous events at the same timestamp: no busy span,
+        // no overlap, and no division by zero.
+        t.record_interval(Kind::Stencil, at, at);
+        t.record_interval(Kind::Pack, at, at);
+        assert_eq!(t.overlap_fraction(), 0.0);
+        assert_eq!(t.largest_gap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn identical_timestamps_overlap_fully() {
+        let t = Trace::new();
+        let (a, b) = (Duration::from_millis(1), Duration::from_millis(9));
+        t.record_interval(Kind::Stencil, a, b);
+        t.record_interval(Kind::Unpack, a, b);
+        assert!((t.overlap_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(t.largest_gap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn out_of_order_recording_is_sorted_and_gap_correct() {
+        let t = Trace::new();
+        // Recorded in reverse order, as concurrent workers may do.
+        t.record_interval(Kind::Pack, Duration::from_millis(20), Duration::from_millis(22));
+        t.record_interval(Kind::Stencil, Duration::from_millis(1), Duration::from_millis(4));
+        let ev = t.events();
+        assert!(ev.windows(2).all(|w| w[0].start <= w[1].start));
+        assert_eq!(t.largest_gap(), Duration::from_millis(16));
+        assert_eq!(t.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gap_ignores_leading_idle_and_contained_intervals() {
+        let t = Trace::new();
+        // Idle before the first event is not a gap; an interval fully
+        // contained in another does not shrink the horizon.
+        t.record_interval(Kind::Stencil, Duration::from_millis(10), Duration::from_millis(30));
+        t.record_interval(Kind::Pack, Duration::from_millis(12), Duration::from_millis(14));
+        t.record_interval(Kind::Unpack, Duration::from_millis(35), Duration::from_millis(36));
+        assert_eq!(t.largest_gap(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn ascii_buckets_stay_in_range() {
+        let t = Trace::new();
+        let w = 10;
+        // An event covering exactly the last tenth must fill only the
+        // final column; one ending on a bucket boundary must not spill
+        // into the next bucket.
+        t.record_interval(Kind::Stencil, Duration::from_millis(9), Duration::from_millis(10));
+        t.record_interval(Kind::Pack, Duration::from_millis(0), Duration::from_millis(1));
+        // Zero-length event inside the range still draws one glyph.
+        t.record_interval(Kind::Send, Duration::from_millis(5), Duration::from_millis(5));
+        let art = t.render_ascii(w);
+        let lane = |name: &str| {
+            art.lines()
+                .find(|l| l.contains(name))
+                .map(|l| l.split('|').nth(1).unwrap().to_string())
+                .unwrap()
+        };
+        assert_eq!(lane("Stencil"), "         S");
+        assert_eq!(lane("Pack"), "p         ");
+        assert_eq!(lane("Send"), "     >    ");
     }
 
     #[test]

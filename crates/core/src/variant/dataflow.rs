@@ -48,6 +48,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
         immediate_successor: cfg.immediate_successor,
     }));
     let comm = Arc::new(comm);
+    rt.set_obs_rank(comm.rank() as u32);
     let mut state = RankState::init(cfg, comm.rank(), comm.size());
     let mut stats = RunStats { rank: state.rank, ..Default::default() };
     let trace = cfg.trace.then(Trace::new);
@@ -215,13 +216,23 @@ fn spawn_communicate(
     trace: Option<&Trace>,
 ) {
     let g = vars.len();
+    // Message base offsets use the *allocated* stride (the largest group
+    // size), not the current group's size: buffer regions of the same
+    // message must overlap across groups so the WAR edges between one
+    // group's unpackers and the next group's receive serialise posting
+    // order per tag. The seed used `g` here, which made the last uneven
+    // group's regions disjoint and deadlocked `--comm_vars --send_faces`
+    // runs (kept behind `legacy_group_offsets` for the watchdog CI test).
+    // Intra-message section offsets stay in units of `g` — payload layout
+    // and therefore checksums are unchanged.
+    let gb = if state.cfg.legacy_group_offsets { g } else { state.cfg.var_group(0).len() };
     for dir in Dir::ALL {
         let d = dir.index();
 
         // Receive tasks: out-dependency on the buffer section; the
         // task-aware receive binds arrival to dependency release.
         for m in plan.inbound(state.rank).filter(|m| m.dir == dir) {
-            let lo = m.recv_offset * g;
+            let lo = m.recv_offset * gb;
             let hi = lo + m.elems_per_var * g;
             let slice = bufs.recv[d].slice(lo..hi);
             let comm = Arc::clone(comm);
@@ -247,7 +258,7 @@ fn spawn_communicate(
         for m in plan.outbound(state.rank).filter(|m| m.dir == dir) {
             let mut section_accesses = Vec::with_capacity(m.transfers.len());
             for t in m.transfers.clone() {
-                let slo = (m.send_offset + t.offset_in_msg) * g;
+                let slo = m.send_offset * gb + t.offset_in_msg * g;
                 let shi = slo + t.elems_per_var * g;
                 section_accesses.push(Access::read(Region::new(bufs.send_obj[d], slo..shi)));
                 let slice = bufs.send[d].slice(slo..shi);
@@ -275,7 +286,7 @@ fn spawn_communicate(
             }
             // The send task multi-depends on every section the packers
             // write (§IV-A).
-            let lo = m.send_offset * g;
+            let lo = m.send_offset * gb;
             let hi = lo + m.elems_per_var * g;
             let slice = bufs.send[d].slice(lo..hi);
             let comm = Arc::clone(comm);
@@ -348,7 +359,7 @@ fn spawn_communicate(
         // peer, closing a cross-rank cycle.
         for m in plan.inbound(state.rank).filter(|m| m.dir == dir) {
             for t in m.transfers.clone() {
-                let slo = (m.recv_offset + t.offset_in_msg) * g;
+                let slo = m.recv_offset * gb + t.offset_in_msg * g;
                 let shi = slo + t.elems_per_var * g;
                 let slice = bufs.recv[d].slice(slo..shi);
                 let dst = state.block(&t.dst_block).clone();

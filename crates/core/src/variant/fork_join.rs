@@ -35,6 +35,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
         workers: cfg.workers.max(1),
         immediate_successor: cfg.immediate_successor,
     });
+    rt.set_obs_rank(comm.rank() as u32);
     let mut state = RankState::init(cfg, comm.rank(), comm.size());
     let mut stats = RunStats { rank: state.rank, ..Default::default() };
     let trace = cfg.trace.then(Trace::new);

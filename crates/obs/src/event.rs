@@ -1,0 +1,196 @@
+//! Event vocabulary of the bus.
+//!
+//! One enum covers every layer: task lifecycle (taskrt), message
+//! lifecycle (vmpi), event holds (tampi via taskrt), and coarse phase
+//! spans (the `core` trace recorder). Variants carry only `Copy` payloads
+//! plus `&'static str` labels so an [`Event`] is small and cheap to move
+//! through the ring buffers.
+
+/// Lane id of a rank's main thread (outside any task worker).
+pub const LANE_MAIN: u32 = u32::MAX;
+/// Lane id of the transport's delivery thread ("the network").
+pub const LANE_NET: u32 = u32::MAX - 1;
+/// Rank id used when the emitting thread has no rank context.
+pub const UNKNOWN_RANK: u32 = u32::MAX;
+
+/// One structured event, stamped with a global sequence number and a
+/// microsecond timestamp relative to the bus epoch.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Global total-order sequence number (the watchdog's progress
+    /// signal).
+    pub seq: u64,
+    /// Microseconds since the bus epoch.
+    pub t_us: u64,
+    /// Rank the event belongs to ([`UNKNOWN_RANK`] when not attributable).
+    pub rank: u32,
+    /// Worker lane within the rank ([`LANE_MAIN`], [`LANE_NET`], or a
+    /// worker index).
+    pub worker: u32,
+    /// What happened.
+    pub data: EventData,
+}
+
+/// The event payload: one variant per instrumented transition.
+#[derive(Debug, Clone)]
+pub enum EventData {
+    /// taskrt: a task was spawned with `preds` unreleased predecessors.
+    TaskCreated {
+        /// Task id.
+        id: u64,
+        /// Task label.
+        label: &'static str,
+        /// Dependency edges created at registration.
+        preds: u32,
+    },
+    /// taskrt: a task's last predecessor released; it is now schedulable.
+    TaskReady {
+        /// Task id.
+        id: u64,
+    },
+    /// taskrt: a worker started executing the task body.
+    TaskStart {
+        /// Task id.
+        id: u64,
+        /// Task label.
+        label: &'static str,
+    },
+    /// taskrt: the task body returned.
+    TaskEnd {
+        /// Task id.
+        id: u64,
+        /// Task label.
+        label: &'static str,
+    },
+    /// taskrt: the body finished but `holds` event holds are still
+    /// outstanding (blocked-on-event, the TAMPI_Iwait state).
+    TaskBlocked {
+        /// Task id.
+        id: u64,
+        /// Outstanding event holds.
+        holds: u32,
+    },
+    /// taskrt: the task released its dependencies (fully complete).
+    TaskCompleted {
+        /// Task id.
+        id: u64,
+    },
+    /// taskrt: a dependency edge `pred → succ` was created at spawn.
+    DepEdge {
+        /// Predecessor task id.
+        pred: u64,
+        /// Successor task id.
+        succ: u64,
+    },
+    /// taskrt: an event hold was acquired on a task (deferred release).
+    HoldAcquire {
+        /// Task id the hold defers.
+        task: u64,
+    },
+    /// taskrt: an event hold was dropped.
+    HoldRelease {
+        /// Task id the hold deferred.
+        task: u64,
+    },
+    /// vmpi: a send was posted. `eager` marks sends that complete
+    /// immediately (payload below the eager threshold or self-send);
+    /// rendezvous sends complete when the transfer drains.
+    SendPosted {
+        /// Destination rank (communicator-local).
+        dst: u32,
+        /// Message tag.
+        tag: i32,
+        /// Communicator id.
+        comm: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Eager (true) vs rendezvous (false) protocol.
+        eager: bool,
+    },
+    /// vmpi: a receive was posted.
+    RecvPosted {
+        /// Source rank, or the ANY_SOURCE wildcard (-1).
+        src: i32,
+        /// Message tag, or the ANY_TAG wildcard (-2).
+        tag: i32,
+        /// Communicator id.
+        comm: u64,
+    },
+    /// vmpi: an envelope paired with a posted receive. `at_send` is true
+    /// when the receive was already posted at send time.
+    MsgMatched {
+        /// Sending rank (communicator-local).
+        src: u32,
+        /// Message tag.
+        tag: i32,
+        /// Communicator id.
+        comm: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Matched at send-post time (true) or recv-post time (false).
+        at_send: bool,
+    },
+    /// vmpi: a matched payload was copied to its target and the requests
+    /// completed (fires on the delivery lane).
+    MsgDelivered {
+        /// Sending rank (communicator-local).
+        src: u32,
+        /// Message tag.
+        tag: i32,
+        /// Communicator id.
+        comm: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// vmpi: a `waitany` call woke up with a completed request.
+    WaitanyWake {
+        /// Index of the completed request within the set.
+        index: u32,
+    },
+    /// vmpi: mailbox depth after a queue mutation (drives the
+    /// requests-in-flight and bytes-queued counter tracks).
+    QueueDepth {
+        /// World rank owning the mailbox.
+        mailbox: u32,
+        /// Unmatched envelopes queued.
+        msgs: u32,
+        /// Posted-but-unmatched receives.
+        recvs: u32,
+        /// Total payload bytes queued in unmatched envelopes.
+        bytes: u64,
+    },
+    /// core: a coarse phase interval recorded by the `Trace` recorder
+    /// (stencil, pack, unpack, ... — the Fig. 1–3 palette).
+    Span {
+        /// Phase kind name.
+        kind: &'static str,
+        /// Start, microseconds since the bus epoch.
+        start_us: u64,
+        /// End, microseconds since the bus epoch.
+        end_us: u64,
+    },
+}
+
+impl EventData {
+    /// Short stable name of the variant (used by exporters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventData::TaskCreated { .. } => "task_created",
+            EventData::TaskReady { .. } => "task_ready",
+            EventData::TaskStart { .. } => "task_start",
+            EventData::TaskEnd { .. } => "task_end",
+            EventData::TaskBlocked { .. } => "task_blocked",
+            EventData::TaskCompleted { .. } => "task_completed",
+            EventData::DepEdge { .. } => "dep_edge",
+            EventData::HoldAcquire { .. } => "hold_acquire",
+            EventData::HoldRelease { .. } => "hold_release",
+            EventData::SendPosted { .. } => "send_posted",
+            EventData::RecvPosted { .. } => "recv_posted",
+            EventData::MsgMatched { .. } => "msg_matched",
+            EventData::MsgDelivered { .. } => "msg_delivered",
+            EventData::WaitanyWake { .. } => "waitany_wake",
+            EventData::QueueDepth { .. } => "queue_depth",
+            EventData::Span { .. } => "span",
+        }
+    }
+}

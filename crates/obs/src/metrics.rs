@@ -1,0 +1,179 @@
+//! Runtime metrics: named atomic counters and gauges.
+//!
+//! The registry is process-global and always constructible; handles are
+//! cloned `Arc`s around a single atomic, so the hot path is one atomic
+//! RMW with no lock. Layers cache their handles (a registry lookup takes
+//! the map lock) and gate increments behind [`crate::is_enabled`] so the
+//! disabled path stays a branch.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    inner: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (current level of something).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    inner: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.inner.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.inner.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the level to at least `v` (high-watermark tracking).
+    pub fn fetch_max(&self, v: i64) {
+        self.inner.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+}
+
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+}
+
+/// The process-global registry of named metrics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    slots: Mutex<BTreeMap<&'static str, Slot>>,
+}
+
+impl MetricsRegistry {
+    /// Returns (creating on first use) the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a gauge.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut slots = self.slots.lock();
+        match slots.entry(name).or_insert_with(|| Slot::Counter(Counter::default())) {
+            Slot::Counter(c) => c.clone(),
+            Slot::Gauge(_) => panic!("metric '{name}' is a gauge, not a counter"),
+        }
+    }
+
+    /// Returns (creating on first use) the gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a counter.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut slots = self.slots.lock();
+        match slots.entry(name).or_insert_with(|| Slot::Gauge(Gauge::default())) {
+            Slot::Gauge(g) => g.clone(),
+            Slot::Counter(_) => panic!("metric '{name}' is a counter, not a gauge"),
+        }
+    }
+
+    /// Snapshot of every metric, sorted by name. Counter values are
+    /// reported as `i64` (saturating) so one table covers both kinds.
+    pub fn snapshot(&self) -> Vec<(&'static str, i64)> {
+        self.slots
+            .lock()
+            .iter()
+            .map(|(name, slot)| {
+                let v = match slot {
+                    Slot::Counter(c) => i64::try_from(c.get()).unwrap_or(i64::MAX),
+                    Slot::Gauge(g) => g.get(),
+                };
+                (*name, v)
+            })
+            .collect()
+    }
+
+    /// Zeroes every registered metric (test isolation between runs in one
+    /// process).
+    pub fn reset(&self) {
+        for slot in self.slots.lock().values() {
+            match slot {
+                Slot::Counter(c) => c.inner.store(0, Ordering::Relaxed),
+                Slot::Gauge(g) => g.set(0),
+            }
+        }
+    }
+}
+
+/// The process-global metrics registry.
+pub fn metrics() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::default();
+        let c = reg.counter("test.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same underlying atomic.
+        assert_eq!(reg.counter("test.count").get(), 5);
+
+        let g = reg.gauge("test.level");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.fetch_max(5);
+        assert_eq!(g.get(), 7);
+        g.fetch_max(11);
+        assert_eq!(g.get(), 11);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap, vec![("test.count", 5), ("test.level", 11)]);
+
+        reg.reset();
+        assert_eq!(reg.counter("test.count").get(), 0);
+        assert_eq!(reg.gauge("test.level").get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::default();
+        reg.counter("oops");
+        reg.gauge("oops");
+    }
+}

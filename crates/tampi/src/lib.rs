@@ -67,18 +67,38 @@ use vmpi::{Comm, Request, Result};
 /// the task's dependencies are released only after both the task body
 /// finishes and the request completes.
 ///
+/// Observability: the hold acquire/release pair surfaces through the
+/// `taskrt` event stream (`hold_acquire`/`hold_release`), so bound
+/// requests are visible on the task's timeline without extra events here;
+/// this layer only contributes the `tampi.bound_requests` counter.
+///
 /// # Panics
 ///
 /// Panics if called outside a task body, or (on the delivery thread) if
 /// the transfer later fails — mirroring MPI's fatal-error default.
 pub fn iwait(request: &Request) {
+    if obs::is_enabled() {
+        bound_requests().inc();
+    }
     let hold = taskrt::current_event_hold();
+    let req = request.clone();
     request.on_complete(move |status| {
         if status.source == usize::MAX {
-            panic!("tampi-bound transfer failed");
+            // The request is already complete, so this does not block; it
+            // only fetches the stored error for the panic message.
+            match req.wait_checked() {
+                Err(e) => panic!("tampi-bound transfer failed: {e}"),
+                Ok(_) => panic!("tampi-bound transfer failed"),
+            }
         }
         hold.release();
     });
+}
+
+/// Cached handle for the `tampi.bound_requests` counter.
+fn bound_requests() -> &'static obs::Counter {
+    static COUNTER: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| obs::metrics().counter("tampi.bound_requests"))
 }
 
 /// Binds every request in the slice to the calling task
@@ -123,6 +143,9 @@ where
     F: FnOnce(Vec<T>) + Send + 'static,
 {
     let req = comm.irecv(src, tag)?;
+    if obs::is_enabled() {
+        bound_requests().inc();
+    }
     let hold = taskrt::current_event_hold();
     let req2 = req.clone();
     req.on_complete(move |status| {

@@ -23,6 +23,9 @@ impl EventHold {
     pub(crate) fn acquire(task: Arc<TaskShared>) -> EventHold {
         let prev = task.events.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         assert!(prev >= 1, "event hold acquired on a task whose body already finished");
+        if let Some(bus) = obs::bus() {
+            bus.emit_for_rank(task.rt.rank(), obs::EventData::HoldAcquire { task: task.id });
+        }
         EventHold { task: Some(task) }
     }
 
@@ -33,6 +36,9 @@ impl EventHold {
 
     fn release_inner(&mut self) {
         if let Some(task) = self.task.take() {
+            if let Some(bus) = obs::bus() {
+                bus.emit_for_rank(task.rt.rank(), obs::EventData::HoldRelease { task: task.id });
+            }
             task.event_done();
         }
     }

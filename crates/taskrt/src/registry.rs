@@ -74,6 +74,15 @@ impl Registry {
                             links.successors.push(Arc::clone(task));
                             task.pending.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                             edges += 1;
+                            if let Some(bus) = obs::bus() {
+                                bus.emit_for_rank(
+                                    task.rt.rank(),
+                                    obs::EventData::DepEdge {
+                                        pred: entry.task.id,
+                                        succ: task.id,
+                                    },
+                                );
+                            }
                         }
                     }
                 }

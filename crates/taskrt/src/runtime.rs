@@ -5,7 +5,7 @@ use crate::registry::Registry;
 use crate::scheduler::Scheduler;
 use crate::task::{TaskBody, TaskLinks, TaskShared};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -38,6 +38,16 @@ pub struct RuntimeStats {
     pub ready_at_spawn: u64,
 }
 
+/// Cached metric handles (a registry lookup takes a lock; the handles are
+/// lock-free). Present only when observability was enabled before the
+/// runtime was built, so the disabled path carries no atomics at all.
+pub(crate) struct ObsMetrics {
+    pub(crate) spawned: obs::Counter,
+    pub(crate) edges: obs::Counter,
+    pub(crate) blocked: obs::Counter,
+    pub(crate) live_hwm: obs::Gauge,
+}
+
 pub(crate) struct RtInner {
     pub registry: Registry,
     pub scheduler: Scheduler,
@@ -49,11 +59,53 @@ pub(crate) struct RtInner {
     stat_spawned: AtomicU64,
     stat_edges: AtomicU64,
     stat_ready_at_spawn: AtomicU64,
+    /// Virtual rank this runtime serves, for event attribution
+    /// ([`obs::UNKNOWN_RANK`] until [`Runtime::set_obs_rank`]).
+    pub(crate) obs_rank: AtomicU32,
+    pub(crate) obs_metrics: Option<ObsMetrics>,
 }
 
 impl RtInner {
     pub(crate) fn enqueue_ready(&self, task: Arc<TaskShared>, local_hint: bool) {
         self.scheduler.push(task, local_hint);
+    }
+
+    /// Rank to attribute this runtime's events to.
+    #[inline]
+    pub(crate) fn rank(&self) -> u32 {
+        self.obs_rank.load(Ordering::Relaxed)
+    }
+
+    /// Human-readable snapshot of unreleased tasks with their declared
+    /// accesses — the watchdog's view into a stuck task graph. Empty when
+    /// the graph is quiescent.
+    fn dump_pending(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let live = self.live_set.lock();
+        for task in live.values().filter_map(|w| w.upgrade()) {
+            let pending = task.pending.load(Ordering::Relaxed);
+            let events = task.events.load(Ordering::Relaxed);
+            let label = if task.label.is_empty() { "<unlabeled>" } else { task.label };
+            let _ = write!(
+                out,
+                "task {} '{}' pending_preds={} event_holds={} accesses=[",
+                task.id,
+                label,
+                pending,
+                events.saturating_sub(1),
+            );
+            for (i, a) in task.accesses.iter().enumerate() {
+                let mode = match a.mode {
+                    crate::region::AccessMode::In => "in",
+                    crate::region::AccessMode::Out => "out",
+                    crate::region::AccessMode::InOut => "inout",
+                };
+                let _ = write!(out, "{}{} {}", if i > 0 { ", " } else { "" }, mode, a.region);
+            }
+            out.push_str("]\n");
+        }
+        out
     }
 
     pub(crate) fn task_released(&self, id: u64) {
@@ -73,6 +125,9 @@ impl RtInner {
 pub struct Runtime {
     inner: Arc<RtInner>,
     workers: Vec<JoinHandle<()>>,
+    /// Keeps the watchdog diagnostic callback registered for the
+    /// runtime's lifetime (None when observability is disabled).
+    _diag: Option<obs::DiagGuard>,
 }
 
 impl Runtime {
@@ -97,6 +152,19 @@ impl Runtime {
             stat_spawned: AtomicU64::new(0),
             stat_edges: AtomicU64::new(0),
             stat_ready_at_spawn: AtomicU64::new(0),
+            obs_rank: AtomicU32::new(obs::UNKNOWN_RANK),
+            obs_metrics: obs::is_enabled().then(|| ObsMetrics {
+                spawned: obs::metrics().counter("taskrt.tasks_spawned"),
+                edges: obs::metrics().counter("taskrt.dep_edges"),
+                blocked: obs::metrics().counter("taskrt.tasks_blocked_on_events"),
+                live_hwm: obs::metrics().gauge("taskrt.live_tasks_hwm"),
+            }),
+        });
+        let diag = obs::is_enabled().then(|| {
+            let weak = Arc::downgrade(&inner);
+            obs::diagnostics().register("taskrt pending tasks", move || {
+                weak.upgrade().map(|rt| rt.dump_pending()).unwrap_or_default()
+            })
         });
         let workers = locals
             .into_iter()
@@ -109,7 +177,14 @@ impl Runtime {
                     .expect("spawn worker thread")
             })
             .collect();
-        Runtime { inner, workers }
+        Runtime { inner, workers, _diag: diag }
+    }
+
+    /// Attributes this runtime's observability events to a virtual rank
+    /// (one runtime serves one rank in the miniAMR variants). Idempotent;
+    /// cheap; a no-op in effect while observability is disabled.
+    pub fn set_obs_rank(&self, rank: u32) {
+        self.inner.obs_rank.store(rank, Ordering::Relaxed);
     }
 
     /// Starts building a task; finish with [`TaskBuilder::spawn`].
@@ -143,13 +218,24 @@ impl Runtime {
             state: Mutex::new(TaskLinks { released: false, successors: Vec::new() }),
             rt: Arc::clone(inner),
         });
-        inner.live.fetch_add(1, Ordering::AcqRel);
+        let live_now = inner.live.fetch_add(1, Ordering::AcqRel) + 1;
         inner.live_set.lock().insert(task.id, Arc::downgrade(&task));
         let edges = inner.registry.register(&task);
         inner.stat_spawned.fetch_add(1, Ordering::Relaxed);
         inner.stat_edges.fetch_add(edges as u64, Ordering::Relaxed);
         if edges == 0 {
             inner.stat_ready_at_spawn.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(bus) = obs::bus() {
+            bus.emit_for_rank(
+                inner.rank(),
+                obs::EventData::TaskCreated { id: task.id, label: task.label, preds: edges as u32 },
+            );
+            if let Some(m) = &inner.obs_metrics {
+                m.spawned.inc();
+                m.edges.add(edges as u64);
+                m.live_hwm.fetch_max(live_now as i64);
+            }
         }
         // Drop the registration guard; enqueues if no predecessor is live.
         task.dep_satisfied(false);

@@ -139,6 +139,8 @@ impl Scheduler {
     /// The worker main loop. `index` is the worker's position in the
     /// stealer array.
     pub(crate) fn worker_loop(&self, local: Worker<TaskRef>, index: usize) {
+        // Timeline lane for events emitted while tasks run on this thread.
+        obs::set_thread_worker(index as u32);
         LOCAL.with(|l| *l.borrow_mut() = Some(local));
         loop {
             let task = LOCAL.with(|l| {

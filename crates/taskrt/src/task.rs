@@ -39,6 +39,9 @@ impl TaskShared {
     /// dependency (or the registration guard) clears.
     pub(crate) fn dep_satisfied(self: &Arc<Self>, local_hint: bool) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(bus) = obs::bus() {
+                bus.emit_for_rank(self.rt.rank(), obs::EventData::TaskReady { id: self.id });
+            }
             self.rt.enqueue_ready(Arc::clone(self), local_hint);
         }
     }
@@ -64,6 +67,9 @@ impl TaskShared {
         // and never while holding the task's own state lock (see the lock
         // ordering note in registry.rs).
         self.rt.registry.remove_task(self);
+        if let Some(bus) = obs::bus() {
+            bus.emit_for_rank(self.rt.rank(), obs::EventData::TaskCompleted { id: self.id });
+        }
         let n = successors.len();
         for (i, succ) in successors.into_iter().enumerate() {
             // The first unblocked successor is offered to the local worker
@@ -82,7 +88,33 @@ impl TaskShared {
             .take()
             .unwrap_or_else(|| panic!("task '{}' (id {}) executed twice", self.label, self.id));
         let prev = CURRENT.with(|c| c.replace(Some(Arc::clone(&self))));
+        if let Some(bus) = obs::bus() {
+            // Adopt the owning runtime's rank for the duration of the
+            // body, so events emitted from inside it (message posts,
+            // phase spans) attribute to this rank even on worker threads.
+            obs::set_thread_rank(self.rt.rank());
+            bus.emit_for_rank(
+                self.rt.rank(),
+                obs::EventData::TaskStart { id: self.id, label: self.label },
+            );
+        }
         body();
+        if let Some(bus) = obs::bus() {
+            let rank = self.rt.rank();
+            bus.emit_for_rank(rank, obs::EventData::TaskEnd { id: self.id, label: self.label });
+            // Holds acquired by the body (tampi-bound requests) outlive it:
+            // the task is now blocked-on-events rather than completed.
+            let holds = self.events.load(Ordering::Acquire).saturating_sub(1);
+            if holds > 0 {
+                bus.emit_for_rank(
+                    rank,
+                    obs::EventData::TaskBlocked { id: self.id, holds: holds as u32 },
+                );
+                if let Some(m) = &self.rt.obs_metrics {
+                    m.blocked.inc();
+                }
+            }
+        }
         CURRENT.with(|c| *c.borrow_mut() = prev);
         self.event_done();
     }

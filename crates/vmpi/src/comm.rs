@@ -3,7 +3,7 @@
 use shmem::BufSlice;
 use crate::datatype::{self, Pod};
 use crate::error::{Result, VmpiError};
-use crate::mailbox::{complete_transfer, Envelope, PendingRecv, RecvTarget};
+use crate::mailbox::{complete_transfer, Envelope, Inbound, PendingRecv, RecvTarget};
 use crate::request::{Request, RequestState};
 use crate::world::WorldShared;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -146,6 +146,25 @@ impl Comm {
         let send_state = RequestState::new();
         let send_status = Status { source: self.rank, tag, bytes: nbytes };
 
+        if let Some(bus) = obs::bus() {
+            bus.emit(obs::EventData::SendPosted {
+                dst: dst_world as u32,
+                tag,
+                comm: self.comm_id,
+                bytes: nbytes as u64,
+                eager,
+            });
+            if let Some(m) = &self.shared.obs_metrics {
+                m.sends.inc();
+                m.bytes_sent.add(nbytes as u64);
+                if eager {
+                    m.eager_sends.inc();
+                } else {
+                    m.rendezvous_sends.inc();
+                }
+            }
+        }
+
         let mailbox = &self.shared.mailboxes[dst_world];
         enum Outcome {
             Matched(PendingRecv, Vec<u8>),
@@ -164,19 +183,49 @@ impl Comm {
                         available_at,
                         send_state: if eager { None } else { Some(Arc::clone(&send_state)) },
                     });
+                    if let Some(bus) = obs::bus() {
+                        let (msgs, recvs, bytes) = inner.depth();
+                        bus.emit(obs::EventData::QueueDepth {
+                            mailbox: dst_world as u32,
+                            msgs: msgs as u32,
+                            recvs: recvs as u32,
+                            bytes,
+                        });
+                    }
                     Outcome::Queued
                 }
             }
         };
         match outcome {
             Outcome::Matched(pr, payload) => {
+                if let Some(bus) = obs::bus() {
+                    bus.emit_for_rank(
+                        dst_world as u32,
+                        obs::EventData::MsgMatched {
+                            src: src_world as u32,
+                            tag,
+                            comm: self.comm_id,
+                            bytes: payload.len() as u64,
+                            at_send: true,
+                        },
+                    );
+                    if let Some(m) = &self.shared.obs_metrics {
+                        m.matched_at_send.inc();
+                    }
+                }
                 let send_for_job =
                     if eager { None } else { Some(Arc::clone(&send_state)) };
                 let src = self.rank;
+                let comm_id = self.comm_id;
                 self.shared.delivery.schedule(
                     available_at,
                     Box::new(move || {
-                        complete_transfer(payload, src, tag, send_for_job, pr.state, pr.target);
+                        complete_transfer(
+                            Inbound { payload, src, tag, comm: comm_id, dst_world },
+                            send_for_job,
+                            pr.state,
+                            pr.target,
+                        );
                     }),
                 );
             }
@@ -198,6 +247,12 @@ impl Comm {
         let state = RequestState::new();
         let my_world = self.group[self.rank];
         let mailbox = &self.shared.mailboxes[my_world];
+        if let Some(bus) = obs::bus() {
+            bus.emit(obs::EventData::RecvPosted { src, tag, comm: self.comm_id });
+            if let Some(m) = &self.shared.obs_metrics {
+                m.recvs.inc();
+            }
+        }
         enum Outcome {
             Matched(Envelope, RecvTarget),
             Queued,
@@ -214,17 +269,50 @@ impl Comm {
                         state: Arc::clone(&state),
                         target,
                     });
+                    if let Some(bus) = obs::bus() {
+                        let (msgs, recvs, bytes) = inner.depth();
+                        bus.emit(obs::EventData::QueueDepth {
+                            mailbox: my_world as u32,
+                            msgs: msgs as u32,
+                            recvs: recvs as u32,
+                            bytes,
+                        });
+                    }
                     Outcome::Queued
                 }
             }
         };
         if let Outcome::Matched(env, target) = outcome {
             let recv_state = Arc::clone(&state);
-            let Envelope { src: esrc, tag: etag, payload, available_at, send_state, .. } = env;
+            let Envelope { src: esrc, tag: etag, comm: ecomm, payload, available_at, send_state } =
+                env;
+            if let Some(bus) = obs::bus() {
+                bus.emit(obs::EventData::MsgMatched {
+                    src: esrc as u32,
+                    tag: etag,
+                    comm: ecomm,
+                    bytes: payload.len() as u64,
+                    at_send: false,
+                });
+                if let Some(m) = &self.shared.obs_metrics {
+                    m.matched_at_recv.inc();
+                }
+            }
             self.shared.delivery.schedule(
                 available_at,
                 Box::new(move || {
-                    complete_transfer(payload, esrc, etag, send_state, recv_state, target);
+                    complete_transfer(
+                        Inbound {
+                            payload,
+                            src: esrc,
+                            tag: etag,
+                            comm: ecomm,
+                            dst_world: my_world,
+                        },
+                        send_state,
+                        recv_state,
+                        target,
+                    );
                 }),
             );
         }

@@ -64,7 +64,11 @@ impl DeliveryService {
         let worker = std::sync::Arc::clone(&service);
         let handle = std::thread::Builder::new()
             .name("vmpi-delivery".into())
-            .spawn(move || worker.run_loop())
+            .spawn(move || {
+                // Events emitted from deferred jobs land on the network lane.
+                obs::set_thread_worker(obs::LANE_NET);
+                worker.run_loop()
+            })
             .expect("spawn vmpi delivery thread");
         *service.handle.lock() = Some(handle);
         service

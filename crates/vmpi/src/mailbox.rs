@@ -104,6 +104,39 @@ impl MailboxInner {
         self.recvs.push_back(recv);
     }
 
+    /// Queue depth snapshot: `(unmatched messages, posted receives,
+    /// queued payload bytes)`. Used for counter-track events.
+    pub(crate) fn depth(&self) -> (usize, usize, u64) {
+        let bytes = self.msgs.iter().map(|m| m.payload.len() as u64).sum();
+        (self.msgs.len(), self.recvs.len(), bytes)
+    }
+
+    /// Human-readable snapshot of unmatched state for the stall
+    /// watchdog. Empty when the mailbox is quiescent.
+    pub(crate) fn dump(&self, rank: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for m in &self.msgs {
+            let _ = writeln!(
+                out,
+                "rank {rank}: unmatched message from src {} tag {} comm {:#x} ({} bytes, {})",
+                m.src,
+                m.tag,
+                m.comm,
+                m.payload.len(),
+                if m.send_state.is_some() { "rendezvous" } else { "eager" },
+            );
+        }
+        for r in &self.recvs {
+            let _ = writeln!(
+                out,
+                "rank {rank}: pending recv from src {} tag {} comm {:#x} (posted, unmatched)",
+                r.src, r.tag, r.comm,
+            );
+        }
+        out
+    }
+
     #[cfg(test)]
     pub(crate) fn queued_msgs(&self) -> usize {
         self.msgs.len()
@@ -123,27 +156,52 @@ impl Mailbox {
     }
 }
 
+/// A matched envelope on its way to a receive target: the payload plus
+/// the addressing needed to complete the transfer and attribute the
+/// delivery event to the receiving rank.
+pub(crate) struct Inbound {
+    pub payload: Vec<u8>,
+    pub src: usize,
+    pub tag: i32,
+    pub comm: u64,
+    pub dst_world: usize,
+}
+
 /// Runs the completion of a matched (envelope, receive) pair: copies the
 /// payload to its target and completes both the receive request and, for
 /// rendezvous sends, the send request.
 pub(crate) fn complete_transfer(
-    env_payload: Vec<u8>,
-    env_src: usize,
-    env_tag: i32,
+    inbound: Inbound,
     send_state: Option<Arc<RequestState>>,
     recv_state: Arc<RequestState>,
     target: RecvTarget,
 ) {
-    let status = Status { source: env_src, tag: env_tag, bytes: env_payload.len() };
+    let Inbound { payload, src, tag, comm, dst_world } = inbound;
+    let status = Status { source: src, tag, bytes: payload.len() };
+    if let Some(bus) = obs::bus() {
+        // Deliveries happen on the network (delivery) thread or inline on
+        // the sender; either way the event belongs to the receiving rank's
+        // network lane.
+        bus.emit_full(
+            dst_world as u32,
+            obs::LANE_NET,
+            obs::EventData::MsgDelivered {
+                src: src as u32,
+                tag,
+                comm,
+                bytes: payload.len() as u64,
+            },
+        );
+    }
     match target {
-        RecvTarget::Owned => recv_state.complete(status, Some(env_payload)),
-        RecvTarget::Writer(writer) => match writer(&env_payload) {
+        RecvTarget::Owned => recv_state.complete(status, Some(payload)),
+        RecvTarget::Writer(writer) => match writer(&payload) {
             Ok(()) => recv_state.complete(status, None),
             Err(e) => recv_state.fail(e),
         },
     }
     if let Some(send) = send_state {
-        send.complete(Status { source: env_src, tag: env_tag, bytes: status.bytes }, None);
+        send.complete(Status { source: src, tag, bytes: status.bytes }, None);
     }
 }
 

@@ -233,6 +233,9 @@ impl RequestSet {
                 if req.is_complete() {
                     let req = slot.take().expect("checked above");
                     self.remaining -= 1;
+                    if let Some(bus) = obs::bus() {
+                        bus.emit(obs::EventData::WaitanyWake { index: i as u32 });
+                    }
                     return Some((i, req.wait()));
                 }
             }
@@ -253,6 +256,9 @@ impl RequestSet {
                     if req.is_complete() {
                         let req = slot.take().expect("checked above");
                         self.remaining -= 1;
+                        if let Some(bus) = obs::bus() {
+                            bus.emit(obs::EventData::WaitanyWake { index: i as u32 });
+                        }
                         return Some((i, req.wait()));
                     }
                 }

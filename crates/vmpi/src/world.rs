@@ -6,11 +6,24 @@ use crate::mailbox::Mailbox;
 use crate::net::NetworkModel;
 use std::sync::Arc;
 
+/// Cached metric handles, present only when observability was enabled
+/// before the world was built (the disabled path carries no atomics).
+pub(crate) struct VmpiMetrics {
+    pub sends: obs::Counter,
+    pub recvs: obs::Counter,
+    pub eager_sends: obs::Counter,
+    pub rendezvous_sends: obs::Counter,
+    pub bytes_sent: obs::Counter,
+    pub matched_at_send: obs::Counter,
+    pub matched_at_recv: obs::Counter,
+}
+
 pub(crate) struct WorldShared {
     pub n: usize,
     pub net: NetworkModel,
     pub mailboxes: Vec<Mailbox>,
     pub delivery: Arc<DeliveryService>,
+    pub obs_metrics: Option<VmpiMetrics>,
 }
 
 /// A fixed-size group of ranks sharing one in-process "cluster".
@@ -21,6 +34,9 @@ pub(crate) struct WorldShared {
 /// tests extract per-rank results.
 pub struct World {
     shared: Arc<WorldShared>,
+    /// Keeps the watchdog mailbox-dump callback registered for the
+    /// world's lifetime (None when observability is disabled).
+    _diag: Option<obs::DiagGuard>,
 }
 
 impl World {
@@ -28,14 +44,33 @@ impl World {
     pub fn new(n: usize, net: NetworkModel) -> Self {
         assert!(n > 0, "world needs at least one rank");
         let mailboxes = (0..n).map(|_| Mailbox::new()).collect();
-        World {
-            shared: Arc::new(WorldShared {
-                n,
-                net,
-                mailboxes,
-                delivery: DeliveryService::new(),
+        let shared = Arc::new(WorldShared {
+            n,
+            net,
+            mailboxes,
+            delivery: DeliveryService::new(),
+            obs_metrics: obs::is_enabled().then(|| VmpiMetrics {
+                sends: obs::metrics().counter("vmpi.sends_posted"),
+                recvs: obs::metrics().counter("vmpi.recvs_posted"),
+                eager_sends: obs::metrics().counter("vmpi.eager_sends"),
+                rendezvous_sends: obs::metrics().counter("vmpi.rendezvous_sends"),
+                bytes_sent: obs::metrics().counter("vmpi.bytes_sent"),
+                matched_at_send: obs::metrics().counter("vmpi.matched_at_send"),
+                matched_at_recv: obs::metrics().counter("vmpi.matched_at_recv"),
             }),
-        }
+        });
+        let diag = obs::is_enabled().then(|| {
+            let weak = Arc::downgrade(&shared);
+            obs::diagnostics().register("vmpi mailboxes", move || {
+                let Some(shared) = weak.upgrade() else { return String::new() };
+                let mut out = String::new();
+                for (rank, mb) in shared.mailboxes.iter().enumerate() {
+                    out.push_str(&mb.inner.lock().dump(rank));
+                }
+                out
+            })
+        });
+        World { shared, _diag: diag }
     }
 
     /// Number of ranks in the world.
@@ -74,6 +109,9 @@ impl World {
                     std::thread::Builder::new()
                         .name(format!("vmpi-rank-{rank}"))
                         .spawn_scoped(s, move || {
+                            // Attribute events from this thread to its rank's
+                            // main timeline lane.
+                            obs::set_thread_rank(rank as u32);
                             *slot = Some(f(comm));
                         })
                         .expect("spawn rank thread"),

@@ -19,4 +19,64 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# --- Observability smoke tests (PR 2) -------------------------------------
+# The root `cargo build --release` only builds the root package; the
+# miniamr CLI binary needs an explicit -p.
+echo "==> cargo build --release -p miniamr"
+cargo build --release -p miniamr
+MINIAMR=target/release/miniamr
+
+# Traced smoke run: each variant must produce a merged Chrome trace that
+# parses as JSON and contains every rank's process metadata.
+for variant in mpi forkjoin dataflow; do
+  echo "==> traced smoke run: $variant"
+  trace="$(mktemp /tmp/miniamr-trace-XXXXXX.json)"
+  "$MINIAMR" --variant "$variant" --npx 2 --npy 2 --nx 6 --ny 6 --nz 6 \
+      --num_vars 4 --num_tsteps 2 --input single_sphere \
+      --trace-json "$trace" --metrics >/dev/null
+  python3 - "$trace" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+ranks = {e["pid"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"
+         and e["args"]["name"].startswith("rank ")}
+assert ranks == {0, 1, 2, 3}, f"expected ranks 0..3 in trace, got {sorted(ranks)}"
+PY
+  rm -f "$trace"
+done
+
+# Watchdog self-test: the seed's group-offset bug (kept behind
+# --legacy_group_offsets) deadlocks the data-flow variant; the stall
+# watchdog must detect it, dump blocked tasks + unmatched messages, and
+# exit 86 instead of hanging. Exactly where the hang lands is
+# scheduling-dependent — occasionally the mailboxes are drained and only
+# blocked tasks remain — so retry until one run shows both sections.
+echo "==> watchdog self-test (known-deadlock config)"
+wd_ok=0
+for attempt in 1 2 3; do
+  set +e
+  wd_out="$(timeout 60 "$MINIAMR" --variant dataflow --comm_vars 3 --send_faces \
+      --npx 2 --nx 6 --ny 6 --nz 6 --num_vars 8 --num_tsteps 3 \
+      --input single_sphere --legacy_group_offsets --watchdog_ms 3000 2>&1)"
+  wd_rc=$?
+  set -e
+  if [ "$wd_rc" -ne 86 ]; then
+    echo "watchdog self-test: expected exit 86, got $wd_rc (attempt $attempt)" >&2
+    echo "$wd_out" >&2
+    exit 1
+  fi
+  # No pipes here: with pipefail, `grep -q` exiting at the first match
+  # SIGPIPEs the echo and fails the pipeline despite the match.
+  if grep -q "unmatched" <<<"$wd_out" && grep -q "pending tasks" <<<"$wd_out"; then
+    wd_ok=1
+    break
+  fi
+  echo "    attempt $attempt: exit 86 but dump incomplete; retrying"
+done
+if [ "$wd_ok" -ne 1 ]; then
+  echo "watchdog dump never showed both unmatched messages and pending tasks" >&2
+  echo "$wd_out" >&2
+  exit 1
+fi
+
 echo "CI OK"
