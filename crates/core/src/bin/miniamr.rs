@@ -51,8 +51,13 @@ fn usage() -> ! {
   --watchdog_ms N                     stall watchdog: dump diagnostics and exit
                                       {} if no event-bus progress for N ms
   --legacy_group_offsets              reproduce the seed's buggy group-relative
-                                      comm-buffer offsets (known deadlock)",
-        obs::STALL_EXIT_CODE
+                                      comm-buffer offsets (known deadlock)
+  --sanitize                          dependency sanitizer: check declared
+                                      regions against actual accesses, detect
+                                      happens-before races and communication
+                                      hazards; exit {} on the first violation",
+        obs::STALL_EXIT_CODE,
+        depsan::SAN_EXIT_CODE
     );
     std::process::exit(2);
 }
@@ -96,6 +101,7 @@ fn main() {
     let mut metrics = false;
     let mut watchdog_ms = 0u64;
     let mut legacy_group_offsets = false;
+    let mut sanitize = false;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -162,6 +168,7 @@ fn main() {
             "--metrics" => metrics = true,
             "--watchdog_ms" => watchdog_ms = parse(next(&mut i)) as u64,
             "--legacy_group_offsets" => legacy_group_offsets = true,
+            "--sanitize" => sanitize = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -210,12 +217,26 @@ fn main() {
     if trace_json.is_some() || metrics || watchdog_ms > 0 {
         obs::enable();
     }
+    // Likewise the sanitizer: runtimes and buffers register with depsan at
+    // construction time, so it must be on before any of them exist.
+    if sanitize {
+        depsan::enable(depsan::Mode::Exit);
+        eprintln!(
+            "miniamr: depsan enabled (exit code {} on first violation)",
+            depsan::SAN_EXIT_CODE
+        );
+    }
     let _watchdog = (watchdog_ms > 0).then(|| {
         obs::Watchdog::start(obs::WatchdogConfig::exiting(Duration::from_millis(watchdog_ms)))
     });
     let start = std::time::Instant::now();
     let stats = miniamr::run_world(&cfg, n_ranks, net);
     let wall = start.elapsed();
+    if sanitize {
+        // Mode::Exit terminates on the first violation, so reaching this
+        // point means the run was clean.
+        eprintln!("miniamr: depsan: no violations detected");
+    }
 
     let total_flops: u64 = stats.iter().map(|s| s.flops).sum();
     let failed: usize = stats.iter().map(|s| s.checksums_failed).sum();

@@ -311,10 +311,16 @@ fn communicate(
                 let vars2 = vars.clone();
                 let lo = (m.recv_offset + t.offset_in_msg) * g;
                 let slice = bufs.recv[d].slice(lo..lo + t.elems_per_var * g);
-                let deps = vec![taskrt::Access::read_write(Region::new(
-                    ObjId(dst.uid),
-                    layout.var_elem_range(vars2.clone()),
-                ))];
+                let deps = vec![
+                    taskrt::Access::read(Region::new(
+                        bufs.recv_obj[d],
+                        lo..lo + t.elems_per_var * g,
+                    )),
+                    taskrt::Access::read_write(Region::new(
+                        ObjId(dst.uid),
+                        layout.var_elem_range(vars2.clone()),
+                    )),
+                ];
                 let tr = trace.cloned();
                 rt.spawn(deps, move || {
                     let work = || {

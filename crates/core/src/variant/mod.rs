@@ -39,10 +39,14 @@ impl Buffers {
                     SharedBuffer::new(elems[2] * gmax),
                 ];
                 let objs = [ObjId::fresh(), ObjId::fresh(), ObjId::fresh()];
+                for (buf, obj) in bufs.iter().zip(&objs) {
+                    buf.bind_obj(obj.0);
+                }
                 (bufs, objs)
             } else {
                 let buf = SharedBuffer::new(elems[0] * gmax);
                 let obj = ObjId::fresh();
+                buf.bind_obj(obj.0);
                 ([Arc::clone(&buf), Arc::clone(&buf), buf], [obj, obj, obj])
             }
         };

@@ -117,11 +117,13 @@ impl BlockData {
     /// Allocates a zeroed block.
     pub fn empty(id: BlockId, params: &MeshParams) -> BlockData {
         let layout = BlockLayout::of(params);
-        BlockData {
-            id,
-            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
-            buf: SharedBuffer::new(layout.elems()),
-        }
+        let uid = NEXT_UID.fetch_add(1, Ordering::Relaxed);
+        let buf = SharedBuffer::new(layout.elems());
+        // The uid is the dependency object id for this allocation; binding
+        // it lets the sanitizer map buffer accesses back to declared task
+        // regions.
+        buf.bind_obj(uid);
+        BlockData { id, uid, buf }
     }
 
     /// Allocates a block and fills the interior with the analytic initial

@@ -249,6 +249,19 @@ pub fn export_chrome(events: &[Event]) -> String {
                 );
                 em.counter("bytes_queued", *mailbox, ts, &format!("\"bytes\":{bytes}"));
             }
+            EventData::SanViolation { kind, task, obj, detail } => {
+                em.instant(
+                    "san_violation",
+                    pid,
+                    tid,
+                    ts,
+                    &format!(
+                        "\"kind\":\"{}\",\"task\":{task},\"obj\":{obj},\"detail\":\"{}\"",
+                        esc(kind),
+                        esc(detail)
+                    ),
+                );
+            }
             EventData::Span { kind, start_us, end_us } => {
                 em.slice(kind, pid, tid, *start_us, end_us.saturating_sub(*start_us), "");
             }

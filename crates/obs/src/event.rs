@@ -159,6 +159,19 @@ pub enum EventData {
         /// Total payload bytes queued in unmatched envelopes.
         bytes: u64,
     },
+    /// depsan: a data-flow contract violation (undeclared access, race,
+    /// communication lint). Rare by construction — a correct run emits
+    /// none — so the leaked `detail` string is acceptable.
+    SanViolation {
+        /// Violation kind (kebab-case, e.g. `"tag-size-mismatch"`).
+        kind: &'static str,
+        /// depsan task id of the offending scope (0 = outside any task).
+        task: u64,
+        /// Object involved (0 when not object-related).
+        obj: u64,
+        /// Human-readable description.
+        detail: &'static str,
+    },
     /// core: a coarse phase interval recorded by the `Trace` recorder
     /// (stencil, pack, unpack, ... — the Fig. 1–3 palette).
     Span {
@@ -190,6 +203,7 @@ impl EventData {
             EventData::MsgDelivered { .. } => "msg_delivered",
             EventData::WaitanyWake { .. } => "waitany_wake",
             EventData::QueueDepth { .. } => "queue_depth",
+            EventData::SanViolation { .. } => "san_violation",
             EventData::Span { .. } => "span",
         }
     }

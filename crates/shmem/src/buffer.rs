@@ -13,6 +13,7 @@ use crate::pod::Pod;
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,10 +27,27 @@ struct Claim {
 struct ClaimTable {
     active: Mutex<Vec<Claim>>,
     next_id: std::sync::atomic::AtomicU64,
+    /// Dependency-object id this buffer is bound to (0 = unbound). Both
+    /// taskrt's `ObjId` counter and the mesh block-uid counter start at 1,
+    /// so 0 is a safe sentinel. Used by the `depsan` sanitizer to turn
+    /// claims into checked-view access records. Lives inside the claim
+    /// table so the sanitizer hook rides the existing opaque `acquire`
+    /// call: an extra call (or an inlined atomic load) at the generic
+    /// `with_read`/`with_write` sites was observed to defeat dead-copy
+    /// elimination in downstream crates' optimized builds.
+    san_obj: AtomicU64,
 }
 
 impl ClaimTable {
     fn acquire(&self, start: usize, end: usize, write: bool) -> u64 {
+        // Sanitizer hook (see `san_obj` above). Disabled cost: one relaxed
+        // load and a never-taken branch inside an already-opaque call.
+        if depsan::is_enabled() {
+            let obj = self.san_obj.load(Ordering::Relaxed);
+            if obj != 0 {
+                depsan::record_access(obj, start, end, write);
+            }
+        }
         let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut active = self.active.lock();
         for c in active.iter() {
@@ -80,6 +98,7 @@ impl<T: Pod + Default> SharedBuffer<T> {
             claims: ClaimTable {
                 active: Mutex::new(Vec::new()),
                 next_id: std::sync::atomic::AtomicU64::new(0),
+                san_obj: AtomicU64::new(0),
             },
         })
     }
@@ -109,6 +128,22 @@ impl<T: Pod> SharedBuffer<T> {
     /// A [`BufSlice`] covering the whole buffer.
     pub fn full(self: &Arc<Self>) -> BufSlice<T> {
         self.slice(0..self.len)
+    }
+
+    /// Binds the buffer to a dependency-object id so the `depsan`
+    /// sanitizer can check actual accesses against declared task regions.
+    /// Idempotent; the last binding wins. A no-op beyond one atomic store
+    /// while the sanitizer is disabled.
+    pub fn bind_obj(&self, obj: u64) {
+        self.claims.san_obj.store(obj, Ordering::Relaxed);
+        if depsan::is_enabled() {
+            depsan::object_bound(obj);
+        }
+    }
+
+    /// The dependency-object id bound via [`Self::bind_obj`] (0 = none).
+    pub fn san_obj(&self) -> u64 {
+        self.claims.san_obj.load(Ordering::Relaxed)
     }
 }
 
@@ -145,6 +180,12 @@ impl<T: Pod> BufSlice<T> {
             start: self.start + range.start,
             len: range.end - range.start,
         }
+    }
+
+    /// The sanitizer view of the region: `(bound object id, start, end)`
+    /// in elements; object id 0 when the buffer is unbound.
+    pub fn san_region(&self) -> (u64, usize, usize) {
+        (self.buf.san_obj(), self.start, self.start + self.len)
     }
 
     /// Runs `f` with shared read access to the region.

@@ -147,13 +147,16 @@ where
         bound_requests().inc();
     }
     let hold = taskrt::current_event_hold();
+    // Writes performed by `consume` on the delivery thread belong to the
+    // posting task in the sanitizer's happens-before graph.
+    let scope = if depsan::is_enabled() { depsan::current_scope() } else { 0 };
     let req2 = req.clone();
     req.on_complete(move |status| {
         if status.source == usize::MAX {
             panic!("tampi-bound receive failed");
         }
         let data = req2.take_data::<T>().expect("typed payload");
-        consume(data);
+        depsan::with_scope(scope, || consume(data));
         hold.release();
     });
     Ok(())

@@ -36,6 +36,13 @@ pub struct RuntimeStats {
     pub edges: u64,
     /// Tasks that were ready immediately at spawn (no predecessors).
     pub ready_at_spawn: u64,
+    /// Tasks not yet released (0 after a `taskwait`).
+    pub live_tasks: u64,
+    /// Event holds acquired over the runtime's lifetime.
+    pub holds_acquired: u64,
+    /// Holds acquired but not yet released (a nonzero value at shutdown
+    /// means a leaked `EventHold`).
+    pub outstanding_holds: u64,
 }
 
 /// Cached metric handles (a registry lookup takes a lock; the handles are
@@ -59,10 +66,14 @@ pub(crate) struct RtInner {
     stat_spawned: AtomicU64,
     stat_edges: AtomicU64,
     stat_ready_at_spawn: AtomicU64,
+    pub(crate) stat_holds_acquired: AtomicU64,
+    pub(crate) stat_holds_released: AtomicU64,
     /// Virtual rank this runtime serves, for event attribution
     /// ([`obs::UNKNOWN_RANK`] until [`Runtime::set_obs_rank`]).
     pub(crate) obs_rank: AtomicU32,
     pub(crate) obs_metrics: Option<ObsMetrics>,
+    /// depsan runtime id (0 while the sanitizer is disabled).
+    san_rt: u64,
 }
 
 impl RtInner {
@@ -152,6 +163,8 @@ impl Runtime {
             stat_spawned: AtomicU64::new(0),
             stat_edges: AtomicU64::new(0),
             stat_ready_at_spawn: AtomicU64::new(0),
+            stat_holds_acquired: AtomicU64::new(0),
+            stat_holds_released: AtomicU64::new(0),
             obs_rank: AtomicU32::new(obs::UNKNOWN_RANK),
             obs_metrics: obs::is_enabled().then(|| ObsMetrics {
                 spawned: obs::metrics().counter("taskrt.tasks_spawned"),
@@ -159,6 +172,7 @@ impl Runtime {
                 blocked: obs::metrics().counter("taskrt.tasks_blocked_on_events"),
                 live_hwm: obs::metrics().gauge("taskrt.live_tasks_hwm"),
             }),
+            san_rt: if depsan::is_enabled() { depsan::runtime_created() } else { 0 },
         });
         let diag = obs::is_enabled().then(|| {
             let weak = Arc::downgrade(&inner);
@@ -203,10 +217,29 @@ impl Runtime {
         self.spawn_boxed(accesses, 0, "", Box::new(body));
     }
 
-    fn spawn_boxed(&self, accesses: Vec<Access>, priority: i32, label: &'static str, body: TaskBody) {
+    /// Returns the task's depsan id (0 while the sanitizer is disabled).
+    fn spawn_boxed(&self, accesses: Vec<Access>, priority: i32, label: &'static str, body: TaskBody) -> u64 {
         let inner = &self.inner;
+        // Register with the sanitizer first: spawn order is a topological
+        // order of the declared graph, which is what lets depsan compute
+        // happens-before closures at spawn time.
+        let san_id = if inner.san_rt != 0 {
+            let decls: Vec<depsan::DeclAccess> = accesses
+                .iter()
+                .map(|a| depsan::DeclAccess {
+                    obj: a.region.obj.0,
+                    start: a.region.start,
+                    end: a.region.end,
+                    write: a.mode.is_write(),
+                })
+                .collect();
+            depsan::task_spawned(inner.san_rt, label, inner.rank(), &decls)
+        } else {
+            0
+        };
         let task = Arc::new(TaskShared {
             id: inner.next_id.fetch_add(1, Ordering::Relaxed),
+            san_id,
             priority,
             label,
             accesses,
@@ -239,6 +272,7 @@ impl Runtime {
         }
         // Drop the registration guard; enqueues if no predecessor is live.
         task.dep_satisfied(false);
+        san_id
     }
 
     /// Blocks until every spawned task (including tasks spawned by tasks)
@@ -255,6 +289,12 @@ impl Runtime {
         while self.inner.live.load(Ordering::Acquire) != 0 {
             self.inner.wait_cond.wait(&mut guard);
         }
+        drop(guard);
+        if self.inner.san_rt != 0 {
+            // Everything spawned so far (including event holds, which keep
+            // tasks live) happens-before everything spawned from now on.
+            depsan::taskwait_joined(self.inner.san_rt);
+        }
     }
 
     /// OmpSs-2 *taskwait with dependencies*: blocks until all live tasks
@@ -264,7 +304,7 @@ impl Runtime {
         let done = Arc::new((Mutex::new(false), Condvar::new()));
         let signal = Arc::clone(&done);
         let accesses = regions.iter().cloned().map(Access::read_write).collect();
-        self.spawn_boxed(
+        let waiter_san = self.spawn_boxed(
             accesses,
             // Jump the queue: the waiter should run as soon as its inputs
             // are quiescent.
@@ -280,6 +320,12 @@ impl Runtime {
         let mut flag = lock.lock();
         while !*flag {
             cond.wait(&mut flag);
+        }
+        drop(flag);
+        if waiter_san != 0 {
+            // The waiter (and transitively its whole ancestor closure)
+            // happens-before everything spawned from now on.
+            depsan::taskwait_on_joined(self.inner.san_rt, waiter_san);
         }
     }
 
@@ -314,10 +360,15 @@ impl Runtime {
 
     /// Snapshot of lifetime counters.
     pub fn stats(&self) -> RuntimeStats {
+        let acquired = self.inner.stat_holds_acquired.load(Ordering::Relaxed);
+        let released = self.inner.stat_holds_released.load(Ordering::Relaxed);
         RuntimeStats {
             spawned: self.inner.stat_spawned.load(Ordering::Relaxed),
             edges: self.inner.stat_edges.load(Ordering::Relaxed),
             ready_at_spawn: self.inner.stat_ready_at_spawn.load(Ordering::Relaxed),
+            live_tasks: self.inner.live.load(Ordering::Acquire) as u64,
+            holds_acquired: acquired,
+            outstanding_holds: acquired.saturating_sub(released),
         }
     }
 
@@ -354,6 +405,42 @@ impl Drop for Runtime {
         self.inner.scheduler.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Sanitizer finalize lint (all builds, when enabled): leaked
+        // tasks/holds become a reported violation instead of silence.
+        if self.inner.san_rt != 0 && !std::thread::panicking() {
+            let live = self.inner.live.load(Ordering::Acquire);
+            let acquired = self.inner.stat_holds_acquired.load(Ordering::Relaxed);
+            let released = self.inner.stat_holds_released.load(Ordering::Relaxed);
+            if live != 0 || acquired != released {
+                depsan::report(depsan::Violation {
+                    kind: depsan::ViolationKind::FinalizeLeak,
+                    rank: self.inner.rank(),
+                    task: 0,
+                    label: String::new(),
+                    obj: 0,
+                    detail: format!(
+                        "runtime dropped with {live} unreleased task(s) and {} outstanding event hold(s) — missing taskwait or leaked EventHold",
+                        acquired.saturating_sub(released),
+                    ),
+                });
+            }
+        }
+        // Leak check (debug builds): a runtime dropped with live tasks or
+        // unreleased event holds abandoned work — almost always a missing
+        // `taskwait` or a leaked `EventHold` whose completion callback
+        // never fired.
+        #[cfg(debug_assertions)]
+        if !std::thread::panicking() {
+            let live = self.inner.live.load(Ordering::Acquire);
+            let acquired = self.inner.stat_holds_acquired.load(Ordering::Relaxed);
+            let released = self.inner.stat_holds_released.load(Ordering::Relaxed);
+            assert!(
+                live == 0 && acquired == released,
+                "Runtime dropped with {live} unreleased task(s) and {} outstanding event hold(s) \
+                 — missing taskwait or leaked EventHold",
+                acquired.saturating_sub(released),
+            );
         }
     }
 }

@@ -17,6 +17,8 @@ pub(crate) type TaskBody = Box<dyn FnOnce() + Send>;
 
 pub(crate) struct TaskShared {
     pub id: u64,
+    /// depsan task id (0 while the sanitizer is disabled).
+    pub san_id: u64,
     pub priority: i32,
     pub label: &'static str,
     pub accesses: Vec<Access>,
@@ -98,7 +100,13 @@ impl TaskShared {
                 obs::EventData::TaskStart { id: self.id, label: self.label },
             );
         }
-        body();
+        {
+            // Sanitizer scope: buffer accesses made by the body attribute
+            // to this task (guard restores the previous scope on drop,
+            // panic-safe).
+            let _san = (self.san_id != 0).then(|| depsan::enter_scope(self.san_id));
+            body();
+        }
         if let Some(bus) = obs::bus() {
             let rank = self.rt.rank();
             bus.emit_for_rank(rank, obs::EventData::TaskEnd { id: self.id, label: self.label });

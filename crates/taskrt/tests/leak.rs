@@ -1,0 +1,45 @@
+//! Leak accounting: outstanding event holds surface in `RuntimeStats`,
+//! and (in debug builds) dropping a runtime with abandoned work panics.
+
+use std::sync::mpsc;
+use taskrt::{ObjId, Region, Runtime};
+
+#[test]
+fn outstanding_holds_surface_in_stats() {
+    let rt = Runtime::new(1);
+    let (tx, rx) = mpsc::channel::<taskrt::EventHold>();
+    rt.task()
+        .out(Region::new(ObjId::fresh(), 0..4))
+        .body(move || tx.send(taskrt::current_event_hold()).unwrap())
+        .spawn();
+    let hold = rx.recv().unwrap();
+    // The body has finished but the hold keeps the task alive.
+    let stats = rt.stats();
+    assert_eq!(stats.outstanding_holds, 1);
+    assert_eq!(stats.holds_acquired, 1);
+    assert_eq!(stats.live_tasks, 1);
+    hold.release();
+    rt.taskwait();
+    let stats = rt.stats();
+    assert_eq!(stats.outstanding_holds, 0);
+    assert_eq!(stats.live_tasks, 0);
+}
+
+/// A deliberately leaked hold (body done, hold forgotten) must trip the
+/// debug-build leak assertion when the runtime is dropped. (The
+/// assertion is compiled out in release builds, so the test only exists
+/// in debug.)
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "outstanding event hold")]
+fn leaked_hold_panics_on_drop() {
+    let rt = Runtime::new(1);
+    let (tx, rx) = mpsc::channel::<taskrt::EventHold>();
+    rt.task()
+        .out(Region::new(ObjId::fresh(), 0..4))
+        .body(move || tx.send(taskrt::current_event_hold()).unwrap())
+        .spawn();
+    let hold = rx.recv().unwrap();
+    std::mem::forget(hold);
+    drop(rt);
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the region algebra the whole dependency
+//! system rests on: `Region::overlaps` and `Access::conflicts_with`
+//! under empty ranges, adjacent ranges, and `Region::whole`.
+
+use proptest::prelude::*;
+use taskrt::{Access, ObjId, Region};
+
+/// An arbitrary (possibly empty) range within a small window, so overlap
+/// and adjacency cases are all hit frequently.
+fn arb_range() -> impl Strategy<Value = std::ops::Range<usize>> {
+    (0usize..32, 0usize..16).prop_map(|(start, len)| start..start + len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Overlap on the same object is exactly "a non-empty intersection
+    /// exists", and never holds across objects.
+    #[test]
+    fn overlaps_matches_interval_intersection(a in arb_range(), b in arb_range()) {
+        let obj = ObjId::fresh();
+        let other = ObjId::fresh();
+        let ra = Region::new(obj, a.clone());
+        let rb = Region::new(obj, b.clone());
+        let expected = a.start.max(b.start) < a.end.min(b.end);
+        prop_assert_eq!(ra.overlaps(&rb), expected);
+        prop_assert_eq!(rb.overlaps(&ra), expected, "overlap must be symmetric");
+        prop_assert!(!ra.overlaps(&Region::new(other, b)), "distinct objects never overlap");
+    }
+
+    /// Empty ranges overlap nothing — not even themselves or a
+    /// surrounding `whole` region.
+    #[test]
+    fn empty_ranges_overlap_nothing(at in 0usize..64, b in arb_range()) {
+        let obj = ObjId::fresh();
+        let empty = Region::new(obj, at..at);
+        prop_assert!(!empty.overlaps(&Region::new(obj, b)));
+        prop_assert!(!empty.overlaps(&empty));
+        prop_assert!(!Region::whole(obj).overlaps(&empty));
+    }
+
+    /// Adjacent half-open ranges share a boundary but no elements.
+    #[test]
+    fn adjacent_ranges_do_not_overlap(start in 0usize..32, l1 in 1usize..16, l2 in 1usize..16) {
+        let obj = ObjId::fresh();
+        let lo = Region::new(obj, start..start + l1);
+        let hi = Region::new(obj, start + l1..start + l1 + l2);
+        prop_assert!(!lo.overlaps(&hi));
+        prop_assert!(!hi.overlaps(&lo));
+        // Extending either side by one element makes them overlap.
+        let hi_minus = Region::new(obj, start + l1 - 1..start + l1 + l2);
+        prop_assert!(lo.overlaps(&hi_minus));
+    }
+
+    /// `Region::whole` overlaps every non-empty bounded region on the
+    /// same object, including ranges touching the upper extremes.
+    #[test]
+    fn whole_covers_all_nonempty(a in arb_range()) {
+        let obj = ObjId::fresh();
+        let whole = Region::whole(obj);
+        let bounded = Region::new(obj, a.clone());
+        prop_assert_eq!(whole.overlaps(&bounded), !a.is_empty());
+        prop_assert_eq!(bounded.overlaps(&whole), !a.is_empty());
+        prop_assert!(whole.overlaps(&whole));
+        // A region reaching the end of the address space still overlaps.
+        prop_assert!(whole.overlaps(&Region::new(obj, usize::MAX - 1..usize::MAX)));
+    }
+
+    /// Conflict = overlap && at least one side writes; read/read never
+    /// conflicts; the relation is symmetric.
+    #[test]
+    fn conflicts_iff_overlap_and_a_write(
+        a in arb_range(),
+        b in arb_range(),
+        ma in 0u8..3,
+        mb in 0u8..3,
+    ) {
+        let obj = ObjId::fresh();
+        let mk = |r: std::ops::Range<usize>, m: u8| {
+            let region = Region::new(obj, r);
+            match m {
+                0 => Access::read(region),
+                1 => Access::write(region),
+                _ => Access::read_write(region),
+            }
+        };
+        let aa = mk(a.clone(), ma);
+        let ab = mk(b.clone(), mb);
+        let overlap = a.start.max(b.start) < a.end.min(b.end);
+        let a_write = ma != 0;
+        let b_write = mb != 0;
+        let expected = overlap && (a_write || b_write);
+        prop_assert_eq!(aa.conflicts_with(&ab), expected);
+        prop_assert_eq!(ab.conflicts_with(&aa), expected, "conflict must be symmetric");
+    }
+
+    /// Whole-region writes conflict with every non-empty access on the
+    /// object — the footing of `taskwait_on(&[Region::whole(obj)])`.
+    #[test]
+    fn whole_write_conflicts_with_any_nonempty(a in arb_range(), m in 0u8..3) {
+        let obj = ObjId::fresh();
+        let whole_write = Access::write(Region::whole(obj));
+        let region = Region::new(obj, a.clone());
+        let other = match m {
+            0 => Access::read(region),
+            1 => Access::write(region),
+            _ => Access::read_write(region),
+        };
+        prop_assert_eq!(whole_write.conflicts_with(&other), !a.is_empty());
+    }
+}

@@ -3,7 +3,7 @@
 use shmem::BufSlice;
 use crate::datatype::{self, Pod};
 use crate::error::{Result, VmpiError};
-use crate::mailbox::{complete_transfer, Envelope, Inbound, PendingRecv, RecvTarget};
+use crate::mailbox::{complete_transfer, Envelope, Inbound, PendingRecv, RecvSan, RecvTarget};
 use crate::request::{Request, RequestState};
 use crate::world::WorldShared;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -140,6 +140,10 @@ impl Comm {
         let dst_world = self.group[dst];
         let src_world = self.group[self.rank];
         let nbytes = payload.len();
+        // Sends are posted from the sending task's body (the payload copy
+        // already happened in its scope), so the current scope identifies
+        // the sending task in lint reports.
+        let san_scope = if depsan::is_enabled() { depsan::current_scope() } else { 0 };
         let available_at =
             Instant::now() + self.shared.net.delay(nbytes, src_world, dst_world);
         let eager = self.shared.net.is_eager(nbytes) || src_world == dst_world;
@@ -175,14 +179,19 @@ impl Comm {
             match inner.match_arriving(self.rank, tag, self.comm_id) {
                 Some(pr) => Outcome::Matched(pr, payload),
                 None => {
-                    inner.push_envelope(Envelope {
+                    let env = Envelope {
                         src: self.rank,
                         tag,
                         comm: self.comm_id,
                         payload,
                         available_at,
                         send_state: if eager { None } else { Some(Arc::clone(&send_state)) },
-                    });
+                        san_scope,
+                    };
+                    if depsan::is_enabled() {
+                        inner.san_check_envelope(&env, dst_world);
+                    }
+                    inner.push_envelope(env);
                     if let Some(bus) = obs::bus() {
                         let (msgs, recvs, bytes) = inner.depth();
                         bus.emit(obs::EventData::QueueDepth {
@@ -198,6 +207,12 @@ impl Comm {
         };
         match outcome {
             Outcome::Matched(pr, payload) => {
+                if depsan::is_enabled() {
+                    san_check_match(
+                        dst_world, self.rank, tag, self.comm_id,
+                        payload.len(), san_scope, &pr.san,
+                    );
+                }
                 if let Some(bus) = obs::bus() {
                     bus.emit_for_rank(
                         dst_world as u32,
@@ -243,7 +258,7 @@ impl Comm {
     // receives
     // ---------------------------------------------------------------
 
-    fn irecv_impl(&self, src: i32, tag: i32, target: RecvTarget) -> Request {
+    fn irecv_impl(&self, src: i32, tag: i32, target: RecvTarget, san: RecvSan) -> Request {
         let state = RequestState::new();
         let my_world = self.group[self.rank];
         let mailbox = &self.shared.mailboxes[my_world];
@@ -262,13 +277,18 @@ impl Comm {
             match inner.match_posted(src, tag, self.comm_id) {
                 Some(env) => Outcome::Matched(env, target),
                 None => {
-                    inner.push_recv(PendingRecv {
+                    let recv = PendingRecv {
                         src,
                         tag,
                         comm: self.comm_id,
                         state: Arc::clone(&state),
                         target,
-                    });
+                        san,
+                    };
+                    if depsan::is_enabled() {
+                        inner.san_check_recv(&recv, my_world);
+                    }
+                    inner.push_recv(recv);
                     if let Some(bus) = obs::bus() {
                         let (msgs, recvs, bytes) = inner.depth();
                         bus.emit(obs::EventData::QueueDepth {
@@ -284,8 +304,20 @@ impl Comm {
         };
         if let Outcome::Matched(env, target) = outcome {
             let recv_state = Arc::clone(&state);
-            let Envelope { src: esrc, tag: etag, comm: ecomm, payload, available_at, send_state } =
-                env;
+            let Envelope {
+                src: esrc,
+                tag: etag,
+                comm: ecomm,
+                payload,
+                available_at,
+                send_state,
+                san_scope: env_scope,
+            } = env;
+            if depsan::is_enabled() {
+                san_check_match(
+                    my_world, esrc, etag, ecomm, payload.len(), env_scope, &san,
+                );
+            }
             if let Some(bus) = obs::bus() {
                 bus.emit(obs::EventData::MsgMatched {
                     src: esrc as u32,
@@ -323,7 +355,7 @@ impl Comm {
     /// the request and extracted with [`Request::take_data`].
     pub fn irecv(&self, src: i32, tag: i32) -> Result<Request> {
         self.validate_recv(src, tag)?;
-        Ok(self.irecv_impl(src, tag, RecvTarget::Owned))
+        Ok(self.irecv_impl(src, tag, RecvTarget::Owned, RecvSan::default()))
     }
 
     /// Non-blocking receive into a shared-buffer region. The payload is
@@ -332,6 +364,20 @@ impl Comm {
     /// larger than the region.
     pub fn irecv_into<T: Pod>(&self, slice: BufSlice<T>, src: i32, tag: i32) -> Result<Request> {
         self.validate_recv(src, tag)?;
+        // Capture the posting task's sanitizer scope: the payload writer
+        // runs on the delivery thread (or inline on the sender), but the
+        // write it performs belongs to the task that posted the receive —
+        // that is how TAMPI message edges enter the happens-before graph.
+        let san = if depsan::is_enabled() {
+            RecvSan {
+                expected_bytes: Some(slice.len() * std::mem::size_of::<T>()),
+                region: slice.san_region(),
+                scope: depsan::current_scope(),
+            }
+        } else {
+            RecvSan::default()
+        };
+        let scope = san.scope;
         let writer: crate::mailbox::PayloadWriter = Box::new(move |payload| {
             let elem = std::mem::size_of::<T>();
             if elem == 0 || payload.len() % elem != 0 {
@@ -344,13 +390,15 @@ impl Comm {
             if n > slice.len() {
                 return Err(VmpiError::Truncated { expected: slice.len(), got: n });
             }
-            slice.subslice(0..n).with_write(|dst| {
-                datatype::copy_to_slice(payload, dst)
-                    .expect("length verified above");
+            depsan::with_scope(scope, || {
+                slice.subslice(0..n).with_write(|dst| {
+                    datatype::copy_to_slice(payload, dst)
+                        .expect("length verified above");
+                });
             });
             Ok(())
         });
-        Ok(self.irecv_impl(src, tag, RecvTarget::Writer(writer)))
+        Ok(self.irecv_impl(src, tag, RecvTarget::Writer(writer), san))
     }
 
     /// Blocking typed receive returning an owned payload.
@@ -397,7 +445,7 @@ impl Comm {
 
     pub(crate) fn irecv_coll(&self, src: usize, tag: i32) -> Request {
         debug_assert!(tag >= COLL_TAG_BASE);
-        self.irecv_impl(src as i32, tag, RecvTarget::Owned)
+        self.irecv_impl(src as i32, tag, RecvTarget::Owned, RecvSan::default())
     }
 
     // ---------------------------------------------------------------
@@ -469,6 +517,39 @@ impl Comm {
         let id = mix64(self.comm_id ^ mix64(seq.wrapping_mul(2)) ^ (color as u64).wrapping_mul(0x9e3779b97f4a7c15));
         Comm::new(Arc::clone(&self.shared), id, new_rank, Arc::new(group))
     }
+}
+
+/// depsan: a matched payload's size differs from the receive's exact
+/// expectation. Reported at match time — *before* the transfer can fail
+/// `Truncated` (or silently short-fill) — naming both endpoints, because
+/// a wrong-size pairing means same-tag traffic was reordered relative to
+/// the receives: the communication tasks lack a serialising edge.
+fn san_check_match(
+    dst_rank: usize,
+    src: usize,
+    tag: i32,
+    comm: u64,
+    got: usize,
+    sender_scope: u64,
+    recv: &RecvSan,
+) {
+    let Some(exp) = recv.expected_bytes else { return };
+    if got == exp {
+        return;
+    }
+    let (obj, start, end) = recv.region;
+    depsan::report(depsan::Violation {
+        kind: depsan::ViolationKind::SizeMismatch,
+        rank: dst_rank as u32,
+        task: recv.scope,
+        label: depsan::task_label(recv.scope),
+        obj,
+        detail: format!(
+            "message src {src} tag {tag} comm {comm:#x}: {got}-byte payload (sent by {}) matched a receive expecting exactly {exp} bytes into obj {obj} [{start}..{end}) (posted by {})\nsame-tag traffic was paired out of order — the posting tasks' regions do not overlap, so no WAW/WAR edge fixes the match order",
+            depsan::describe_task(sender_scope),
+            depsan::describe_task(recv.scope),
+        ),
+    });
 }
 
 #[cfg(test)]

@@ -35,6 +35,21 @@ pub(crate) struct Envelope {
     pub available_at: Instant,
     /// Present for rendezvous sends: completed when the payload drains.
     pub send_state: Option<Arc<RequestState>>,
+    /// depsan scope of the posting task (0 = none / sanitizer disabled).
+    pub san_scope: u64,
+}
+
+/// Sanitizer metadata of a receive: what it expects and who posted it.
+/// Zero-valued while the sanitizer is disabled.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct RecvSan {
+    /// Exact payload size the receive expects, when known
+    /// (`irecv_into` regions; `None` for owned-payload receives).
+    pub expected_bytes: Option<usize>,
+    /// `(obj, start, end)` of the destination region (obj 0 = none).
+    pub region: (u64, usize, usize),
+    /// depsan scope of the posting task.
+    pub scope: u64,
 }
 
 /// A posted-but-unmatched receive.
@@ -44,6 +59,7 @@ pub(crate) struct PendingRecv {
     pub comm: u64,
     pub state: Arc<RequestState>,
     pub target: RecvTarget,
+    pub san: RecvSan,
 }
 
 fn matches(env_src: usize, env_tag: i32, env_comm: u64, src: i32, tag: i32, comm: u64) -> bool {
@@ -102,6 +118,96 @@ impl MailboxInner {
 
     pub(crate) fn push_recv(&mut self, recv: PendingRecv) {
         self.recvs.push_back(recv);
+    }
+
+    /// depsan lint: the message about to be queued collides with an
+    /// already-queued unmatched message on the same `(src, tag, comm)`
+    /// but carries a different payload size. Same-tag messages are
+    /// matched in send order, so a size difference means the receive
+    /// posting order is load-bearing — exactly the situation a WAW/WAR
+    /// serialisation edge between the sending tasks is supposed to
+    /// prevent.
+    pub(crate) fn san_check_envelope(&self, env: &Envelope, dst_rank: usize) {
+        for m in &self.msgs {
+            if m.src == env.src && m.tag == env.tag && m.comm == env.comm
+                && m.payload.len() != env.payload.len()
+            {
+                depsan::report(depsan::Violation {
+                    kind: depsan::ViolationKind::TagSizeMismatch,
+                    rank: dst_rank as u32,
+                    task: 0,
+                    label: String::new(),
+                    obj: 0,
+                    detail: format!(
+                        "two unmatched messages queued for rank {dst_rank} share src {} tag {} comm {:#x} but differ in size: {} bytes (sent by {}) vs {} bytes (sent by {})\nsame-tag messages match in send order, so mismatched sizes make the receive pairing schedule-dependent — the sending tasks need a serialising WAW/WAR edge or distinct tags",
+                        env.src, env.tag, env.comm,
+                        m.payload.len(), depsan::describe_task(m.san_scope),
+                        env.payload.len(), depsan::describe_task(env.san_scope),
+                    ),
+                });
+                return;
+            }
+        }
+    }
+
+    /// depsan lint: the receive about to be posted collides with an
+    /// already-pending receive for the same *specific* (non-wildcard)
+    /// `(src, tag, comm)` while expecting a different exact size. The
+    /// two destination regions are necessarily disjoint (else the posting
+    /// tasks would have a WAW edge and never be in flight together), so
+    /// whichever arrival order the schedule produces, one receive gets a
+    /// wrong-size payload.
+    pub(crate) fn san_check_recv(&self, recv: &PendingRecv, dst_rank: usize) {
+        let (Some(exp), false, false) =
+            (recv.san.expected_bytes, recv.src == ANY_SOURCE, recv.tag == ANY_TAG)
+        else {
+            return;
+        };
+        for r in &self.recvs {
+            if r.src == recv.src && r.tag == recv.tag && r.comm == recv.comm {
+                if let Some(prev_exp) = r.san.expected_bytes {
+                    if prev_exp != exp {
+                        let (po, ps, pe) = r.san.region;
+                        let (no, ns, ne) = recv.san.region;
+                        depsan::report(depsan::Violation {
+                            kind: depsan::ViolationKind::AmbiguousRecv,
+                            rank: dst_rank as u32,
+                            task: recv.san.scope,
+                            label: depsan::task_label(recv.san.scope),
+                            obj: no,
+                            detail: format!(
+                                "two receives for src {} tag {} comm {:#x} are in flight on rank {dst_rank} with different sizes:\n  obj {po} [{ps}..{pe}) expecting {prev_exp} bytes, posted by {}\n  obj {no} [{ns}..{ne}) expecting {exp} bytes, posted by {}\nthe destination regions do not overlap, so no WAW/WAR edge serialises the posting tasks and the match order is schedule-dependent (aliased tag / group-offset bug)",
+                                recv.src, recv.tag, recv.comm,
+                                depsan::describe_task(r.san.scope),
+                                depsan::describe_task(recv.san.scope),
+                            ),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// depsan finalize scan: anything still unmatched when the world is
+    /// torn down is a leaked request.
+    pub(crate) fn san_check_finalize(&self, rank: usize) {
+        if self.msgs.is_empty() && self.recvs.is_empty() {
+            return;
+        }
+        depsan::report(depsan::Violation {
+            kind: depsan::ViolationKind::FinalizeLeak,
+            rank: rank as u32,
+            task: 0,
+            label: String::new(),
+            obj: 0,
+            detail: format!(
+                "{} unmatched message(s) and {} pending receive(s) at finalize:\n{}",
+                self.msgs.len(),
+                self.recvs.len(),
+                self.dump(rank).trim_end(),
+            ),
+        });
     }
 
     /// Queue depth snapshot: `(unmatched messages, posted receives,
@@ -217,6 +323,7 @@ mod tests {
             payload: vec![0u8; 8],
             available_at: Instant::now(),
             send_state: None,
+            san_scope: 0,
         }
     }
 
@@ -271,6 +378,7 @@ mod tests {
             comm: 0,
             state: RequestState::new(),
             target: RecvTarget::Owned,
+            san: RecvSan::default(),
         };
         let r2 = PendingRecv {
             src: 0,
@@ -278,6 +386,7 @@ mod tests {
             comm: 0,
             state: RequestState::new(),
             target: RecvTarget::Owned,
+            san: RecvSan::default(),
         };
         mb.push_recv(r1);
         mb.push_recv(r2);

@@ -134,6 +134,14 @@ impl World {
 impl Drop for World {
     fn drop(&mut self) {
         self.shared.delivery.shutdown();
+        // Finalize lint: with the delivery queue drained, anything still
+        // unmatched is a leaked request (a send with no receive, or a
+        // receive whose message never came).
+        if depsan::is_enabled() {
+            for (rank, mb) in self.shared.mailboxes.iter().enumerate() {
+                mb.inner.lock().san_check_finalize(rank);
+            }
+        }
     }
 }
 

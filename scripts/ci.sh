@@ -79,4 +79,41 @@ if [ "$wd_ok" -ne 1 ]; then
   exit 1
 fi
 
+# --- Sanitizer smoke tests (PR 3) -----------------------------------------
+# All three variants must run clean under --sanitize: zero violations,
+# checksums still validated, exit 0.
+for variant in mpi forkjoin dataflow; do
+  echo "==> sanitized smoke run: $variant"
+  san_out="$("$MINIAMR" --variant "$variant" --sanitize --npx 2 --npy 2 \
+      --nx 6 --ny 6 --nz 6 --num_vars 4 --num_tsteps 2 \
+      --input single_sphere 2>&1)"
+  if ! grep -q "depsan: no violations detected" <<<"$san_out"; then
+    echo "sanitized $variant run did not report a clean bill" >&2
+    echo "$san_out" >&2
+    exit 1
+  fi
+done
+
+# Sanitizer regression: the same legacy group-offset bug the watchdog
+# only times out on must be *diagnosed* by depsan — a tag-size lint
+# naming the aliased same-tag traffic — and exit 97 before the watchdog
+# (5 s) can fire.
+echo "==> depsan legacy-bug regression (expect exit 97)"
+set +e
+san_out="$(timeout 60 "$MINIAMR" --variant dataflow --sanitize --comm_vars 3 \
+    --send_faces --npx 2 --nx 6 --ny 6 --nz 6 --num_vars 8 --num_tsteps 3 \
+    --input single_sphere --legacy_group_offsets --watchdog_ms 5000 2>&1)"
+san_rc=$?
+set -e
+if [ "$san_rc" -ne 97 ]; then
+  echo "depsan regression: expected exit 97, got $san_rc" >&2
+  echo "$san_out" >&2
+  exit 1
+fi
+if ! grep -q "depsan: violation: tag-size-mismatch" <<<"$san_out"; then
+  echo "depsan regression: exit 97 but no tag-size-mismatch report" >&2
+  echo "$san_out" >&2
+  exit 1
+fi
+
 echo "CI OK"
