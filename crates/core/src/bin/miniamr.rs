@@ -55,9 +55,27 @@ fn usage() -> ! {
   --sanitize                          dependency sanitizer: check declared
                                       regions against actual accesses, detect
                                       happens-before races and communication
-                                      hazards; exit {} on the first violation",
+                                      hazards; exit {} on the first violation
+  --chaos_seed N                      enable deterministic fault injection with
+                                      this seed (any --chaos_* flag enables it)
+  --chaos_drop F                      per-frame drop probability (default 0)
+  --chaos_dup F                       per-frame duplication probability
+  --chaos_corrupt F                   per-frame single-bit corruption probability
+  --chaos_delay F                     per-frame delay-spike probability
+  --chaos_delay_factor F              delay-spike multiplier (default 8)
+  --chaos_stall_every N               stall the sender every N frames (0 = off)
+  --chaos_stall_ms N                  stall duration in ms (default 2)
+  --chaos_crash_rank N                hard-crash rank N's NIC...
+  --chaos_crash_after N               ...after it transmits N frames (default 0)
+  --chaos_retry N                     retransmission budget per frame (default 8)
+  --chaos_rto_us N                    base retransmit timeout in µs (default 5000)
+  --ckpt_freq N                       checkpoint rank state every N stages
+                                      (0 = off); an unrecoverable peer exits {}
+                                      with a structured report after restoring
+                                      and verifying the latest checkpoint",
         obs::STALL_EXIT_CODE,
-        depsan::SAN_EXIT_CODE
+        depsan::SAN_EXIT_CODE,
+        vmpi::PEER_LOST_EXIT_CODE
     );
     std::process::exit(2);
 }
@@ -102,6 +120,8 @@ fn main() {
     let mut watchdog_ms = 0u64;
     let mut legacy_group_offsets = false;
     let mut sanitize = false;
+    let mut chaos: Option<vmpi::ChaosConfig> = None;
+    let mut ckpt_freq = 0usize;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -169,6 +189,48 @@ fn main() {
             "--watchdog_ms" => watchdog_ms = parse(next(&mut i)) as u64,
             "--legacy_group_offsets" => legacy_group_offsets = true,
             "--sanitize" => sanitize = true,
+            "--chaos_seed" => chaos.get_or_insert_with(Default::default).seed = parse(next(&mut i)) as u64,
+            "--chaos_drop" => {
+                chaos.get_or_insert_with(Default::default).drop_p =
+                    next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos_dup" => {
+                chaos.get_or_insert_with(Default::default).dup_p =
+                    next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos_corrupt" => {
+                chaos.get_or_insert_with(Default::default).corrupt_p =
+                    next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos_delay" => {
+                chaos.get_or_insert_with(Default::default).delay_p =
+                    next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos_delay_factor" => {
+                chaos.get_or_insert_with(Default::default).delay_factor =
+                    next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--chaos_stall_every" => {
+                chaos.get_or_insert_with(Default::default).stall_every = parse(next(&mut i)) as u64
+            }
+            "--chaos_stall_ms" => {
+                chaos.get_or_insert_with(Default::default).stall =
+                    Duration::from_millis(parse(next(&mut i)) as u64)
+            }
+            "--chaos_crash_rank" => {
+                chaos.get_or_insert_with(Default::default).crash_rank = Some(parse(next(&mut i)))
+            }
+            "--chaos_crash_after" => {
+                chaos.get_or_insert_with(Default::default).crash_after = parse(next(&mut i)) as u64
+            }
+            "--chaos_retry" => {
+                chaos.get_or_insert_with(Default::default).retry_budget = parse(next(&mut i)) as u32
+            }
+            "--chaos_rto_us" => {
+                chaos.get_or_insert_with(Default::default).rto =
+                    Duration::from_micros(parse(next(&mut i)) as u64)
+            }
+            "--ckpt_freq" => ckpt_freq = parse(next(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -198,6 +260,8 @@ fn main() {
     cfg.workers = workers;
     cfg.trace = trace;
     cfg.stencil = stencil;
+    cfg.ckpt_freq = ckpt_freq;
+    cfg.chaos = chaos;
     cfg.legacy_group_offsets = legacy_group_offsets;
     if let Err(e) = cfg.params.validate() {
         eprintln!("invalid mesh parameters: {e}");
@@ -212,6 +276,24 @@ fn main() {
         "miniamr: variant={variant:?} ranks={n_ranks} workers={workers} input={input} \
          tsteps={num_tsteps} stages/ts={stages_per_ts}"
     );
+    if let Some(c) = &cfg.chaos {
+        eprintln!(
+            "miniamr: chaos enabled: seed={} drop={} dup={} corrupt={} delay={}x{} \
+             stall={}/{:?} crash={:?}+{} retry={} rto={:?} ckpt_freq={ckpt_freq}",
+            c.seed,
+            c.drop_p,
+            c.dup_p,
+            c.corrupt_p,
+            c.delay_p,
+            c.delay_factor,
+            c.stall_every,
+            c.stall,
+            c.crash_rank,
+            c.crash_after,
+            c.retry_budget,
+            c.rto,
+        );
+    }
     // Enable the observability layer *before* the world is built so the
     // runtime/transport layers cache their metric handles at construction.
     if trace_json.is_some() || metrics || watchdog_ms > 0 {
@@ -255,6 +337,16 @@ fn main() {
     println!("time_stencil_s\t{:.4}", max(|s| s.times.stencil).as_secs_f64());
     println!("checksums_passed\t{passed}");
     println!("checksums_failed\t{failed}");
+    // All ranks record the same broadcast checksum history, so rank 0's
+    // digest is the run's fingerprint (compared across chaos seeds and
+    // against the fault-free baseline in CI).
+    if let Some(s0) = stats.first() {
+        println!("checksum_digest\t{:016x}", s0.checksum_digest());
+    }
+    let ckpts: usize = stats.iter().map(|s| s.checkpoints_taken).sum();
+    if ckpts > 0 {
+        println!("checkpoints_taken\t{ckpts}");
+    }
     println!("final_blocks\t{}", stats.iter().map(|s| s.final_blocks).sum::<usize>());
     println!("blocks_moved\t{moved}");
     println!("msgs_sent\t{msgs}");

@@ -78,6 +78,15 @@ pub struct Config {
     /// worker (the locality policy credited for the IPC gain, §V-B);
     /// disable for ablation studies.
     pub immediate_successor: bool,
+    /// Checkpoint period in stages (`--ckpt_freq`; 0 = no checkpoints).
+    /// Each rank snapshots its recoverable state into the process-global
+    /// [`crate::checkpoint::store`] so the chaos recovery hook can
+    /// restore and verify it when a peer is declared lost.
+    pub ckpt_freq: usize,
+    /// Deterministic fault plan for the transport layer (`--chaos_*`
+    /// flags). `None` leaves the fault-free send/receive path untouched
+    /// byte for byte.
+    pub chaos: Option<vmpi::ChaosConfig>,
     /// Reproduce the seed's group-size-relative communication-buffer
     /// offsets in the data-flow variant (`--legacy_group_offsets`).
     ///
@@ -118,6 +127,8 @@ impl Config {
             validate_tol: 0.05,
             trace: false,
             immediate_successor: true,
+            ckpt_freq: 0,
+            chaos: None,
             legacy_group_offsets: false,
         }
     }

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod comm_plan;
 pub mod config;
 pub mod exchange;
@@ -75,12 +76,24 @@ pub fn run_rank(cfg: &Config, comm: Comm) -> RunStats {
 
 /// Convenience: builds a world of `n_ranks` and runs the configured
 /// variant on every rank, returning per-rank statistics.
+///
+/// With [`Config::chaos`] set, the world runs over the fault-injecting
+/// reliability transport and the checkpoint recovery hook is registered,
+/// so an unrecoverable peer produces a structured report (including the
+/// restore-and-verify outcome of the latest checkpoint) before the
+/// process exits with [`vmpi::PEER_LOST_EXIT_CODE`].
 pub fn run_world(cfg: &Config, n_ranks: usize, net: NetworkModel) -> Vec<RunStats> {
     assert_eq!(
         n_ranks,
         cfg.params.num_ranks(),
         "world size must match the npx*npy*npz rank grid"
     );
-    let world = World::new(n_ranks, net);
+    let world = match cfg.chaos.clone() {
+        Some(chaos) => {
+            checkpoint::install_recovery_hook();
+            World::with_chaos(n_ranks, net, Some(chaos))
+        }
+        None => World::new(n_ranks, net),
+    };
     world.run(|comm| run_rank(cfg, comm))
 }

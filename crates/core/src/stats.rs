@@ -51,6 +51,8 @@ pub struct RunStats {
     pub elems_sent: u64,
     /// Blocks moved in/out during refinement + load balancing.
     pub blocks_moved: u64,
+    /// Checkpoints published to the recovery store (`--ckpt_freq`).
+    pub checkpoints_taken: usize,
     /// Tasks spawned (hybrid variants).
     pub tasks_spawned: u64,
     /// Buffer-pool reuse counters at the end of the run (hit rate ≈ 1
@@ -66,6 +68,22 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// Deterministic fingerprint of the full checksum history: an FNV-1a
+    /// fold over the raw bit patterns of every recorded checksum value.
+    /// Equal across ranks (checksums are broadcast) and — the chaos
+    /// headline guarantee — bitwise-equal between a faulted run that
+    /// stayed within the retry budget and the fault-free run.
+    pub fn checksum_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for point in &self.checksums {
+            for v in point {
+                h ^= v.to_bits();
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Throughput in GFLOPS over the total wall time.
     pub fn gflops(&self) -> f64 {
         if self.times.total.is_zero() {

@@ -116,6 +116,13 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                 }
                 sw.stop(&mut stats.times.checksum);
             }
+            // Checkpoints need quiescent block data; only drain the task
+            // graph when one is actually due (off by default, so the
+            // no-barrier property of the variant is otherwise untouched).
+            if cfg.ckpt_freq != 0 && stage_counter.is_multiple_of(cfg.ckpt_freq) {
+                rt.taskwait();
+                crate::checkpoint::maybe_checkpoint(&state, &mut stats, stage_counter, ts, mesh_epoch);
+            }
         }
         if (ts + 1) % cfg.refine_freq == 0 {
             let sw = Stopwatch::start();

@@ -104,6 +104,9 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                 record_validation(&mut stats, &mut prev_checksum, total, cells, mesh_epoch, cfg.validate_tol);
                 sw.stop(&mut stats.times.checksum);
             }
+            // Every fork-join phase ends in a barrier, so blocks are
+            // quiescent here.
+            crate::checkpoint::maybe_checkpoint(&state, &mut stats, stage_counter, ts, mesh_epoch);
         }
         if (ts + 1) % cfg.refine_freq == 0 {
             let sw = Stopwatch::start();

@@ -281,6 +281,7 @@ struct State {
     violations: Vec<Violation>,
     reported_undeclared: HashSet<(u64, u64, bool)>,
     reported_races: HashSet<(u64, u64)>,
+    chaos_losses: Vec<ChaosLoss>,
 }
 
 fn state() -> MutexGuard<'static, State> {
@@ -595,6 +596,53 @@ pub fn record_access(obj: u64, start: usize, end: usize, write: bool) {
         };
         report_locked(st, v);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-loss registry (fault-injection integration).
+
+/// A message the fault plan permanently removed from the network — a
+/// hard-crashed sender's frame or a frame whose retry budget exhausted.
+/// The finalize-leak lint excuses one matching pending receive per
+/// recorded loss: the receive leaked because chaos *intentionally*
+/// destroyed its message, not because the program forgot a send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosLoss {
+    /// World rank whose mailbox will be missing the message.
+    pub dst_rank: u32,
+    /// Communicator-local source rank of the lost message.
+    pub src: usize,
+    /// Tag of the lost message.
+    pub tag: i32,
+    /// Communicator id of the lost message.
+    pub comm: u64,
+}
+
+/// Records a message the fault plan destroyed for good (called by the
+/// vmpi reliability layer on `FaultInjected { kind: crash-drop }` and on
+/// peer-lost). No-op while the sanitizer is disabled.
+pub fn note_chaos_loss(dst_rank: u32, src: usize, tag: i32, comm: u64) {
+    if !is_enabled() {
+        return;
+    }
+    state().chaos_losses.push(ChaosLoss { dst_rank, src, tag, comm });
+}
+
+/// Takes (consumes) the recorded losses destined for `dst_rank` — the
+/// finalize scan of that rank's mailbox matches them against pending
+/// receives exactly once.
+pub fn take_chaos_losses_for(dst_rank: u32) -> Vec<ChaosLoss> {
+    let mut st = state();
+    let mut taken = Vec::new();
+    st.chaos_losses.retain(|l| {
+        if l.dst_rank == dst_rank {
+            taken.push(*l);
+            false
+        } else {
+            true
+        }
+    });
+    taken
 }
 
 // ---------------------------------------------------------------------------

@@ -262,6 +262,47 @@ pub fn export_chrome(events: &[Event]) -> String {
                     ),
                 );
             }
+            EventData::FaultInjected { kind, src, dst, tag, seq } => {
+                em.instant(
+                    "fault_injected",
+                    pid,
+                    tid,
+                    ts,
+                    &format!(
+                        "\"kind\":\"{}\",\"src\":{src},\"dst\":{dst},\"tag\":{tag},\"seq\":{seq}",
+                        esc(kind)
+                    ),
+                );
+            }
+            EventData::Retransmit { src, dst, tag, seq, attempt } => {
+                em.instant(
+                    "retransmit",
+                    pid,
+                    tid,
+                    ts,
+                    &format!("\"src\":{src},\"dst\":{dst},\"tag\":{tag},\"seq\":{seq},\"attempt\":{attempt}"),
+                );
+            }
+            EventData::CheckpointTaken { rank, tstep, stage, blocks, bytes } => {
+                em.instant(
+                    "checkpoint_taken",
+                    pid,
+                    tid,
+                    ts,
+                    &format!(
+                        "\"rank\":{rank},\"tstep\":{tstep},\"stage\":{stage},\"blocks\":{blocks},\"bytes\":{bytes}"
+                    ),
+                );
+            }
+            EventData::RankRecovered { peer, retries } => {
+                em.instant(
+                    "rank_recovered",
+                    pid,
+                    tid,
+                    ts,
+                    &format!("\"peer\":{peer},\"retries\":{retries}"),
+                );
+            }
             EventData::Span { kind, start_us, end_us } => {
                 em.slice(kind, pid, tid, *start_us, end_us.saturating_sub(*start_us), "");
             }

@@ -172,6 +172,55 @@ pub enum EventData {
         /// Human-readable description.
         detail: &'static str,
     },
+    /// vmpi chaos: the fault plan acted on a frame. `kind` is the fault
+    /// kind (`"drop"`, `"dup"`, `"corrupt"`, `"delay"`, `"stall"`,
+    /// `"crash"`, `"crash-drop"`).
+    FaultInjected {
+        /// Fault kind.
+        kind: &'static str,
+        /// Sending world rank.
+        src: u32,
+        /// Destination world rank.
+        dst: u32,
+        /// Message tag.
+        tag: i32,
+        /// Reliability-layer sequence number on the (src, dst) channel.
+        seq: u64,
+    },
+    /// vmpi chaos: the reliability layer re-sent an unacknowledged frame.
+    Retransmit {
+        /// Sending world rank.
+        src: u32,
+        /// Destination world rank.
+        dst: u32,
+        /// Message tag.
+        tag: i32,
+        /// Channel sequence number of the frame.
+        seq: u64,
+        /// Retransmission attempt (1 = first resend).
+        attempt: u32,
+    },
+    /// core: a rank snapshotted its local mesh state for rollback.
+    CheckpointTaken {
+        /// Rank that took the checkpoint.
+        rank: u32,
+        /// Timestep at the snapshot.
+        tstep: u32,
+        /// Stage within the timestep.
+        stage: u32,
+        /// Blocks captured.
+        blocks: u32,
+        /// Approximate payload bytes captured.
+        bytes: u64,
+    },
+    /// vmpi chaos: a frame was acknowledged after one or more
+    /// retransmissions — the peer recovered within the retry budget.
+    RankRecovered {
+        /// Peer world rank that finally acknowledged.
+        peer: u32,
+        /// Retransmissions it took.
+        retries: u32,
+    },
     /// core: a coarse phase interval recorded by the `Trace` recorder
     /// (stencil, pack, unpack, ... — the Fig. 1–3 palette).
     Span {
@@ -204,6 +253,10 @@ impl EventData {
             EventData::WaitanyWake { .. } => "waitany_wake",
             EventData::QueueDepth { .. } => "queue_depth",
             EventData::SanViolation { .. } => "san_violation",
+            EventData::FaultInjected { .. } => "fault_injected",
+            EventData::Retransmit { .. } => "retransmit",
+            EventData::CheckpointTaken { .. } => "checkpoint_taken",
+            EventData::RankRecovered { .. } => "rank_recovered",
             EventData::Span { .. } => "span",
         }
     }

@@ -1,0 +1,81 @@
+//! TAMPI under chaos: task event-holds must tolerate a fault plan that
+//! duplicates and drops frames. Each bound request releases its hold
+//! exactly once — a double release would panic the hold accounting, a
+//! missed one would hang `taskwait` (both fail this test loudly).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use taskrt::{ObjId, Region, Runtime};
+use vmpi::{ChaosConfig, NetworkModel, PeerLostAction, SharedBuffer, World};
+
+/// The aggregated-buffer pattern (per-section recv + unpack tasks) with
+/// every frame duplicated and a sprinkling of drops and corruption. All
+/// sends are rendezvous-size so completion rides on the (possibly
+/// duplicated) ack path.
+#[test]
+fn section_pipeline_survives_duplication_and_loss() {
+    let cfg = ChaosConfig {
+        seed: 77,
+        dup_p: 1.0,
+        drop_p: 0.15,
+        corrupt_p: 0.10,
+        rto: Duration::from_millis(1),
+        retry_budget: 25,
+        on_peer_lost: PeerLostAction::FailRequests,
+        ..ChaosConfig::default()
+    };
+    let net = NetworkModel::new(Duration::from_micros(20), 1.0e9).with_eager_threshold(64);
+    let world = World::with_chaos(2, net, Some(cfg));
+    world.run(|comm| {
+        let comm = Arc::new(comm);
+        let rt = Runtime::new(3);
+        let n_msgs = 16usize;
+        let sect = 32usize;
+        if comm.rank() == 0 {
+            for m in 0..n_msgs {
+                let c = Arc::clone(&comm);
+                rt.task()
+                    .body(move || {
+                        let data: Vec<f64> = (0..sect).map(|i| (m * sect + i) as f64).collect();
+                        tampi::isend(&c, &data, 1, m as i32).unwrap();
+                    })
+                    .spawn();
+            }
+            rt.taskwait();
+        } else {
+            let buf = SharedBuffer::<f64>::new(n_msgs * sect);
+            let obj = ObjId::fresh();
+            let checked = Arc::new(AtomicUsize::new(0));
+            for m in 0..n_msgs {
+                let c = Arc::clone(&comm);
+                let slice = buf.slice(m * sect..(m + 1) * sect);
+                rt.task()
+                    .out(Region::new(obj, m * sect..(m + 1) * sect))
+                    .body(move || {
+                        tampi::irecv_into(&c, slice, 0, m as i32).unwrap();
+                    })
+                    .spawn();
+                let slice = buf.slice(m * sect..(m + 1) * sect);
+                let checked = Arc::clone(&checked);
+                rt.task()
+                    .input(Region::new(obj, m * sect..(m + 1) * sect))
+                    .body(move || {
+                        let v = slice.to_vec();
+                        for (i, x) in v.iter().enumerate() {
+                            assert_eq!(
+                                *x,
+                                (m * sect + i) as f64,
+                                "section {m} corrupted despite CRC verification"
+                            );
+                        }
+                        checked.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .spawn();
+            }
+            rt.taskwait();
+            assert_eq!(checked.load(Ordering::SeqCst), n_msgs);
+        }
+    });
+    assert!(world.peer_lost_reports().is_empty(), "plan exceeded the retry budget");
+}

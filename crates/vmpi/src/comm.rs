@@ -139,6 +139,26 @@ impl Comm {
     fn isend_impl(&self, payload: Vec<u8>, dst: usize, tag: i32) -> Request {
         let dst_world = self.group[dst];
         let src_world = self.group[self.rank];
+        // Chaos mode: cross-rank traffic goes through the reliability
+        // layer (CRC frames, ack/retransmit, in-order release) and the
+        // fault plan. Self-sends complete locally and cannot be faulted.
+        // When no chaos config is installed this branch is a single
+        // `Option` check and the path below is untouched.
+        if src_world != dst_world {
+            if let Some(fault) = &self.shared.fault {
+                let fault = std::sync::Arc::clone(fault);
+                return crate::reliable::chaos_isend(
+                    &self.shared,
+                    &fault,
+                    payload,
+                    self.rank,
+                    src_world,
+                    dst_world,
+                    tag,
+                    self.comm_id,
+                );
+            }
+        }
         let nbytes = payload.len();
         // Sends are posted from the sending task's body (the payload copy
         // already happened in its scope), so the current scope identifies
@@ -524,7 +544,7 @@ impl Comm {
 /// `Truncated` (or silently short-fill) — naming both endpoints, because
 /// a wrong-size pairing means same-tag traffic was reordered relative to
 /// the receives: the communication tasks lack a serialising edge.
-fn san_check_match(
+pub(crate) fn san_check_match(
     dst_rank: usize,
     src: usize,
     tag: i32,

@@ -27,6 +27,21 @@ pub enum VmpiError {
     },
     /// The world was already shut down.
     WorldDown,
+    /// A bounded wait (e.g. [`crate::Request::wait_timeout`]) elapsed
+    /// before the request completed.
+    Timeout {
+        /// How long the caller was willing to wait.
+        waited: std::time::Duration,
+    },
+    /// The reliability layer exhausted its retry budget talking to a
+    /// peer; the peer is presumed crashed and the request will never
+    /// complete.
+    PeerLost {
+        /// World rank of the unresponsive peer.
+        peer: usize,
+        /// Retransmission attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for VmpiError {
@@ -42,6 +57,13 @@ impl fmt::Display for VmpiError {
                 "payload of {payload_bytes} bytes is not a multiple of element size {elem_bytes}"
             ),
             VmpiError::WorldDown => write!(f, "world has been shut down"),
+            VmpiError::Timeout { waited } => {
+                write!(f, "request did not complete within {waited:?}")
+            }
+            VmpiError::PeerLost { peer, attempts } => write!(
+                f,
+                "peer rank {peer} unresponsive after {attempts} retransmission attempts"
+            ),
         }
     }
 }

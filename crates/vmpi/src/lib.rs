@@ -55,8 +55,10 @@ mod comm;
 mod datatype;
 mod delivery;
 mod error;
+pub mod fault;
 mod mailbox;
 mod net;
+mod reliable;
 mod request;
 mod world;
 
@@ -65,6 +67,10 @@ pub use collective::Reducible;
 pub use comm::{Comm, Status, ANY_SOURCE, ANY_TAG, TAG_UB};
 pub use datatype::Pod;
 pub use error::{Result, VmpiError};
+pub use fault::{
+    set_peer_lost_hook, ChaosConfig, PeerLostAction, PeerLostReport, TagClass,
+    PEER_LOST_EXIT_CODE,
+};
 pub use net::NetworkModel;
 pub use request::{Request, RequestSet};
 pub use world::World;

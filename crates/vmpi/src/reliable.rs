@@ -1,0 +1,661 @@
+//! Self-healing transport: the reliability layer under the request API.
+//!
+//! When a world is built with a [`crate::ChaosConfig`], every
+//! cross-rank send becomes a *frame* on a directed `(src, dst)` channel:
+//! a CRC-32 over the payload plus a per-channel sequence number. Frames
+//! travel through the fault plan (which may drop, duplicate, corrupt,
+//! or delay them), and the layer recovers:
+//!
+//! - **corruption** — the receiver verifies the CRC and silently rejects
+//!   damaged frames (no ack, so the sender retransmits);
+//! - **loss** — the sender keeps an in-flight record per frame and
+//!   retransmits on an exponential-backoff timer until acked, up to a
+//!   retry budget;
+//! - **duplication** — the receiver suppresses frames it has already
+//!   accepted (sequence below the release pointer or already held) and
+//!   re-acks them so a lost ack cannot retransmit forever;
+//! - **reordering** — accepted frames park in a reorder buffer and are
+//!   released to the mailbox strictly in sequence order, preserving
+//!   MPI's non-overtaking guarantee per channel.
+//!
+//! Acks are modelled as reliable and instantaneous (a direct state
+//! update on the delivering thread): the fault plan attacks the data
+//! path, which is where every recovery mechanism above is exercised.
+//!
+//! A frame whose retry budget exhausts declares the peer lost: under
+//! [`crate::PeerLostAction::Exit`] the process prints a structured
+//! report (plus recovery-hook lines) and exits with
+//! [`crate::PEER_LOST_EXIT_CODE`]; under
+//! [`crate::PeerLostAction::FailRequests`] the send request fails with
+//! [`VmpiError::PeerLost`] and the report is recorded for inspection.
+
+use crate::comm::Status;
+use crate::error::VmpiError;
+use crate::fault::{crc32, salt, FaultState, HeldFrame, Inflight, PeerLostReport};
+use crate::mailbox::{complete_transfer, Envelope, Inbound, PendingRecv};
+use crate::request::{Request, RequestState};
+use crate::world::WorldShared;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Floor for an injected delay spike so that near-instant network models
+/// still produce real reordering.
+const MIN_SPIKE: Duration = Duration::from_micros(200);
+
+/// Chaos-mode replacement for the plain `isend_impl` path. Registers an
+/// in-flight frame on the `(src_world, dst_world)` channel and transmits
+/// it through the fault plan. Only called for cross-rank traffic
+/// (self-sends complete locally and cannot be faulted).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn chaos_isend(
+    shared: &Arc<WorldShared>,
+    fault: &Arc<FaultState>,
+    payload: Vec<u8>,
+    comm_src: usize,
+    src_world: usize,
+    dst_world: usize,
+    tag: i32,
+    comm_id: u64,
+) -> Request {
+    let nbytes = payload.len();
+    let san_scope = if depsan::is_enabled() { depsan::current_scope() } else { 0 };
+    let eager = shared.net.is_eager(nbytes);
+    let send_state = RequestState::new();
+    let status = Status { source: comm_src, tag, bytes: nbytes };
+
+    if let Some(bus) = obs::bus() {
+        bus.emit(obs::EventData::SendPosted {
+            dst: dst_world as u32,
+            tag,
+            comm: comm_id,
+            bytes: nbytes as u64,
+            eager,
+        });
+        if let Some(m) = &shared.obs_metrics {
+            m.sends.inc();
+            m.bytes_sent.add(nbytes as u64);
+            if eager {
+                m.eager_sends.inc();
+            } else {
+                m.rendezvous_sends.inc();
+            }
+        }
+    }
+
+    let crc = crc32(&payload);
+    let payload = Arc::new(payload);
+    let seq = {
+        let mut channels = fault.channels.lock();
+        let ch = channels.entry((src_world, dst_world)).or_default();
+        if ch.dead {
+            drop(channels);
+            // The channel already exhausted its budget (FailRequests
+            // mode): fail fast instead of queueing onto a dead peer.
+            if depsan::is_enabled() {
+                depsan::note_chaos_loss(dst_world as u32, comm_src, tag, comm_id);
+            }
+            send_state.fail(VmpiError::PeerLost {
+                peer: dst_world,
+                attempts: fault.cfg.retry_budget,
+            });
+            return Request::from_state(send_state);
+        }
+        let seq = ch.next_seq;
+        ch.next_seq += 1;
+        ch.inflight.insert(
+            seq,
+            Inflight {
+                comm_src,
+                tag,
+                comm: comm_id,
+                payload: Arc::clone(&payload),
+                crc,
+                san_scope,
+                send_state: (!eager).then(|| Arc::clone(&send_state)),
+                status,
+                attempts: 0,
+            },
+        );
+        seq
+    };
+    // Eager sends complete at post time like the plain path; rendezvous
+    // sends complete on the first ack.
+    if eager {
+        send_state.complete(status, None);
+    }
+    transmit(shared, fault, src_world, dst_world, seq);
+    Request::from_state(send_state)
+}
+
+/// One transmission attempt of an in-flight frame: runs the fault plan's
+/// decisions for this `(frame, attempt)` pair, schedules the delivery
+/// job(s), and arms the retransmit timer.
+fn transmit(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64) {
+    // Snapshot the frame; it may have been acked by a racing delivery.
+    let (payload, crc, comm_src, tag, comm, san_scope, attempt) = {
+        let channels = fault.channels.lock();
+        match channels.get(&(src, dst)).and_then(|ch| ch.inflight.get(&seq)) {
+            Some(rec) => (
+                Arc::clone(&rec.payload),
+                rec.crc,
+                rec.comm_src,
+                rec.tag,
+                rec.comm,
+                rec.san_scope,
+                rec.attempts,
+            ),
+            None => return,
+        }
+    };
+    let cfg = &fault.cfg;
+    // Hard-crash schedule: once the rank has transmitted `crash_after`
+    // frames its NIC dies in both directions (the receive side is gated
+    // in `deliver_frame` through the same `is_crashed` check).
+    if fault.is_crashed(src) {
+        fault.counters.crash_drops.fetch_add(1, Ordering::Relaxed);
+        if depsan::is_enabled() {
+            depsan::note_chaos_loss(dst as u32, comm_src, tag, comm);
+        }
+        emit_fault(fault, "crash-drop", src, dst, tag, seq);
+        // No delivery and no retransmit timer: dead ranks do not retry.
+        // But the *receiver* is now waiting for data that will never
+        // come, and if it has no unacked send of its own toward the dead
+        // rank, its retry budget never fires — so model failure
+        // detection on the receiving side: a heartbeat timeout with the
+        // same patience a sender's full backoff sequence gets.
+        let rec = fault
+            .channels
+            .lock()
+            .get_mut(&(src, dst))
+            .and_then(|ch| ch.inflight.remove(&seq));
+        if let Some(rec) = rec {
+            let patience =
+                cfg.rto.saturating_mul(1u32 << cfg.retry_budget.saturating_add(1).min(16));
+            let fault_hb = Arc::clone(fault);
+            shared.delivery.schedule(
+                Instant::now() + patience,
+                Box::new(move || {
+                    if fault_hb.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    heartbeat_detect(&fault_hb, src, dst, seq, rec);
+                }),
+            );
+        }
+        return;
+    }
+    fault.counters.frames.fetch_add(1, Ordering::Relaxed);
+    let rank_frames = fault.frames_sent[src].fetch_add(1, Ordering::Relaxed) + 1;
+
+    let base = shared.net.delay(payload.len(), src, dst);
+    let mut delay = base;
+    let mut deliver = true;
+    let mut dup = false;
+    let mut corrupt: Option<(usize, u8)> = None;
+
+    if cfg.stall_every > 0 && rank_frames.is_multiple_of(cfg.stall_every) {
+        delay += cfg.stall;
+        fault.counters.stalls.fetch_add(1, Ordering::Relaxed);
+        emit_fault(fault, "stall", src, dst, tag, seq);
+    }
+    if cfg.applies(src, dst, tag, seq) {
+        if cfg.delay_p > 0.0 && cfg.roll(salt::DELAY, src, dst, tag, seq, attempt) < cfg.delay_p {
+            delay += base.mul_f64(cfg.delay_factor).max(MIN_SPIKE);
+            fault.counters.delays.fetch_add(1, Ordering::Relaxed);
+            emit_fault(fault, "delay", src, dst, tag, seq);
+        }
+        if cfg.drop_p > 0.0 && cfg.roll(salt::DROP, src, dst, tag, seq, attempt) < cfg.drop_p {
+            deliver = false;
+            fault.counters.drops.fetch_add(1, Ordering::Relaxed);
+            emit_fault(fault, "drop", src, dst, tag, seq);
+        }
+        if deliver {
+            if cfg.dup_p > 0.0 && cfg.roll(salt::DUP, src, dst, tag, seq, attempt) < cfg.dup_p {
+                dup = true;
+                fault.counters.dups.fetch_add(1, Ordering::Relaxed);
+                emit_fault(fault, "dup", src, dst, tag, seq);
+            }
+            if !payload.is_empty()
+                && cfg.corrupt_p > 0.0
+                && cfg.roll(salt::CORRUPT, src, dst, tag, seq, attempt) < cfg.corrupt_p
+            {
+                let h = cfg.hash(salt::BITPOS, src, dst, tag, seq, attempt);
+                let bit = (h as usize) % (payload.len() * 8);
+                corrupt = Some((bit / 8, 1u8 << (bit % 8)));
+                fault.counters.corrupts.fetch_add(1, Ordering::Relaxed);
+                emit_fault(fault, "corrupt", src, dst, tag, seq);
+            }
+        }
+    }
+
+    let now = Instant::now();
+    if deliver {
+        let copies = if dup { 2 } else { 1 };
+        for i in 0..copies {
+            // The duplicate trails the original by one base delay so the
+            // receiver sees it as a genuinely separate arrival.
+            let at = now + delay + base.max(Duration::from_micros(50)) * i;
+            let shared_job = Arc::clone(shared);
+            let fault_job = Arc::clone(fault);
+            let payload_job = Arc::clone(&payload);
+            shared.delivery.schedule(
+                at,
+                Box::new(move || {
+                    deliver_frame(
+                        &shared_job, &fault_job, src, dst, seq, &payload_job, corrupt, crc,
+                        comm_src, tag, comm, san_scope,
+                    );
+                }),
+            );
+        }
+    }
+
+    // Exponential backoff: attempt k waits rto << k before resending.
+    let rto = cfg.rto.saturating_mul(1u32 << attempt.min(16));
+    let shared_rto = Arc::clone(shared);
+    let fault_rto = Arc::clone(fault);
+    shared.delivery.schedule(
+        now + delay + rto,
+        Box::new(move || on_rto(&shared_rto, &fault_rto, src, dst, seq)),
+    );
+}
+
+/// Frame arrival at the receiver: crash gate, CRC verification,
+/// duplicate suppression, in-order acceptance, and the ack back to the
+/// sender.
+#[allow(clippy::too_many_arguments)]
+fn deliver_frame(
+    shared: &Arc<WorldShared>,
+    fault: &Arc<FaultState>,
+    src: usize,
+    dst: usize,
+    seq: u64,
+    payload: &Arc<Vec<u8>>,
+    corrupt: Option<(usize, u8)>,
+    crc: u32,
+    comm_src: usize,
+    tag: i32,
+    comm: u64,
+    san_scope: u64,
+) {
+    if fault.is_crashed(dst) {
+        // A dead rank accepts nothing and acks nothing; the sender's
+        // retry budget is what eventually notices.
+        fault.counters.crash_drops.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // CRC check: corruption happened "in flight", so verify the bytes as
+    // they arrived. A rejected frame is not acked — the sender's
+    // retransmit timer recovers it with a clean copy.
+    if let Some((byte, mask)) = corrupt {
+        let mut damaged: Vec<u8> = (**payload).clone();
+        damaged[byte] ^= mask;
+        debug_assert_ne!(crc32(&damaged), crc, "CRC-32 must catch a single-bit flip");
+        if crc32(&damaged) != crc {
+            fault.counters.crc_rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &fault.obs_metrics {
+                m.crc_rejected.inc();
+            }
+            return;
+        }
+    } else {
+        debug_assert_eq!(crc32(payload), crc, "clean frame CRC mismatch");
+    }
+
+    let (acked, flush) = {
+        let mut channels = fault.channels.lock();
+        let ch = channels.entry((src, dst)).or_default();
+        let duplicate = seq < ch.recv_next || ch.reorder.contains_key(&seq);
+        if duplicate {
+            fault.counters.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &fault.obs_metrics {
+                m.dup_suppressed.inc();
+            }
+        } else {
+            ch.reorder.insert(
+                seq,
+                HeldFrame {
+                    comm_src,
+                    tag,
+                    comm,
+                    payload: Arc::clone(payload),
+                    san_scope,
+                },
+            );
+            // Release pointer sweeps forward over every contiguously
+            // accepted frame; later frames wait their turn, which is
+            // what keeps chaos invisible to MPI's non-overtaking rule.
+            while let Some(f) = ch.reorder.remove(&ch.recv_next) {
+                ch.ready.push_back(f);
+                ch.recv_next += 1;
+            }
+        }
+        // Ack on acceptance (fresh *or* duplicate — re-acking a
+        // duplicate stops retransmissions whose ack raced the dup).
+        let acked = ch.inflight.remove(&seq);
+        if acked.is_some() {
+            fault.counters.acks.fetch_add(1, Ordering::Relaxed);
+        }
+        let flush = if !ch.ready.is_empty() && !ch.releasing {
+            ch.releasing = true;
+            true
+        } else {
+            false
+        };
+        (acked, flush)
+    };
+
+    if let Some(rec) = acked {
+        if rec.attempts > 0 {
+            // The peer answered within the retry budget: recovered.
+            fault.counters.recovered.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &fault.obs_metrics {
+                m.recovered.inc();
+            }
+            if let Some(bus) = obs::bus() {
+                bus.emit_full(
+                    src as u32,
+                    obs::LANE_NET,
+                    obs::EventData::RankRecovered { peer: dst as u32, retries: rec.attempts },
+                );
+            }
+        }
+        // Exactly-once completion: the record leaves the in-flight map
+        // under the channel lock, so a duplicate ack finds nothing and
+        // a retransmitted completion can never double-release a TAMPI
+        // event hold.
+        if let Some(ss) = rec.send_state {
+            ss.complete(rec.status, None);
+        }
+    }
+    if flush {
+        flush_ready(shared, fault, src, dst);
+    }
+}
+
+/// Drains a channel's in-order `ready` queue into the destination
+/// mailbox. Only one thread flushes a given channel at a time (the
+/// `releasing` flag), so concurrent deliveries cannot interleave the
+/// release order.
+fn flush_ready(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst: usize) {
+    loop {
+        let batch: Vec<HeldFrame> = {
+            let mut channels = fault.channels.lock();
+            let ch = channels.entry((src, dst)).or_default();
+            if ch.ready.is_empty() {
+                ch.releasing = false;
+                return;
+            }
+            ch.ready.drain(..).collect()
+        };
+        for frame in batch {
+            release_to_mailbox(shared, dst, frame);
+        }
+    }
+}
+
+/// Hands a verified, deduplicated, in-order frame to the destination
+/// mailbox — the chaos-path equivalent of the plain send's match-or-queue
+/// step, except the payload has already "arrived" (its network delay was
+/// served in the delivery schedule), so a match completes inline.
+fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFrame) {
+    let HeldFrame { comm_src, tag, comm, payload, san_scope } = frame;
+    let payload: Vec<u8> = Arc::try_unwrap(payload).unwrap_or_else(|arc| (*arc).clone());
+    let mailbox = &shared.mailboxes[dst_world];
+    enum Outcome {
+        Matched(PendingRecv, Vec<u8>),
+        Queued,
+    }
+    let outcome = {
+        let mut inner = mailbox.inner.lock();
+        match inner.match_arriving(comm_src, tag, comm) {
+            Some(pr) => Outcome::Matched(pr, payload),
+            None => {
+                let env = Envelope {
+                    src: comm_src,
+                    tag,
+                    comm,
+                    payload,
+                    available_at: Instant::now(),
+                    send_state: None,
+                    san_scope,
+                };
+                if depsan::is_enabled() {
+                    inner.san_check_envelope(&env, dst_world);
+                }
+                inner.push_envelope(env);
+                if let Some(bus) = obs::bus() {
+                    let (msgs, recvs, bytes) = inner.depth();
+                    bus.emit_full(
+                        dst_world as u32,
+                        obs::LANE_NET,
+                        obs::EventData::QueueDepth {
+                            mailbox: dst_world as u32,
+                            msgs: msgs as u32,
+                            recvs: recvs as u32,
+                            bytes,
+                        },
+                    );
+                }
+                Outcome::Queued
+            }
+        }
+    };
+    match outcome {
+        Outcome::Matched(pr, payload) => {
+            if depsan::is_enabled() {
+                crate::comm::san_check_match(
+                    dst_world, comm_src, tag, comm, payload.len(), san_scope, &pr.san,
+                );
+            }
+            if let Some(bus) = obs::bus() {
+                bus.emit_full(
+                    dst_world as u32,
+                    obs::LANE_NET,
+                    obs::EventData::MsgMatched {
+                        src: comm_src as u32,
+                        tag,
+                        comm,
+                        bytes: payload.len() as u64,
+                        at_send: true,
+                    },
+                );
+                if let Some(m) = &shared.obs_metrics {
+                    m.matched_at_send.inc();
+                }
+            }
+            complete_transfer(
+                Inbound { payload, src: comm_src, tag, comm, dst_world },
+                None,
+                pr.state,
+                pr.target,
+            );
+        }
+        Outcome::Queued => {
+            mailbox.arrived.notify_all();
+        }
+    }
+}
+
+/// Retransmit timer fired: if the frame is still unacked, either resend
+/// it (budget remaining) or declare the peer lost.
+fn on_rto(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64) {
+    // At world teardown the delivery queue drains inline; rearming
+    // timers there would loop forever. A crashed rank does not retry.
+    if fault.shutdown.load(Ordering::SeqCst) || fault.is_crashed(src) {
+        return;
+    }
+    enum Next {
+        Resend { tag: i32, attempt: u32 },
+        Lost(Box<Inflight>),
+    }
+    let next = {
+        let mut channels = fault.channels.lock();
+        let Some(ch) = channels.get_mut(&(src, dst)) else { return };
+        let Some(rec) = ch.inflight.get_mut(&seq) else { return };
+        rec.attempts += 1;
+        if rec.attempts > fault.cfg.retry_budget {
+            let rec = ch.inflight.remove(&seq).expect("record present above");
+            ch.dead = true;
+            Next::Lost(Box::new(rec))
+        } else {
+            Next::Resend { tag: rec.tag, attempt: rec.attempts }
+        }
+    };
+    match next {
+        Next::Resend { tag, attempt } => {
+            fault.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &fault.obs_metrics {
+                m.retransmits.inc();
+            }
+            if let Some(bus) = obs::bus() {
+                bus.emit_full(
+                    src as u32,
+                    obs::LANE_NET,
+                    obs::EventData::Retransmit {
+                        src: src as u32,
+                        dst: dst as u32,
+                        tag,
+                        seq,
+                        attempt,
+                    },
+                );
+            }
+            transmit(shared, fault, src, dst, seq);
+        }
+        Next::Lost(rec) => handle_peer_lost(fault, src, dst, seq, *rec),
+    }
+}
+
+/// The retry budget is exhausted: the peer is presumed dead.
+fn handle_peer_lost(fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64, rec: Inflight) {
+    if depsan::is_enabled() {
+        depsan::note_chaos_loss(dst as u32, rec.comm_src, rec.tag, rec.comm);
+    }
+    let report = PeerLostReport {
+        reporter: src,
+        peer: dst,
+        tag: rec.tag,
+        seq,
+        attempts: rec.attempts,
+        peer_crashed: fault.crashed[dst].load(Ordering::SeqCst),
+    };
+    let headline = format!(
+        "peer lost: rank {src} gave up on rank {dst} after {} retransmission attempts (frame seq {seq} tag {})",
+        rec.attempts, rec.tag
+    );
+    finish_peer_lost(fault, report, headline, rec.send_state);
+}
+
+/// Receiver-side failure detection. A crashed rank's outbound frames are
+/// silently dropped, so if the *survivor* has no unacked send of its own
+/// toward the dead rank, no retry budget ever fires and the world wedges.
+/// When a crash-drop swallows a frame, `transmit` schedules this detector
+/// at the destination with the same patience a sender's full backoff
+/// sequence gets; if the world hasn't shut down by then, the destination
+/// declares the source lost.
+fn heartbeat_detect(fault: &Arc<FaultState>, dead: usize, survivor: usize, seq: u64, rec: Inflight) {
+    // Fast-fail any later sends the survivor attempts toward the dead
+    // rank, mirroring the sender-side budget-exhaustion path.
+    fault.channels.lock().entry((survivor, dead)).or_default().dead = true;
+    let attempts = fault.cfg.retry_budget + 1;
+    let report = PeerLostReport {
+        reporter: survivor,
+        peer: dead,
+        tag: rec.tag,
+        seq,
+        attempts,
+        peer_crashed: true,
+    };
+    let headline = format!(
+        "peer lost: rank {survivor} detected rank {dead} dead (heartbeat timeout after {attempts} retransmission intervals; frame seq {seq} tag {} never arrived)",
+        rec.tag
+    );
+    // `rec.send_state` is the dead rank's own send request; failing it
+    // unblocks that rank's thread if it is parked in a wait.
+    finish_peer_lost(fault, report, headline, rec.send_state);
+}
+
+/// Shared tail of both peer-lost paths: record-and-fail under
+/// `FailRequests`, or print the structured report and exit under `Exit`.
+fn finish_peer_lost(
+    fault: &Arc<FaultState>,
+    report: PeerLostReport,
+    headline: String,
+    send_state: Option<Arc<RequestState>>,
+) {
+    match fault.cfg.on_peer_lost {
+        crate::fault::PeerLostAction::FailRequests => {
+            let (peer, attempts) = (report.peer, report.attempts);
+            fault.reports.lock().push(report);
+            if let Some(ss) = send_state {
+                ss.fail(VmpiError::PeerLost { peer, attempts });
+            }
+        }
+        crate::fault::PeerLostAction::Exit => {
+            // Several detectors can give up on the same dead peer around
+            // the same time; only the first runs the exit path.
+            if fault.peer_lost_fired.swap(true, Ordering::SeqCst) {
+                return;
+            }
+            let c = &fault.counters;
+            eprintln!("chaos: {headline}");
+            if report.peer_crashed {
+                let dst = report.peer;
+                eprintln!(
+                    "chaos: peer rank {dst} hard-crashed per plan (seed {}, crash_after {} frames)",
+                    fault.cfg.seed, fault.cfg.crash_after
+                );
+            }
+            eprintln!(
+                "chaos: plan position: seed {} | frames {} | drops {} dups {} corrupts {} delays {} stalls {} crash-drops {} | crc-rejected {} dup-suppressed {} retransmits {} acks {} recovered {}",
+                fault.cfg.seed,
+                c.frames.load(Ordering::Relaxed),
+                c.drops.load(Ordering::Relaxed),
+                c.dups.load(Ordering::Relaxed),
+                c.corrupts.load(Ordering::Relaxed),
+                c.delays.load(Ordering::Relaxed),
+                c.stalls.load(Ordering::Relaxed),
+                c.crash_drops.load(Ordering::Relaxed),
+                c.crc_rejected.load(Ordering::Relaxed),
+                c.dup_suppressed.load(Ordering::Relaxed),
+                c.retransmits.load(Ordering::Relaxed),
+                c.acks.load(Ordering::Relaxed),
+                c.recovered.load(Ordering::Relaxed),
+            );
+            if let Some(hook) = crate::fault::peer_lost_hook() {
+                for line in hook(&report) {
+                    eprintln!("chaos: {line}");
+                }
+            }
+            eprintln!(
+                "chaos: unrecoverable peer — exiting with code {}",
+                crate::fault::PEER_LOST_EXIT_CODE
+            );
+            std::process::exit(crate::fault::PEER_LOST_EXIT_CODE);
+        }
+    }
+}
+
+/// Emits the obs `FaultInjected` event (on the source rank's network
+/// lane) and bumps the injected-faults metric. The per-kind counters are
+/// maintained by the caller.
+fn emit_fault(fault: &FaultState, kind: &'static str, src: usize, dst: usize, tag: i32, seq: u64) {
+    if let Some(m) = &fault.obs_metrics {
+        m.faults_injected.inc();
+    }
+    if let Some(bus) = obs::bus() {
+        bus.emit_full(
+            src as u32,
+            obs::LANE_NET,
+            obs::EventData::FaultInjected {
+                kind,
+                src: src as u32,
+                dst: dst as u32,
+                tag,
+                seq,
+            },
+        );
+    }
+}

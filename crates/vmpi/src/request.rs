@@ -5,7 +5,7 @@ use crate::datatype::{self, Pod};
 use crate::error::{Result, VmpiError};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type Callback = Box<dyn FnOnce(&Status) + Send>;
 
@@ -109,6 +109,26 @@ impl Request {
         let mut inner = self.state.inner.lock();
         while !inner.done {
             self.state.cond.wait(&mut inner);
+        }
+        match &inner.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(inner.status.expect("completed request has a status")),
+        }
+    }
+
+    /// Blocks until the operation completes or `timeout` elapses. On
+    /// timeout the request stays in flight and may still complete later;
+    /// the call returns [`VmpiError::Timeout`] so recovery code can `?`
+    /// its way out instead of hanging. Transfer errors (including
+    /// [`VmpiError::PeerLost`] from the reliability layer) are returned
+    /// like [`Request::wait_checked`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Status> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.state.inner.lock();
+        while !inner.done {
+            if self.state.cond.wait_until(&mut inner, deadline).timed_out() && !inner.done {
+                return Err(VmpiError::Timeout { waited: timeout });
+            }
         }
         match &inner.error {
             Some(e) => Err(e.clone()),

@@ -24,6 +24,9 @@ pub(crate) struct WorldShared {
     pub mailboxes: Vec<Mailbox>,
     pub delivery: Arc<DeliveryService>,
     pub obs_metrics: Option<VmpiMetrics>,
+    /// Present only when the world was built with a chaos config; the
+    /// fault-free path never touches it beyond this `Option` check.
+    pub fault: Option<Arc<crate::fault::FaultState>>,
 }
 
 /// A fixed-size group of ranks sharing one in-process "cluster".
@@ -37,13 +40,25 @@ pub struct World {
     /// Keeps the watchdog mailbox-dump callback registered for the
     /// world's lifetime (None when observability is disabled).
     _diag: Option<obs::DiagGuard>,
+    /// Watchdog callback dumping the chaos retransmit queue + fault-plan
+    /// position (None without chaos or observability).
+    _chaos_diag: Option<obs::DiagGuard>,
 }
 
 impl World {
     /// Creates a world of `n` ranks with the given network model.
     pub fn new(n: usize, net: NetworkModel) -> Self {
+        Self::with_chaos(n, net, None)
+    }
+
+    /// Creates a world with an optional seeded fault-injection plan.
+    /// With `Some(chaos)`, every cross-rank message travels through the
+    /// CRC/ack/retransmit reliability layer and the plan's faults; with
+    /// `None` this is exactly [`World::new`].
+    pub fn with_chaos(n: usize, net: NetworkModel, chaos: Option<crate::ChaosConfig>) -> Self {
         assert!(n > 0, "world needs at least one rank");
         let mailboxes = (0..n).map(|_| Mailbox::new()).collect();
+        let fault = chaos.map(|cfg| crate::fault::FaultState::new(cfg, n));
         let shared = Arc::new(WorldShared {
             n,
             net,
@@ -58,6 +73,7 @@ impl World {
                 matched_at_send: obs::metrics().counter("vmpi.matched_at_send"),
                 matched_at_recv: obs::metrics().counter("vmpi.matched_at_recv"),
             }),
+            fault,
         });
         let diag = obs::is_enabled().then(|| {
             let weak = Arc::downgrade(&shared);
@@ -70,7 +86,16 @@ impl World {
                 out
             })
         });
-        World { shared, _diag: diag }
+        let chaos_diag = match (&shared.fault, obs::is_enabled()) {
+            (Some(fault), true) => {
+                let weak = Arc::downgrade(fault);
+                Some(obs::diagnostics().register("vmpi chaos", move || {
+                    weak.upgrade().map(|f| f.dump_pending()).unwrap_or_default()
+                }))
+            }
+            _ => None,
+        };
+        World { shared, _diag: diag, _chaos_diag: chaos_diag }
     }
 
     /// Number of ranks in the world.
@@ -131,8 +156,27 @@ impl World {
     }
 }
 
+impl World {
+    /// Peer-lost reports collected under
+    /// [`crate::PeerLostAction::FailRequests`] (empty without chaos or
+    /// when every frame was recovered within the retry budget).
+    pub fn peer_lost_reports(&self) -> Vec<crate::PeerLostReport> {
+        self.shared
+            .fault
+            .as_ref()
+            .map(|f| f.reports.lock().clone())
+            .unwrap_or_default()
+    }
+}
+
 impl Drop for World {
     fn drop(&mut self) {
+        // Stop the chaos retransmit timers *before* the delivery queue
+        // drains inline: a drained retransmit job that re-armed itself
+        // would resend (and possibly re-drop) forever.
+        if let Some(fault) = &self.shared.fault {
+            fault.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
         self.shared.delivery.shutdown();
         // Finalize lint: with the delivery queue drained, anything still
         // unmatched is a leaked request (a send with no receive, or a

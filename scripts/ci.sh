@@ -116,4 +116,67 @@ if ! grep -q "depsan: violation: tag-size-mismatch" <<<"$san_out"; then
   exit 1
 fi
 
+# --- Chaos transport soak (PR 4) ------------------------------------------
+# The headline reliability guarantee: under any seeded fault plan whose
+# losses stay within the retry budget, every variant's checksum digest is
+# bitwise-identical to its fault-free run — the ack/retransmit layer
+# absorbs drops, duplicates, corruption and delay spikes invisibly.
+chaos_mesh=(--npx 2 --npy 1 --npz 1 --nx 8 --ny 8 --nz 8
+            --init_x 2 --init_y 2 --init_z 2 --num_refine 2
+            --max_blocks 600 --num_tsteps 4 --stages_per_ts 4)
+chaos_plan=(--chaos_drop 0.08 --chaos_dup 0.05 --chaos_corrupt 0.05
+            --chaos_delay 0.2 --chaos_retry 20 --chaos_rto_us 2000
+            --ckpt_freq 4)
+for variant in mpi forkjoin dataflow; do
+  echo "==> chaos soak: $variant"
+  base_out="$(timeout 60 "$MINIAMR" --variant "$variant" "${chaos_mesh[@]}" 2>&1)"
+  base_digest="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$base_out")"
+  if [ -z "$base_digest" ]; then
+    echo "chaos soak: fault-free $variant run printed no checksum_digest" >&2
+    echo "$base_out" >&2
+    exit 1
+  fi
+  for seed in 7 42 1337; do
+    chaos_out="$(timeout 60 "$MINIAMR" --variant "$variant" "${chaos_mesh[@]}" \
+        --chaos_seed "$seed" "${chaos_plan[@]}" 2>&1)"
+    chaos_digest="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$chaos_out")"
+    if [ "$chaos_digest" != "$base_digest" ]; then
+      echo "chaos soak: $variant seed $seed digest '$chaos_digest' != fault-free '$base_digest'" >&2
+      echo "$chaos_out" >&2
+      exit 1
+    fi
+    if ! grep -q "checkpoints_taken" <<<"$chaos_out"; then
+      echo "chaos soak: $variant seed $seed never took a checkpoint" >&2
+      echo "$chaos_out" >&2
+      exit 1
+    fi
+  done
+done
+
+# Unrecoverable hard-crash: rank 1 dies mid-run per plan. The survivor
+# must detect it (retry-budget exhaustion or heartbeat timeout), restore
+# its latest checkpoint, verify the digest, print the structured report,
+# and exit 88 — never hang.
+echo "==> unrecoverable-crash case (expect exit 88, structured report)"
+set +e
+crash_out="$(timeout 60 "$MINIAMR" --variant mpi "${chaos_mesh[@]}" \
+    --chaos_seed 42 --chaos_crash_rank 1 --chaos_crash_after 10 \
+    --chaos_retry 3 --chaos_rto_us 1000 --ckpt_freq 1 2>&1)"
+crash_rc=$?
+set -e
+if [ "$crash_rc" -ne 88 ]; then
+  echo "unrecoverable-crash: expected exit 88, got $crash_rc" >&2
+  echo "$crash_out" >&2
+  exit 1
+fi
+for needle in "chaos: peer lost" "hard-crashed per plan" \
+              "restored from checkpoint" "verified after restore" \
+              "exiting with code 88"; do
+  if ! grep -q "$needle" <<<"$crash_out"; then
+    echo "unrecoverable-crash: exit 88 but report lacks '$needle'" >&2
+    echo "$crash_out" >&2
+    exit 1
+  fi
+done
+
 echo "CI OK"
