@@ -73,6 +73,16 @@ fn main() {
         "a bounded task count (<=16) is at least as good as unbounded",
         [1usize, 2, 4, 8, 16].iter().any(|&k| t(k) <= t(usize::MAX)),
     );
+    // The paper's optimum band only holds at full problem size: the
+    // rendezvous-stall wall needs real message volumes and the
+    // match-queue wall needs real message counts; the --quick toy config
+    // has neither.
+    if !quick {
+        ok &= shape_check(
+            "observed optimum falls in the paper's 4..16 band",
+            (4..=16).contains(&best.0),
+        );
+    }
     if !ok {
         std::process::exit(1);
     }

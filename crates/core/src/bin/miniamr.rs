@@ -15,7 +15,7 @@
 use amr_mesh::MeshParams;
 use miniamr::{BalanceKind, Config, Variant};
 use std::time::Duration;
-use vmpi::NetworkModel;
+use vmpi::{FabricParams, NetworkModel};
 
 fn usage() -> ! {
     eprintln!(
@@ -40,9 +40,18 @@ fn usage() -> ! {
   --delayed_checksum                  validate previous checkpoint (dataflow)
   --lb {{sfc|rcb|none}}                 load balancer (default sfc)
   --workers N                         worker threads per rank (default 2)
-  --latency_us N                      network latency in µs (default 20)
-  --bandwidth_gbps F                  network bandwidth (default 10)
-  --ranks_per_node N                  node grouping for intra-node discount
+  --latency_us F                      network latency in µs (default 1.5)
+  --bandwidth_gbps F                  network bandwidth in GB/s (default 12);
+                                      must be positive
+  --ranks_per_node N                  node grouping for the intra-node
+                                      discount and the shared per-node NIC
+  --fabric {{on|off}}                   contention-aware fabric: shared-link
+                                      fair sharing, NIC serialization and the
+                                      rendezvous handshake (default on)
+  --fabric_rtt_us F                   rendezvous handshake round trip in µs
+  --fabric_nic_us F                   per-message NIC injection overhead in µs
+  --eager_kb N                        eager/rendezvous protocol threshold
+                                      in KiB (default 16)
   --trace                             record and summarize a phase trace
   --stencil {{7|27}}                    stencil kind (default 7)
   --trace-json PATH                   write a merged Chrome trace_event JSON
@@ -110,9 +119,13 @@ fn main() {
     let mut delayed_checksum = false;
     let mut balance = BalanceKind::Sfc;
     let mut workers = 2usize;
-    let mut latency_us = 20u64;
-    let mut bandwidth_gbps = 10.0f64;
+    // Network defaults come from the one shared machine description; the
+    // CLI flags below override individual fields of it.
+    let mut fab = FabricParams::cluster();
+    let mut latency_us = fab.latency * 1e6;
+    let mut bandwidth_gbps = fab.bandwidth / 1e9;
     let mut ranks_per_node = 0usize;
+    let mut fabric_on = true;
     let mut trace = false;
     let mut stencil = amr_mesh::stencil::StencilKind::SevenPoint;
     let mut trace_json: Option<String> = None;
@@ -171,11 +184,27 @@ fn main() {
                 }
             }
             "--workers" => workers = parse(next(&mut i)),
-            "--latency_us" => latency_us = parse(next(&mut i)) as u64,
+            "--latency_us" => latency_us = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--bandwidth_gbps" => {
                 bandwidth_gbps = next(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--ranks_per_node" => ranks_per_node = parse(next(&mut i)),
+            "--fabric" => {
+                fabric_on = match next(&mut i).as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage(),
+                }
+            }
+            "--fabric_rtt_us" => {
+                fab.rendezvous_rtt =
+                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) * 1e-6
+            }
+            "--fabric_nic_us" => {
+                fab.nic_msg_overhead =
+                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) * 1e-6
+            }
+            "--eager_kb" => fab.eager_threshold = parse(next(&mut i)) * 1024,
             "--trace" => trace = true,
             "--stencil" => {
                 stencil = match next(&mut i).as_str() {
@@ -268,13 +297,37 @@ fn main() {
         std::process::exit(2);
     }
 
-    let net = NetworkModel::new(Duration::from_micros(latency_us), bandwidth_gbps * 1e9)
-        .with_ranks_per_node(ranks_per_node)
-        .with_intra_node_factor(if ranks_per_node > 0 { 0.1 } else { 1.0 });
+    fab.latency = latency_us * 1e-6;
+    fab.bandwidth = bandwidth_gbps * 1e9;
+    fab.ranks_per_node = ranks_per_node;
+    if ranks_per_node == 0 {
+        // No node grouping: every rank is its own node, so there is no
+        // shared-memory path to discount.
+        fab.intra_node_factor = 1.0;
+    }
+    // Reject meaningless machine descriptions at the CLI boundary instead
+    // of panicking later inside `Duration::from_secs_f64`.
+    if let Err(e) = fab.validate() {
+        eprintln!("invalid network parameters: {e}");
+        std::process::exit(2);
+    }
+    let net = NetworkModel::from_fabric(&fab);
+    let net = if fabric_on { net.with_fabric(fab.clone()) } else { net };
     let n_ranks = cfg.params.num_ranks();
     eprintln!(
         "miniamr: variant={variant:?} ranks={n_ranks} workers={workers} input={input} \
          tsteps={num_tsteps} stages/ts={stages_per_ts}"
+    );
+    eprintln!(
+        "miniamr: fabric={} latency={:.2}us bandwidth={:.1}GB/s eager={}KiB \
+         rtt={:.2}us nic={:.2}us ranks/node={}",
+        if fabric_on { "on" } else { "off" },
+        fab.latency * 1e6,
+        fab.bandwidth / 1e9,
+        fab.eager_threshold / 1024,
+        fab.rendezvous_rtt * 1e6,
+        fab.nic_msg_overhead * 1e6,
+        fab.ranks_per_node,
     );
     if let Some(c) = &cfg.chaos {
         eprintln!(

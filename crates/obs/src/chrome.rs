@@ -249,6 +249,24 @@ pub fn export_chrome(events: &[Event]) -> String {
                 );
                 em.counter("bytes_queued", *mailbox, ts, &format!("\"bytes\":{bytes}"));
             }
+            EventData::FabricDepth { node, up_flows, down_flows, queued_bytes } => {
+                // One counter process per fabric node would collide with
+                // rank pids; plot on the emitting rank's process instead,
+                // with the node index in the series name.
+                let flows = u64::from(*up_flows) + u64::from(*down_flows);
+                em.counter(
+                    &format!("fabric_flows_node{node}"),
+                    pid,
+                    ts,
+                    &format!("\"flows\":{flows}"),
+                );
+                em.counter(
+                    &format!("fabric_uplink_bytes_node{node}"),
+                    pid,
+                    ts,
+                    &format!("\"bytes\":{queued_bytes}"),
+                );
+            }
             EventData::SanViolation { kind, task, obj, detail } => {
                 em.instant(
                     "san_violation",

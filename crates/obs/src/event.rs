@@ -159,6 +159,19 @@ pub enum EventData {
         /// Total payload bytes queued in unmatched envelopes.
         bytes: u64,
     },
+    /// vmpi fabric: per-node link state after a flow was injected or
+    /// retired (drives the in-flight-flow and uplink-bytes counter
+    /// tracks of the contention-aware network fabric).
+    FabricDepth {
+        /// Fabric node index (ranks grouped per `ranks_per_node`).
+        node: u32,
+        /// Flows currently draining through the node's uplink.
+        up_flows: u32,
+        /// Flows currently draining through the node's downlink.
+        down_flows: u32,
+        /// Payload bytes still queued on the node's uplink.
+        queued_bytes: u64,
+    },
     /// depsan: a data-flow contract violation (undeclared access, race,
     /// communication lint). Rare by construction — a correct run emits
     /// none — so the leaked `detail` string is acceptable.
@@ -252,6 +265,7 @@ impl EventData {
             EventData::MsgDelivered { .. } => "msg_delivered",
             EventData::WaitanyWake { .. } => "waitany_wake",
             EventData::QueueDepth { .. } => "queue_depth",
+            EventData::FabricDepth { .. } => "fabric_depth",
             EventData::SanViolation { .. } => "san_violation",
             EventData::FaultInjected { .. } => "fault_injected",
             EventData::Retransmit { .. } => "retransmit",

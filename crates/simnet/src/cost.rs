@@ -5,6 +5,15 @@
 //! shift curves up or down; the variant *orderings* in the reproduced
 //! tables and figures come from structure, and hold over a wide range of
 //! constants (see the `cost_robustness` test in `model.rs`).
+//!
+//! Network constants are **not** duplicated here: everything about the
+//! wire — latency, bandwidth, eager threshold, NIC injection overhead,
+//! rendezvous handshake, node grouping — lives in the shared
+//! [`FabricParams`] that the `vmpi` runtime uses for real execution. The
+//! simulator and the runtime therefore price the same message the same
+//! way by construction.
+
+pub use vmpi::fabric::FabricParams;
 
 /// Per-mechanism time constants, all in seconds.
 #[derive(Debug, Clone)]
@@ -15,12 +24,10 @@ pub struct CostModel {
     pub pack_per_elem: f64,
     /// Intra-rank neighbor copy cost per element.
     pub copy_per_elem: f64,
-    /// Network latency per message (inter-node).
-    pub latency: f64,
-    /// Network bandwidth in bytes/s (inter-node).
-    pub bandwidth: f64,
-    /// Cost multiplier for messages between ranks on the same node.
-    pub intra_node_factor: f64,
+    /// Shared network fabric parameters (latency, bandwidth, eager
+    /// threshold, NIC injection overhead, rendezvous handshake, node
+    /// grouping) — the same struct `vmpi` executes against.
+    pub fabric: FabricParams,
     /// Fork-join parallel-region barrier cost per worker-doubling
     /// (cost = `barrier_base * log2(workers)` per region).
     pub barrier_base: f64,
@@ -36,10 +43,13 @@ pub struct CostModel {
     pub collective_rounds_refine: f64,
     /// Local checksum reduction cost per cell per variable.
     pub checksum_per_cell_var: f64,
-    /// Per-message NIC injection overhead. The NIC is a *per-node* serial
-    /// resource: a node running 48 communicating ranks pays for many more
-    /// messages per stage than one running 4.
-    pub nic_msg_overhead: f64,
+    /// Receive-side matching cost per posted-queue entry scanned. Every
+    /// incoming message walks the posted-receive/unexpected queues, whose
+    /// length grows with the messages in flight, so a stage receiving `m`
+    /// messages pays `~m² × match_queue_per_entry` — the well-known
+    /// long-match-queue wall that punishes one-message-per-face
+    /// configurations (the `all` column of Table II).
+    pub match_queue_per_entry: f64,
     /// Mean seconds between OS interruptions per core (jitter/daemons).
     pub noise_period: f64,
     /// Duration of one interruption. Bulk-synchronous execution amplifies
@@ -57,16 +67,14 @@ impl Default for CostModel {
             stencil_per_cell_var: 6.0e-9,
             pack_per_elem: 1.0e-9,
             copy_per_elem: 1.2e-9,
-            latency: 1.5e-6,
-            bandwidth: 12.0e9,
-            intra_node_factor: 0.25,
+            fabric: FabricParams::cluster(),
             barrier_base: 3.0e-6,
             task_overhead: 1.0e-6,
             refine_ctrl_per_block: 2.0e-6,
             refine_copy_per_elem: 1.5e-9,
             collective_rounds_refine: 6.0,
             checksum_per_cell_var: 1.0e-9,
-            nic_msg_overhead: 0.5e-6,
+            match_queue_per_entry: 1.5e-9,
             noise_period: 0.25,
             noise_duration: 250.0e-6,
         }
@@ -76,9 +84,9 @@ impl Default for CostModel {
 impl CostModel {
     /// Transfer time of `bytes` between two ranks given a node grouping.
     pub fn net_time(&self, bytes: f64, same_node: bool) -> f64 {
-        let t = self.latency + bytes / self.bandwidth;
+        let t = self.fabric.latency + bytes / self.fabric.bandwidth;
         if same_node {
-            t * self.intra_node_factor
+            t * self.fabric.intra_node_factor
         } else {
             t
         }
@@ -87,7 +95,7 @@ impl CostModel {
     /// Cost of one `log2(ranks)`-depth collective (reduce, bcast,
     /// barrier).
     pub fn collective(&self, ranks: usize) -> f64 {
-        self.latency * (ranks.max(2) as f64).log2()
+        self.fabric.latency * (ranks.max(2) as f64).log2()
     }
 
     /// Fork-join barrier cost for a worker team.
@@ -135,5 +143,13 @@ mod tests {
         let t4096 = c.collective(4096);
         assert!(t4096 > t2);
         assert!((t4096 / t2 - 12.0).abs() < 0.01, "log2(4096)=12");
+    }
+
+    #[test]
+    fn fabric_constants_are_shared_with_vmpi() {
+        // One source of truth: the simulator's defaults ARE the runtime's
+        // cluster profile, not a drifting copy.
+        let c = CostModel::default();
+        assert_eq!(c.fabric, FabricParams::cluster());
     }
 }

@@ -100,12 +100,34 @@ struct StageCosts {
     nic: Vec<f64>,
     /// Per-rank incoming message count.
     msgs_in: Vec<f64>,
+    /// Per-rank fabric drain time of the rank's *node*: how long the
+    /// node's shared uplink/downlink stays busy under fair sharing with
+    /// every concurrent flow of the stage (rendezvous handshake and NIC
+    /// injection included). A stage cannot complete before its node's
+    /// links drain, regardless of how many ranks share the NIC.
+    node_busy: Vec<f64>,
+    /// Per-rank rendezvous pipeline stall per stage: when the typical
+    /// incoming inter-node message is above the eager threshold, the
+    /// handshake round trip and the drain of that aggregate sit on the
+    /// dependency chain (the payload only starts moving once the receive
+    /// task posted, and its serial unpack only starts once the whole
+    /// aggregate arrived), so each stage exposes
+    /// `rendezvous_rtt + msg_bytes/bw + unpack(one aggregate)` — the
+    /// coarse-granularity wall of Table II. Eager messages land in the
+    /// runtime's early buffers and expose nothing.
+    stall: Vec<f64>,
+    /// Per-rank receive-side matching cost per stage: each of `m`
+    /// incoming messages scans match queues whose length scales with
+    /// `m`, so the cost is quadratic in the message count — the
+    /// fine-granularity wall of Table II.
+    matchq: Vec<f64>,
 }
 
 fn stage_costs(w: &Workload, s: &StageStat, c: &CostModel) -> StageCosts {
     let nv = w.num_vars as f64;
     let cells = w.cells_per_block as f64;
     let n = w.n_ranks;
+    let fab = &c.fabric;
     let mut out = StageCosts {
         work: vec![0.0; n],
         stencil: vec![0.0; n],
@@ -116,6 +138,9 @@ fn stage_costs(w: &Workload, s: &StageStat, c: &CostModel) -> StageCosts {
         units: vec![0.0; n],
         nic: vec![0.0; n],
         msgs_in: vec![0.0; n],
+        node_busy: vec![0.0; n],
+        stall: vec![0.0; n],
+        matchq: vec![0.0; n],
     };
     // Per-node inter-node message totals (in + out), charged to every
     // rank of the node: the NIC is a shared serial resource.
@@ -125,6 +150,19 @@ fn stage_costs(w: &Workload, s: &StageStat, c: &CostModel) -> StageCosts {
     for r in 0..n {
         node_msgs[r / rpn] += s.in_msgs_inter[r] + s.out_msgs_inter[r];
     }
+    // Drain the stage's aggregate inter-node traffic through the shared
+    // fabric: every concurrent flow fair-shares its node's uplink and
+    // downlink, rendezvous flows join a handshake late.
+    let flows: Vec<vmpi::fabric::Flow> = s
+        .node_pairs
+        .iter()
+        .map(|&(sn, dn, msgs, elems)| {
+            let bytes = elems * nv * BYTES;
+            let rdv = if msgs > 0.0 && !fab.is_eager((bytes / msgs) as usize) { msgs } else { 0.0 };
+            vmpi::fabric::Flow { src: sn, dst: dn, bytes, msgs, rdv_msgs: rdv }
+        })
+        .collect();
+    let busy = vmpi::fabric::drain(fab, n_nodes, &flows);
     for r in 0..n {
         let stencil = s.blocks[r] * cells * nv * c.stencil_per_cell_var;
         let pack = s.pack_elems[r] * nv * c.pack_per_elem;
@@ -134,21 +172,41 @@ fn stage_costs(w: &Workload, s: &StageStat, c: &CostModel) -> StageCosts {
         out.work[r] = stencil + pack + local;
         let inter_bytes = s.in_elems_inter[r] * nv * BYTES;
         let intra_bytes = s.in_elems_intra[r] * nv * BYTES;
-        out.net[r] = s.in_msgs_inter[r] * c.latency
-            + inter_bytes / c.bandwidth
-            + (s.in_msgs_intra[r] * c.latency + intra_bytes / c.bandwidth) * c.intra_node_factor;
+        out.net[r] = s.in_msgs_inter[r] * fab.latency
+            + inter_bytes / fab.bandwidth
+            + (s.in_msgs_intra[r] * fab.latency + intra_bytes / fab.bandwidth)
+                * fab.intra_node_factor;
         let msgs = (s.in_msgs_inter[r] + s.in_msgs_intra[r]).max(1.0);
         let total_bytes = inter_bytes + intra_bytes;
-        out.net_floor[r] = if total_bytes > 0.0 {
-            c.latency + (total_bytes / msgs) / c.bandwidth
+        // Typical incoming inter-node message; decides eager vs
+        // rendezvous for this rank's traffic.
+        let inter_msg_bytes = if s.in_msgs_inter[r] > 0.0 {
+            inter_bytes / s.in_msgs_inter[r]
         } else {
             0.0
         };
-        out.net_bw[r] = total_bytes / c.bandwidth;
+        let rdv = inter_msg_bytes > 0.0 && !fab.is_eager(inter_msg_bytes as usize);
+        let hs = if rdv { fab.rendezvous_rtt } else { 0.0 };
+        out.net_floor[r] = if total_bytes > 0.0 {
+            hs + fab.latency + (total_bytes / msgs) / fab.bandwidth
+        } else {
+            0.0
+        };
+        out.net_bw[r] = total_bytes / fab.bandwidth;
         out.units[r] = s.face_units[r] + s.out_msgs[r] + s.in_msgs_inter[r] + s.in_msgs_intra[r]
             + s.blocks[r];
-        out.nic[r] = node_msgs[r / rpn] * c.nic_msg_overhead;
+        out.nic[r] = node_msgs[r / rpn] * fab.nic_msg_overhead;
         out.msgs_in[r] = s.in_msgs_inter[r] + s.in_msgs_intra[r];
+        out.node_busy[r] = busy[r / rpn];
+        out.stall[r] = if rdv {
+            let unpack_chunk =
+                (s.in_elems_inter[r] / s.in_msgs_inter[r]) * nv * c.pack_per_elem;
+            hs + inter_msg_bytes / fab.bandwidth + unpack_chunk
+        } else {
+            0.0
+        };
+        let m_in = s.in_msgs_inter[r] + s.in_msgs_intra[r];
+        out.matchq[r] = m_in * m_in * c.match_queue_per_entry;
     }
     out
 }
@@ -179,8 +237,8 @@ fn refine_cost(w: &Workload, r: &RefineStat, c: &CostModel, model: &ExecModel) -
     for rank in 0..n {
         let jobs = r.job_elems[rank] * nv * c.refine_copy_per_elem;
         // ACK + control + data per move.
-        let exch = r.move_msgs[rank] * 3.0 * c.latency
-            + r.move_elems[rank] * nv * BYTES / c.bandwidth;
+        let exch = r.move_msgs[rank] * 3.0 * c.fabric.latency
+            + r.move_elems[rank] * nv * BYTES / c.fabric.bandwidth;
         let t = match model {
             ExecModel::MpiOnly => jobs + exch,
             ExecModel::ForkJoin { workers } => {
@@ -206,10 +264,15 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
             // every stage. Network overlaps only the local copies; the
             // node NIC serializes message injection across all 48 ranks.
             let mut stage_t = 0.0f64;
+            let mut link_floor = 0.0f64;
             for r in 0..n {
                 let exposed = (sc.net[r] - sc.local[r]).max(0.0);
-                stage_t = stage_t.max(sc.work[r] + exposed + sc.nic[r]);
+                stage_t = stage_t.max(sc.work[r] + exposed + sc.nic[r] + sc.stall[r] + sc.matchq[r]);
+                link_floor = link_floor.max(sc.node_busy[r]);
             }
+            // The stage cannot end before the busiest node's shared links
+            // drain, however the per-rank costs overlap.
+            stage_t = stage_t.max(link_floor);
             stage_t += c.synchronized_noise(stage_t, n);
             out.total += stages * stage_t;
             let chk = checksum_cost(w, &iv.stage, c, 1.0);
@@ -227,7 +290,9 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
                 // is fully exposed.
                 let msgs = iv.stage.in_msgs_inter[r] + iv.stage.in_msgs_intra[r];
                 let barriers = (3.0 + msgs) * c.barrier(workers);
-                stage_t = stage_t.max(sc.work[r] / wk + sc.net[r] + sc.nic[r] + barriers);
+                stage_t = stage_t
+                    .max(sc.work[r] / wk + sc.net[r] + sc.nic[r] + sc.stall[r] + sc.matchq[r] + barriers)
+                    .max(sc.node_busy[r]);
             }
             stage_t += c.synchronized_noise(stage_t, n * workers);
             out.total += stages * stage_t;
@@ -251,17 +316,20 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
                     // through the NIC gates the work that depends on it —
                     // roughly 1/k of the stage with k messages. Coarse
                     // aggregation (small k) therefore lengthens the
-                    // dependency tail (the Table II effect).
+                    // dependency tail (the Table II effect). The node's
+                    // shared-link drain time is a floor of its own.
                     let tail = work_stage / sc.msgs_in[r].max(1.0);
-                    let floor = if overlap {
-                        stages * (sc.net_floor[r] + sc.net_bw[r] + tail).max(sc.nic[r])
-                    } else {
-                        stages * (sc.net[r] + sc.nic[r])
-                    };
                     let mut t = if overlap {
-                        work.max(floor)
+                        let floor = stages
+                            * (sc.net_floor[r] + sc.net_bw[r] + tail)
+                                .max(sc.nic[r])
+                                .max(sc.node_busy[r]);
+                        // Rendezvous stalls are exposed even with overlap:
+                        // the WAR edge on the pack buffer is a dependency,
+                        // not a resource the scheduler can hide.
+                        work.max(floor) + stages * (sc.stall[r] + sc.matchq[r])
                     } else {
-                        work + stages * (sc.net[r] + sc.nic[r])
+                        work + stages * ((sc.net[r] + sc.nic[r]).max(sc.node_busy[r]) + sc.stall[r] + sc.matchq[r])
                     };
                     // Interruptions are absorbed locally; only the final
                     // drain synchronizes once per interval.
@@ -277,9 +345,13 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
                     let work = (sc.work[r] + sc.units[r] * c.task_overhead) / wk;
                     let tail = work / sc.msgs_in[r].max(1.0);
                     let t = if overlap {
-                        work.max((sc.net_floor[r] + sc.net_bw[r] + tail).max(sc.nic[r]))
+                        work.max(
+                            (sc.net_floor[r] + sc.net_bw[r] + tail)
+                                .max(sc.nic[r])
+                                .max(sc.node_busy[r]),
+                        ) + sc.stall[r] + sc.matchq[r]
                     } else {
-                        work + sc.net[r] + sc.nic[r]
+                        work + (sc.net[r] + sc.nic[r]).max(sc.node_busy[r]) + sc.stall[r] + sc.matchq[r]
                     };
                     stage_t = stage_t.max(t);
                 }
@@ -408,7 +480,7 @@ mod tests {
         for scale_lat in [0.5, 2.0] {
             for scale_cpu in [0.5, 2.0] {
                 let mut c = CostModel::default();
-                c.latency *= scale_lat;
+                c.fabric.latency *= scale_lat;
                 c.stencil_per_cell_var *= scale_cpu;
                 let mpi = simulate(&w, &ExecModel::MpiOnly, &c);
                 let df = simulate(&w, &ExecModel::dataflow(4), &c);

@@ -61,6 +61,11 @@ pub struct StageStat {
     pub out_msgs_inter: Vec<f64>,
     /// Face transfers touching each rank (task-count estimate).
     pub face_units: Vec<f64>,
+    /// Inter-node traffic aggregated per directed node pair:
+    /// `(src_node, dst_node, msgs, elems-per-variable)`. This is the flow
+    /// list the shared fabric model drains to price link contention; node
+    /// grouping follows `ranks_per_node` (0 ⇒ one rank per node).
+    pub node_pairs: Vec<(usize, usize, f64, f64)>,
 }
 
 /// Per-rank statistics of one refinement phase.
@@ -205,6 +210,7 @@ fn compute_stage(dir: &MeshDirectory, p: &WorkloadParams, layout: &BlockLayout) 
         out_msgs: vec![0.0; n],
         out_msgs_inter: vec![0.0; n],
         face_units: vec![0.0; n],
+        node_pairs: Vec::new(),
     };
     // faces per (src, dst, dir): (count, elems)
     let mut pairs: std::collections::BTreeMap<(usize, usize, usize), (f64, f64)> =
@@ -248,6 +254,8 @@ fn compute_stage(dir: &MeshDirectory, p: &WorkloadParams, layout: &BlockLayout) 
         }
     }
 
+    let rpn = p.ranks_per_node.max(1);
+    let mut node_pairs: std::collections::BTreeMap<(usize, usize), (f64, f64)> = Default::default();
     for ((src, dst, _d), (faces, elems)) in pairs {
         let msgs = match p.msgs_per_pair_dir {
             0 => 1.0,
@@ -261,8 +269,13 @@ fn compute_stage(dir: &MeshDirectory, p: &WorkloadParams, layout: &BlockLayout) 
             s.out_msgs_inter[src] += msgs;
             s.in_msgs_inter[dst] += msgs;
             s.in_elems_inter[dst] += elems;
+            let e = node_pairs.entry((src / rpn, dst / rpn)).or_insert((0.0, 0.0));
+            e.0 += msgs;
+            e.1 += elems;
         }
     }
+    s.node_pairs =
+        node_pairs.into_iter().map(|((sn, dn), (m, e))| (sn, dn, m, e)).collect();
     s
 }
 

@@ -74,8 +74,8 @@ proptest! {
         let base = CostModel::default();
         let mut faster = base.clone();
         faster.stencil_per_cell_var *= 0.5;
-        faster.latency *= 0.5;
-        faster.bandwidth *= 2.0;
+        faster.fabric.latency *= 0.5;
+        faster.fabric.bandwidth *= 2.0;
         for model in [ExecModel::MpiOnly, ExecModel::ForkJoin { workers: 4 }, ExecModel::dataflow(4)] {
             let slow = simulate(&w, &model, &base);
             let fast = simulate(&w, &model, &faster);

@@ -164,8 +164,23 @@ impl Comm {
         // already happened in its scope), so the current scope identifies
         // the sending task in lint reports.
         let san_scope = if depsan::is_enabled() { depsan::current_scope() } else { 0 };
-        let available_at =
-            Instant::now() + self.shared.net.delay(nbytes, src_world, dst_world);
+        // Inter-node transfers go through the contention-aware fabric
+        // when one is installed (NIC serialization, shared links,
+        // rendezvous handshake); intra-node and self transfers always
+        // take the scalar shared-memory path.
+        let (fabric_flow, available_at) = match &self.shared.fabric {
+            Some(fab)
+                if src_world != dst_world
+                    && !fab.params().same_node(src_world, dst_world) =>
+            {
+                let (id, eta) = fab.inject(src_world, dst_world, nbytes);
+                (Some(id), eta)
+            }
+            _ => (
+                None,
+                Instant::now() + self.shared.net.delay(nbytes, src_world, dst_world),
+            ),
+        };
         let eager = self.shared.net.is_eager(nbytes) || src_world == dst_world;
         let send_state = RequestState::new();
         let send_status = Status { source: self.rank, tag, bytes: nbytes };
@@ -205,6 +220,7 @@ impl Comm {
                         comm: self.comm_id,
                         payload,
                         available_at,
+                        fabric_flow,
                         send_state: if eager { None } else { Some(Arc::clone(&send_state)) },
                         san_scope,
                     };
@@ -252,16 +268,14 @@ impl Comm {
                     if eager { None } else { Some(Arc::clone(&send_state)) };
                 let src = self.rank;
                 let comm_id = self.comm_id;
-                self.shared.delivery.schedule(
+                schedule_transfer(
+                    Arc::clone(&self.shared),
                     available_at,
-                    Box::new(move || {
-                        complete_transfer(
-                            Inbound { payload, src, tag, comm: comm_id, dst_world },
-                            send_for_job,
-                            pr.state,
-                            pr.target,
-                        );
-                    }),
+                    fabric_flow,
+                    Inbound { payload, src, tag, comm: comm_id, dst_world },
+                    send_for_job,
+                    pr.state,
+                    pr.target,
                 );
             }
             Outcome::Queued => {
@@ -330,6 +344,7 @@ impl Comm {
                 comm: ecomm,
                 payload,
                 available_at,
+                fabric_flow,
                 send_state,
                 san_scope: env_scope,
             } = env;
@@ -350,22 +365,20 @@ impl Comm {
                     m.matched_at_recv.inc();
                 }
             }
-            self.shared.delivery.schedule(
+            schedule_transfer(
+                Arc::clone(&self.shared),
                 available_at,
-                Box::new(move || {
-                    complete_transfer(
-                        Inbound {
-                            payload,
-                            src: esrc,
-                            tag: etag,
-                            comm: ecomm,
-                            dst_world: my_world,
-                        },
-                        send_state,
-                        recv_state,
-                        target,
-                    );
-                }),
+                fabric_flow,
+                Inbound {
+                    payload,
+                    src: esrc,
+                    tag: etag,
+                    comm: ecomm,
+                    dst_world: my_world,
+                },
+                send_state,
+                recv_state,
+                target,
             );
         }
         Request::from_state(state)
@@ -537,6 +550,39 @@ impl Comm {
         let id = mix64(self.comm_id ^ mix64(seq.wrapping_mul(2)) ^ (color as u64).wrapping_mul(0x9e3779b97f4a7c15));
         Comm::new(Arc::clone(&self.shared), id, new_rank, Arc::new(group))
     }
+}
+
+/// Schedules the completion of a matched transfer at `due`. Scalar-model
+/// transfers (`flow == None`) complete unconditionally when the job
+/// fires. Fabric transfers *poll* their flow instead: if concurrent
+/// arrivals shrank the flow's bandwidth share since `due` was predicted,
+/// the poll returns the new estimate and the job reschedules — the
+/// completion time tracks the fair-share drain, not the first guess.
+pub(crate) fn schedule_transfer(
+    shared: Arc<WorldShared>,
+    due: Instant,
+    flow: Option<u64>,
+    inbound: Inbound,
+    send_state: Option<Arc<crate::request::RequestState>>,
+    recv_state: Arc<crate::request::RequestState>,
+    target: RecvTarget,
+) {
+    let delivery = Arc::clone(&shared.delivery);
+    delivery.schedule(
+        due,
+        Box::new(move || {
+            if let Some(id) = flow {
+                let next = shared.fabric.as_ref().and_then(|f| f.poll(id));
+                if let Some(next) = next {
+                    schedule_transfer(
+                        shared, next, flow, inbound, send_state, recv_state, target,
+                    );
+                    return;
+                }
+            }
+            complete_transfer(inbound, send_state, recv_state, target);
+        }),
+    );
 }
 
 /// depsan: a matched payload's size differs from the receive's exact

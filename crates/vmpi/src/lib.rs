@@ -55,6 +55,7 @@ mod comm;
 mod datatype;
 mod delivery;
 mod error;
+pub mod fabric;
 pub mod fault;
 mod mailbox;
 mod net;
@@ -71,6 +72,7 @@ pub use fault::{
     set_peer_lost_hook, ChaosConfig, PeerLostAction, PeerLostReport, TagClass,
     PEER_LOST_EXIT_CODE,
 };
+pub use fabric::FabricParams;
 pub use net::NetworkModel;
 pub use request::{Request, RequestSet};
 pub use world::World;

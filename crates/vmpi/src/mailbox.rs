@@ -33,6 +33,10 @@ pub(crate) struct Envelope {
     pub comm: u64,
     pub payload: Vec<u8>,
     pub available_at: Instant,
+    /// Flow id in the contention-aware fabric, when the transfer went
+    /// through it (`available_at` is then only the initial estimate; the
+    /// delivery job polls the fabric for the real drain time).
+    pub fabric_flow: Option<u64>,
     /// Present for rendezvous sends: completed when the payload drains.
     pub send_state: Option<Arc<RequestState>>,
     /// depsan scope of the posting task (0 = none / sanitizer disabled).
@@ -369,6 +373,7 @@ mod tests {
             comm,
             payload: vec![0u8; 8],
             available_at: Instant::now(),
+            fabric_flow: None,
             send_state: None,
             san_scope: 0,
         }

@@ -7,6 +7,7 @@
 //! this in-process substrate reproduces the communication costs that make
 //! the paper's computation/communication overlap worth having.
 
+use crate::fabric::FabricParams;
 use std::time::Duration;
 
 /// A linear latency/bandwidth cost model for message transfers.
@@ -37,6 +38,11 @@ pub struct NetworkModel {
     /// Number of consecutive ranks grouped into one simulated node
     /// (`0` means every rank is its own node).
     pub ranks_per_node: usize,
+    /// When set, inter-node transfers go through the contention-aware
+    /// [`crate::fabric::Fabric`] (NIC serialization, shared-link fair
+    /// sharing, rendezvous handshake) instead of the scalar formula
+    /// above. Intra-node and self transfers always use the scalar path.
+    pub(crate) fabric: Option<FabricParams>,
 }
 
 impl NetworkModel {
@@ -49,19 +55,36 @@ impl NetworkModel {
             eager_threshold: usize::MAX,
             intra_node_factor: 1.0,
             ranks_per_node: 0,
+            fabric: None,
         }
     }
 
-    /// A model resembling a commodity HPC interconnect: 1.5 µs latency,
-    /// 12 GB/s bandwidth, 16 KiB eager threshold, and 10× cheaper
-    /// intra-node transfers.
+    /// A model resembling a commodity HPC interconnect, derived from the
+    /// canonical [`FabricParams::cluster`] calibration so the real
+    /// execution and the `simnet` simulator describe the same machine.
+    /// The intra-node discount requires a node grouping; the canonical
+    /// parameters provide one (`ranks_per_node > 0`), which this
+    /// constructor asserts.
     pub fn cluster() -> Self {
+        let m = NetworkModel::from_fabric(&FabricParams::cluster());
+        debug_assert!(
+            m.ranks_per_node > 0 || m.intra_node_factor == 1.0,
+            "an intra-node discount without a node grouping can never apply"
+        );
+        m
+    }
+
+    /// Builds the scalar model from shared fabric constants (without
+    /// enabling the contention-aware fabric path — see
+    /// [`NetworkModel::with_fabric`] for that).
+    pub fn from_fabric(p: &FabricParams) -> Self {
         NetworkModel {
-            latency: Duration::from_nanos(1500),
-            bandwidth: 12.0e9,
-            eager_threshold: 16 * 1024,
-            intra_node_factor: 0.1,
-            ranks_per_node: 0,
+            latency: Duration::from_secs_f64(p.latency.max(0.0)),
+            bandwidth: p.bandwidth,
+            eager_threshold: p.eager_threshold,
+            intra_node_factor: p.intra_node_factor,
+            ranks_per_node: p.ranks_per_node,
+            fabric: None,
         }
     }
 
@@ -74,7 +97,26 @@ impl NetworkModel {
             eager_threshold: 16 * 1024,
             intra_node_factor: 1.0,
             ranks_per_node: 0,
+            fabric: None,
         }
+    }
+
+    /// Routes inter-node transfers through the contention-aware fabric
+    /// (NIC serialization, shared-link fair sharing, rendezvous
+    /// handshake). The scalar fields keep governing intra-node and self
+    /// transfers; `eager_threshold`/`ranks_per_node` are taken from `p`
+    /// so the two paths agree on protocol and topology.
+    pub fn with_fabric(mut self, p: FabricParams) -> Self {
+        self.eager_threshold = p.eager_threshold;
+        self.ranks_per_node = p.ranks_per_node;
+        self.intra_node_factor = p.intra_node_factor;
+        self.fabric = Some(p);
+        self
+    }
+
+    /// The fabric parameters, when the contention-aware path is enabled.
+    pub fn fabric_params(&self) -> Option<&FabricParams> {
+        self.fabric.as_ref()
     }
 
     /// Sets the node grouping used for the intra-node discount.
@@ -101,7 +143,35 @@ impl NetworkModel {
         self.ranks_per_node > 0 && a / self.ranks_per_node == b / self.ranks_per_node
     }
 
+    /// Validates the model's parameters, returning a human-readable error
+    /// for values that make the cost formula meaningless (zero/negative/
+    /// NaN bandwidth, non-finite factors). Call this at configuration
+    /// time; [`NetworkModel::delay`] only saturates defensively.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bandwidth.is_nan() || self.bandwidth <= 0.0 {
+            return Err(format!(
+                "bandwidth must be positive (got {}); use f64::INFINITY to disable the size term",
+                self.bandwidth
+            ));
+        }
+        if !self.intra_node_factor.is_finite() || self.intra_node_factor < 0.0 {
+            return Err(format!(
+                "intra_node_factor must be finite and non-negative (got {})",
+                self.intra_node_factor
+            ));
+        }
+        if let Some(p) = &self.fabric {
+            p.validate()?;
+        }
+        Ok(())
+    }
+
     /// Computes the availability delay for `bytes` between `src` and `dst`.
+    ///
+    /// Defensive against mis-configured models that slipped past
+    /// [`NetworkModel::validate`]: a non-finite or negative result
+    /// saturates to zero (debug builds assert) instead of panicking on
+    /// the delivery thread.
     pub fn delay(&self, bytes: usize, src: usize, dst: usize) -> Duration {
         if src == dst {
             return Duration::ZERO;
@@ -109,7 +179,15 @@ impl NetworkModel {
         let base = self.latency.as_secs_f64()
             + if self.bandwidth.is_finite() { bytes as f64 / self.bandwidth } else { 0.0 };
         let factor = if self.same_node(src, dst) { self.intra_node_factor } else { 1.0 };
-        Duration::from_secs_f64(base * factor)
+        let secs = base * factor;
+        debug_assert!(
+            secs.is_finite() && secs >= 0.0,
+            "network delay computed as {secs} s (latency {:?}, bandwidth {}, factor {factor}); \
+             validate() the model at configuration time",
+            self.latency,
+            self.bandwidth,
+        );
+        Duration::try_from_secs_f64(secs).unwrap_or(Duration::ZERO)
     }
 
     /// Returns whether a message of `bytes` completes its send eagerly.
@@ -176,5 +254,53 @@ mod tests {
         let m = NetworkModel::cluster();
         assert!(m.is_eager(16 * 1024));
         assert!(!m.is_eager(16 * 1024 + 1));
+    }
+
+    #[test]
+    fn cluster_discount_is_reachable() {
+        // Regression: cluster() used to pair an intra-node discount with
+        // ranks_per_node = 0, so the discount could never apply.
+        let m = NetworkModel::cluster();
+        assert!(m.ranks_per_node > 0, "cluster model needs a node grouping");
+        assert!(m.same_node(0, m.ranks_per_node - 1));
+        assert!(m.delay(0, 0, 1) < m.delay(0, 0, m.ranks_per_node));
+    }
+
+    #[test]
+    fn cluster_matches_fabric_constants() {
+        let m = NetworkModel::cluster();
+        let p = FabricParams::cluster();
+        assert_eq!(m.latency.as_secs_f64(), p.latency);
+        assert_eq!(m.bandwidth, p.bandwidth);
+        assert_eq!(m.eager_threshold, p.eager_threshold);
+        assert_eq!(m.intra_node_factor, p.intra_node_factor);
+        assert_eq!(m.ranks_per_node, p.ranks_per_node);
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_bandwidth() {
+        let mut m = NetworkModel::new(Duration::from_micros(1), 0.0);
+        assert!(m.validate().is_err());
+        m.bandwidth = -3.0;
+        assert!(m.validate().is_err());
+        m.bandwidth = f64::NAN;
+        assert!(m.validate().is_err());
+        m.bandwidth = 1.0e9;
+        assert!(m.validate().is_ok());
+        m.intra_node_factor = f64::NAN;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn delay_saturates_instead_of_panicking() {
+        // A zero-bandwidth model is invalid (validate() rejects it), but
+        // if one slips through, delay() must not panic on the delivery
+        // thread. Release builds saturate to zero; debug builds assert,
+        // which is the documented contract.
+        if cfg!(debug_assertions) {
+            return;
+        }
+        let m = NetworkModel::new(Duration::from_micros(1), 0.0);
+        assert_eq!(m.delay(100, 0, 1), Duration::ZERO);
     }
 }

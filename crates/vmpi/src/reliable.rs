@@ -418,6 +418,9 @@ fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFr
                     comm,
                     payload,
                     available_at: Instant::now(),
+                    // Chaos frames model their network time through the
+                    // reliability layer's retransmit clock, not the fabric.
+                    fabric_flow: None,
                     send_state: None,
                     san_scope,
                 };

@@ -27,6 +27,10 @@ pub(crate) struct WorldShared {
     /// Present only when the world was built with a chaos config; the
     /// fault-free path never touches it beyond this `Option` check.
     pub fault: Option<Arc<crate::fault::FaultState>>,
+    /// The contention-aware fabric, present only when the network model
+    /// was built with [`NetworkModel::with_fabric`]; `instant()` and
+    /// plain scalar models never touch it.
+    pub fabric: Option<Arc<crate::fabric::Fabric>>,
 }
 
 /// A fixed-size group of ranks sharing one in-process "cluster".
@@ -59,9 +63,13 @@ impl World {
         assert!(n > 0, "world needs at least one rank");
         let mailboxes = (0..n).map(|_| Mailbox::new()).collect();
         let fault = chaos.map(|cfg| crate::fault::FaultState::new(cfg, n));
+        let fabric = net
+            .fabric_params()
+            .map(|p| Arc::new(crate::fabric::Fabric::new(p.clone(), n)));
         let shared = Arc::new(WorldShared {
             n,
             net,
+            fabric,
             mailboxes,
             delivery: DeliveryService::new(),
             obs_metrics: obs::is_enabled().then(|| VmpiMetrics {
@@ -176,6 +184,12 @@ impl Drop for World {
         // would resend (and possibly re-drop) forever.
         if let Some(fault) = &self.shared.fault {
             fault.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+        // Release the fabric *before* the delivery queue drains inline: a
+        // drained poll job whose flow still shows contention would
+        // reschedule into a dead queue forever.
+        if let Some(fabric) = &self.shared.fabric {
+            fabric.release_all();
         }
         self.shared.delivery.shutdown();
         // Finalize lint: with the delivery queue drained, anything still

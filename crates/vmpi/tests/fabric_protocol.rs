@@ -1,0 +1,117 @@
+//! Protocol-boundary tests for the contention-aware fabric: the eager /
+//! rendezvous switch at exactly `eager_threshold` bytes, and the
+//! `waitany` waker path when the completing request is not the first in
+//! the set.
+
+use std::time::{Duration, Instant};
+use vmpi::{FabricParams, NetworkModel, World};
+
+/// A deliberately slow fabric so the rendezvous drain is long enough to
+/// observe: 200 KB/s means a ~4 KB payload stays in flight for ~20 ms.
+fn slow_fabric() -> FabricParams {
+    FabricParams {
+        latency: 1.0e-6,
+        bandwidth: 2.0e5,
+        eager_threshold: 4096,
+        intra_node_factor: 1.0,
+        // Every rank its own node: all cross-rank traffic takes the
+        // fabric path, none the intra-node shortcut.
+        ranks_per_node: 1,
+        nic_msg_overhead: 1.0e-6,
+        rendezvous_rtt: 5.0e-3,
+    }
+}
+
+/// A payload of *exactly* `eager_threshold` bytes is still eager: its
+/// send request completes at post time, before any receive is posted.
+/// One byte more crosses into rendezvous: the send request stays pending
+/// until the transfer drains through the fabric, which takes at least the
+/// handshake round trip plus the serial drain time.
+#[test]
+fn eager_boundary_completes_send_at_post() {
+    let p = slow_fabric();
+    let thr = p.eager_threshold;
+    let min_rdv = Duration::from_secs_f64(p.rendezvous_rtt + (thr + 1) as f64 / p.bandwidth);
+    let net = NetworkModel::from_fabric(&p).with_fabric(p);
+    let world = World::new(2, net);
+    world.run(move |comm| {
+        if comm.rank() == 0 {
+            // Boundary size: eager, complete the instant isend returns
+            // (no receive has been posted yet on rank 1).
+            let eager_payload = vec![0xabu8; thr];
+            let req = comm.isend(&eager_payload, 1, 1).unwrap();
+            assert!(
+                req.is_complete(),
+                "a send of exactly eager_threshold bytes must complete at post time"
+            );
+
+            // One byte over: rendezvous. The request must still be in
+            // flight right after posting, and completes only once the
+            // fabric drains the transfer (handshake + bytes/bandwidth).
+            let rdv_payload = vec![0xcdu8; thr + 1];
+            let t0 = Instant::now();
+            let req = comm.isend(&rdv_payload, 1, 2).unwrap();
+            assert!(
+                !req.is_complete(),
+                "a send of eager_threshold + 1 bytes must not complete at post time"
+            );
+            req.wait();
+            let elapsed = t0.elapsed();
+            assert!(
+                elapsed >= min_rdv,
+                "rendezvous send completed in {elapsed:?}, before the \
+                 handshake + drain floor of {min_rdv:?}"
+            );
+        } else {
+            let (a, _) = comm.recv::<u8>(0, 1).unwrap();
+            assert_eq!(a.len(), thr);
+            assert!(a.iter().all(|&b| b == 0xab));
+            let (b, _) = comm.recv::<u8>(0, 2).unwrap();
+            assert_eq!(b.len(), thr + 1);
+            assert!(b.iter().all(|&b| b == 0xcd));
+        }
+    });
+}
+
+/// `waitany` parks on a per-request completion callback, not a poll of
+/// slot 0. When the *second* request in the set completes first, the
+/// waker must fire and return its index promptly — long before the first
+/// request (whose sender stalls) would have completed.
+#[test]
+fn waitany_wakes_on_nonfirst_completion() {
+    let world = World::new(3, NetworkModel::instant());
+    world.run(|comm| {
+        match comm.rank() {
+            0 => {
+                let slow = comm.irecv(1, 7).unwrap(); // index 0: arrives late
+                let fast = comm.irecv(2, 7).unwrap(); // index 1: arrives early
+                let mut set = vmpi::RequestSet::new(vec![slow, fast]);
+                let t0 = Instant::now();
+                let (idx, st) = set.waitany().expect("two requests pending");
+                assert_eq!(idx, 1, "the non-first completion must wake waitany");
+                assert_eq!(st.source, 2);
+                assert!(
+                    t0.elapsed() < Duration::from_millis(400),
+                    "waitany waited on the wrong request ({:?})",
+                    t0.elapsed()
+                );
+                let (idx, st) = set.waitany().expect("one request left");
+                assert_eq!(idx, 0);
+                assert_eq!(st.source, 1);
+                assert!(set.waitany().is_none(), "set must be exhausted");
+            }
+            1 => {
+                // Stall long enough that a waitany stuck on index 0 is
+                // clearly distinguishable from one woken by index 1.
+                std::thread::sleep(Duration::from_millis(600));
+                comm.send(&[1.0f64], 0, 7).unwrap();
+            }
+            _ => {
+                // Small head start so rank 0 is already parked in the
+                // waitany slow path when this message lands.
+                std::thread::sleep(Duration::from_millis(60));
+                comm.send(&[2.0f64], 0, 7).unwrap();
+            }
+        }
+    });
+}

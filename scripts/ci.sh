@@ -179,4 +179,51 @@ for needle in "chaos: peer lost" "hard-crashed per plan" \
   fi
 done
 
+# --- Contention-aware fabric (PR 5) ----------------------------------------
+# Table II reproduction: the full-size granularity sweep must place the
+# optimum message count inside the paper's 4..16 band with
+# one-message-per-face worst. The binary's own shape_checks (including
+# the optimum-band check, which only runs at full size) exit non-zero on
+# failure; the grep below is a belt-and-braces guard on the headline.
+echo "==> table2 granularity sweep (shared fabric cost model)"
+t2_out="$(cargo run --release -q -p amr-bench --bin table2)"
+echo "$t2_out"
+if ! grep -qE "^# observed optimum: (4|8|16) " <<<"$t2_out"; then
+  echo "table2: observed optimum outside the paper's 4..16 band" >&2
+  exit 1
+fi
+
+# Fabric on/off digest parity: the contention model shifts *when*
+# messages become available, never *what* they carry — every variant's
+# checksum digest must be bitwise identical with the fabric on and off.
+fab_mesh=(--npx 2 --npy 2 --nx 6 --ny 6 --nz 6 --num_vars 4
+          --num_tsteps 3 --input single_sphere --ranks_per_node 2)
+for variant in mpi forkjoin dataflow; do
+  echo "==> fabric digest parity: $variant"
+  on_out="$(timeout 60 "$MINIAMR" --variant "$variant" "${fab_mesh[@]}" --fabric on 2>&1)"
+  off_out="$(timeout 60 "$MINIAMR" --variant "$variant" "${fab_mesh[@]}" --fabric off 2>&1)"
+  d_on="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$on_out")"
+  d_off="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$off_out")"
+  if [ -z "$d_on" ] || [ "$d_on" != "$d_off" ]; then
+    echo "fabric parity: $variant digest on='$d_on' off='$d_off'" >&2
+    echo "$on_out" >&2
+    exit 1
+  fi
+done
+
+# CLI validation regression: a meaningless bandwidth must be a usage
+# error at parse time (exit 2), not a Duration::from_secs_f64 panic on
+# the delivery thread mid-run.
+echo "==> network-parameter validation (expect exit 2)"
+set +e
+bw_out="$(timeout 60 "$MINIAMR" --variant mpi --npx 2 --nx 6 --ny 6 --nz 6 \
+    --num_vars 4 --num_tsteps 1 --input single_sphere --bandwidth_gbps 0 2>&1)"
+bw_rc=$?
+set -e
+if [ "$bw_rc" -ne 2 ] || ! grep -q "invalid network parameters" <<<"$bw_out"; then
+  echo "bandwidth validation: expected exit 2 with a usage error, got rc=$bw_rc" >&2
+  echo "$bw_out" >&2
+  exit 1
+fi
+
 echo "CI OK"
