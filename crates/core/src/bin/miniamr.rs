@@ -52,6 +52,9 @@ fn usage() -> ! {
   --fabric_nic_us F                   per-message NIC injection overhead in µs
   --eager_kb N                        eager/rendezvous protocol threshold
                                       in KiB (default 16)
+  --replay {{on|off}}                   task-graph trace & replay cache: reuse
+                                      dependency edges across identical
+                                      timesteps (dataflow; default on)
   --trace                             record and summarize a phase trace
   --stencil {{7|27}}                    stencil kind (default 7)
   --trace-json PATH                   write a merged Chrome trace_event JSON
@@ -126,6 +129,7 @@ fn main() {
     let mut bandwidth_gbps = fab.bandwidth / 1e9;
     let mut ranks_per_node = 0usize;
     let mut fabric_on = true;
+    let mut replay = true;
     let mut trace = false;
     let mut stencil = amr_mesh::stencil::StencilKind::SevenPoint;
     let mut trace_json: Option<String> = None;
@@ -205,6 +209,13 @@ fn main() {
                     next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) * 1e-6
             }
             "--eager_kb" => fab.eager_threshold = parse(next(&mut i)) * 1024,
+            "--replay" => {
+                replay = match next(&mut i).as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage(),
+                }
+            }
             "--trace" => trace = true,
             "--stencil" => {
                 stencil = match next(&mut i).as_str() {
@@ -287,6 +298,7 @@ fn main() {
     cfg.delayed_checksum = delayed_checksum;
     cfg.balance = balance;
     cfg.workers = workers;
+    cfg.replay = replay;
     cfg.trace = trace;
     cfg.stencil = stencil;
     cfg.ckpt_freq = ckpt_freq;
@@ -403,6 +415,17 @@ fn main() {
     println!("final_blocks\t{}", stats.iter().map(|s| s.final_blocks).sum::<usize>());
     println!("blocks_moved\t{moved}");
     println!("msgs_sent\t{msgs}");
+    let spawned: u64 = stats.iter().map(|s| s.tasks_spawned).sum();
+    let replayed: u64 = stats.iter().map(|s| s.tasks_replayed).sum();
+    if spawned > 0 {
+        println!("tasks_spawned\t{spawned}");
+        println!("tasks_replayed\t{replayed}");
+        println!("trace_hits\t{}", stats.iter().map(|s| s.trace_hits).sum::<u64>());
+        println!(
+            "trace_invalidations\t{}",
+            stats.iter().map(|s| s.trace_invalidations).sum::<u64>()
+        );
+    }
     let pool_hits: u64 = stats.iter().map(|s| s.pool.hits).sum();
     let pool_misses: u64 = stats.iter().map(|s| s.pool.misses).sum();
     println!("pool_hits\t{pool_hits}");

@@ -202,6 +202,11 @@ pub fn install_recovery_hook() {
         match store().latest(report.reporter) {
             Some(ck) => {
                 let restored = ck.restore();
+                // Restored state resumes with pre-restore block uids and
+                // plans gone: any cached task trace is structurally
+                // stale. The hook has no Runtime handle, so bump the
+                // process-global epoch (observed at scope boundaries).
+                taskrt::invalidate_all_traces();
                 let verified = digest_of(&restored) == ck.digest;
                 lines.push(format!(
                     "recovery: rank {} restored from checkpoint (tstep {}, stage {}, {} blocks, {} bytes)",

@@ -78,6 +78,11 @@ pub struct Config {
     /// worker (the locality policy credited for the IPC gain, §V-B);
     /// disable for ablation studies.
     pub immediate_successor: bool,
+    /// Task-graph trace & replay cache (`--replay on|off`; DataFlow
+    /// only). Once a timestep's submission stream stabilizes, dependency
+    /// edges replay from a frozen trace instead of re-running claim-table
+    /// analysis; regrid and checkpoint restore invalidate the cache.
+    pub replay: bool,
     /// Checkpoint period in stages (`--ckpt_freq`; 0 = no checkpoints).
     /// Each rank snapshots its recoverable state into the process-global
     /// [`crate::checkpoint::store`] so the chaos recovery hook can
@@ -127,6 +132,7 @@ impl Config {
             validate_tol: 0.05,
             trace: false,
             immediate_successor: true,
+            replay: true,
             ckpt_freq: 0,
             chaos: None,
             legacy_group_offsets: false,

@@ -59,6 +59,18 @@ pub use stats::{PhaseTimes, RunStats};
 
 use vmpi::{Comm, NetworkModel, World};
 
+/// Task-dependency object id of a mesh block.
+///
+/// Block uids come from `amr_mesh`'s own counter, which is independent
+/// of the `taskrt::ObjId::fresh` counter backing communication-buffer
+/// and checksum objects. The mesh counter starts at the high bit so the
+/// two id spaces stay disjoint — an aliased id would invent dependency
+/// edges between unrelated tasks and phantom races under depsan.
+pub fn block_obj(uid: u64) -> taskrt::ObjId {
+    debug_assert!(uid >> 63 == 1, "block uids live in the high id namespace");
+    taskrt::ObjId(uid)
+}
+
 /// Runs one rank of the configured variant (call from inside
 /// [`vmpi::World::run`] or an equivalent harness).
 pub fn run_rank(cfg: &Config, comm: Comm) -> RunStats {

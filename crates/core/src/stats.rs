@@ -55,6 +55,13 @@ pub struct RunStats {
     pub checkpoints_taken: usize,
     /// Tasks spawned (hybrid variants).
     pub tasks_spawned: u64,
+    /// Tasks whose dependency edges came from a replayed trace (DataFlow
+    /// with `--replay on`).
+    pub tasks_replayed: u64,
+    /// Trace-scope iterations replayed entirely from a frozen trace.
+    pub trace_hits: u64,
+    /// Trace invalidations (regrid / repartition / restore).
+    pub trace_invalidations: u64,
     /// Buffer-pool reuse counters at the end of the run (hit rate ≈ 1
     /// once the pool is warm — allocation-free steady state).
     pub pool: shmem::PoolStats,

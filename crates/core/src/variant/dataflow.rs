@@ -46,6 +46,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     let rt = Arc::new(Runtime::with_config(taskrt::RuntimeConfig {
         workers: cfg.workers.max(1),
         immediate_successor: cfg.immediate_successor,
+        replay: cfg.replay,
     }));
     let comm = Arc::new(comm);
     rt.set_obs_rank(comm.rank() as u32);
@@ -75,10 +76,18 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     // The delayed-validation pipeline: local sums of the previous
     // checkpoint, still possibly being produced by in-flight tasks.
     let mut pending: Option<PendingChecksum> = None;
+    // One persistent dependency object for every checkpoint's checksum
+    // slots: a fresh ObjId per checkpoint would make each timestep's
+    // submission stream structurally unique and defeat trace replay.
+    let checksum_obj = ObjId::fresh();
     let flops = Arc::new(AtomicU64::new(0));
 
     let mut stage_counter = 0usize;
     for ts in 0..cfg.num_tsteps {
+        // One trace scope per timestep: after the stream stabilizes
+        // (unchanged mesh and plan), dependency edges replay from the
+        // cached trace instead of re-running claim-table analysis.
+        let ts_scope = rt.trace_scope(0);
         for _stage in 0..cfg.stages_per_ts {
             stage_counter += 1;
             for g in 0..cfg.num_groups() {
@@ -97,18 +106,21 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
             }
             if stage_counter.is_multiple_of(cfg.checksum_freq) {
                 let sw = Stopwatch::start();
-                let fresh = spawn_local_checksum(&rt, &state, cfg, mesh_epoch, trace.as_ref());
                 if cfg.delayed_checksum {
                     // Validate the *previous* checkpoint; only its slots
                     // must be quiescent (taskwait with dependencies).
+                    // This runs before the new checkpoint's local sums
+                    // are spawned: the slots object is shared, so the
+                    // waiter must only see the previous writers.
                     if let Some(prev) = pending.take() {
                         rt.taskwait_on(&[Region::whole(prev.obj)]);
                         let local = prev.combine();
                         let total = checksum_remote(&comm, &local);
                         record_validation(&mut stats, &mut prev_checksum, total, prev.total_cells, prev.epoch, cfg.validate_tol);
                     }
-                    pending = Some(fresh);
+                    pending = Some(spawn_local_checksum(&rt, &state, cfg, mesh_epoch, trace.as_ref(), checksum_obj));
                 } else {
+                    let fresh = spawn_local_checksum(&rt, &state, cfg, mesh_epoch, trace.as_ref(), checksum_obj);
                     rt.taskwait();
                     let local = fresh.combine();
                     let total = checksum_remote(&comm, &local);
@@ -124,6 +136,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                 crate::checkpoint::maybe_checkpoint(&state, &mut stats, stage_counter, ts, mesh_epoch);
             }
         }
+        drop(ts_scope);
         if (ts + 1) % cfg.refine_freq == 0 {
             let sw = Stopwatch::start();
             // Explicit barrier before refinement (Algorithm 4).
@@ -139,6 +152,9 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
             mesh_epoch += 1;
             plan = Arc::new(CommPlan::build(cfg, &state.dir, state.n_ranks));
             bufs = Buffers::alloc(&plan, state.rank, gmax, cfg.separate_buffers);
+            // Regrid/load-balance changed block uids and buffer objects:
+            // every cached trace is structurally stale.
+            rt.invalidate_traces();
             sw.stop(&mut stats.times.refine);
         }
     }
@@ -168,7 +184,11 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     }
     total_sw.stop(&mut stats.times.total);
     stats.flops = flops.load(Ordering::Relaxed);
-    stats.tasks_spawned = rt.stats().spawned;
+    let rts = rt.stats();
+    stats.tasks_spawned = rts.spawned;
+    stats.tasks_replayed = rts.replayed_tasks;
+    stats.trace_hits = rts.trace_hits;
+    stats.trace_invalidations = rts.trace_invalidations;
     stats.final_blocks = state.blocks.len();
     stats.pool = state.pool.stats();
     stats.trace = trace;
@@ -176,7 +196,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
 }
 
 fn block_region(layout: &BlockLayout, block: &BlockData, vars: std::ops::Range<usize>) -> Region {
-    Region::new(ObjId(block.uid), layout.var_elem_range(vars))
+    Region::new(crate::block_obj(block.uid), layout.var_elem_range(vars))
 }
 
 fn spawn_stencil(
@@ -423,10 +443,10 @@ fn spawn_local_checksum(
     cfg: &Config,
     epoch: u64,
     trace: Option<&Trace>,
+    obj: ObjId,
 ) -> PendingChecksum {
     let nv = cfg.params.num_vars;
     let blocks = state.local_blocks();
-    let obj = ObjId::fresh();
     let slots = Arc::new(Mutex::new(vec![Vec::new(); blocks.len()]));
     for (i, block) in blocks.into_iter().enumerate() {
         let layout = state.layout;

@@ -25,7 +25,7 @@ use amr_mesh::data::BlockData;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use taskrt::{ObjId, Region, Runtime};
+use taskrt::{Region, Runtime};
 use vmpi::{Comm, RequestSet};
 
 /// Runs the fork-join hybrid variant on one rank.
@@ -34,6 +34,8 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     let rt = Runtime::with_config(taskrt::RuntimeConfig {
         workers: cfg.workers.max(1),
         immediate_successor: cfg.immediate_successor,
+        // Fork-join opens no trace scopes; keep the machinery inert.
+        replay: false,
     });
     rt.set_obs_rank(comm.rank() as u32);
     let mut state = RankState::init(cfg, comm.rank(), comm.size());
@@ -261,8 +263,8 @@ fn communicate(
             let vars2 = vars.clone();
             let t = t.clone();
             let deps = vec![
-                taskrt::Access::read(Region::new(ObjId(src.uid), layout.var_elem_range(vars2.clone()))),
-                taskrt::Access::read_write(Region::new(ObjId(dst.uid), layout.var_elem_range(vars2.clone()))),
+                taskrt::Access::read(Region::new(crate::block_obj(src.uid), layout.var_elem_range(vars2.clone()))),
+                taskrt::Access::read_write(Region::new(crate::block_obj(dst.uid), layout.var_elem_range(vars2.clone()))),
             ];
             let tr = trace.cloned();
             let pool = Arc::clone(&state.pool);
@@ -285,7 +287,7 @@ fn communicate(
             let vars2 = vars.clone();
             let (bdir, side) = (*bdir, *side);
             let deps = vec![taskrt::Access::read_write(Region::new(
-                ObjId(b.uid),
+                crate::block_obj(b.uid),
                 layout.var_elem_range(vars2.clone()),
             ))];
             rt.spawn(deps, move || apply_boundary(&layout, &b, bdir, side, vars2.clone()));
@@ -320,7 +322,7 @@ fn communicate(
                         lo..lo + t.elems_per_var * g,
                     )),
                     taskrt::Access::read_write(Region::new(
-                        ObjId(dst.uid),
+                        crate::block_obj(dst.uid),
                         layout.var_elem_range(vars2.clone()),
                     )),
                 ];

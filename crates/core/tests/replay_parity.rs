@@ -1,0 +1,76 @@
+//! Replay must be invisible to the numerics: `--replay on` and
+//! `--replay off` produce bitwise-identical checksum digests, including
+//! across regrids (trace invalidation) and checkpoint publication, and
+//! both match the MPI-only reference.
+
+use miniamr::config::{Config, Variant};
+use miniamr::stats::RunStats;
+use vmpi::NetworkModel;
+
+fn base_config() -> Config {
+    let mut cfg = Config::smoke_test();
+    cfg.variant = Variant::DataFlow;
+    // Long enough for the trace to warm up (cold shadow + two identical
+    // recordings) and replay inside each regrid epoch, with regrids and
+    // checkpoints mid-run exercising invalidation.
+    cfg.num_tsteps = 10;
+    cfg.refine_freq = 5;
+    cfg.ckpt_freq = 8;
+    cfg.delayed_checksum = true;
+    cfg
+}
+
+fn run(cfg: &Config) -> Vec<RunStats> {
+    let stats = miniamr::run_world(cfg, cfg.params.num_ranks(), NetworkModel::instant());
+    for s in &stats {
+        assert_eq!(s.checksums_failed, 0, "rank {} failed validations", s.rank);
+        assert!(s.checksums_passed > 0, "rank {} validated nothing", s.rank);
+    }
+    stats
+}
+
+#[test]
+fn replay_on_off_digests_match() {
+    let mut on = base_config();
+    on.replay = true;
+    let mut off = base_config();
+    off.replay = false;
+
+    let stats_on = run(&on);
+    let stats_off = run(&off);
+
+    let d_on = stats_on[0].checksum_digest();
+    let d_off = stats_off[0].checksum_digest();
+    for s in stats_on.iter().chain(&stats_off) {
+        assert_eq!(s.checksum_digest(), d_on, "digest differs on rank {}", s.rank);
+    }
+    assert_eq!(d_on, d_off, "replay changed the numerics");
+
+    // The replay run must actually have replayed (otherwise this parity
+    // check is vacuous) and invalidated across the regrids.
+    let replayed: u64 = stats_on.iter().map(|s| s.tasks_replayed).sum();
+    let hits: u64 = stats_on.iter().map(|s| s.trace_hits).sum();
+    let invalidations: u64 = stats_on.iter().map(|s| s.trace_invalidations).sum();
+    assert!(replayed > 0, "replay never engaged: {stats_on:?}");
+    assert!(hits > 0, "no full-iteration trace hit");
+    assert!(invalidations > 0, "regrids did not invalidate the trace");
+
+    // And the replay-off run must not have.
+    assert_eq!(stats_off.iter().map(|s| s.tasks_replayed).sum::<u64>(), 0);
+    assert_eq!(stats_off.iter().map(|s| s.trace_hits).sum::<u64>(), 0);
+}
+
+/// Cross-variant anchor: the data-flow variant with replay matches the
+/// serial MPI-only reference bit for bit.
+#[test]
+fn replayed_dataflow_matches_mpi_only() {
+    let mut df = base_config();
+    df.replay = true;
+    let mut mpi = base_config();
+    mpi.variant = Variant::MpiOnly;
+    mpi.delayed_checksum = false;
+
+    let d_df = run(&df)[0].checksum_digest();
+    let d_mpi = run(&mpi)[0].checksum_digest();
+    assert_eq!(d_df, d_mpi, "replayed data-flow diverged from the reference");
+}

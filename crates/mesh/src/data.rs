@@ -84,7 +84,13 @@ impl BlockLayout {
     }
 }
 
-static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+/// Block uids start at the high bit: they share the task runtime's
+/// dependency-object id space with `taskrt::ObjId::fresh` ids (both end
+/// up as claim-table keys and depsan object ids), but the two counters
+/// are independent. Starting this one at `1 << 63` keeps the spaces
+/// disjoint — an aliased id would invent dependency edges between
+/// unrelated tasks and phantom races under the sanitizer.
+static NEXT_UID: AtomicU64 = AtomicU64::new((1 << 63) + 1);
 
 /// One block's cell data. The buffer is shared (`Arc`) so tasks can hold
 /// region handles; the `uid` identifies this allocation in the task

@@ -150,13 +150,16 @@ pub fn export_chrome(events: &[Event]) -> String {
         let tid = tid_of(e.worker);
         let ts = e.t_us;
         match &e.data {
-            EventData::TaskCreated { id, label, preds } => {
+            EventData::TaskCreated { id, label, preds, replayed } => {
                 em.instant(
                     "task_created",
                     pid,
                     tid,
                     ts,
-                    &format!("\"id\":{id},\"label\":\"{}\",\"preds\":{preds}", esc(label)),
+                    &format!(
+                        "\"id\":{id},\"label\":\"{}\",\"preds\":{preds},\"replayed\":{replayed}",
+                        esc(label)
+                    ),
                 );
             }
             EventData::TaskReady { id } => {
@@ -321,6 +324,15 @@ pub fn export_chrome(events: &[Event]) -> String {
                     &format!("\"peer\":{peer},\"retries\":{retries}"),
                 );
             }
+            EventData::TraceMark { kind, key, tasks } => {
+                em.instant(
+                    &format!("trace_{kind}"),
+                    pid,
+                    tid,
+                    ts,
+                    &format!("\"key\":{key},\"tasks\":{tasks}"),
+                );
+            }
             EventData::Span { kind, start_us, end_us } => {
                 em.slice(kind, pid, tid, *start_us, end_us.saturating_sub(*start_us), "");
             }
@@ -351,7 +363,8 @@ mod tests {
     #[test]
     fn export_is_valid_json_with_processes_and_counters() {
         let events = vec![
-            ev(0, 10, 0, LANE_MAIN, EventData::TaskCreated { id: 1, label: "stencil", preds: 0 }),
+            ev(0, 10, 0, LANE_MAIN, EventData::TaskCreated { id: 1, label: "stencil", preds: 0, replayed: false }),
+            ev(0, 11, 0, LANE_MAIN, EventData::TraceMark { kind: "hit", key: 0, tasks: 1 }),
             ev(1, 12, 0, 0, EventData::TaskReady { id: 1 }),
             ev(2, 15, 0, 0, EventData::TaskStart { id: 1, label: "stencil" }),
             ev(3, 40, 0, 0, EventData::TaskEnd { id: 1, label: "stencil" }),

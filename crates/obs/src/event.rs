@@ -42,6 +42,9 @@ pub enum EventData {
         label: &'static str,
         /// Dependency edges created at registration.
         preds: u32,
+        /// True when the edges were installed from a cached task trace
+        /// instead of fresh claim-table analysis.
+        replayed: bool,
     },
     /// taskrt: a task's last predecessor released; it is now schedulable.
     TaskReady {
@@ -234,6 +237,17 @@ pub enum EventData {
         /// Retransmissions it took.
         retries: u32,
     },
+    /// taskrt: a trace-cache transition (`"record"`, `"hit"`, `"miss"`,
+    /// `"divergence"`, `"invalidate"`). `tasks` is the number of tasks
+    /// the transition covered (trace length, or 0 for invalidations).
+    TraceMark {
+        /// Transition kind.
+        kind: &'static str,
+        /// Trace scope key.
+        key: u64,
+        /// Tasks covered by the transition.
+        tasks: u32,
+    },
     /// core: a coarse phase interval recorded by the `Trace` recorder
     /// (stencil, pack, unpack, ... — the Fig. 1–3 palette).
     Span {
@@ -271,6 +285,7 @@ impl EventData {
             EventData::Retransmit { .. } => "retransmit",
             EventData::CheckpointTaken { .. } => "checkpoint_taken",
             EventData::RankRecovered { .. } => "rank_recovered",
+            EventData::TraceMark { .. } => "trace_mark",
             EventData::Span { .. } => "span",
         }
     }

@@ -3,10 +3,12 @@
 use crate::region::{Access, Region};
 use crate::registry::Registry;
 use crate::scheduler::Scheduler;
-use crate::task::{TaskBody, TaskLinks, TaskShared};
+use crate::task::{AccessList, SuccessorList, TaskBody, TaskLinks, TaskShared};
+use crate::trace::{self, Route, TraceCache};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
 /// Tuning knobs for a [`Runtime`].
@@ -18,12 +20,16 @@ pub struct RuntimeConfig {
     /// next on the same worker (cache-locality policy). Disable for
     /// ablation studies.
     pub immediate_successor: bool,
+    /// Whether the task-graph trace & replay cache is armed (see
+    /// [`Runtime::trace_scope`]). When false, trace scopes are inert and
+    /// every spawn takes fresh claim-table analysis.
+    pub replay: bool,
 }
 
 impl RuntimeConfig {
     /// Default configuration with `workers` threads.
     pub fn with_workers(workers: usize) -> RuntimeConfig {
-        RuntimeConfig { workers, immediate_successor: true }
+        RuntimeConfig { workers, immediate_successor: true, replay: true }
     }
 }
 
@@ -43,6 +49,19 @@ pub struct RuntimeStats {
     /// Holds acquired but not yet released (a nonzero value at shutdown
     /// means a leaked `EventHold`).
     pub outstanding_holds: u64,
+    /// Trace-scope iterations that recorded (no frozen trace yet — the
+    /// replay misses).
+    pub trace_records: u64,
+    /// Trace-scope iterations replayed entirely from a frozen trace.
+    pub trace_hits: u64,
+    /// Replay iterations abandoned mid-scope (submission stream diverged
+    /// from the frozen trace; fell back to fresh analysis).
+    pub trace_divergences: u64,
+    /// Explicit trace invalidations (regrid, repartition, restore).
+    pub trace_invalidations: u64,
+    /// Tasks whose dependency edges were installed from a replayed trace
+    /// (claim table bypassed).
+    pub replayed_tasks: u64,
 }
 
 /// Cached metric handles (a registry lookup takes a lock; the handles are
@@ -53,14 +72,57 @@ pub(crate) struct ObsMetrics {
     pub(crate) edges: obs::Counter,
     pub(crate) blocked: obs::Counter,
     pub(crate) live_hwm: obs::Gauge,
+    pub(crate) replayed_tasks: obs::Counter,
+    pub(crate) trace_records: obs::Counter,
+    pub(crate) trace_hits: obs::Counter,
+    pub(crate) trace_divergences: obs::Counter,
+    pub(crate) trace_invalidations: obs::Counter,
+}
+
+const LIVE_SHARDS: usize = 8;
+
+/// Sharded id → task map of unreleased tasks, kept only for diagnostics
+/// (watchdog dumps, [`Runtime::debug_live_tasks`]). Absent entirely in
+/// release builds without observability, so the spawn/release hot path
+/// pays no lock for it.
+struct LiveSet {
+    shards: Vec<Mutex<HashMap<u64, Weak<TaskShared>>>>,
+}
+
+impl LiveSet {
+    fn new() -> LiveSet {
+        LiveSet { shards: (0..LIVE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    #[inline]
+    fn insert(&self, id: u64, task: Weak<TaskShared>) {
+        self.shards[id as usize % LIVE_SHARDS].lock().insert(id, task);
+    }
+
+    #[inline]
+    fn remove(&self, id: u64) {
+        self.shards[id as usize % LIVE_SHARDS].lock().remove(&id);
+    }
+
+    /// Live tasks sorted by id (diagnostics only).
+    fn snapshot(&self) -> Vec<Arc<TaskShared>> {
+        let mut tasks: Vec<Arc<TaskShared>> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().values().filter_map(Weak::upgrade).collect::<Vec<_>>())
+            .collect();
+        tasks.sort_unstable_by_key(|t| t.id);
+        tasks
+    }
 }
 
 pub(crate) struct RtInner {
     pub registry: Registry,
     pub scheduler: Scheduler,
+    pub(crate) trace: TraceCache,
     next_id: AtomicU64,
     live: AtomicUsize,
-    live_set: Mutex<std::collections::BTreeMap<u64, std::sync::Weak<TaskShared>>>,
+    live_set: Option<LiveSet>,
     wait_lock: Mutex<()>,
     wait_cond: Condvar,
     stat_spawned: AtomicU64,
@@ -68,12 +130,17 @@ pub(crate) struct RtInner {
     stat_ready_at_spawn: AtomicU64,
     pub(crate) stat_holds_acquired: AtomicU64,
     pub(crate) stat_holds_released: AtomicU64,
+    pub(crate) stat_trace_records: AtomicU64,
+    pub(crate) stat_trace_hits: AtomicU64,
+    pub(crate) stat_trace_divergences: AtomicU64,
+    pub(crate) stat_trace_invalidations: AtomicU64,
+    pub(crate) stat_replayed_tasks: AtomicU64,
     /// Virtual rank this runtime serves, for event attribution
     /// ([`obs::UNKNOWN_RANK`] until [`Runtime::set_obs_rank`]).
     pub(crate) obs_rank: AtomicU32,
     pub(crate) obs_metrics: Option<ObsMetrics>,
     /// depsan runtime id (0 while the sanitizer is disabled).
-    san_rt: u64,
+    pub(crate) san_rt: u64,
 }
 
 impl RtInner {
@@ -93,8 +160,10 @@ impl RtInner {
     fn dump_pending(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let live = self.live_set.lock();
-        for task in live.values().filter_map(|w| w.upgrade()) {
+        let Some(live_set) = &self.live_set else {
+            return out;
+        };
+        for task in live_set.snapshot() {
             let pending = task.pending.load(Ordering::Relaxed);
             let events = task.events.load(Ordering::Relaxed);
             let label = if task.label.is_empty() { "<unlabeled>" } else { task.label };
@@ -120,7 +189,9 @@ impl RtInner {
     }
 
     pub(crate) fn task_released(&self, id: u64) {
-        self.live_set.lock().remove(&id);
+        if let Some(live_set) = &self.live_set {
+            live_set.remove(id);
+        }
         if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = self.wait_lock.lock();
             self.wait_cond.notify_all();
@@ -152,12 +223,20 @@ impl Runtime {
     pub fn with_config(config: RuntimeConfig) -> Runtime {
         assert!(config.workers >= 1, "runtime needs at least one worker");
         let (scheduler, locals) = Scheduler::new(config.workers, config.immediate_successor);
+        // The live-task map exists for diagnostics only (watchdog dumps,
+        // `debug_live_tasks`); in release builds without observability or
+        // an explicit debug request it is skipped entirely so spawning
+        // pays no global lock for it.
+        let track_live = cfg!(debug_assertions)
+            || obs::is_enabled()
+            || std::env::var_os("MINIAMR_DEBUG").is_some();
         let inner = Arc::new(RtInner {
             registry: Registry::new(),
             scheduler,
+            trace: TraceCache::new(config.replay),
             next_id: AtomicU64::new(1),
             live: AtomicUsize::new(0),
-            live_set: Mutex::new(std::collections::BTreeMap::new()),
+            live_set: track_live.then(LiveSet::new),
             wait_lock: Mutex::new(()),
             wait_cond: Condvar::new(),
             stat_spawned: AtomicU64::new(0),
@@ -165,12 +244,22 @@ impl Runtime {
             stat_ready_at_spawn: AtomicU64::new(0),
             stat_holds_acquired: AtomicU64::new(0),
             stat_holds_released: AtomicU64::new(0),
+            stat_trace_records: AtomicU64::new(0),
+            stat_trace_hits: AtomicU64::new(0),
+            stat_trace_divergences: AtomicU64::new(0),
+            stat_trace_invalidations: AtomicU64::new(0),
+            stat_replayed_tasks: AtomicU64::new(0),
             obs_rank: AtomicU32::new(obs::UNKNOWN_RANK),
             obs_metrics: obs::is_enabled().then(|| ObsMetrics {
                 spawned: obs::metrics().counter("taskrt.tasks_spawned"),
                 edges: obs::metrics().counter("taskrt.dep_edges"),
                 blocked: obs::metrics().counter("taskrt.tasks_blocked_on_events"),
                 live_hwm: obs::metrics().gauge("taskrt.live_tasks_hwm"),
+                replayed_tasks: obs::metrics().counter("taskrt.replayed_tasks"),
+                trace_records: obs::metrics().counter("taskrt.trace_records"),
+                trace_hits: obs::metrics().counter("taskrt.trace_hits"),
+                trace_divergences: obs::metrics().counter("taskrt.trace_divergences"),
+                trace_invalidations: obs::metrics().counter("taskrt.trace_invalidations"),
             }),
             san_rt: if depsan::is_enabled() { depsan::runtime_created() } else { 0 },
         });
@@ -205,7 +294,7 @@ impl Runtime {
     pub fn task(&self) -> TaskBuilder<'_> {
         TaskBuilder {
             rt: self,
-            accesses: Vec::new(),
+            accesses: AccessList::new(),
             priority: 0,
             label: "",
             body: None,
@@ -214,15 +303,36 @@ impl Runtime {
 
     /// Spawns a task with explicit accesses (convenience for the builder).
     pub fn spawn(&self, accesses: Vec<Access>, body: impl FnOnce() + Send + 'static) {
-        self.spawn_boxed(accesses, 0, "", Box::new(body));
+        self.spawn_boxed(accesses.into(), 0, "", Box::new(body));
+    }
+
+    /// Shared reference to the runtime internals (trace layer plumbing).
+    pub(crate) fn inner(&self) -> &Arc<RtInner> {
+        &self.inner
     }
 
     /// Returns the task's depsan id (0 while the sanitizer is disabled).
-    fn spawn_boxed(&self, accesses: Vec<Access>, priority: i32, label: &'static str, body: TaskBody) -> u64 {
+    fn spawn_boxed(
+        &self,
+        accesses: AccessList,
+        priority: i32,
+        label: &'static str,
+        body: TaskBody,
+    ) -> u64 {
         let inner = &self.inner;
-        // Register with the sanitizer first: spawn order is a topological
+        // Consult the trace cache first: inside a replaying scope the
+        // spawn's predecessors come straight from the frozen trace and the
+        // claim table is bypassed entirely.
+        let route = if inner.trace.enabled {
+            trace::route_spawn(inner, label, priority, &accesses)
+        } else {
+            Route::Untraced
+        };
+        // Register with the sanitizer next: spawn order is a topological
         // order of the declared graph, which is what lets depsan compute
-        // happens-before closures at spawn time.
+        // happens-before closures at spawn time. A replayed spawn goes
+        // through the verifying entry point, which re-checks the trace's
+        // predecessor set against the declared accesses.
         let san_id = if inner.san_rt != 0 {
             let decls: Vec<depsan::DeclAccess> = accesses
                 .iter()
@@ -233,7 +343,13 @@ impl Runtime {
                     write: a.mode.is_write(),
                 })
                 .collect();
-            depsan::task_spawned(inner.san_rt, label, inner.rank(), &decls)
+            if let Route::Replay(preds) = &route {
+                let pred_sans: Vec<u64> =
+                    preds.iter().map(|p| p.san_id).filter(|&s| s != 0).collect();
+                depsan::replayed_task(inner.san_rt, label, inner.rank(), &decls, &pred_sans)
+            } else {
+                depsan::task_spawned(inner.san_rt, label, inner.rank(), &decls)
+            }
         } else {
             0
         };
@@ -248,12 +364,29 @@ impl Runtime {
             // become ready while its edges are still being created.
             pending: AtomicUsize::new(1),
             events: AtomicUsize::new(1),
-            state: Mutex::new(TaskLinks { released: false, successors: Vec::new() }),
+            state: Mutex::new(TaskLinks { released: false, successors: SuccessorList::new() }),
+            bypassed: AtomicBool::new(false),
             rt: Arc::clone(inner),
         });
         let live_now = inner.live.fetch_add(1, Ordering::AcqRel) + 1;
-        inner.live_set.lock().insert(task.id, Arc::downgrade(&task));
-        let edges = inner.registry.register(&task);
+        if let Some(live_set) = &inner.live_set {
+            live_set.insert(task.id, Arc::downgrade(&task));
+        }
+        let (edges, replayed) = match route {
+            Route::Replay(preds) => (trace::install_replayed(inner, &task, &preds), true),
+            route => {
+                // Fresh analysis must see any still-live replayed tasks in
+                // the claim table, so flush them back in first.
+                if inner.trace.enabled {
+                    trace::flush_bypassed(inner);
+                }
+                let edges = inner.registry.register(&task);
+                if matches!(route, Route::Recording) {
+                    trace::record_spawn(inner, &task);
+                }
+                (edges, false)
+            }
+        };
         inner.stat_spawned.fetch_add(1, Ordering::Relaxed);
         inner.stat_edges.fetch_add(edges as u64, Ordering::Relaxed);
         if edges == 0 {
@@ -262,7 +395,12 @@ impl Runtime {
         if let Some(bus) = obs::bus() {
             bus.emit_for_rank(
                 inner.rank(),
-                obs::EventData::TaskCreated { id: task.id, label: task.label, preds: edges as u32 },
+                obs::EventData::TaskCreated {
+                    id: task.id,
+                    label: task.label,
+                    preds: edges as u32,
+                    replayed,
+                },
             );
             if let Some(m) = &inner.obs_metrics {
                 m.spawned.inc();
@@ -303,7 +441,7 @@ impl Runtime {
     pub fn taskwait_on(&self, regions: &[Region]) {
         let done = Arc::new((Mutex::new(false), Condvar::new()));
         let signal = Arc::clone(&done);
-        let accesses = regions.iter().cloned().map(Access::read_write).collect();
+        let accesses: AccessList = regions.iter().cloned().map(Access::read_write).collect();
         let waiter_san = self.spawn_boxed(
             accesses,
             // Jump the queue: the waiter should run as soon as its inputs
@@ -369,6 +507,11 @@ impl Runtime {
             live_tasks: self.inner.live.load(Ordering::Acquire) as u64,
             holds_acquired: acquired,
             outstanding_holds: acquired.saturating_sub(released),
+            trace_records: self.inner.stat_trace_records.load(Ordering::Relaxed),
+            trace_hits: self.inner.stat_trace_hits.load(Ordering::Relaxed),
+            trace_divergences: self.inner.stat_trace_divergences.load(Ordering::Relaxed),
+            trace_invalidations: self.inner.stat_trace_invalidations.load(Ordering::Relaxed),
+            replayed_tasks: self.inner.stat_replayed_tasks.load(Ordering::Relaxed),
         }
     }
 
@@ -381,12 +524,16 @@ impl Runtime {
     /// Diagnostic snapshot of unreleased tasks: `(id, label, pending
     /// predecessor count, outstanding event count)`. Intended for
     /// deadlock post-mortems.
+    /// Live-task tracking is skipped in release builds without
+    /// observability (set `MINIAMR_DEBUG=1` to force it on); this returns
+    /// an empty vector then.
     pub fn debug_live_tasks(&self) -> Vec<(u64, &'static str, usize, usize)> {
-        self.inner
-            .live_set
-            .lock()
-            .values()
-            .filter_map(|w| w.upgrade())
+        let Some(live_set) = &self.inner.live_set else {
+            return Vec::new();
+        };
+        live_set
+            .snapshot()
+            .into_iter()
             .map(|t| {
                 (
                     t.id,
@@ -448,7 +595,7 @@ impl Drop for Runtime {
 /// Fluent task construction: accesses, priority, label, body.
 pub struct TaskBuilder<'rt> {
     rt: &'rt Runtime,
-    accesses: Vec<Access>,
+    accesses: AccessList,
     priority: i32,
     label: &'static str,
     body: Option<TaskBody>,

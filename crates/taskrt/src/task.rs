@@ -9,11 +9,19 @@
 use crate::region::Access;
 use crate::runtime::RtInner;
 use parking_lot::Mutex;
+use smallvec::SmallVec;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 pub(crate) type TaskBody = Box<dyn FnOnce() + Send>;
+
+/// Inline capacity for per-task access lists: miniAMR tasks declare 1–4
+/// accesses almost always (multidep send tasks spill, and that is fine).
+pub(crate) type AccessList = SmallVec<[Access; 4]>;
+/// Inline capacity for successor lists: spares the heap allocation that
+/// a plain `Vec` would make on the first successor push of every task.
+pub(crate) type SuccessorList = SmallVec<[Arc<TaskShared>; 4]>;
 
 pub(crate) struct TaskShared {
     pub id: u64,
@@ -21,19 +29,22 @@ pub(crate) struct TaskShared {
     pub san_id: u64,
     pub priority: i32,
     pub label: &'static str,
-    pub accesses: Vec<Access>,
+    pub accesses: AccessList,
     pub body: Mutex<Option<TaskBody>>,
     /// Predecessors not yet released, plus one registration guard.
     pub pending: AtomicUsize,
     /// Body (counted as 1) plus outstanding event holds.
     pub events: AtomicUsize,
     pub state: Mutex<TaskLinks>,
+    /// True while the task is live but absent from the claim table
+    /// (its edges were installed from a replayed trace).
+    pub bypassed: AtomicBool,
     pub rt: Arc<RtInner>,
 }
 
 pub(crate) struct TaskLinks {
     pub released: bool,
-    pub successors: Vec<Arc<TaskShared>>,
+    pub successors: SuccessorList,
 }
 
 impl TaskShared {
@@ -69,6 +80,13 @@ impl TaskShared {
         // and never while holding the task's own state lock (see the lock
         // ordering note in registry.rs).
         self.rt.registry.remove_task(self);
+        // A replayed task has no registry entries; hand it back to the
+        // trace layer instead (after the removal above, so a concurrent
+        // flush that already inserted entries still gets them removed —
+        // the flush re-checks `released` and removes idempotently).
+        if self.rt.trace.enabled {
+            crate::trace::released_bypassed(&self.rt, self);
+        }
         if let Some(bus) = obs::bus() {
             bus.emit_for_rank(self.rt.rank(), obs::EventData::TaskCompleted { id: self.id });
         }

@@ -1,0 +1,693 @@
+//! Task-graph trace & replay cache.
+//!
+//! Between regrids, an AMR timestep re-submits the *same* task DAG over
+//! the same regions, so the claim-table dependency analysis recomputes
+//! the same answer every iteration. This module amortizes that cost:
+//!
+//! * A [`TraceScope`] (opened by the driver around one iteration's task
+//!   submissions) **records** the submitted stream as a sequence of
+//!   fingerprinted nodes — `hash(label, priority, accesses)` — each with
+//!   the *structural* predecessor set derived from the declarations
+//!   alone (see [`ShadowTable`]). Structural edges, unlike the claim
+//!   table's, are timing-independent: the claim table only links behind
+//!   predecessors that happen to still be live, so its observed edge set
+//!   varies run to run and cannot be replayed soundly.
+//! * Once two consecutive iterations record identical node sequences
+//!   (and every cross-iteration reference lands in an equally-shaped
+//!   iteration), the trace **freezes**. Subsequent matching iterations
+//!   **replay**: predecessor/successor links are installed straight from
+//!   the trace — the claim table is never touched — with edges to
+//!   already-released predecessors skipped, exactly as fresh
+//!   registration would.
+//! * Any divergence — a fingerprint mismatch, a longer or shorter
+//!   stream, an unresolvable cross-iteration reference, or a concurrent
+//!   untraced spawn — **falls back** transparently: live replayed tasks
+//!   are flushed into the claim table (so fresh analysis sees them) and
+//!   the key re-records from scratch.
+//!
+//! ## Invalidation
+//!
+//! Anything that changes the structural identity of the stream — regrid,
+//! load-balance/repartition (fresh buffer `ObjId`s), checkpoint restore —
+//! must invalidate: [`crate::Runtime::invalidate_traces`] bumps a
+//! per-runtime generation, and the free function
+//! [`crate::invalidate_all_traces`] bumps a process-global epoch that
+//! every runtime observes at its next scope boundary (the restore path
+//! has no `Runtime` handle).
+//!
+//! ## Soundness of the structural predecessor set
+//!
+//! The shadow table keeps, per object, the set of *uncovered* prior
+//! accesses of the stream. A new access links behind every conflicting
+//! entry; a write then removes the entries its range fully covers. An
+//! entry is only removed when a later write that conflicts with every
+//! possible future conflictor of that entry has taken an edge to it, so
+//! orderings dropped from the table are always enforced transitively —
+//! the replayed graph is a transitive reduction of "conflicting accesses
+//! execute in submission order", which is the ordering contract of the
+//! claim table.
+//!
+//! ## Bypassed-task flush
+//!
+//! Replayed tasks are invisible to the claim table. While any of them
+//! are live, a spawn that goes through fresh analysis first *flushes*
+//! them: their accesses are inserted into the claim table, and a task
+//! that released mid-flush is removed again (removal is idempotent), so
+//! fresh analysis never misses a conflict with a live replayed task.
+
+use crate::region::{Access, ObjId};
+use crate::runtime::RtInner;
+use crate::task::TaskShared;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Cross-iteration references reach at most this many iterations back.
+/// Nodes needing more never freeze (the key keeps recording, which is
+/// correct, only unamortized).
+const RING_DEPTH: usize = 8;
+
+/// After this many consecutive recordings that failed to stabilize, the
+/// key goes dormant (no more recording) until the next invalidation —
+/// a non-periodic stream (e.g. fresh `ObjId`s every iteration) would
+/// otherwise grow the shadow table without bound and never replay.
+const MAX_UNSTABLE: u32 = 16;
+
+/// Process-global invalidation epoch ([`crate::invalidate_all_traces`]).
+static GLOBAL_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Bumps the process-global trace epoch: every runtime discards its
+/// cached traces at the next trace-scope boundary. For invalidation
+/// sites that have no `Runtime` handle (the checkpoint-restore hook);
+/// prefer [`crate::Runtime::invalidate_traces`] when one is available.
+pub fn invalidate_all_traces() {
+    GLOBAL_EPOCH.fetch_add(1, Ordering::AcqRel);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Structural fingerprint of one submission. Labels are hashed by value
+/// (not pointer) so identical streams from different call sites match.
+fn fingerprint(label: &str, priority: i32, accesses: &[Access]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in label.as_bytes() {
+        h = mix(h, u64::from(b));
+    }
+    h = mix(h, priority as u32 as u64);
+    for a in accesses {
+        h = mix(h, a.mode.is_write() as u64 | ((matches!(a.mode, crate::region::AccessMode::Out) as u64) << 1));
+        h = mix(h, a.region.obj.0);
+        h = mix(h, a.region.start as u64);
+        h = mix(h, a.region.end as u64);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Trace data.
+
+/// One position of a recorded iteration: the submission fingerprint plus
+/// structural predecessors as `(iteration delta, position)` — delta 0 is
+/// the current iteration, 1 the previous, and so on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct TraceNode {
+    fp: u64,
+    preds: Vec<(u32, u32)>,
+}
+
+/// A frozen, replayable iteration trace.
+struct TaskTrace {
+    nodes: Vec<TraceNode>,
+}
+
+/// Structural claim table over stream positions (see the module docs for
+/// the covering argument).
+#[derive(Default)]
+struct ShadowTable {
+    objects: HashMap<ObjId, Vec<ShadowEntry>>,
+}
+
+struct ShadowEntry {
+    /// Absolute iteration counter of the key.
+    iter: u64,
+    /// Position within that iteration.
+    pos: u32,
+    start: usize,
+    end: usize,
+    write: bool,
+}
+
+impl ShadowTable {
+    /// Records the accesses of the submission at (`iter`, `pos`) and
+    /// returns its structural predecessors, deduplicated.
+    fn analyze(&mut self, iter: u64, pos: u32, accesses: &[Access]) -> Vec<(u32, u32)> {
+        let mut preds: Vec<(u32, u32)> = Vec::new();
+        for a in accesses {
+            let write = a.mode.is_write();
+            let (start, end) = (a.region.start, a.region.end);
+            let entries = self.objects.entry(a.region.obj).or_default();
+            for e in entries.iter() {
+                if e.iter == iter && e.pos == pos {
+                    continue; // several accesses of one task on one object
+                }
+                if (write || e.write) && start.max(e.start) < end.min(e.end) {
+                    preds.push(((iter - e.iter) as u32, e.pos));
+                }
+            }
+            if write {
+                // A write shadows every entry its range fully covers: any
+                // future conflictor of a covered entry also conflicts
+                // with this write, so ordering flows transitively.
+                entries.retain(|e| {
+                    (e.iter == iter && e.pos == pos) || e.start < start || end < e.end
+                });
+            }
+            entries.push(ShadowEntry { iter, pos, start, end, write });
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+}
+
+/// Per-key cache state (checked out into the active scope's thread
+/// local while a scope is open, so spawns touch no locks).
+#[derive(Default)]
+struct KeyState {
+    /// Absolute iteration counter (shadow entry timestamps).
+    iter: u64,
+    /// Frozen trace (replay source), once stable.
+    trace: Option<Arc<TaskTrace>>,
+    /// Previous recording, compared against for stability.
+    last_nodes: Option<Vec<TraceNode>>,
+    shadow: ShadowTable,
+    /// Task instances of the most recent iterations, newest first
+    /// (`ring[0]` is the previous iteration): the resolution targets of
+    /// cross-iteration predecessor references.
+    ring: VecDeque<Vec<Arc<TaskShared>>>,
+    /// Consecutive recordings that failed to stabilize.
+    unstable: u32,
+    /// Recording disabled until the next invalidation.
+    dormant: bool,
+    /// Untraced-spawn counter at the end of the key's last scope. A
+    /// change by the next scope means out-of-band tasks were spawned in
+    /// between; they may still be live yet are invisible to the ring, so
+    /// the key's history cannot be trusted any more.
+    untraced_seen: u64,
+}
+
+impl KeyState {
+    fn reset(&mut self) {
+        let iter = self.iter;
+        *self = KeyState::default();
+        self.iter = iter;
+    }
+}
+
+/// Per-runtime trace cache, embedded in `RtInner`.
+pub(crate) struct TraceCache {
+    /// Replay enabled ([`crate::RuntimeConfig::replay`]); when false the
+    /// whole machinery is inert and scopes are no-ops.
+    pub(crate) enabled: bool,
+    keys: Mutex<HashMap<u64, KeyState>>,
+    generation: AtomicU64,
+    seen_global: AtomicU64,
+    /// Live replayed tasks not present in the claim table.
+    bypassed: Mutex<Vec<Weak<TaskShared>>>,
+    pub(crate) bypassed_live: AtomicUsize,
+    /// Spawns that went through fresh analysis outside the active scope
+    /// (divergence guard for concurrent submitters).
+    untraced_spawns: AtomicU64,
+}
+
+impl TraceCache {
+    pub(crate) fn new(enabled: bool) -> TraceCache {
+        TraceCache {
+            enabled,
+            keys: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            seen_global: AtomicU64::new(GLOBAL_EPOCH.load(Ordering::Acquire)),
+            bypassed: Mutex::new(Vec::new()),
+            bypassed_live: AtomicUsize::new(0),
+            untraced_spawns: AtomicU64::new(0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The active scope (thread-local: all scope-path work is lock-free).
+
+enum ScopeMode {
+    Record,
+    Replay { trace: Arc<TaskTrace>, cursor: usize },
+    /// Diverged or dormant: remaining spawns take the fresh path.
+    Inert,
+}
+
+struct ActiveScope {
+    /// Identity of the runtime the scope belongs to (`Arc::as_ptr`).
+    rt: *const RtInner,
+    key: u64,
+    generation: u64,
+    untraced_at_start: u64,
+    mode: ScopeMode,
+    state: KeyState,
+    /// Tasks submitted in this scope, in order.
+    instance: Vec<Arc<TaskShared>>,
+    /// Nodes recorded in this scope (record mode).
+    nodes: Vec<TraceNode>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveScope>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for one traced iteration: open around a periodic batch of
+/// task submissions (one AMR timestep), drop before structural changes.
+/// Obtained from [`crate::Runtime::trace_scope`]; scopes must not nest
+/// on one thread and submissions from other threads while a scope is
+/// open force the scope back to fresh analysis.
+pub struct TraceScope<'rt> {
+    rt: &'rt crate::Runtime,
+}
+
+impl Drop for TraceScope<'_> {
+    fn drop(&mut self) {
+        scope_end(self.rt.inner());
+    }
+}
+
+/// How a spawn routes through the cache.
+pub(crate) enum Route {
+    /// No scope on this thread (or a different runtime's): fresh
+    /// analysis, counted as untraced for the divergence guard.
+    Untraced,
+    /// Scope is inert/diverged: fresh analysis, not counted.
+    Inert,
+    /// Recording: fresh analysis plus shadow recording.
+    Recording,
+    /// Replay matched: install exactly these predecessors, skip the
+    /// claim table.
+    Replay(Vec<Arc<TaskShared>>),
+}
+
+// ---------------------------------------------------------------------------
+// Scope lifecycle.
+
+pub(crate) fn scope_begin(inner: &Arc<RtInner>, key: u64) {
+    let cache = &inner.trace;
+    if !cache.enabled {
+        return;
+    }
+    // Lazily observe the process-global epoch (checkpoint restore).
+    let global = GLOBAL_EPOCH.load(Ordering::Acquire);
+    if cache.seen_global.swap(global, Ordering::AcqRel) != global {
+        invalidate(inner);
+    }
+    let mut state = {
+        let mut keys = cache.keys.lock();
+        keys.remove(&key).unwrap_or_default()
+    };
+    // Out-of-band spawns since the key's last scope: neither a frozen
+    // trace nor the recorded history covers them, so start the key over
+    // (counts toward dormancy, like a divergence).
+    let untraced_now = cache.untraced_spawns.load(Ordering::Acquire);
+    if untraced_now != state.untraced_seen {
+        if state.trace.is_some() || state.last_nodes.is_some() || !state.ring.is_empty() {
+            let unstable = state.unstable + 1;
+            state.reset();
+            state.unstable = unstable;
+            state.dormant = unstable >= MAX_UNSTABLE;
+        }
+        state.untraced_seen = untraced_now;
+    }
+    let mode = if state.dormant {
+        ScopeMode::Inert
+    } else if let Some(trace) = state.trace.clone() {
+        ScopeMode::Replay { trace, cursor: 0 }
+    } else {
+        ScopeMode::Record
+    };
+    if matches!(mode, ScopeMode::Record) {
+        inner.stat_trace_records.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &inner.obs_metrics {
+            m.trace_records.inc();
+        }
+        emit_mark(inner, "record", key, state.last_nodes.as_ref().map_or(0, |n| n.len()));
+    }
+    let cap = match &mode {
+        ScopeMode::Replay { trace, .. } => trace.nodes.len(),
+        _ => state.last_nodes.as_ref().map_or(0, |n| n.len()),
+    };
+    state.iter += 1;
+    let scope = ActiveScope {
+        rt: Arc::as_ptr(inner),
+        key,
+        generation: cache.generation.load(Ordering::Acquire),
+        untraced_at_start: cache.untraced_spawns.load(Ordering::Acquire),
+        mode,
+        state,
+        instance: Vec::with_capacity(cap),
+        nodes: Vec::with_capacity(cap),
+    };
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        assert!(slot.is_none(), "trace scopes must not nest on one thread");
+        *slot = Some(scope);
+    });
+}
+
+pub(crate) fn scope_end(inner: &Arc<RtInner>) {
+    if !inner.trace.enabled {
+        return;
+    }
+    let Some(mut scope) = ACTIVE.with(|a| a.borrow_mut().take()) else {
+        return;
+    };
+    debug_assert_eq!(scope.rt, Arc::as_ptr(inner), "trace scope closed on a different runtime");
+    let cache = &inner.trace;
+    // An invalidation while the scope was open (possible from a recovery
+    // hook on another thread) makes the checked-out state stale: discard
+    // it rather than resurrecting pre-invalidation traces.
+    if cache.generation.load(Ordering::Acquire) != scope.generation {
+        flush_bypassed(inner);
+        return;
+    }
+    match std::mem::replace(&mut scope.mode, ScopeMode::Inert) {
+        ScopeMode::Replay { trace, cursor } => {
+            // The per-spawn untraced check cannot see out-of-band spawns
+            // that landed after the last replayed submission; they taint
+            // the ring for *future* replays (this scope's edges are fine).
+            let tainted =
+                cache.untraced_spawns.load(Ordering::Acquire) != scope.untraced_at_start;
+            if cursor == trace.nodes.len() && !tainted {
+                inner.stat_trace_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &inner.obs_metrics {
+                    m.trace_hits.inc();
+                }
+                emit_mark(inner, "hit", scope.key, cursor);
+                scope.state.unstable = 0;
+                push_ring(&mut scope.state, std::mem::take(&mut scope.instance));
+            } else {
+                // Fewer submissions than the trace promised.
+                diverge_scope(inner, &mut scope);
+            }
+        }
+        ScopeMode::Record => {
+            // Untraced spawns that interleaved with the recording taint
+            // it: their (possibly still-live) tasks are not in the
+            // recorded structure.
+            if cache.untraced_spawns.load(Ordering::Acquire) != scope.untraced_at_start {
+                diverge_scope(inner, &mut scope);
+                let mut keys = cache.keys.lock();
+                keys.insert(scope.key, std::mem::take(&mut scope.state));
+                return;
+            }
+            let nodes = std::mem::take(&mut scope.nodes);
+            let stable = scope.state.last_nodes.as_ref() == Some(&nodes);
+            if stable && replay_ready(&nodes, &scope.state.ring) {
+                scope.state.trace = Some(Arc::new(TaskTrace { nodes }));
+                scope.state.last_nodes = None;
+                scope.state.shadow = ShadowTable::default();
+                scope.state.unstable = 0;
+            } else {
+                if scope.state.last_nodes.is_some() && !stable {
+                    scope.state.unstable += 1;
+                }
+                scope.state.last_nodes = Some(nodes);
+            }
+            push_ring(&mut scope.state, std::mem::take(&mut scope.instance));
+            if scope.state.unstable >= MAX_UNSTABLE {
+                scope.state.reset();
+                scope.state.dormant = true;
+            }
+        }
+        // Dormant pass-through or post-divergence tail: nothing recorded.
+        ScopeMode::Inert => {}
+    }
+    scope.state.untraced_seen = cache.untraced_spawns.load(Ordering::Acquire);
+    let mut keys = cache.keys.lock();
+    keys.insert(scope.key, std::mem::take(&mut scope.state));
+}
+
+/// A frozen trace is only usable if every cross-iteration reference
+/// resolves inside the ring as it will exist during replay. `ring[d-1]`
+/// at replay time is this iteration for `d == 1` and `ring[d-2]` now for
+/// deeper deltas (everything shifts by one when this instance is
+/// pushed).
+fn replay_ready(nodes: &[TraceNode], ring: &VecDeque<Vec<Arc<TaskShared>>>) -> bool {
+    nodes.iter().all(|n| {
+        n.preds.iter().all(|&(delta, pos)| match delta as usize {
+            0 | 1 => (pos as usize) < nodes.len(),
+            d if d - 2 < ring.len() => (pos as usize) < ring[d - 2].len(),
+            _ => false,
+        })
+    })
+}
+
+fn push_ring(state: &mut KeyState, instance: Vec<Arc<TaskShared>>) {
+    state.ring.push_front(instance);
+    state.ring.truncate(RING_DEPTH);
+}
+
+// ---------------------------------------------------------------------------
+// Spawn-path hooks.
+
+/// Classifies a spawn before the task object exists. Replay matching and
+/// divergence detection happen here; the returned route tells the
+/// runtime whether to register with the claim table.
+pub(crate) fn route_spawn(
+    inner: &Arc<RtInner>,
+    label: &str,
+    priority: i32,
+    accesses: &[Access],
+) -> Route {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(scope) = slot.as_mut() else {
+            inner.trace.untraced_spawns.fetch_add(1, Ordering::AcqRel);
+            return Route::Untraced;
+        };
+        if scope.rt != Arc::as_ptr(inner) {
+            inner.trace.untraced_spawns.fetch_add(1, Ordering::AcqRel);
+            return Route::Untraced;
+        }
+        match &mut scope.mode {
+            ScopeMode::Inert => Route::Inert,
+            ScopeMode::Record => Route::Recording,
+            ScopeMode::Replay { trace, cursor } => {
+                // A concurrent untraced spawn may conflict with replayed
+                // tasks the claim table cannot see; fall back for the
+                // rest of the scope.
+                if inner.trace.untraced_spawns.load(Ordering::Acquire) != scope.untraced_at_start {
+                    diverge_scope(inner, scope);
+                    return Route::Inert;
+                }
+                let node = match trace.nodes.get(*cursor) {
+                    Some(node) if node.fp == fingerprint(label, priority, accesses) => node,
+                    _ => {
+                        // Extra submission or fingerprint mismatch.
+                        diverge_scope(inner, scope);
+                        return Route::Inert;
+                    }
+                };
+                let mut preds = Vec::with_capacity(node.preds.len());
+                for &(delta, pos) in &node.preds {
+                    let task = if delta == 0 {
+                        scope.instance.get(pos as usize)
+                    } else {
+                        scope.state.ring.get(delta as usize - 1).and_then(|it| it.get(pos as usize))
+                    };
+                    match task {
+                        Some(t) => preds.push(Arc::clone(t)),
+                        None => {
+                            diverge_scope(inner, scope);
+                            return Route::Inert;
+                        }
+                    }
+                }
+                *cursor += 1;
+                Route::Replay(preds)
+            }
+        }
+    })
+}
+
+/// Installs the replayed predecessor links of `task` (claim table
+/// bypassed) and registers it for flushing. Returns the number of edges
+/// actually installed (released predecessors are skipped, exactly as
+/// fresh registration would skip them).
+pub(crate) fn install_replayed(
+    inner: &Arc<RtInner>,
+    task: &Arc<TaskShared>,
+    preds: &[Arc<TaskShared>],
+) -> usize {
+    let mut edges = 0;
+    for pred in preds {
+        let mut links = pred.state.lock();
+        if links.released {
+            continue;
+        }
+        links.successors.push(Arc::clone(task));
+        task.pending.fetch_add(1, Ordering::AcqRel);
+        edges += 1;
+        if let Some(bus) = obs::bus() {
+            bus.emit_for_rank(
+                inner.rank(),
+                obs::EventData::DepEdge { pred: pred.id, succ: task.id },
+            );
+        }
+    }
+    // Visible to flushers before the registration guard drops (the task
+    // cannot release while the guard is held).
+    task.bypassed.store(true, Ordering::Release);
+    inner.trace.bypassed_live.fetch_add(1, Ordering::AcqRel);
+    inner.trace.bypassed.lock().push(Arc::downgrade(task));
+    inner.stat_replayed_tasks.fetch_add(1, Ordering::Relaxed);
+    if let Some(m) = &inner.obs_metrics {
+        m.replayed_tasks.inc();
+    }
+    ACTIVE.with(|a| {
+        if let Some(scope) = a.borrow_mut().as_mut() {
+            scope.instance.push(Arc::clone(task));
+        }
+    });
+    edges
+}
+
+/// Records a freshly-analyzed spawn into the open record-mode scope
+/// (shadow analysis + node + instance).
+pub(crate) fn record_spawn(inner: &Arc<RtInner>, task: &Arc<TaskShared>) {
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(scope) = slot.as_mut() else { return };
+        if scope.rt != Arc::as_ptr(inner) || !matches!(scope.mode, ScopeMode::Record) {
+            return;
+        }
+        let pos = scope.instance.len() as u32;
+        let preds = scope.state.shadow.analyze(scope.state.iter, pos, &task.accesses);
+        scope.nodes.push(TraceNode {
+            fp: fingerprint(task.label, task.priority, &task.accesses),
+            preds,
+        });
+        scope.instance.push(Arc::clone(task));
+    });
+}
+
+/// Marks the open scope diverged: flushes bypassed tasks into the claim
+/// table and resets the key so it re-records from scratch.
+fn diverge_scope(inner: &Arc<RtInner>, scope: &mut ActiveScope) {
+    scope.mode = ScopeMode::Inert;
+    // Divergences count toward dormancy too: a stream that freezes and
+    // then keeps diverging must not thrash record/replay forever.
+    let unstable = scope.state.unstable + 1;
+    scope.state.reset();
+    scope.state.unstable = unstable;
+    scope.state.dormant = unstable >= MAX_UNSTABLE;
+    scope.instance.clear();
+    scope.nodes.clear();
+    flush_bypassed(inner);
+    inner.stat_trace_divergences.fetch_add(1, Ordering::Relaxed);
+    if let Some(m) = &inner.obs_metrics {
+        m.trace_divergences.inc();
+    }
+    emit_mark(inner, "divergence", scope.key, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Bypassed-task flush.
+
+/// Inserts every live bypassed (replayed) task into the claim table so
+/// fresh analysis can see it. Runs before any fresh registration while
+/// bypassed tasks are live, and on divergence/invalidation. A task that
+/// releases concurrently is removed again afterwards — removal is
+/// idempotent — so no orphan entries survive.
+pub(crate) fn flush_bypassed(inner: &RtInner) {
+    if inner.trace.bypassed_live.load(Ordering::Acquire) == 0 {
+        // Drop dead weak refs lazily only when a flush actually runs.
+        return;
+    }
+    let list = std::mem::take(&mut *inner.trace.bypassed.lock());
+    for weak in list {
+        let Some(task) = weak.upgrade() else { continue };
+        if !task.bypassed.swap(false, Ordering::AcqRel) {
+            continue; // released (or flushed by a racing flusher) already
+        }
+        inner.trace.bypassed_live.fetch_sub(1, Ordering::AcqRel);
+        inner.registry.insert_entries(&task);
+        // Releases observed from here on remove the entries themselves;
+        // a release that won the race against the insert is cleaned up
+        // now.
+        if task.state.lock().released {
+            inner.registry.remove_task(&task);
+        }
+    }
+}
+
+/// Release-path hook: forget a bypassed task that is going away.
+pub(crate) fn released_bypassed(inner: &RtInner, task: &TaskShared) {
+    if task.bypassed.swap(false, Ordering::AcqRel) {
+        inner.trace.bypassed_live.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation.
+
+/// Drops every cached trace of this runtime and flushes bypassed tasks.
+pub(crate) fn invalidate(inner: &Arc<RtInner>) {
+    let cache = &inner.trace;
+    if !cache.enabled {
+        return;
+    }
+    cache.generation.fetch_add(1, Ordering::AcqRel);
+    cache.keys.lock().clear();
+    flush_bypassed(inner);
+    inner.stat_trace_invalidations.fetch_add(1, Ordering::Relaxed);
+    if let Some(m) = &inner.obs_metrics {
+        m.trace_invalidations.inc();
+    }
+    emit_mark(inner, "invalidate", 0, 0);
+}
+
+fn emit_mark(inner: &RtInner, kind: &'static str, key: u64, tasks: usize) {
+    if let Some(bus) = obs::bus() {
+        bus.emit_for_rank(
+            inner.rank(),
+            obs::EventData::TraceMark { kind, key, tasks: tasks as u32 },
+        );
+    }
+}
+
+impl crate::Runtime {
+    /// Opens a trace scope for one iteration of a periodic submission
+    /// stream (one AMR timestep). The first iterations after an
+    /// invalidation record; once the stream stabilizes, matching
+    /// iterations replay cached dependency edges without touching the
+    /// claim table, falling back to fresh analysis on any divergence.
+    ///
+    /// Drop the returned guard when the iteration's submissions are
+    /// done. Scopes must not nest on one thread.
+    pub fn trace_scope(&self, key: u64) -> TraceScope<'_> {
+        scope_begin(self.inner(), key);
+        TraceScope { rt: self }
+    }
+
+    /// Invalidates every cached trace of this runtime. Call whenever the
+    /// structural identity of the submission stream changes: regrid,
+    /// load-balance/repartition, checkpoint restore.
+    pub fn invalidate_traces(&self) {
+        invalidate(self.inner());
+    }
+}

@@ -304,7 +304,11 @@ fn event_hold_released_from_foreign_thread() {
 
 #[test]
 fn immediate_successor_can_be_disabled() {
-    let rt = Runtime::with_config(RuntimeConfig { workers: 2, immediate_successor: false });
+    let rt = Runtime::with_config(RuntimeConfig {
+        workers: 2,
+        immediate_successor: false,
+        replay: true,
+    });
     let obj = ObjId::fresh();
     let sum = Arc::new(AtomicUsize::new(0));
     for _ in 0..50 {

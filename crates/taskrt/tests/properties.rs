@@ -42,7 +42,11 @@ proptest! {
         workers in 1usize..5,
         immediate in any::<bool>(),
     ) {
-        let rt = Runtime::with_config(RuntimeConfig { workers, immediate_successor: immediate });
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers,
+            immediate_successor: immediate,
+            replay: true,
+        });
         let objs: Vec<ObjId> = (0..4).map(|_| ObjId::fresh()).collect();
         let n = specs.len();
         let seq = Arc::new(AtomicUsize::new(0));

@@ -1,0 +1,346 @@
+//! Trace & replay cache: correctness under replay, divergence fallback,
+//! explicit and global invalidation, and interleaved untraced spawns.
+//!
+//! Every test submits tasks whose bodies log their execution into a
+//! shared vector; correctness is judged *after* `taskwait` by checking
+//! the observed order against the declared dependency structure, so a
+//! broken replay shows up as an ordering violation (or a deadlock → test
+//! timeout), never as a panic inside a worker thread.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use taskrt::{Access, ObjId, Region, Runtime, RuntimeConfig};
+
+/// Submits `n` tasks chained by `inout` on `obj`, each appending its
+/// submission index to `log`, inside trace scope `key`.
+fn chained_iteration(rt: &Runtime, key: u64, obj: ObjId, n: usize) -> Arc<Mutex<Vec<usize>>> {
+    let log = Arc::new(Mutex::new(Vec::with_capacity(n)));
+    let scope = rt.trace_scope(key);
+    for i in 0..n {
+        let log = Arc::clone(&log);
+        rt.task()
+            .inout(Region::new(obj, 0..1))
+            .body(move || log.lock().push(i))
+            .spawn();
+    }
+    drop(scope);
+    rt.taskwait();
+    log
+}
+
+fn assert_in_submission_order(log: &Arc<Mutex<Vec<usize>>>, n: usize, ctx: &str) {
+    let got = log.lock().clone();
+    let want: Vec<usize> = (0..n).collect();
+    assert_eq!(got, want, "{ctx}: chained tasks ran out of submission order");
+}
+
+/// A stable chained stream replays after the warm-up recordings and the
+/// replayed iterations execute in exactly the recorded order.
+#[test]
+fn replayed_chain_preserves_order() {
+    let rt = Runtime::new(2);
+    let obj = ObjId::fresh();
+    const N: usize = 100;
+    for iter in 0..10 {
+        let log = chained_iteration(&rt, 1, obj, N);
+        assert_in_submission_order(&log, N, &format!("iteration {iter}"));
+    }
+    let s = rt.stats();
+    assert!(s.trace_hits > 0, "stable stream never replayed: {s:?}");
+    assert!(s.replayed_tasks >= N as u64, "no tasks took the replay path: {s:?}");
+    assert_eq!(s.trace_divergences, 0, "stable stream should never diverge: {s:?}");
+}
+
+/// With `replay: false` the cache is inert: scopes are free, nothing is
+/// recorded, nothing replays.
+#[test]
+fn replay_disabled_is_inert() {
+    let rt = Runtime::with_config(RuntimeConfig { workers: 2, immediate_successor: true, replay: false });
+    let obj = ObjId::fresh();
+    for iter in 0..6 {
+        let log = chained_iteration(&rt, 1, obj, 50);
+        assert_in_submission_order(&log, 50, &format!("iteration {iter}"));
+    }
+    let s = rt.stats();
+    assert_eq!(s.trace_hits, 0);
+    assert_eq!(s.replayed_tasks, 0);
+    assert_eq!(s.trace_records, 0);
+}
+
+/// Submitting a stream that differs from the frozen trace mid-scope must
+/// fall back to fresh analysis without deadlocking or misordering: the
+/// tasks replayed before the divergence point and the fresh tasks after
+/// it still form one correctly ordered chain (the bypassed-task flush
+/// re-inserts replayed claims before fresh analysis runs).
+#[test]
+fn divergent_submission_falls_back() {
+    let rt = Runtime::new(2);
+    let obj = ObjId::fresh();
+    const N: usize = 80;
+
+    // Stabilize stream A and confirm it replays.
+    for _ in 0..5 {
+        chained_iteration(&rt, 7, obj, N);
+    }
+    let before = rt.stats();
+    assert!(before.trace_hits > 0, "stream A never froze: {before:?}");
+
+    // Stream B: identical prefix, then a task with a different access
+    // range — the fingerprint mismatches and the scope diverges with
+    // half the chain already installed from the trace.
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let scope = rt.trace_scope(7);
+    for i in 0..N {
+        let log = Arc::clone(&log);
+        let range = if i == N / 2 { 0..2 } else { 0..1 };
+        rt.task()
+            .inout(Region::new(obj, range))
+            .body(move || log.lock().push(i))
+            .spawn();
+    }
+    drop(scope);
+    rt.taskwait();
+    assert_in_submission_order(&log, N, "divergent iteration");
+
+    let after = rt.stats();
+    assert!(
+        after.trace_divergences > before.trace_divergences,
+        "divergence not detected: {after:?}"
+    );
+
+    // Stream B is now the stable stream; it re-records and re-freezes.
+    let hits_after_divergence = after.trace_hits;
+    for _ in 0..6 {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let scope = rt.trace_scope(7);
+        for i in 0..N {
+            let log = Arc::clone(&log);
+            let range = if i == N / 2 { 0..2 } else { 0..1 };
+            rt.task().inout(Region::new(obj, range)).body(move || log.lock().push(i)).spawn();
+        }
+        drop(scope);
+        rt.taskwait();
+        assert_in_submission_order(&log, N, "re-recorded iteration");
+    }
+    let s = rt.stats();
+    assert!(s.trace_hits > hits_after_divergence, "stream B never re-froze: {s:?}");
+}
+
+/// `Runtime::invalidate_traces` (regrid / repartition) drops every frozen
+/// trace: the next iterations record again, then replay resumes.
+#[test]
+fn explicit_invalidation_forces_rerecord() {
+    let rt = Runtime::new(2);
+    let obj = ObjId::fresh();
+    const N: usize = 60;
+    for _ in 0..5 {
+        chained_iteration(&rt, 3, obj, N);
+    }
+    let before = rt.stats();
+    assert!(before.trace_hits > 0);
+
+    rt.invalidate_traces();
+
+    // The iteration right after an invalidation must record, not hit.
+    chained_iteration(&rt, 3, obj, N);
+    let mid = rt.stats();
+    assert_eq!(mid.trace_hits, before.trace_hits, "hit served from an invalidated trace");
+    assert!(mid.trace_invalidations > before.trace_invalidations);
+
+    // After the warm-up recordings (cold shadow + two identical warm
+    // passes) replay resumes.
+    for iter in 0..5 {
+        let log = chained_iteration(&rt, 3, obj, N);
+        assert_in_submission_order(&log, N, &format!("post-invalidation iteration {iter}"));
+    }
+    let s = rt.stats();
+    assert!(s.trace_hits > before.trace_hits, "replay never resumed after invalidation: {s:?}");
+}
+
+/// `taskrt::invalidate_all_traces` (checkpoint restore: no runtime handle
+/// at the hook site) bumps a process-global epoch that scopes observe
+/// lazily — same record-again-then-resume behavior as the explicit path.
+#[test]
+fn global_epoch_invalidation_forces_rerecord() {
+    let rt = Runtime::new(2);
+    let obj = ObjId::fresh();
+    const N: usize = 60;
+    for _ in 0..5 {
+        chained_iteration(&rt, 4, obj, N);
+    }
+    let before = rt.stats();
+    assert!(before.trace_hits > 0);
+
+    taskrt::invalidate_all_traces();
+
+    chained_iteration(&rt, 4, obj, N);
+    let mid = rt.stats();
+    assert_eq!(mid.trace_hits, before.trace_hits, "hit served across a global epoch bump");
+    assert!(mid.trace_invalidations > before.trace_invalidations);
+
+    for _ in 0..5 {
+        chained_iteration(&rt, 4, obj, N);
+    }
+    let s = rt.stats();
+    assert!(s.trace_hits > before.trace_hits, "replay never resumed after epoch bump: {s:?}");
+}
+
+/// An untraced spawn between scopes that conflicts with the frozen stream
+/// resets the key: the next scope records instead of replaying a trace
+/// whose predecessor structure no longer reflects the claim table.
+#[test]
+fn untraced_spawn_between_scopes_resets_key() {
+    let rt = Runtime::new(2);
+    let obj = ObjId::fresh();
+    const N: usize = 60;
+    for _ in 0..5 {
+        chained_iteration(&rt, 9, obj, N);
+    }
+    let before = rt.stats();
+    assert!(before.trace_hits > 0);
+
+    // Conflicting task outside any scope.
+    rt.task().inout(Region::new(obj, 0..1)).body(|| {}).spawn();
+    rt.taskwait();
+
+    let log = chained_iteration(&rt, 9, obj, N);
+    assert_in_submission_order(&log, N, "post-untraced iteration");
+    let mid = rt.stats();
+    assert_eq!(mid.trace_hits, before.trace_hits, "replayed over an untraced conflicting spawn");
+
+    // The key re-records and replay resumes once the stream re-freezes.
+    for _ in 0..5 {
+        chained_iteration(&rt, 9, obj, N);
+    }
+    let s = rt.stats();
+    assert!(s.trace_hits > before.trace_hits, "replay never resumed after key reset: {s:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Property test: replay preserves the declared partial order.
+
+/// Deterministic xorshift generator — keeps the streams reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Decl {
+    obj: usize,
+    start: usize,
+    end: usize,
+    write: bool,
+}
+
+/// Two declarations conflict if they overlap on the same object and at
+/// least one writes.
+fn conflicts(a: &[Decl], b: &[Decl]) -> bool {
+    a.iter().any(|x| {
+        b.iter().any(|y| {
+            x.obj == y.obj && x.start < y.end && y.start < x.end && (x.write || y.write)
+        })
+    })
+}
+
+/// Random streams over a handful of objects, run repeatedly in one trace
+/// scope: every iteration — recorded or replayed — must execute as a
+/// linear extension of the partial order declared by the accesses. Each
+/// task appends its index to a log from its body; a predecessor's body
+/// completes before its successor starts, so for every conflicting pair
+/// the earlier submission must appear earlier in the log.
+///
+/// Each iteration ends with a full-range `inout` sweep per object (the
+/// AMR shape: stencils rewrite every block every timestep). Without the
+/// sweeps, reads that no later write fully covers linger in the shadow
+/// tables with ever-growing iteration deltas and consecutive recordings
+/// never stabilize — a documented limitation: the cache targets periodic
+/// streams that overwrite their data each period.
+#[test]
+fn replayed_iterations_are_linear_extensions() {
+    const OBJECTS: usize = 4;
+    const RANDOM_TASKS: usize = 56;
+    const TASKS: usize = RANDOM_TASKS + OBJECTS;
+    const ITERS: usize = 8;
+    const SEEDS: [u64; 3] = [0x9e3779b97f4a7c15, 0xdeadbeefcafef00d, 0x0123456789abcdef];
+
+    for seed in SEEDS {
+        let mut rng = Rng(seed);
+        let objs: Vec<ObjId> = (0..OBJECTS).map(|_| ObjId::fresh()).collect();
+
+        // Generate the stream once; resubmit it identically each iteration.
+        let mut stream: Vec<Vec<Decl>> = (0..RANDOM_TASKS)
+            .map(|_| {
+                let n_acc = 1 + rng.below(2) as usize;
+                (0..n_acc)
+                    .map(|_| {
+                        let obj = rng.below(OBJECTS as u64) as usize;
+                        let start = rng.below(4) as usize;
+                        let end = start + 1 + rng.below(3) as usize;
+                        let write = rng.below(3) != 0;
+                        Decl { obj, start, end, write }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Closing sweeps: one full-range write per object.
+        for obj in 0..OBJECTS {
+            stream.push(vec![Decl { obj, start: 0, end: 8, write: true }]);
+        }
+
+        let rt = Runtime::new(3);
+        for iter in 0..ITERS {
+            let log: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::with_capacity(TASKS)));
+            let scope = rt.trace_scope(42);
+            for (i, decls) in stream.iter().enumerate() {
+                let log = Arc::clone(&log);
+                rt.task()
+                    .accesses(decls.iter().map(|d| {
+                        let r = Region::new(objs[d.obj], d.start..d.end);
+                        if d.write {
+                            Access::read_write(r)
+                        } else {
+                            Access::read(r)
+                        }
+                    }))
+                    .body(move || log.lock().push(i))
+                    .spawn();
+            }
+            drop(scope);
+            rt.taskwait();
+
+            let order = log.lock().clone();
+            assert_eq!(order.len(), TASKS, "seed {seed:#x} iter {iter}: tasks lost");
+            let mut pos = vec![0usize; TASKS];
+            for (p, &t) in order.iter().enumerate() {
+                pos[t] = p;
+            }
+            for i in 0..TASKS {
+                for j in (i + 1)..TASKS {
+                    if conflicts(&stream[i], &stream[j]) {
+                        assert!(
+                            pos[i] < pos[j],
+                            "seed {seed:#x} iter {iter}: conflicting pair ({i}, {j}) \
+                             executed out of submission order"
+                        );
+                    }
+                }
+            }
+        }
+        let s = rt.stats();
+        assert!(s.trace_hits > 0, "seed {seed:#x}: stream never replayed: {s:?}");
+        assert_eq!(s.trace_divergences, 0, "seed {seed:#x}: identical stream diverged: {s:?}");
+    }
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSONL files (BENCH_*.json) emitted by the
+criterion shim (CRITERION_JSON=out.json cargo bench).
+
+Each line is {"group", "name", "ns_per_iter", ...}; benchmarks are keyed
+by (group, name). Prints a table of ratios and exits 1 if any benchmark
+present in both files regressed (new/old - 1) beyond the noise threshold.
+
+Usage:
+    bench_compare.py OLD.json NEW.json [--threshold 0.35] [--quiet]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    runs = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                runs[(rec["group"], rec["name"])] = float(rec["ns_per_iter"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as e:
+                sys.exit(f"{path}:{lineno}: malformed benchmark record: {e}")
+    if not runs:
+        sys.exit(f"{path}: no benchmark records")
+    return runs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline JSONL (e.g. BENCH_PR5.json)")
+    ap.add_argument("new", help="candidate JSONL (e.g. BENCH_PR6.json)")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.35,
+        help="relative regression tolerated before failing; the shim "
+        "reports fastest-of-few-samples, so single-run noise is large "
+        "(default: %(default)s)",
+    )
+    ap.add_argument("--quiet", action="store_true", help="only print regressions")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        sys.exit("no benchmarks in common between the two files")
+
+    regressions = []
+    width = max(len(f"{g}/{n}") for g, n in shared)
+    for key in shared:
+        g, n = key
+        ratio = new[key] / old[key]
+        regressed = ratio > 1.0 + args.threshold
+        if regressed:
+            regressions.append((key, ratio))
+        if not args.quiet or regressed:
+            marker = "REGRESSED" if regressed else ("improved" if ratio < 1.0 - args.threshold else "")
+            print(
+                f"{f'{g}/{n}':{width}}  {old[key]:>14.1f} -> {new[key]:>14.1f} ns"
+                f"  ({ratio:6.2f}x)  {marker}"
+            )
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    for g, n in only_old:
+        print(f"note: {g}/{n} only in {args.old}")
+    for g, n in only_new:
+        print(f"note: {g}/{n} only in {args.new}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%} "
+            f"over {len(shared)} shared benchmarks"
+        )
+        return 1
+    print(f"\nOK: {len(shared)} shared benchmarks within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

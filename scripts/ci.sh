@@ -226,4 +226,71 @@ if [ "$bw_rc" -ne 2 ] || ! grep -q "invalid network parameters" <<<"$bw_out"; th
   exit 1
 fi
 
+# --- Task-graph trace & replay cache (PR 6) --------------------------------
+# Replay must be numerically invisible: with a run long enough for the
+# trace to warm up (3 recordings per regrid epoch) and replay, and with
+# regrids + checkpoints invalidating mid-run, every variant's checksum
+# digest must be bitwise identical with --replay on and off.
+replay_mesh=(--npx 2 --npy 2 --nx 6 --ny 6 --nz 6 --num_vars 4
+             --num_tsteps 10 --refine_freq 5 --ckpt_freq 8
+             --input single_sphere)
+df_on_out=""
+for variant in mpi forkjoin dataflow; do
+  echo "==> replay digest parity: $variant"
+  on_out="$(timeout 60 "$MINIAMR" --variant "$variant" "${replay_mesh[@]}" --replay on 2>&1)"
+  off_out="$(timeout 60 "$MINIAMR" --variant "$variant" "${replay_mesh[@]}" --replay off 2>&1)"
+  d_on="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$on_out")"
+  d_off="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$off_out")"
+  if [ -z "$d_on" ] || [ "$d_on" != "$d_off" ]; then
+    echo "replay parity: $variant digest on='$d_on' off='$d_off'" >&2
+    echo "$on_out" >&2
+    exit 1
+  fi
+  if [ "$variant" = dataflow ]; then df_on_out="$on_out"; fi
+done
+
+# The parity check is vacuous unless the data-flow replay-on run actually
+# replayed — assert the counters the binary prints.
+replayed="$(awk '$1 == "tasks_replayed" { print $2 }' <<<"$df_on_out")"
+hits="$(awk '$1 == "trace_hits" { print $2 }' <<<"$df_on_out")"
+if [ -z "$replayed" ] || [ "$replayed" -eq 0 ] || [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+  echo "replay parity: dataflow --replay on never replayed (tasks_replayed='$replayed', trace_hits='$hits')" >&2
+  echo "$df_on_out" >&2
+  exit 1
+fi
+
+# Sanitized replay: depsan re-verifies every replayed edge set against
+# its own record-mode shadow, so --sanitize --replay on must still come
+# back clean. (The depsan legacy-bug regression above already runs with
+# replay at its default of on, proving real violations still exit 97.)
+echo "==> sanitized replay smoke: dataflow"
+san_out="$(timeout 60 "$MINIAMR" --variant dataflow --sanitize "${replay_mesh[@]}" --replay on 2>&1)"
+if ! grep -q "depsan: no violations detected" <<<"$san_out"; then
+  echo "sanitized replay run did not report a clean bill" >&2
+  echo "$san_out" >&2
+  exit 1
+fi
+
+# Replay perf gate: spawn_1000_chained replays a stable 1000-task chain
+# and must stay under 1.5 ms/iter (the PR 5 claim-table path took
+# ~7.7 ms); bench_compare.py guards the rest of the suite against
+# extreme regressions relative to the committed PR 6 baseline (loose
+# threshold: the shim reports fastest-of-few-samples on a shared box).
+echo "==> replay bench gate (spawn_1000_chained <= 1.5 ms)"
+bench_json="$(mktemp /tmp/miniamr-bench-XXXXXX.json)"
+rm -f "$bench_json"  # the shim appends; start clean
+CRITERION_JSON="$bench_json" cargo bench -q -p amr-bench --bench runtime >/dev/null
+python3 - "$bench_json" <<'PY'
+import json, sys
+runs = {(r["group"], r["name"]): r["ns_per_iter"]
+        for r in map(json.loads, open(sys.argv[1]))}
+chained = runs[("taskrt", "spawn_1000_chained")]
+assert chained <= 1_500_000, f"spawn_1000_chained too slow: {chained:.0f} ns/iter"
+norep = runs[("taskrt", "spawn_1000_chained_noreplay")]
+assert chained < norep / 2, (
+    f"replay not ahead of fresh analysis: {chained:.0f} vs {norep:.0f} ns/iter")
+PY
+python3 scripts/bench_compare.py BENCH_PR6.json "$bench_json" --threshold 1.0 --quiet
+rm -f "$bench_json"
+
 echo "CI OK"
