@@ -62,6 +62,17 @@ fn usage() -> ! {
   --metrics                           print the runtime metrics registry
   --watchdog_ms N                     stall watchdog: dump diagnostics and exit
                                       {} if no event-bus progress for N ms
+  --perf_report PATH                  write the causal performance report
+                                      (per-timestep critical paths, per-rank
+                                      busy/idle/overlap, latency histograms)
+                                      as schema-versioned JSON
+  --metrics_jsonl PATH                stream interim perf reports to PATH as
+                                      JSONL, one line per report interval
+  --report_interval N                 timesteps between JSONL report lines
+                                      (default 1)
+  --obs_ring N                        per-stripe event-bus ring capacity
+                                      (default {}; raise it if a traced run
+                                      reports overflow drops)
   --legacy_group_offsets              reproduce the seed's buggy group-relative
                                       comm-buffer offsets (known deadlock)
   --sanitize                          dependency sanitizer: check declared
@@ -86,6 +97,7 @@ fn usage() -> ! {
                                       with a structured report after restoring
                                       and verifying the latest checkpoint",
         obs::STALL_EXIT_CODE,
+        obs::DEFAULT_RING_CAPACITY,
         depsan::SAN_EXIT_CODE,
         vmpi::PEER_LOST_EXIT_CODE
     );
@@ -135,6 +147,10 @@ fn main() {
     let mut trace_json: Option<String> = None;
     let mut metrics = false;
     let mut watchdog_ms = 0u64;
+    let mut perf_report: Option<String> = None;
+    let mut metrics_jsonl: Option<String> = None;
+    let mut report_interval = 1u32;
+    let mut obs_ring = obs::DEFAULT_RING_CAPACITY;
     let mut legacy_group_offsets = false;
     let mut sanitize = false;
     let mut chaos: Option<vmpi::ChaosConfig> = None;
@@ -227,6 +243,10 @@ fn main() {
             "--trace-json" => trace_json = Some(next(&mut i)),
             "--metrics" => metrics = true,
             "--watchdog_ms" => watchdog_ms = parse(next(&mut i)) as u64,
+            "--perf_report" => perf_report = Some(next(&mut i)),
+            "--metrics_jsonl" => metrics_jsonl = Some(next(&mut i)),
+            "--report_interval" => report_interval = parse(next(&mut i)) as u32,
+            "--obs_ring" => obs_ring = parse(next(&mut i)).max(1),
             "--legacy_group_offsets" => legacy_group_offsets = true,
             "--sanitize" => sanitize = true,
             "--chaos_seed" => chaos.get_or_insert_with(Default::default).seed = parse(next(&mut i)) as u64,
@@ -361,8 +381,13 @@ fn main() {
     }
     // Enable the observability layer *before* the world is built so the
     // runtime/transport layers cache their metric handles at construction.
-    if trace_json.is_some() || metrics || watchdog_ms > 0 {
-        obs::enable();
+    if trace_json.is_some()
+        || metrics
+        || watchdog_ms > 0
+        || perf_report.is_some()
+        || metrics_jsonl.is_some()
+    {
+        obs::enable_with_capacity(obs_ring);
     }
     // Likewise the sanitizer: runtimes and buffers register with depsan at
     // construction time, so it must be on before any of them exist.
@@ -376,6 +401,18 @@ fn main() {
     let _watchdog = (watchdog_ms > 0).then(|| {
         obs::Watchdog::start(obs::WatchdogConfig::exiting(Duration::from_millis(watchdog_ms)))
     });
+    // The collector drains the bus online (so long runs never overflow
+    // the rings) and hands back the merged stream for both the Chrome
+    // export and the perf report — one drain, two consumers.
+    let collector = obs::bus()
+        .filter(|_| trace_json.is_some() || perf_report.is_some() || metrics_jsonl.is_some())
+        .map(|bus| {
+            obs::report::Collector::start(
+                bus,
+                metrics_jsonl.as_ref().map(std::path::PathBuf::from),
+                report_interval,
+            )
+        });
     let start = std::time::Instant::now();
     let stats = miniamr::run_world(&cfg, n_ranks, net);
     let wall = start.elapsed();
@@ -452,24 +489,33 @@ fn main() {
             println!("metric:{name}\t{value}");
         }
     }
-    if let Some(path) = trace_json {
-        if let Some(bus) = obs::bus() {
-            let drained = bus.drain();
-            if drained.dropped > 0 {
-                eprintln!(
-                    "miniamr: trace ring overflow dropped {} events (raise obs ring capacity or shrink the run)",
-                    drained.dropped
-                );
-            }
-            let json = obs::export_chrome(&drained.events);
-            match std::fs::write(&path, &json) {
-                Ok(()) => eprintln!(
-                    "miniamr: wrote {} trace events to {path}",
-                    drained.events.len()
-                ),
+    if let Some(collector) = collector {
+        let (events, dropped) = collector.finish();
+        if dropped > 0 {
+            eprintln!(
+                "miniamr: trace ring overflow dropped {dropped} events (raise obs ring capacity or shrink the run)"
+            );
+        }
+        if let Some(path) = &trace_json {
+            let json = obs::export_chrome(&events);
+            match std::fs::write(path, &json) {
+                Ok(()) => eprintln!("miniamr: wrote {} trace events to {path}", events.len()),
                 Err(e) => {
                     eprintln!("miniamr: failed to write {path}: {e}");
                     std::process::exit(1);
+                }
+            }
+        }
+        if perf_report.is_some() || metrics_jsonl.is_some() {
+            let report = obs::report::PerfReport::from_events(&events, dropped);
+            eprint!("{}", report.human_summary());
+            if let Some(path) = &perf_report {
+                match std::fs::write(path, report.to_json()) {
+                    Ok(()) => eprintln!("miniamr: wrote perf report to {path}"),
+                    Err(e) => {
+                        eprintln!("miniamr: failed to write {path}: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
         }

@@ -111,14 +111,26 @@ impl Trace {
     /// [`obs::EventData::Span`], stamped in *bus* time so it merges with
     /// the runtime/transport events in the Chrome export.
     pub fn record<R>(&self, kind: Kind, f: impl FnOnce() -> R) -> R {
+        if let Some(bus) = obs::bus() {
+            // Single clock for both views: the recorder stores the same
+            // µs readings the bus event carries, so the analyzer's
+            // span-based numbers and the recorder's agree exactly
+            // (not just statistically) on drop-free runs.
+            let start_us = bus.now_us();
+            let out = f();
+            let end_us = bus.now_us();
+            self.events.lock().push(Event {
+                kind,
+                start: Duration::from_micros(start_us),
+                end: Duration::from_micros(end_us),
+            });
+            bus.emit(obs::EventData::Span { kind: kind.name(), start_us, end_us });
+            return out;
+        }
         let start = self.epoch.elapsed();
-        let bus_start = obs::bus().map(|b| b.now_us());
         let out = f();
         let end = self.epoch.elapsed();
         self.events.lock().push(Event { kind, start, end });
-        if let (Some(bus), Some(start_us)) = (obs::bus(), bus_start) {
-            bus.emit(obs::EventData::Span { kind: kind.name(), start_us, end_us: bus.now_us() });
-        }
         out
     }
 
@@ -150,51 +162,24 @@ impl Trace {
     /// *different kinds* were active simultaneously — the "phases
     /// overlap" measure of Fig. 3. Returns 0 for traces with fewer than
     /// two events.
+    ///
+    /// Deprecation note: the sweep line itself now lives in
+    /// [`obs::span::overlap_fraction`], where the causal analyzer applies
+    /// it to bus-sourced spans; this method is kept as a thin wrapper so
+    /// existing callers (and the CLI's per-rank summary line) keep
+    /// working. New code that already has bus events should go through
+    /// `obs::span::SpanGraph` instead.
     pub fn overlap_fraction(&self) -> f64 {
-        let events = self.events();
-        if events.len() < 2 {
-            return 0.0;
-        }
-        // Sweep line over starts/ends.
-        #[derive(PartialEq, Eq, PartialOrd, Ord)]
-        enum Edge {
-            End,
-            Start,
-        }
-        let mut points: Vec<(Duration, Edge, Kind)> = Vec::with_capacity(events.len() * 2);
-        for e in &events {
-            points.push((e.start, Edge::Start, e.kind));
-            points.push((e.end, Edge::End, e.kind));
-        }
-        points.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        let mut active: std::collections::BTreeMap<Kind, usize> = Default::default();
-        let mut overlap = Duration::ZERO;
-        let mut busy = Duration::ZERO;
-        let mut prev = points[0].0;
-        for (t, edge, kind) in points {
-            let span = t.saturating_sub(prev);
-            let kinds_active = active.values().filter(|&&c| c > 0).count();
-            if kinds_active >= 1 {
-                busy += span;
-            }
-            if kinds_active >= 2 {
-                overlap += span;
-            }
-            match edge {
-                Edge::Start => *active.entry(kind).or_insert(0) += 1,
-                Edge::End => {
-                    if let Some(c) = active.get_mut(&kind) {
-                        *c = c.saturating_sub(1);
-                    }
-                }
-            }
-            prev = t;
-        }
-        if busy.is_zero() {
-            0.0
-        } else {
-            overlap.as_secs_f64() / busy.as_secs_f64()
-        }
+        // Micro-second quantization on purpose: the bus `Span` mirror is
+        // stamped in µs, so sweeping the recorder at the same resolution
+        // keeps the two numbers comparable (sub-µs intervals vanish on
+        // both sides instead of one).
+        let spans: Vec<(u32, u64, u64)> = self
+            .events()
+            .iter()
+            .map(|e| (e.kind as u32, e.start.as_micros() as u64, e.end.as_micros() as u64))
+            .collect();
+        obs::span::overlap_fraction(&spans)
     }
 
     /// Largest gap with no recorded activity within the busy span (the
@@ -422,6 +407,38 @@ mod tests {
         assert_eq!(lane("Stencil"), "         S");
         assert_eq!(lane("Pack"), "p         ");
         assert_eq!(lane("Send"), "     >    ");
+    }
+
+    #[test]
+    fn overlap_parity_with_obs_span_graph() {
+        // The recorder's wrapper and the analyzer's bus-sourced graph
+        // must agree on the same intervals (CI enforces <= 0.02 on real
+        // runs; deterministic inputs agree to rounding).
+        let t = Trace::new();
+        t.record_interval(Kind::Stencil, Duration::from_micros(0), Duration::from_micros(100));
+        t.record_interval(Kind::Unpack, Duration::from_micros(50), Duration::from_micros(150));
+        t.record_interval(Kind::Pack, Duration::from_micros(160), Duration::from_micros(200));
+        let old = t.overlap_fraction();
+        assert!((old - 50.0 / 190.0).abs() < 1e-9, "{old}");
+        let events: Vec<obs::Event> = t
+            .events()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| obs::Event {
+                seq: i as u64,
+                t_us: e.end.as_micros() as u64,
+                rank: 0,
+                worker: 0,
+                data: obs::EventData::Span {
+                    kind: e.kind.name(),
+                    start_us: e.start.as_micros() as u64,
+                    end_us: e.end.as_micros() as u64,
+                },
+            })
+            .collect();
+        let g = obs::span::SpanGraph::build(&events);
+        let new = g.rank_overlap(0);
+        assert!((new - old).abs() <= 0.02, "old {old} vs new {new}");
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
 
     let mut stage_counter = 0usize;
     for ts in 0..cfg.num_tsteps {
+        // Rank-0 marks delimit the perf analyzer's per-timestep windows.
+        if let Some(bus) = obs::bus() {
+            bus.emit_for_rank(state.rank as u32, obs::EventData::TimestepMark { tstep: ts as u32 });
+        }
         // One trace scope per timestep: after the stream stabilizes
         // (unchanged mesh and plan), dependency edges replay from the
         // cached trace instead of re-running claim-table analysis.

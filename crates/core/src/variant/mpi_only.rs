@@ -46,6 +46,10 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     let mut bufs = Buffers::alloc(&plan, state.rank, gmax, cfg.separate_buffers);
     let mut stage_counter = 0usize;
     for ts in 0..cfg.num_tsteps {
+        // Rank-0 marks delimit the perf analyzer's per-timestep windows.
+        if let Some(bus) = obs::bus() {
+            bus.emit_for_rank(state.rank as u32, obs::EventData::TimestepMark { tstep: ts as u32 });
+        }
         for _stage in 0..cfg.stages_per_ts {
             stage_counter += 1;
             for g in 0..cfg.num_groups() {

@@ -115,13 +115,23 @@ impl EventBus {
     /// Removes and returns all buffered events, merged into sequence
     /// order, plus the total overflow-drop count.
     pub fn drain(&self) -> Drained {
+        let mut out = self.drain_unsorted();
+        out.events.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Like [`EventBus::drain`] but without the final sequence sort.
+    /// The online collector polls this in a tight loop during emit
+    /// storms — sorting a near-full drain takes long enough for the
+    /// stripes to refill and overflow, so pollers that accumulate many
+    /// drains sort once at the end instead.
+    pub fn drain_unsorted(&self) -> Drained {
         let mut out = Drained::default();
         for stripe in &self.stripes {
             let mut ring = stripe.lock();
             out.events.extend(ring.buf.drain(..));
             out.dropped += std::mem::take(&mut ring.dropped);
         }
-        out.events.sort_by_key(|e| e.seq);
         out
     }
 }

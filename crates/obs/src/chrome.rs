@@ -92,6 +92,21 @@ impl Emitter {
         ));
     }
 
+    /// Perfetto flow arrow start (`"ph":"s"`) at a send-post site.
+    fn flow_start(&mut self, id: u64, pid: u32, tid: u32, ts: u64) {
+        self.push(format!(
+            "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":{id},\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"
+        ));
+    }
+
+    /// Perfetto flow arrow finish (`"ph":"f"`, binding to the enclosing
+    /// slice's end) at the matching delivery site.
+    fn flow_finish(&mut self, id: u64, pid: u32, tid: u32, ts: u64) {
+        self.push(format!(
+            "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"
+        ));
+    }
+
     fn finish(mut self) -> String {
         self.out.push_str("\n]}\n");
         self.out
@@ -203,41 +218,47 @@ pub fn export_chrome(events: &[Event]) -> String {
             EventData::HoldRelease { task } => {
                 em.instant("hold_release", pid, tid, ts, &format!("\"task\":{task}"));
             }
-            EventData::SendPosted { dst, tag, comm, bytes, eager } => {
+            EventData::SendPosted { dst, tag, comm, bytes, eager, match_id, task } => {
                 em.instant(
                     "send_posted",
                     pid,
                     tid,
                     ts,
-                    &format!("\"dst\":{dst},\"tag\":{tag},\"comm\":{comm},\"bytes\":{bytes},\"eager\":{eager}"),
+                    &format!("\"dst\":{dst},\"tag\":{tag},\"comm\":{comm},\"bytes\":{bytes},\"eager\":{eager},\"match_id\":{match_id},\"task\":{task}"),
                 );
+                if *match_id > 0 {
+                    em.flow_start(*match_id, pid, tid, ts);
+                }
             }
-            EventData::RecvPosted { src, tag, comm } => {
+            EventData::RecvPosted { src, tag, comm, task } => {
                 em.instant(
                     "recv_posted",
                     pid,
                     tid,
                     ts,
-                    &format!("\"src\":{src},\"tag\":{tag},\"comm\":{comm}"),
+                    &format!("\"src\":{src},\"tag\":{tag},\"comm\":{comm},\"task\":{task}"),
                 );
             }
-            EventData::MsgMatched { src, tag, comm, bytes, at_send } => {
+            EventData::MsgMatched { src, tag, comm, bytes, at_send, match_id, recv_task } => {
                 em.instant(
                     "msg_matched",
                     pid,
                     tid,
                     ts,
-                    &format!("\"src\":{src},\"tag\":{tag},\"comm\":{comm},\"bytes\":{bytes},\"at_send\":{at_send}"),
+                    &format!("\"src\":{src},\"tag\":{tag},\"comm\":{comm},\"bytes\":{bytes},\"at_send\":{at_send},\"match_id\":{match_id},\"recv_task\":{recv_task}"),
                 );
             }
-            EventData::MsgDelivered { src, tag, comm, bytes } => {
+            EventData::MsgDelivered { src, tag, comm, bytes, match_id, recv_task, queue_us } => {
                 em.instant(
                     "msg_delivered",
                     pid,
                     tid,
                     ts,
-                    &format!("\"src\":{src},\"tag\":{tag},\"comm\":{comm},\"bytes\":{bytes}"),
+                    &format!("\"src\":{src},\"tag\":{tag},\"comm\":{comm},\"bytes\":{bytes},\"match_id\":{match_id},\"recv_task\":{recv_task},\"queue_us\":{queue_us}"),
                 );
+                if *match_id > 0 {
+                    em.flow_finish(*match_id, pid, tid, ts);
+                }
             }
             EventData::WaitanyWake { index } => {
                 em.instant("waitany_wake", pid, tid, ts, &format!("\"index\":{index}"));
@@ -336,6 +357,19 @@ pub fn export_chrome(events: &[Event]) -> String {
             EventData::Span { kind, start_us, end_us } => {
                 em.slice(kind, pid, tid, *start_us, end_us.saturating_sub(*start_us), "");
             }
+            EventData::WaitSpan { kind, start_us, end_us } => {
+                em.slice(
+                    &format!("wait:{kind}"),
+                    pid,
+                    tid,
+                    *start_us,
+                    end_us.saturating_sub(*start_us),
+                    "\"wait\":true",
+                );
+            }
+            EventData::TimestepMark { tstep } => {
+                em.instant("timestep", pid, tid, ts, &format!("\"tstep\":{tstep}"));
+            }
         }
     }
 
@@ -368,8 +402,8 @@ mod tests {
             ev(1, 12, 0, 0, EventData::TaskReady { id: 1 }),
             ev(2, 15, 0, 0, EventData::TaskStart { id: 1, label: "stencil" }),
             ev(3, 40, 0, 0, EventData::TaskEnd { id: 1, label: "stencil" }),
-            ev(4, 41, 1, LANE_MAIN, EventData::SendPosted { dst: 0, tag: 7, comm: 0, bytes: 64, eager: true }),
-            ev(5, 42, 0, LANE_NET, EventData::MsgDelivered { src: 1, tag: 7, comm: 0, bytes: 64 }),
+            ev(4, 41, 1, LANE_MAIN, EventData::SendPosted { dst: 0, tag: 7, comm: 0, bytes: 64, eager: true, match_id: 5, task: 0 }),
+            ev(5, 42, 0, LANE_NET, EventData::MsgDelivered { src: 1, tag: 7, comm: 0, bytes: 64, match_id: 5, recv_task: 0, queue_us: 1 }),
             ev(6, 43, 1, LANE_MAIN, EventData::QueueDepth { mailbox: 1, msgs: 2, recvs: 1, bytes: 128 }),
         ];
         let json = export_chrome(&events);
@@ -380,6 +414,32 @@ mod tests {
         assert!(json.contains("requests_in_flight"));
         assert!(json.contains("bytes_queued"));
         assert!(json.contains("\"name\":\"net\""), "delivery lane metadata missing");
+        assert!(json.contains("\"ph\":\"s\""), "flow arrow start missing");
+        assert!(json.contains("\"ph\":\"f\""), "flow arrow finish missing");
+    }
+
+    #[test]
+    fn unattributed_send_emits_no_flow_arrow() {
+        let events = vec![
+            ev(0, 1, 0, LANE_MAIN, EventData::SendPosted { dst: 1, tag: 0, comm: 0, bytes: 8, eager: true, match_id: 0, task: 0 }),
+            ev(1, 2, 1, LANE_NET, EventData::MsgDelivered { src: 0, tag: 0, comm: 0, bytes: 8, match_id: 0, recv_task: 0, queue_us: 0 }),
+        ];
+        let json = export_chrome(&events);
+        crate::json::validate(&json).unwrap();
+        assert!(!json.contains("\"ph\":\"s\""), "match_id 0 must not start a flow");
+        assert!(!json.contains("\"ph\":\"f\""), "match_id 0 must not finish a flow");
+    }
+
+    #[test]
+    fn wait_span_and_timestep_render() {
+        let events = vec![
+            ev(0, 0, 0, LANE_MAIN, EventData::TimestepMark { tstep: 3 }),
+            ev(1, 10, 0, 0, EventData::WaitSpan { kind: "waitany", start_us: 2, end_us: 10 }),
+        ];
+        let json = export_chrome(&events);
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("wait:waitany"));
+        assert!(json.contains("\"tstep\":3"));
     }
 
     #[test]

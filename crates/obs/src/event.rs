@@ -109,6 +109,11 @@ pub enum EventData {
         bytes: u64,
         /// Eager (true) vs rendezvous (false) protocol.
         eager: bool,
+        /// Process-unique match id tying this send to its eventual
+        /// delivery (0 = unattributed; allocated only while tracing).
+        match_id: u64,
+        /// Task that posted the send (0 = outside any task).
+        task: u64,
     },
     /// vmpi: a receive was posted.
     RecvPosted {
@@ -118,6 +123,8 @@ pub enum EventData {
         tag: i32,
         /// Communicator id.
         comm: u64,
+        /// Task that posted the receive (0 = outside any task).
+        task: u64,
     },
     /// vmpi: an envelope paired with a posted receive. `at_send` is true
     /// when the receive was already posted at send time.
@@ -132,6 +139,10 @@ pub enum EventData {
         bytes: u64,
         /// Matched at send-post time (true) or recv-post time (false).
         at_send: bool,
+        /// Match id from the paired [`EventData::SendPosted`] (0 = unknown).
+        match_id: u64,
+        /// Task that posted the matched receive (0 = outside any task).
+        recv_task: u64,
     },
     /// vmpi: a matched payload was copied to its target and the requests
     /// completed (fires on the delivery lane).
@@ -144,6 +155,13 @@ pub enum EventData {
         comm: u64,
         /// Payload size in bytes.
         bytes: u64,
+        /// Match id from the paired [`EventData::SendPosted`] (0 = unknown).
+        match_id: u64,
+        /// Task that posted the matched receive (0 = outside any task).
+        recv_task: u64,
+        /// Fabric queue + transit time: delivery time minus send-post
+        /// time, in bus microseconds (0 when unattributed).
+        queue_us: u64,
     },
     /// vmpi: a `waitany` call woke up with a completed request.
     WaitanyWake {
@@ -258,6 +276,23 @@ pub enum EventData {
         /// End, microseconds since the bus epoch.
         end_us: u64,
     },
+    /// vmpi/taskrt: the calling thread blocked waiting for progress
+    /// (`"request_wait"`, `"waitany"`, `"taskwait"`). Unlike [`Span`]
+    /// these are emitted only when the wait actually parked the thread.
+    WaitSpan {
+        /// Wait kind name.
+        kind: &'static str,
+        /// Start of the blocked interval, bus microseconds.
+        start_us: u64,
+        /// End of the blocked interval, bus microseconds.
+        end_us: u64,
+    },
+    /// core: a variant's main loop entered timestep `tstep` (rank-0 marks
+    /// delimit the analyzer's per-timestep windows).
+    TimestepMark {
+        /// Timestep index about to run.
+        tstep: u32,
+    },
 }
 
 impl EventData {
@@ -287,6 +322,8 @@ impl EventData {
             EventData::RankRecovered { .. } => "rank_recovered",
             EventData::TraceMark { .. } => "trace_mark",
             EventData::Span { .. } => "span",
+            EventData::WaitSpan { .. } => "wait_span",
+            EventData::TimestepMark { .. } => "timestep",
         }
     }
 }

@@ -23,15 +23,18 @@
 
 mod bus;
 mod chrome;
+pub mod critpath;
 mod event;
 pub mod json;
 mod metrics;
+pub mod report;
+pub mod span;
 mod watchdog;
 
 pub use bus::{Drained, EventBus, DEFAULT_RING_CAPACITY};
 pub use chrome::export_chrome;
 pub use event::{Event, EventData, LANE_MAIN, LANE_NET, UNKNOWN_RANK};
-pub use metrics::{metrics, Counter, Gauge, MetricsRegistry};
+pub use metrics::{metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use watchdog::{
     diagnostics, DiagGuard, DiagRegistry, StallAction, Watchdog, WatchdogConfig, STALL_EXIT_CODE,
 };
@@ -81,6 +84,7 @@ pub fn bus() -> Option<&'static EventBus> {
 thread_local! {
     static THREAD_RANK: Cell<u32> = const { Cell::new(UNKNOWN_RANK) };
     static THREAD_WORKER: Cell<u32> = const { Cell::new(LANE_MAIN) };
+    static THREAD_TASK: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Declares which virtual rank the calling thread belongs to. Called by
@@ -102,6 +106,23 @@ pub fn set_thread_worker(worker: u32) {
 #[inline]
 pub fn thread_ctx() -> (u32, u32) {
     (THREAD_RANK.with(Cell::get), THREAD_WORKER.with(Cell::get))
+}
+
+/// Declares which task the calling thread is currently executing and
+/// returns the previous value so nested executions can restore it.
+///
+/// `taskrt` sets this around task bodies (only while tracing is on) so
+/// layers below it — `vmpi` in particular — can attribute message events
+/// to the posting task without a dependency on the task runtime.
+pub fn set_thread_task(task: u64) -> u64 {
+    THREAD_TASK.with(|t| t.replace(task))
+}
+
+/// The task id the calling thread is executing, or 0 outside any task
+/// (or when tracing is disabled — [`set_thread_task`] is gated).
+#[inline]
+pub fn thread_task() -> u64 {
+    THREAD_TASK.with(Cell::get)
 }
 
 #[cfg(test)]

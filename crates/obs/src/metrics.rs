@@ -1,10 +1,10 @@
-//! Runtime metrics: named atomic counters and gauges.
+//! Runtime metrics: named atomic counters, gauges, and histograms.
 //!
 //! The registry is process-global and always constructible; handles are
-//! cloned `Arc`s around a single atomic, so the hot path is one atomic
-//! RMW with no lock. Layers cache their handles (a registry lookup takes
-//! the map lock) and gate increments behind [`crate::is_enabled`] so the
-//! disabled path stays a branch.
+//! cloned `Arc`s around atomics, so the hot path is one atomic RMW (a
+//! histogram observe is three) with no lock. Layers cache their handles
+//! (a registry lookup takes the map lock) and gate increments behind
+//! [`crate::is_enabled`] so the disabled path stays a branch.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -66,9 +66,193 @@ impl Gauge {
     }
 }
 
+/// Number of log₂ buckets: bucket 0 holds exact zeros, bucket `b ≥ 1`
+/// holds values whose bit length is `b`, i.e. `[2^(b-1), 2^b)`. 64-bit
+/// values have bit lengths 0..=64, hence 65 buckets.
+const BUCKETS: usize = 65;
+
+/// Which bucket `v` lands in: its bit length (0 for `v == 0`).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (what percentiles report).
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `b`.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂-bucket histogram of `u64` samples (latencies in µs, sizes in
+/// bytes). Observation is three relaxed RMWs; percentiles are extracted
+/// from the bucket counts and therefore quantized to a bucket's upper
+/// bound — exact rank selection within power-of-two resolution.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`], for reports and rendering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Exact-rank p50, quantized to the bucket upper bound.
+    pub p50: u64,
+    /// Exact-rank p95, quantized to the bucket upper bound.
+    pub p95: u64,
+    /// Exact-rank p99, quantized to the bucket upper bound.
+    pub p99: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples observed so far.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Value at percentile `p` (0.0–100.0): the upper bound of the bucket
+    /// containing the sample of rank `ceil(p/100 · count)`. Returns 0 for
+    /// an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> =
+            self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        percentile_of(&counts, p)
+    }
+
+    /// Consistent snapshot (counts are read once) with p50/p95/p99.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> =
+            self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            p50: percentile_of(&counts, 50.0),
+            p95: percentile_of(&counts, 95.0),
+            p99: percentile_of(&counts, 99.0),
+            buckets: counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(b, &c)| (bucket_lo(b), c))
+                .collect(),
+        }
+    }
+
+    /// ASCII bar chart of the non-empty buckets. Safe for empty and
+    /// one-sample histograms (bar widths are clamped, never divided by
+    /// zero).
+    pub fn render_ascii(&self) -> String {
+        use std::fmt::Write;
+        let snap = self.snapshot();
+        if snap.count == 0 {
+            return String::from("(no samples)\n");
+        }
+        let max = snap.buckets.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for &(lo, c) in &snap.buckets {
+            let b = bucket_of(lo);
+            // At least one mark for any non-empty bucket, at most 40.
+            let width = ((c * 40).div_ceil(max)).clamp(1, 40) as usize;
+            let _ = writeln!(
+                out,
+                "{:>20} ..= {:<20} {:>8} |{}",
+                bucket_lo(b),
+                bucket_hi(b),
+                c,
+                "#".repeat(width),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "count {} p50 {} p95 {} p99 {}",
+            snap.count, snap.p50, snap.p95, snap.p99
+        );
+        out
+    }
+
+    fn reset(&self) {
+        for b in &self.inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Exact-rank percentile over a bucket-count vector: the upper bound of
+/// the bucket holding the `ceil(p/100 · total)`-th smallest sample.
+fn percentile_of(counts: &[u64], p: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_hi(b);
+        }
+    }
+    bucket_hi(BUCKETS - 1)
+}
+
 enum Slot {
     Counter(Counter),
     Gauge(Gauge),
+    Histogram(Histogram),
 }
 
 /// The process-global registry of named metrics.
@@ -82,12 +266,13 @@ impl MetricsRegistry {
     ///
     /// # Panics
     ///
-    /// Panics if `name` is already registered as a gauge.
+    /// Panics if `name` is already registered as a gauge or histogram.
     pub fn counter(&self, name: &'static str) -> Counter {
         let mut slots = self.slots.lock();
         match slots.entry(name).or_insert_with(|| Slot::Counter(Counter::default())) {
             Slot::Counter(c) => c.clone(),
             Slot::Gauge(_) => panic!("metric '{name}' is a gauge, not a counter"),
+            Slot::Histogram(_) => panic!("metric '{name}' is a histogram, not a counter"),
         }
     }
 
@@ -101,11 +286,28 @@ impl MetricsRegistry {
         match slots.entry(name).or_insert_with(|| Slot::Gauge(Gauge::default())) {
             Slot::Gauge(g) => g.clone(),
             Slot::Counter(_) => panic!("metric '{name}' is a counter, not a gauge"),
+            Slot::Histogram(_) => panic!("metric '{name}' is a histogram, not a gauge"),
         }
     }
 
-    /// Snapshot of every metric, sorted by name. Counter values are
-    /// reported as `i64` (saturating) so one table covers both kinds.
+    /// Returns (creating on first use) the histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a counter or gauge.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let mut slots = self.slots.lock();
+        match slots.entry(name).or_insert_with(|| Slot::Histogram(Histogram::default())) {
+            Slot::Histogram(h) => h.clone(),
+            Slot::Counter(_) => panic!("metric '{name}' is a counter, not a histogram"),
+            Slot::Gauge(_) => panic!("metric '{name}' is a gauge, not a histogram"),
+        }
+    }
+
+    /// Snapshot of every scalar metric, sorted by name. Counter values
+    /// are reported as `i64` (saturating) so one table covers both kinds;
+    /// histograms contribute their sample count (their full shape comes
+    /// from [`MetricsRegistry::histogram_snapshots`]).
     pub fn snapshot(&self) -> Vec<(&'static str, i64)> {
         self.slots
             .lock()
@@ -114,8 +316,21 @@ impl MetricsRegistry {
                 let v = match slot {
                     Slot::Counter(c) => i64::try_from(c.get()).unwrap_or(i64::MAX),
                     Slot::Gauge(g) => g.get(),
+                    Slot::Histogram(h) => i64::try_from(h.count()).unwrap_or(i64::MAX),
                 };
                 (*name, v)
+            })
+            .collect()
+    }
+
+    /// Snapshot of every histogram, sorted by name.
+    pub fn histogram_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        self.slots
+            .lock()
+            .iter()
+            .filter_map(|(name, slot)| match slot {
+                Slot::Histogram(h) => Some((*name, h.snapshot())),
+                _ => None,
             })
             .collect()
     }
@@ -127,6 +342,7 @@ impl MetricsRegistry {
             match slot {
                 Slot::Counter(c) => c.inner.store(0, Ordering::Relaxed),
                 Slot::Gauge(g) => g.set(0),
+                Slot::Histogram(h) => h.reset(),
             }
         }
     }
@@ -175,5 +391,82 @@ mod tests {
         let reg = MetricsRegistry::default();
         reg.counter("oops");
         reg.gauge("oops");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a gauge, not a histogram")]
+    fn histogram_kind_mismatch_panics() {
+        let reg = MetricsRegistry::default();
+        reg.gauge("oops.h");
+        reg.histogram("oops.h");
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::default();
+        // 100 samples: 50× 1µs, 45× 100µs, 5× 10000µs.
+        for _ in 0..50 {
+            h.observe(1);
+        }
+        for _ in 0..45 {
+            h.observe(100);
+        }
+        for _ in 0..5 {
+            h.observe(10_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 50 + 45 * 100 + 5 * 10_000);
+        // Rank 50 lands in the bucket of 1 → upper bound 1.
+        assert_eq!(h.percentile(50.0), 1);
+        // Rank 95 lands in the bucket of 100 ([64,127]) → 127.
+        assert_eq!(h.percentile(95.0), 127);
+        // Rank 99 lands in the bucket of 10000 ([8192,16383]) → 16383.
+        assert_eq!(h.percentile(99.0), 16383);
+        let snap = h.snapshot();
+        assert_eq!((snap.p50, snap.p95, snap.p99), (1, 127, 16383));
+        assert_eq!(snap.buckets, vec![(1, 50), (64, 45), (8192, 5)]);
+    }
+
+    #[test]
+    fn histogram_zero_and_extreme_values() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(99.0), u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.len(), 2);
+        assert_eq!(snap.buckets[0], (0, 1));
+    }
+
+    #[test]
+    fn histogram_render_is_safe_for_empty_and_one_sample() {
+        let h = Histogram::default();
+        assert_eq!(h.render_ascii(), "(no samples)\n");
+        assert_eq!(h.percentile(50.0), 0, "empty percentile is 0, not a panic");
+        h.observe(7);
+        let rendered = h.render_ascii();
+        assert!(rendered.contains('#'), "one-sample bar must be visible: {rendered}");
+        assert!(rendered.contains("count 1 p50 7 p95 7 p99 7"), "{rendered}");
+    }
+
+    #[test]
+    fn histogram_registry_roundtrip_and_reset() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("test.lat_us");
+        h.observe(5);
+        h.observe(9);
+        // Same name returns the same underlying histogram.
+        assert_eq!(reg.histogram("test.lat_us").count(), 2);
+        // Scalar snapshot carries the sample count.
+        assert_eq!(reg.snapshot(), vec![("test.lat_us", 2)]);
+        let hists = reg.histogram_snapshots();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "test.lat_us");
+        assert_eq!(hists[0].1.count, 2);
+        reg.reset();
+        assert_eq!(reg.histogram("test.lat_us").count(), 0);
+        assert_eq!(reg.histogram("test.lat_us").snapshot(), HistogramSnapshot::default());
     }
 }

@@ -6,8 +6,11 @@
 //! sequence counter, and when it stops advancing for the configured
 //! stall period *and* some layer still reports pending work, it prints
 //! every registered diagnostic (blocked tasks with their regions, pending
-//! requests, unmatched mailbox messages) and terminates the process with
-//! a distinctive exit code instead of hanging forever.
+//! requests, unmatched mailbox messages) plus the longest
+//! currently-blocked causal chain reconstructed from the event rings
+//! ([`crate::span::blocked_chain_report`] — the same machinery as the
+//! perf analyzer), and terminates the process with a distinctive exit
+//! code instead of hanging forever.
 //!
 //! Layers register dump callbacks in the [`DiagRegistry`] rather than
 //! being called directly, so `obs` depends on nothing and every runtime
@@ -174,12 +177,25 @@ impl Watchdog {
                     if last_change.elapsed() < config.stall {
                         continue;
                     }
-                    let dump = diagnostics().dump();
+                    let mut dump = diagnostics().dump();
                     if dump.is_empty() {
                         // No layer reports pending work: the process is
                         // idle (e.g. printing results), not stalled.
                         last_change = Instant::now();
                         continue;
+                    }
+                    // Causal diagnosis with the perf analyzer's graph:
+                    // drain whatever the rings still hold and follow the
+                    // blocked tasks' awaited receives rank to rank. The
+                    // drain is destructive, but the watchdog only gets
+                    // here once it has decided to act. (When an online
+                    // collector is polling, the rings hold only events
+                    // since its last pass, so the chain can be partial —
+                    // the layer dumps above are complete either way.)
+                    let chain = crate::span::blocked_chain_report(&bus.drain().events);
+                    if !chain.is_empty() {
+                        dump.push_str("=== blocked causal chain ===\n");
+                        dump.push_str(&chain);
                     }
                     let header = format!(
                         "obs-watchdog: no event-bus progress for {:.1}s (seq stuck at {seq}); \

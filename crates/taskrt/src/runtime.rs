@@ -185,6 +185,73 @@ impl RtInner {
             }
             out.push_str("]\n");
         }
+        // Longest currently-blocked causal chain: a task still holding a
+        // TAMPI event (its awaited message has not arrived) transitively
+        // blocks every successor downstream of it. Walking successor
+        // edges from each hold-blocked task names the chain the stall
+        // propagates through; the awaited message itself shows up in the
+        // "vmpi mailboxes" diag section, whose pending receives name
+        // their posting task — together: task → awaited message →
+        // sender rank.
+        fn longest_chain(
+            task: &Arc<TaskShared>,
+            memo: &mut HashMap<u64, Vec<(u64, &'static str)>>,
+        ) -> Vec<(u64, &'static str)> {
+            if let Some(c) = memo.get(&task.id) {
+                return c.clone();
+            }
+            // Placeholder guards against revisiting mid-walk (the live
+            // graph is a DAG, but diagnostics must never recurse forever).
+            memo.insert(task.id, Vec::new());
+            let succs: SuccessorList = {
+                let links = task.state.lock();
+                if links.released {
+                    return Vec::new();
+                }
+                links.successors.clone()
+            };
+            let mut best: Vec<(u64, &'static str)> = Vec::new();
+            for s in &succs {
+                let c = longest_chain(s, memo);
+                if c.len() > best.len() {
+                    best = c;
+                }
+            }
+            let mut chain = vec![(task.id, task.label)];
+            chain.append(&mut best);
+            memo.insert(task.id, chain.clone());
+            chain
+        }
+        let blocked: Vec<Arc<TaskShared>> = live_set
+            .snapshot()
+            .into_iter()
+            .filter(|t| t.events.load(Ordering::Relaxed) > 1)
+            .collect();
+        let mut memo: HashMap<u64, Vec<(u64, &'static str)>> = HashMap::new();
+        let mut best: Vec<(u64, &'static str)> = Vec::new();
+        let mut best_holds = 0usize;
+        for t in &blocked {
+            let chain = longest_chain(t, &mut memo);
+            if chain.len() > best.len() {
+                best = chain;
+                best_holds = t.events.load(Ordering::Relaxed).saturating_sub(1);
+            }
+        }
+        if !best.is_empty() {
+            out.push_str("longest blocked chain: ");
+            for (i, (id, label)) in best.iter().enumerate() {
+                let label = if label.is_empty() { "<unlabeled>" } else { label };
+                if i == 0 {
+                    let _ = write!(
+                        out,
+                        "task {id} '{label}' [awaiting {best_holds} event hold(s)]"
+                    );
+                } else {
+                    let _ = write!(out, " -> task {id} '{label}'");
+                }
+            }
+            out.push('\n');
+        }
         out
     }
 
@@ -424,10 +491,22 @@ impl Runtime {
             "taskwait called from inside a task body"
         );
         let mut guard = self.inner.wait_lock.lock();
+        // Only a taskwait that actually blocks becomes a wait span.
+        let wait_from = if self.inner.live.load(Ordering::Acquire) != 0 {
+            obs::bus().map(|b| b.now_us())
+        } else {
+            None
+        };
         while self.inner.live.load(Ordering::Acquire) != 0 {
             self.inner.wait_cond.wait(&mut guard);
         }
         drop(guard);
+        if let (Some(start_us), Some(bus)) = (wait_from, obs::bus()) {
+            bus.emit_for_rank(
+                self.inner.rank(),
+                obs::EventData::WaitSpan { kind: "taskwait", start_us, end_us: bus.now_us() },
+            );
+        }
         if self.inner.san_rt != 0 {
             // Everything spawned so far (including event holds, which keep
             // tasks live) happens-before everything spawned from now on.

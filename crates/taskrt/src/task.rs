@@ -108,6 +108,10 @@ impl TaskShared {
             .take()
             .unwrap_or_else(|| panic!("task '{}' (id {}) executed twice", self.label, self.id));
         let prev = CURRENT.with(|c| c.replace(Some(Arc::clone(&self))));
+        // Publish the task id to the obs thread-task context so layers
+        // below taskrt (vmpi message posts) can attribute events to it.
+        // Gated like every other emit so the disabled path stays free.
+        let prev_obs_task = obs::is_enabled().then(|| obs::set_thread_task(self.id));
         if let Some(bus) = obs::bus() {
             // Adopt the owning runtime's rank for the duration of the
             // body, so events emitted from inside it (message posts,
@@ -140,6 +144,9 @@ impl TaskShared {
                     m.blocked.inc();
                 }
             }
+        }
+        if let Some(p) = prev_obs_task {
+            obs::set_thread_task(p);
         }
         CURRENT.with(|c| *c.borrow_mut() = prev);
         self.event_done();

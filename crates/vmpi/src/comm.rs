@@ -39,6 +39,16 @@ impl Status {
     }
 }
 
+/// Process-wide match-id counter for send→recv causal edges. Ids start
+/// at 1 so 0 can mean "unattributed"; the counter is only advanced while
+/// tracing is enabled, keeping the disabled path allocation- and
+/// RMW-free.
+static MATCH_IDS: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_match_id() -> u64 {
+    MATCH_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
 fn mix64(mut x: u64) -> u64 {
     // splitmix64 finalizer — used to derive communicator ids
     // deterministically on every rank.
@@ -185,6 +195,15 @@ impl Comm {
         let send_state = RequestState::new();
         let send_status = Status { source: self.rank, tag, bytes: nbytes };
 
+        // Causal-edge provenance, allocated only while tracing: a
+        // process-unique match id ties this send to its delivery, the
+        // thread-task context names the posting task, and the post time
+        // feeds the fabric queue-time stamp at delivery.
+        let (match_id, send_task, posted_us) = match obs::bus() {
+            Some(bus) => (next_match_id(), obs::thread_task(), bus.now_us().max(1)),
+            None => (0, 0, 0),
+        };
+
         if let Some(bus) = obs::bus() {
             bus.emit(obs::EventData::SendPosted {
                 dst: dst_world as u32,
@@ -192,6 +211,8 @@ impl Comm {
                 comm: self.comm_id,
                 bytes: nbytes as u64,
                 eager,
+                match_id,
+                task: send_task,
             });
             if let Some(m) = &self.shared.obs_metrics {
                 m.sends.inc();
@@ -223,6 +244,8 @@ impl Comm {
                         fabric_flow,
                         send_state: if eager { None } else { Some(Arc::clone(&send_state)) },
                         san_scope,
+                        match_id,
+                        posted_us,
                     };
                     if depsan::is_enabled() {
                         inner.san_check_envelope(&env, dst_world);
@@ -258,6 +281,8 @@ impl Comm {
                             comm: self.comm_id,
                             bytes: payload.len() as u64,
                             at_send: true,
+                            match_id,
+                            recv_task: pr.obs_task,
                         },
                     );
                     if let Some(m) = &self.shared.obs_metrics {
@@ -268,11 +293,12 @@ impl Comm {
                     if eager { None } else { Some(Arc::clone(&send_state)) };
                 let src = self.rank;
                 let comm_id = self.comm_id;
+                let recv_task = pr.obs_task;
                 schedule_transfer(
                     Arc::clone(&self.shared),
                     available_at,
                     fabric_flow,
-                    Inbound { payload, src, tag, comm: comm_id, dst_world },
+                    Inbound { payload, src, tag, comm: comm_id, dst_world, match_id, posted_us, recv_task },
                     send_for_job,
                     pr.state,
                     pr.target,
@@ -296,8 +322,9 @@ impl Comm {
         let state = RequestState::new();
         let my_world = self.group[self.rank];
         let mailbox = &self.shared.mailboxes[my_world];
+        let recv_task = if obs::is_enabled() { obs::thread_task() } else { 0 };
         if let Some(bus) = obs::bus() {
-            bus.emit(obs::EventData::RecvPosted { src, tag, comm: self.comm_id });
+            bus.emit(obs::EventData::RecvPosted { src, tag, comm: self.comm_id, task: recv_task });
             if let Some(m) = &self.shared.obs_metrics {
                 m.recvs.inc();
             }
@@ -318,6 +345,7 @@ impl Comm {
                         state: Arc::clone(&state),
                         target,
                         san,
+                        obs_task: recv_task,
                     };
                     if depsan::is_enabled() {
                         inner.san_check_recv(&recv, my_world);
@@ -347,6 +375,8 @@ impl Comm {
                 fabric_flow,
                 send_state,
                 san_scope: env_scope,
+                match_id,
+                posted_us,
             } = env;
             if depsan::is_enabled() {
                 san_check_match(
@@ -360,6 +390,8 @@ impl Comm {
                     comm: ecomm,
                     bytes: payload.len() as u64,
                     at_send: false,
+                    match_id,
+                    recv_task,
                 });
                 if let Some(m) = &self.shared.obs_metrics {
                     m.matched_at_recv.inc();
@@ -375,6 +407,9 @@ impl Comm {
                     tag: etag,
                     comm: ecomm,
                     dst_world: my_world,
+                    match_id,
+                    posted_us,
+                    recv_task,
                 },
                 send_state,
                 recv_state,

@@ -246,6 +246,10 @@ pub(crate) struct Inflight {
     pub status: crate::Status,
     /// Retransmissions performed so far.
     pub attempts: u32,
+    /// Trace match id carried from send-post to delivery (0 = untraced).
+    pub match_id: u64,
+    /// Bus time the send was posted (0 = untraced).
+    pub posted_us: u64,
 }
 
 /// A frame accepted by the receiver but not yet releasable in order.
@@ -255,6 +259,10 @@ pub(crate) struct HeldFrame {
     pub comm: u64,
     pub payload: Arc<Vec<u8>>,
     pub san_scope: u64,
+    /// Trace match id carried from send-post to delivery (0 = untraced).
+    pub match_id: u64,
+    /// Bus time the send was posted (0 = untraced).
+    pub posted_us: u64,
 }
 
 /// Per-(src, dst) directed channel: sender-side retransmit state and

@@ -41,6 +41,11 @@ pub(crate) struct Envelope {
     pub send_state: Option<Arc<RequestState>>,
     /// depsan scope of the posting task (0 = none / sanitizer disabled).
     pub san_scope: u64,
+    /// Trace match id carried from send-post to delivery (0 = untraced).
+    pub match_id: u64,
+    /// Bus time the send was posted, for queue-time attribution
+    /// (0 = untraced).
+    pub posted_us: u64,
 }
 
 /// Sanitizer metadata of a receive: what it expects and who posted it.
@@ -64,6 +69,9 @@ pub(crate) struct PendingRecv {
     pub state: Arc<RequestState>,
     pub target: RecvTarget,
     pub san: RecvSan,
+    /// Task that posted the receive (`obs::thread_task()` at post time;
+    /// 0 = outside any task or tracing disabled).
+    pub obs_task: u64,
 }
 
 fn matches(env_src: usize, env_tag: i32, env_comm: u64, src: i32, tag: i32, comm: u64) -> bool {
@@ -285,11 +293,15 @@ impl MailboxInner {
             );
         }
         for r in &self.recvs {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "rank {rank}: pending recv from src {} tag {} comm {:#x} (posted, unmatched)",
                 r.src, r.tag, r.comm,
             );
+            if r.obs_task != 0 {
+                let _ = write!(out, " posted by task {}", r.obs_task);
+            }
+            out.push('\n');
         }
         out
     }
@@ -322,6 +334,12 @@ pub(crate) struct Inbound {
     pub tag: i32,
     pub comm: u64,
     pub dst_world: usize,
+    /// Trace match id carried from send-post time (0 = untraced).
+    pub match_id: u64,
+    /// Bus time the send was posted (0 = untraced).
+    pub posted_us: u64,
+    /// Task that posted the matched receive (0 = none).
+    pub recv_task: u64,
 }
 
 /// Runs the completion of a matched (envelope, receive) pair: copies the
@@ -333,12 +351,17 @@ pub(crate) fn complete_transfer(
     recv_state: Arc<RequestState>,
     target: RecvTarget,
 ) {
-    let Inbound { payload, src, tag, comm, dst_world } = inbound;
+    let Inbound { payload, src, tag, comm, dst_world, match_id, posted_us, recv_task } = inbound;
     let status = Status { source: src, tag, bytes: payload.len() };
     if let Some(bus) = obs::bus() {
         // Deliveries happen on the network (delivery) thread or inline on
         // the sender; either way the event belongs to the receiving rank's
         // network lane.
+        let queue_us = if posted_us > 0 {
+            bus.now_us().saturating_sub(posted_us)
+        } else {
+            0
+        };
         bus.emit_full(
             dst_world as u32,
             obs::LANE_NET,
@@ -347,8 +370,17 @@ pub(crate) fn complete_transfer(
                 tag,
                 comm,
                 bytes: payload.len() as u64,
+                match_id,
+                recv_task,
+                queue_us,
             },
         );
+        if match_id > 0 {
+            static TRANSIT_US: std::sync::OnceLock<obs::Histogram> = std::sync::OnceLock::new();
+            TRANSIT_US
+                .get_or_init(|| obs::metrics().histogram("vmpi.transit_us"))
+                .observe(queue_us);
+        }
     }
     match target {
         RecvTarget::Owned => recv_state.complete(status, Some(payload)),
@@ -376,6 +408,8 @@ mod tests {
             fabric_flow: None,
             send_state: None,
             san_scope: 0,
+            match_id: 0,
+            posted_us: 0,
         }
     }
 
@@ -431,6 +465,7 @@ mod tests {
             state: RequestState::new(),
             target: RecvTarget::Owned,
             san: RecvSan::default(),
+            obs_task: 0,
         };
         let r2 = PendingRecv {
             src: 0,
@@ -439,6 +474,7 @@ mod tests {
             state: RequestState::new(),
             target: RecvTarget::Owned,
             san: RecvSan::default(),
+            obs_task: 0,
         };
         mb.push_recv(r1);
         mb.push_recv(r2);

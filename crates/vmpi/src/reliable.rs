@@ -64,6 +64,13 @@ pub(crate) fn chaos_isend(
     let send_state = RequestState::new();
     let status = Status { source: comm_src, tag, bytes: nbytes };
 
+    // Causal-edge provenance (see `isend_impl`): allocated only while
+    // tracing so the chaos disabled path stays RMW-free too.
+    let (match_id, send_task, posted_us) = match obs::bus() {
+        Some(bus) => (crate::comm::next_match_id(), obs::thread_task(), bus.now_us().max(1)),
+        None => (0, 0, 0),
+    };
+
     if let Some(bus) = obs::bus() {
         bus.emit(obs::EventData::SendPosted {
             dst: dst_world as u32,
@@ -71,6 +78,8 @@ pub(crate) fn chaos_isend(
             comm: comm_id,
             bytes: nbytes as u64,
             eager,
+            match_id,
+            task: send_task,
         });
         if let Some(m) = &shared.obs_metrics {
             m.sends.inc();
@@ -115,6 +124,8 @@ pub(crate) fn chaos_isend(
                 send_state: (!eager).then(|| Arc::clone(&send_state)),
                 status,
                 attempts: 0,
+                match_id,
+                posted_us,
             },
         );
         seq
@@ -133,7 +144,7 @@ pub(crate) fn chaos_isend(
 /// job(s), and arms the retransmit timer.
 fn transmit(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64) {
     // Snapshot the frame; it may have been acked by a racing delivery.
-    let (payload, crc, comm_src, tag, comm, san_scope, attempt) = {
+    let (payload, crc, comm_src, tag, comm, san_scope, attempt, match_id, posted_us) = {
         let channels = fault.channels.lock();
         match channels.get(&(src, dst)).and_then(|ch| ch.inflight.get(&seq)) {
             Some(rec) => (
@@ -144,6 +155,8 @@ fn transmit(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst:
                 rec.comm,
                 rec.san_scope,
                 rec.attempts,
+                rec.match_id,
+                rec.posted_us,
             ),
             None => return,
         }
@@ -244,7 +257,7 @@ fn transmit(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst:
                 Box::new(move || {
                     deliver_frame(
                         &shared_job, &fault_job, src, dst, seq, &payload_job, corrupt, crc,
-                        comm_src, tag, comm, san_scope,
+                        comm_src, tag, comm, san_scope, match_id, posted_us,
                     );
                 }),
             );
@@ -278,6 +291,8 @@ fn deliver_frame(
     tag: i32,
     comm: u64,
     san_scope: u64,
+    match_id: u64,
+    posted_us: u64,
 ) {
     if fault.is_crashed(dst) {
         // A dead rank accepts nothing and acks nothing; the sender's
@@ -321,6 +336,8 @@ fn deliver_frame(
                     comm,
                     payload: Arc::clone(payload),
                     san_scope,
+                    match_id,
+                    posted_us,
                 },
             );
             // Release pointer sweeps forward over every contiguously
@@ -400,7 +417,7 @@ fn flush_ready(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, d
 /// step, except the payload has already "arrived" (its network delay was
 /// served in the delivery schedule), so a match completes inline.
 fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFrame) {
-    let HeldFrame { comm_src, tag, comm, payload, san_scope } = frame;
+    let HeldFrame { comm_src, tag, comm, payload, san_scope, match_id, posted_us } = frame;
     let payload: Vec<u8> = Arc::try_unwrap(payload).unwrap_or_else(|arc| (*arc).clone());
     let mailbox = &shared.mailboxes[dst_world];
     enum Outcome {
@@ -423,6 +440,8 @@ fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFr
                     fabric_flow: None,
                     send_state: None,
                     san_scope,
+                    match_id,
+                    posted_us,
                 };
                 if depsan::is_enabled() {
                     inner.san_check_envelope(&env, dst_world);
@@ -462,14 +481,17 @@ fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFr
                         comm,
                         bytes: payload.len() as u64,
                         at_send: true,
+                        match_id,
+                        recv_task: pr.obs_task,
                     },
                 );
                 if let Some(m) = &shared.obs_metrics {
                     m.matched_at_send.inc();
                 }
             }
+            let recv_task = pr.obs_task;
             complete_transfer(
-                Inbound { payload, src: comm_src, tag, comm, dst_world },
+                Inbound { payload, src: comm_src, tag, comm, dst_world, match_id, posted_us, recv_task },
                 None,
                 pr.state,
                 pr.target,

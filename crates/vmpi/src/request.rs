@@ -107,8 +107,18 @@ impl Request {
     /// transfer failed.
     pub fn wait_checked(&self) -> Result<Status> {
         let mut inner = self.state.inner.lock();
+        // Only waits that actually park the thread become wait spans;
+        // already-complete requests stay free of bus traffic.
+        let wait_from = if inner.done { None } else { obs::bus().map(|b| b.now_us()) };
         while !inner.done {
             self.state.cond.wait(&mut inner);
+        }
+        if let (Some(start_us), Some(bus)) = (wait_from, obs::bus()) {
+            bus.emit(obs::EventData::WaitSpan {
+                kind: "request_wait",
+                start_us,
+                end_us: bus.now_us(),
+            });
         }
         match &inner.error {
             Some(e) => Err(e.clone()),
@@ -261,6 +271,7 @@ impl RequestSet {
             }
         }
         // Slow path: park until a callback fires.
+        let wait_from = obs::bus().map(|b| b.now_us());
         let waker = Arc::new((Mutex::new(false), Condvar::new()));
         for slot in self.requests.iter().flatten() {
             let waker = Arc::clone(&waker);
@@ -278,6 +289,13 @@ impl RequestSet {
                         self.remaining -= 1;
                         if let Some(bus) = obs::bus() {
                             bus.emit(obs::EventData::WaitanyWake { index: i as u32 });
+                            if let Some(start_us) = wait_from {
+                                bus.emit(obs::EventData::WaitSpan {
+                                    kind: "waitany",
+                                    start_us,
+                                    end_us: bus.now_us(),
+                                });
+                            }
                         }
                         return Some((i, req.wait()));
                     }

@@ -6,8 +6,16 @@ Each line is {"group", "name", "ns_per_iter", ...}; benchmarks are keyed
 by (group, name). Prints a table of ratios and exits 1 if any benchmark
 present in both files regressed (new/old - 1) beyond the noise threshold.
 
+With --report-old/--report-new, additionally diffs two
+`miniamr-perf-report` documents (--perf_report output): wall-clock,
+overlap fraction, and the critical path's per-category totals summed
+over timesteps. Report metrics are informational — wait-time splits at
+smoke scale are schedule-noisy — so they never affect the exit code;
+the wall-clock gate stays with the benchmark table.
+
 Usage:
     bench_compare.py OLD.json NEW.json [--threshold 0.35] [--quiet]
+                     [--report-old PERF_OLD.json --report-new PERF_NEW.json]
 """
 
 import argparse
@@ -32,6 +40,34 @@ def load(path):
     return runs
 
 
+def report_metrics(path):
+    """Flattens a miniamr-perf-report document into comparable scalars."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "miniamr-perf-report":
+        sys.exit(f"{path}: not a miniamr-perf-report document")
+    metrics = {
+        "wall_us": float(doc["wall_us"]),
+        "overlap_fraction": float(doc["overlap_fraction"]),
+        "critical_path_wait_us": float(doc["critical_path_wait_us"]),
+    }
+    for cat in ("compute", "pack", "transit", "wait", "runtime"):
+        metrics[f"critpath_{cat}_us"] = float(
+            sum(t["critical_path"][f"{cat}_us"] for t in doc["timesteps"])
+        )
+    return metrics
+
+
+def diff_reports(old_path, new_path):
+    old, new = report_metrics(old_path), report_metrics(new_path)
+    print(f"\nperf-report diff: {old_path} -> {new_path} (informational)")
+    width = max(map(len, old))
+    for key, old_v in old.items():
+        new_v = new[key]
+        ratio = f"{new_v / old_v:6.2f}x" if old_v else "   n/a"
+        print(f"{key:{width}}  {old_v:>14.3f} -> {new_v:>14.3f}  ({ratio})")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("old", help="baseline JSONL (e.g. BENCH_PR5.json)")
@@ -45,7 +81,11 @@ def main():
         "(default: %(default)s)",
     )
     ap.add_argument("--quiet", action="store_true", help="only print regressions")
+    ap.add_argument("--report-old", help="baseline miniamr-perf-report JSON")
+    ap.add_argument("--report-new", help="candidate miniamr-perf-report JSON")
     args = ap.parse_args()
+    if bool(args.report_old) != bool(args.report_new):
+        ap.error("--report-old and --report-new must be given together")
 
     old, new = load(args.old), load(args.new)
     shared = sorted(set(old) & set(new))
@@ -73,6 +113,9 @@ def main():
         print(f"note: {g}/{n} only in {args.old}")
     for g, n in only_new:
         print(f"note: {g}/{n} only in {args.new}")
+
+    if args.report_old:
+        diff_reports(args.report_old, args.report_new)
 
     if regressions:
         print(

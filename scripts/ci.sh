@@ -293,4 +293,57 @@ PY
 python3 scripts/bench_compare.py BENCH_PR6.json "$bench_json" --threshold 1.0 --quiet
 rm -f "$bench_json"
 
+# --- Causal perf analyzer (PR 7) -------------------------------------------
+# The 4-rank data-flow smoke must emit a schema-valid perf report whose
+# per-timestep critical-path categories telescope to the window's
+# wall-clock exactly (so the 5% acceptance bound holds by construction),
+# whose per-rank overlap fractions match the legacy recorder's stdout
+# lines within 0.02 (they share one sweep and one clock), and whose
+# Perfetto export carries balanced send->recv flow arrows.
+# --obs_ring 262144 keeps every event; the report's own "dropped" field
+# is the overflow guard.
+echo "==> causal perf analyzer: 4-rank dataflow report"
+perf_json="$(mktemp /tmp/miniamr-perf-XXXXXX.json)"
+perf_trace="$(mktemp /tmp/miniamr-perftrace-XXXXXX.json)"
+perf_out="$(timeout 120 "$MINIAMR" --variant dataflow --npx 2 --npy 2 \
+    --nx 8 --ny 8 --nz 8 --num_vars 4 --num_tsteps 4 --input single_sphere \
+    --trace --obs_ring 262144 --perf_report "$perf_json" \
+    --trace-json "$perf_trace" 2>/dev/null)"
+OVERLAP_LINES="$(awk '$1 == "rank" && $3 == "overlap_fraction" { print $2, $4 }' \
+    <<<"$perf_out")" python3 - "$perf_json" "$perf_trace" <<'PY'
+import json, os, sys
+doc = json.load(open(sys.argv[1]))
+assert doc.get("schema") == "miniamr-perf-report" and doc.get("version") == 1, "bad schema"
+assert doc["dropped"] == 0, f"ring overflow dropped {doc['dropped']} events"
+assert len(doc["timesteps"]) == 4, f"expected 4 windows, got {len(doc['timesteps'])}"
+for t in doc["timesteps"]:
+    cp = t["critical_path"]
+    cats = (cp["compute_us"] + cp["pack_us"] + cp["transit_us"]
+            + cp["wait_us"] + cp["runtime_us"])
+    assert cats == cp["total_us"], (
+        f"tstep {t['tstep']}: categories {cats} != total {cp['total_us']}")
+    assert abs(cats - t["wall_us"]) <= 0.05 * t["wall_us"], (
+        f"tstep {t['tstep']}: path {cats} vs wall {t['wall_us']}")
+    assert cp["nodes"] > 0, f"tstep {t['tstep']} walked no nodes"
+recorder = {}
+for line in os.environ["OVERLAP_LINES"].splitlines():
+    rank, frac = line.split()
+    recorder[int(rank)] = float(frac)
+assert recorder, "no recorder overlap lines on stdout"
+for r in doc["ranks_detail"]:
+    rec = recorder[r["rank"]]
+    assert abs(rec - r["overlap_fraction"]) <= 0.02, (
+        f"rank {r['rank']}: recorder {rec} vs analyzer {r['overlap_fraction']}")
+trace = open(sys.argv[2]).read()
+s, f = trace.count('"ph":"s"'), trace.count('"ph":"f"')
+assert s > 0 and s == f, f"flow arrows unbalanced: {s} starts vs {f} finishes"
+PY
+
+# Report-diff plumbing smoke: the same document compared to itself must
+# come out all-1.00x and exit 0 (exercises bench_compare.py's
+# perf-report path deterministically).
+python3 scripts/bench_compare.py BENCH_PR6.json BENCH_PR6.json \
+    --report-old "$perf_json" --report-new "$perf_json" --quiet >/dev/null
+rm -f "$perf_json" "$perf_trace"
+
 echo "CI OK"
