@@ -171,11 +171,18 @@ fn run_benchmark<F>(
 ) where
     F: FnMut(&mut Bencher),
 {
-    let mut bencher = Bencher { sample_size, best_ns_per_iter: f64::NAN };
+    let mut bencher = Bencher {
+        sample_size,
+        best_ns_per_iter: f64::NAN,
+    };
     f(&mut bencher);
     let ns = bencher.best_ns_per_iter;
 
-    let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
     let (rate, unit) = match throughput {
         Some(Throughput::Elements(n)) => (n as f64 / (ns * 1e-9), "elem/s"),
         Some(Throughput::Bytes(n)) => (n as f64 / (ns * 1e-9), "B/s"),
@@ -184,7 +191,10 @@ fn run_benchmark<F>(
     if unit.is_empty() {
         println!("bench {full:<44} {ns:>14.1} ns/iter");
     } else {
-        println!("bench {full:<44} {ns:>14.1} ns/iter  {:>12.3e} {unit}", rate);
+        println!(
+            "bench {full:<44} {ns:>14.1} ns/iter  {:>12.3e} {unit}",
+            rate
+        );
     }
 
     if let Ok(path) = std::env::var("CRITERION_JSON") {

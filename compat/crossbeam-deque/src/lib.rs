@@ -57,7 +57,9 @@ pub struct Worker<T> {
 impl<T> Worker<T> {
     /// Creates a LIFO worker queue.
     pub fn new_lifo() -> Worker<T> {
-        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
     }
 
     /// Creates a FIFO worker queue. With the mutex-backed deque, FIFO is
@@ -89,7 +91,9 @@ impl<T> Worker<T> {
 
     /// Creates a stealer handle sharing this queue.
     pub fn stealer(&self) -> Stealer<T> {
-        Stealer { queue: Arc::clone(&self.queue) }
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
     }
 }
 
@@ -120,7 +124,9 @@ impl<T> Stealer<T> {
 
 impl<T> Clone for Stealer<T> {
     fn clone(&self) -> Stealer<T> {
-        Stealer { queue: Arc::clone(&self.queue) }
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
     }
 }
 
@@ -132,7 +138,9 @@ pub struct Injector<T> {
 impl<T> Injector<T> {
     /// Creates an empty injector.
     pub fn new() -> Injector<T> {
-        Injector { queue: Mutex::new(VecDeque::new()) }
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
     }
 
     /// Pushes a task onto the back of the queue.

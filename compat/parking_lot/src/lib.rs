@@ -18,12 +18,16 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -32,16 +36,23 @@ impl<T: ?Sized> Mutex<T> {
     /// locks are transparently recovered (parking_lot has no poisoning).
     pub fn lock(&self) -> MutexGuard<'_, T> {
         let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        MutexGuard { guard: Some(guard), mutex: &self.inner }
+        MutexGuard {
+            guard: Some(guard),
+            mutex: &self.inner,
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(guard) => Some(MutexGuard { guard: Some(guard), mutex: &self.inner }),
-            Err(sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { guard: Some(p.into_inner()), mutex: &self.inner })
-            }
+            Ok(guard) => Some(MutexGuard {
+                guard: Some(guard),
+                mutex: &self.inner,
+            }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                guard: Some(p.into_inner()),
+                mutex: &self.inner,
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -76,13 +87,17 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.guard.as_ref().expect("guard present outside of condvar wait")
+        self.guard
+            .as_ref()
+            .expect("guard present outside of condvar wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.guard.as_mut().expect("guard present outside of condvar wait")
+        self.guard
+            .as_mut()
+            .expect("guard present outside of condvar wait")
     }
 }
 
@@ -107,13 +122,18 @@ pub struct Condvar {
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Condvar {
-        Condvar { inner: sync::Condvar::new() }
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
     }
 
     /// Blocks until notified, releasing the guard's lock while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.guard.take().expect("guard present");
-        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(PoisonError::into_inner);
         guard.guard = Some(inner);
         let _ = guard.mutex; // keep the field used in all build configs
     }
@@ -130,7 +150,9 @@ impl Condvar {
             Err(p) => p.into_inner(),
         };
         guard.guard = Some(inner);
-        WaitTimeoutResult { timed_out: result.timed_out() }
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Blocks until notified or the deadline `until` passes.

@@ -86,13 +86,19 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> SizeRange {
-            SizeRange { lo: r.start, hi_exclusive: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { lo: n, hi_exclusive: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
@@ -123,7 +129,10 @@ pub mod collection {
 
     /// Generates vectors whose elements come from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Strategy for `BTreeSet<S::Value>` of a size drawn from `size`.
@@ -158,7 +167,10 @@ pub mod collection {
     where
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -181,7 +193,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
-            TestRng(TestRngImpl::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)))
+            TestRng(TestRngImpl::seed_from_u64(
+                h ^ ((case as u64) << 32 | case as u64),
+            ))
         }
     }
 

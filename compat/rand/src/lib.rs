@@ -88,8 +88,12 @@ impl Standard for f64 {
 /// `rand::distributions::uniform::SampleUniform`).
 pub trait SampleUniform: Sized + Copy + PartialOrd {
     /// Samples uniformly from `[lo, hi)` (`inclusive` ⇒ `[lo, hi]`).
-    fn sample_uniform<G: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut G)
-        -> Self;
+    fn sample_uniform<G: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut G,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

@@ -46,7 +46,12 @@ impl<A: Array> SmallVec<A> {
     /// Creates an empty vector (no allocation).
     #[inline]
     pub fn new() -> SmallVec<A> {
-        SmallVec { data: Data::Inline { len: 0, buf: MaybeUninit::uninit() } }
+        SmallVec {
+            data: Data::Inline {
+                len: 0,
+                buf: MaybeUninit::uninit(),
+            },
+        }
     }
 
     /// Number of elements.
@@ -180,7 +185,9 @@ impl<A: Array> DerefMut for SmallVec<A> {
 impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
     #[inline]
     fn from(vec: Vec<A::Item>) -> Self {
-        SmallVec { data: Data::Heap(vec) }
+        SmallVec {
+            data: Data::Heap(vec),
+        }
     }
 }
 
@@ -230,7 +237,11 @@ where
 /// Owned iterator over a [`SmallVec`].
 pub enum IntoIter<A: Array> {
     #[doc(hidden)]
-    Inline { buf: MaybeUninit<A>, len: usize, start: usize },
+    Inline {
+        buf: MaybeUninit<A>,
+        len: usize,
+        start: usize,
+    },
     #[doc(hidden)]
     Heap(std::vec::IntoIter<A::Item>),
 }

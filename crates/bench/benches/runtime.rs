@@ -62,7 +62,10 @@ fn bench_task_spawn(c: &mut Criterion) {
                     rt.task().out(Region::new(o, 0..4)).body(|| {}).spawn();
                 }
                 rt.task()
-                    .accesses(objs.iter().map(|&o| taskrt::Access::read(Region::new(o, 0..4))))
+                    .accesses(
+                        objs.iter()
+                            .map(|&o| taskrt::Access::read(Region::new(o, 0..4))),
+                    )
                     .body(|| {})
                     .spawn();
                 rt.taskwait();
@@ -107,7 +110,10 @@ fn bench_vmpi(c: &mut Criterion) {
     g.bench_function("allreduce_8ranks", |bench| {
         let world = World::new(8, NetworkModel::instant());
         bench.iter(|| {
-            world.run(|comm| comm.allreduce_scalar(comm.rank() as i64, ReduceOp::Sum).unwrap());
+            world.run(|comm| {
+                comm.allreduce_scalar(comm.rank() as i64, ReduceOp::Sum)
+                    .unwrap()
+            });
         });
     });
     g.finish();
@@ -143,7 +149,9 @@ fn bench_tampi_roundtrip(c: &mut Criterion) {
                 let rt = Runtime::new(2);
                 if comm.rank() == 0 {
                     let c = Arc::clone(&comm);
-                    rt.task().body(move || tampi::isend(&c, &[1.0f64; 64], 1, 0).unwrap()).spawn();
+                    rt.task()
+                        .body(move || tampi::isend(&c, &[1.0f64; 64], 1, 0).unwrap())
+                        .spawn();
                 } else {
                     let buf = vmpi::SharedBuffer::<f64>::new(64);
                     let obj = ObjId::fresh();
@@ -168,5 +176,11 @@ fn bench_tampi_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_task_spawn, bench_vmpi, bench_shared_buffer, bench_tampi_roundtrip);
+criterion_group!(
+    benches,
+    bench_task_spawn,
+    bench_vmpi,
+    bench_shared_buffer,
+    bench_tampi_roundtrip
+);
 criterion_main!(benches);

@@ -15,7 +15,11 @@ use simnet::{CostModel, ExecModel};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let nodes = if quick { 4 } else { 64 };
-    let (tsteps, stages, cells, num_vars) = if quick { (10, 10, 8, 8) } else { (40, 40, 12, 40) };
+    let (tsteps, stages, cells, num_vars) = if quick {
+        (10, 10, 8, 8)
+    } else {
+        (40, 40, 12, 40)
+    };
 
     let roots = amr_bench::root_blocks_for_nodes(nodes);
     let cost = CostModel::default();
@@ -37,17 +41,29 @@ fn main() {
     let full = simnet::simulate(&w, &ExecModel::dataflow(workers), &cost);
     let no_overlap = simnet::simulate(
         &w,
-        &ExecModel::DataFlow { workers, overlap: false, smooth_imbalance: true },
+        &ExecModel::DataFlow {
+            workers,
+            overlap: false,
+            smooth_imbalance: true,
+        },
         &cost,
     );
     let no_smooth = simnet::simulate(
         &w,
-        &ExecModel::DataFlow { workers, overlap: true, smooth_imbalance: false },
+        &ExecModel::DataFlow {
+            workers,
+            overlap: true,
+            smooth_imbalance: false,
+        },
         &cost,
     );
     let neither = simnet::simulate(
         &w,
-        &ExecModel::DataFlow { workers, overlap: false, smooth_imbalance: false },
+        &ExecModel::DataFlow {
+            workers,
+            overlap: false,
+            smooth_imbalance: false,
+        },
         &cost,
     );
 
@@ -64,8 +80,14 @@ fn main() {
 
     let mut ok = true;
     ok &= shape_check("overlap contributes", no_overlap.total > full.total);
-    ok &= shape_check("imbalance smoothing contributes", no_smooth.total >= full.total);
-    ok &= shape_check("effects compose", neither.total >= no_overlap.total.max(no_smooth.total));
+    ok &= shape_check(
+        "imbalance smoothing contributes",
+        no_smooth.total >= full.total,
+    );
+    ok &= shape_check(
+        "effects compose",
+        neither.total >= no_overlap.total.max(no_smooth.total),
+    );
 
     // Cause (4): the immediate-successor policy, on the real runtime.
     println!("\n# Immediate-successor scheduling (real runtime, 2 ranks x 3 workers)");
@@ -89,7 +111,14 @@ fn main() {
         let stats = miniamr::run_world(&cfg, 2, net);
         let wall = t0.elapsed().as_secs_f64();
         let passed = stats.iter().all(|s| s.checksums_failed == 0);
-        println!("{}\t{wall:.3}\t{passed}", if immediate { "immediate-successor" } else { "fifo" });
+        println!(
+            "{}\t{wall:.3}\t{passed}",
+            if immediate {
+                "immediate-successor"
+            } else {
+                "fifo"
+            }
+        );
         walls.push(wall);
         ok &= passed;
     }

@@ -17,7 +17,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let real = args.iter().any(|a| a == "--real");
     let nodes = if quick { 4 } else { 64 };
-    let (tsteps, stages, cells, num_vars) = if quick { (10, 10, 8, 8) } else { (40, 40, 12, 40) };
+    let (tsteps, stages, cells, num_vars) = if quick {
+        (10, 10, 8, 8)
+    } else {
+        (40, 40, 12, 40)
+    };
 
     let roots = amr_bench::root_blocks_for_nodes(nodes);
     let objects = four_spheres(tsteps);
@@ -25,7 +29,16 @@ fn main() {
     let ranks = HYBRID_RANKS_PER_NODE * nodes;
     let workers = amr_bench::CORES_PER_NODE / HYBRID_RANKS_PER_NODE;
     let w = build_workload(
-        roots, cells, num_vars, 2, ranks, HYBRID_RANKS_PER_NODE, objects, tsteps, stages, 8,
+        roots,
+        cells,
+        num_vars,
+        2,
+        ranks,
+        HYBRID_RANKS_PER_NODE,
+        objects,
+        tsteps,
+        stages,
+        8,
     );
 
     // Sequential refinement = the fork-join model with one worker for the
@@ -51,7 +64,12 @@ fn main() {
         ("forkjoin", &fj, &fj),
         ("dataflow", &df, &df_task),
     ] {
-        println!("{name}\t{:.3}\t{:.1}%\t{:.3}", r.refine, 100.0 * r.refine / r.total, t.refine);
+        println!(
+            "{name}\t{:.3}\t{:.1}%\t{:.3}",
+            r.refine,
+            100.0 * r.refine / r.total,
+            t.refine
+        );
     }
     let removed = 1.0 - df_task.refine / seq_task.refine;
     println!(
@@ -60,7 +78,10 @@ fn main() {
     );
 
     let mut ok = true;
-    ok &= shape_check("taskified refinement is fastest", df.refine < fj.refine && df.refine < seq.refine);
+    ok &= shape_check(
+        "taskified refinement is fastest",
+        df.refine < fj.refine && df.refine < seq.refine,
+    );
     ok &= shape_check(
         "taskification removes a large share of the copies+exchange time (>=40%)",
         removed >= 0.4,
@@ -106,8 +127,17 @@ fn real_mode() {
         }
         let net = NetworkModel::new(std::time::Duration::from_micros(30), 2.0e9);
         let stats = miniamr::run_world(&cfg, 2, net);
-        let total = stats.iter().map(|s| s.times.total.as_secs_f64()).fold(0.0, f64::max);
-        let refine = stats.iter().map(|s| s.times.refine.as_secs_f64()).fold(0.0, f64::max);
-        println!("{name}\t{total:.3}\t{refine:.3}\t{:.1}%", 100.0 * refine / total);
+        let total = stats
+            .iter()
+            .map(|s| s.times.total.as_secs_f64())
+            .fold(0.0, f64::max);
+        let refine = stats
+            .iter()
+            .map(|s| s.times.refine.as_secs_f64())
+            .fold(0.0, f64::max);
+        println!(
+            "{name}\t{total:.3}\t{refine:.3}\t{:.1}%",
+            100.0 * refine / total
+        );
     }
 }

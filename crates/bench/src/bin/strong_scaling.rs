@@ -59,13 +59,25 @@ fn main() {
     let mut large_base: Option<(f64, f64, f64)> = None;
     let mut nodes = 1usize;
     while nodes <= max_nodes {
-        let (roots, label) = if nodes <= 8 { (small, "small") } else { (big, "large") };
+        let (roots, label) = if nodes <= 8 {
+            (small, "small")
+        } else {
+            (big, "large")
+        };
         let r = compare_variants(nodes, roots, cells, num_vars, tsteps, stages, &cost);
         let thr = (r.mpi.gflops(), r.forkjoin.gflops(), r.dataflow.gflops());
-        let per_node = (thr.0 / nodes as f64, thr.1 / nodes as f64, thr.2 / nodes as f64);
+        let per_node = (
+            thr.0 / nodes as f64,
+            thr.1 / nodes as f64,
+            thr.2 / nodes as f64,
+        );
         let effs = if nodes <= 8 {
             let base = *small_base.get_or_insert(per_node);
-            let e = (per_node.0 / base.0, per_node.1 / base.1, per_node.2 / base.2);
+            let e = (
+                per_node.0 / base.0,
+                per_node.1 / base.1,
+                per_node.2 / base.2,
+            );
             last_small_eff = e;
             e
         } else {
@@ -95,7 +107,10 @@ fn main() {
     if let Some(&(n, df_speedup, effs)) = rows.last() {
         let mut ok = true;
         ok &= shape_check("data-flow fastest at max nodes", df_speedup > 1.1);
-        ok &= shape_check("data-flow efficiency highest", effs.2 > effs.0 && effs.2 > effs.1);
+        ok &= shape_check(
+            "data-flow efficiency highest",
+            effs.2 > effs.0 && effs.2 > effs.1,
+        );
         ok &= shape_check(
             "efficiencies decline with node count",
             rows.first().map(|r| r.2 .0).unwrap_or(1.0) >= effs.0,

@@ -38,8 +38,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let real = args.iter().any(|a| a == "--real");
     let nodes = 4usize;
-    let (tsteps, stages, cells, num_vars) =
-        if quick { (8, 10, 8, 8) } else { (20, 60, 18, 60) };
+    let (tsteps, stages, cells, num_vars) = if quick {
+        (8, 10, 8, 8)
+    } else {
+        (20, 60, 18, 60)
+    };
 
     // Same initial mesh for every configuration: one block per MPI-only
     // rank (48/node), 4x4x3 per node scaled to 4 nodes -> (8, 8, 3)... use
@@ -49,7 +52,9 @@ fn main() {
     let cost = CostModel::default();
 
     println!("# Table I: time (s) varying ranks per node on {nodes} nodes (single sphere)");
-    println!("ranks_per_node\tfj_total\tfj_refine\tfj_no_refine\tdf_total\tdf_refine\tdf_no_refine");
+    println!(
+        "ranks_per_node\tfj_total\tfj_refine\tfj_no_refine\tdf_total\tdf_refine\tdf_no_refine"
+    );
 
     let mut rows = Vec::new();
     for rpn in [1usize, 2, 4, 8, 16] {
@@ -57,11 +62,29 @@ fn main() {
         let workers = CORES_PER_NODE / rpn;
         let c = numa_penalty(rpn, &cost);
         let w_fj = build_workload(
-            roots, cells, num_vars, 2, ranks, rpn, objects.clone(), tsteps, stages, 0,
+            roots,
+            cells,
+            num_vars,
+            2,
+            ranks,
+            rpn,
+            objects.clone(),
+            tsteps,
+            stages,
+            0,
         );
         let fj = simnet::simulate(&w_fj, &ExecModel::ForkJoin { workers }, &c);
         let w_df = build_workload(
-            roots, cells, num_vars, 2, ranks, rpn, objects.clone(), tsteps, stages, 8,
+            roots,
+            cells,
+            num_vars,
+            2,
+            ranks,
+            rpn,
+            objects.clone(),
+            tsteps,
+            stages,
+            8,
         );
         let df = simnet::simulate(&w_df, &ExecModel::dataflow(workers), &c);
         println!(
@@ -79,15 +102,24 @@ fn main() {
     let one = &rows[0];
     let four = rows.iter().find(|r| r.0 == 4).expect("4 ranks/node row");
     let mut ok = true;
-    ok &= shape_check("1 rank/node is worst for fork-join (NUMA)", one.1.total > four.1.total);
-    ok &= shape_check("1 rank/node is worst for data-flow (NUMA)", one.2.total > four.2.total);
+    ok &= shape_check(
+        "1 rank/node is worst for fork-join (NUMA)",
+        one.1.total > four.1.total,
+    );
+    ok &= shape_check(
+        "1 rank/node is worst for data-flow (NUMA)",
+        one.2.total > four.2.total,
+    );
     ok &= shape_check(
         "data-flow beats fork-join at the optimal configuration",
         four.2.total < four.1.total,
     );
     let df_refine_1 = one.2.refine;
     let df_refine_16 = rows.last().expect("16 ranks row").2.refine;
-    ok &= shape_check("refinement time falls with more ranks/node", df_refine_16 < df_refine_1);
+    ok &= shape_check(
+        "refinement time falls with more ranks/node",
+        df_refine_16 < df_refine_1,
+    );
 
     if real {
         real_mode();
@@ -110,7 +142,10 @@ fn real_mode() {
         let ranks = rpn * 2;
         let workers = cores_per_node / rpn;
         let mesh = amr_bench::mesh_for((4, 2, 2), 8, 8, 1, ranks);
-        for (variant, name) in [(Variant::ForkJoin, "forkjoin"), (Variant::DataFlow, "dataflow")] {
+        for (variant, name) in [
+            (Variant::ForkJoin, "forkjoin"),
+            (Variant::DataFlow, "dataflow"),
+        ] {
             let mut cfg = Config::new(mesh.clone());
             cfg.objects = amr_bench::single_sphere(6);
             cfg.num_tsteps = 6;
@@ -128,8 +163,16 @@ fn real_mode() {
                 .with_ranks_per_node(rpn)
                 .with_intra_node_factor(0.2);
             let stats = miniamr::run_world(&cfg, ranks, net);
-            let total = stats.iter().map(|s| s.times.total).max().unwrap_or_default();
-            let refine = stats.iter().map(|s| s.times.refine).max().unwrap_or_default();
+            let total = stats
+                .iter()
+                .map(|s| s.times.total)
+                .max()
+                .unwrap_or_default();
+            let refine = stats
+                .iter()
+                .map(|s| s.times.refine)
+                .max()
+                .unwrap_or_default();
             println!(
                 "{rpn}\t{name}\t{:.3}\t{:.3}\t{:.3}",
                 total.as_secs_f64(),

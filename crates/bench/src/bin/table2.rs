@@ -19,8 +19,11 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--nodes") {
         nodes = args[i + 1].parse().expect("node count");
     }
-    let (tsteps, stages, cells, num_vars) =
-        if quick { (10, 10, 8, 8) } else { (99, 40, 12, 40) };
+    let (tsteps, stages, cells, num_vars) = if quick {
+        (10, 10, 8, 8)
+    } else {
+        (99, 40, 12, 40)
+    };
 
     let roots = amr_bench::root_blocks_for_nodes(nodes);
     let objects = four_spheres(tsteps);
@@ -46,7 +49,11 @@ fn main() {
             k,
         );
         let r = simnet::simulate(&w, &ExecModel::dataflow(workers), &cost);
-        let label = if k == usize::MAX { "all".into() } else { k.to_string() };
+        let label = if k == usize::MAX {
+            "all".into()
+        } else {
+            k.to_string()
+        };
         println!("{label}\t{:.3}", r.non_refine());
         results.push((k, r.non_refine()));
     }
@@ -56,7 +63,11 @@ fn main() {
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
         .expect("swept");
-    let label = if best.0 == usize::MAX { "all".into() } else { best.0.to_string() };
+    let label = if best.0 == usize::MAX {
+        "all".into()
+    } else {
+        best.0.to_string()
+    };
     println!("# observed optimum: {label} msgs/neighbor/dir (paper: 4..16; spread paper 5.5%, here {:.1}%)",
         (t(usize::MAX) / best.1 - 1.0) * 100.0);
     // The model reproduces both U-shape walls — the coarse-granularity

@@ -36,8 +36,7 @@ fn main() {
     let (tsteps, stages, cells, num_vars) = if quick { (4, 6, 8, 4) } else { (9, 20, 12, 20) };
 
     let net = || {
-        NetworkModel::new(std::time::Duration::from_micros(50), 2.0e9)
-            .with_intra_node_factor(0.2)
+        NetworkModel::new(std::time::Duration::from_micros(50), 2.0e9).with_intra_node_factor(0.2)
     };
 
     println!("# Figures 1-3: trace analysis on {nodes} nodes x {cores_per_node} cores");
@@ -79,9 +78,18 @@ fn main() {
         if let Some(tr) = stats.first().and_then(|s| s.trace.as_ref()) {
             println!("timeline (rank 0):\n{}", tr.render_ascii(96));
         }
-        let total = stats.iter().map(|s| s.times.total.as_secs_f64()).fold(0.0, f64::max);
-        let refine = stats.iter().map(|s| s.times.refine.as_secs_f64()).fold(0.0, f64::max);
-        println!("total_s\t{total:.3}\trefine_s\t{refine:.3}\tno_refine_s\t{:.3}", total - refine);
+        let total = stats
+            .iter()
+            .map(|s| s.times.total.as_secs_f64())
+            .fold(0.0, f64::max);
+        let refine = stats
+            .iter()
+            .map(|s| s.times.refine.as_secs_f64())
+            .fold(0.0, f64::max);
+        println!(
+            "total_s\t{total:.3}\trefine_s\t{refine:.3}\tno_refine_s\t{:.3}",
+            total - refine
+        );
         let mut overlap_max: f64 = 0.0;
         for s in stats {
             if let Some(tr) = &s.trace {

@@ -53,7 +53,14 @@ fn main() {
         let (mg, fg, dg) = (r.mpi.gflops(), r.forkjoin.gflops(), r.dataflow.gflops());
         let nr = |s: &simnet::SimResult| s.flops / s.non_refine() / 1e9;
         let (mn, fn_, dn) = (nr(&r.mpi), nr(&r.forkjoin), nr(&r.dataflow));
-        let b = *base.get_or_insert((per_node(mg), per_node(fg), per_node(dg), per_node(mn), per_node(fn_), per_node(dn)));
+        let b = *base.get_or_insert((
+            per_node(mg),
+            per_node(fg),
+            per_node(dg),
+            per_node(mn),
+            per_node(fn_),
+            per_node(dn),
+        ));
         let effs = (
             per_node(mg) / b.0,
             per_node(fg) / b.1,
@@ -81,7 +88,10 @@ fn main() {
     // Shape checks against the paper's qualitative results.
     if let Some(&(n, df_speedup, fj_speedup, effs)) = rows.last() {
         let mut ok = true;
-        ok &= shape_check("data-flow faster than MPI-only at max nodes", df_speedup > 1.1);
+        ok &= shape_check(
+            "data-flow faster than MPI-only at max nodes",
+            df_speedup > 1.1,
+        );
         ok &= shape_check(
             "fork-join gains stay small vs data-flow gains",
             fj_speedup < df_speedup && fj_speedup < 1.3,
@@ -93,7 +103,10 @@ fn main() {
         );
         if rows.len() >= 3 {
             let mid = rows[rows.len() / 2].1;
-            ok &= shape_check("data-flow advantage grows with scale", df_speedup >= mid - 0.05);
+            ok &= shape_check(
+                "data-flow advantage grows with scale",
+                df_speedup >= mid - 0.05,
+            );
         }
         println!("# max nodes evaluated: {n}");
         if !ok {

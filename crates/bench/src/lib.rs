@@ -33,7 +33,10 @@ pub const HYBRID_RANKS_PER_NODE: usize = 4;
 /// scaling doubles the total block count in one direction at a time
 /// (§V-C).
 pub fn root_blocks_for_nodes(nodes: usize) -> (usize, usize, usize) {
-    assert!(nodes.is_power_of_two() && nodes <= 1024, "nodes must be a power of two");
+    assert!(
+        nodes.is_power_of_two() && nodes <= 1024,
+        "nodes must be a power of two"
+    );
     let mut dims = [4usize, 4, 3];
     let mut n = 1;
     let mut axis = 0;
@@ -173,7 +176,11 @@ pub fn compare_variants(
     );
     let dataflow = simnet::simulate(&w_df, &ExecModel::dataflow(workers), cost);
 
-    VariantResults { mpi, forkjoin, dataflow }
+    VariantResults {
+        mpi,
+        forkjoin,
+        dataflow,
+    }
 }
 
 /// Formats seconds with 3 decimals.
@@ -218,9 +225,21 @@ mod tests {
         // ordering matches the paper: dataflow fastest. Paper-like task
         // granularity (12³ cells × 20 vars) — with toy blocks the
         // per-task overhead rightly dominates and no tasking model wins.
-        let r =
-            compare_variants(2, root_blocks_for_nodes(2), 12, 20, 10, 10, &CostModel::default());
-        assert!(r.dataflow.total < r.mpi.total, "{} vs {}", r.dataflow.total, r.mpi.total);
+        let r = compare_variants(
+            2,
+            root_blocks_for_nodes(2),
+            12,
+            20,
+            10,
+            10,
+            &CostModel::default(),
+        );
+        assert!(
+            r.dataflow.total < r.mpi.total,
+            "{} vs {}",
+            r.dataflow.total,
+            r.mpi.total
+        );
         assert!(r.dataflow.total < r.forkjoin.total);
     }
 }

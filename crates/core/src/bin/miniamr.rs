@@ -205,9 +205,7 @@ fn main() {
             }
             "--workers" => workers = parse(next(&mut i)),
             "--latency_us" => latency_us = next(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--bandwidth_gbps" => {
-                bandwidth_gbps = next(&mut i).parse().unwrap_or_else(|_| usage())
-            }
+            "--bandwidth_gbps" => bandwidth_gbps = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--ranks_per_node" => ranks_per_node = parse(next(&mut i)),
             "--fabric" => {
                 fabric_on = match next(&mut i).as_str() {
@@ -217,8 +215,7 @@ fn main() {
                 }
             }
             "--fabric_rtt_us" => {
-                fab.rendezvous_rtt =
-                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) * 1e-6
+                fab.rendezvous_rtt = next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) * 1e-6
             }
             "--fabric_nic_us" => {
                 fab.nic_msg_overhead =
@@ -249,7 +246,9 @@ fn main() {
             "--obs_ring" => obs_ring = parse(next(&mut i)).max(1),
             "--legacy_group_offsets" => legacy_group_offsets = true,
             "--sanitize" => sanitize = true,
-            "--chaos_seed" => chaos.get_or_insert_with(Default::default).seed = parse(next(&mut i)) as u64,
+            "--chaos_seed" => {
+                chaos.get_or_insert_with(Default::default).seed = parse(next(&mut i)) as u64
+            }
             "--chaos_drop" => {
                 chaos.get_or_insert_with(Default::default).drop_p =
                     next(&mut i).parse().unwrap_or_else(|_| usage())
@@ -344,7 +343,11 @@ fn main() {
         std::process::exit(2);
     }
     let net = NetworkModel::from_fabric(&fab);
-    let net = if fabric_on { net.with_fabric(fab.clone()) } else { net };
+    let net = if fabric_on {
+        net.with_fabric(fab.clone())
+    } else {
+        net
+    };
     let n_ranks = cfg.params.num_ranks();
     eprintln!(
         "miniamr: variant={variant:?} ranks={n_ranks} workers={workers} input={input} \
@@ -399,7 +402,9 @@ fn main() {
         );
     }
     let _watchdog = (watchdog_ms > 0).then(|| {
-        obs::Watchdog::start(obs::WatchdogConfig::exiting(Duration::from_millis(watchdog_ms)))
+        obs::Watchdog::start(obs::WatchdogConfig::exiting(Duration::from_millis(
+            watchdog_ms,
+        )))
     });
     // The collector drains the bus online (so long runs never overflow
     // the rings) and hands back the merged stream for both the Chrome
@@ -431,12 +436,27 @@ fn main() {
         stats.iter().map(f).max().unwrap_or_default()
     };
     println!("wall_time_s\t{:.4}", wall.as_secs_f64());
-    println!("gflops\t{:.4}", total_flops as f64 / wall.as_secs_f64() / 1e9);
+    println!(
+        "gflops\t{:.4}",
+        total_flops as f64 / wall.as_secs_f64() / 1e9
+    );
     println!("time_total_s\t{:.4}", max(|s| s.times.total).as_secs_f64());
-    println!("time_refine_s\t{:.4}", max(|s| s.times.refine).as_secs_f64());
-    println!("time_no_refine_s\t{:.4}", max(|s| s.times.non_refine()).as_secs_f64());
-    println!("time_comm_s\t{:.4}", max(|s| s.times.communicate).as_secs_f64());
-    println!("time_stencil_s\t{:.4}", max(|s| s.times.stencil).as_secs_f64());
+    println!(
+        "time_refine_s\t{:.4}",
+        max(|s| s.times.refine).as_secs_f64()
+    );
+    println!(
+        "time_no_refine_s\t{:.4}",
+        max(|s| s.times.non_refine()).as_secs_f64()
+    );
+    println!(
+        "time_comm_s\t{:.4}",
+        max(|s| s.times.communicate).as_secs_f64()
+    );
+    println!(
+        "time_stencil_s\t{:.4}",
+        max(|s| s.times.stencil).as_secs_f64()
+    );
     println!("checksums_passed\t{passed}");
     println!("checksums_failed\t{failed}");
     // All ranks record the same broadcast checksum history, so rank 0's
@@ -449,7 +469,10 @@ fn main() {
     if ckpts > 0 {
         println!("checkpoints_taken\t{ckpts}");
     }
-    println!("final_blocks\t{}", stats.iter().map(|s| s.final_blocks).sum::<usize>());
+    println!(
+        "final_blocks\t{}",
+        stats.iter().map(|s| s.final_blocks).sum::<usize>()
+    );
     println!("blocks_moved\t{moved}");
     println!("msgs_sent\t{msgs}");
     let spawned: u64 = stats.iter().map(|s| s.tasks_spawned).sum();
@@ -457,7 +480,10 @@ fn main() {
     if spawned > 0 {
         println!("tasks_spawned\t{spawned}");
         println!("tasks_replayed\t{replayed}");
-        println!("trace_hits\t{}", stats.iter().map(|s| s.trace_hits).sum::<u64>());
+        println!(
+            "trace_hits\t{}",
+            stats.iter().map(|s| s.trace_hits).sum::<u64>()
+        );
         println!(
             "trace_invalidations\t{}",
             stats.iter().map(|s| s.trace_invalidations).sum::<u64>()
@@ -468,7 +494,10 @@ fn main() {
     println!("pool_hits\t{pool_hits}");
     println!("pool_misses\t{pool_misses}");
     if pool_hits + pool_misses > 0 {
-        println!("pool_hit_rate\t{:.4}", pool_hits as f64 / (pool_hits + pool_misses) as f64);
+        println!(
+            "pool_hit_rate\t{:.4}",
+            pool_hits as f64 / (pool_hits + pool_misses) as f64
+        );
     }
     if trace {
         for s in &stats {

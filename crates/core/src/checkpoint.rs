@@ -55,7 +55,9 @@ fn fold_blocks<'a>(blocks: impl Iterator<Item = (&'a BlockId, &'a [f64])>) -> u6
         h = h.wrapping_mul(PRIME);
     };
     for (id, data) in blocks {
-        fold(((id.level as u64) << 48) | ((id.x as u64) << 32) | ((id.y as u64) << 16) | id.z as u64);
+        fold(
+            ((id.level as u64) << 48) | ((id.x as u64) << 32) | ((id.y as u64) << 16) | id.z as u64,
+        );
         for x in data {
             fold(x.to_bits());
         }
@@ -66,8 +68,11 @@ fn fold_blocks<'a>(blocks: impl Iterator<Item = (&'a BlockId, &'a [f64])>) -> u6
 /// The digest a checkpoint of `state` would carry — used by the recovery
 /// hook to verify a restored state against its source checkpoint.
 pub fn digest_of(state: &RankState) -> u64 {
-    let snap: Vec<(BlockId, Vec<f64>)> =
-        state.blocks.iter().map(|(id, b)| (*id, b.buf.full().to_vec())).collect();
+    let snap: Vec<(BlockId, Vec<f64>)> = state
+        .blocks
+        .iter()
+        .map(|(id, b)| (*id, b.buf.full().to_vec()))
+        .collect();
     fold_blocks(snap.iter().map(|(id, d)| (id, d.as_slice())))
 }
 
@@ -75,8 +80,11 @@ impl RankCheckpoint {
     /// Snapshots a rank's recoverable state. Pure reads; the caller is
     /// responsible for quiescence (no in-flight tasks mutating blocks).
     pub fn take(state: &RankState, tstep: usize, stage: usize, mesh_epoch: u64) -> RankCheckpoint {
-        let blocks: Vec<(BlockId, Vec<f64>)> =
-            state.blocks.iter().map(|(id, b)| (*id, b.buf.full().to_vec())).collect();
+        let blocks: Vec<(BlockId, Vec<f64>)> = state
+            .blocks
+            .iter()
+            .map(|(id, b)| (*id, b.buf.full().to_vec()))
+            .collect();
         let digest = fold_blocks(blocks.iter().map(|(id, d)| (id, d.as_slice())));
         RankCheckpoint {
             rank: state.rank,
@@ -98,7 +106,10 @@ impl RankCheckpoint {
 
     /// Payload size of the snapshot's cell data.
     pub fn bytes(&self) -> u64 {
-        self.blocks.iter().map(|(_, d)| (d.len() * std::mem::size_of::<f64>()) as u64).sum()
+        self.blocks
+            .iter()
+            .map(|(_, d)| (d.len() * std::mem::size_of::<f64>()) as u64)
+            .sum()
     }
 
     /// Rebuilds a fresh [`RankState`] from the snapshot (new buffers, new
@@ -217,9 +228,15 @@ pub fn install_recovery_hook() {
                     ck.bytes(),
                 ));
                 lines.push(if verified {
-                    format!("recovery: checkpoint digest {:016x} verified after restore", ck.digest)
+                    format!(
+                        "recovery: checkpoint digest {:016x} verified after restore",
+                        ck.digest
+                    )
                 } else {
-                    format!("recovery: checkpoint digest MISMATCH (expected {:016x})", ck.digest)
+                    format!(
+                        "recovery: checkpoint digest MISMATCH (expected {:016x})",
+                        ck.digest
+                    )
                 });
             }
             None => lines.push(

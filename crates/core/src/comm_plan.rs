@@ -265,7 +265,10 @@ fn push_transfer(
     if t.src_rank == t.dst_rank {
         plan.locals.push(t);
     } else {
-        groups.entry((t.src_rank, t.dst_rank, t.dir.index())).or_default().push(t);
+        groups
+            .entry((t.src_rank, t.dst_rank, t.dir.index()))
+            .or_default()
+            .push(t);
     }
 }
 
@@ -292,7 +295,11 @@ mod tests {
         // cross-rank faces. One aggregated message each way.
         let x_msgs: Vec<_> = plan.msgs.iter().filter(|m| m.dir == Dir::X).collect();
         assert_eq!(x_msgs.len(), 2);
-        assert_eq!(x_msgs[0].transfers.len(), 4, "4 face pairs cross the rank boundary");
+        assert_eq!(
+            x_msgs[0].transfers.len(),
+            4,
+            "4 face pairs cross the rank boundary"
+        );
         assert!(plan.msgs.iter().all(|m| m.dir == Dir::X));
     }
 
@@ -368,12 +375,22 @@ mod tests {
             .flat_map(|m| m.transfers.iter())
             .chain(plan.locals.iter())
             .collect();
-        assert!(all.iter().any(|t| matches!(t.kind, TransferKind::Restrict { .. })));
-        assert!(all.iter().any(|t| matches!(t.kind, TransferKind::Prolong { .. })));
+        assert!(all
+            .iter()
+            .any(|t| matches!(t.kind, TransferKind::Restrict { .. })));
+        assert!(all
+            .iter()
+            .any(|t| matches!(t.kind, TransferKind::Prolong { .. })));
         // Restrict/Prolong pair up: a fine/coarse boundary seen from both
         // sides.
-        let restricts = all.iter().filter(|t| matches!(t.kind, TransferKind::Restrict { .. })).count();
-        let prolongs = all.iter().filter(|t| matches!(t.kind, TransferKind::Prolong { .. })).count();
+        let restricts = all
+            .iter()
+            .filter(|t| matches!(t.kind, TransferKind::Restrict { .. }))
+            .count();
+        let prolongs = all
+            .iter()
+            .filter(|t| matches!(t.kind, TransferKind::Prolong { .. }))
+            .count();
         assert_eq!(restricts, prolongs);
     }
 

@@ -55,11 +55,25 @@ pub trait BlockMover {
     /// Ships a local block to `to` (tag from [`data_tag`]). The block has
     /// already been removed from the rank's map; the mover owns the
     /// handle until the transfer completes.
-    fn send_block(&mut self, comm: &Arc<Comm>, state: &RankState, block: BlockData, to: usize, tag: i32);
+    fn send_block(
+        &mut self,
+        comm: &Arc<Comm>,
+        state: &RankState,
+        block: BlockData,
+        to: usize,
+        tag: i32,
+    );
     /// Produces the local [`BlockData`] for a block arriving from `from`.
     /// The data need not have arrived when this returns (task-based
     /// movers fill it in asynchronously under dependency protection).
-    fn recv_block(&mut self, comm: &Arc<Comm>, state: &RankState, id: BlockId, from: usize, tag: i32) -> BlockData;
+    fn recv_block(
+        &mut self,
+        comm: &Arc<Comm>,
+        state: &RankState,
+        id: BlockId,
+        from: usize,
+        tag: i32,
+    ) -> BlockData;
     /// Blocks until every outstanding transfer issued through this mover
     /// has completed.
     fn finish(&mut self, comm: &Arc<Comm>);
@@ -73,16 +87,31 @@ pub struct BlockingMover {
 }
 
 impl BlockMover for BlockingMover {
-    fn send_block(&mut self, comm: &Arc<Comm>, state: &RankState, block: BlockData, to: usize, tag: i32) {
+    fn send_block(
+        &mut self,
+        comm: &Arc<Comm>,
+        state: &RankState,
+        block: BlockData,
+        to: usize,
+        tag: i32,
+    ) {
         // Stage through the rank's buffer pool: `isend` snapshots the
         // payload, so the pooled buffer recycles immediately.
         let nv = state.cfg.params.num_vars;
         let mut payload = state.pool.take(nv * state.layout.cells());
         block.pack_interior_into(&state.layout, 0..nv, &mut payload);
-        self.pending_sends.push(comm.isend(&payload, to, tag).expect("send block"));
+        self.pending_sends
+            .push(comm.isend(&payload, to, tag).expect("send block"));
     }
 
-    fn recv_block(&mut self, comm: &Arc<Comm>, state: &RankState, id: BlockId, from: usize, tag: i32) -> BlockData {
+    fn recv_block(
+        &mut self,
+        comm: &Arc<Comm>,
+        state: &RankState,
+        id: BlockId,
+        from: usize,
+        tag: i32,
+    ) -> BlockData {
         let (payload, _) = comm.recv::<f64>(from as i32, tag).expect("recv block");
         let block = BlockData::empty(id, &state.cfg.params);
         block.unpack_interior(&state.layout, 0..state.cfg.params.num_vars, &payload);
@@ -122,7 +151,10 @@ pub fn exchange_blocks(
     let mut rounds = 0usize;
     loop {
         rounds += 1;
-        assert!(rounds < 1000, "block exchange did not converge (capacity livelock?)");
+        assert!(
+            rounds < 1000,
+            "block exchange did not converge (capacity livelock?)"
+        );
 
         // Phase A: receivers decide capacity and send ACKs.
         let mut decisions: Vec<Option<bool>> = vec![None; remaining.len()];
@@ -136,7 +168,8 @@ pub fn exchange_blocks(
                 }
                 decisions[i] = Some(ok);
                 ack_sends.push(
-                    comm.isend(&[ok as u8], m.from, ack_tag(m.seq)).expect("send ack"),
+                    comm.isend(&[ok as u8], m.from, ack_tag(m.seq))
+                        .expect("send ack"),
                 );
             }
         }
@@ -145,16 +178,17 @@ pub fn exchange_blocks(
         let mut next_remaining = Vec::new();
         for m in remaining.iter() {
             if m.from == state.rank {
-                let (ack, _) = comm.recv::<u8>(m.to as i32, ack_tag(m.seq)).expect("recv ack");
+                let (ack, _) = comm
+                    .recv::<u8>(m.to as i32, ack_tag(m.seq))
+                    .expect("recv ack");
                 if ack[0] == 1 {
                     // Control message: the block identifier, used by both
                     // sides to tag the data exchange.
                     let idmsg = [m.block.level as u32, m.block.x, m.block.y, m.block.z];
                     comm.send(&idmsg, m.to, ctrl_tag(m.seq)).expect("send ctrl");
-                    let block = state
-                        .blocks
-                        .remove(&m.block)
-                        .unwrap_or_else(|| panic!("rank {} sending unowned {:?}", state.rank, m.block));
+                    let block = state.blocks.remove(&m.block).unwrap_or_else(|| {
+                        panic!("rank {} sending unowned {:?}", state.rank, m.block)
+                    });
                     mover.send_block(comm, state, block, m.to, data_tag(m.seq));
                     touched += 1;
                 } else {
@@ -167,8 +201,9 @@ pub fn exchange_blocks(
         for (i, m) in remaining.iter().enumerate() {
             if m.to == state.rank {
                 if decisions[i] == Some(true) {
-                    let (idmsg, _) =
-                        comm.recv::<u32>(m.from as i32, ctrl_tag(m.seq)).expect("recv ctrl");
+                    let (idmsg, _) = comm
+                        .recv::<u32>(m.from as i32, ctrl_tag(m.seq))
+                        .expect("recv ctrl");
                     let id = BlockId::new(idmsg[0] as u8, idmsg[1], idmsg[2], idmsg[3]);
                     assert_eq!(id, m.block, "control message names an unexpected block");
                     let block = mover.recv_block(comm, state, id, m.from, data_tag(m.seq));
@@ -224,8 +259,7 @@ pub fn local_refine_jobs(state: &RankState, plan: &RefinePlan) -> Vec<RefineJob>
     for parent in &plan.merges {
         let children = parent.children();
         if state.dir.owner(&children[0]) == Some(state.rank) {
-            let data: Vec<BlockData> =
-                children.iter().map(|c| state.block(c).clone()).collect();
+            let data: Vec<BlockData> = children.iter().map(|c| state.block(c).clone()).collect();
             jobs.push(RefineJob::Merge(data));
         }
     }
@@ -266,7 +300,12 @@ pub fn merge_gather_moves(state: &RankState, plan: &RefinePlan, seq_base: usize)
         for c in &children[1..] {
             let from = state.dir.owner(c).expect("merge child active");
             if from != target {
-                moves.push(Move { block: *c, from, to: target, seq });
+                moves.push(Move {
+                    block: *c,
+                    from,
+                    to: target,
+                    seq,
+                });
                 seq += 1;
             }
         }
@@ -284,9 +323,17 @@ pub fn balance_moves(state: &RankState, seq_base: usize) -> Vec<Move> {
     let mut moves = Vec::new();
     let mut seq = seq_base;
     for (id, &new_owner) in assignment.iter() {
-        let cur = state.dir.owner(id).expect("assignment covers active blocks");
+        let cur = state
+            .dir
+            .owner(id)
+            .expect("assignment covers active blocks");
         if cur != new_owner {
-            moves.push(Move { block: *id, from: cur, to: new_owner, seq });
+            moves.push(Move {
+                block: *id,
+                from: cur,
+                to: new_owner,
+                seq,
+            });
             seq += 1;
         }
     }

@@ -74,7 +74,16 @@ impl RankState {
             }
             dir.apply_plan(&plan);
         }
-        RankState { cfg: cfg.clone(), layout, dir, objects, blocks, rank, n_ranks, pool: BufferPool::new() }
+        RankState {
+            cfg: cfg.clone(),
+            layout,
+            dir,
+            objects,
+            blocks,
+            rank,
+            n_ranks,
+            pool: BufferPool::new(),
+        }
     }
 
     /// The blocks this rank owns, in id order (cheap clones of handles).
@@ -126,7 +135,12 @@ pub fn transfer_payload_elems(t: &FaceTransfer, nvars: usize) -> usize {
 /// Extracts (and transforms) the payload of one face transfer from the
 /// sending block — the *pack* operation (allocating convenience wrapper
 /// around [`pack_transfer_into`]).
-pub fn pack_transfer(layout: &BlockLayout, src: &BlockData, t: &FaceTransfer, vars: Range<usize>) -> Vec<f64> {
+pub fn pack_transfer(
+    layout: &BlockLayout,
+    src: &BlockData,
+    t: &FaceTransfer,
+    vars: Range<usize>,
+) -> Vec<f64> {
     let mut out = vec![0.0; transfer_payload_elems(t, vars.len())];
     pack_transfer_into(layout, src, t, vars, &mut out);
     out
@@ -166,7 +180,9 @@ pub fn unpack_transfer(
 ) {
     debug_assert_eq!(dst.id, t.dst_block);
     match t.kind {
-        TransferKind::Same => face::inject_ghost_face(dst, layout, t.dir, t.dst_side, vars, payload),
+        TransferKind::Same => {
+            face::inject_ghost_face(dst, layout, t.dir, t.dst_side, vars, payload)
+        }
         TransferKind::Restrict { quarter } => {
             face::inject_ghost_quarter(dst, layout, t.dir, t.dst_side, quarter, vars, payload)
         }
@@ -194,7 +210,13 @@ pub fn apply_local_transfer(
 }
 
 /// Fills a domain-boundary ghost plane (zero-gradient).
-pub fn apply_boundary(layout: &BlockLayout, block: &BlockData, dir: Dir, side: Side, vars: Range<usize>) {
+pub fn apply_boundary(
+    layout: &BlockLayout,
+    block: &BlockData,
+    dir: Dir,
+    side: Side,
+    vars: Range<usize>,
+) {
     block.fill_boundary_ghosts(layout, dir, side, vars);
 }
 

@@ -109,7 +109,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing.
     pub fn start() -> Stopwatch {
-        Stopwatch { start: Instant::now() }
+        Stopwatch {
+            start: Instant::now(),
+        }
     }
 
     /// Stops and accumulates into `into`.
@@ -136,7 +138,10 @@ mod tests {
     fn gflops_computation() {
         let s = RunStats {
             flops: 2_000_000_000,
-            times: PhaseTimes { total: Duration::from_secs(2), ..Default::default() },
+            times: PhaseTimes {
+                total: Duration::from_secs(2),
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!((s.gflops() - 1.0).abs() < 1e-9);

@@ -103,7 +103,10 @@ impl Default for Trace {
 impl Trace {
     /// Creates an empty trace whose epoch is now.
     pub fn new() -> Trace {
-        Trace { epoch: Instant::now(), events: Arc::new(Mutex::new(Vec::new())) }
+        Trace {
+            epoch: Instant::now(),
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Records the execution of `f` as one interval of `kind`. When the
@@ -124,7 +127,11 @@ impl Trace {
                 start: Duration::from_micros(start_us),
                 end: Duration::from_micros(end_us),
             });
-            bus.emit(obs::EventData::Span { kind: kind.name(), start_us, end_us });
+            bus.emit(obs::EventData::Span {
+                kind: kind.name(),
+                start_us,
+                end_us,
+            });
             return out;
         }
         let start = self.epoch.elapsed();
@@ -139,7 +146,11 @@ impl Trace {
     /// clock source (and for deterministic tests); `end` is clamped to
     /// `start` if it precedes it.
     pub fn record_interval(&self, kind: Kind, start: Duration, end: Duration) {
-        self.events.lock().push(Event { kind, start, end: end.max(start) });
+        self.events.lock().push(Event {
+            kind,
+            start,
+            end: end.max(start),
+        });
     }
 
     /// Copies out the recorded events, sorted by start time.
@@ -177,7 +188,13 @@ impl Trace {
         let spans: Vec<(u32, u64, u64)> = self
             .events()
             .iter()
-            .map(|e| (e.kind as u32, e.start.as_micros() as u64, e.end.as_micros() as u64))
+            .map(|e| {
+                (
+                    e.kind as u32,
+                    e.start.as_micros() as u64,
+                    e.end.as_micros() as u64,
+                )
+            })
             .collect();
         obs::span::overlap_fraction(&spans)
     }
@@ -285,7 +302,9 @@ mod tests {
     #[test]
     fn records_intervals_and_totals() {
         let t = Trace::new();
-        t.record(Kind::Stencil, || std::thread::sleep(Duration::from_millis(5)));
+        t.record(Kind::Stencil, || {
+            std::thread::sleep(Duration::from_millis(5))
+        });
         t.record(Kind::Pack, || std::thread::sleep(Duration::from_millis(2)));
         let totals = t.totals();
         assert_eq!(totals.len(), 2);
@@ -298,17 +317,31 @@ mod tests {
         let t = Trace::new();
         std::thread::scope(|s| {
             let t1 = t.clone();
-            s.spawn(move || t1.record(Kind::Stencil, || std::thread::sleep(Duration::from_millis(20))));
+            s.spawn(move || {
+                t1.record(Kind::Stencil, || {
+                    std::thread::sleep(Duration::from_millis(20))
+                })
+            });
             let t2 = t.clone();
-            s.spawn(move || t2.record(Kind::Unpack, || std::thread::sleep(Duration::from_millis(20))));
+            s.spawn(move || {
+                t2.record(Kind::Unpack, || {
+                    std::thread::sleep(Duration::from_millis(20))
+                })
+            });
         });
-        assert!(t.overlap_fraction() > 0.5, "overlap {:.2}", t.overlap_fraction());
+        assert!(
+            t.overlap_fraction() > 0.5,
+            "overlap {:.2}",
+            t.overlap_fraction()
+        );
     }
 
     #[test]
     fn serial_trace_has_no_overlap() {
         let t = Trace::new();
-        t.record(Kind::Stencil, || std::thread::sleep(Duration::from_millis(3)));
+        t.record(Kind::Stencil, || {
+            std::thread::sleep(Duration::from_millis(3))
+        });
         t.record(Kind::Pack, || std::thread::sleep(Duration::from_millis(3)));
         assert_eq!(t.overlap_fraction(), 0.0);
     }
@@ -325,7 +358,9 @@ mod tests {
     #[test]
     fn ascii_timeline_shows_active_kinds() {
         let t = Trace::new();
-        t.record(Kind::Stencil, || std::thread::sleep(Duration::from_millis(4)));
+        t.record(Kind::Stencil, || {
+            std::thread::sleep(Duration::from_millis(4))
+        });
         t.record(Kind::Pack, || std::thread::sleep(Duration::from_millis(4)));
         let art = t.render_ascii(40);
         assert!(art.contains("Stencil"), "{art}");
@@ -367,8 +402,16 @@ mod tests {
     fn out_of_order_recording_is_sorted_and_gap_correct() {
         let t = Trace::new();
         // Recorded in reverse order, as concurrent workers may do.
-        t.record_interval(Kind::Pack, Duration::from_millis(20), Duration::from_millis(22));
-        t.record_interval(Kind::Stencil, Duration::from_millis(1), Duration::from_millis(4));
+        t.record_interval(
+            Kind::Pack,
+            Duration::from_millis(20),
+            Duration::from_millis(22),
+        );
+        t.record_interval(
+            Kind::Stencil,
+            Duration::from_millis(1),
+            Duration::from_millis(4),
+        );
         let ev = t.events();
         assert!(ev.windows(2).all(|w| w[0].start <= w[1].start));
         assert_eq!(t.largest_gap(), Duration::from_millis(16));
@@ -380,9 +423,21 @@ mod tests {
         let t = Trace::new();
         // Idle before the first event is not a gap; an interval fully
         // contained in another does not shrink the horizon.
-        t.record_interval(Kind::Stencil, Duration::from_millis(10), Duration::from_millis(30));
-        t.record_interval(Kind::Pack, Duration::from_millis(12), Duration::from_millis(14));
-        t.record_interval(Kind::Unpack, Duration::from_millis(35), Duration::from_millis(36));
+        t.record_interval(
+            Kind::Stencil,
+            Duration::from_millis(10),
+            Duration::from_millis(30),
+        );
+        t.record_interval(
+            Kind::Pack,
+            Duration::from_millis(12),
+            Duration::from_millis(14),
+        );
+        t.record_interval(
+            Kind::Unpack,
+            Duration::from_millis(35),
+            Duration::from_millis(36),
+        );
         assert_eq!(t.largest_gap(), Duration::from_millis(5));
     }
 
@@ -393,10 +448,22 @@ mod tests {
         // An event covering exactly the last tenth must fill only the
         // final column; one ending on a bucket boundary must not spill
         // into the next bucket.
-        t.record_interval(Kind::Stencil, Duration::from_millis(9), Duration::from_millis(10));
-        t.record_interval(Kind::Pack, Duration::from_millis(0), Duration::from_millis(1));
+        t.record_interval(
+            Kind::Stencil,
+            Duration::from_millis(9),
+            Duration::from_millis(10),
+        );
+        t.record_interval(
+            Kind::Pack,
+            Duration::from_millis(0),
+            Duration::from_millis(1),
+        );
         // Zero-length event inside the range still draws one glyph.
-        t.record_interval(Kind::Send, Duration::from_millis(5), Duration::from_millis(5));
+        t.record_interval(
+            Kind::Send,
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+        );
         let art = t.render_ascii(w);
         let lane = |name: &str| {
             art.lines()
@@ -415,9 +482,21 @@ mod tests {
         // must agree on the same intervals (CI enforces <= 0.02 on real
         // runs; deterministic inputs agree to rounding).
         let t = Trace::new();
-        t.record_interval(Kind::Stencil, Duration::from_micros(0), Duration::from_micros(100));
-        t.record_interval(Kind::Unpack, Duration::from_micros(50), Duration::from_micros(150));
-        t.record_interval(Kind::Pack, Duration::from_micros(160), Duration::from_micros(200));
+        t.record_interval(
+            Kind::Stencil,
+            Duration::from_micros(0),
+            Duration::from_micros(100),
+        );
+        t.record_interval(
+            Kind::Unpack,
+            Duration::from_micros(50),
+            Duration::from_micros(150),
+        );
+        t.record_interval(
+            Kind::Pack,
+            Duration::from_micros(160),
+            Duration::from_micros(200),
+        );
         let old = t.overlap_fraction();
         assert!((old - 50.0 / 190.0).abs() < 1e-9, "{old}");
         let events: Vec<obs::Event> = t

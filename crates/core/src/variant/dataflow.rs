@@ -29,7 +29,9 @@
 use crate::comm_plan::CommPlan;
 use crate::config::Config;
 use crate::exchange::{run_refinement, BlockMover, RefineJob};
-use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState};
+use crate::rank::{
+    apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState,
+};
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
 use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
@@ -51,7 +53,10 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     let comm = Arc::new(comm);
     rt.set_obs_rank(comm.rank() as u32);
     let mut state = RankState::init(cfg, comm.rank(), comm.size());
-    let mut stats = RunStats { rank: state.rank, ..Default::default() };
+    let mut stats = RunStats {
+        rank: state.rank,
+        ..Default::default()
+    };
     let trace = cfg.trace.then(Trace::new);
     let gmax = cfg.var_group(0).len();
 
@@ -63,7 +68,10 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     // trace).
     {
         let sw = Stopwatch::start();
-        let mut mover = TaskMover { rt: Arc::clone(&rt), trace: trace.clone() };
+        let mut mover = TaskMover {
+            rt: Arc::clone(&rt),
+            trace: trace.clone(),
+        };
         let rt2 = Arc::clone(&rt);
         let trace2 = trace.clone();
         stats.blocks_moved += run_refinement(&mut state, &comm, &mut mover, &mut |state, jobs| {
@@ -86,7 +94,10 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     for ts in 0..cfg.num_tsteps {
         // Rank-0 marks delimit the perf analyzer's per-timestep windows.
         if let Some(bus) = obs::bus() {
-            bus.emit_for_rank(state.rank as u32, obs::EventData::TimestepMark { tstep: ts as u32 });
+            bus.emit_for_rank(
+                state.rank as u32,
+                obs::EventData::TimestepMark { tstep: ts as u32 },
+            );
         }
         // One trace scope per timestep: after the stream stabilizes
         // (unchanged mesh and plan), dependency edges replay from the
@@ -97,7 +108,16 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
             for g in 0..cfg.num_groups() {
                 let vars = cfg.var_group(g);
                 let sw = Stopwatch::start();
-                spawn_communicate(&rt, &state, &comm, &plan, &bufs, vars.clone(), &mut stats, trace.as_ref());
+                spawn_communicate(
+                    &rt,
+                    &state,
+                    &comm,
+                    &plan,
+                    &bufs,
+                    vars.clone(),
+                    &mut stats,
+                    trace.as_ref(),
+                );
                 sw.stop(&mut stats.times.communicate);
 
                 // Stencil tasks chain behind the unpackers via block
@@ -120,15 +140,43 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                         rt.taskwait_on(&[Region::whole(prev.obj)]);
                         let local = prev.combine();
                         let total = checksum_remote(&comm, &local);
-                        record_validation(&mut stats, &mut prev_checksum, total, prev.total_cells, prev.epoch, cfg.validate_tol);
+                        record_validation(
+                            &mut stats,
+                            &mut prev_checksum,
+                            total,
+                            prev.total_cells,
+                            prev.epoch,
+                            cfg.validate_tol,
+                        );
                     }
-                    pending = Some(spawn_local_checksum(&rt, &state, cfg, mesh_epoch, trace.as_ref(), checksum_obj));
+                    pending = Some(spawn_local_checksum(
+                        &rt,
+                        &state,
+                        cfg,
+                        mesh_epoch,
+                        trace.as_ref(),
+                        checksum_obj,
+                    ));
                 } else {
-                    let fresh = spawn_local_checksum(&rt, &state, cfg, mesh_epoch, trace.as_ref(), checksum_obj);
+                    let fresh = spawn_local_checksum(
+                        &rt,
+                        &state,
+                        cfg,
+                        mesh_epoch,
+                        trace.as_ref(),
+                        checksum_obj,
+                    );
                     rt.taskwait();
                     let local = fresh.combine();
                     let total = checksum_remote(&comm, &local);
-                    record_validation(&mut stats, &mut prev_checksum, total, fresh.total_cells, fresh.epoch, cfg.validate_tol);
+                    record_validation(
+                        &mut stats,
+                        &mut prev_checksum,
+                        total,
+                        fresh.total_cells,
+                        fresh.epoch,
+                        cfg.validate_tol,
+                    );
                 }
                 sw.stop(&mut stats.times.checksum);
             }
@@ -137,7 +185,13 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
             // no-barrier property of the variant is otherwise untouched).
             if cfg.ckpt_freq != 0 && stage_counter.is_multiple_of(cfg.ckpt_freq) {
                 rt.taskwait();
-                crate::checkpoint::maybe_checkpoint(&state, &mut stats, stage_counter, ts, mesh_epoch);
+                crate::checkpoint::maybe_checkpoint(
+                    &state,
+                    &mut stats,
+                    stage_counter,
+                    ts,
+                    mesh_epoch,
+                );
             }
         }
         drop(ts_scope);
@@ -146,7 +200,10 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
             // Explicit barrier before refinement (Algorithm 4).
             rt.taskwait();
             state.move_objects();
-            let mut mover = TaskMover { rt: Arc::clone(&rt), trace: trace.clone() };
+            let mut mover = TaskMover {
+                rt: Arc::clone(&rt),
+                trace: trace.clone(),
+            };
             let rt2 = Arc::clone(&rt);
             let trace2 = trace.clone();
             let moved = run_refinement(&mut state, &comm, &mut mover, &mut |state, jobs| {
@@ -174,7 +231,9 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
             if !live.is_empty() {
                 eprintln!("rank {rank}: {} unreleased tasks", live.len());
                 for (id, label, pending, events) in live.iter().take(20) {
-                    eprintln!("rank {rank}:   task {id} '{label}' pending={pending} events={events}");
+                    eprintln!(
+                        "rank {rank}:   task {id} '{label}' pending={pending} events={events}"
+                    );
                 }
             }
         });
@@ -184,7 +243,14 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     if let Some(prev) = pending.take() {
         let local = prev.combine();
         let total = checksum_remote(&comm, &local);
-        record_validation(&mut stats, &mut prev_checksum, total, prev.total_cells, prev.epoch, cfg.validate_tol);
+        record_validation(
+            &mut stats,
+            &mut prev_checksum,
+            total,
+            prev.total_cells,
+            prev.epoch,
+            cfg.validate_tol,
+        );
     }
     total_sw.stop(&mut stats.times.total);
     stats.flops = flops.load(Ordering::Relaxed);
@@ -256,7 +322,11 @@ fn spawn_communicate(
     // runs (kept behind `legacy_group_offsets` for the watchdog CI test).
     // Intra-message section offsets stay in units of `g` — payload layout
     // and therefore checksums are unchanged.
-    let gb = if state.cfg.legacy_group_offsets { g } else { state.cfg.var_group(0).len() };
+    let gb = if state.cfg.legacy_group_offsets {
+        g
+    } else {
+        state.cfg.var_group(0).len()
+    };
     for dir in Dir::ALL {
         let d = dir.index();
 
@@ -276,7 +346,8 @@ fn spawn_communicate(
                 .priority(1)
                 .out(Region::new(bufs.recv_obj[d], lo..hi))
                 .body(move || {
-                    let work = || tampi::irecv_into(&comm, slice, src as i32, tag).expect("recv task");
+                    let work =
+                        || tampi::irecv_into(&comm, slice, src as i32, tag).expect("recv task");
                     match &tr {
                         Some(t) => t.record(Kind::Recv, work),
                         None => work(),
@@ -340,7 +411,11 @@ fn spawn_communicate(
         }
 
         // Intra-process copies (already taskified by Rico et al., kept).
-        for t in plan.locals.iter().filter(|t| t.dir == dir && t.src_rank == state.rank) {
+        for t in plan
+            .locals
+            .iter()
+            .filter(|t| t.dir == dir && t.src_rank == state.rank)
+        {
             let src = state.block(&t.src_block).clone();
             let dst = state.block(&t.dst_block).clone();
             let layout = state.layout;
@@ -355,7 +430,8 @@ fn spawn_communicate(
                 .input(src_reg)
                 .inout(dst_reg)
                 .body(move || {
-                    let work = || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone(), &pool);
+                    let work =
+                        || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone(), &pool);
                     match &tr {
                         Some(trc) => trc.record(Kind::LocalCopy, work),
                         None => work(),
@@ -472,7 +548,13 @@ fn spawn_local_checksum(
             .spawn();
     }
     let total_cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
-    PendingChecksum { obj, slots, num_vars: nv, total_cells, epoch }
+    PendingChecksum {
+        obj,
+        slots,
+        num_vars: nv,
+        total_cells,
+        epoch,
+    }
 }
 
 /// Split/merge data operations as dependent tasks.
@@ -524,7 +606,14 @@ struct TaskMover {
 }
 
 impl BlockMover for TaskMover {
-    fn send_block(&mut self, comm: &Arc<Comm>, state: &RankState, block: BlockData, to: usize, tag: i32) {
+    fn send_block(
+        &mut self,
+        comm: &Arc<Comm>,
+        state: &RankState,
+        block: BlockData,
+        to: usize,
+        tag: i32,
+    ) {
         let comm = Arc::clone(comm);
         let layout = state.layout;
         let nv = state.cfg.params.num_vars;
@@ -550,7 +639,14 @@ impl BlockMover for TaskMover {
             .spawn();
     }
 
-    fn recv_block(&mut self, comm: &Arc<Comm>, state: &RankState, id: amr_mesh::BlockId, from: usize, tag: i32) -> BlockData {
+    fn recv_block(
+        &mut self,
+        comm: &Arc<Comm>,
+        state: &RankState,
+        id: amr_mesh::BlockId,
+        from: usize,
+        tag: i32,
+    ) -> BlockData {
         let comm = Arc::clone(comm);
         let layout = state.layout;
         let nv = state.cfg.params.num_vars;

@@ -16,7 +16,9 @@
 use crate::comm_plan::{CommPlan, MsgPlan};
 use crate::config::Config;
 use crate::exchange::{run_refinement, BlockingMover, RefineJob};
-use crate::rank::{apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState};
+use crate::rank::{
+    apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState,
+};
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
 use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
@@ -39,7 +41,10 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     });
     rt.set_obs_rank(comm.rank() as u32);
     let mut state = RankState::init(cfg, comm.rank(), comm.size());
-    let mut stats = RunStats { rank: state.rank, ..Default::default() };
+    let mut stats = RunStats {
+        rank: state.rank,
+        ..Default::default()
+    };
     let trace = cfg.trace.then(Trace::new);
     let gmax = cfg.var_group(0).len();
 
@@ -64,14 +69,26 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     for ts in 0..cfg.num_tsteps {
         // Rank-0 marks delimit the perf analyzer's per-timestep windows.
         if let Some(bus) = obs::bus() {
-            bus.emit_for_rank(state.rank as u32, obs::EventData::TimestepMark { tstep: ts as u32 });
+            bus.emit_for_rank(
+                state.rank as u32,
+                obs::EventData::TimestepMark { tstep: ts as u32 },
+            );
         }
         for _stage in 0..cfg.stages_per_ts {
             stage_counter += 1;
             for g in 0..cfg.num_groups() {
                 let vars = cfg.var_group(g);
                 let sw = Stopwatch::start();
-                communicate(&rt, &state, &comm, &plan, &bufs, vars.clone(), &mut stats, trace.as_ref());
+                communicate(
+                    &rt,
+                    &state,
+                    &comm,
+                    &plan,
+                    &bufs,
+                    vars.clone(),
+                    &mut stats,
+                    trace.as_ref(),
+                );
                 sw.stop(&mut stats.times.communicate);
 
                 // Parallel stencil sweep with a closing barrier.
@@ -107,7 +124,14 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                 let local = parallel_local_checksum(&rt, &state, cfg, trace.as_ref());
                 let total = checksum_remote(&comm, &local);
                 let cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
-                record_validation(&mut stats, &mut prev_checksum, total, cells, mesh_epoch, cfg.validate_tol);
+                record_validation(
+                    &mut stats,
+                    &mut prev_checksum,
+                    total,
+                    cells,
+                    mesh_epoch,
+                    cfg.validate_tol,
+                );
                 sw.stop(&mut stats.times.checksum);
             }
             // Every fork-join phase ends in a barrier, so blocks are
@@ -169,11 +193,15 @@ fn run_jobs_parallel(
 
 /// Parallel per-block checksum reduction; combination stays in block
 /// order for determinism.
-fn parallel_local_checksum(rt: &Runtime, state: &RankState, cfg: &Config, trace: Option<&Trace>) -> Vec<f64> {
+fn parallel_local_checksum(
+    rt: &Runtime,
+    state: &RankState,
+    cfg: &Config,
+    trace: Option<&Trace>,
+) -> Vec<f64> {
     let nv = cfg.params.num_vars;
     let blocks: Vec<BlockData> = state.local_blocks();
-    let slots: Arc<Mutex<Vec<Option<Vec<f64>>>>> =
-        Arc::new(Mutex::new(vec![None; blocks.len()]));
+    let slots: Arc<Mutex<Vec<Option<Vec<f64>>>>> = Arc::new(Mutex::new(vec![None; blocks.len()]));
     for (i, block) in blocks.into_iter().enumerate() {
         let layout = state.layout;
         let slots = Arc::clone(&slots);
@@ -189,8 +217,10 @@ fn parallel_local_checksum(rt: &Runtime, state: &RankState, cfg: &Config, trace:
     }
     rt.taskwait();
     let slots = slots.lock();
-    let per_block: Vec<Vec<f64>> =
-        slots.iter().map(|s| s.clone().expect("all slots filled")).collect();
+    let per_block: Vec<Vec<f64>> = slots
+        .iter()
+        .map(|s| s.clone().expect("all slots filled"))
+        .collect();
     amr_mesh::checksum::combine_block_sums(&per_block, nv)
 }
 
@@ -210,18 +240,27 @@ fn communicate(
     let g = vars.len();
     for dir in Dir::ALL {
         let d = dir.index();
-        let inbound: Vec<MsgPlan> =
-            plan.inbound(state.rank).filter(|m| m.dir == dir).cloned().collect();
+        let inbound: Vec<MsgPlan> = plan
+            .inbound(state.rank)
+            .filter(|m| m.dir == dir)
+            .cloned()
+            .collect();
         let mut reqs = Vec::with_capacity(inbound.len());
         for m in &inbound {
             let lo = m.recv_offset * g;
             let slice = bufs.recv[d].slice(lo..lo + m.elems_per_var * g);
-            reqs.push(comm.irecv_into(slice, m.src_rank as i32, m.tag).expect("post recv"));
+            reqs.push(
+                comm.irecv_into(slice, m.src_rank as i32, m.tag)
+                    .expect("post recv"),
+            );
         }
 
         // Parallel pack (read-only on blocks, disjoint buffer sections).
-        let outbound: Vec<MsgPlan> =
-            plan.outbound(state.rank).filter(|m| m.dir == dir).cloned().collect();
+        let outbound: Vec<MsgPlan> = plan
+            .outbound(state.rank)
+            .filter(|m| m.dir == dir)
+            .cloned()
+            .collect();
         for m in &outbound {
             for t in m.transfers.clone() {
                 let src = state.block(&t.src_block).clone();
@@ -251,7 +290,9 @@ fn communicate(
         for m in &outbound {
             let lo = m.send_offset * g;
             let slice = bufs.send[d].slice(lo..lo + m.elems_per_var * g);
-            let req = comm.isend_from(&slice, m.dst_rank, m.tag).expect("send faces");
+            let req = comm
+                .isend_from(&slice, m.dst_rank, m.tag)
+                .expect("send faces");
             stats.msgs_sent += 1;
             stats.elems_sent += (m.elems_per_var * g) as u64;
             // Keep the request alive; completion is awaited below.
@@ -260,15 +301,25 @@ fn communicate(
         let n_recvs = inbound.len();
 
         // Intra-process copies: dependency-protected parallel loop.
-        for t in plan.locals.iter().filter(|t| t.dir == dir && t.src_rank == state.rank) {
+        for t in plan
+            .locals
+            .iter()
+            .filter(|t| t.dir == dir && t.src_rank == state.rank)
+        {
             let src = state.block(&t.src_block).clone();
             let dst = state.block(&t.dst_block).clone();
             let layout = state.layout;
             let vars2 = vars.clone();
             let t = t.clone();
             let deps = vec![
-                taskrt::Access::read(Region::new(crate::block_obj(src.uid), layout.var_elem_range(vars2.clone()))),
-                taskrt::Access::read_write(Region::new(crate::block_obj(dst.uid), layout.var_elem_range(vars2.clone()))),
+                taskrt::Access::read(Region::new(
+                    crate::block_obj(src.uid),
+                    layout.var_elem_range(vars2.clone()),
+                )),
+                taskrt::Access::read_write(Region::new(
+                    crate::block_obj(dst.uid),
+                    layout.var_elem_range(vars2.clone()),
+                )),
             ];
             let tr = trace.cloned();
             let pool = Arc::clone(&state.pool);
@@ -294,7 +345,9 @@ fn communicate(
                 crate::block_obj(b.uid),
                 layout.var_elem_range(vars2.clone()),
             ))];
-            rt.spawn(deps, move || apply_boundary(&layout, &b, bdir, side, vars2.clone()));
+            rt.spawn(deps, move || {
+                apply_boundary(&layout, &b, bdir, side, vars2.clone())
+            });
         }
         rt.taskwait();
 

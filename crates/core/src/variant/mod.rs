@@ -52,7 +52,12 @@ impl Buffers {
         };
         let (send, send_obj) = mk(send_elems);
         let (recv, recv_obj) = mk(recv_elems);
-        Buffers { send, recv, send_obj, recv_obj }
+        Buffers {
+            send,
+            recv,
+            send_obj,
+            recv_obj,
+        }
     }
 }
 

@@ -23,7 +23,10 @@ use vmpi::{Comm, RequestSet};
 pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     let comm = std::sync::Arc::new(comm);
     let mut state = RankState::init(cfg, comm.rank(), comm.size());
-    let mut stats = RunStats { rank: state.rank, ..Default::default() };
+    let mut stats = RunStats {
+        rank: state.rank,
+        ..Default::default()
+    };
     let trace = cfg.trace.then(Trace::new);
     let gmax = cfg.var_group(0).len();
 
@@ -48,21 +51,34 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     for ts in 0..cfg.num_tsteps {
         // Rank-0 marks delimit the perf analyzer's per-timestep windows.
         if let Some(bus) = obs::bus() {
-            bus.emit_for_rank(state.rank as u32, obs::EventData::TimestepMark { tstep: ts as u32 });
+            bus.emit_for_rank(
+                state.rank as u32,
+                obs::EventData::TimestepMark { tstep: ts as u32 },
+            );
         }
         for _stage in 0..cfg.stages_per_ts {
             stage_counter += 1;
             for g in 0..cfg.num_groups() {
                 let vars = cfg.var_group(g);
                 let sw = Stopwatch::start();
-                communicate(&state, &comm, &plan, &bufs, vars.clone(), &mut stats, trace.as_ref());
+                communicate(
+                    &state,
+                    &comm,
+                    &plan,
+                    &bufs,
+                    vars.clone(),
+                    &mut stats,
+                    trace.as_ref(),
+                );
                 sw.stop(&mut stats.times.communicate);
 
                 let sw = Stopwatch::start();
                 for block in state.blocks.values() {
                     let t = trace.as_ref();
                     let flops = match t {
-                        Some(tr) => tr.record(Kind::Stencil, || state.stencil_block(block, vars.clone())),
+                        Some(tr) => {
+                            tr.record(Kind::Stencil, || state.stencil_block(block, vars.clone()))
+                        }
                         None => state.stencil_block(block, vars.clone()),
                     };
                     stats.flops += flops;
@@ -77,7 +93,14 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                     None => checksum_remote(&comm, &local),
                 };
                 let cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
-                record_validation(&mut stats, &mut prev_checksum, total, cells, mesh_epoch, cfg.validate_tol);
+                record_validation(
+                    &mut stats,
+                    &mut prev_checksum,
+                    total,
+                    cells,
+                    mesh_epoch,
+                    cfg.validate_tol,
+                );
                 sw.stop(&mut stats.times.checksum);
             }
             // Serial execution: the rank is quiescent between stages, so
@@ -119,14 +142,16 @@ fn communicate(
     for dir in Dir::ALL {
         let d = dir.index();
         // Post all receives for this direction.
-        let inbound: Vec<&MsgPlan> =
-            plan.inbound(state.rank).filter(|m| m.dir == dir).collect();
+        let inbound: Vec<&MsgPlan> = plan.inbound(state.rank).filter(|m| m.dir == dir).collect();
         let mut reqs = Vec::with_capacity(inbound.len());
         for m in &inbound {
             let lo = m.recv_offset * g;
             let hi = lo + m.elems_per_var * g;
             let slice = bufs.recv[d].slice(lo..hi);
-            reqs.push(comm.irecv_into(slice, m.src_rank as i32, m.tag).expect("post recv"));
+            reqs.push(
+                comm.irecv_into(slice, m.src_rank as i32, m.tag)
+                    .expect("post recv"),
+            );
         }
 
         // Pack straight into the send buffer sections and send — no
@@ -138,7 +163,13 @@ fn communicate(
                 let slice = bufs.send[d].slice(lo..lo + transfer_payload_elems(t, g));
                 let pack = || {
                     slice.with_write(|dst| {
-                        pack_transfer_into(&state.layout, state.block(&t.src_block), t, vars.clone(), dst)
+                        pack_transfer_into(
+                            &state.layout,
+                            state.block(&t.src_block),
+                            t,
+                            vars.clone(),
+                            dst,
+                        )
                     })
                 };
                 match trace {
@@ -149,14 +180,21 @@ fn communicate(
             let lo = m.send_offset * g;
             let hi = lo + m.elems_per_var * g;
             let slice = bufs.send[d].slice(lo..hi);
-            send_reqs.push(comm.isend_from(&slice, m.dst_rank, m.tag).expect("send faces"));
+            send_reqs.push(
+                comm.isend_from(&slice, m.dst_rank, m.tag)
+                    .expect("send faces"),
+            );
             stats.msgs_sent += 1;
             stats.elems_sent += (m.elems_per_var * g) as u64;
         }
 
         // Intra-process copies and domain-boundary fills while messages
         // are in flight.
-        for t in plan.locals.iter().filter(|t| t.dir == dir && t.src_rank == state.rank) {
+        for t in plan
+            .locals
+            .iter()
+            .filter(|t| t.dir == dir && t.src_rank == state.rank)
+        {
             let src = state.block(&t.src_block);
             let dst = state.block(&t.dst_block);
             match trace {
@@ -171,7 +209,13 @@ fn communicate(
             .iter()
             .filter(|(b, bd, _)| *bd == dir && state.dir.owner(b) == Some(state.rank))
         {
-            apply_boundary(&state.layout, state.block(block), *bdir, *side, vars.clone());
+            apply_boundary(
+                &state.layout,
+                state.block(block),
+                *bdir,
+                *side,
+                vars.clone(),
+            );
         }
 
         // Waitany loop: unpack each message as it arrives.

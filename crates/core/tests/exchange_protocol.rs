@@ -58,7 +58,12 @@ fn full_migration_preserves_data() {
             .blocks_of(0)
             .into_iter()
             .enumerate()
-            .map(|(seq, block)| Move { block, from: 0, to: 1, seq })
+            .map(|(seq, block)| Move {
+                block,
+                from: 0,
+                to: 1,
+                seq,
+            })
             .collect();
         let mut mover = BlockingMover::default();
         let touched = exchange_blocks(&mut state, &comm, &moves, &mut mover);
@@ -108,7 +113,12 @@ fn tight_capacity_swap_converges_over_rounds() {
             .into_iter()
             .take(3)
             .enumerate()
-            .map(|(seq, block)| Move { block, from: 0, to: 1, seq })
+            .map(|(seq, block)| Move {
+                block,
+                from: 0,
+                to: 1,
+                seq,
+            })
             .collect();
         let base = moves.len();
         moves.extend(own1.into_iter().take(3).enumerate().map(|(i, block)| Move {

@@ -42,7 +42,10 @@ fn four_rank_dataflow_exports_merged_chrome_trace() {
     assert!(get("tampi.bound_requests") > 0);
 
     let drained = obs::bus().expect("bus enabled").drain();
-    assert_eq!(drained.dropped, 0, "smoke run must fit in the default rings");
+    assert_eq!(
+        drained.dropped, 0,
+        "smoke run must fit in the default rings"
+    );
     assert!(!drained.events.is_empty());
     // drain() merges the stripes back into global sequence order.
     assert!(drained.events.windows(2).all(|w| w[0].seq < w[1].seq));
@@ -58,7 +61,10 @@ fn four_rank_dataflow_exports_merged_chrome_trace() {
         );
     }
     // No unattributed events: every emission carries a real rank.
-    assert!(!json.contains("unattributed"), "events leaked without rank context");
+    assert!(
+        !json.contains("unattributed"),
+        "events leaked without rank context"
+    );
     // Worker lanes, the delivery lane, message lifecycle, phase spans,
     // and counter tracks all make it into the merged timeline.
     for needle in [
@@ -84,9 +90,15 @@ fn four_rank_dataflow_exports_merged_chrome_trace() {
     for line in json.lines().filter(|l| l.contains("\"ph\":\"i\"")) {
         let part = &line[line.find("\"ts\":").expect("instant has ts") + 5..];
         let ts: u64 = part[..part.find(',').unwrap()].parse().unwrap();
-        assert!(ts >= last_ts, "instant timestamps regressed: {ts} < {last_ts}");
+        assert!(
+            ts >= last_ts,
+            "instant timestamps regressed: {ts} < {last_ts}"
+        );
         last_ts = ts;
         seen += 1;
     }
-    assert!(seen > 100, "expected a substantial number of instants, got {seen}");
+    assert!(
+        seen > 100,
+        "expected a substantial number of instants, got {seen}"
+    );
 }

@@ -36,14 +36,22 @@ fn four_rank_dataflow_perf_report_is_schema_valid_and_consistent() {
 
     // --- Cross-rank flow edges -----------------------------------------
     let graph = SpanGraph::build(&drained.events);
-    let delivered: Vec<_> = graph.messages.values().filter(|m| m.delivered_us > 0).collect();
+    let delivered: Vec<_> = graph
+        .messages
+        .values()
+        .filter(|m| m.delivered_us > 0)
+        .collect();
     assert!(!delivered.is_empty(), "no matched messages in a 4-rank run");
     assert!(
         delivered.iter().any(|m| m.src != m.dst),
         "expected cross-rank message nodes"
     );
     for m in &delivered {
-        assert!(m.delivered_us >= m.posted_us, "delivery precedes post on match {}", m.match_id);
+        assert!(
+            m.delivered_us >= m.posted_us,
+            "delivery precedes post on match {}",
+            m.match_id
+        );
     }
     // The same matches become Perfetto flow arrows in the Chrome export.
     let chrome = obs::export_chrome(&drained.events);
@@ -53,7 +61,10 @@ fn four_rank_dataflow_perf_report_is_schema_valid_and_consistent() {
         chrome.matches("\"ph\":\"f\"").count(),
         "every flow start needs its finish"
     );
-    assert!(chrome.contains("\"ph\":\"s\""), "flow arrows missing from export");
+    assert!(
+        chrome.contains("\"ph\":\"s\""),
+        "flow arrows missing from export"
+    );
 
     // --- Report schema round-trip --------------------------------------
     let report = PerfReport::from_events(&drained.events, drained.dropped);
@@ -67,7 +78,11 @@ fn four_rank_dataflow_perf_report_is_schema_valid_and_consistent() {
     // One window per traced timestep (rank-0 marks), each decomposed into
     // categories that sum to the window span exactly — the 5% acceptance
     // bound is structural here.
-    assert_eq!(report.timesteps.len(), cfg.num_tsteps, "one window per timestep");
+    assert_eq!(
+        report.timesteps.len(),
+        cfg.num_tsteps,
+        "one window per timestep"
+    );
     for ts in &report.timesteps {
         let bd = &ts.breakdown;
         assert_eq!(
@@ -82,7 +97,11 @@ fn four_rank_dataflow_perf_report_is_schema_valid_and_consistent() {
     // --- Overlap parity with the legacy recorder ------------------------
     assert_eq!(report.ranks_detail.len(), n_ranks);
     for s in &stats {
-        let recorder = s.trace.as_ref().expect("tracing enabled").overlap_fraction();
+        let recorder = s
+            .trace
+            .as_ref()
+            .expect("tracing enabled")
+            .overlap_fraction();
         let analyzer = report
             .ranks_detail
             .iter()

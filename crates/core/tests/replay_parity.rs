@@ -42,7 +42,12 @@ fn replay_on_off_digests_match() {
     let d_on = stats_on[0].checksum_digest();
     let d_off = stats_off[0].checksum_digest();
     for s in stats_on.iter().chain(&stats_off) {
-        assert_eq!(s.checksum_digest(), d_on, "digest differs on rank {}", s.rank);
+        assert_eq!(
+            s.checksum_digest(),
+            d_on,
+            "digest differs on rank {}",
+            s.rank
+        );
     }
     assert_eq!(d_on, d_off, "replay changed the numerics");
 
@@ -72,5 +77,8 @@ fn replayed_dataflow_matches_mpi_only() {
 
     let d_df = run(&df)[0].checksum_digest();
     let d_mpi = run(&mpi)[0].checksum_digest();
-    assert_eq!(d_df, d_mpi, "replayed data-flow diverged from the reference");
+    assert_eq!(
+        d_df, d_mpi,
+        "replayed data-flow diverged from the reference"
+    );
 }

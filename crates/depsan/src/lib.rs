@@ -336,7 +336,11 @@ pub fn task_label(san: u64) -> String {
     if san == 0 {
         return String::new();
     }
-    state().tasks.get(&san).map(|t| t.label.clone()).unwrap_or_default()
+    state()
+        .tasks
+        .get(&san)
+        .map(|t| t.label.clone())
+        .unwrap_or_default()
 }
 
 /// Human-readable description of a task scope for lint messages:
@@ -401,16 +405,25 @@ pub fn task_spawned(rt: u64, label: &str, rank: u32, decls: &[DeclAccess]) -> u6
     }
     closure.set(san);
     for d in decls {
-        st.objects.entry(d.obj).or_default().declared.push(DeclEntry {
-            san,
-            start: d.start,
-            end: d.end,
-            write: d.write,
-        });
+        st.objects
+            .entry(d.obj)
+            .or_default()
+            .declared
+            .push(DeclEntry {
+                san,
+                start: d.start,
+                end: d.end,
+                write: d.write,
+            });
     }
     st.tasks.insert(
         san,
-        TaskInfo { label: label.to_string(), rank, closure, decls: decls.to_vec() },
+        TaskInfo {
+            label: label.to_string(),
+            rank,
+            closure,
+            decls: decls.to_vec(),
+        },
     );
     san
 }
@@ -432,7 +445,13 @@ pub fn task_spawned(rt: u64, label: &str, rank: u32, decls: &[DeclAccess]) -> u6
 /// the edge was installed (and was therefore skipped by the runtime):
 /// their release happened before this spawn, so their effects are
 /// ordered regardless.
-pub fn replayed_task(rt: u64, label: &str, rank: u32, decls: &[DeclAccess], pred_sans: &[u64]) -> u64 {
+pub fn replayed_task(
+    rt: u64,
+    label: &str,
+    rank: u32,
+    decls: &[DeclAccess],
+    pred_sans: &[u64],
+) -> u64 {
     let mut st = state();
     st.next_san += 1;
     let san = st.next_san;
@@ -476,19 +495,32 @@ pub fn replayed_task(rt: u64, label: &str, rank: u32, decls: &[DeclAccess], pred
     }
     closure.set(san);
     for d in decls {
-        st.objects.entry(d.obj).or_default().declared.push(DeclEntry {
-            san,
-            start: d.start,
-            end: d.end,
-            write: d.write,
-        });
+        st.objects
+            .entry(d.obj)
+            .or_default()
+            .declared
+            .push(DeclEntry {
+                san,
+                start: d.start,
+                end: d.end,
+                write: d.write,
+            });
     }
     st.tasks.insert(
         san,
-        TaskInfo { label: label.to_string(), rank, closure, decls: decls.to_vec() },
+        TaskInfo {
+            label: label.to_string(),
+            rank,
+            closure,
+            decls: decls.to_vec(),
+        },
     );
     for (pred, obj, what) in missing {
-        let pred_label = st.tasks.get(&pred).map(|t| t.label.clone()).unwrap_or_default();
+        let pred_label = st
+            .tasks
+            .get(&pred)
+            .map(|t| t.label.clone())
+            .unwrap_or_default();
         let v = Violation {
             kind: ViolationKind::ReplayMissingEdge,
             rank,
@@ -511,7 +543,9 @@ pub fn replayed_task(rt: u64, label: &str, rank: u32, decls: &[DeclAccess], pred
 /// joined tasks is purged — they can never race with the future.
 pub fn taskwait_joined(rt: u64) {
     let mut st = state();
-    let Some(r) = st.runtimes.get_mut(&rt) else { return };
+    let Some(r) = st.runtimes.get_mut(&rt) else {
+        return;
+    };
     r.base = r.all_spawned.clone();
     let dead = r.base.clone();
     st.tasks.retain(|san, _| !dead.get(*san));
@@ -594,7 +628,9 @@ pub fn record_access(obj: u64, start: usize, end: usize, write: bool) {
     }
     let mut st = state();
     let st = &mut *st;
-    let Some(task) = st.tasks.get(&scope) else { return };
+    let Some(task) = st.tasks.get(&scope) else {
+        return;
+    };
     let os = st.objects.entry(obj).or_default();
     if os.created_by == scope {
         return;
@@ -623,12 +659,23 @@ pub fn record_access(obj: u64, start: usize, end: usize, write: bool) {
             }
         }
         if cursor < end && st.reported_undeclared.insert((scope, obj, write)) {
-            let kind = if write { ViolationKind::UndeclaredWrite } else { ViolationKind::UndeclaredRead };
+            let kind = if write {
+                ViolationKind::UndeclaredWrite
+            } else {
+                ViolationKind::UndeclaredRead
+            };
             let decls: Vec<String> = task
                 .decls
                 .iter()
                 .filter(|d| d.obj == obj)
-                .map(|d| format!("{}..{}{}", d.start, d.end, if d.write { " (write)" } else { "" }))
+                .map(|d| {
+                    format!(
+                        "{}..{}{}",
+                        d.start,
+                        d.end,
+                        if d.write { " (write)" } else { "" }
+                    )
+                })
                 .collect();
             let v = Violation {
                 kind,
@@ -652,11 +699,20 @@ pub fn record_access(obj: u64, start: usize, end: usize, write: bool) {
     let os = st.objects.get(&obj).expect("entry created above");
     let mut races: Vec<ActEntry> = Vec::new();
     for e in &os.actual {
-        if e.san != scope && (write || e.write) && overlap(start, end, e.start, e.end) && !task.closure.get(e.san) {
+        if e.san != scope
+            && (write || e.write)
+            && overlap(start, end, e.start, e.end)
+            && !task.closure.get(e.san)
+        {
             races.push(*e);
         }
     }
-    let me = ActEntry { san: scope, start, end, write };
+    let me = ActEntry {
+        san: scope,
+        start,
+        end,
+        write,
+    };
     let os = st.objects.get_mut(&obj).expect("entry created above");
     if !os.actual.contains(&me) {
         os.actual.push(me);
@@ -721,7 +777,12 @@ pub fn note_chaos_loss(dst_rank: u32, src: usize, tag: i32, comm: u64) {
     if !is_enabled() {
         return;
     }
-    state().chaos_losses.push(ChaosLoss { dst_rank, src, tag, comm });
+    state().chaos_losses.push(ChaosLoss {
+        dst_rank,
+        src,
+        tag,
+        comm,
+    });
 }
 
 /// Takes (consumes) the recorded losses destined for `dst_rank` — the
@@ -776,7 +837,12 @@ mod tests {
     }
 
     fn decl(obj: u64, start: usize, end: usize, write: bool) -> DeclAccess {
-        DeclAccess { obj, start, end, write }
+        DeclAccess {
+            obj,
+            start,
+            end,
+            write,
+        }
     }
 
     #[test]
@@ -813,7 +879,10 @@ mod tests {
         with_scope(t1, || record_access(7, 0, 10, true));
         with_scope(t2, || record_access(7, 0, 10, true));
         with_scope(t3, || record_access(7, 0, 10, true));
-        assert!(take_violations().is_empty(), "replayed edges cover the declared conflicts");
+        assert!(
+            take_violations().is_empty(),
+            "replayed edges cover the declared conflicts"
+        );
     }
 
     #[test]
@@ -908,7 +977,12 @@ mod tests {
         let _g = setup();
         let rt = runtime_created();
         // Two adjacent read sections plus a send-style union read.
-        let t = task_spawned(rt, "send", 0, &[decl(5, 0, 10, false), decl(5, 10, 20, false)]);
+        let t = task_spawned(
+            rt,
+            "send",
+            0,
+            &[decl(5, 0, 10, false), decl(5, 10, 20, false)],
+        );
         with_scope(t, || record_access(5, 0, 20, false));
         assert!(take_violations().is_empty());
         // But a *write* is not covered by read declarations.

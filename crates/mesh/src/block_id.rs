@@ -87,7 +87,12 @@ impl BlockId {
         if self.level == 0 {
             None
         } else {
-            Some(BlockId { level: self.level - 1, x: self.x / 2, y: self.y / 2, z: self.z / 2 })
+            Some(BlockId {
+                level: self.level - 1,
+                x: self.x / 2,
+                y: self.y / 2,
+                z: self.z / 2,
+            })
         }
     }
 
@@ -150,7 +155,12 @@ impl BlockId {
     /// The four are ordered by the two transverse coordinates (minor axis
     /// first), matching the quarter-face packing order of the transfer
     /// operators.
-    pub fn finer_neighbors(&self, dir: Dir, side: Side, params: &MeshParams) -> Option<[BlockId; 4]> {
+    pub fn finer_neighbors(
+        &self,
+        dir: Dir,
+        side: Side,
+        params: &MeshParams,
+    ) -> Option<[BlockId; 4]> {
         let same = self.neighbor(dir, side, params)?;
         // Children of `same` touching the face that looks back at us.
         let child_base = BlockId {
@@ -201,7 +211,11 @@ impl BlockId {
     /// Spatial center of the block.
     pub fn center(&self, params: &MeshParams) -> [f64; 3] {
         let (lo, hi) = self.bounds(params);
-        [(lo[0] + hi[0]) * 0.5, (lo[1] + hi[1]) * 0.5, (lo[2] + hi[2]) * 0.5]
+        [
+            (lo[0] + hi[0]) * 0.5,
+            (lo[1] + hi[1]) * 0.5,
+            (lo[2] + hi[2]) * 0.5,
+        ]
     }
 
     /// Morton (Z-order) key at the finest coordinate resolution, with the
@@ -286,7 +300,10 @@ mod tests {
         let p = params();
         let b = BlockId::new(0, 0, 0, 0);
         assert!(b.neighbor(Dir::X, Side::Lo, &p).is_none());
-        assert_eq!(b.neighbor(Dir::X, Side::Hi, &p), Some(BlockId::new(0, 1, 0, 0)));
+        assert_eq!(
+            b.neighbor(Dir::X, Side::Hi, &p),
+            Some(BlockId::new(0, 1, 0, 0))
+        );
         let edge = BlockId::new(0, 1, 1, 1);
         assert!(edge.neighbor(Dir::X, Side::Hi, &p).is_none());
         assert!(edge.neighbor(Dir::Z, Side::Lo, &p).is_some());

@@ -37,7 +37,12 @@ pub struct BlockLayout {
 impl BlockLayout {
     /// Layout from mesh parameters.
     pub fn of(params: &MeshParams) -> BlockLayout {
-        BlockLayout { nx: params.nx, ny: params.ny, nz: params.nz, num_vars: params.num_vars }
+        BlockLayout {
+            nx: params.nx,
+            ny: params.ny,
+            nz: params.nz,
+            num_vars: params.num_vars,
+        }
     }
 
     /// Total elements (cells with ghosts × variables).
@@ -56,7 +61,9 @@ impl BlockLayout {
     /// `n+1` are ghost layers).
     #[inline]
     pub fn idx(&self, v: usize, z: usize, y: usize, x: usize) -> usize {
-        debug_assert!(v < self.num_vars && z <= self.nz + 1 && y <= self.ny + 1 && x <= self.nx + 1);
+        debug_assert!(
+            v < self.num_vars && z <= self.nz + 1 && y <= self.ny + 1 && x <= self.nx + 1
+        );
         ((v * (self.nz + 2) + z) * (self.ny + 2) + y) * (self.nx + 2) + x
     }
 
@@ -168,8 +175,17 @@ impl BlockData {
 
     /// [`BlockData::pack_interior`] writing into a caller-supplied buffer
     /// of exactly `vars.len() · cells` elements (e.g. a pooled buffer).
-    pub fn pack_interior_into(&self, layout: &BlockLayout, vars: std::ops::Range<usize>, out: &mut [f64]) {
-        assert_eq!(out.len(), vars.len() * layout.cells(), "payload size mismatch");
+    pub fn pack_interior_into(
+        &self,
+        layout: &BlockLayout,
+        vars: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            out.len(),
+            vars.len() * layout.cells(),
+            "payload size mismatch"
+        );
         let mut i = 0;
         let vstart = vars.start;
         let slab = self.buf.slice(layout.var_elem_range(vars.clone()));
@@ -188,8 +204,17 @@ impl BlockData {
 
     /// Writes a payload produced by [`BlockData::pack_interior`] back into
     /// the interior cells.
-    pub fn unpack_interior(&self, layout: &BlockLayout, vars: std::ops::Range<usize>, payload: &[f64]) {
-        assert_eq!(payload.len(), vars.len() * layout.cells(), "payload size mismatch");
+    pub fn unpack_interior(
+        &self,
+        layout: &BlockLayout,
+        vars: std::ops::Range<usize>,
+        payload: &[f64],
+    ) {
+        assert_eq!(
+            payload.len(),
+            vars.len() * layout.cells(),
+            "payload size mismatch"
+        );
         let mut i = 0;
         let vstart = vars.start;
         let slab = self.buf.slice(layout.var_elem_range(vars.clone()));
@@ -208,7 +233,13 @@ impl BlockData {
 
     /// Fills the ghost layer at a domain boundary with the zero-gradient
     /// condition (ghost = adjacent interior cell).
-    pub fn fill_boundary_ghosts(&self, layout: &BlockLayout, dir: Dir, side: Side, vars: std::ops::Range<usize>) {
+    pub fn fill_boundary_ghosts(
+        &self,
+        layout: &BlockLayout,
+        dir: Dir,
+        side: Side,
+        vars: std::ops::Range<usize>,
+    ) {
         let vstart = vars.start;
         let slab = self.buf.slice(layout.var_elem_range(vars.clone()));
         slab.with_write(|data| {
@@ -278,7 +309,8 @@ pub fn split_block(parent: &BlockData, params: &MeshParams) -> Vec<BlockData> {
                                 let py = oy + (y - 1) / 2 + 1;
                                 for x in 1..=layout.nx {
                                     let px = ox + (x - 1) / 2 + 1;
-                                    cdata[layout.idx(v, z, y, x)] = pdata[layout.idx(v, pz, py, px)];
+                                    cdata[layout.idx(v, z, y, x)] =
+                                        pdata[layout.idx(v, pz, py, px)];
                                 }
                             }
                         }
@@ -296,7 +328,10 @@ pub fn split_block(parent: &BlockData, params: &MeshParams) -> Vec<BlockData> {
 pub fn merge_children(children: &[BlockData], params: &MeshParams) -> BlockData {
     assert_eq!(children.len(), 8, "merge needs exactly eight children");
     let layout = BlockLayout::of(params);
-    let parent_id = children[0].id.parent().expect("children are not at level 0");
+    let parent_id = children[0]
+        .id
+        .parent()
+        .expect("children are not at level 0");
     for (i, c) in children.iter().enumerate() {
         assert_eq!(c.id.parent(), Some(parent_id), "mixed octets in merge");
         assert_eq!(c.id.octant(), i, "children must be in octant order");
@@ -326,9 +361,15 @@ pub fn merge_children(children: &[BlockData], params: &MeshParams) -> BlockData 
                                     (1, 1, 0),
                                     (1, 1, 1),
                                 ] {
-                                    sum += cdata[layout.idx(v, 2 * z + 1 + ddz, 2 * y + 1 + ddy, 2 * x + 1 + ddx)];
+                                    sum += cdata[layout.idx(
+                                        v,
+                                        2 * z + 1 + ddz,
+                                        2 * y + 1 + ddy,
+                                        2 * x + 1 + ddx,
+                                    )];
                                 }
-                                pdata[layout.idx(v, oz + z + 1, oy + y + 1, ox + x + 1)] = sum / 8.0;
+                                pdata[layout.idx(v, oz + z + 1, oy + y + 1, ox + x + 1)] =
+                                    sum / 8.0;
                             }
                         }
                     }
@@ -349,11 +390,19 @@ mod tests {
 
     #[test]
     fn layout_indexing_is_contiguous_per_var() {
-        let l = BlockLayout { nx: 4, ny: 4, nz: 4, num_vars: 3 };
+        let l = BlockLayout {
+            nx: 4,
+            ny: 4,
+            nz: 4,
+            num_vars: 3,
+        };
         assert_eq!(l.idx(0, 0, 0, 0), 0);
         assert_eq!(l.idx(0, 0, 0, 1), 1);
         assert_eq!(l.idx(1, 0, 0, 0), l.elems_per_var());
-        assert_eq!(l.var_elem_range(1..3), l.elems_per_var()..3 * l.elems_per_var());
+        assert_eq!(
+            l.var_elem_range(1..3),
+            l.elems_per_var()..3 * l.elems_per_var()
+        );
         assert_eq!(l.elems(), 6 * 6 * 6 * 3);
     }
 
@@ -389,7 +438,8 @@ mod tests {
         assert_eq!(children.len(), 8);
         // Prolongation copies values: the mean over all children's cells
         // equals the mean over the parent's cells exactly.
-        let pmean: f64 = parent.pack_interior(&layout, 0..1).iter().sum::<f64>() / layout.cells() as f64;
+        let pmean: f64 =
+            parent.pack_interior(&layout, 0..1).iter().sum::<f64>() / layout.cells() as f64;
         let csum: f64 = children
             .iter()
             .map(|c| c.pack_interior(&layout, 0..1).iter().sum::<f64>())
@@ -408,7 +458,10 @@ mod tests {
         let orig = parent.pack_interior(&layout, 0..p.num_vars);
         let back = merged.pack_interior(&layout, 0..p.num_vars);
         for (a, b) in orig.iter().zip(back.iter()) {
-            assert!((a - b).abs() < 1e-12, "split→merge changed a cell: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "split→merge changed a cell: {a} vs {b}"
+            );
         }
     }
 

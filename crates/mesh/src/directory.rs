@@ -121,7 +121,10 @@ impl MeshDirectory {
 
     /// Reassigns a block's owner (load balancing).
     pub fn set_owner(&mut self, id: BlockId, owner: usize) {
-        let slot = self.blocks.get_mut(&id).expect("set_owner on inactive block");
+        let slot = self
+            .blocks
+            .get_mut(&id)
+            .expect("set_owner on inactive block");
         *slot = owner;
     }
 
@@ -181,7 +184,9 @@ impl MeshDirectory {
         // Desired post-step level per block.
         let mut desired: BTreeMap<BlockId, u8> = BTreeMap::new();
         for id in self.blocks.keys() {
-            let wants_refine = objects.iter().any(|o| o.drives_refinement(id, &self.params));
+            let wants_refine = objects
+                .iter()
+                .any(|o| o.drives_refinement(id, &self.params));
             let level = if wants_refine {
                 (id.level + 1).min(self.params.num_refine)
             } else if id.level > 0 {
@@ -236,9 +241,10 @@ impl MeshDirectory {
                     continue;
                 }
                 let parent = id.parent().expect("level > 0 since it wants to coarsen");
-                let ok = parent.children().iter().all(|c| {
-                    self.blocks.contains_key(c) && desired.get(c) == Some(&parent.level)
-                });
+                let ok = parent
+                    .children()
+                    .iter()
+                    .all(|c| self.blocks.contains_key(c) && desired.get(c) == Some(&parent.level));
                 if !ok {
                     cancels.push(*id);
                 }
@@ -276,9 +282,10 @@ impl MeshDirectory {
             if !seen_parents.insert(parent) {
                 continue;
             }
-            let ok = parent.children().iter().all(|c| {
-                self.blocks.contains_key(c) && desired.get(c) == Some(&(parent.level))
-            });
+            let ok = parent
+                .children()
+                .iter()
+                .all(|c| self.blocks.contains_key(c) && desired.get(c) == Some(&(parent.level)));
             if ok {
                 merges.push(parent);
             }
@@ -303,7 +310,10 @@ impl MeshDirectory {
                 self.blocks.insert(c, owner);
             }
         }
-        debug_assert!(self.check_balance().is_ok(), "plan produced an unbalanced mesh");
+        debug_assert!(
+            self.check_balance().is_ok(),
+            "plan produced an unbalanced mesh"
+        );
     }
 
     /// Runs refinement steps until the mesh no longer changes (used for
@@ -349,7 +359,10 @@ mod tests {
     fn neighbor_info_same_level() {
         let d = dir2();
         let b = BlockId::new(0, 0, 0, 0);
-        assert_eq!(d.neighbor_info(&b, Dir::X, Side::Lo), NeighborInfo::Boundary);
+        assert_eq!(
+            d.neighbor_info(&b, Dir::X, Side::Lo),
+            NeighborInfo::Boundary
+        );
         assert_eq!(
             d.neighbor_info(&b, Dir::X, Side::Hi),
             NeighborInfo::Same(BlockId::new(0, 1, 0, 0))
@@ -375,7 +388,10 @@ mod tests {
         let mut d = dir2();
         // Split exactly one corner block.
         let target = BlockId::new(0, 0, 0, 0);
-        let plan = RefinePlan { splits: vec![target], merges: vec![] };
+        let plan = RefinePlan {
+            splits: vec![target],
+            merges: vec![],
+        };
         d.apply_plan(&plan);
         let right = BlockId::new(0, 1, 0, 0);
         match d.neighbor_info(&right, Dir::X, Side::Lo) {
@@ -389,7 +405,10 @@ mod tests {
         }
         // And the fine block sees the coarse one.
         let fine = BlockId::new(1, 1, 0, 0);
-        assert_eq!(d.neighbor_info(&fine, Dir::X, Side::Hi), NeighborInfo::Coarser(right));
+        assert_eq!(
+            d.neighbor_info(&fine, Dir::X, Side::Hi),
+            NeighborInfo::Coarser(right)
+        );
     }
 
     #[test]
@@ -432,18 +451,27 @@ mod tests {
         levels.sort_unstable();
         levels.dedup();
         assert!(levels.contains(&3), "max level not reached: {levels:?}");
-        assert!(levels.contains(&2) && levels.contains(&1), "no graded transition: {levels:?}");
+        assert!(
+            levels.contains(&2) && levels.contains(&1),
+            "no graded transition: {levels:?}"
+        );
     }
 
     #[test]
     fn merges_keep_first_childs_owner() {
         let mut d = dir2();
         let target = BlockId::new(0, 1, 1, 1); // owned by rank 0 (single-rank mesh)
-        d.apply_plan(&RefinePlan { splits: vec![target], merges: vec![] });
+        d.apply_plan(&RefinePlan {
+            splits: vec![target],
+            merges: vec![],
+        });
         // Reassign one child to a fictitious rank then merge back.
         let children = target.children();
         d.set_owner(children[0], 5);
-        d.apply_plan(&RefinePlan { splits: vec![], merges: vec![target] });
+        d.apply_plan(&RefinePlan {
+            splits: vec![],
+            merges: vec![target],
+        });
         assert_eq!(d.owner(&target), Some(5));
         assert_eq!(d.len(), 8);
     }

@@ -31,7 +31,14 @@ pub fn face_dims(layout: &BlockLayout, dir: Dir) -> (usize, usize) {
 // The match above folds X and Z because idx argument order differs; keep a
 // dedicated helper to stay explicit:
 #[inline]
-fn cell_index(layout: &BlockLayout, dir: Dir, v: usize, fixed: usize, c1: usize, c2: usize) -> usize {
+fn cell_index(
+    layout: &BlockLayout,
+    dir: Dir,
+    v: usize,
+    fixed: usize,
+    c1: usize,
+    c2: usize,
+) -> usize {
     match dir {
         // (c1, c2) = (y, z)
         Dir::X => layout.idx(v, c2, c1, fixed),
@@ -43,7 +50,13 @@ fn cell_index(layout: &BlockLayout, dir: Dir, v: usize, fixed: usize, c1: usize,
 }
 
 /// Extracts the interior boundary plane on `side` into a packed face.
-pub fn extract_face(block: &BlockData, layout: &BlockLayout, dir: Dir, side: Side, vars: Range<usize>) -> Vec<f64> {
+pub fn extract_face(
+    block: &BlockData,
+    layout: &BlockLayout,
+    dir: Dir,
+    side: Side,
+    vars: Range<usize>,
+) -> Vec<f64> {
     let (n1, n2) = face_dims(layout, dir);
     let mut out = vec![0.0; vars.len() * n1 * n2];
     extract_face_into(block, layout, dir, side, vars, &mut out);
@@ -93,7 +106,14 @@ pub fn extract_face_into(
 }
 
 /// Writes a packed face into the ghost plane on `side`.
-pub fn inject_ghost_face(block: &BlockData, layout: &BlockLayout, dir: Dir, side: Side, vars: Range<usize>, face: &[f64]) {
+pub fn inject_ghost_face(
+    block: &BlockData,
+    layout: &BlockLayout,
+    dir: Dir,
+    side: Side,
+    vars: Range<usize>,
+    face: &[f64],
+) {
     let (n1, n2) = face_dims(layout, dir);
     assert_eq!(face.len(), vars.len() * n1 * n2, "face size mismatch");
     let n = [layout.nx, layout.ny, layout.nz][dir.index()];
@@ -141,7 +161,11 @@ pub fn restrict_face_into(face: &[f64], n1: usize, n2: usize, nvars: usize, out:
     assert_eq!(face.len(), nvars * n1 * n2);
     let h1 = n1 / 2;
     let h2 = n2 / 2;
-    assert_eq!(out.len(), nvars * h1 * h2, "restricted face buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        nvars * h1 * h2,
+        "restricted face buffer size mismatch"
+    );
     let mut o = 0;
     for v in 0..nvars {
         let base = v * n1 * n2;
@@ -175,7 +199,11 @@ pub fn restrict_from_block_into(
     let (n1, n2) = face_dims(layout, dir);
     let h1 = n1 / 2;
     let h2 = n2 / 2;
-    assert_eq!(out.len(), vars.len() * h1 * h2, "restricted face buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        vars.len() * h1 * h2,
+        "restricted face buffer size mismatch"
+    );
     let n = [layout.nx, layout.ny, layout.nz][dir.index()];
     let fixed = match side {
         Side::Lo => 1,
@@ -217,7 +245,11 @@ pub fn prolong_face_into(quarter: &[f64], n1: usize, n2: usize, nvars: usize, ou
     let h1 = n1 / 2;
     let h2 = n2 / 2;
     assert_eq!(quarter.len(), nvars * h1 * h2);
-    assert_eq!(out.len(), nvars * n1 * n2, "prolonged face buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        nvars * n1 * n2,
+        "prolonged face buffer size mismatch"
+    );
     for v in 0..nvars {
         let qbase = v * h1 * h2;
         let obase = v * n1 * n2;
@@ -246,7 +278,11 @@ pub fn inject_prolonged_face(
     let (n1, n2) = face_dims(layout, dir);
     let h1 = n1 / 2;
     let h2 = n2 / 2;
-    assert_eq!(quarter.len(), vars.len() * h1 * h2, "quarter face size mismatch");
+    assert_eq!(
+        quarter.len(),
+        vars.len() * h1 * h2,
+        "quarter face size mismatch"
+    );
     let n = [layout.nx, layout.ny, layout.nz][dir.index()];
     let fixed = match side {
         Side::Lo => 0,
@@ -299,7 +335,11 @@ pub fn extract_face_quarter_into(
     let (n1, n2) = face_dims(layout, dir);
     let h1 = n1 / 2;
     let h2 = n2 / 2;
-    assert_eq!(out.len(), vars.len() * h1 * h2, "quarter face buffer size mismatch");
+    assert_eq!(
+        out.len(),
+        vars.len() * h1 * h2,
+        "quarter face buffer size mismatch"
+    );
     let o1 = (quarter % 2) * h1;
     let o2 = (quarter / 2) * h2;
     let n = [layout.nx, layout.ny, layout.nz][dir.index()];
@@ -343,7 +383,11 @@ pub fn inject_ghost_quarter(
     let (n1, n2) = face_dims(layout, dir);
     let h1 = n1 / 2;
     let h2 = n2 / 2;
-    assert_eq!(face.len(), vars.len() * h1 * h2, "quarter face size mismatch");
+    assert_eq!(
+        face.len(),
+        vars.len() * h1 * h2,
+        "quarter face size mismatch"
+    );
     let o1 = (quarter % 2) * h1;
     let o2 = (quarter / 2) * h2;
     let n = [layout.nx, layout.ny, layout.nz][dir.index()];
@@ -435,7 +479,15 @@ mod tests {
             1.0, 1.0, 2.0, 2.0,
         ];
         let r = restrict_face(&face, 4, 4, 1);
-        assert_eq!(r, vec![(1.0 + 2.0 + 5.0 + 6.0) / 4.0, (3.0 + 4.0 + 7.0 + 8.0) / 4.0, 1.0, 2.0]);
+        assert_eq!(
+            r,
+            vec![
+                (1.0 + 2.0 + 5.0 + 6.0) / 4.0,
+                (3.0 + 4.0 + 7.0 + 8.0) / 4.0,
+                1.0,
+                2.0
+            ]
+        );
     }
 
     #[test]
@@ -457,7 +509,9 @@ mod tests {
     fn restrict_then_prolong_preserves_mean() {
         let (_, l) = setup();
         let (n1, n2) = face_dims(&l, Dir::Y);
-        let face: Vec<f64> = (0..n1 * n2).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+        let face: Vec<f64> = (0..n1 * n2)
+            .map(|i| (i as f64 * 0.37).sin() + 2.0)
+            .collect();
         let r = restrict_face(&face, n1, n2, 1);
         let back = prolong_face(&r, n1, n2, 1);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -548,7 +602,10 @@ mod tests {
 
                 let want = two_step.buf.full().to_vec();
                 let got = fused.buf.full().to_vec();
-                assert_eq!(got, want, "fused prolong-inject diverged ({dir:?} {side:?})");
+                assert_eq!(
+                    got, want,
+                    "fused prolong-inject diverged ({dir:?} {side:?})"
+                );
             }
         }
     }
@@ -584,7 +641,10 @@ mod tests {
                     let v = data[l.idx(0, z, y, l.nx + 1)];
                     if v == 7.0 {
                         sevens += 1;
-                        assert!(y > l.ny / 2 && z > l.nz / 2, "value landed in wrong quarter");
+                        assert!(
+                            y > l.ny / 2 && z > l.nz / 2,
+                            "value landed in wrong quarter"
+                        );
                     }
                 }
             }

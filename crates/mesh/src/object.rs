@@ -126,9 +126,15 @@ impl Object {
         match self.shape {
             Shape::Rectangle => norm(0).abs().max(norm(1).abs()).max(norm(2).abs()),
             Shape::Spheroid => (norm(0).powi(2) + norm(1).powi(2) + norm(2).powi(2)).sqrt(),
-            Shape::CylinderX => (norm(1).powi(2) + norm(2).powi(2)).sqrt().max(norm(0).abs()),
-            Shape::CylinderY => (norm(0).powi(2) + norm(2).powi(2)).sqrt().max(norm(1).abs()),
-            Shape::CylinderZ => (norm(0).powi(2) + norm(1).powi(2)).sqrt().max(norm(2).abs()),
+            Shape::CylinderX => (norm(1).powi(2) + norm(2).powi(2))
+                .sqrt()
+                .max(norm(0).abs()),
+            Shape::CylinderY => (norm(0).powi(2) + norm(2).powi(2))
+                .sqrt()
+                .max(norm(1).abs()),
+            Shape::CylinderZ => (norm(0).powi(2) + norm(1).powi(2))
+                .sqrt()
+                .max(norm(2).abs()),
             Shape::HemisphereXPlus => hemi(rel[0] >= 0.0, norm(0), norm(1), norm(2)),
             Shape::HemisphereXMinus => hemi(rel[0] <= 0.0, norm(0), norm(1), norm(2)),
             Shape::HemisphereYPlus => hemi(rel[1] >= 0.0, norm(0), norm(1), norm(2)),
@@ -288,7 +294,10 @@ mod tests {
         for _ in 0..3 {
             s.step();
         }
-        assert!(s.drives_refinement(&far, &params), "grown object should reach the far block");
+        assert!(
+            s.drives_refinement(&far, &params),
+            "grown object should reach the far block"
+        );
     }
 
     #[test]
@@ -303,7 +312,10 @@ mod tests {
             bounce: false,
         };
         assert!(h.contains([0.7, 0.5, 0.5]));
-        assert!(!h.contains([0.3, 0.5, 0.5]), "the −X half of the sphere is not part of it");
+        assert!(
+            !h.contains([0.3, 0.5, 0.5]),
+            "the −X half of the sphere is not part of it"
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ impl MeshParams {
     pub fn validate(&self) -> Result<(), String> {
         let dims = [self.nx, self.ny, self.nz];
         if dims.iter().any(|&d| d == 0 || d % 2 != 0) {
-            return Err(format!("block cell counts must be even and non-zero, got {dims:?}"));
+            return Err(format!(
+                "block cell counts must be even and non-zero, got {dims:?}"
+            ));
         }
         if self.num_vars == 0 {
             return Err("num_vars must be at least 1".into());
@@ -95,7 +97,11 @@ impl MeshParams {
 
     /// Root-level block grid dimensions `(X, Y, Z)`.
     pub fn root_blocks(&self) -> (usize, usize, usize) {
-        (self.npx * self.init_x, self.npy * self.init_y, self.npz * self.init_z)
+        (
+            self.npx * self.init_x,
+            self.npy * self.init_y,
+            self.npz * self.init_z,
+        )
     }
 
     /// Block grid dimensions at refinement `level`.

@@ -86,7 +86,13 @@ fn rcb_recurse(
     let split = items.len() * left_ranks / ranks;
     let (left, right) = items.split_at_mut(split);
     rcb_recurse(left, rank_base, left_ranks, depth + 1, out);
-    rcb_recurse(right, rank_base + left_ranks, ranks - left_ranks, depth + 1, out);
+    rcb_recurse(
+        right,
+        rank_base + left_ranks,
+        ranks - left_ranks,
+        depth + 1,
+        out,
+    );
 }
 
 /// Measures imbalance of an assignment: `max_count / mean_count`.
@@ -131,9 +137,16 @@ mod tests {
         let d = refined_dir();
         for ranks in [1, 2, 3, 4, 7] {
             let part = sfc_partition(&d, ranks);
-            assert_eq!(part.len(), d.len(), "partition must cover every block exactly once");
+            assert_eq!(
+                part.len(),
+                d.len(),
+                "partition must cover every block exactly once"
+            );
             let imb = imbalance(&part, ranks);
-            assert!(imb < 1.0 + ranks as f64 / d.len() as f64 + 1e-9, "imbalance {imb} too high for {ranks} ranks");
+            assert!(
+                imb < 1.0 + ranks as f64 / d.len() as f64 + 1e-9,
+                "imbalance {imb} too high for {ranks} ranks"
+            );
         }
     }
 
@@ -142,8 +155,10 @@ mod tests {
         let d = refined_dir();
         let part = sfc_partition(&d, 4);
         let params = d.params();
-        let mut ordered: Vec<(u128, usize)> =
-            part.iter().map(|(id, &r)| (id.morton_key(params), r)).collect();
+        let mut ordered: Vec<(u128, usize)> = part
+            .iter()
+            .map(|(id, &r)| (id.morton_key(params), r))
+            .collect();
         ordered.sort_unstable();
         // Owners must be non-decreasing along the curve.
         for w in ordered.windows(2) {

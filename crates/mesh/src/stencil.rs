@@ -75,7 +75,10 @@ impl KernelWorkspace {
     /// first kernel call performs no allocation.
     pub fn for_layout(layout: &BlockLayout) -> KernelWorkspace {
         let plane = (layout.ny + 2) * (layout.nx + 2);
-        KernelWorkspace { prev: vec![0.0; plane], cur: vec![0.0; plane] }
+        KernelWorkspace {
+            prev: vec![0.0; plane],
+            cur: vec![0.0; plane],
+        }
     }
 
     /// Bytes currently held by the scratch planes.
@@ -112,7 +115,12 @@ thread_local! {
 /// face-only exchange never fills; they are populated first with the
 /// zero-gradient diagonal fill (clamp the coordinates to the interior),
 /// identically in every variant, so results stay bitwise comparable.
-pub fn apply_stencil(block: &BlockData, layout: &BlockLayout, kind: StencilKind, vars: Range<usize>) {
+pub fn apply_stencil(
+    block: &BlockData,
+    layout: &BlockLayout,
+    kind: StencilKind,
+    vars: Range<usize>,
+) {
     THREAD_WORKSPACE.with(|ws| {
         apply_stencil_with(block, layout, kind, vars, &mut ws.borrow_mut());
     });
@@ -253,7 +261,8 @@ pub fn apply_stencil_reference(
                                 for dz in 0..3 {
                                     for dy in 0..3 {
                                         for dx in 0..3 {
-                                            sum += data[layout.idx(v, z + dz - 1, y + dy - 1, x + dx - 1)];
+                                            sum += data
+                                                [layout.idx(v, z + dz - 1, y + dy - 1, x + dx - 1)];
                                         }
                                     }
                                 }
@@ -311,7 +320,9 @@ mod tests {
     #[test]
     fn constant_field_is_fixed_point() {
         let (p, l, b) = setup();
-        b.buf.full().with_write(|d| d.iter_mut().for_each(|v| *v = 3.25));
+        b.buf
+            .full()
+            .with_write(|d| d.iter_mut().for_each(|v| *v = 3.25));
         for kind in [StencilKind::SevenPoint, StencilKind::TwentySevenPoint] {
             apply_stencil(&b, &l, kind, 0..p.num_vars);
             b.buf.full().with_read(|d| {
@@ -393,7 +404,11 @@ mod tests {
         let after = b.pack_interior(&l, 0..p.num_vars);
         let per_var = l.cells();
         assert_ne!(&before[..per_var], &after[..per_var], "var 0 should change");
-        assert_eq!(&before[per_var..], &after[per_var..], "var 1 must be untouched");
+        assert_eq!(
+            &before[per_var..],
+            &after[per_var..],
+            "var 1 must be untouched"
+        );
     }
 
     /// Fills a block with a deterministic, irregular pattern (bit-mixed,
@@ -453,6 +468,10 @@ mod tests {
             apply_stencil_with(&b, &l, StencilKind::SevenPoint, 0..1, &mut ws);
             apply_stencil_with(&b, &l, StencilKind::TwentySevenPoint, 0..1, &mut ws);
         }
-        assert_eq!(ws.scratch_bytes(), bytes_before, "workspace grew after warmup");
+        assert_eq!(
+            ws.scratch_bytes(),
+            bytes_before,
+            "workspace grew after warmup"
+        );
     }
 }

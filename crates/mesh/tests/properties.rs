@@ -9,8 +9,15 @@ use amr_mesh::{MeshDirectory, MeshParams, Object, Shape};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = MeshParams> {
-    (1usize..=2, 1usize..=2, 1usize..=2, 1usize..=2, 1usize..=2, 1usize..=2).prop_map(
-        |(npx, npy, npz, ix, iy, iz)| MeshParams {
+    (
+        1usize..=2,
+        1usize..=2,
+        1usize..=2,
+        1usize..=2,
+        1usize..=2,
+        1usize..=2,
+    )
+        .prop_map(|(npx, npy, npz, ix, iy, iz)| MeshParams {
             npx,
             npy,
             npz,
@@ -23,8 +30,7 @@ fn arb_params() -> impl Strategy<Value = MeshParams> {
             num_vars: 2,
             num_refine: 2,
             block_change: 1,
-        },
-    )
+        })
 }
 
 fn arb_object() -> impl Strategy<Value = Object> {
@@ -44,15 +50,17 @@ fn arb_object() -> impl Strategy<Value = Object> {
         (-0.08f64..0.08, -0.08f64..0.08, -0.08f64..0.08),
         any::<bool>(),
     )
-        .prop_map(|(shape, solid, (cx, cy, cz), r, (vx, vy, vz), bounce)| Object {
-            shape,
-            solid,
-            center: [cx, cy, cz],
-            size: [r, r * 0.8, r * 1.1],
-            move_rate: [vx, vy, vz],
-            growth: [0.0; 3],
-            bounce,
-        })
+        .prop_map(
+            |(shape, solid, (cx, cy, cz), r, (vx, vy, vz), bounce)| Object {
+                shape,
+                solid,
+                center: [cx, cy, cz],
+                size: [r, r * 0.8, r * 1.1],
+                move_rate: [vx, vy, vz],
+                growth: [0.0; 3],
+                bounce,
+            },
+        )
 }
 
 proptest! {

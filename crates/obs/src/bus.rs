@@ -102,7 +102,13 @@ impl EventBus {
     /// Emits an event with fully explicit attribution.
     pub fn emit_full(&self, rank: u32, worker: u32, data: EventData) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let ev = Event { seq, t_us: self.now_us(), rank, worker, data };
+        let ev = Event {
+            seq,
+            t_us: self.now_us(),
+            rank,
+            worker,
+            data,
+        };
         let slot = THREAD_SLOT.with(|s| *s);
         let mut ring = self.stripes[slot % STRIPES].lock();
         if ring.buf.len() >= self.capacity {
@@ -156,7 +162,10 @@ mod tests {
         assert_eq!(d.events.len(), 400);
         assert_eq!(d.dropped, 0);
         for (i, e) in d.events.iter().enumerate() {
-            assert_eq!(e.seq, i as u64, "drain must merge stripes into sequence order");
+            assert_eq!(
+                e.seq, i as u64,
+                "drain must merge stripes into sequence order"
+            );
         }
         // Drained means gone.
         assert!(bus.drain().events.is_empty());

@@ -51,7 +51,10 @@ struct Emitter {
 
 impl Emitter {
     fn new() -> Emitter {
-        Emitter { out: String::from("{\"traceEvents\":[\n"), first: true }
+        Emitter {
+            out: String::from("{\"traceEvents\":[\n"),
+            first: true,
+        }
     }
 
     fn push(&mut self, record: String) {
@@ -138,7 +141,11 @@ pub fn export_chrome(events: &[Event]) -> String {
     }
     let ranks: BTreeSet<u32> = lanes.iter().map(|&(r, _)| r).collect();
     for &r in &ranks {
-        let pname = if r == 9999 { "unattributed".to_string() } else { format!("rank {r}") };
+        let pname = if r == 9999 {
+            "unattributed".to_string()
+        } else {
+            format!("rank {r}")
+        };
         em.meta("process_name", r, None, &pname);
     }
     for &(r, tid) in &lanes {
@@ -165,7 +172,12 @@ pub fn export_chrome(events: &[Event]) -> String {
         let tid = tid_of(e.worker);
         let ts = e.t_us;
         match &e.data {
-            EventData::TaskCreated { id, label, preds, replayed } => {
+            EventData::TaskCreated {
+                id,
+                label,
+                preds,
+                replayed,
+            } => {
                 em.instant(
                     "task_created",
                     pid,
@@ -194,23 +206,40 @@ pub fn export_chrome(events: &[Event]) -> String {
                 em.counter("tasks_running", pid, ts, &format!("\"running\":{running}"));
             }
             EventData::TaskEnd { id, label } => {
-                let (start, label) = open
-                    .remove(&(pid, tid, *id))
-                    .unwrap_or((ts, *label));
-                em.slice(label, pid, tid, start, ts.saturating_sub(start), &format!("\"id\":{id}"));
+                let (start, label) = open.remove(&(pid, tid, *id)).unwrap_or((ts, *label));
+                em.slice(
+                    label,
+                    pid,
+                    tid,
+                    start,
+                    ts.saturating_sub(start),
+                    &format!("\"id\":{id}"),
+                );
                 let c = counters.entry(pid).or_default();
                 c.running = (c.running - 1).max(0);
                 let running = c.running;
                 em.counter("tasks_running", pid, ts, &format!("\"running\":{running}"));
             }
             EventData::TaskBlocked { id, holds } => {
-                em.instant("task_blocked", pid, tid, ts, &format!("\"id\":{id},\"holds\":{holds}"));
+                em.instant(
+                    "task_blocked",
+                    pid,
+                    tid,
+                    ts,
+                    &format!("\"id\":{id},\"holds\":{holds}"),
+                );
             }
             EventData::TaskCompleted { id } => {
                 em.instant("task_completed", pid, tid, ts, &format!("\"id\":{id}"));
             }
             EventData::DepEdge { pred, succ } => {
-                em.instant("dep_edge", pid, tid, ts, &format!("\"pred\":{pred},\"succ\":{succ}"));
+                em.instant(
+                    "dep_edge",
+                    pid,
+                    tid,
+                    ts,
+                    &format!("\"pred\":{pred},\"succ\":{succ}"),
+                );
             }
             EventData::HoldAcquire { task } => {
                 em.instant("hold_acquire", pid, tid, ts, &format!("\"task\":{task}"));
@@ -218,7 +247,15 @@ pub fn export_chrome(events: &[Event]) -> String {
             EventData::HoldRelease { task } => {
                 em.instant("hold_release", pid, tid, ts, &format!("\"task\":{task}"));
             }
-            EventData::SendPosted { dst, tag, comm, bytes, eager, match_id, task } => {
+            EventData::SendPosted {
+                dst,
+                tag,
+                comm,
+                bytes,
+                eager,
+                match_id,
+                task,
+            } => {
                 em.instant(
                     "send_posted",
                     pid,
@@ -230,7 +267,12 @@ pub fn export_chrome(events: &[Event]) -> String {
                     em.flow_start(*match_id, pid, tid, ts);
                 }
             }
-            EventData::RecvPosted { src, tag, comm, task } => {
+            EventData::RecvPosted {
+                src,
+                tag,
+                comm,
+                task,
+            } => {
                 em.instant(
                     "recv_posted",
                     pid,
@@ -239,7 +281,15 @@ pub fn export_chrome(events: &[Event]) -> String {
                     &format!("\"src\":{src},\"tag\":{tag},\"comm\":{comm},\"task\":{task}"),
                 );
             }
-            EventData::MsgMatched { src, tag, comm, bytes, at_send, match_id, recv_task } => {
+            EventData::MsgMatched {
+                src,
+                tag,
+                comm,
+                bytes,
+                at_send,
+                match_id,
+                recv_task,
+            } => {
                 em.instant(
                     "msg_matched",
                     pid,
@@ -248,7 +298,15 @@ pub fn export_chrome(events: &[Event]) -> String {
                     &format!("\"src\":{src},\"tag\":{tag},\"comm\":{comm},\"bytes\":{bytes},\"at_send\":{at_send},\"match_id\":{match_id},\"recv_task\":{recv_task}"),
                 );
             }
-            EventData::MsgDelivered { src, tag, comm, bytes, match_id, recv_task, queue_us } => {
+            EventData::MsgDelivered {
+                src,
+                tag,
+                comm,
+                bytes,
+                match_id,
+                recv_task,
+                queue_us,
+            } => {
                 em.instant(
                     "msg_delivered",
                     pid,
@@ -263,7 +321,12 @@ pub fn export_chrome(events: &[Event]) -> String {
             EventData::WaitanyWake { index } => {
                 em.instant("waitany_wake", pid, tid, ts, &format!("\"index\":{index}"));
             }
-            EventData::QueueDepth { mailbox, msgs, recvs, bytes } => {
+            EventData::QueueDepth {
+                mailbox,
+                msgs,
+                recvs,
+                bytes,
+            } => {
                 let in_flight = u64::from(*msgs) + u64::from(*recvs);
                 em.counter(
                     "requests_in_flight",
@@ -273,7 +336,12 @@ pub fn export_chrome(events: &[Event]) -> String {
                 );
                 em.counter("bytes_queued", *mailbox, ts, &format!("\"bytes\":{bytes}"));
             }
-            EventData::FabricDepth { node, up_flows, down_flows, queued_bytes } => {
+            EventData::FabricDepth {
+                node,
+                up_flows,
+                down_flows,
+                queued_bytes,
+            } => {
                 // One counter process per fabric node would collide with
                 // rank pids; plot on the emitting rank's process instead,
                 // with the node index in the series name.
@@ -291,7 +359,12 @@ pub fn export_chrome(events: &[Event]) -> String {
                     &format!("\"bytes\":{queued_bytes}"),
                 );
             }
-            EventData::SanViolation { kind, task, obj, detail } => {
+            EventData::SanViolation {
+                kind,
+                task,
+                obj,
+                detail,
+            } => {
                 em.instant(
                     "san_violation",
                     pid,
@@ -304,7 +377,13 @@ pub fn export_chrome(events: &[Event]) -> String {
                     ),
                 );
             }
-            EventData::FaultInjected { kind, src, dst, tag, seq } => {
+            EventData::FaultInjected {
+                kind,
+                src,
+                dst,
+                tag,
+                seq,
+            } => {
                 em.instant(
                     "fault_injected",
                     pid,
@@ -316,7 +395,13 @@ pub fn export_chrome(events: &[Event]) -> String {
                     ),
                 );
             }
-            EventData::Retransmit { src, dst, tag, seq, attempt } => {
+            EventData::Retransmit {
+                src,
+                dst,
+                tag,
+                seq,
+                attempt,
+            } => {
                 em.instant(
                     "retransmit",
                     pid,
@@ -325,7 +410,13 @@ pub fn export_chrome(events: &[Event]) -> String {
                     &format!("\"src\":{src},\"dst\":{dst},\"tag\":{tag},\"seq\":{seq},\"attempt\":{attempt}"),
                 );
             }
-            EventData::CheckpointTaken { rank, tstep, stage, blocks, bytes } => {
+            EventData::CheckpointTaken {
+                rank,
+                tstep,
+                stage,
+                blocks,
+                bytes,
+            } => {
                 em.instant(
                     "checkpoint_taken",
                     pid,
@@ -354,10 +445,25 @@ pub fn export_chrome(events: &[Event]) -> String {
                     &format!("\"key\":{key},\"tasks\":{tasks}"),
                 );
             }
-            EventData::Span { kind, start_us, end_us } => {
-                em.slice(kind, pid, tid, *start_us, end_us.saturating_sub(*start_us), "");
+            EventData::Span {
+                kind,
+                start_us,
+                end_us,
+            } => {
+                em.slice(
+                    kind,
+                    pid,
+                    tid,
+                    *start_us,
+                    end_us.saturating_sub(*start_us),
+                    "",
+                );
             }
-            EventData::WaitSpan { kind, start_us, end_us } => {
+            EventData::WaitSpan {
+                kind,
+                start_us,
+                end_us,
+            } => {
                 em.slice(
                     &format!("wait:{kind}"),
                     pid,
@@ -379,7 +485,14 @@ pub fn export_chrome(events: &[Event]) -> String {
     leftovers.sort_unstable_by_key(|&((pid, tid, id), _)| (pid, tid, id));
     let horizon = events.last().map(|e| e.t_us).unwrap_or(0);
     for ((pid, tid, id), (start, label)) in leftovers {
-        em.slice(label, pid, tid, start, horizon.saturating_sub(start), &format!("\"id\":{id},\"truncated\":true"));
+        em.slice(
+            label,
+            pid,
+            tid,
+            start,
+            horizon.saturating_sub(start),
+            &format!("\"id\":{id},\"truncated\":true"),
+        );
     }
 
     em.finish()
@@ -391,29 +504,119 @@ mod tests {
     use crate::event::Event;
 
     fn ev(seq: u64, t_us: u64, rank: u32, worker: u32, data: EventData) -> Event {
-        Event { seq, t_us, rank, worker, data }
+        Event {
+            seq,
+            t_us,
+            rank,
+            worker,
+            data,
+        }
     }
 
     #[test]
     fn export_is_valid_json_with_processes_and_counters() {
         let events = vec![
-            ev(0, 10, 0, LANE_MAIN, EventData::TaskCreated { id: 1, label: "stencil", preds: 0, replayed: false }),
-            ev(0, 11, 0, LANE_MAIN, EventData::TraceMark { kind: "hit", key: 0, tasks: 1 }),
+            ev(
+                0,
+                10,
+                0,
+                LANE_MAIN,
+                EventData::TaskCreated {
+                    id: 1,
+                    label: "stencil",
+                    preds: 0,
+                    replayed: false,
+                },
+            ),
+            ev(
+                0,
+                11,
+                0,
+                LANE_MAIN,
+                EventData::TraceMark {
+                    kind: "hit",
+                    key: 0,
+                    tasks: 1,
+                },
+            ),
             ev(1, 12, 0, 0, EventData::TaskReady { id: 1 }),
-            ev(2, 15, 0, 0, EventData::TaskStart { id: 1, label: "stencil" }),
-            ev(3, 40, 0, 0, EventData::TaskEnd { id: 1, label: "stencil" }),
-            ev(4, 41, 1, LANE_MAIN, EventData::SendPosted { dst: 0, tag: 7, comm: 0, bytes: 64, eager: true, match_id: 5, task: 0 }),
-            ev(5, 42, 0, LANE_NET, EventData::MsgDelivered { src: 1, tag: 7, comm: 0, bytes: 64, match_id: 5, recv_task: 0, queue_us: 1 }),
-            ev(6, 43, 1, LANE_MAIN, EventData::QueueDepth { mailbox: 1, msgs: 2, recvs: 1, bytes: 128 }),
+            ev(
+                2,
+                15,
+                0,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "stencil",
+                },
+            ),
+            ev(
+                3,
+                40,
+                0,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "stencil",
+                },
+            ),
+            ev(
+                4,
+                41,
+                1,
+                LANE_MAIN,
+                EventData::SendPosted {
+                    dst: 0,
+                    tag: 7,
+                    comm: 0,
+                    bytes: 64,
+                    eager: true,
+                    match_id: 5,
+                    task: 0,
+                },
+            ),
+            ev(
+                5,
+                42,
+                0,
+                LANE_NET,
+                EventData::MsgDelivered {
+                    src: 1,
+                    tag: 7,
+                    comm: 0,
+                    bytes: 64,
+                    match_id: 5,
+                    recv_task: 0,
+                    queue_us: 1,
+                },
+            ),
+            ev(
+                6,
+                43,
+                1,
+                LANE_MAIN,
+                EventData::QueueDepth {
+                    mailbox: 1,
+                    msgs: 2,
+                    recvs: 1,
+                    bytes: 128,
+                },
+            ),
         ];
         let json = export_chrome(&events);
         crate::json::validate(&json).expect("exporter must emit valid JSON");
         assert!(json.contains("\"pid\":0"));
         assert!(json.contains("\"pid\":1"));
-        assert!(json.contains("\"ph\":\"X\""), "task execution slice missing");
+        assert!(
+            json.contains("\"ph\":\"X\""),
+            "task execution slice missing"
+        );
         assert!(json.contains("requests_in_flight"));
         assert!(json.contains("bytes_queued"));
-        assert!(json.contains("\"name\":\"net\""), "delivery lane metadata missing");
+        assert!(
+            json.contains("\"name\":\"net\""),
+            "delivery lane metadata missing"
+        );
         assert!(json.contains("\"ph\":\"s\""), "flow arrow start missing");
         assert!(json.contains("\"ph\":\"f\""), "flow arrow finish missing");
     }
@@ -421,20 +624,64 @@ mod tests {
     #[test]
     fn unattributed_send_emits_no_flow_arrow() {
         let events = vec![
-            ev(0, 1, 0, LANE_MAIN, EventData::SendPosted { dst: 1, tag: 0, comm: 0, bytes: 8, eager: true, match_id: 0, task: 0 }),
-            ev(1, 2, 1, LANE_NET, EventData::MsgDelivered { src: 0, tag: 0, comm: 0, bytes: 8, match_id: 0, recv_task: 0, queue_us: 0 }),
+            ev(
+                0,
+                1,
+                0,
+                LANE_MAIN,
+                EventData::SendPosted {
+                    dst: 1,
+                    tag: 0,
+                    comm: 0,
+                    bytes: 8,
+                    eager: true,
+                    match_id: 0,
+                    task: 0,
+                },
+            ),
+            ev(
+                1,
+                2,
+                1,
+                LANE_NET,
+                EventData::MsgDelivered {
+                    src: 0,
+                    tag: 0,
+                    comm: 0,
+                    bytes: 8,
+                    match_id: 0,
+                    recv_task: 0,
+                    queue_us: 0,
+                },
+            ),
         ];
         let json = export_chrome(&events);
         crate::json::validate(&json).unwrap();
-        assert!(!json.contains("\"ph\":\"s\""), "match_id 0 must not start a flow");
-        assert!(!json.contains("\"ph\":\"f\""), "match_id 0 must not finish a flow");
+        assert!(
+            !json.contains("\"ph\":\"s\""),
+            "match_id 0 must not start a flow"
+        );
+        assert!(
+            !json.contains("\"ph\":\"f\""),
+            "match_id 0 must not finish a flow"
+        );
     }
 
     #[test]
     fn wait_span_and_timestep_render() {
         let events = vec![
             ev(0, 0, 0, LANE_MAIN, EventData::TimestepMark { tstep: 3 }),
-            ev(1, 10, 0, 0, EventData::WaitSpan { kind: "waitany", start_us: 2, end_us: 10 }),
+            ev(
+                1,
+                10,
+                0,
+                0,
+                EventData::WaitSpan {
+                    kind: "waitany",
+                    start_us: 2,
+                    end_us: 10,
+                },
+            ),
         ];
         let json = export_chrome(&events);
         crate::json::validate(&json).unwrap();
@@ -445,7 +692,16 @@ mod tests {
     #[test]
     fn unpaired_task_start_still_produces_slice() {
         let events = vec![
-            ev(0, 5, 0, 0, EventData::TaskStart { id: 9, label: "pack" }),
+            ev(
+                0,
+                5,
+                0,
+                0,
+                EventData::TaskStart {
+                    id: 9,
+                    label: "pack",
+                },
+            ),
             ev(1, 30, 0, 0, EventData::TaskReady { id: 10 }),
         ];
         let json = export_chrome(&events);

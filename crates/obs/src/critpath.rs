@@ -106,7 +106,10 @@ impl Lanes {
         let mut by_rank: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
         for t in graph.tasks.values() {
             if t.end_us > t.start_us {
-                by_lane.entry((t.rank, t.worker)).or_default().push((t.start_us, t.end_us, t.id));
+                by_lane
+                    .entry((t.rank, t.worker))
+                    .or_default()
+                    .push((t.start_us, t.end_us, t.id));
                 by_rank.entry(t.rank).or_default().push((t.end_eff(), t.id));
             }
         }
@@ -178,7 +181,13 @@ pub fn analyze(graph: &SpanGraph) -> Vec<TimestepPath> {
 }
 
 /// Walks one window backwards from its latest-finishing node.
-fn walk_window(graph: &SpanGraph, lanes: &Lanes, tstep: u32, floor: u64, ceil: u64) -> TimestepPath {
+fn walk_window(
+    graph: &SpanGraph,
+    lanes: &Lanes,
+    tstep: u32,
+    floor: u64,
+    ceil: u64,
+) -> TimestepPath {
     let mut bd = Breakdown::default();
     let mut nodes = 0u64;
 
@@ -196,7 +205,9 @@ fn walk_window(graph: &SpanGraph, lanes: &Lanes, tstep: u32, floor: u64, ceil: u
     for m in graph.messages.values() {
         if m.delivered_us > 0
             && in_window(m.delivered_us)
-            && terminal.map(|(_, best)| m.delivered_us > best).unwrap_or(true)
+            && terminal
+                .map(|(_, best)| m.delivered_us > best)
+                .unwrap_or(true)
         {
             terminal = Some((NodeRef::Msg(m.match_id), m.delivered_us));
         }
@@ -206,7 +217,13 @@ fn walk_window(graph: &SpanGraph, lanes: &Lanes, tstep: u32, floor: u64, ceil: u
         // Nothing finished in this window: all of it is unexplained
         // blocked time.
         bd.wait_us = ceil - floor;
-        return TimestepPath { tstep, start_us: floor, end_us: ceil, breakdown: bd, nodes };
+        return TimestepPath {
+            tstep,
+            start_us: floor,
+            end_us: ceil,
+            breakdown: bd,
+            nodes,
+        };
     };
 
     // Trailing idle between the last finish and the window edge.
@@ -258,8 +275,18 @@ fn walk_window(graph: &SpanGraph, lanes: &Lanes, tstep: u32, floor: u64, ceil: u
             }
         }
     }
-    debug_assert_eq!(bd.total(), ceil - floor, "walk must telescope to the window span");
-    TimestepPath { tstep, start_us: floor, end_us: ceil, breakdown: bd, nodes }
+    debug_assert_eq!(
+        bd.total(),
+        ceil - floor,
+        "walk must telescope to the window span"
+    );
+    TimestepPath {
+        tstep,
+        start_us: floor,
+        end_us: ceil,
+        breakdown: bd,
+        nodes,
+    }
 }
 
 /// The predecessor with the greatest effective finish *at or before*
@@ -332,7 +359,13 @@ mod tests {
     use crate::event::{Event, EventData};
 
     fn ev(seq: u64, t_us: u64, rank: u32, data: EventData) -> Event {
-        Event { seq, t_us, rank, worker: 0, data }
+        Event {
+            seq,
+            t_us,
+            rank,
+            worker: 0,
+            data,
+        }
     }
 
     fn task(seq: u64, rank: u32, id: u64, label: &'static str, s: u64, e: u64) -> Vec<Event> {
@@ -383,7 +416,15 @@ mod tests {
                 task: 1,
             },
         ));
-        events.push(ev(5, 30, 1, EventData::TaskStart { id: 2, label: "stencil" }));
+        events.push(ev(
+            5,
+            30,
+            1,
+            EventData::TaskStart {
+                id: 2,
+                label: "stencil",
+            },
+        ));
         events.push(ev(
             6,
             30,
@@ -398,7 +439,15 @@ mod tests {
                 queue_us: 22,
             },
         ));
-        events.push(ev(7, 50, 1, EventData::TaskEnd { id: 2, label: "stencil" }));
+        events.push(ev(
+            7,
+            50,
+            1,
+            EventData::TaskEnd {
+                id: 2,
+                label: "stencil",
+            },
+        ));
         events.push(ev(8, 50, 1, EventData::TaskCompleted { id: 2 }));
         let g = SpanGraph::build(&events);
         let paths = analyze(&g);
@@ -443,8 +492,24 @@ mod tests {
         let events = vec![
             ev(1, 0, 0, EventData::TimestepMark { tstep: 0 }),
             ev(2, 50, 0, EventData::TimestepMark { tstep: 1 }),
-            ev(3, 60, 0, EventData::TaskStart { id: 1, label: "stencil" }),
-            ev(4, 80, 0, EventData::TaskEnd { id: 1, label: "stencil" }),
+            ev(
+                3,
+                60,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "stencil",
+                },
+            ),
+            ev(
+                4,
+                80,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "stencil",
+                },
+            ),
             ev(5, 80, 0, EventData::TaskCompleted { id: 1 }),
         ];
         let g = SpanGraph::build(&events);
@@ -474,8 +539,24 @@ mod tests {
         // Sender task blocked until 100 (end_eff 100) but posted at 8;
         // the message edge hands the cursor to 8, not 100.
         let events = vec![
-            ev(1, 0, 0, EventData::TaskStart { id: 1, label: "send" }),
-            ev(2, 10, 0, EventData::TaskEnd { id: 1, label: "send" }),
+            ev(
+                1,
+                0,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "send",
+                },
+            ),
+            ev(
+                2,
+                10,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "send",
+                },
+            ),
             ev(
                 3,
                 8,
@@ -491,7 +572,15 @@ mod tests {
                 },
             ),
             ev(4, 100, 0, EventData::TaskCompleted { id: 1 }),
-            ev(5, 40, 1, EventData::TaskStart { id: 2, label: "stencil" }),
+            ev(
+                5,
+                40,
+                1,
+                EventData::TaskStart {
+                    id: 2,
+                    label: "stencil",
+                },
+            ),
             ev(
                 6,
                 40,
@@ -506,7 +595,15 @@ mod tests {
                     queue_us: 32,
                 },
             ),
-            ev(7, 60, 1, EventData::TaskEnd { id: 2, label: "stencil" }),
+            ev(
+                7,
+                60,
+                1,
+                EventData::TaskEnd {
+                    id: 2,
+                    label: "stencil",
+                },
+            ),
             ev(8, 60, 1, EventData::TaskCompleted { id: 2 }),
         ];
         let g = SpanGraph::build(&events);

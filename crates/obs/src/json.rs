@@ -9,7 +9,11 @@
 /// offset and a message on the first syntax error.
 pub fn validate(input: &str) -> Result<(), String> {
     let b = input.as_bytes();
-    let mut p = Parser { b, pos: 0, depth: 0 };
+    let mut p = Parser {
+        b,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     p.value()?;
     p.skip_ws();

@@ -165,15 +165,23 @@ impl Histogram {
     /// containing the sample of rank `ceil(p/100 · count)`. Returns 0 for
     /// an empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
-        let counts: Vec<u64> =
-            self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let counts: Vec<u64> = self
+            .inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         percentile_of(&counts, p)
     }
 
     /// Consistent snapshot (counts are read once) with p50/p95/p99.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> =
-            self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let counts: Vec<u64> = self
+            .inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         let count = counts.iter().sum();
         HistogramSnapshot {
             count,
@@ -199,7 +207,13 @@ impl Histogram {
         if snap.count == 0 {
             return String::from("(no samples)\n");
         }
-        let max = snap.buckets.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+        let max = snap
+            .buckets
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let mut out = String::new();
         for &(lo, c) in &snap.buckets {
             let b = bucket_of(lo);
@@ -269,7 +283,10 @@ impl MetricsRegistry {
     /// Panics if `name` is already registered as a gauge or histogram.
     pub fn counter(&self, name: &'static str) -> Counter {
         let mut slots = self.slots.lock();
-        match slots.entry(name).or_insert_with(|| Slot::Counter(Counter::default())) {
+        match slots
+            .entry(name)
+            .or_insert_with(|| Slot::Counter(Counter::default()))
+        {
             Slot::Counter(c) => c.clone(),
             Slot::Gauge(_) => panic!("metric '{name}' is a gauge, not a counter"),
             Slot::Histogram(_) => panic!("metric '{name}' is a histogram, not a counter"),
@@ -283,7 +300,10 @@ impl MetricsRegistry {
     /// Panics if `name` is already registered as a counter.
     pub fn gauge(&self, name: &'static str) -> Gauge {
         let mut slots = self.slots.lock();
-        match slots.entry(name).or_insert_with(|| Slot::Gauge(Gauge::default())) {
+        match slots
+            .entry(name)
+            .or_insert_with(|| Slot::Gauge(Gauge::default()))
+        {
             Slot::Gauge(g) => g.clone(),
             Slot::Counter(_) => panic!("metric '{name}' is a counter, not a gauge"),
             Slot::Histogram(_) => panic!("metric '{name}' is a histogram, not a gauge"),
@@ -297,7 +317,10 @@ impl MetricsRegistry {
     /// Panics if `name` is already registered as a counter or gauge.
     pub fn histogram(&self, name: &'static str) -> Histogram {
         let mut slots = self.slots.lock();
-        match slots.entry(name).or_insert_with(|| Slot::Histogram(Histogram::default())) {
+        match slots
+            .entry(name)
+            .or_insert_with(|| Slot::Histogram(Histogram::default()))
+        {
             Slot::Histogram(h) => h.clone(),
             Slot::Counter(_) => panic!("metric '{name}' is a counter, not a histogram"),
             Slot::Gauge(_) => panic!("metric '{name}' is a gauge, not a histogram"),
@@ -447,7 +470,10 @@ mod tests {
         assert_eq!(h.percentile(50.0), 0, "empty percentile is 0, not a panic");
         h.observe(7);
         let rendered = h.render_ascii();
-        assert!(rendered.contains('#'), "one-sample bar must be visible: {rendered}");
+        assert!(
+            rendered.contains('#'),
+            "one-sample bar must be visible: {rendered}"
+        );
         assert!(rendered.contains("count 1 p50 7 p95 7 p99 7"), "{rendered}");
     }
 
@@ -467,6 +493,9 @@ mod tests {
         assert_eq!(hists[0].1.count, 2);
         reg.reset();
         assert_eq!(reg.histogram("test.lat_us").count(), 0);
-        assert_eq!(reg.histogram("test.lat_us").snapshot(), HistogramSnapshot::default());
+        assert_eq!(
+            reg.histogram("test.lat_us").snapshot(),
+            HistogramSnapshot::default()
+        );
     }
 }

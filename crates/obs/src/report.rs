@@ -82,10 +82,12 @@ impl PerfReport {
         let overlap_fraction = if ranks_detail.is_empty() {
             0.0
         } else {
-            ranks_detail.iter().map(|r| r.overlap_fraction).sum::<f64>()
-                / ranks_detail.len() as f64
+            ranks_detail.iter().map(|r| r.overlap_fraction).sum::<f64>() / ranks_detail.len() as f64
         };
-        let mut messages = MessageStats { matched: graph.messages.len() as u64, ..Default::default() };
+        let mut messages = MessageStats {
+            matched: graph.messages.len() as u64,
+            ..Default::default()
+        };
         for m in graph.messages.values() {
             if m.delivered_us > 0 {
                 messages.delivered += 1;
@@ -119,7 +121,11 @@ impl PerfReport {
             if i > 0 {
                 out.push(',');
             }
-            let tstep = if t.tstep == u32::MAX { -1i64 } else { t.tstep as i64 };
+            let tstep = if t.tstep == u32::MAX {
+                -1i64
+            } else {
+                t.tstep as i64
+            };
             let b = &t.breakdown;
             let _ = write!(
                 out,
@@ -190,7 +196,10 @@ impl PerfReport {
             fmt_f64(self.overlap_fraction),
             self.critical_path_wait_us
         );
-        debug_assert!(crate::json::validate(&out).is_ok(), "report JSON must be valid");
+        debug_assert!(
+            crate::json::validate(&out).is_ok(),
+            "report JSON must be valid"
+        );
         out
     }
 
@@ -227,7 +236,10 @@ impl PerfReport {
         let _ = writeln!(
             out,
             "  overlap fraction (mean over ranks): {:.3}; messages {}/{} delivered, {} bytes",
-            self.overlap_fraction, self.messages.delivered, self.messages.matched, self.messages.bytes
+            self.overlap_fraction,
+            self.messages.delivered,
+            self.messages.matched,
+            self.messages.bytes
         );
         for r in &self.ranks_detail {
             let _ = writeln!(
@@ -364,7 +376,10 @@ impl Collector {
                 }
             })
             .expect("spawn obs-perf-collector");
-        Collector { stop, handle: Some(handle) }
+        Collector {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Stops the thread, performs the final drain, and returns the
@@ -392,7 +407,10 @@ impl Drop for Collector {
 }
 
 fn append_line(path: &std::path::Path, line: &str) -> std::io::Result<()> {
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
     f.write_all(line.as_bytes())?;
     f.write_all(b"\n")
 }
@@ -403,14 +421,36 @@ mod tests {
     use crate::event::EventData;
 
     fn ev(seq: u64, t_us: u64, rank: u32, data: EventData) -> Event {
-        Event { seq, t_us, rank, worker: 0, data }
+        Event {
+            seq,
+            t_us,
+            rank,
+            worker: 0,
+            data,
+        }
     }
 
     fn sample_events() -> Vec<Event> {
         vec![
             ev(1, 0, 0, EventData::TimestepMark { tstep: 0 }),
-            ev(2, 5, 0, EventData::TaskStart { id: 1, label: "pack" }),
-            ev(3, 20, 0, EventData::TaskEnd { id: 1, label: "pack" }),
+            ev(
+                2,
+                5,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "pack",
+                },
+            ),
+            ev(
+                3,
+                20,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "pack",
+                },
+            ),
             ev(4, 20, 0, EventData::TaskCompleted { id: 1 }),
             ev(
                 5,
@@ -426,7 +466,15 @@ mod tests {
                     task: 1,
                 },
             ),
-            ev(6, 40, 1, EventData::TaskStart { id: 2, label: "stencil" }),
+            ev(
+                6,
+                40,
+                1,
+                EventData::TaskStart {
+                    id: 2,
+                    label: "stencil",
+                },
+            ),
             ev(
                 7,
                 40,
@@ -441,9 +489,26 @@ mod tests {
                     queue_us: 22,
                 },
             ),
-            ev(8, 70, 1, EventData::TaskEnd { id: 2, label: "stencil" }),
+            ev(
+                8,
+                70,
+                1,
+                EventData::TaskEnd {
+                    id: 2,
+                    label: "stencil",
+                },
+            ),
             ev(9, 70, 1, EventData::TaskCompleted { id: 2 }),
-            ev(10, 70, 1, EventData::WaitSpan { kind: "taskwait", start_us: 60, end_us: 70 }),
+            ev(
+                10,
+                70,
+                1,
+                EventData::WaitSpan {
+                    kind: "taskwait",
+                    start_us: 60,
+                    end_us: 70,
+                },
+            ),
         ]
     }
 
@@ -506,8 +571,20 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let collector = Collector::start(bus, Some(path.clone()), 1);
         bus.emit_for_rank(0, EventData::TimestepMark { tstep: 0 });
-        bus.emit_for_rank(0, EventData::TaskStart { id: 900_001, label: "stencil" });
-        bus.emit_for_rank(0, EventData::TaskEnd { id: 900_001, label: "stencil" });
+        bus.emit_for_rank(
+            0,
+            EventData::TaskStart {
+                id: 900_001,
+                label: "stencil",
+            },
+        );
+        bus.emit_for_rank(
+            0,
+            EventData::TaskEnd {
+                id: 900_001,
+                label: "stencil",
+            },
+        );
         bus.emit_for_rank(0, EventData::TaskCompleted { id: 900_001 });
         bus.emit_for_rank(0, EventData::TimestepMark { tstep: 1 });
         // Give the 20 ms poll loop a couple of cycles to stream.

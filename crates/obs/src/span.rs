@@ -62,8 +62,13 @@ impl Category {
     /// Matching is by prefix so decorated labels ("stencil b12") land in
     /// the same bucket as their plain form.
     pub fn of_label(label: &str) -> Category {
-        const COMPUTE: [&str; 5] =
-            ["stencil", "checksum_local", "checksum_remote", "boundary", "refine_copy"];
+        const COMPUTE: [&str; 5] = [
+            "stencil",
+            "checksum_local",
+            "checksum_remote",
+            "boundary",
+            "refine_copy",
+        ];
         const PACK: [&str; 3] = ["pack", "unpack", "local_copy"];
         if label.starts_with("wait") {
             return Category::Wait;
@@ -196,7 +201,10 @@ impl SpanGraph {
     /// from its later events, and a delivery without its send-post gets
     /// a zero-length message node.
     pub fn build(events: &[Event]) -> SpanGraph {
-        let mut g = SpanGraph { min_us: u64::MAX, ..Default::default() };
+        let mut g = SpanGraph {
+            min_us: u64::MAX,
+            ..Default::default()
+        };
         for ev in events {
             g.min_us = g.min_us.min(ev.t_us);
             g.max_us = g.max_us.max(ev.t_us);
@@ -234,7 +242,13 @@ impl SpanGraph {
                     t.id = *succ;
                     t.preds.push(*pred);
                 }
-                EventData::SendPosted { dst, bytes, match_id, task, .. } if *match_id > 0 => {
+                EventData::SendPosted {
+                    dst,
+                    bytes,
+                    match_id,
+                    task,
+                    ..
+                } if *match_id > 0 => {
                     let m = g.messages.entry(*match_id).or_default();
                     m.match_id = *match_id;
                     m.send_task = *task;
@@ -243,9 +257,13 @@ impl SpanGraph {
                     m.bytes = *bytes;
                     m.posted_us = ev.t_us;
                 }
-                EventData::MsgDelivered { src, bytes, match_id, recv_task, .. }
-                    if *match_id > 0 =>
-                {
+                EventData::MsgDelivered {
+                    src,
+                    bytes,
+                    match_id,
+                    recv_task,
+                    ..
+                } if *match_id > 0 => {
                     let m = g.messages.entry(*match_id).or_default();
                     m.match_id = *match_id;
                     m.recv_task = *recv_task;
@@ -264,7 +282,11 @@ impl SpanGraph {
                         t.msg_preds.push(*match_id);
                     }
                 }
-                EventData::WaitSpan { kind, start_us, end_us } => {
+                EventData::WaitSpan {
+                    kind,
+                    start_us,
+                    end_us,
+                } => {
                     g.max_us = g.max_us.max(*end_us);
                     g.waits.push(WaitNode {
                         rank: ev.rank,
@@ -273,7 +295,11 @@ impl SpanGraph {
                         end_us: *end_us,
                     });
                 }
-                EventData::Span { kind, start_us, end_us } => {
+                EventData::Span {
+                    kind,
+                    start_us,
+                    end_us,
+                } => {
                     g.min_us = g.min_us.min(*start_us);
                     g.max_us = g.max_us.max(*end_us);
                     g.spans.push((ev.rank, kind, *start_us, *end_us));
@@ -481,11 +507,17 @@ pub fn blocked_chain_report(events: &[Event]) -> String {
             EventData::RecvPosted { src, tag, task, .. } if *task > 0 => {
                 pending.entry(*task).or_default().push((*src, *tag));
             }
-            EventData::MsgDelivered { src, tag, recv_task, .. } if *recv_task > 0 => {
+            EventData::MsgDelivered {
+                src,
+                tag,
+                recv_task,
+                ..
+            } if *recv_task > 0 => {
                 if let Some(v) = pending.get_mut(recv_task) {
-                    if let Some(pos) = v.iter().position(|&(s, t)| {
-                        (s < 0 || s as u32 == *src) && (t == -2 || t == *tag)
-                    }) {
+                    if let Some(pos) = v
+                        .iter()
+                        .position(|&(s, t)| (s < 0 || s as u32 == *src) && (t == -2 || t == *tag))
+                    {
                         v.swap_remove(pos);
                     }
                 }
@@ -525,7 +557,9 @@ pub fn blocked_chain_report(events: &[Event]) -> String {
             let awaiting = pending.get(&cur.id).and_then(|v| v.first()).copied();
             chain.push((cur.id, awaiting));
             let Some((src, _)) = awaiting else { break };
-            let Some(next) = (src >= 0).then(|| oldest_by_rank.get(&(src as u32))).flatten()
+            let Some(next) = (src >= 0)
+                .then(|| oldest_by_rank.get(&(src as u32)))
+                .flatten()
             else {
                 break;
             };
@@ -564,7 +598,9 @@ pub fn blocked_chain_report(events: &[Event]) -> String {
     if let Some(&(_, Some((src, _)))) = best.last() {
         if src >= 0
             && best.len() > 1
-            && best.iter().any(|(id, _)| graph.tasks[id].rank == src as u32)
+            && best
+                .iter()
+                .any(|(id, _)| graph.tasks[id].rank == src as u32)
         {
             let _ = writeln!(out, "  (the awaited sender is itself in the chain — cycle)");
         }
@@ -577,7 +613,13 @@ mod tests {
     use super::*;
 
     fn ev(seq: u64, t_us: u64, rank: u32, data: EventData) -> Event {
-        Event { seq, t_us, rank, worker: 0, data }
+        Event {
+            seq,
+            t_us,
+            rank,
+            worker: 0,
+            data,
+        }
     }
 
     #[test]
@@ -627,8 +669,24 @@ mod tests {
     #[test]
     fn graph_builds_tasks_messages_and_edges() {
         let events = vec![
-            ev(1, 10, 0, EventData::TaskStart { id: 1, label: "pack" }),
-            ev(2, 20, 0, EventData::TaskEnd { id: 1, label: "pack" }),
+            ev(
+                1,
+                10,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "pack",
+                },
+            ),
+            ev(
+                2,
+                20,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "pack",
+                },
+            ),
             ev(3, 21, 0, EventData::TaskCompleted { id: 1 }),
             ev(4, 22, 0, EventData::DepEdge { pred: 1, succ: 2 }),
             ev(
@@ -645,7 +703,15 @@ mod tests {
                     task: 1,
                 },
             ),
-            ev(6, 30, 1, EventData::TaskStart { id: 2, label: "stencil" }),
+            ev(
+                6,
+                30,
+                1,
+                EventData::TaskStart {
+                    id: 2,
+                    label: "stencil",
+                },
+            ),
             ev(
                 7,
                 40,
@@ -660,7 +726,15 @@ mod tests {
                     queue_us: 15,
                 },
             ),
-            ev(8, 55, 1, EventData::TaskEnd { id: 2, label: "stencil" }),
+            ev(
+                8,
+                55,
+                1,
+                EventData::TaskEnd {
+                    id: 2,
+                    label: "stencil",
+                },
+            ),
             ev(9, 5, 0, EventData::TimestepMark { tstep: 0 }),
         ];
         let g = SpanGraph::build(&events);
@@ -706,8 +780,24 @@ mod tests {
     #[test]
     fn blocked_task_extends_to_completion() {
         let events = vec![
-            ev(1, 0, 0, EventData::TaskStart { id: 5, label: "send" }),
-            ev(2, 10, 0, EventData::TaskEnd { id: 5, label: "send" }),
+            ev(
+                1,
+                0,
+                0,
+                EventData::TaskStart {
+                    id: 5,
+                    label: "send",
+                },
+            ),
+            ev(
+                2,
+                10,
+                0,
+                EventData::TaskEnd {
+                    id: 5,
+                    label: "send",
+                },
+            ),
             ev(3, 10, 0, EventData::TaskBlocked { id: 5, holds: 1 }),
             ev(4, 90, 0, EventData::TaskCompleted { id: 5 }),
         ];
@@ -719,11 +809,52 @@ mod tests {
     #[test]
     fn rank_stats_busy_and_waits() {
         let events = vec![
-            ev(1, 0, 0, EventData::TaskStart { id: 1, label: "stencil" }),
-            ev(2, 50, 0, EventData::TaskEnd { id: 1, label: "stencil" }),
-            ev(3, 60, 0, EventData::TaskStart { id: 2, label: "pack" }),
-            ev(4, 80, 0, EventData::TaskEnd { id: 2, label: "pack" }),
-            ev(5, 80, 0, EventData::WaitSpan { kind: "taskwait", start_us: 50, end_us: 60 }),
+            ev(
+                1,
+                0,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "stencil",
+                },
+            ),
+            ev(
+                2,
+                50,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "stencil",
+                },
+            ),
+            ev(
+                3,
+                60,
+                0,
+                EventData::TaskStart {
+                    id: 2,
+                    label: "pack",
+                },
+            ),
+            ev(
+                4,
+                80,
+                0,
+                EventData::TaskEnd {
+                    id: 2,
+                    label: "pack",
+                },
+            ),
+            ev(
+                5,
+                80,
+                0,
+                EventData::WaitSpan {
+                    kind: "taskwait",
+                    start_us: 50,
+                    end_us: 60,
+                },
+            ),
         ];
         let g = SpanGraph::build(&events);
         let stats = g.rank_stats();
@@ -742,12 +873,62 @@ mod tests {
     fn rank_overlap_prefers_coarse_spans() {
         let events = vec![
             // Coarse spans say full overlap; tasks would say none.
-            ev(1, 100, 0, EventData::Span { kind: "stencil", start_us: 0, end_us: 100 }),
-            ev(2, 100, 0, EventData::Span { kind: "unpack", start_us: 0, end_us: 100 }),
-            ev(3, 0, 0, EventData::TaskStart { id: 1, label: "stencil" }),
-            ev(4, 10, 0, EventData::TaskEnd { id: 1, label: "stencil" }),
-            ev(5, 10, 0, EventData::TaskStart { id: 2, label: "unpack" }),
-            ev(6, 20, 0, EventData::TaskEnd { id: 2, label: "unpack" }),
+            ev(
+                1,
+                100,
+                0,
+                EventData::Span {
+                    kind: "stencil",
+                    start_us: 0,
+                    end_us: 100,
+                },
+            ),
+            ev(
+                2,
+                100,
+                0,
+                EventData::Span {
+                    kind: "unpack",
+                    start_us: 0,
+                    end_us: 100,
+                },
+            ),
+            ev(
+                3,
+                0,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "stencil",
+                },
+            ),
+            ev(
+                4,
+                10,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "stencil",
+                },
+            ),
+            ev(
+                5,
+                10,
+                0,
+                EventData::TaskStart {
+                    id: 2,
+                    label: "unpack",
+                },
+            ),
+            ev(
+                6,
+                20,
+                0,
+                EventData::TaskEnd {
+                    id: 2,
+                    label: "unpack",
+                },
+            ),
         ];
         let g = SpanGraph::build(&events);
         assert!((g.rank_overlap(0) - 1.0).abs() < 1e-9);
@@ -765,13 +946,65 @@ mod tests {
         // Rank 0's exchange task awaits a recv from rank 1 whose own
         // exchange task awaits a recv from rank 0: the classic deadlock.
         let events = vec![
-            ev(1, 0, 0, EventData::TaskStart { id: 1, label: "exchange_recv" }),
-            ev(2, 5, 0, EventData::RecvPosted { src: 1, tag: 7, comm: 0, task: 1 }),
-            ev(3, 10, 0, EventData::TaskEnd { id: 1, label: "exchange_recv" }),
+            ev(
+                1,
+                0,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "exchange_recv",
+                },
+            ),
+            ev(
+                2,
+                5,
+                0,
+                EventData::RecvPosted {
+                    src: 1,
+                    tag: 7,
+                    comm: 0,
+                    task: 1,
+                },
+            ),
+            ev(
+                3,
+                10,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "exchange_recv",
+                },
+            ),
             ev(4, 10, 0, EventData::TaskBlocked { id: 1, holds: 1 }),
-            ev(5, 1, 1, EventData::TaskStart { id: 2, label: "exchange_recv" }),
-            ev(6, 6, 1, EventData::RecvPosted { src: 0, tag: 7, comm: 0, task: 2 }),
-            ev(7, 12, 1, EventData::TaskEnd { id: 2, label: "exchange_recv" }),
+            ev(
+                5,
+                1,
+                1,
+                EventData::TaskStart {
+                    id: 2,
+                    label: "exchange_recv",
+                },
+            ),
+            ev(
+                6,
+                6,
+                1,
+                EventData::RecvPosted {
+                    src: 0,
+                    tag: 7,
+                    comm: 0,
+                    task: 2,
+                },
+            ),
+            ev(
+                7,
+                12,
+                1,
+                EventData::TaskEnd {
+                    id: 2,
+                    label: "exchange_recv",
+                },
+            ),
             ev(8, 12, 1, EventData::TaskBlocked { id: 2, holds: 1 }),
         ];
         let report = blocked_chain_report(&events);
@@ -787,13 +1020,55 @@ mod tests {
         // A task that blocked but then completed, and one whose awaited
         // message was delivered, must not appear.
         let events = vec![
-            ev(1, 0, 0, EventData::TaskStart { id: 1, label: "send" }),
-            ev(2, 5, 0, EventData::TaskEnd { id: 1, label: "send" }),
+            ev(
+                1,
+                0,
+                0,
+                EventData::TaskStart {
+                    id: 1,
+                    label: "send",
+                },
+            ),
+            ev(
+                2,
+                5,
+                0,
+                EventData::TaskEnd {
+                    id: 1,
+                    label: "send",
+                },
+            ),
             ev(3, 5, 0, EventData::TaskBlocked { id: 1, holds: 1 }),
             ev(4, 9, 0, EventData::TaskCompleted { id: 1 }),
-            ev(5, 0, 1, EventData::TaskStart { id: 2, label: "recv" }),
-            ev(6, 2, 1, EventData::RecvPosted { src: 0, tag: 3, comm: 0, task: 2 }),
-            ev(7, 6, 1, EventData::TaskEnd { id: 2, label: "recv" }),
+            ev(
+                5,
+                0,
+                1,
+                EventData::TaskStart {
+                    id: 2,
+                    label: "recv",
+                },
+            ),
+            ev(
+                6,
+                2,
+                1,
+                EventData::RecvPosted {
+                    src: 0,
+                    tag: 3,
+                    comm: 0,
+                    task: 2,
+                },
+            ),
+            ev(
+                7,
+                6,
+                1,
+                EventData::TaskEnd {
+                    id: 2,
+                    label: "recv",
+                },
+            ),
             ev(8, 6, 1, EventData::TaskBlocked { id: 2, holds: 1 }),
             ev(
                 9,

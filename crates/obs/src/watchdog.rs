@@ -54,7 +54,11 @@ impl DiagRegistry {
         f: impl Fn() -> String + Send + Sync + 'static,
     ) -> DiagGuard {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.entries.lock().push(DiagEntry { id, name: name.into(), f: Box::new(f) });
+        self.entries.lock().push(DiagEntry {
+            id,
+            name: name.into(),
+            f: Box::new(f),
+        });
         DiagGuard { registry: self, id }
     }
 
@@ -216,7 +220,10 @@ impl Watchdog {
                 }
             })
             .expect("spawn watchdog thread");
-        Watchdog { stop, handle: Some(handle) }
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
     }
 }
 
@@ -277,7 +284,9 @@ mod tests {
             assert!(rx.try_recv().is_err(), "watchdog fired despite progress");
         }
         // Stall phase: stop emitting; the dump must arrive.
-        let dump = rx.recv_timeout(Duration::from_secs(5)).expect("watchdog did not fire");
+        let dump = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("watchdog did not fire");
         assert!(dump.contains("no event-bus progress"));
         assert!(dump.contains("1 blocked thing"));
         drop(wd);

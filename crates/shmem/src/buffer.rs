@@ -48,7 +48,9 @@ impl ClaimTable {
                 depsan::record_access(obj, start, end, write);
             }
         }
-        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut active = self.active.lock();
         for c in active.iter() {
             let overlaps = c.start < end && start < c.end;
@@ -63,7 +65,12 @@ impl ClaimTable {
                 );
             }
         }
-        active.push(Claim { start, end, write, id });
+        active.push(Claim {
+            start,
+            end,
+            write,
+            id,
+        });
         id
     }
 
@@ -121,8 +128,15 @@ impl<T: Pod> SharedBuffer<T> {
     ///
     /// Panics if the range exceeds the buffer bounds.
     pub fn slice(self: &Arc<Self>, range: Range<usize>) -> BufSlice<T> {
-        assert!(range.start <= range.end && range.end <= self.len, "slice out of bounds");
-        BufSlice { buf: Arc::clone(self), start: range.start, len: range.end - range.start }
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice out of bounds"
+        );
+        BufSlice {
+            buf: Arc::clone(self),
+            start: range.start,
+            len: range.end - range.start,
+        }
     }
 
     /// A [`BufSlice`] covering the whole buffer.
@@ -174,7 +188,10 @@ impl<T: Pod> BufSlice<T> {
 
     /// Narrows the region. `range` is relative to this slice.
     pub fn subslice(&self, range: Range<usize>) -> BufSlice<T> {
-        assert!(range.start <= range.end && range.end <= self.len, "subslice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "subslice out of bounds"
+        );
         BufSlice {
             buf: Arc::clone(&self.buf),
             start: self.start + range.start,
@@ -190,7 +207,10 @@ impl<T: Pod> BufSlice<T> {
 
     /// Runs `f` with shared read access to the region.
     pub fn with_read<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
-        let claim = self.buf.claims.acquire(self.start, self.start + self.len, false);
+        let claim = self
+            .buf
+            .claims
+            .acquire(self.start, self.start + self.len, false);
         // SAFETY: the claim table guarantees no concurrent writer overlaps
         // this interval for the duration of the claim.
         let result = {
@@ -203,7 +223,10 @@ impl<T: Pod> BufSlice<T> {
 
     /// Runs `f` with exclusive write access to the region.
     pub fn with_write<R>(&self, f: impl FnOnce(&mut [T]) -> R) -> R {
-        let claim = self.buf.claims.acquire(self.start, self.start + self.len, true);
+        let claim = self
+            .buf
+            .claims
+            .acquire(self.start, self.start + self.len, true);
         // SAFETY: the claim table guarantees exclusive access to this
         // interval for the duration of the claim.
         let result = {

@@ -95,7 +95,10 @@ impl BufferPool {
         vec.clear();
         // Within capacity for pooled buffers: no allocation.
         vec.resize(len, 0.0);
-        PooledBuf { vec, pool: Arc::clone(self) }
+        PooledBuf {
+            vec,
+            pool: Arc::clone(self),
+        }
     }
 
     /// Current reuse counters.
@@ -109,8 +112,10 @@ impl BufferPool {
 
     fn put_back(&self, vec: Vec<f64>) {
         let class = Self::class_for_capacity(vec.capacity());
-        self.bytes_recycled
-            .fetch_add((vec.capacity() * std::mem::size_of::<f64>()) as u64, Ordering::Relaxed);
+        self.bytes_recycled.fetch_add(
+            (vec.capacity() * std::mem::size_of::<f64>()) as u64,
+            Ordering::Relaxed,
+        );
         self.classes[class].lock().push(vec);
     }
 }
@@ -229,6 +234,9 @@ mod tests {
         });
         let s = pool.stats();
         assert_eq!(s.hits + s.misses, 400);
-        assert!(s.misses <= 4, "at most one allocation per concurrent holder");
+        assert!(
+            s.misses <= 4,
+            "at most one allocation per concurrent holder"
+        );
     }
 }

@@ -46,7 +46,11 @@ pub enum ExecModel {
 impl ExecModel {
     /// The paper's TAMPI+OSS configuration.
     pub fn dataflow(workers: usize) -> ExecModel {
-        ExecModel::DataFlow { workers, overlap: true, smooth_imbalance: true }
+        ExecModel::DataFlow {
+            workers,
+            overlap: true,
+            smooth_imbalance: true,
+        }
     }
 }
 
@@ -158,8 +162,18 @@ fn stage_costs(w: &Workload, s: &StageStat, c: &CostModel) -> StageCosts {
         .iter()
         .map(|&(sn, dn, msgs, elems)| {
             let bytes = elems * nv * BYTES;
-            let rdv = if msgs > 0.0 && !fab.is_eager((bytes / msgs) as usize) { msgs } else { 0.0 };
-            vmpi::fabric::Flow { src: sn, dst: dn, bytes, msgs, rdv_msgs: rdv }
+            let rdv = if msgs > 0.0 && !fab.is_eager((bytes / msgs) as usize) {
+                msgs
+            } else {
+                0.0
+            };
+            vmpi::fabric::Flow {
+                src: sn,
+                dst: dn,
+                bytes,
+                msgs,
+                rdv_msgs: rdv,
+            }
         })
         .collect();
     let busy = vmpi::fabric::drain(fab, n_nodes, &flows);
@@ -193,14 +207,13 @@ fn stage_costs(w: &Workload, s: &StageStat, c: &CostModel) -> StageCosts {
             0.0
         };
         out.net_bw[r] = total_bytes / fab.bandwidth;
-        out.units[r] = s.face_units[r] + s.out_msgs[r] + s.in_msgs_inter[r] + s.in_msgs_intra[r]
-            + s.blocks[r];
+        out.units[r] =
+            s.face_units[r] + s.out_msgs[r] + s.in_msgs_inter[r] + s.in_msgs_intra[r] + s.blocks[r];
         out.nic[r] = node_msgs[r / rpn] * fab.nic_msg_overhead;
         out.msgs_in[r] = s.in_msgs_inter[r] + s.in_msgs_intra[r];
         out.node_busy[r] = busy[r / rpn];
         out.stall[r] = if rdv {
-            let unpack_chunk =
-                (s.in_elems_inter[r] / s.in_msgs_inter[r]) * nv * c.pack_per_elem;
+            let unpack_chunk = (s.in_elems_inter[r] / s.in_msgs_inter[r]) * nv * c.pack_per_elem;
             hs + inter_msg_bytes / fab.bandwidth + unpack_chunk
         } else {
             0.0
@@ -254,7 +267,13 @@ fn refine_cost(w: &Workload, r: &RefineStat, c: &CostModel, model: &ExecModel) -
     ctrl + worst + coll
 }
 
-fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, out: &mut SimResult) {
+fn interval_time(
+    w: &Workload,
+    iv: &Interval,
+    c: &CostModel,
+    model: &ExecModel,
+    out: &mut SimResult,
+) {
     let sc = stage_costs(w, &iv.stage, c);
     let n = w.n_ranks;
     let stages = iv.stages as f64;
@@ -267,7 +286,8 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
             let mut link_floor = 0.0f64;
             for r in 0..n {
                 let exposed = (sc.net[r] - sc.local[r]).max(0.0);
-                stage_t = stage_t.max(sc.work[r] + exposed + sc.nic[r] + sc.stall[r] + sc.matchq[r]);
+                stage_t =
+                    stage_t.max(sc.work[r] + exposed + sc.nic[r] + sc.stall[r] + sc.matchq[r]);
                 link_floor = link_floor.max(sc.node_busy[r]);
             }
             // The stage cannot end before the busiest node's shared links
@@ -291,7 +311,14 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
                 let msgs = iv.stage.in_msgs_inter[r] + iv.stage.in_msgs_intra[r];
                 let barriers = (3.0 + msgs) * c.barrier(workers);
                 stage_t = stage_t
-                    .max(sc.work[r] / wk + sc.net[r] + sc.nic[r] + sc.stall[r] + sc.matchq[r] + barriers)
+                    .max(
+                        sc.work[r] / wk
+                            + sc.net[r]
+                            + sc.nic[r]
+                            + sc.stall[r]
+                            + sc.matchq[r]
+                            + barriers,
+                    )
                     .max(sc.node_busy[r]);
             }
             stage_t += c.synchronized_noise(stage_t, n * workers);
@@ -300,7 +327,11 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
             out.total += iv.checksums as f64 * chk;
             out.checksum += iv.checksums as f64 * chk;
         }
-        ExecModel::DataFlow { workers, overlap, smooth_imbalance } => {
+        ExecModel::DataFlow {
+            workers,
+            overlap,
+            smooth_imbalance,
+        } => {
             let wk = workers as f64;
             let mut t_interval = 0.0f64;
             if smooth_imbalance {
@@ -329,14 +360,19 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
                         // not a resource the scheduler can hide.
                         work.max(floor) + stages * (sc.stall[r] + sc.matchq[r])
                     } else {
-                        work + stages * ((sc.net[r] + sc.nic[r]).max(sc.node_busy[r]) + sc.stall[r] + sc.matchq[r])
+                        work + stages
+                            * ((sc.net[r] + sc.nic[r]).max(sc.node_busy[r])
+                                + sc.stall[r]
+                                + sc.matchq[r])
                     };
                     // Interruptions are absorbed locally; only the final
                     // drain synchronizes once per interval.
                     t += c.absorbed_noise(t);
                     t_interval = t_interval.max(t);
                 }
-                t_interval += c.synchronized_noise(t_interval, n * workers).min(c.noise_duration);
+                t_interval += c
+                    .synchronized_noise(t_interval, n * workers)
+                    .min(c.noise_duration);
             } else {
                 // Ablation: per-stage synchronization (imbalance per
                 // stage accumulates like MPI-only).
@@ -349,9 +385,12 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
                             (sc.net_floor[r] + sc.net_bw[r] + tail)
                                 .max(sc.nic[r])
                                 .max(sc.node_busy[r]),
-                        ) + sc.stall[r] + sc.matchq[r]
+                        ) + sc.stall[r]
+                            + sc.matchq[r]
                     } else {
-                        work + (sc.net[r] + sc.nic[r]).max(sc.node_busy[r]) + sc.stall[r] + sc.matchq[r]
+                        work + (sc.net[r] + sc.nic[r]).max(sc.node_busy[r])
+                            + sc.stall[r]
+                            + sc.matchq[r]
                     };
                     stage_t = stage_t.max(t);
                 }
@@ -374,7 +413,10 @@ fn interval_time(w: &Workload, iv: &Interval, c: &CostModel, model: &ExecModel, 
 
 /// Simulates the workload under the execution model.
 pub fn simulate(w: &Workload, model: &ExecModel, c: &CostModel) -> SimResult {
-    let mut out = SimResult { flops: w.total_flops, ..Default::default() };
+    let mut out = SimResult {
+        flops: w.total_flops,
+        ..Default::default()
+    };
     for iv in &w.intervals {
         interval_time(w, iv, c, model, &mut out);
     }
@@ -423,8 +465,14 @@ mod tests {
         let mpi = simulate(&w, &ExecModel::MpiOnly, &c);
         let fj = simulate(&w, &ExecModel::ForkJoin { workers: 4 }, &c);
         let df = simulate(&w, &ExecModel::dataflow(4), &c);
-        assert!(df.total < mpi.total, "data-flow must beat MPI-only: {df:?} vs {mpi:?}");
-        assert!(df.total < fj.total, "data-flow must beat fork-join: {df:?} vs {fj:?}");
+        assert!(
+            df.total < mpi.total,
+            "data-flow must beat MPI-only: {df:?} vs {mpi:?}"
+        );
+        assert!(
+            df.total < fj.total,
+            "data-flow must beat fork-join: {df:?} vs {fj:?}"
+        );
     }
 
     #[test]
@@ -434,7 +482,11 @@ mod tests {
         let with = simulate(&w, &ExecModel::dataflow(4), &c);
         let without = simulate(
             &w,
-            &ExecModel::DataFlow { workers: 4, overlap: false, smooth_imbalance: true },
+            &ExecModel::DataFlow {
+                workers: 4,
+                overlap: false,
+                smooth_imbalance: true,
+            },
             &c,
         );
         assert!(without.total > with.total);
@@ -447,7 +499,11 @@ mod tests {
         let with = simulate(&w, &ExecModel::dataflow(4), &c);
         let without = simulate(
             &w,
-            &ExecModel::DataFlow { workers: 4, overlap: true, smooth_imbalance: false },
+            &ExecModel::DataFlow {
+                workers: 4,
+                overlap: true,
+                smooth_imbalance: false,
+            },
             &c,
         );
         assert!(without.total >= with.total);

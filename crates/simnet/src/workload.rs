@@ -133,9 +133,8 @@ impl Workload {
         let mut intervals = Vec::new();
         let mut total_flops = 0.0;
         let mut peak_blocks: f64 = 0.0;
-        let flops_per_stage = |d: &MeshDirectory| {
-            (d.len() * p.mesh.cells_per_block() * p.mesh.num_vars) as f64 * 7.0
-        };
+        let flops_per_stage =
+            |d: &MeshDirectory| (d.len() * p.mesh.cells_per_block() * p.mesh.num_vars) as f64 * 7.0;
 
         let mut stage_stat = compute_stage(&dir, p, &layout);
         peak_blocks = peak_blocks.max(stage_stat.blocks.iter().cloned().fold(0.0, f64::max));
@@ -229,7 +228,9 @@ fn compute_stage(dir: &MeshDirectory, p: &WorkloadParams, layout: &BlockLayout) 
                         s.pack_elems[src_rank] += elems;
                         s.pack_elems[owner] += elems;
                         s.face_units[src_rank] += 1.0;
-                        let e = pairs.entry((src_rank, owner, d.index())).or_insert((0.0, 0.0));
+                        let e = pairs
+                            .entry((src_rank, owner, d.index()))
+                            .or_insert((0.0, 0.0));
                         e.0 += 1.0;
                         e.1 += elems;
                     }
@@ -269,13 +270,17 @@ fn compute_stage(dir: &MeshDirectory, p: &WorkloadParams, layout: &BlockLayout) 
             s.out_msgs_inter[src] += msgs;
             s.in_msgs_inter[dst] += msgs;
             s.in_elems_inter[dst] += elems;
-            let e = node_pairs.entry((src / rpn, dst / rpn)).or_insert((0.0, 0.0));
+            let e = node_pairs
+                .entry((src / rpn, dst / rpn))
+                .or_insert((0.0, 0.0));
             e.0 += msgs;
             e.1 += elems;
         }
     }
-    s.node_pairs =
-        node_pairs.into_iter().map(|((sn, dn), (m, e))| (sn, dn, m, e)).collect();
+    s.node_pairs = node_pairs
+        .into_iter()
+        .map(|((sn, dn), (m, e))| (sn, dn, m, e))
+        .collect();
     s
 }
 
@@ -471,7 +476,10 @@ mod tests {
         let inter_only = Workload::generate(&params(0));
         let grouped = Workload::generate(&params(2));
         let inter_of = |w: &Workload| -> f64 {
-            w.intervals.iter().map(|i| i.stage.in_elems_inter.iter().sum::<f64>()).sum()
+            w.intervals
+                .iter()
+                .map(|i| i.stage.in_elems_inter.iter().sum::<f64>())
+                .sum()
         };
         assert!(inter_of(&grouped) < inter_of(&inter_only));
     }
@@ -485,7 +493,10 @@ mod tests {
         let w1 = Workload::generate(&p1);
         let wk = Workload::generate(&pk);
         let msgs = |w: &Workload| -> f64 {
-            w.intervals.iter().map(|i| i.stage.out_msgs.iter().sum::<f64>()).sum()
+            w.intervals
+                .iter()
+                .map(|i| i.stage.out_msgs.iter().sum::<f64>())
+                .sum()
         };
         assert!(msgs(&wk) > msgs(&w1));
     }
@@ -495,7 +506,10 @@ mod tests {
         let p = rank_grid_for((8, 8, 4), (12, 12, 12), 40, 2, 16).expect("grid exists");
         assert_eq!(p.num_ranks(), 16);
         assert_eq!(p.root_blocks(), (8, 8, 4));
-        assert!(rank_grid_for((3, 3, 3), (4, 4, 4), 1, 0, 16).is_none(), "16 does not divide 27");
+        assert!(
+            rank_grid_for((3, 3, 3), (4, 4, 4), 1, 0, 16).is_none(),
+            "16 does not divide 27"
+        );
     }
 
     #[test]

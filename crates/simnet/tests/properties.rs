@@ -25,9 +25,12 @@ fn arb_mesh() -> impl Strategy<Value = MeshParams> {
 }
 
 fn arb_sphere() -> impl Strategy<Value = Object> {
-    ((0.1f64..0.9, 0.1f64..0.9, 0.1f64..0.9), 0.05f64..0.3, -0.05f64..0.05).prop_map(
-        |((x, y, z), r, v)| Object::sphere([x, y, z], r, [v, 0.0, 0.0]),
+    (
+        (0.1f64..0.9, 0.1f64..0.9, 0.1f64..0.9),
+        0.05f64..0.3,
+        -0.05f64..0.05,
     )
+        .prop_map(|((x, y, z), r, v)| Object::sphere([x, y, z], r, [v, 0.0, 0.0]))
 }
 
 fn workload(mesh: MeshParams, objects: Vec<Object>, msgs: usize) -> Workload {

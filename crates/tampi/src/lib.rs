@@ -149,7 +149,11 @@ where
     let hold = taskrt::current_event_hold();
     // Writes performed by `consume` on the delivery thread belong to the
     // posting task in the sanitizer's happens-before graph.
-    let scope = if depsan::is_enabled() { depsan::current_scope() } else { 0 };
+    let scope = if depsan::is_enabled() {
+        depsan::current_scope()
+    } else {
+        0
+    };
     let req2 = req.clone();
     req.on_complete(move |status| {
         if status.source == usize::MAX {
@@ -173,8 +177,10 @@ mod tests {
     /// though the receive task's body finishes immediately.
     #[test]
     fn successor_waits_for_delivery() {
-        let world =
-            World::new(2, NetworkModel::new(std::time::Duration::from_millis(20), f64::INFINITY));
+        let world = World::new(
+            2,
+            NetworkModel::new(std::time::Duration::from_millis(20), f64::INFINITY),
+        );
         world.run(|comm| {
             let comm = Arc::new(comm);
             let rt = Runtime::new(2);
@@ -232,8 +238,7 @@ mod tests {
                     let c = Arc::clone(&comm);
                     rt.task()
                         .body(move || {
-                            let data: Vec<f64> =
-                                (0..sect).map(|i| (m * sect + i) as f64).collect();
+                            let data: Vec<f64> = (0..sect).map(|i| (m * sect + i) as f64).collect();
                             super::isend(&c, &data, 1, m as i32).unwrap();
                         })
                         .spawn();

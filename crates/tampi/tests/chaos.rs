@@ -77,5 +77,8 @@ fn section_pipeline_survives_duplication_and_loss() {
             assert_eq!(checked.load(Ordering::SeqCst), n_msgs);
         }
     });
-    assert!(world.peer_lost_reports().is_empty(), "plan exceeded the retry budget");
+    assert!(
+        world.peer_lost_reports().is_empty(),
+        "plan exceeded the retry budget"
+    );
 }

@@ -36,7 +36,11 @@ fn undeclared_write_is_reported() {
         .spawn();
     rt.taskwait();
     let violations = depsan::take_violations();
-    assert_eq!(violations.len(), 1, "expected exactly one violation: {violations:?}");
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one violation: {violations:?}"
+    );
     assert_eq!(violations[0].kind, depsan::ViolationKind::UndeclaredWrite);
     assert_eq!(violations[0].obj, obj.0);
 }
@@ -60,7 +64,11 @@ fn unordered_writes_race() {
     }
     rt.taskwait();
     let violations = depsan::take_violations();
-    assert_eq!(violations.len(), 1, "expected exactly one violation: {violations:?}");
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one violation: {violations:?}"
+    );
     assert_eq!(violations[0].kind, depsan::ViolationKind::Race);
 }
 
@@ -83,7 +91,10 @@ fn declared_writes_do_not_race() {
     }
     rt.taskwait();
     let violations = depsan::take_violations();
-    assert!(violations.is_empty(), "unexpected violations: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "unexpected violations: {violations:?}"
+    );
 }
 
 /// Two same-tag messages with different payload sizes queued at once
@@ -104,9 +115,17 @@ fn tag_size_mismatch_is_reported() {
     });
     drop(world);
     let violations = depsan::take_violations();
-    assert_eq!(violations.len(), 1, "expected exactly one violation: {violations:?}");
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one violation: {violations:?}"
+    );
     assert_eq!(violations[0].kind, depsan::ViolationKind::TagSizeMismatch);
-    assert!(violations[0].detail.contains("tag 7"), "detail: {}", violations[0].detail);
+    assert!(
+        violations[0].detail.contains("tag 7"),
+        "detail: {}",
+        violations[0].detail
+    );
 }
 
 /// A pending receive left unmatched at world teardown is a finalize
@@ -121,7 +140,15 @@ fn unmatched_recv_leaks_at_finalize() {
     });
     drop(world);
     let violations = depsan::take_violations();
-    assert_eq!(violations.len(), 1, "expected exactly one violation: {violations:?}");
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one violation: {violations:?}"
+    );
     assert_eq!(violations[0].kind, depsan::ViolationKind::FinalizeLeak);
-    assert!(violations[0].detail.contains("pending receive"), "detail: {}", violations[0].detail);
+    assert!(
+        violations[0].detail.contains("pending receive"),
+        "detail: {}",
+        violations[0].detail
+    );
 }

@@ -21,11 +21,21 @@ pub struct EventHold {
 
 impl EventHold {
     pub(crate) fn acquire(task: Arc<TaskShared>) -> EventHold {
-        let prev = task.events.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
-        assert!(prev >= 1, "event hold acquired on a task whose body already finished");
-        task.rt.stat_holds_acquired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let prev = task
+            .events
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        assert!(
+            prev >= 1,
+            "event hold acquired on a task whose body already finished"
+        );
+        task.rt
+            .stat_holds_acquired
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(bus) = obs::bus() {
-            bus.emit_for_rank(task.rt.rank(), obs::EventData::HoldAcquire { task: task.id });
+            bus.emit_for_rank(
+                task.rt.rank(),
+                obs::EventData::HoldAcquire { task: task.id },
+            );
         }
         EventHold { task: Some(task) }
     }
@@ -37,9 +47,14 @@ impl EventHold {
 
     fn release_inner(&mut self) {
         if let Some(task) = self.task.take() {
-            task.rt.stat_holds_released.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            task.rt
+                .stat_holds_released
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if let Some(bus) = obs::bus() {
-                bus.emit_for_rank(task.rt.rank(), obs::EventData::HoldRelease { task: task.id });
+                bus.emit_for_rank(
+                    task.rt.rank(),
+                    obs::EventData::HoldRelease { task: task.id },
+                );
             }
             task.event_done();
         }

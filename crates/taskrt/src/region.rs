@@ -46,13 +46,21 @@ impl Region {
     /// Builds a region over `range` of object `obj`.
     pub fn new(obj: ObjId, range: Range<usize>) -> Region {
         debug_assert!(range.start <= range.end, "inverted region range");
-        Region { obj, start: range.start, end: range.end }
+        Region {
+            obj,
+            start: range.start,
+            end: range.end,
+        }
     }
 
     /// A region covering the whole (conceptually unbounded) object — use
     /// for scalar objects or whole-structure dependencies.
     pub fn whole(obj: ObjId) -> Region {
-        Region { obj, start: 0, end: usize::MAX }
+        Region {
+            obj,
+            start: 0,
+            end: usize::MAX,
+        }
     }
 
     /// Number of elements covered.
@@ -110,17 +118,26 @@ pub struct Access {
 impl Access {
     /// Read access (`in`).
     pub fn read(region: Region) -> Access {
-        Access { region, mode: AccessMode::In }
+        Access {
+            region,
+            mode: AccessMode::In,
+        }
     }
 
     /// Write access (`out`).
     pub fn write(region: Region) -> Access {
-        Access { region, mode: AccessMode::Out }
+        Access {
+            region,
+            mode: AccessMode::Out,
+        }
     }
 
     /// Read-write access (`inout`).
     pub fn read_write(region: Region) -> Access {
-        Access { region, mode: AccessMode::InOut }
+        Access {
+            region,
+            mode: AccessMode::InOut,
+        }
     }
 
     /// Whether two accesses conflict (overlapping regions, at least one
@@ -148,10 +165,19 @@ mod tests {
         let p = ObjId::fresh();
         let a = Region::new(o, 0..10);
         assert!(a.overlaps(&Region::new(o, 9..20)));
-        assert!(!a.overlaps(&Region::new(o, 10..20)), "adjacent ranges do not overlap");
-        assert!(!a.overlaps(&Region::new(p, 0..10)), "different objects never overlap");
+        assert!(
+            !a.overlaps(&Region::new(o, 10..20)),
+            "adjacent ranges do not overlap"
+        );
+        assert!(
+            !a.overlaps(&Region::new(p, 0..10)),
+            "different objects never overlap"
+        );
         assert!(Region::whole(o).overlaps(&a));
-        assert!(!Region::new(o, 5..5).overlaps(&a), "empty region overlaps nothing");
+        assert!(
+            !Region::new(o, 5..5).overlaps(&a),
+            "empty region overlaps nothing"
+        );
     }
 
     #[test]

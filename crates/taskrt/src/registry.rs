@@ -40,7 +40,9 @@ pub(crate) struct Registry {
 
 impl Registry {
     pub(crate) fn new() -> Registry {
-        Registry { shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect() }
+        Registry {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        }
     }
 
     fn shard_of(&self, obj: ObjId) -> &Mutex<Shard> {
@@ -72,7 +74,8 @@ impl Registry {
                         // duplicate would double-count in `pending`.
                         if !links.successors.iter().any(|s| s.id == task.id) {
                             links.successors.push(Arc::clone(task));
-                            task.pending.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                            task.pending
+                                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                             edges += 1;
                             if let Some(bus) = obs::bus() {
                                 bus.emit_for_rank(
@@ -87,7 +90,10 @@ impl Registry {
                     }
                 }
             }
-            live.push(LiveAccess { task: Arc::clone(task), access_idx: idx });
+            live.push(LiveAccess {
+                task: Arc::clone(task),
+                access_idx: idx,
+            });
         }
         edges
     }
@@ -104,7 +110,10 @@ impl Registry {
                 .objects
                 .entry(access.region.obj)
                 .or_default()
-                .push(LiveAccess { task: Arc::clone(task), access_idx: idx });
+                .push(LiveAccess {
+                    task: Arc::clone(task),
+                    access_idx: idx,
+                });
         }
     }
 

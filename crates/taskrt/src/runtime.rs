@@ -29,7 +29,11 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// Default configuration with `workers` threads.
     pub fn with_workers(workers: usize) -> RuntimeConfig {
-        RuntimeConfig { workers, immediate_successor: true, replay: true }
+        RuntimeConfig {
+            workers,
+            immediate_successor: true,
+            replay: true,
+        }
     }
 }
 
@@ -91,12 +95,18 @@ struct LiveSet {
 
 impl LiveSet {
     fn new() -> LiveSet {
-        LiveSet { shards: (0..LIVE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        LiveSet {
+            shards: (0..LIVE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
     }
 
     #[inline]
     fn insert(&self, id: u64, task: Weak<TaskShared>) {
-        self.shards[id as usize % LIVE_SHARDS].lock().insert(id, task);
+        self.shards[id as usize % LIVE_SHARDS]
+            .lock()
+            .insert(id, task);
     }
 
     #[inline]
@@ -109,7 +119,12 @@ impl LiveSet {
         let mut tasks: Vec<Arc<TaskShared>> = self
             .shards
             .iter()
-            .flat_map(|s| s.lock().values().filter_map(Weak::upgrade).collect::<Vec<_>>())
+            .flat_map(|s| {
+                s.lock()
+                    .values()
+                    .filter_map(Weak::upgrade)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         tasks.sort_unstable_by_key(|t| t.id);
         tasks
@@ -166,7 +181,11 @@ impl RtInner {
         for task in live_set.snapshot() {
             let pending = task.pending.load(Ordering::Relaxed);
             let events = task.events.load(Ordering::Relaxed);
-            let label = if task.label.is_empty() { "<unlabeled>" } else { task.label };
+            let label = if task.label.is_empty() {
+                "<unlabeled>"
+            } else {
+                task.label
+            };
             let _ = write!(
                 out,
                 "task {} '{}' pending_preds={} event_holds={} accesses=[",
@@ -181,7 +200,13 @@ impl RtInner {
                     crate::region::AccessMode::Out => "out",
                     crate::region::AccessMode::InOut => "inout",
                 };
-                let _ = write!(out, "{}{} {}", if i > 0 { ", " } else { "" }, mode, a.region);
+                let _ = write!(
+                    out,
+                    "{}{} {}",
+                    if i > 0 { ", " } else { "" },
+                    mode,
+                    a.region
+                );
             }
             out.push_str("]\n");
         }
@@ -240,7 +265,11 @@ impl RtInner {
         if !best.is_empty() {
             out.push_str("longest blocked chain: ");
             for (i, (id, label)) in best.iter().enumerate() {
-                let label = if label.is_empty() { "<unlabeled>" } else { label };
+                let label = if label.is_empty() {
+                    "<unlabeled>"
+                } else {
+                    label
+                };
                 if i == 0 {
                     let _ = write!(
                         out,
@@ -328,12 +357,18 @@ impl Runtime {
                 trace_divergences: obs::metrics().counter("taskrt.trace_divergences"),
                 trace_invalidations: obs::metrics().counter("taskrt.trace_invalidations"),
             }),
-            san_rt: if depsan::is_enabled() { depsan::runtime_created() } else { 0 },
+            san_rt: if depsan::is_enabled() {
+                depsan::runtime_created()
+            } else {
+                0
+            },
         });
         let diag = obs::is_enabled().then(|| {
             let weak = Arc::downgrade(&inner);
             obs::diagnostics().register("taskrt pending tasks", move || {
-                weak.upgrade().map(|rt| rt.dump_pending()).unwrap_or_default()
+                weak.upgrade()
+                    .map(|rt| rt.dump_pending())
+                    .unwrap_or_default()
             })
         });
         let workers = locals
@@ -347,7 +382,11 @@ impl Runtime {
                     .expect("spawn worker thread")
             })
             .collect();
-        Runtime { inner, workers, _diag: diag }
+        Runtime {
+            inner,
+            workers,
+            _diag: diag,
+        }
     }
 
     /// Attributes this runtime's observability events to a virtual rank
@@ -431,7 +470,10 @@ impl Runtime {
             // become ready while its edges are still being created.
             pending: AtomicUsize::new(1),
             events: AtomicUsize::new(1),
-            state: Mutex::new(TaskLinks { released: false, successors: SuccessorList::new() }),
+            state: Mutex::new(TaskLinks {
+                released: false,
+                successors: SuccessorList::new(),
+            }),
             bypassed: AtomicBool::new(false),
             rt: Arc::clone(inner),
         });
@@ -504,7 +546,11 @@ impl Runtime {
         if let (Some(start_us), Some(bus)) = (wait_from, obs::bus()) {
             bus.emit_for_rank(
                 self.inner.rank(),
-                obs::EventData::WaitSpan { kind: "taskwait", start_us, end_us: bus.now_us() },
+                obs::EventData::WaitSpan {
+                    kind: "taskwait",
+                    start_us,
+                    end_us: bus.now_us(),
+                },
             );
         }
         if self.inner.san_rt != 0 {
@@ -736,6 +782,7 @@ impl<'rt> TaskBuilder<'rt> {
     /// Panics if no body was set.
     pub fn spawn(self) {
         let body = self.body.expect("task spawned without a body");
-        self.rt.spawn_boxed(self.accesses, self.priority, self.label, body);
+        self.rt
+            .spawn_boxed(self.accesses, self.priority, self.label, body);
     }
 }

@@ -42,7 +42,10 @@ impl Scheduler {
     /// Creates the scheduler and the per-worker deques; returns the
     /// scheduler plus the workers' local deques (handed to the worker
     /// threads).
-    pub(crate) fn new(n_workers: usize, immediate_successor: bool) -> (Scheduler, Vec<Worker<TaskRef>>) {
+    pub(crate) fn new(
+        n_workers: usize,
+        immediate_successor: bool,
+    ) -> (Scheduler, Vec<Worker<TaskRef>>) {
         let locals: Vec<Worker<TaskRef>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(|w| w.stealer()).collect();
         (
@@ -161,7 +164,8 @@ impl Scheduler {
                     }
                     // Bounded park: a timeout bounds the damage of any
                     // lost-wakeup scenario to one tick.
-                    self.park_cond.wait_for(&mut state, Duration::from_millis(1));
+                    self.park_cond
+                        .wait_for(&mut state, Duration::from_millis(1));
                     if state.pending_wakes > 0 {
                         state.pending_wakes -= 1;
                     }

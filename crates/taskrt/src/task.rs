@@ -88,7 +88,10 @@ impl TaskShared {
             crate::trace::released_bypassed(&self.rt, self);
         }
         if let Some(bus) = obs::bus() {
-            bus.emit_for_rank(self.rt.rank(), obs::EventData::TaskCompleted { id: self.id });
+            bus.emit_for_rank(
+                self.rt.rank(),
+                obs::EventData::TaskCompleted { id: self.id },
+            );
         }
         let n = successors.len();
         for (i, succ) in successors.into_iter().enumerate() {
@@ -119,7 +122,10 @@ impl TaskShared {
             obs::set_thread_rank(self.rt.rank());
             bus.emit_for_rank(
                 self.rt.rank(),
-                obs::EventData::TaskStart { id: self.id, label: self.label },
+                obs::EventData::TaskStart {
+                    id: self.id,
+                    label: self.label,
+                },
             );
         }
         {
@@ -131,14 +137,23 @@ impl TaskShared {
         }
         if let Some(bus) = obs::bus() {
             let rank = self.rt.rank();
-            bus.emit_for_rank(rank, obs::EventData::TaskEnd { id: self.id, label: self.label });
+            bus.emit_for_rank(
+                rank,
+                obs::EventData::TaskEnd {
+                    id: self.id,
+                    label: self.label,
+                },
+            );
             // Holds acquired by the body (tampi-bound requests) outlive it:
             // the task is now blocked-on-events rather than completed.
             let holds = self.events.load(Ordering::Acquire).saturating_sub(1);
             if holds > 0 {
                 bus.emit_for_rank(
                     rank,
-                    obs::EventData::TaskBlocked { id: self.id, holds: holds as u32 },
+                    obs::EventData::TaskBlocked {
+                        id: self.id,
+                        holds: holds as u32,
+                    },
                 );
                 if let Some(m) = &self.rt.obs_metrics {
                     m.blocked.inc();

@@ -106,7 +106,11 @@ fn fingerprint(label: &str, priority: i32, accesses: &[Access]) -> u64 {
     }
     h = mix(h, priority as u32 as u64);
     for a in accesses {
-        h = mix(h, a.mode.is_write() as u64 | ((matches!(a.mode, crate::region::AccessMode::Out) as u64) << 1));
+        h = mix(
+            h,
+            a.mode.is_write() as u64
+                | ((matches!(a.mode, crate::region::AccessMode::Out) as u64) << 1),
+        );
         h = mix(h, a.region.obj.0);
         h = mix(h, a.region.start as u64);
         h = mix(h, a.region.end as u64);
@@ -169,11 +173,16 @@ impl ShadowTable {
                 // A write shadows every entry its range fully covers: any
                 // future conflictor of a covered entry also conflicts
                 // with this write, so ordering flows transitively.
-                entries.retain(|e| {
-                    (e.iter == iter && e.pos == pos) || e.start < start || end < e.end
-                });
+                entries
+                    .retain(|e| (e.iter == iter && e.pos == pos) || e.start < start || end < e.end);
             }
-            entries.push(ShadowEntry { iter, pos, start, end, write });
+            entries.push(ShadowEntry {
+                iter,
+                pos,
+                start,
+                end,
+                write,
+            });
         }
         preds.sort_unstable();
         preds.dedup();
@@ -250,7 +259,10 @@ impl TraceCache {
 
 enum ScopeMode {
     Record,
-    Replay { trace: Arc<TaskTrace>, cursor: usize },
+    Replay {
+        trace: Arc<TaskTrace>,
+        cursor: usize,
+    },
     /// Diverged or dormant: remaining spawns take the fresh path.
     Inert,
 }
@@ -344,7 +356,12 @@ pub(crate) fn scope_begin(inner: &Arc<RtInner>, key: u64) {
         if let Some(m) = &inner.obs_metrics {
             m.trace_records.inc();
         }
-        emit_mark(inner, "record", key, state.last_nodes.as_ref().map_or(0, |n| n.len()));
+        emit_mark(
+            inner,
+            "record",
+            key,
+            state.last_nodes.as_ref().map_or(0, |n| n.len()),
+        );
     }
     let cap = match &mode {
         ScopeMode::Replay { trace, .. } => trace.nodes.len(),
@@ -375,7 +392,11 @@ pub(crate) fn scope_end(inner: &Arc<RtInner>) {
     let Some(mut scope) = ACTIVE.with(|a| a.borrow_mut().take()) else {
         return;
     };
-    debug_assert_eq!(scope.rt, Arc::as_ptr(inner), "trace scope closed on a different runtime");
+    debug_assert_eq!(
+        scope.rt,
+        Arc::as_ptr(inner),
+        "trace scope closed on a different runtime"
+    );
     let cache = &inner.trace;
     // An invalidation while the scope was open (possible from a recovery
     // hook on another thread) makes the checked-out state stale: discard
@@ -389,8 +410,7 @@ pub(crate) fn scope_end(inner: &Arc<RtInner>) {
             // The per-spawn untraced check cannot see out-of-band spawns
             // that landed after the last replayed submission; they taint
             // the ring for *future* replays (this scope's edges are fine).
-            let tainted =
-                cache.untraced_spawns.load(Ordering::Acquire) != scope.untraced_at_start;
+            let tainted = cache.untraced_spawns.load(Ordering::Acquire) != scope.untraced_at_start;
             if cursor == trace.nodes.len() && !tainted {
                 inner.stat_trace_hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &inner.obs_metrics {
@@ -507,7 +527,11 @@ pub(crate) fn route_spawn(
                     let task = if delta == 0 {
                         scope.instance.get(pos as usize)
                     } else {
-                        scope.state.ring.get(delta as usize - 1).and_then(|it| it.get(pos as usize))
+                        scope
+                            .state
+                            .ring
+                            .get(delta as usize - 1)
+                            .and_then(|it| it.get(pos as usize))
                     };
                     match task {
                         Some(t) => preds.push(Arc::clone(t)),
@@ -545,7 +569,10 @@ pub(crate) fn install_replayed(
         if let Some(bus) = obs::bus() {
             bus.emit_for_rank(
                 inner.rank(),
-                obs::EventData::DepEdge { pred: pred.id, succ: task.id },
+                obs::EventData::DepEdge {
+                    pred: pred.id,
+                    succ: task.id,
+                },
             );
         }
     }
@@ -576,7 +603,10 @@ pub(crate) fn record_spawn(inner: &Arc<RtInner>, task: &Arc<TaskShared>) {
             return;
         }
         let pos = scope.instance.len() as u32;
-        let preds = scope.state.shadow.analyze(scope.state.iter, pos, &task.accesses);
+        let preds = scope
+            .state
+            .shadow
+            .analyze(scope.state.iter, pos, &task.accesses);
         scope.nodes.push(TraceNode {
             fp: fingerprint(task.label, task.priority, &task.accesses),
             preds,
@@ -654,7 +684,9 @@ pub(crate) fn invalidate(inner: &Arc<RtInner>) {
     cache.generation.fetch_add(1, Ordering::AcqRel);
     cache.keys.lock().clear();
     flush_bypassed(inner);
-    inner.stat_trace_invalidations.fetch_add(1, Ordering::Relaxed);
+    inner
+        .stat_trace_invalidations
+        .fetch_add(1, Ordering::Relaxed);
     if let Some(m) = &inner.obs_metrics {
         m.trace_invalidations.inc();
     }
@@ -665,7 +697,11 @@ fn emit_mark(inner: &RtInner, kind: &'static str, key: u64, tasks: usize) {
     if let Some(bus) = obs::bus() {
         bus.emit_for_rank(
             inner.rank(),
-            obs::EventData::TraceMark { kind, key, tasks: tasks as u32 },
+            obs::EventData::TraceMark {
+                kind,
+                key,
+                tasks: tasks as u32,
+            },
         );
     }
 }

@@ -91,7 +91,10 @@ fn disjoint_regions_run_concurrently() {
                 gate.fetch_add(1, Ordering::SeqCst);
                 let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
                 while gate.load(Ordering::SeqCst) < 4 {
-                    assert!(std::time::Instant::now() < deadline, "tasks did not run concurrently");
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "tasks did not run concurrently"
+                    );
                     std::thread::yield_now();
                 }
             })
@@ -124,7 +127,11 @@ fn readers_share_then_writer_waits_for_all() {
         .body(move || ws.store(rd.load(Ordering::SeqCst), Ordering::SeqCst))
         .spawn();
     rt.taskwait();
-    assert_eq!(writer_saw.load(Ordering::SeqCst), 6, "writer ran before all readers finished");
+    assert_eq!(
+        writer_saw.load(Ordering::SeqCst),
+        6,
+        "writer ran before all readers finished"
+    );
 }
 
 #[test]
@@ -176,11 +183,18 @@ fn non_overlapping_ranges_of_same_object_are_independent() {
     rt.task()
         .out(Region::new(obj, 20..40))
         .body(move || {
-            ov.store(if fd.load(Ordering::SeqCst) == 0 { 1 } else { 0 }, Ordering::SeqCst);
+            ov.store(
+                if fd.load(Ordering::SeqCst) == 0 { 1 } else { 0 },
+                Ordering::SeqCst,
+            );
         })
         .spawn();
     rt.taskwait();
-    assert_eq!(overlapped.load(Ordering::SeqCst), 1, "disjoint ranges were serialized");
+    assert_eq!(
+        overlapped.load(Ordering::SeqCst),
+        1,
+        "disjoint ranges were serialized"
+    );
 }
 
 #[test]
@@ -199,11 +213,18 @@ fn taskwait_on_waits_only_for_named_regions() {
         })
         .spawn();
     let fd = Arc::clone(&fast_done);
-    rt.task().out(Region::new(fast, 0..1)).body(move || fd.store(1, Ordering::SeqCst)).spawn();
+    rt.task()
+        .out(Region::new(fast, 0..1))
+        .body(move || fd.store(1, Ordering::SeqCst))
+        .spawn();
 
     rt.taskwait_on(&[Region::new(fast, 0..1)]);
     assert_eq!(fast_done.load(Ordering::SeqCst), 1);
-    assert_eq!(slow_done.load(Ordering::SeqCst), 0, "taskwait_on drained unrelated work");
+    assert_eq!(
+        slow_done.load(Ordering::SeqCst),
+        0,
+        "taskwait_on drained unrelated work"
+    );
     rt.taskwait();
     assert_eq!(slow_done.load(Ordering::SeqCst), 1);
 }
@@ -238,7 +259,11 @@ fn parallel_for_covers_range_exactly_once() {
         }
     });
     for (i, h) in hits.iter().enumerate() {
-        assert_eq!(h.load(Ordering::SeqCst), 1, "index {i} covered wrong number of times");
+        assert_eq!(
+            h.load(Ordering::SeqCst),
+            1,
+            "index {i} covered wrong number of times"
+        );
     }
 }
 
@@ -262,14 +287,21 @@ fn event_hold_defers_release() {
         })
         .spawn();
     let sr = Arc::clone(&successor_ran);
-    rt.task().input(Region::new(obj, 0..1)).body(move || {
-        sr.store(1, Ordering::SeqCst);
-    }).spawn();
+    rt.task()
+        .input(Region::new(obj, 0..1))
+        .body(move || {
+            sr.store(1, Ordering::SeqCst);
+        })
+        .spawn();
 
     // Give the first task time to finish its body; the successor must
     // still be blocked by the outstanding hold.
     std::thread::sleep(std::time::Duration::from_millis(30));
-    assert_eq!(successor_ran.load(Ordering::SeqCst), 0, "hold did not defer release");
+    assert_eq!(
+        successor_ran.load(Ordering::SeqCst),
+        0,
+        "hold did not defer release"
+    );
     hold_slot.lock().unwrap().take(); // drop the hold
     rt.taskwait();
     assert_eq!(successor_ran.load(Ordering::SeqCst), 1);
@@ -288,7 +320,10 @@ fn event_hold_released_from_foreign_thread() {
         .spawn();
     let done = Arc::new(AtomicUsize::new(0));
     let d = Arc::clone(&done);
-    rt.task().input(Region::new(obj, 0..1)).body(move || d.store(1, Ordering::SeqCst)).spawn();
+    rt.task()
+        .input(Region::new(obj, 0..1))
+        .body(move || d.store(1, Ordering::SeqCst))
+        .spawn();
 
     let hold = rx.recv().unwrap();
     // Simulates the communication substrate completing a request on its
@@ -313,9 +348,12 @@ fn immediate_successor_can_be_disabled() {
     let sum = Arc::new(AtomicUsize::new(0));
     for _ in 0..50 {
         let s = Arc::clone(&sum);
-        rt.task().inout(Region::new(obj, 0..1)).body(move || {
-            s.fetch_add(1, Ordering::SeqCst);
-        }).spawn();
+        rt.task()
+            .inout(Region::new(obj, 0..1))
+            .body(move || {
+                s.fetch_add(1, Ordering::SeqCst);
+            })
+            .spawn();
     }
     rt.taskwait();
     assert_eq!(sum.load(Ordering::SeqCst), 50);
@@ -344,7 +382,11 @@ fn stats_count_edges_and_spawns() {
     let stats = rt.stats();
     assert_eq!(stats.spawned, 2);
     assert!(stats.edges >= 1);
-    assert_eq!(rt.live_objects(), 0, "registry must be empty after taskwait");
+    assert_eq!(
+        rt.live_objects(),
+        0,
+        "registry must be empty after taskwait"
+    );
 }
 
 #[test]
@@ -367,11 +409,17 @@ fn priority_tasks_run_before_backlog() {
         rt.spawn(Vec::new(), move || o.lock().unwrap().push(i));
     }
     let o = Arc::clone(&order);
-    rt.task().priority(10).body(move || o.lock().unwrap().push(100)).spawn();
+    rt.task()
+        .priority(10)
+        .body(move || o.lock().unwrap().push(100))
+        .spawn();
     gate.store(1, Ordering::SeqCst);
     rt.taskwait();
     let order = order.lock().unwrap();
-    assert_eq!(order[0], 100, "priority task did not jump the queue: {order:?}");
+    assert_eq!(
+        order[0], 100,
+        "priority task did not jump the queue: {order:?}"
+    );
 }
 
 /// Randomized stress: build a random DAG over a handful of objects and

@@ -31,7 +31,10 @@ fn chained_iteration(rt: &Runtime, key: u64, obj: ObjId, n: usize) -> Arc<Mutex<
 fn assert_in_submission_order(log: &Arc<Mutex<Vec<usize>>>, n: usize, ctx: &str) {
     let got = log.lock().clone();
     let want: Vec<usize> = (0..n).collect();
-    assert_eq!(got, want, "{ctx}: chained tasks ran out of submission order");
+    assert_eq!(
+        got, want,
+        "{ctx}: chained tasks ran out of submission order"
+    );
 }
 
 /// A stable chained stream replays after the warm-up recordings and the
@@ -47,15 +50,25 @@ fn replayed_chain_preserves_order() {
     }
     let s = rt.stats();
     assert!(s.trace_hits > 0, "stable stream never replayed: {s:?}");
-    assert!(s.replayed_tasks >= N as u64, "no tasks took the replay path: {s:?}");
-    assert_eq!(s.trace_divergences, 0, "stable stream should never diverge: {s:?}");
+    assert!(
+        s.replayed_tasks >= N as u64,
+        "no tasks took the replay path: {s:?}"
+    );
+    assert_eq!(
+        s.trace_divergences, 0,
+        "stable stream should never diverge: {s:?}"
+    );
 }
 
 /// With `replay: false` the cache is inert: scopes are free, nothing is
 /// recorded, nothing replays.
 #[test]
 fn replay_disabled_is_inert() {
-    let rt = Runtime::with_config(RuntimeConfig { workers: 2, immediate_successor: true, replay: false });
+    let rt = Runtime::with_config(RuntimeConfig {
+        workers: 2,
+        immediate_successor: true,
+        replay: false,
+    });
     let obj = ObjId::fresh();
     for iter in 0..6 {
         let log = chained_iteration(&rt, 1, obj, 50);
@@ -116,14 +129,20 @@ fn divergent_submission_falls_back() {
         for i in 0..N {
             let log = Arc::clone(&log);
             let range = if i == N / 2 { 0..2 } else { 0..1 };
-            rt.task().inout(Region::new(obj, range)).body(move || log.lock().push(i)).spawn();
+            rt.task()
+                .inout(Region::new(obj, range))
+                .body(move || log.lock().push(i))
+                .spawn();
         }
         drop(scope);
         rt.taskwait();
         assert_in_submission_order(&log, N, "re-recorded iteration");
     }
     let s = rt.stats();
-    assert!(s.trace_hits > hits_after_divergence, "stream B never re-froze: {s:?}");
+    assert!(
+        s.trace_hits > hits_after_divergence,
+        "stream B never re-froze: {s:?}"
+    );
 }
 
 /// `Runtime::invalidate_traces` (regrid / repartition) drops every frozen
@@ -144,7 +163,10 @@ fn explicit_invalidation_forces_rerecord() {
     // The iteration right after an invalidation must record, not hit.
     chained_iteration(&rt, 3, obj, N);
     let mid = rt.stats();
-    assert_eq!(mid.trace_hits, before.trace_hits, "hit served from an invalidated trace");
+    assert_eq!(
+        mid.trace_hits, before.trace_hits,
+        "hit served from an invalidated trace"
+    );
     assert!(mid.trace_invalidations > before.trace_invalidations);
 
     // After the warm-up recordings (cold shadow + two identical warm
@@ -154,7 +176,10 @@ fn explicit_invalidation_forces_rerecord() {
         assert_in_submission_order(&log, N, &format!("post-invalidation iteration {iter}"));
     }
     let s = rt.stats();
-    assert!(s.trace_hits > before.trace_hits, "replay never resumed after invalidation: {s:?}");
+    assert!(
+        s.trace_hits > before.trace_hits,
+        "replay never resumed after invalidation: {s:?}"
+    );
 }
 
 /// `taskrt::invalidate_all_traces` (checkpoint restore: no runtime handle
@@ -175,14 +200,20 @@ fn global_epoch_invalidation_forces_rerecord() {
 
     chained_iteration(&rt, 4, obj, N);
     let mid = rt.stats();
-    assert_eq!(mid.trace_hits, before.trace_hits, "hit served across a global epoch bump");
+    assert_eq!(
+        mid.trace_hits, before.trace_hits,
+        "hit served across a global epoch bump"
+    );
     assert!(mid.trace_invalidations > before.trace_invalidations);
 
     for _ in 0..5 {
         chained_iteration(&rt, 4, obj, N);
     }
     let s = rt.stats();
-    assert!(s.trace_hits > before.trace_hits, "replay never resumed after epoch bump: {s:?}");
+    assert!(
+        s.trace_hits > before.trace_hits,
+        "replay never resumed after epoch bump: {s:?}"
+    );
 }
 
 /// An untraced spawn between scopes that conflicts with the frozen stream
@@ -206,14 +237,20 @@ fn untraced_spawn_between_scopes_resets_key() {
     let log = chained_iteration(&rt, 9, obj, N);
     assert_in_submission_order(&log, N, "post-untraced iteration");
     let mid = rt.stats();
-    assert_eq!(mid.trace_hits, before.trace_hits, "replayed over an untraced conflicting spawn");
+    assert_eq!(
+        mid.trace_hits, before.trace_hits,
+        "replayed over an untraced conflicting spawn"
+    );
 
     // The key re-records and replay resumes once the stream re-freezes.
     for _ in 0..5 {
         chained_iteration(&rt, 9, obj, N);
     }
     let s = rt.stats();
-    assert!(s.trace_hits > before.trace_hits, "replay never resumed after key reset: {s:?}");
+    assert!(
+        s.trace_hits > before.trace_hits,
+        "replay never resumed after key reset: {s:?}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -249,9 +286,8 @@ struct Decl {
 /// least one writes.
 fn conflicts(a: &[Decl], b: &[Decl]) -> bool {
     a.iter().any(|x| {
-        b.iter().any(|y| {
-            x.obj == y.obj && x.start < y.end && y.start < x.end && (x.write || y.write)
-        })
+        b.iter()
+            .any(|y| x.obj == y.obj && x.start < y.end && y.start < x.end && (x.write || y.write))
     })
 }
 
@@ -290,14 +326,24 @@ fn replayed_iterations_are_linear_extensions() {
                         let start = rng.below(4) as usize;
                         let end = start + 1 + rng.below(3) as usize;
                         let write = rng.below(3) != 0;
-                        Decl { obj, start, end, write }
+                        Decl {
+                            obj,
+                            start,
+                            end,
+                            write,
+                        }
                     })
                     .collect()
             })
             .collect();
         // Closing sweeps: one full-range write per object.
         for obj in 0..OBJECTS {
-            stream.push(vec![Decl { obj, start: 0, end: 8, write: true }]);
+            stream.push(vec![Decl {
+                obj,
+                start: 0,
+                end: 8,
+                write: true,
+            }]);
         }
 
         let rt = Runtime::new(3);
@@ -340,7 +386,13 @@ fn replayed_iterations_are_linear_extensions() {
             }
         }
         let s = rt.stats();
-        assert!(s.trace_hits > 0, "seed {seed:#x}: stream never replayed: {s:?}");
-        assert_eq!(s.trace_divergences, 0, "seed {seed:#x}: identical stream diverged: {s:?}");
+        assert!(
+            s.trace_hits > 0,
+            "seed {seed:#x}: stream never replayed: {s:?}"
+        );
+        assert_eq!(
+            s.trace_divergences, 0,
+            "seed {seed:#x}: identical stream diverged: {s:?}"
+        );
     }
 }

@@ -94,8 +94,14 @@ fn sanitized_replay_matches_record_mode_edges() {
         }
 
         let s = rt.stats();
-        assert!(s.trace_hits > 0, "seed {seed:#x}: stream never replayed: {s:?}");
-        assert!(s.replayed_tasks > 0, "seed {seed:#x}: no task took the replay path: {s:?}");
+        assert!(
+            s.trace_hits > 0,
+            "seed {seed:#x}: stream never replayed: {s:?}"
+        );
+        assert!(
+            s.replayed_tasks > 0,
+            "seed {seed:#x}: no task took the replay path: {s:?}"
+        );
         assert_eq!(log.lock().len(), TASKS * ITERS);
 
         let violations = depsan::take_violations();

@@ -131,7 +131,11 @@ impl Comm {
         while m > 0 {
             if rel + m < p {
                 let dst = (rel + m + root) % p;
-                sends.push(self.isend_coll_bytes(crate::datatype::as_bytes(&payload).to_vec(), dst, tag));
+                sends.push(self.isend_coll_bytes(
+                    crate::datatype::as_bytes(&payload).to_vec(),
+                    dst,
+                    tag,
+                ));
             }
             m >>= 1;
         }
@@ -143,7 +147,12 @@ impl Comm {
 
     /// Reduces elementwise to `root` (binomial tree, `MPI_Reduce`).
     /// Returns `Some(result)` on the root, `None` elsewhere.
-    pub fn reduce<T: Reducible>(&self, data: &[T], op: ReduceOp, root: usize) -> Result<Option<Vec<T>>> {
+    pub fn reduce<T: Reducible>(
+        &self,
+        data: &[T],
+        op: ReduceOp,
+        root: usize,
+    ) -> Result<Option<Vec<T>>> {
         let p = self.size();
         let tag = self.next_coll_tag();
         let rel = (self.rank() + p - root) % p;
@@ -217,7 +226,14 @@ impl Comm {
             }
             None => (Vec::new(), Vec::new()),
         };
-        let counts = self.bcast(if self.rank() == 0 { Some(&counts) } else { None }, 0)?;
+        let counts = self.bcast(
+            if self.rank() == 0 {
+                Some(&counts)
+            } else {
+                None
+            },
+            0,
+        )?;
         let flat = self.bcast(if self.rank() == 0 { Some(&flat) } else { None }, 0)?;
         debug_assert_eq!(counts.len(), p);
         let mut out = Vec::with_capacity(p);
@@ -239,9 +255,11 @@ impl Comm {
         let mut sends = Vec::with_capacity(p);
         for (dst, part) in parts.iter().enumerate() {
             if dst != self.rank() {
-                sends.push(
-                    self.isend_coll_bytes(crate::datatype::as_bytes(part.as_slice()).to_vec(), dst, tag),
-                );
+                sends.push(self.isend_coll_bytes(
+                    crate::datatype::as_bytes(part.as_slice()).to_vec(),
+                    dst,
+                    tag,
+                ));
             }
         }
         let mut out: Vec<Vec<T>> = Vec::with_capacity(p);

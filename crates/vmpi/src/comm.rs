@@ -1,11 +1,11 @@
 //! Communicators and point-to-point operations.
 
-use shmem::BufSlice;
 use crate::datatype::{self, Pod};
 use crate::error::{Result, VmpiError};
 use crate::mailbox::{complete_transfer, Envelope, Inbound, PendingRecv, RecvSan, RecvTarget};
 use crate::request::{Request, RequestState};
 use crate::world::WorldShared;
+use shmem::BufSlice;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -73,7 +73,12 @@ pub struct Comm {
 }
 
 impl Comm {
-    pub(crate) fn new(shared: Arc<WorldShared>, comm_id: u64, rank: usize, group: Arc<Vec<usize>>) -> Self {
+    pub(crate) fn new(
+        shared: Arc<WorldShared>,
+        comm_id: u64,
+        rank: usize,
+        group: Arc<Vec<usize>>,
+    ) -> Self {
         Comm {
             shared,
             comm_id,
@@ -173,15 +178,18 @@ impl Comm {
         // Sends are posted from the sending task's body (the payload copy
         // already happened in its scope), so the current scope identifies
         // the sending task in lint reports.
-        let san_scope = if depsan::is_enabled() { depsan::current_scope() } else { 0 };
+        let san_scope = if depsan::is_enabled() {
+            depsan::current_scope()
+        } else {
+            0
+        };
         // Inter-node transfers go through the contention-aware fabric
         // when one is installed (NIC serialization, shared links,
         // rendezvous handshake); intra-node and self transfers always
         // take the scalar shared-memory path.
         let (fabric_flow, available_at) = match &self.shared.fabric {
             Some(fab)
-                if src_world != dst_world
-                    && !fab.params().same_node(src_world, dst_world) =>
+                if src_world != dst_world && !fab.params().same_node(src_world, dst_world) =>
             {
                 let (id, eta) = fab.inject(src_world, dst_world, nbytes);
                 (Some(id), eta)
@@ -193,7 +201,11 @@ impl Comm {
         };
         let eager = self.shared.net.is_eager(nbytes) || src_world == dst_world;
         let send_state = RequestState::new();
-        let send_status = Status { source: self.rank, tag, bytes: nbytes };
+        let send_status = Status {
+            source: self.rank,
+            tag,
+            bytes: nbytes,
+        };
 
         // Causal-edge provenance, allocated only while tracing: a
         // process-unique match id ties this send to its delivery, the
@@ -242,7 +254,11 @@ impl Comm {
                         payload,
                         available_at,
                         fabric_flow,
-                        send_state: if eager { None } else { Some(Arc::clone(&send_state)) },
+                        send_state: if eager {
+                            None
+                        } else {
+                            Some(Arc::clone(&send_state))
+                        },
                         san_scope,
                         match_id,
                         posted_us,
@@ -268,8 +284,13 @@ impl Comm {
             Outcome::Matched(pr, payload) => {
                 if depsan::is_enabled() {
                     san_check_match(
-                        dst_world, self.rank, tag, self.comm_id,
-                        payload.len(), san_scope, &pr.san,
+                        dst_world,
+                        self.rank,
+                        tag,
+                        self.comm_id,
+                        payload.len(),
+                        san_scope,
+                        &pr.san,
                     );
                 }
                 if let Some(bus) = obs::bus() {
@@ -289,8 +310,11 @@ impl Comm {
                         m.matched_at_send.inc();
                     }
                 }
-                let send_for_job =
-                    if eager { None } else { Some(Arc::clone(&send_state)) };
+                let send_for_job = if eager {
+                    None
+                } else {
+                    Some(Arc::clone(&send_state))
+                };
                 let src = self.rank;
                 let comm_id = self.comm_id;
                 let recv_task = pr.obs_task;
@@ -298,7 +322,16 @@ impl Comm {
                     Arc::clone(&self.shared),
                     available_at,
                     fabric_flow,
-                    Inbound { payload, src, tag, comm: comm_id, dst_world, match_id, posted_us, recv_task },
+                    Inbound {
+                        payload,
+                        src,
+                        tag,
+                        comm: comm_id,
+                        dst_world,
+                        match_id,
+                        posted_us,
+                        recv_task,
+                    },
                     send_for_job,
                     pr.state,
                     pr.target,
@@ -322,9 +355,18 @@ impl Comm {
         let state = RequestState::new();
         let my_world = self.group[self.rank];
         let mailbox = &self.shared.mailboxes[my_world];
-        let recv_task = if obs::is_enabled() { obs::thread_task() } else { 0 };
+        let recv_task = if obs::is_enabled() {
+            obs::thread_task()
+        } else {
+            0
+        };
         if let Some(bus) = obs::bus() {
-            bus.emit(obs::EventData::RecvPosted { src, tag, comm: self.comm_id, task: recv_task });
+            bus.emit(obs::EventData::RecvPosted {
+                src,
+                tag,
+                comm: self.comm_id,
+                task: recv_task,
+            });
             if let Some(m) = &self.shared.obs_metrics {
                 m.recvs.inc();
             }
@@ -379,9 +421,7 @@ impl Comm {
                 posted_us,
             } = env;
             if depsan::is_enabled() {
-                san_check_match(
-                    my_world, esrc, etag, ecomm, payload.len(), env_scope, &san,
-                );
+                san_check_match(my_world, esrc, etag, ecomm, payload.len(), env_scope, &san);
             }
             if let Some(bus) = obs::bus() {
                 bus.emit(obs::EventData::MsgMatched {
@@ -456,12 +496,14 @@ impl Comm {
             }
             let n = payload.len() / elem;
             if n > slice.len() {
-                return Err(VmpiError::Truncated { expected: slice.len(), got: n });
+                return Err(VmpiError::Truncated {
+                    expected: slice.len(),
+                    got: n,
+                });
             }
             depsan::with_scope(scope, || {
                 slice.subslice(0..n).with_write(|dst| {
-                    datatype::copy_to_slice(payload, dst)
-                        .expect("length verified above");
+                    datatype::copy_to_slice(payload, dst).expect("length verified above");
                 });
             });
             Ok(())
@@ -482,7 +524,10 @@ impl Comm {
     pub fn recv_into<T: Pod>(&self, dst: &mut [T], src: i32, tag: i32) -> Result<Status> {
         let (data, status) = self.recv::<T>(src, tag)?;
         if data.len() > dst.len() {
-            return Err(VmpiError::Truncated { expected: dst.len(), got: data.len() });
+            return Err(VmpiError::Truncated {
+                expected: dst.len(),
+                got: data.len(),
+            });
         }
         dst[..data.len()].copy_from_slice(&data);
         Ok(status)
@@ -560,7 +605,12 @@ impl Comm {
     pub fn dup(&self) -> Comm {
         let seq = self.derive_seq.fetch_add(1, Ordering::Relaxed);
         let id = mix64(self.comm_id ^ mix64(seq.wrapping_mul(2) + 1));
-        Comm::new(Arc::clone(&self.shared), id, self.rank, Arc::clone(&self.group))
+        Comm::new(
+            Arc::clone(&self.shared),
+            id,
+            self.rank,
+            Arc::clone(&self.group),
+        )
     }
 
     /// Splits the communicator by color (`MPI_Comm_split`); ranks with the
@@ -576,13 +626,19 @@ impl Comm {
             .map(|v| (v[1], v[2]))
             .collect();
         members.sort_unstable();
-        let group: Vec<usize> =
-            members.iter().map(|&(_, parent)| self.group[parent as usize]).collect();
+        let group: Vec<usize> = members
+            .iter()
+            .map(|&(_, parent)| self.group[parent as usize])
+            .collect();
         let new_rank = members
             .iter()
             .position(|&(_, parent)| parent as usize == self.rank)
             .expect("calling rank is in its own color group");
-        let id = mix64(self.comm_id ^ mix64(seq.wrapping_mul(2)) ^ (color as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let id = mix64(
+            self.comm_id
+                ^ mix64(seq.wrapping_mul(2))
+                ^ (color as u64).wrapping_mul(0x9e3779b97f4a7c15),
+        );
         Comm::new(Arc::clone(&self.shared), id, new_rank, Arc::new(group))
     }
 }
@@ -609,9 +665,7 @@ pub(crate) fn schedule_transfer(
             if let Some(id) = flow {
                 let next = shared.fabric.as_ref().and_then(|f| f.poll(id));
                 if let Some(next) = next {
-                    schedule_transfer(
-                        shared, next, flow, inbound, send_state, recv_state, target,
-                    );
+                    schedule_transfer(shared, next, flow, inbound, send_state, recv_state, target);
                     return;
                 }
             }
@@ -634,7 +688,9 @@ pub(crate) fn san_check_match(
     sender_scope: u64,
     recv: &RecvSan,
 ) {
-    let Some(exp) = recv.expected_bytes else { return };
+    let Some(exp) = recv.expected_bytes else {
+        return;
+    };
     if got == exp {
         return;
     }
@@ -659,7 +715,11 @@ mod tests {
 
     #[test]
     fn status_count() {
-        let st = Status { source: 0, tag: 0, bytes: 32 };
+        let st = Status {
+            source: 0,
+            tag: 0,
+            bytes: 32,
+        };
         assert_eq!(st.count::<f64>(), 4);
         assert_eq!(st.count::<u8>(), 32);
     }

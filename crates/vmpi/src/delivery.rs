@@ -34,7 +34,10 @@ impl Ord for QueuedJob {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest due time pops
         // first, with the insertion sequence as a deterministic tiebreak.
-        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -50,9 +50,15 @@ impl fmt::Display for VmpiError {
             VmpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
             VmpiError::InvalidTag(t) => write!(f, "invalid tag {t}"),
             VmpiError::Truncated { expected, got } => {
-                write!(f, "message truncated: buffer holds {expected}, message has {got}")
+                write!(
+                    f,
+                    "message truncated: buffer holds {expected}, message has {got}"
+                )
             }
-            VmpiError::TypeMismatch { payload_bytes, elem_bytes } => write!(
+            VmpiError::TypeMismatch {
+                payload_bytes,
+                elem_bytes,
+            } => write!(
                 f,
                 "payload of {payload_bytes} bytes is not a multiple of element size {elem_bytes}"
             ),

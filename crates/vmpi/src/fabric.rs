@@ -135,7 +135,11 @@ impl FabricParams {
     /// Number of nodes covering `ranks` ranks.
     #[inline]
     pub fn nodes_for(&self, ranks: usize) -> usize {
-        if self.ranks_per_node == 0 { ranks } else { ranks.div_ceil(self.ranks_per_node) }
+        if self.ranks_per_node == 0 {
+            ranks
+        } else {
+            ranks.div_ceil(self.ranks_per_node)
+        }
     }
 }
 
@@ -241,7 +245,12 @@ pub fn drain(p: &FabricParams, n_nodes: usize, flows: &[Flow]) -> Vec<f64> {
         } else {
             up[f.src] += 1;
             dn[f.dst] += 1;
-            active.push(Active { src: f.src, dst: f.dst, remaining: f.bytes.max(0.0), last: 0.0 });
+            active.push(Active {
+                src: f.src,
+                dst: f.dst,
+                remaining: f.bytes.max(0.0),
+                last: 0.0,
+            });
         }
     }
 
@@ -259,8 +268,7 @@ pub fn drain(p: &FabricParams, n_nodes: usize, flows: &[Flow]) -> Vec<f64> {
             }
         }
         // The pending-start event may come first.
-        let start_next = !pending.is_empty()
-            && next_done.is_none_or(|(_, t)| start_at < t);
+        let start_next = !pending.is_empty() && next_done.is_none_or(|(_, t)| start_at < t);
         let event_t = if start_next {
             start_at
         } else {
@@ -443,8 +451,7 @@ impl Fabric {
             if let Some((id, done)) = first {
                 if done <= until {
                     let f = s.flows.get_mut(&id).expect("flow exists");
-                    s.up_bytes[f.src_node] =
-                        (s.up_bytes[f.src_node] - f.remaining).max(0.0);
+                    s.up_bytes[f.src_node] = (s.up_bytes[f.src_node] - f.remaining).max(0.0);
                     f.remaining = 0.0;
                 }
             }
@@ -489,8 +496,11 @@ impl Fabric {
         // NIC injection: serialize behind the node's previous messages.
         let start = s.nic_free[sn].max(t) + self.p.nic_msg_overhead;
         s.nic_free[sn] = start;
-        let handshake =
-            if self.p.is_eager(bytes) { 0.0 } else { self.p.rendezvous_rtt };
+        let handshake = if self.p.is_eager(bytes) {
+            0.0
+        } else {
+            self.p.rendezvous_rtt
+        };
         let extra = (start - t) + handshake + self.p.latency;
         let id = s.next_id;
         s.next_id += 1;
@@ -532,8 +542,7 @@ impl Fabric {
                 if !f.drained {
                     s.up[f.src_node] -= 1;
                     s.dn[f.dst_node] -= 1;
-                    s.up_bytes[f.src_node] =
-                        (s.up_bytes[f.src_node] - f.remaining).max(0.0);
+                    s.up_bytes[f.src_node] = (s.up_bytes[f.src_node] - f.remaining).max(0.0);
                 }
             }
             return None;
@@ -601,7 +610,10 @@ mod tests {
         assert!(p.validate().is_err());
         p = params();
         p.bandwidth = f64::INFINITY;
-        assert!(p.validate().is_ok(), "infinite bandwidth disables the size term");
+        assert!(
+            p.validate().is_ok(),
+            "infinite bandwidth disables the size term"
+        );
     }
 
     #[test]
@@ -612,7 +624,10 @@ mod tests {
         assert!(p.same_node(2, 3));
         assert!(!p.same_node(1, 2));
         assert_eq!(p.nodes_for(5), 3);
-        let solo = FabricParams { ranks_per_node: 0, ..params() };
+        let solo = FabricParams {
+            ranks_per_node: 0,
+            ..params()
+        };
         assert!(!solo.same_node(0, 1));
         assert_eq!(solo.nodes_for(5), 5);
     }
@@ -621,8 +636,13 @@ mod tests {
     fn drain_single_flow_is_serial_time() {
         let p = params();
         // 1 MB eager-classified flow, one message.
-        let flows =
-            vec![Flow { src: 0, dst: 1, bytes: 1.0e6, msgs: 1.0, rdv_msgs: 0.0 }];
+        let flows = vec![Flow {
+            src: 0,
+            dst: 1,
+            bytes: 1.0e6,
+            msgs: 1.0,
+            rdv_msgs: 0.0,
+        }];
         let busy = drain(&p, 2, &flows);
         let expect = 1.0e6 / p.bandwidth + p.nic_msg_overhead + p.latency;
         assert!((busy[0] - expect).abs() < 1e-12, "{} vs {expect}", busy[0]);
@@ -636,12 +656,28 @@ mod tests {
         // Two flows out of node 0 to distinct destinations: the uplink is
         // shared, so node 0 stays busy for the sum of the bytes.
         let flows = vec![
-            Flow { src: 0, dst: 1, bytes: 1.0e6, msgs: 1.0, rdv_msgs: 0.0 },
-            Flow { src: 0, dst: 2, bytes: 1.0e6, msgs: 1.0, rdv_msgs: 0.0 },
+            Flow {
+                src: 0,
+                dst: 1,
+                bytes: 1.0e6,
+                msgs: 1.0,
+                rdv_msgs: 0.0,
+            },
+            Flow {
+                src: 0,
+                dst: 2,
+                bytes: 1.0e6,
+                msgs: 1.0,
+                rdv_msgs: 0.0,
+            },
         ];
         let busy = drain(&p, 3, &flows);
         let serial = 2.0e6 / p.bandwidth;
-        assert!(busy[0] >= serial, "shared uplink must serialize: {} < {serial}", busy[0]);
+        assert!(
+            busy[0] >= serial,
+            "shared uplink must serialize: {} < {serial}",
+            busy[0]
+        );
         // Each destination's downlink only carries its own megabyte, but
         // its flow was slowed by the shared uplink.
         assert!(busy[1] > 1.0e6 / p.bandwidth);
@@ -650,9 +686,20 @@ mod tests {
     #[test]
     fn drain_rendezvous_flows_start_late() {
         let p = params();
-        let eager =
-            vec![Flow { src: 0, dst: 1, bytes: 1.0e6, msgs: 1.0, rdv_msgs: 0.0 }];
-        let rdv = vec![Flow { src: 0, dst: 1, bytes: 1.0e6, msgs: 1.0, rdv_msgs: 1.0 }];
+        let eager = vec![Flow {
+            src: 0,
+            dst: 1,
+            bytes: 1.0e6,
+            msgs: 1.0,
+            rdv_msgs: 0.0,
+        }];
+        let rdv = vec![Flow {
+            src: 0,
+            dst: 1,
+            bytes: 1.0e6,
+            msgs: 1.0,
+            rdv_msgs: 1.0,
+        }];
         let be = drain(&p, 2, &eager);
         let br = drain(&p, 2, &rdv);
         assert!((br[0] - be[0] - p.rendezvous_rtt).abs() < 1e-9);
@@ -660,7 +707,10 @@ mod tests {
 
     #[test]
     fn drain_matches_fluid_limit_past_the_cap() {
-        let p = FabricParams { ranks_per_node: 0, ..params() };
+        let p = FabricParams {
+            ranks_per_node: 0,
+            ..params()
+        };
         // One flow per node pair in a ring, far beyond the event cap.
         let n = DRAIN_EVENT_CAP + 7;
         let flows: Vec<Flow> = (0..n)
@@ -685,7 +735,11 @@ mod tests {
 
     #[test]
     fn online_inject_and_poll_complete() {
-        let p = FabricParams { latency: 0.0, nic_msg_overhead: 0.0, ..params() };
+        let p = FabricParams {
+            latency: 0.0,
+            nic_msg_overhead: 0.0,
+            ..params()
+        };
         let fab = Fabric::new(p, 4);
         let (id, eta) = fab.inject(0, 2, 512);
         // 512 B at 1 GB/s is ~0.5 µs; after it elapses the poll retires
@@ -726,7 +780,10 @@ mod tests {
 
     #[test]
     fn online_release_all_completes_everything() {
-        let p = FabricParams { bandwidth: 1.0, ..params() }; // 1 B/s: never drains
+        let p = FabricParams {
+            bandwidth: 1.0,
+            ..params()
+        }; // 1 B/s: never drains
         let fab = Fabric::new(p, 2);
         let (id, _eta) = fab.inject(0, 1, 1 << 20);
         assert!(fab.poll(id).is_some(), "flow cannot have drained yet");

@@ -145,14 +145,30 @@ pub(crate) mod salt {
 impl ChaosConfig {
     /// Deterministic uniform draw in `[0, 1)` for one `(kind, frame,
     /// attempt)` decision.
-    pub(crate) fn roll(&self, kind: u64, src: usize, dst: usize, tag: i32, seq: u64, attempt: u32) -> f64 {
+    pub(crate) fn roll(
+        &self,
+        kind: u64,
+        src: usize,
+        dst: usize,
+        tag: i32,
+        seq: u64,
+        attempt: u32,
+    ) -> f64 {
         let h = self.hash(kind, src, dst, tag, seq, attempt);
         (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Deterministic hash for non-probability choices (e.g. which bit to
     /// flip).
-    pub(crate) fn hash(&self, kind: u64, src: usize, dst: usize, tag: i32, seq: u64, attempt: u32) -> u64 {
+    pub(crate) fn hash(
+        &self,
+        kind: u64,
+        src: usize,
+        dst: usize,
+        tag: i32,
+        seq: u64,
+        attempt: u32,
+    ) -> u64 {
         let mut h = mix64(self.seed ^ 0x9e3779b97f4a7c15);
         h = mix64(h ^ kind);
         h = mix64(h ^ src as u64);
@@ -212,7 +228,11 @@ static CRC_TABLE: [u32; 256] = {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xedb88320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xedb88320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -516,7 +536,10 @@ mod tests {
         // Standard IEEE CRC-32 check values.
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xcbf43926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414fa339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414fa339
+        );
     }
 
     #[test]
@@ -535,7 +558,10 @@ mod tests {
 
     #[test]
     fn rolls_are_deterministic_and_independent() {
-        let cfg = ChaosConfig { seed: 42, ..ChaosConfig::default() };
+        let cfg = ChaosConfig {
+            seed: 42,
+            ..ChaosConfig::default()
+        };
         let a = cfg.roll(salt::DROP, 0, 1, 7, 3, 0);
         assert_eq!(a, cfg.roll(salt::DROP, 0, 1, 7, 3, 0));
         assert!((0.0..1.0).contains(&a));
@@ -544,13 +570,20 @@ mod tests {
         assert_ne!(a, cfg.roll(salt::DROP, 0, 1, 7, 4, 0));
         assert_ne!(a, cfg.roll(salt::DROP, 0, 1, 7, 3, 1));
         // Different seeds produce a different schedule.
-        let other = ChaosConfig { seed: 43, ..ChaosConfig::default() };
+        let other = ChaosConfig {
+            seed: 43,
+            ..ChaosConfig::default()
+        };
         assert_ne!(a, other.roll(salt::DROP, 0, 1, 7, 3, 0));
     }
 
     #[test]
     fn drop_rate_tracks_probability() {
-        let cfg = ChaosConfig { seed: 7, drop_p: 0.25, ..ChaosConfig::default() };
+        let cfg = ChaosConfig {
+            seed: 7,
+            drop_p: 0.25,
+            ..ChaosConfig::default()
+        };
         let n = 20_000;
         let hits = (0..n)
             .filter(|&seq| cfg.roll(salt::DROP, 2, 5, 11, seq, 0) < cfg.drop_p)

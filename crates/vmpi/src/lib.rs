@@ -63,18 +63,17 @@ mod reliable;
 mod request;
 mod world;
 
-pub use shmem::{BufSlice, SharedBuffer};
 pub use collective::Reducible;
 pub use comm::{Comm, Status, ANY_SOURCE, ANY_TAG, TAG_UB};
 pub use datatype::Pod;
 pub use error::{Result, VmpiError};
-pub use fault::{
-    set_peer_lost_hook, ChaosConfig, PeerLostAction, PeerLostReport, TagClass,
-    PEER_LOST_EXIT_CODE,
-};
 pub use fabric::FabricParams;
+pub use fault::{
+    set_peer_lost_hook, ChaosConfig, PeerLostAction, PeerLostReport, TagClass, PEER_LOST_EXIT_CODE,
+};
 pub use net::NetworkModel;
 pub use request::{Request, RequestSet};
+pub use shmem::{BufSlice, SharedBuffer};
 pub use world::World;
 
 /// Reduction operators supported by [`Comm::reduce`]/[`Comm::allreduce`].

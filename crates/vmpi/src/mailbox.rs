@@ -88,7 +88,12 @@ pub(crate) struct MailboxInner {
 
 impl MailboxInner {
     /// Finds the first posted receive matching an incoming message.
-    pub(crate) fn match_arriving(&mut self, src: usize, tag: i32, comm: u64) -> Option<PendingRecv> {
+    pub(crate) fn match_arriving(
+        &mut self,
+        src: usize,
+        tag: i32,
+        comm: u64,
+    ) -> Option<PendingRecv> {
         let idx = self
             .recvs
             .iter()
@@ -107,11 +112,21 @@ impl MailboxInner {
 
     /// Looks (without consuming) for a matching message whose payload is
     /// already available; used by `probe`/`iprobe`.
-    pub(crate) fn peek_available(&self, src: i32, tag: i32, comm: u64, now: Instant) -> Option<Status> {
+    pub(crate) fn peek_available(
+        &self,
+        src: i32,
+        tag: i32,
+        comm: u64,
+        now: Instant,
+    ) -> Option<Status> {
         self.msgs
             .iter()
             .find(|m| matches(m.src, m.tag, m.comm, src, tag, comm) && m.available_at <= now)
-            .map(|m| Status { source: m.src, tag: m.tag, bytes: m.payload.len() })
+            .map(|m| Status {
+                source: m.src,
+                tag: m.tag,
+                bytes: m.payload.len(),
+            })
     }
 
     /// Earliest availability time of any matching message (for blocking
@@ -141,7 +156,9 @@ impl MailboxInner {
     /// prevent.
     pub(crate) fn san_check_envelope(&self, env: &Envelope, dst_rank: usize) {
         for m in &self.msgs {
-            if m.src == env.src && m.tag == env.tag && m.comm == env.comm
+            if m.src == env.src
+                && m.tag == env.tag
+                && m.comm == env.comm
                 && m.payload.len() != env.payload.len()
             {
                 depsan::report(depsan::Violation {
@@ -170,9 +187,11 @@ impl MailboxInner {
     /// whichever arrival order the schedule produces, one receive gets a
     /// wrong-size payload.
     pub(crate) fn san_check_recv(&self, recv: &PendingRecv, dst_rank: usize) {
-        let (Some(exp), false, false) =
-            (recv.san.expected_bytes, recv.src == ANY_SOURCE, recv.tag == ANY_TAG)
-        else {
+        let (Some(exp), false, false) = (
+            recv.san.expected_bytes,
+            recv.src == ANY_SOURCE,
+            recv.tag == ANY_TAG,
+        ) else {
             return;
         };
         for r in &self.recvs {
@@ -242,14 +261,20 @@ impl MailboxInner {
             leaked_recvs.len(),
         );
         if excused > 0 {
-            let _ = write!(detail, " ({excused} receive(s) excused: fault plan dropped their messages)");
+            let _ = write!(
+                detail,
+                " ({excused} receive(s) excused: fault plan dropped their messages)"
+            );
         }
         detail.push_str(":\n");
         for m in &self.msgs {
             let _ = writeln!(
                 detail,
                 "rank {rank}: unmatched message from src {} tag {} comm {:#x} ({} bytes)",
-                m.src, m.tag, m.comm, m.payload.len(),
+                m.src,
+                m.tag,
+                m.comm,
+                m.payload.len(),
             );
         }
         for r in &leaked_recvs {
@@ -289,7 +314,11 @@ impl MailboxInner {
                 m.tag,
                 m.comm,
                 m.payload.len(),
-                if m.send_state.is_some() { "rendezvous" } else { "eager" },
+                if m.send_state.is_some() {
+                    "rendezvous"
+                } else {
+                    "eager"
+                },
             );
         }
         for r in &self.recvs {
@@ -321,7 +350,10 @@ pub(crate) struct Mailbox {
 
 impl Mailbox {
     pub(crate) fn new() -> Self {
-        Mailbox { inner: Mutex::new(MailboxInner::default()), arrived: Condvar::new() }
+        Mailbox {
+            inner: Mutex::new(MailboxInner::default()),
+            arrived: Condvar::new(),
+        }
     }
 }
 
@@ -351,8 +383,21 @@ pub(crate) fn complete_transfer(
     recv_state: Arc<RequestState>,
     target: RecvTarget,
 ) {
-    let Inbound { payload, src, tag, comm, dst_world, match_id, posted_us, recv_task } = inbound;
-    let status = Status { source: src, tag, bytes: payload.len() };
+    let Inbound {
+        payload,
+        src,
+        tag,
+        comm,
+        dst_world,
+        match_id,
+        posted_us,
+        recv_task,
+    } = inbound;
+    let status = Status {
+        source: src,
+        tag,
+        bytes: payload.len(),
+    };
     if let Some(bus) = obs::bus() {
         // Deliveries happen on the network (delivery) thread or inline on
         // the sender; either way the event belongs to the receiving rank's
@@ -390,7 +435,14 @@ pub(crate) fn complete_transfer(
         },
     }
     if let Some(send) = send_state {
-        send.complete(Status { source: src, tag, bytes: status.bytes }, None);
+        send.complete(
+            Status {
+                source: src,
+                tag,
+                bytes: status.bytes,
+            },
+            None,
+        );
     }
 }
 

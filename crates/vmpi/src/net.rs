@@ -177,8 +177,16 @@ impl NetworkModel {
             return Duration::ZERO;
         }
         let base = self.latency.as_secs_f64()
-            + if self.bandwidth.is_finite() { bytes as f64 / self.bandwidth } else { 0.0 };
-        let factor = if self.same_node(src, dst) { self.intra_node_factor } else { 1.0 };
+            + if self.bandwidth.is_finite() {
+                bytes as f64 / self.bandwidth
+            } else {
+                0.0
+            };
+        let factor = if self.same_node(src, dst) {
+            self.intra_node_factor
+        } else {
+            1.0
+        };
         let secs = base * factor;
         debug_assert!(
             secs.is_finite() && secs >= 0.0,

@@ -59,15 +59,27 @@ pub(crate) fn chaos_isend(
     comm_id: u64,
 ) -> Request {
     let nbytes = payload.len();
-    let san_scope = if depsan::is_enabled() { depsan::current_scope() } else { 0 };
+    let san_scope = if depsan::is_enabled() {
+        depsan::current_scope()
+    } else {
+        0
+    };
     let eager = shared.net.is_eager(nbytes);
     let send_state = RequestState::new();
-    let status = Status { source: comm_src, tag, bytes: nbytes };
+    let status = Status {
+        source: comm_src,
+        tag,
+        bytes: nbytes,
+    };
 
     // Causal-edge provenance (see `isend_impl`): allocated only while
     // tracing so the chaos disabled path stays RMW-free too.
     let (match_id, send_task, posted_us) = match obs::bus() {
-        Some(bus) => (crate::comm::next_match_id(), obs::thread_task(), bus.now_us().max(1)),
+        Some(bus) => (
+            crate::comm::next_match_id(),
+            obs::thread_task(),
+            bus.now_us().max(1),
+        ),
         None => (0, 0, 0),
     };
 
@@ -146,7 +158,10 @@ fn transmit(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst:
     // Snapshot the frame; it may have been acked by a racing delivery.
     let (payload, crc, comm_src, tag, comm, san_scope, attempt, match_id, posted_us) = {
         let channels = fault.channels.lock();
-        match channels.get(&(src, dst)).and_then(|ch| ch.inflight.get(&seq)) {
+        match channels
+            .get(&(src, dst))
+            .and_then(|ch| ch.inflight.get(&seq))
+        {
             Some(rec) => (
                 Arc::clone(&rec.payload),
                 rec.crc,
@@ -183,8 +198,9 @@ fn transmit(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst:
             .get_mut(&(src, dst))
             .and_then(|ch| ch.inflight.remove(&seq));
         if let Some(rec) = rec {
-            let patience =
-                cfg.rto.saturating_mul(1u32 << cfg.retry_budget.saturating_add(1).min(16));
+            let patience = cfg
+                .rto
+                .saturating_mul(1u32 << cfg.retry_budget.saturating_add(1).min(16));
             let fault_hb = Arc::clone(fault);
             shared.delivery.schedule(
                 Instant::now() + patience,
@@ -256,8 +272,20 @@ fn transmit(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst:
                 at,
                 Box::new(move || {
                     deliver_frame(
-                        &shared_job, &fault_job, src, dst, seq, &payload_job, corrupt, crc,
-                        comm_src, tag, comm, san_scope, match_id, posted_us,
+                        &shared_job,
+                        &fault_job,
+                        src,
+                        dst,
+                        seq,
+                        &payload_job,
+                        corrupt,
+                        crc,
+                        comm_src,
+                        tag,
+                        comm,
+                        san_scope,
+                        match_id,
+                        posted_us,
                     );
                 }),
             );
@@ -323,7 +351,10 @@ fn deliver_frame(
         let ch = channels.entry((src, dst)).or_default();
         let duplicate = seq < ch.recv_next || ch.reorder.contains_key(&seq);
         if duplicate {
-            fault.counters.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+            fault
+                .counters
+                .dup_suppressed
+                .fetch_add(1, Ordering::Relaxed);
             if let Some(m) = &fault.obs_metrics {
                 m.dup_suppressed.inc();
             }
@@ -374,7 +405,10 @@ fn deliver_frame(
                 bus.emit_full(
                     src as u32,
                     obs::LANE_NET,
-                    obs::EventData::RankRecovered { peer: dst as u32, retries: rec.attempts },
+                    obs::EventData::RankRecovered {
+                        peer: dst as u32,
+                        retries: rec.attempts,
+                    },
                 );
             }
         }
@@ -417,7 +451,15 @@ fn flush_ready(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, d
 /// step, except the payload has already "arrived" (its network delay was
 /// served in the delivery schedule), so a match completes inline.
 fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFrame) {
-    let HeldFrame { comm_src, tag, comm, payload, san_scope, match_id, posted_us } = frame;
+    let HeldFrame {
+        comm_src,
+        tag,
+        comm,
+        payload,
+        san_scope,
+        match_id,
+        posted_us,
+    } = frame;
     let payload: Vec<u8> = Arc::try_unwrap(payload).unwrap_or_else(|arc| (*arc).clone());
     let mailbox = &shared.mailboxes[dst_world];
     enum Outcome {
@@ -468,7 +510,13 @@ fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFr
         Outcome::Matched(pr, payload) => {
             if depsan::is_enabled() {
                 crate::comm::san_check_match(
-                    dst_world, comm_src, tag, comm, payload.len(), san_scope, &pr.san,
+                    dst_world,
+                    comm_src,
+                    tag,
+                    comm,
+                    payload.len(),
+                    san_scope,
+                    &pr.san,
                 );
             }
             if let Some(bus) = obs::bus() {
@@ -491,7 +539,16 @@ fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFr
             }
             let recv_task = pr.obs_task;
             complete_transfer(
-                Inbound { payload, src: comm_src, tag, comm, dst_world, match_id, posted_us, recv_task },
+                Inbound {
+                    payload,
+                    src: comm_src,
+                    tag,
+                    comm,
+                    dst_world,
+                    match_id,
+                    posted_us,
+                    recv_task,
+                },
                 None,
                 pr.state,
                 pr.target,
@@ -517,15 +574,22 @@ fn on_rto(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst: u
     }
     let next = {
         let mut channels = fault.channels.lock();
-        let Some(ch) = channels.get_mut(&(src, dst)) else { return };
-        let Some(rec) = ch.inflight.get_mut(&seq) else { return };
+        let Some(ch) = channels.get_mut(&(src, dst)) else {
+            return;
+        };
+        let Some(rec) = ch.inflight.get_mut(&seq) else {
+            return;
+        };
         rec.attempts += 1;
         if rec.attempts > fault.cfg.retry_budget {
             let rec = ch.inflight.remove(&seq).expect("record present above");
             ch.dead = true;
             Next::Lost(Box::new(rec))
         } else {
-            Next::Resend { tag: rec.tag, attempt: rec.attempts }
+            Next::Resend {
+                tag: rec.tag,
+                attempt: rec.attempts,
+            }
         }
     };
     match next {
@@ -580,10 +644,21 @@ fn handle_peer_lost(fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64, r
 /// at the destination with the same patience a sender's full backoff
 /// sequence gets; if the world hasn't shut down by then, the destination
 /// declares the source lost.
-fn heartbeat_detect(fault: &Arc<FaultState>, dead: usize, survivor: usize, seq: u64, rec: Inflight) {
+fn heartbeat_detect(
+    fault: &Arc<FaultState>,
+    dead: usize,
+    survivor: usize,
+    seq: u64,
+    rec: Inflight,
+) {
     // Fast-fail any later sends the survivor attempts toward the dead
     // rank, mirroring the sender-side budget-exhaustion path.
-    fault.channels.lock().entry((survivor, dead)).or_default().dead = true;
+    fault
+        .channels
+        .lock()
+        .entry((survivor, dead))
+        .or_default()
+        .dead = true;
     let attempts = fault.cfg.retry_budget + 1;
     let report = PeerLostReport {
         reporter: survivor,

@@ -59,7 +59,11 @@ impl RequestState {
 
     /// Marks the request complete with an error.
     pub(crate) fn fail(&self, error: VmpiError) {
-        let status = Status { source: usize::MAX, tag: -1, bytes: 0 };
+        let status = Status {
+            source: usize::MAX,
+            tag: -1,
+            bytes: 0,
+        };
         let callbacks = {
             let mut inner = self.inner.lock();
             inner.done = true;
@@ -109,7 +113,11 @@ impl Request {
         let mut inner = self.state.inner.lock();
         // Only waits that actually park the thread become wait spans;
         // already-complete requests stay free of bus traffic.
-        let wait_from = if inner.done { None } else { obs::bus().map(|b| b.now_us()) };
+        let wait_from = if inner.done {
+            None
+        } else {
+            obs::bus().map(|b| b.now_us())
+        };
         while !inner.done {
             self.state.cond.wait(&mut inner);
         }
@@ -226,7 +234,10 @@ impl RequestSet {
     /// Builds a set from individual requests.
     pub fn new(requests: Vec<Request>) -> Self {
         let remaining = requests.len();
-        RequestSet { requests: requests.into_iter().map(Some).collect(), remaining }
+        RequestSet {
+            requests: requests.into_iter().map(Some).collect(),
+            remaining,
+        }
     }
 
     /// Number of not-yet-waited requests in the set.

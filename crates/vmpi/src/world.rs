@@ -86,7 +86,9 @@ impl World {
         let diag = obs::is_enabled().then(|| {
             let weak = Arc::downgrade(&shared);
             obs::diagnostics().register("vmpi mailboxes", move || {
-                let Some(shared) = weak.upgrade() else { return String::new() };
+                let Some(shared) = weak.upgrade() else {
+                    return String::new();
+                };
                 let mut out = String::new();
                 for (rank, mb) in shared.mailboxes.iter().enumerate() {
                     out.push_str(&mb.inner.lock().dump(rank));
@@ -103,7 +105,11 @@ impl World {
             }
             _ => None,
         };
-        World { shared, _diag: diag, _chaos_diag: chaos_diag }
+        World {
+            shared,
+            _diag: diag,
+            _chaos_diag: chaos_diag,
+        }
     }
 
     /// Number of ranks in the world.
@@ -160,7 +166,10 @@ impl World {
                 std::panic::resume_unwind(p);
             }
         });
-        results.into_iter().map(|r| r.expect("every rank produced a result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("every rank produced a result"))
+            .collect()
     }
 }
 
@@ -183,7 +192,9 @@ impl Drop for World {
         // drains inline: a drained retransmit job that re-armed itself
         // would resend (and possibly re-drop) forever.
         if let Some(fault) = &self.shared.fault {
-            fault.shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+            fault
+                .shutdown
+                .store(true, std::sync::atomic::Ordering::SeqCst);
         }
         // Release the fabric *before* the delivery queue drains inline: a
         // drained poll job whose flow still shows contention would
@@ -249,21 +260,28 @@ mod tests {
                 }
                 assert!(seen.iter().all(|&s| s));
             } else {
-                comm.send(&[comm.rank() as u64], 0, comm.rank() as i32).unwrap();
+                comm.send(&[comm.rank() as u64], 0, comm.rank() as i32)
+                    .unwrap();
             }
         });
     }
 
     #[test]
     fn network_model_delays_availability() {
-        let world = World::new(2, NetworkModel::new(Duration::from_millis(30), f64::INFINITY));
+        let world = World::new(
+            2,
+            NetworkModel::new(Duration::from_millis(30), f64::INFINITY),
+        );
         world.run(|comm| {
             if comm.rank() == 0 {
                 comm.isend(&[9u8], 1, 0).unwrap();
             } else {
                 let t0 = Instant::now();
                 let _ = comm.recv::<u8>(0, 0).unwrap();
-                assert!(t0.elapsed() >= Duration::from_millis(25), "latency was not applied");
+                assert!(
+                    t0.elapsed() >= Duration::from_millis(25),
+                    "latency was not applied"
+                );
             }
         });
     }
@@ -276,7 +294,14 @@ mod tests {
             comm.barrier().unwrap();
             // bcast
             let data = comm
-                .bcast(if r == 2 { Some(&[10i64, 20, 30][..]) } else { None }, 2)
+                .bcast(
+                    if r == 2 {
+                        Some(&[10i64, 20, 30][..])
+                    } else {
+                        None
+                    },
+                    2,
+                )
                 .unwrap();
             assert_eq!(data, vec![10, 20, 30]);
             // reduce / allreduce
@@ -332,7 +357,9 @@ mod tests {
             let color = (comm.rank() % 2) as i64;
             let sub = comm.split(color, comm.rank() as i64);
             assert_eq!(sub.size(), 3);
-            let sum = sub.allreduce_scalar(comm.rank() as i64, ReduceOp::Sum).unwrap();
+            let sum = sub
+                .allreduce_scalar(comm.rank() as i64, ReduceOp::Sum)
+                .unwrap();
             if color == 0 {
                 assert_eq!(sum, 2 + 4);
             } else {

@@ -65,7 +65,10 @@ fn message_conservation_under_faults() {
                 s.wait();
             }
         });
-        assert!(world.peer_lost_reports().is_empty(), "seed {seed} exceeded the retry budget");
+        assert!(
+            world.peer_lost_reports().is_empty(),
+            "seed {seed} exceeded the retry budget"
+        );
     }
 }
 
@@ -111,7 +114,11 @@ fn wildcard_order_preserved_under_delay_spikes() {
         on_peer_lost: PeerLostAction::FailRequests,
         ..ChaosConfig::default()
     };
-    let world = World::with_chaos(2, NetworkModel::new(Duration::from_micros(10), 1.0e9), Some(cfg));
+    let world = World::with_chaos(
+        2,
+        NetworkModel::new(Duration::from_micros(10), 1.0e9),
+        Some(cfg),
+    );
     world.run(|comm| {
         if comm.rank() == 0 {
             for i in 0..40i64 {
@@ -152,22 +159,26 @@ fn collectives_identical_across_16_seeds_with_delays() {
             let all = comm.allgather(&[r * 10, r * 10 + 1]).unwrap();
             let flat: Vec<i64> = all.into_iter().flatten().collect();
             comm.barrier().unwrap();
-            let fsum = comm.allreduce_scalar((r as f64) * 0.5, ReduceOp::Max).unwrap();
+            let fsum = comm
+                .allreduce_scalar((r as f64) * 0.5, ReduceOp::Max)
+                .unwrap();
             (sum, flat, fsum)
         });
-        assert!(world.peer_lost_reports().is_empty(), "seed {seed} lost a peer");
+        assert!(
+            world.peer_lost_reports().is_empty(),
+            "seed {seed} lost a peer"
+        );
         match &baseline {
             None => baseline = Some(results),
-            Some(base) => assert_eq!(
-                &results, base,
-                "collective results diverged at seed {seed}"
-            ),
+            Some(base) => assert_eq!(&results, base, "collective results diverged at seed {seed}"),
         }
     }
     let base = baseline.unwrap();
     // Sanity: the baseline itself is the fault-free answer.
     assert!(base.iter().all(|(sum, _, _)| *sum == 1 + 2 + 3 + 4));
-    assert!(base.iter().all(|(_, flat, _)| flat == &[0, 1, 10, 11, 20, 21, 30, 31]));
+    assert!(base
+        .iter()
+        .all(|(_, flat, _)| flat == &[0, 1, 10, 11, 20, 21, 30, 31]));
 }
 
 /// A zero-probability plan (framing on, no faults) behaves exactly like
@@ -177,7 +188,10 @@ fn framing_without_faults_is_transparent() {
     let world = World::with_chaos(
         3,
         NetworkModel::cluster(),
-        Some(ChaosConfig { on_peer_lost: PeerLostAction::FailRequests, ..ChaosConfig::default() }),
+        Some(ChaosConfig {
+            on_peer_lost: PeerLostAction::FailRequests,
+            ..ChaosConfig::default()
+        }),
     );
     let sums = world.run(|comm| {
         let p = comm.size();
@@ -213,8 +227,16 @@ fn hard_crash_fails_requests_with_peer_lost() {
     world.run(|comm| {
         if comm.rank() == 0 {
             let req = comm.isend(&vec![1.0f64; 64], 1, 5).unwrap();
-            let err = req.wait_checked().expect_err("send to a crashed rank must fail");
-            assert_eq!(err, VmpiError::PeerLost { peer: 1, attempts: 3 });
+            let err = req
+                .wait_checked()
+                .expect_err("send to a crashed rank must fail");
+            assert_eq!(
+                err,
+                VmpiError::PeerLost {
+                    peer: 1,
+                    attempts: 3
+                }
+            );
             // The channel is dead now: new sends fail fast.
             let req2 = comm.isend(&vec![2.0f64; 64], 1, 5).unwrap();
             assert!(matches!(
@@ -240,7 +262,9 @@ fn wait_timeout_returns_timeout_error() {
     world.run(|comm| {
         if comm.rank() == 0 {
             let req = comm.irecv(1, 42).unwrap();
-            let err = req.wait_timeout(Duration::from_millis(20)).expect_err("nothing was sent");
+            let err = req
+                .wait_timeout(Duration::from_millis(20))
+                .expect_err("nothing was sent");
             assert!(matches!(err, VmpiError::Timeout { .. }));
             // `?`-style propagation compiles against std::error::Error.
             fn try_wait(r: &vmpi::Request) -> Result<vmpi::Status, Box<dyn std::error::Error>> {
@@ -289,5 +313,8 @@ fn plan_filters_scope_the_blast_radius() {
         let sum = comm.allreduce_scalar(1i64, ReduceOp::Sum).unwrap();
         assert_eq!(sum, 3);
     });
-    assert!(world.peer_lost_reports().is_empty(), "retries recovered the filtered drops");
+    assert!(
+        world.peer_lost_reports().is_empty(),
+        "retries recovered the filtered drops"
+    );
 }

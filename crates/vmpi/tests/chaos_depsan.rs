@@ -85,7 +85,11 @@ fn unrelated_pending_recv_is_still_a_leak() {
     });
     drop(world);
     let violations = depsan::take_violations();
-    assert_eq!(violations.len(), 1, "expected exactly one violation: {violations:?}");
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one violation: {violations:?}"
+    );
     assert_eq!(violations[0].kind, depsan::ViolationKind::FinalizeLeak);
     assert!(
         violations[0].detail.contains("1 receive(s) excused"),

@@ -7,8 +7,14 @@ use vmpi::{NetworkModel, SharedBuffer, VmpiError, World};
 fn invalid_rank_and_tag_are_rejected() {
     let world = World::new(2, NetworkModel::instant());
     world.run(|comm| {
-        assert!(matches!(comm.isend(&[1.0f64], 7, 0), Err(VmpiError::InvalidRank(7))));
-        assert!(matches!(comm.isend(&[1.0f64], 1, -3), Err(VmpiError::InvalidTag(-3))));
+        assert!(matches!(
+            comm.isend(&[1.0f64], 7, 0),
+            Err(VmpiError::InvalidRank(7))
+        ));
+        assert!(matches!(
+            comm.isend(&[1.0f64], 1, -3),
+            Err(VmpiError::InvalidTag(-3))
+        ));
         assert!(matches!(
             comm.isend(&[1.0f64], 1, vmpi::TAG_UB),
             Err(VmpiError::InvalidTag(_))
@@ -70,7 +76,10 @@ fn type_mismatch_on_take_data() {
             req.wait();
             assert!(matches!(
                 req.take_data::<f64>(),
-                Err(VmpiError::TypeMismatch { payload_bytes: 3, .. })
+                Err(VmpiError::TypeMismatch {
+                    payload_bytes: 3,
+                    ..
+                })
             ));
         }
     });
@@ -86,7 +95,10 @@ fn recv_into_checks_capacity() {
             let mut small = [0i64; 4];
             assert!(matches!(
                 comm.recv_into(&mut small, 0, 0),
-                Err(VmpiError::Truncated { expected: 4, got: 10 })
+                Err(VmpiError::Truncated {
+                    expected: 4,
+                    got: 10
+                })
             ));
         }
     });
@@ -94,7 +106,10 @@ fn recv_into_checks_capacity() {
 
 #[test]
 fn request_test_and_is_complete() {
-    let world = World::new(2, NetworkModel::new(std::time::Duration::from_millis(20), 1e9));
+    let world = World::new(
+        2,
+        NetworkModel::new(std::time::Duration::from_millis(20), 1e9),
+    );
     world.run(|comm| {
         if comm.rank() == 0 {
             comm.isend(&[1.0f64], 1, 0).unwrap();
@@ -116,7 +131,10 @@ fn request_test_and_is_complete() {
 fn dropped_requests_do_not_poison_the_world() {
     // Issue sends/recvs and drop the requests without waiting; the world
     // must still shut down cleanly and later traffic must work.
-    let world = World::new(2, NetworkModel::new(std::time::Duration::from_millis(5), 1e9));
+    let world = World::new(
+        2,
+        NetworkModel::new(std::time::Duration::from_millis(5), 1e9),
+    );
     world.run(|comm| {
         if comm.rank() == 0 {
             let _ = comm.isend(&[1.0f64; 256], 1, 0).unwrap();

@@ -9,10 +9,8 @@ use vmpi::{NetworkModel, ReduceOp, World, ANY_SOURCE, ANY_TAG};
 fn arb_net() -> impl Strategy<Value = NetworkModel> {
     prop_oneof![
         Just(NetworkModel::instant()),
-        (0u64..200, 1.0e7f64..1.0e10).prop_map(|(lat, bw)| NetworkModel::new(
-            Duration::from_micros(lat),
-            bw
-        )),
+        (0u64..200, 1.0e7f64..1.0e10)
+            .prop_map(|(lat, bw)| NetworkModel::new(Duration::from_micros(lat), bw)),
     ]
 }
 

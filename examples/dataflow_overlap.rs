@@ -88,8 +88,14 @@ fn main() {
 
     let blocking = run(false);
     let overlapped = run(true);
-    println!("blocking schedule:  {:>7.2} ms", blocking.as_secs_f64() * 1e3);
-    println!("data-flow schedule: {:>7.2} ms", overlapped.as_secs_f64() * 1e3);
+    println!(
+        "blocking schedule:  {:>7.2} ms",
+        blocking.as_secs_f64() * 1e3
+    );
+    println!(
+        "data-flow schedule: {:>7.2} ms",
+        overlapped.as_secs_f64() * 1e3
+    );
     println!(
         "overlap recovered {:.1}% of the blocking time",
         (1.0 - overlapped.as_secs_f64() / blocking.as_secs_f64()) * 100.0

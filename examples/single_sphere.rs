@@ -41,7 +41,10 @@ fn main() {
 
     // Show the mesh structure evolution first (structure-only replay).
     println!("mesh evolution (structure replay):");
-    println!("{:<6} {:>7} {:>8}  per-rank blocks", "phase", "blocks", "levels");
+    println!(
+        "{:<6} {:>7} {:>8}  per-rank blocks",
+        "phase", "blocks", "levels"
+    );
     let mut dir = MeshDirectory::initial(params);
     let mut objects = cfg.objects.clone();
     dir.refine_to_fixpoint(&objects);

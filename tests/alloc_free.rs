@@ -70,12 +70,17 @@ fn packed_face_path_is_allocation_free_in_steady_state() {
         .filter(|t| t.src_rank == 0 && t.dst_rank == 0)
         .cloned()
         .collect();
-    assert!(!locals.is_empty(), "smoke config must have rank-local transfers");
+    assert!(
+        !locals.is_empty(),
+        "smoke config must have rank-local transfers"
+    );
 
     // Preallocated message-buffer stand-ins for the explicit
     // pack_into/unpack pairs.
-    let mut payloads: Vec<Vec<f64>> =
-        locals.iter().map(|t| vec![0.0; transfer_payload_elems(t, nv)]).collect();
+    let mut payloads: Vec<Vec<f64>> = locals
+        .iter()
+        .map(|t| vec![0.0; transfer_payload_elems(t, nv)])
+        .collect();
 
     let one_round = |payloads: &mut Vec<Vec<f64>>| {
         for (t, payload) in locals.iter().zip(payloads.iter_mut()) {

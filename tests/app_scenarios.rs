@@ -141,7 +141,10 @@ fn trace_capture_works() {
     cfg.variant = Variant::DataFlow;
     cfg.send_faces = true;
     cfg.separate_buffers = true;
-    let stats = run(&cfg, NetworkModel::new(std::time::Duration::from_micros(100), 1.0e9));
+    let stats = run(
+        &cfg,
+        NetworkModel::new(std::time::Duration::from_micros(100), 1.0e9),
+    );
     let tr = stats[0].trace.as_ref().expect("trace enabled");
     let totals = tr.totals();
     let has = |k: miniamr::trace::Kind| totals.iter().any(|(kk, d)| *kk == k && !d.is_zero());
@@ -178,7 +181,10 @@ fn delayed_checksum_soak() {
     cfg.refine_freq = 2;
     cfg.delayed_checksum = true;
     cfg.workers = 2;
-    let stats = run(&cfg, NetworkModel::new(std::time::Duration::from_micros(50), 1.0e9));
+    let stats = run(
+        &cfg,
+        NetworkModel::new(std::time::Duration::from_micros(50), 1.0e9),
+    );
     // 6*5 = 30 stages, checkpoint every 3 stages = 10 checkpoints, all
     // eventually validated (the pipeline drains at the end).
     assert_eq!(stats[0].checksums.len(), 10);

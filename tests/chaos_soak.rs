@@ -46,14 +46,24 @@ fn digest_of(cfg: &Config, variant: Variant) -> u64 {
     let net = NetworkModel::new(Duration::from_micros(50), 1.0e9);
     let stats = miniamr::run_world(&cfg, cfg.params.num_ranks(), net);
     for s in &stats {
-        assert_eq!(s.checksums_failed, 0, "variant {variant:?} failed validation");
+        assert_eq!(
+            s.checksums_failed, 0,
+            "variant {variant:?} failed validation"
+        );
     }
     // Checksums are broadcast: every rank must agree on the digest.
     for s in &stats[1..] {
-        assert_eq!(s.checksum_digest(), stats[0].checksum_digest(), "ranks disagree");
+        assert_eq!(
+            s.checksum_digest(),
+            stats[0].checksum_digest(),
+            "ranks disagree"
+        );
     }
     if cfg.ckpt_freq != 0 {
-        assert!(stats[0].checkpoints_taken > 0, "checkpoint cadence never fired");
+        assert!(
+            stats[0].checkpoints_taken > 0,
+            "checkpoint cadence never fired"
+        );
     }
     stats[0].checksum_digest()
 }

@@ -49,6 +49,12 @@ fn variants_agree_bitwise_with_pooling() {
         histories.push(stats[0].checksums.clone());
     }
     assert!(!histories[0].is_empty());
-    assert_eq!(histories[0], histories[1], "fork-join diverged under pooling");
-    assert_eq!(histories[0], histories[2], "data-flow diverged under pooling");
+    assert_eq!(
+        histories[0], histories[1],
+        "fork-join diverged under pooling"
+    );
+    assert_eq!(
+        histories[0], histories[2],
+        "data-flow diverged under pooling"
+    );
 }

@@ -16,11 +16,17 @@ fn checksums_of(cfg: &Config, variant: Variant, net: NetworkModel) -> Vec<Vec<f6
     cfg.variant = variant;
     let stats = miniamr::run_world(&cfg, cfg.params.num_ranks(), net);
     for s in &stats {
-        assert_eq!(s.checksums_failed, 0, "variant {variant:?} failed validation");
+        assert_eq!(
+            s.checksums_failed, 0,
+            "variant {variant:?} failed validation"
+        );
     }
     // Checksums are broadcast: every rank returns the identical history.
     for s in &stats[1..] {
-        assert_eq!(s.checksums, stats[0].checksums, "ranks disagree on checksums");
+        assert_eq!(
+            s.checksums, stats[0].checksums,
+            "ranks disagree on checksums"
+        );
     }
     stats[0].checksums.clone()
 }
@@ -61,9 +67,12 @@ fn dataflow_options_do_not_change_results() {
     let base = base_cfg();
     let reference = checksums_of(&base, Variant::DataFlow, NetworkModel::instant());
 
-    for (send_faces, separate, max_tasks) in
-        [(true, true, 0), (true, false, 2), (false, true, 0), (true, true, 3)]
-    {
+    for (send_faces, separate, max_tasks) in [
+        (true, true, 0),
+        (true, false, 2),
+        (false, true, 0),
+        (true, true, 3),
+    ] {
         let mut cfg = base.clone();
         cfg.send_faces = send_faces;
         cfg.separate_buffers = separate;
