@@ -12,8 +12,7 @@
 //!         --send_faces --separate_buffers --max_comm_tasks 8 --workers 4
 //! ```
 
-use amr_mesh::MeshParams;
-use miniamr::{BalanceKind, Config, Variant};
+use miniamr::cli::ScenarioArgs;
 use std::time::Duration;
 use vmpi::{FabricParams, NetworkModel};
 
@@ -75,6 +74,11 @@ fn usage() -> ! {
                                       reports overflow drops)
   --legacy_group_offsets              reproduce the seed's buggy group-relative
                                       comm-buffer offsets (known deadlock)
+  --staticcheck                       pre-flight static verification: elaborate
+                                      the scenario symbolically and check for
+                                      deadlocks, tag collisions and coverage
+                                      violations before anything runs; exit {}
+                                      with a JSON report on a failed check
   --sanitize                          dependency sanitizer: check declared
                                       regions against actual accesses, detect
                                       happens-before races and communication
@@ -98,6 +102,7 @@ fn usage() -> ! {
                                       and verifying the latest checkpoint",
         obs::STALL_EXIT_CODE,
         obs::DEFAULT_RING_CAPACITY,
+        dfcheck::STATIC_EXIT_CODE,
         depsan::SAN_EXIT_CODE,
         vmpi::PEER_LOST_EXIT_CODE
     );
@@ -106,34 +111,11 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut params = MeshParams {
-        npx: 2,
-        npy: 1,
-        npz: 1,
-        init_x: 1,
-        init_y: 2,
-        init_z: 2,
-        nx: 8,
-        ny: 8,
-        nz: 8,
-        num_vars: 8,
-        num_refine: 2,
-        block_change: 1,
-    };
-    let mut variant = Variant::MpiOnly;
-    let mut input = "four_spheres".to_string();
-    let mut num_tsteps = 8usize;
-    let mut stages_per_ts = 10usize;
-    let mut checksum_freq = 5usize;
-    let mut refine_freq = 4usize;
-    let mut comm_vars = usize::MAX;
-    let mut max_blocks = usize::MAX;
-    let mut send_faces = false;
-    let mut separate_buffers = false;
-    let mut max_comm_tasks = 0usize;
-    let mut delayed_checksum = false;
-    let mut balance = BalanceKind::Sfc;
-    let mut workers = 2usize;
+    // Scenario flags (mesh, variant, schedule, communication) parse
+    // through the shared `cli` module, so `miniamr` and `dfcheck` accept
+    // the same scenario surface; everything live-execution-only (network
+    // model, observability, chaos) is handled below.
+    let mut sc = ScenarioArgs::default();
     // Network defaults come from the one shared machine description; the
     // CLI flags below override individual fields of it.
     let mut fab = FabricParams::cluster();
@@ -141,9 +123,7 @@ fn main() {
     let mut bandwidth_gbps = fab.bandwidth / 1e9;
     let mut ranks_per_node = 0usize;
     let mut fabric_on = true;
-    let mut replay = true;
     let mut trace = false;
-    let mut stencil = amr_mesh::stencil::StencilKind::SevenPoint;
     let mut trace_json: Option<String> = None;
     let mut metrics = false;
     let mut watchdog_ms = 0u64;
@@ -151,10 +131,9 @@ fn main() {
     let mut metrics_jsonl: Option<String> = None;
     let mut report_interval = 1u32;
     let mut obs_ring = obs::DEFAULT_RING_CAPACITY;
-    let mut legacy_group_offsets = false;
+    let mut staticcheck = false;
     let mut sanitize = false;
     let mut chaos: Option<vmpi::ChaosConfig> = None;
-    let mut ckpt_freq = 0usize;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -163,47 +142,18 @@ fn main() {
     };
     while i < args.len() {
         let parse = |s: String| -> usize { s.parse().unwrap_or_else(|_| usage()) };
+        match sc.consume(&args, &mut i) {
+            Ok(true) => {
+                i += 1;
+                continue;
+            }
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                usage();
+            }
+        }
         match args[i].as_str() {
-            "--variant" => {
-                variant = match next(&mut i).as_str() {
-                    "mpi" => Variant::MpiOnly,
-                    "forkjoin" => Variant::ForkJoin,
-                    "dataflow" => Variant::DataFlow,
-                    _ => usage(),
-                }
-            }
-            "--npx" => params.npx = parse(next(&mut i)),
-            "--npy" => params.npy = parse(next(&mut i)),
-            "--npz" => params.npz = parse(next(&mut i)),
-            "--init_x" => params.init_x = parse(next(&mut i)),
-            "--init_y" => params.init_y = parse(next(&mut i)),
-            "--init_z" => params.init_z = parse(next(&mut i)),
-            "--nx" => params.nx = parse(next(&mut i)),
-            "--ny" => params.ny = parse(next(&mut i)),
-            "--nz" => params.nz = parse(next(&mut i)),
-            "--num_vars" => params.num_vars = parse(next(&mut i)),
-            "--num_refine" => params.num_refine = parse(next(&mut i)) as u8,
-            "--block_change" => params.block_change = parse(next(&mut i)) as u8,
-            "--num_tsteps" => num_tsteps = parse(next(&mut i)),
-            "--stages_per_ts" => stages_per_ts = parse(next(&mut i)),
-            "--checksum_freq" => checksum_freq = parse(next(&mut i)),
-            "--refine_freq" => refine_freq = parse(next(&mut i)),
-            "--comm_vars" => comm_vars = parse(next(&mut i)),
-            "--max_blocks" => max_blocks = parse(next(&mut i)),
-            "--input" => input = next(&mut i),
-            "--send_faces" => send_faces = true,
-            "--separate_buffers" => separate_buffers = true,
-            "--max_comm_tasks" => max_comm_tasks = parse(next(&mut i)),
-            "--delayed_checksum" => delayed_checksum = true,
-            "--lb" => {
-                balance = match next(&mut i).as_str() {
-                    "sfc" => BalanceKind::Sfc,
-                    "rcb" => BalanceKind::Rcb,
-                    "none" => BalanceKind::None,
-                    _ => usage(),
-                }
-            }
-            "--workers" => workers = parse(next(&mut i)),
             "--latency_us" => latency_us = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--bandwidth_gbps" => bandwidth_gbps = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--ranks_per_node" => ranks_per_node = parse(next(&mut i)),
@@ -222,21 +172,7 @@ fn main() {
                     next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) * 1e-6
             }
             "--eager_kb" => fab.eager_threshold = parse(next(&mut i)) * 1024,
-            "--replay" => {
-                replay = match next(&mut i).as_str() {
-                    "on" => true,
-                    "off" => false,
-                    _ => usage(),
-                }
-            }
             "--trace" => trace = true,
-            "--stencil" => {
-                stencil = match next(&mut i).as_str() {
-                    "7" => amr_mesh::stencil::StencilKind::SevenPoint,
-                    "27" => amr_mesh::stencil::StencilKind::TwentySevenPoint,
-                    _ => usage(),
-                }
-            }
             "--trace-json" => trace_json = Some(next(&mut i)),
             "--metrics" => metrics = true,
             "--watchdog_ms" => watchdog_ms = parse(next(&mut i)) as u64,
@@ -244,7 +180,7 @@ fn main() {
             "--metrics_jsonl" => metrics_jsonl = Some(next(&mut i)),
             "--report_interval" => report_interval = parse(next(&mut i)) as u32,
             "--obs_ring" => obs_ring = parse(next(&mut i)).max(1),
-            "--legacy_group_offsets" => legacy_group_offsets = true,
+            "--staticcheck" => staticcheck = true,
             "--sanitize" => sanitize = true,
             "--chaos_seed" => {
                 chaos.get_or_insert_with(Default::default).seed = parse(next(&mut i)) as u64
@@ -289,7 +225,6 @@ fn main() {
                 chaos.get_or_insert_with(Default::default).rto =
                     Duration::from_micros(parse(next(&mut i)) as u64)
             }
-            "--ckpt_freq" => ckpt_freq = parse(next(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -299,33 +234,30 @@ fn main() {
         i += 1;
     }
 
-    let mut cfg = match input.as_str() {
-        "single_sphere" => Config::single_sphere(params, num_tsteps),
-        "four_spheres" => Config::four_spheres(params, num_tsteps),
-        _ => usage(),
-    };
-    cfg.variant = variant;
-    cfg.num_tsteps = num_tsteps;
-    cfg.stages_per_ts = stages_per_ts;
-    cfg.checksum_freq = checksum_freq;
-    cfg.refine_freq = refine_freq;
-    cfg.comm_vars = comm_vars;
-    cfg.max_blocks = max_blocks;
-    cfg.send_faces = send_faces;
-    cfg.separate_buffers = separate_buffers;
-    cfg.max_comm_tasks = max_comm_tasks;
-    cfg.delayed_checksum = delayed_checksum;
-    cfg.balance = balance;
-    cfg.workers = workers;
-    cfg.replay = replay;
-    cfg.trace = trace;
-    cfg.stencil = stencil;
-    cfg.ckpt_freq = ckpt_freq;
-    cfg.chaos = chaos;
-    cfg.legacy_group_offsets = legacy_group_offsets;
-    if let Err(e) = cfg.params.validate() {
-        eprintln!("invalid mesh parameters: {e}");
+    let mut cfg = sc.config().unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
+    });
+    cfg.trace = trace;
+    cfg.chaos = chaos;
+
+    // Pre-flight static verification: symbolic elaboration plus the
+    // matching / deadlock / coverage passes, before any worker thread or
+    // delivery thread exists. A failed check prints the JSON report to
+    // stdout and exits without running a single timestep.
+    if staticcheck {
+        let start = std::time::Instant::now();
+        let report = miniamr::staticcheck::check(&cfg);
+        eprint!("{}", report.render_human());
+        eprintln!(
+            "miniamr: staticcheck: {} in {:.1}ms",
+            if report.clean() { "clean" } else { "FAILED" },
+            start.elapsed().as_secs_f64() * 1e3
+        );
+        if !report.clean() {
+            println!("{}", report.to_json());
+            std::process::exit(dfcheck::STATIC_EXIT_CODE);
+        }
     }
 
     fab.latency = latency_us * 1e-6;
@@ -350,8 +282,9 @@ fn main() {
     };
     let n_ranks = cfg.params.num_ranks();
     eprintln!(
-        "miniamr: variant={variant:?} ranks={n_ranks} workers={workers} input={input} \
-         tsteps={num_tsteps} stages/ts={stages_per_ts}"
+        "miniamr: variant={:?} ranks={n_ranks} workers={} input={} \
+         tsteps={} stages/ts={}",
+        cfg.variant, cfg.workers, sc.input, cfg.num_tsteps, cfg.stages_per_ts
     );
     eprintln!(
         "miniamr: fabric={} latency={:.2}us bandwidth={:.1}GB/s eager={}KiB \
@@ -367,7 +300,7 @@ fn main() {
     if let Some(c) = &cfg.chaos {
         eprintln!(
             "miniamr: chaos enabled: seed={} drop={} dup={} corrupt={} delay={}x{} \
-             stall={}/{:?} crash={:?}+{} retry={} rto={:?} ckpt_freq={ckpt_freq}",
+             stall={}/{:?} crash={:?}+{} retry={} rto={:?} ckpt_freq={}",
             c.seed,
             c.drop_p,
             c.dup_p,
@@ -380,6 +313,7 @@ fn main() {
             c.crash_after,
             c.retry_budget,
             c.rto,
+            cfg.ckpt_freq,
         );
     }
     // Enable the observability layer *before* the world is built so the

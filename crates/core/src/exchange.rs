@@ -19,7 +19,7 @@ use crate::comm_plan::EXCHANGE_TAG_BASE;
 use crate::config::BalanceKind;
 use crate::rank::RankState;
 use amr_mesh::data::{merge_children, split_block, BlockData};
-use amr_mesh::directory::RefinePlan;
+use amr_mesh::directory::{MeshDirectory, RefinePlan};
 use amr_mesh::partition;
 use amr_mesh::BlockId;
 use std::sync::Arc;
@@ -291,14 +291,16 @@ pub fn apply_refine_results(state: &mut RankState, plan: &RefinePlan, results: V
 }
 
 /// The moves that gather merge octets onto the first child's owner.
-pub fn merge_gather_moves(state: &RankState, plan: &RefinePlan, seq_base: usize) -> Vec<Move> {
+/// Directory-level and deterministic: the live refinement and the static
+/// verifier's mesh-epoch evolution (`staticcheck`) both call this.
+pub fn merge_gather_moves(dir: &MeshDirectory, plan: &RefinePlan, seq_base: usize) -> Vec<Move> {
     let mut moves = Vec::new();
     let mut seq = seq_base;
     for parent in &plan.merges {
         let children = parent.children();
-        let target = state.dir.owner(&children[0]).expect("merge child active");
+        let target = dir.owner(&children[0]).expect("merge child active");
         for c in &children[1..] {
-            let from = state.dir.owner(c).expect("merge child active");
+            let from = dir.owner(c).expect("merge child active");
             if from != target {
                 moves.push(Move {
                     block: *c,
@@ -313,20 +315,23 @@ pub fn merge_gather_moves(state: &RankState, plan: &RefinePlan, seq_base: usize)
     moves
 }
 
-/// The moves realizing a load-balance partition.
-pub fn balance_moves(state: &RankState, seq_base: usize) -> Vec<Move> {
-    let assignment = match state.cfg.balance {
-        BalanceKind::Sfc => partition::sfc_partition(&state.dir, state.n_ranks),
-        BalanceKind::Rcb => partition::rcb_partition(&state.dir, state.n_ranks),
+/// The moves realizing a load-balance partition. Directory-level and
+/// deterministic, like [`merge_gather_moves`].
+pub fn balance_moves(
+    dir: &MeshDirectory,
+    balance: BalanceKind,
+    n_ranks: usize,
+    seq_base: usize,
+) -> Vec<Move> {
+    let assignment = match balance {
+        BalanceKind::Sfc => partition::sfc_partition(dir, n_ranks),
+        BalanceKind::Rcb => partition::rcb_partition(dir, n_ranks),
         BalanceKind::None => return Vec::new(),
     };
     let mut moves = Vec::new();
     let mut seq = seq_base;
     for (id, &new_owner) in assignment.iter() {
-        let cur = state
-            .dir
-            .owner(id)
-            .expect("assignment covers active blocks");
+        let cur = dir.owner(id).expect("assignment covers active blocks");
         if cur != new_owner {
             moves.push(Move {
                 block: *id,
@@ -357,7 +362,7 @@ pub fn run_refinement(
         if plan.is_empty() {
             break;
         }
-        let gathers = merge_gather_moves(state, &plan, 0);
+        let gathers = merge_gather_moves(&state.dir, &plan, 0);
         moved += exchange_blocks(state, comm, &gathers, mover);
         for m in &gathers {
             state.dir.set_owner(m.block, m.to);
@@ -368,7 +373,7 @@ pub fn run_refinement(
         state.dir.apply_plan(&plan);
     }
 
-    let moves = balance_moves(state, 0);
+    let moves = balance_moves(&state.dir, state.cfg.balance, state.n_ranks, 0);
     moved += exchange_blocks(state, comm, &moves, mover);
     for m in &moves {
         state.dir.set_owner(m.block, m.to);

@@ -46,10 +46,13 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod cli;
 pub mod comm_plan;
 pub mod config;
+pub mod elaborate;
 pub mod exchange;
 pub mod rank;
+pub mod staticcheck;
 pub mod stats;
 pub mod trace;
 pub mod variant;

@@ -28,6 +28,7 @@
 
 use crate::comm_plan::CommPlan;
 use crate::config::Config;
+use crate::elaborate::{ElabCtx, Work};
 use crate::exchange::{run_refinement, BlockMover, RefineJob};
 use crate::rank::{
     apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState,
@@ -35,12 +36,12 @@ use crate::rank::{
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
 use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
-use amr_mesh::block_id::Dir;
 use amr_mesh::data::{BlockData, BlockLayout};
+use amr_mesh::BlockId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use taskrt::{Access, ObjId, Region, Runtime};
+use taskrt::{Access, BarrierKind, ObjId, Region, Runtime, Submitter, TaskSpec};
 use vmpi::Comm;
 
 /// Runs the data-flow variant on one rank.
@@ -123,9 +124,7 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                 // Stencil tasks chain behind the unpackers via block
                 // dependencies; no barrier.
                 let sw = Stopwatch::start();
-                for block in state.blocks.values() {
-                    spawn_stencil(&rt, &state, block, vars.clone(), &flops, trace.as_ref());
-                }
+                spawn_stencils(&rt, &state, vars.clone(), &flops, trace.as_ref());
                 sw.stop(&mut stats.times.stencil);
             }
             if stage_counter.is_multiple_of(cfg.checksum_freq) {
@@ -269,110 +268,79 @@ fn block_region(layout: &BlockLayout, block: &BlockData, vars: std::ops::Range<u
     Region::new(crate::block_obj(block.uid), layout.var_elem_range(vars))
 }
 
-fn spawn_stencil(
-    rt: &Runtime,
-    state: &RankState,
-    block: &BlockData,
+/// The live consumer of the shared elaboration stream
+/// ([`crate::elaborate`]): materializes each [`TaskSpec`] into a real
+/// task body and spawns it. The static verifier consumes the *same*
+/// stream with `dfcheck`'s recorder, so declared accesses, endpoints
+/// and spawn order cannot drift between execution and analysis.
+///
+/// Buffer slices are derived from the spec's declared regions — the
+/// "slice == declaration" invariant holds by construction.
+struct LiveSub<'a> {
+    rt: &'a Runtime,
+    state: &'a RankState,
+    /// Communicate phase only (Recv/Pack/Send/LocalCopy/Boundary/Unpack).
+    comm: Option<&'a Arc<Comm>>,
+    plan: Option<&'a CommPlan>,
+    bufs: Option<&'a Buffers>,
     vars: std::ops::Range<usize>,
-    flops: &Arc<AtomicU64>,
-    trace: Option<&Trace>,
-) {
-    let region = block_region(&state.layout, block, vars.clone());
-    let block = block.clone();
-    let layout = state.layout;
-    let kind = state.cfg.stencil;
-    let flops = Arc::clone(flops);
-    let tr = trace.cloned();
-    rt.task()
-        .label("stencil")
-        .inout(region)
-        .body(move || {
-            let work = || {
-                amr_mesh::stencil::apply_stencil(&block, &layout, kind, vars.clone());
-                layout.cells() as u64 * vars.len() as u64 * kind.flops_per_cell()
-            };
-            let f = match &tr {
-                Some(t) => t.record(Kind::Stencil, work),
-                None => work(),
-            };
-            flops.fetch_add(f, Ordering::Relaxed);
-        })
-        .spawn();
+    trace: Option<&'a Trace>,
+    stats: Option<&'a mut RunStats>,
+    /// Stencil phase only.
+    flops: Option<&'a Arc<AtomicU64>>,
+    /// Checksum phase only.
+    slots: Option<&'a Arc<Mutex<Vec<Vec<f64>>>>>,
 }
 
-/// Algorithm 3: the fully taskified communicate.
-#[allow(clippy::too_many_arguments)]
-fn spawn_communicate(
-    rt: &Runtime,
-    state: &RankState,
-    comm: &Arc<Comm>,
-    plan: &Arc<CommPlan>,
-    bufs: &Buffers,
-    vars: std::ops::Range<usize>,
-    stats: &mut RunStats,
-    trace: Option<&Trace>,
-) {
-    let g = vars.len();
-    // Message base offsets use the *allocated* stride (the largest group
-    // size), not the current group's size: buffer regions of the same
-    // message must overlap across groups so the WAR edges between one
-    // group's unpackers and the next group's receive serialise posting
-    // order per tag. The seed used `g` here, which made the last uneven
-    // group's regions disjoint and deadlocked `--comm_vars --send_faces`
-    // runs (kept behind `legacy_group_offsets` for the watchdog CI test).
-    // Intra-message section offsets stay in units of `g` — payload layout
-    // and therefore checksums are unchanged.
-    let gb = if state.cfg.legacy_group_offsets {
-        g
-    } else {
-        state.cfg.var_group(0).len()
-    };
-    for dir in Dir::ALL {
-        let d = dir.index();
+impl<'a> LiveSub<'a> {
+    fn plan(&self) -> &'a CommPlan {
+        self.plan.expect("communicate phase has a plan")
+    }
 
-        // Receive tasks: out-dependency on the buffer section; the
-        // task-aware receive binds arrival to dependency release.
-        for m in plan.inbound(state.rank).filter(|m| m.dir == dir) {
-            let lo = m.recv_offset * gb;
-            let hi = lo + m.elems_per_var * g;
-            let slice = bufs.recv[d].slice(lo..hi);
-            let comm = Arc::clone(comm);
-            let (src, tag) = (m.src_rank, m.tag);
-            let tr = trace.cloned();
-            rt.task()
-                .label("recv")
-                // Communication tasks jump the ready queue: getting
-                // receives posted early maximizes the overlap window.
-                .priority(1)
-                .out(Region::new(bufs.recv_obj[d], lo..hi))
-                .body(move || {
-                    let work =
-                        || tampi::irecv_into(&comm, slice, src as i32, tag).expect("recv task");
-                    match &tr {
-                        Some(t) => t.record(Kind::Recv, work),
-                        None => work(),
-                    }
-                })
-                .spawn();
-        }
+    fn bufs(&self) -> &'a Buffers {
+        self.bufs.expect("communicate phase has buffers")
+    }
 
-        // Pack + send tasks.
-        for m in plan.outbound(state.rank).filter(|m| m.dir == dir) {
-            let mut section_accesses = Vec::with_capacity(m.transfers.len());
-            for t in m.transfers.clone() {
-                let slo = m.send_offset * gb + t.offset_in_msg * g;
-                let shi = slo + t.elems_per_var * g;
-                section_accesses.push(Access::read(Region::new(bufs.send_obj[d], slo..shi)));
-                let slice = bufs.send[d].slice(slo..shi);
-                let src = state.block(&t.src_block).clone();
-                let layout = state.layout;
-                let vars2 = vars.clone();
-                let block_reg = block_region(&layout, &src, vars2.clone());
-                let tr = trace.cloned();
-                rt.task()
-                    .label("pack")
-                    .input(block_reg)
-                    .out(Region::new(bufs.send_obj[d], slo..shi))
+    fn comm(&self) -> &'a Arc<Comm> {
+        self.comm.expect("communicate phase has a communicator")
+    }
+}
+
+impl Submitter<Work> for LiveSub<'_> {
+    fn submit(&mut self, spec: TaskSpec<Work>) {
+        let builder = self.rt.task().label(spec.label).priority(spec.priority);
+        let tr = self.trace.cloned();
+        let layout = self.state.layout;
+        match spec.work {
+            Work::Recv { msg } => {
+                let d = self.plan().msgs[msg].dir.index();
+                let r = &spec.accesses[0].region;
+                let slice = self.bufs().recv[d].slice(r.start..r.end);
+                let intent = spec.comm.as_ref().expect("recv spec has an endpoint");
+                let (src, tag) = (intent.peer, intent.tag);
+                let comm = Arc::clone(self.comm());
+                builder
+                    .accesses(spec.accesses.clone())
+                    .body(move || {
+                        let work =
+                            || tampi::irecv_into(&comm, slice, src as i32, tag).expect("recv task");
+                        match &tr {
+                            Some(t) => t.record(Kind::Recv, work),
+                            None => work(),
+                        }
+                    })
+                    .spawn();
+            }
+            Work::Pack { msg, transfer } => {
+                let m = &self.plan().msgs[msg];
+                let d = m.dir.index();
+                let t = m.transfers[transfer].clone();
+                let r = &spec.accesses[1].region;
+                let slice = self.bufs().send[d].slice(r.start..r.end);
+                let src = self.state.block(&t.src_block).clone();
+                let vars2 = self.vars.clone();
+                builder
+                    .accesses(spec.accesses.clone())
                     .body(move || {
                         let work = || {
                             slice.with_write(|dst| {
@@ -386,98 +354,68 @@ fn spawn_communicate(
                     })
                     .spawn();
             }
-            // The send task multi-depends on every section the packers
-            // write (§IV-A).
-            let lo = m.send_offset * gb;
-            let hi = lo + m.elems_per_var * g;
-            let slice = bufs.send[d].slice(lo..hi);
-            let comm = Arc::clone(comm);
-            let (dst, tag) = (m.dst_rank, m.tag);
-            let tr = trace.cloned();
-            rt.task()
-                .label("send")
-                .priority(1)
-                .accesses(section_accesses)
-                .body(move || {
-                    let work = || tampi::isend_from(&comm, &slice, dst, tag).expect("send task");
-                    match &tr {
-                        Some(t) => t.record(Kind::Send, work),
-                        None => work(),
-                    }
-                })
-                .spawn();
-            stats.msgs_sent += 1;
-            stats.elems_sent += (m.elems_per_var * g) as u64;
-        }
-
-        // Intra-process copies (already taskified by Rico et al., kept).
-        for t in plan
-            .locals
-            .iter()
-            .filter(|t| t.dir == dir && t.src_rank == state.rank)
-        {
-            let src = state.block(&t.src_block).clone();
-            let dst = state.block(&t.dst_block).clone();
-            let layout = state.layout;
-            let vars2 = vars.clone();
-            let t = t.clone();
-            let src_reg = block_region(&layout, &src, vars2.clone());
-            let dst_reg = block_region(&layout, &dst, vars2.clone());
-            let tr = trace.cloned();
-            let pool = Arc::clone(&state.pool);
-            rt.task()
-                .label("local_copy")
-                .input(src_reg)
-                .inout(dst_reg)
-                .body(move || {
-                    let work =
-                        || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone(), &pool);
-                    match &tr {
-                        Some(trc) => trc.record(Kind::LocalCopy, work),
-                        None => work(),
-                    }
-                })
-                .spawn();
-        }
-
-        // Domain-boundary ghost fills.
-        for (block, bdir, side) in plan
-            .boundaries
-            .iter()
-            .filter(|(b, bd, _)| *bd == dir && state.dir.owner(b) == Some(state.rank))
-        {
-            let b = state.block(block).clone();
-            let layout = state.layout;
-            let vars2 = vars.clone();
-            let (bdir, side) = (*bdir, *side);
-            let reg = block_region(&layout, &b, vars2.clone());
-            rt.task()
-                .label("boundary")
-                .inout(reg)
-                .body(move || apply_boundary(&layout, &b, bdir, side, vars2.clone()))
-                .spawn();
-        }
-
-        // Unpack tasks are instantiated *last* within the direction
-        // (Algorithm 3, lines 19-20). Spawn order matters: with
-        // whole-block dependency granularity (§IV-D), an unpack (`inout`
-        // block) spawned before this rank's packs (`in` block) would make
-        // the packs — and through them the sends — wait on data from the
-        // peer, closing a cross-rank cycle.
-        for m in plan.inbound(state.rank).filter(|m| m.dir == dir) {
-            for t in m.transfers.clone() {
-                let slo = m.recv_offset * gb + t.offset_in_msg * g;
-                let shi = slo + t.elems_per_var * g;
-                let slice = bufs.recv[d].slice(slo..shi);
-                let dst = state.block(&t.dst_block).clone();
-                let layout = state.layout;
-                let vars2 = vars.clone();
-                let block_reg = block_region(&layout, &dst, vars2.clone());
-                let tr = trace.cloned();
-                rt.task()
-                    .label("unpack")
-                    .input(Region::new(bufs.recv_obj[d], slo..shi))
-                    .inout(block_reg)
+            Work::Send { msg } => {
+                let d = self.plan().msgs[msg].dir.index();
+                // The message span is the union of its packed sections
+                // (they tile it contiguously).
+                let lo = spec.accesses.iter().map(|a| a.region.start).min().unwrap();
+                let hi = spec.accesses.iter().map(|a| a.region.end).max().unwrap();
+                let slice = self.bufs().send[d].slice(lo..hi);
+                let intent = spec.comm.as_ref().expect("send spec has an endpoint");
+                let (dst, tag, elems) = (intent.peer, intent.tag, intent.elems);
+                let comm = Arc::clone(self.comm());
+                builder
+                    .accesses(spec.accesses.clone())
+                    .body(move || {
+                        let work =
+                            || tampi::isend_from(&comm, &slice, dst, tag).expect("send task");
+                        match &tr {
+                            Some(t) => t.record(Kind::Send, work),
+                            None => work(),
+                        }
+                    })
+                    .spawn();
+                let stats = self.stats.as_mut().expect("communicate phase has stats");
+                stats.msgs_sent += 1;
+                stats.elems_sent += elems as u64;
+            }
+            Work::LocalCopy { transfer } => {
+                let t = self.plan().locals[transfer].clone();
+                let src = self.state.block(&t.src_block).clone();
+                let dst = self.state.block(&t.dst_block).clone();
+                let vars2 = self.vars.clone();
+                let pool = Arc::clone(&self.state.pool);
+                builder
+                    .accesses(spec.accesses)
+                    .body(move || {
+                        let work =
+                            || apply_local_transfer(&layout, &src, &dst, &t, vars2.clone(), &pool);
+                        match &tr {
+                            Some(trc) => trc.record(Kind::LocalCopy, work),
+                            None => work(),
+                        }
+                    })
+                    .spawn();
+            }
+            Work::Boundary { boundary } => {
+                let (block, bdir, side) = self.plan().boundaries[boundary];
+                let b = self.state.block(&block).clone();
+                let vars2 = self.vars.clone();
+                builder
+                    .accesses(spec.accesses)
+                    .body(move || apply_boundary(&layout, &b, bdir, side, vars2.clone()))
+                    .spawn();
+            }
+            Work::Unpack { msg, transfer } => {
+                let m = &self.plan().msgs[msg];
+                let d = m.dir.index();
+                let t = m.transfers[transfer].clone();
+                let r = &spec.accesses[0].region;
+                let slice = self.bufs().recv[d].slice(r.start..r.end);
+                let dst = self.state.block(&t.dst_block).clone();
+                let vars2 = self.vars.clone();
+                builder
+                    .accesses(spec.accesses.clone())
                     .body(move || {
                         let work = || {
                             slice.with_read(|payload| {
@@ -491,8 +429,127 @@ fn spawn_communicate(
                     })
                     .spawn();
             }
+            Work::Stencil { block } => {
+                let block = self.state.block(&block).clone();
+                let kind = self.state.cfg.stencil;
+                let vars2 = self.vars.clone();
+                let flops = Arc::clone(self.flops.expect("stencil phase has a flop counter"));
+                builder
+                    .accesses(spec.accesses)
+                    .body(move || {
+                        let work = || {
+                            amr_mesh::stencil::apply_stencil(&block, &layout, kind, vars2.clone());
+                            layout.cells() as u64 * vars2.len() as u64 * kind.flops_per_cell()
+                        };
+                        let f = match &tr {
+                            Some(t) => t.record(Kind::Stencil, work),
+                            None => work(),
+                        };
+                        flops.fetch_add(f, Ordering::Relaxed);
+                    })
+                    .spawn();
+            }
+            Work::ChecksumLocal { slot, block } => {
+                let block = self.state.block(&block).clone();
+                let nv = self.state.cfg.params.num_vars;
+                let slots = Arc::clone(self.slots.expect("checksum phase has slots"));
+                builder
+                    .accesses(spec.accesses)
+                    .body(move || {
+                        let work = || amr_mesh::checksum::block_sums(&block, &layout, 0..nv);
+                        let sums = match &tr {
+                            Some(t) => t.record(Kind::ChecksumLocal, work),
+                            None => work(),
+                        };
+                        slots.lock()[slot] = sums;
+                    })
+                    .spawn();
+            }
         }
     }
+
+    fn barrier(&mut self, kind: BarrierKind) {
+        // The live driver issues its barriers directly on the runtime;
+        // elaboration emits none. Kept for trait completeness.
+        match kind {
+            BarrierKind::Taskwait => self.rt.taskwait(),
+            BarrierKind::TaskwaitOn(regions) => self.rt.taskwait_on(&regions),
+        }
+    }
+}
+
+fn live_obj_of<'a>(state: &'a RankState) -> impl FnMut(&BlockId) -> ObjId + 'a {
+    |id| crate::block_obj(state.block(id).uid)
+}
+
+fn spawn_stencils(
+    rt: &Runtime,
+    state: &RankState,
+    vars: std::ops::Range<usize>,
+    flops: &Arc<AtomicU64>,
+    trace: Option<&Trace>,
+) {
+    let ctx = ElabCtx {
+        cfg: &state.cfg,
+        layout: state.layout,
+        dir: &state.dir,
+        rank: state.rank,
+    };
+    let mut sub = LiveSub {
+        rt,
+        state,
+        comm: None,
+        plan: None,
+        bufs: None,
+        vars: vars.clone(),
+        trace,
+        stats: None,
+        flops: Some(flops),
+        slots: None,
+    };
+    ctx.stencils(vars, &mut live_obj_of(state), &mut sub);
+}
+
+/// Algorithm 3: the fully taskified communicate, driven through the
+/// shared elaboration (see [`crate::elaborate::ElabCtx::communicate`]
+/// for the spawn-order and offset-stride invariants).
+#[allow(clippy::too_many_arguments)]
+fn spawn_communicate(
+    rt: &Runtime,
+    state: &RankState,
+    comm: &Arc<Comm>,
+    plan: &Arc<CommPlan>,
+    bufs: &Buffers,
+    vars: std::ops::Range<usize>,
+    stats: &mut RunStats,
+    trace: Option<&Trace>,
+) {
+    let ctx = ElabCtx {
+        cfg: &state.cfg,
+        layout: state.layout,
+        dir: &state.dir,
+        rank: state.rank,
+    };
+    let mut sub = LiveSub {
+        rt,
+        state,
+        comm: Some(comm),
+        plan: Some(plan),
+        bufs: Some(bufs),
+        vars: vars.clone(),
+        trace,
+        stats: Some(stats),
+        flops: None,
+        slots: None,
+    };
+    ctx.communicate(
+        plan,
+        bufs.send_obj,
+        bufs.recv_obj,
+        vars,
+        &mut live_obj_of(state),
+        &mut sub,
+    );
 }
 
 /// In-flight local checksum: per-block slots plus the structure's
@@ -526,27 +583,26 @@ fn spawn_local_checksum(
     obj: ObjId,
 ) -> PendingChecksum {
     let nv = cfg.params.num_vars;
-    let blocks = state.local_blocks();
-    let slots = Arc::new(Mutex::new(vec![Vec::new(); blocks.len()]));
-    for (i, block) in blocks.into_iter().enumerate() {
-        let layout = state.layout;
-        let slots = Arc::clone(&slots);
-        let reg_in = block_region(&layout, &block, 0..nv);
-        let tr = trace.cloned();
-        rt.task()
-            .label("checksum_local")
-            .input(reg_in)
-            .out(Region::new(obj, i..i + 1))
-            .body(move || {
-                let work = || amr_mesh::checksum::block_sums(&block, &layout, 0..nv);
-                let sums = match &tr {
-                    Some(t) => t.record(Kind::ChecksumLocal, work),
-                    None => work(),
-                };
-                slots.lock()[i] = sums;
-            })
-            .spawn();
-    }
+    let slots = Arc::new(Mutex::new(vec![Vec::new(); state.blocks.len()]));
+    let ctx = ElabCtx {
+        cfg: &state.cfg,
+        layout: state.layout,
+        dir: &state.dir,
+        rank: state.rank,
+    };
+    let mut sub = LiveSub {
+        rt,
+        state,
+        comm: None,
+        plan: None,
+        bufs: None,
+        vars: 0..nv,
+        trace,
+        stats: None,
+        flops: None,
+        slots: Some(&slots),
+    };
+    ctx.checksum_locals(obj, &mut live_obj_of(state), &mut sub);
     let total_cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
     PendingChecksum {
         obj,

@@ -152,7 +152,7 @@ fn move_planning_is_consistent() {
             *o = amr_mesh::Object::sphere([5.0, 5.0, 5.0], 0.1, [0.0; 3]);
         }
         let plan = state.dir.plan_refinement(&state.objects);
-        let gathers = merge_gather_moves(&state, &plan, 0);
+        let gathers = merge_gather_moves(&state.dir, &plan, 0);
         for m in &gathers {
             let first_child_owner = state
                 .dir
@@ -162,7 +162,7 @@ fn move_planning_is_consistent() {
             assert_ne!(m.from, m.to);
         }
         // Balance moves target the SFC partition.
-        let moves = balance_moves(&state, 0);
+        let moves = balance_moves(&state.dir, state.cfg.balance, state.n_ranks, 0);
         let part = amr_mesh::partition::sfc_partition(&state.dir, 2);
         for m in &moves {
             assert_eq!(part[&m.block], m.to);

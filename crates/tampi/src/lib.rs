@@ -61,7 +61,23 @@
 #![warn(missing_docs)]
 
 use shmem::{BufSlice, Pod};
+use taskrt::CommIntent;
 use vmpi::{Comm, Request, Result};
+
+/// Static description of the endpoint a task-bound [`isend_from`] would
+/// post: destination, tag and payload size in elements. Part of the
+/// submission seam ([`taskrt::Submitter`]) — the elaboration code builds
+/// intents through this constructor so the static analyzer (`dfcheck`)
+/// sees exactly the triple the live call would use.
+pub fn isend_intent(dst: usize, tag: i32, elems: usize) -> CommIntent {
+    CommIntent::send(dst, tag, elems)
+}
+
+/// Static description of the endpoint a task-bound [`irecv_into`] would
+/// post: source, tag and payload size in elements. See [`isend_intent`].
+pub fn irecv_intent(src: usize, tag: i32, elems: usize) -> CommIntent {
+    CommIntent::recv(src, tag, elems)
+}
 
 /// Binds an already-issued request to the calling task (`TAMPI_Iwait`):
 /// the task's dependencies are released only after both the task body

@@ -67,12 +67,14 @@ mod region;
 mod registry;
 mod runtime;
 mod scheduler;
+mod submit;
 mod task;
 mod trace;
 
 pub use events::EventHold;
 pub use region::{Access, AccessMode, ObjId, Region};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, TaskBuilder};
+pub use submit::{BarrierKind, CommIntent, CommKind, Submitter, TaskSpec};
 pub use task::current_task_id;
 pub use trace::{invalidate_all_traces, TraceScope};
 

@@ -77,7 +77,17 @@ impl Region {
     /// regions overlap nothing).
     #[inline]
     pub fn overlaps(&self, other: &Region) -> bool {
-        self.obj == other.obj && self.start.max(other.start) < self.end.min(other.end)
+        let hit = self.obj == other.obj && self.start.max(other.start) < self.end.min(other.end);
+        debug_assert!(
+            !(hit && (self.is_empty() || other.is_empty())),
+            "empty regions must not overlap: {self} vs {other}"
+        );
+        debug_assert_eq!(
+            hit,
+            other.obj == self.obj && other.start.max(self.start) < other.end.min(self.end),
+            "Region::overlaps must be symmetric: {self} vs {other}"
+        );
+        hit
     }
 }
 
@@ -144,7 +154,16 @@ impl Access {
     /// write): conflicting accesses execute in spawn order.
     #[inline]
     pub fn conflicts_with(&self, other: &Access) -> bool {
-        (self.mode.is_write() || other.mode.is_write()) && self.region.overlaps(&other.region)
+        let hit =
+            (self.mode.is_write() || other.mode.is_write()) && self.region.overlaps(&other.region);
+        debug_assert_eq!(
+            hit,
+            (other.mode.is_write() || self.mode.is_write()) && other.region.overlaps(&self.region),
+            "Access::conflicts_with must be symmetric: {} vs {}",
+            self.region,
+            other.region
+        );
+        hit
     }
 }
 
@@ -201,5 +220,67 @@ mod tests {
         let a = Access::write(Region::new(o, 0..4));
         let b = Access::write(Region::new(o, 4..8));
         assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn empty_ranges_never_overlap() {
+        let o = ObjId::fresh();
+        let empty = Region::new(o, 3..3);
+        // Empty vs itself, empty vs empty at the same point, empty inside,
+        // at the boundary of, and outside a non-empty range: all disjoint.
+        assert!(!empty.overlaps(&empty));
+        assert!(!empty.overlaps(&Region::new(o, 3..3)));
+        assert!(!empty.overlaps(&Region::new(o, 0..10)));
+        assert!(!Region::new(o, 0..10).overlaps(&empty));
+        assert!(!Region::new(o, 0..3).overlaps(&Region::new(o, 3..3)));
+        assert!(!Region::new(o, 3..7).overlaps(&Region::new(o, 3..3)));
+        assert!(!Region::new(o, 0..0).overlaps(&Region::whole(o)));
+        assert!(!Region::whole(o).overlaps(&Region::new(o, usize::MAX..usize::MAX)));
+    }
+
+    #[test]
+    fn empty_write_accesses_never_conflict() {
+        let o = ObjId::fresh();
+        let empty_w = Access::write(Region::new(o, 5..5));
+        let full_w = Access::write(Region::new(o, 0..10));
+        assert!(!empty_w.conflicts_with(&full_w));
+        assert!(!full_w.conflicts_with(&empty_w));
+        assert!(!empty_w.conflicts_with(&empty_w));
+    }
+
+    #[test]
+    fn conflicts_with_is_symmetric() {
+        let o = ObjId::fresh();
+        let p = ObjId::fresh();
+        let regions = [
+            Region::new(o, 0..4),
+            Region::new(o, 2..6),
+            Region::new(o, 4..8),
+            Region::new(o, 3..3),
+            Region::whole(o),
+            Region::new(p, 0..4),
+        ];
+        let modes = [AccessMode::In, AccessMode::Out, AccessMode::InOut];
+        for ra in &regions {
+            for rb in &regions {
+                for &ma in &modes {
+                    for &mb in &modes {
+                        let a = Access {
+                            region: ra.clone(),
+                            mode: ma,
+                        };
+                        let b = Access {
+                            region: rb.clone(),
+                            mode: mb,
+                        };
+                        assert_eq!(
+                            a.conflicts_with(&b),
+                            b.conflicts_with(&a),
+                            "asymmetric conflict: {ra} {ma:?} vs {rb} {mb:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -21,6 +21,15 @@ pub(crate) const COLL_TAG_BASE: i32 = 1 << 30;
 /// Upper bound (exclusive) of the user tag space.
 pub const TAG_UB: i32 = COLL_TAG_BASE;
 
+/// Whether `tag` is a valid user-space tag (`0..TAG_UB`). Posting
+/// outside this range fails at runtime with `VmpiError::InvalidTag`;
+/// static plan validation (`dfcheck`) uses this to reject such plans at
+/// admission time, before any process is spawned.
+#[inline]
+pub fn valid_user_tag(tag: i32) -> bool {
+    (0..TAG_UB).contains(&tag)
+}
+
 /// Completion information of a receive (or probe), like `MPI_Status`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Status {
@@ -115,7 +124,7 @@ impl Comm {
     }
 
     fn check_tag(&self, tag: i32) -> Result<()> {
-        if !(0..TAG_UB).contains(&tag) {
+        if !valid_user_tag(tag) {
             return Err(VmpiError::InvalidTag(tag));
         }
         Ok(())

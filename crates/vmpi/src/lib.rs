@@ -64,7 +64,7 @@ mod request;
 mod world;
 
 pub use collective::Reducible;
-pub use comm::{Comm, Status, ANY_SOURCE, ANY_TAG, TAG_UB};
+pub use comm::{valid_user_tag, Comm, Status, ANY_SOURCE, ANY_TAG, TAG_UB};
 pub use datatype::Pod;
 pub use error::{Result, VmpiError};
 pub use fabric::FabricParams;

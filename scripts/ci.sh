@@ -19,6 +19,9 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 # --- Observability smoke tests (PR 2) -------------------------------------
 # The root `cargo build --release` only builds the root package; the
 # miniamr CLI binary needs an explicit -p.
@@ -113,6 +116,64 @@ fi
 if ! grep -q "depsan: violation: tag-size-mismatch" <<<"$san_out"; then
   echo "depsan regression: exit 97 but no tag-size-mismatch report" >&2
   echo "$san_out" >&2
+  exit 1
+fi
+
+# --- Static verifier (PR 8) -------------------------------------------------
+# Pre-flight on the clean smoke scenario: all three variants must pass the
+# static check and then complete the run normally.
+DFCHECK=target/release/dfcheck
+for variant in mpi forkjoin dataflow; do
+  echo "==> staticcheck pre-flight: $variant"
+  sc_out="$(timeout 60 "$MINIAMR" --staticcheck --variant "$variant" --npx 2 --npy 2 \
+      --nx 6 --ny 6 --nz 6 --num_vars 4 --num_tsteps 2 --input single_sphere 2>&1)"
+  if ! grep -q "staticcheck: clean" <<<"$sc_out"; then
+    echo "staticcheck pre-flight: $variant did not come back clean" >&2
+    echo "$sc_out" >&2
+    exit 1
+  fi
+done
+
+# Static regression: the legacy group-offset bug must be flagged *before a
+# single timestep runs* — exit 95, a tag-collision naming the aliased
+# sends, and the slot-arithmetic warning, with no worker ever spawned.
+echo "==> staticcheck legacy-bug regression (expect exit 95)"
+set +e
+sc_out="$(timeout 60 "$MINIAMR" --staticcheck --variant dataflow --comm_vars 3 \
+    --send_faces --npx 2 --nx 6 --ny 6 --nz 6 --num_vars 8 --num_tsteps 3 \
+    --input single_sphere --legacy_group_offsets 2>&1)"
+sc_rc=$?
+set -e
+if [ "$sc_rc" -ne 95 ]; then
+  echo "staticcheck regression: expected exit 95, got $sc_rc" >&2
+  echo "$sc_out" >&2
+  exit 1
+fi
+for needle in "tag-collision" "buffer-slot-overlap" "miniamr-dfcheck-report"; do
+  if ! grep -q "$needle" <<<"$sc_out"; then
+    echo "staticcheck regression: exit 95 but report lacks '$needle'" >&2
+    echo "$sc_out" >&2
+    exit 1
+  fi
+done
+
+# dfcheck-vs-depsan agreement smoke: the standalone verifier and the
+# dynamic sanitizer must agree on both sides of the legacy bug — the
+# clean scenario passes both (dfcheck --all exit 0; the sanitized runs
+# above already came back clean), and the buggy one fails both (exit 95
+# statically, exit 97 dynamically per the depsan regression above).
+echo "==> dfcheck standalone: clean scenario, all variants (expect exit 0)"
+"$DFCHECK" --all --npx 2 --npy 2 --nx 6 --ny 6 --nz 6 --num_vars 4 \
+    --num_tsteps 2 --input single_sphere >/dev/null
+echo "==> dfcheck standalone: legacy scenario (expect exit 95)"
+set +e
+timeout 60 "$DFCHECK" --variant dataflow --comm_vars 3 --send_faces \
+    --npx 2 --nx 6 --ny 6 --nz 6 --num_vars 8 --num_tsteps 3 \
+    --input single_sphere --legacy_group_offsets >/dev/null 2>&1
+df_rc=$?
+set -e
+if [ "$df_rc" -ne 95 ]; then
+  echo "dfcheck standalone: expected exit 95 on the legacy scenario, got $df_rc" >&2
   exit 1
 fi
 
