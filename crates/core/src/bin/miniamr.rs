@@ -99,11 +99,24 @@ fn usage() -> ! {
   --ckpt_freq N                       checkpoint rank state every N stages
                                       (0 = off); an unrecoverable peer exits {}
                                       with a structured report after restoring
-                                      and verifying the latest checkpoint",
+                                      and verifying the latest checkpoint
+  --resize_at TS:N                    elastic: resize the world to N ranks
+                                      before timestep TS (repeatable; grow or
+                                      shrink; the final digest is bitwise
+                                      identical to the fixed-rank run)
+  --on_peer_lost {{abort|shrink}}       unrecoverable-peer policy: abort = the
+                                      exit-{} report (default); shrink = drop
+                                      the lost ranks, restore the latest
+                                      coordinated boundary snapshot onto the
+                                      survivors and resume
+  --jobs N                            run N concurrent jobs of this scenario
+                                      in one process (elastic soak harness);
+                                      per-job checksum digests are printed",
         obs::STALL_EXIT_CODE,
         obs::DEFAULT_RING_CAPACITY,
         dfcheck::STATIC_EXIT_CODE,
         depsan::SAN_EXIT_CODE,
+        vmpi::PEER_LOST_EXIT_CODE,
         vmpi::PEER_LOST_EXIT_CODE
     );
     std::process::exit(2);
@@ -134,6 +147,9 @@ fn main() {
     let mut staticcheck = false;
     let mut sanitize = false;
     let mut chaos: Option<vmpi::ChaosConfig> = None;
+    let mut plan = miniamr::ResizePlan::default();
+    let mut on_peer_lost = miniamr::PeerLostPolicy::Abort;
+    let mut jobs = 1usize;
 
     let mut i = 0;
     let next = |i: &mut usize| -> String {
@@ -225,6 +241,21 @@ fn main() {
                 chaos.get_or_insert_with(Default::default).rto =
                     Duration::from_micros(parse(next(&mut i)) as u64)
             }
+            "--resize_at" => match miniamr::ResizePlan::parse_event(&next(&mut i)) {
+                Ok((ts, n)) => plan.events.push((ts, n)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
+            "--on_peer_lost" => {
+                on_peer_lost = match next(&mut i).as_str() {
+                    "abort" => miniamr::PeerLostPolicy::Abort,
+                    "shrink" => miniamr::PeerLostPolicy::Shrink,
+                    _ => usage(),
+                }
+            }
+            "--jobs" => jobs = parse(next(&mut i)).max(1),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -352,8 +383,57 @@ fn main() {
                 report_interval,
             )
         });
+    if !plan.events.is_empty() {
+        let mut events = plan.events.clone();
+        events.sort();
+        eprintln!(
+            "miniamr: elastic plan: {} (on_peer_lost={})",
+            events
+                .iter()
+                .map(|(t, n)| format!("ts{t}->{n}r"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if on_peer_lost == miniamr::PeerLostPolicy::Shrink {
+                "shrink"
+            } else {
+                "abort"
+            },
+        );
+    }
+    let opts = miniamr::ElasticOpts { plan, on_peer_lost };
     let start = std::time::Instant::now();
-    let stats = miniamr::run_world(&cfg, n_ranks, net);
+    let stats = if jobs <= 1 {
+        miniamr::elastic::run(&cfg, n_ranks, net, &opts)
+    } else {
+        // Multi-job soak: each job runs the full scenario on its own
+        // world in its own thread. The JobCtx keys the checkpoint store,
+        // recovery hook, boundary snapshots and replay-trace epoch, and
+        // offsets obs ranks so the jobs get disjoint trace lanes.
+        let handles: Vec<_> = (0..jobs)
+            .map(|j| {
+                let mut jcfg = cfg.clone();
+                jcfg.job = Some(miniamr::JobCtx::new(j as u64, (j * n_ranks) as u32));
+                if let Some(c) = jcfg.chaos.as_mut() {
+                    // Distinct fault schedules per job; digests must
+                    // still agree (fault recovery is digest-neutral).
+                    c.seed = c.seed.wrapping_add(j as u64);
+                }
+                let net = net.clone();
+                let opts = opts.clone();
+                std::thread::spawn(move || miniamr::elastic::run(&jcfg, n_ranks, net, &opts))
+            })
+            .collect();
+        let mut per_job: Vec<Vec<miniamr::RunStats>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("job thread panicked"))
+            .collect();
+        for (j, stats) in per_job.iter().enumerate() {
+            if let Some(s0) = stats.first() {
+                println!("job{j}_checksum_digest\t{:016x}", s0.checksum_digest());
+            }
+        }
+        per_job.swap_remove(0)
+    };
     let wall = start.elapsed();
     if sanitize {
         // Mode::Exit terminates on the first violation, so reaching this

@@ -3,8 +3,8 @@
 //!
 //! Every `--ckpt_freq` stages each rank snapshots its recoverable state —
 //! the replicated directory, the object positions, and the full cell data
-//! of every locally-owned block — into a process-global
-//! [`CheckpointStore`], fingerprinted with a deterministic digest. When
+//! of every locally-owned block — into its job's [`CheckpointStore`]
+//! (see [`store_for`]), fingerprinted with a deterministic digest. When
 //! the reliability layer declares a peer unrecoverable (retry budget
 //! exhausted on a crashed rank), the registered recovery hook restores
 //! the reporting rank's state from its latest checkpoint, re-verifies the
@@ -15,10 +15,10 @@
 //! the numerics, so the cross-variant bitwise-equivalence guarantee is
 //! unaffected by any `--ckpt_freq` setting.
 
-use crate::config::Config;
+use crate::config::{BalanceKind, Config};
 use crate::rank::RankState;
 use amr_mesh::data::{BlockData, BlockLayout};
-use amr_mesh::{BlockId, MeshDirectory, Object};
+use amr_mesh::{partition, BlockId, MeshDirectory, Object};
 use parking_lot::Mutex;
 use shmem::BufferPool;
 use std::collections::{BTreeMap, HashMap};
@@ -28,6 +28,9 @@ use std::sync::{Arc, OnceLock};
 pub struct RankCheckpoint {
     /// Rank the snapshot belongs to.
     pub rank: usize,
+    /// World size the snapshot was taken under (may differ from the
+    /// `npx*npy*npz` rank grid after an elastic resize).
+    pub n_ranks: usize,
     /// Timestep the snapshot was taken in.
     pub tstep: usize,
     /// Global stage counter at snapshot time.
@@ -88,6 +91,7 @@ impl RankCheckpoint {
         let digest = fold_blocks(blocks.iter().map(|(id, d)| (id, d.as_slice())));
         RankCheckpoint {
             rank: state.rank,
+            n_ranks: state.n_ranks,
             tstep,
             stage,
             mesh_epoch,
@@ -131,13 +135,114 @@ impl RankCheckpoint {
             objects: self.objects.clone(),
             blocks,
             rank: self.rank,
-            n_ranks: self.cfg.params.num_ranks(),
+            n_ranks: self.n_ranks,
             pool: BufferPool::new(),
         }
     }
 }
 
-/// Process-global registry of the latest checkpoint per rank.
+/// Re-partitions a *coordinated* checkpoint set (one snapshot per rank of
+/// the same world, taken at the same quiescent boundary) onto a world of
+/// `new_n` ranks: pools every block, computes a fresh assignment with the
+/// regular partitioners, and materializes one [`RankState`] per new rank.
+///
+/// This is the heart of an elastic resize (grow or shrink): the block
+/// *data* is untouched — only ownership changes — so the ownership-
+/// independent checksum combination guarantees the digest is unaffected.
+/// Each snapshot's integrity digest is re-verified first; corruption is a
+/// structured failure ([`vmpi::PEER_LOST_EXIT_CODE`]), never a silent
+/// resume.
+pub fn redistribute(
+    ckpts: &[Arc<RankCheckpoint>],
+    new_n: usize,
+    balance: BalanceKind,
+) -> Vec<RankState> {
+    assert!(
+        !ckpts.is_empty(),
+        "redistribute needs at least one snapshot"
+    );
+    assert!(new_n >= 1, "cannot resize to an empty world");
+    let base = &ckpts[0];
+    for ck in ckpts {
+        verify_or_die(ck);
+        assert_eq!(
+            ck.dir, base.dir,
+            "coordinated checkpoints must share the replicated directory"
+        );
+    }
+    let mut all: BTreeMap<BlockId, &[f64]> = BTreeMap::new();
+    for ck in ckpts {
+        for (id, data) in &ck.blocks {
+            all.insert(*id, data.as_slice());
+        }
+    }
+    assert_eq!(
+        all.len(),
+        base.dir.len(),
+        "checkpoint set must cover every directory block exactly once"
+    );
+    // `BalanceKind::None` has no meaning for a resize (the old owners may
+    // be out of range in the new world), so it falls back to SFC.
+    let assignment = match balance {
+        BalanceKind::Rcb => partition::rcb_partition(&base.dir, new_n),
+        _ => partition::sfc_partition(&base.dir, new_n),
+    };
+    let mut dir = base.dir.clone();
+    for (id, owner) in &assignment {
+        dir.set_owner(*id, *owner);
+    }
+    let layout = BlockLayout::of(&base.cfg.params);
+    (0..new_n)
+        .map(|rank| {
+            let mut blocks = BTreeMap::new();
+            for (id, data) in &all {
+                if assignment[id] == rank {
+                    let b = BlockData::empty(*id, &base.cfg.params);
+                    b.buf.full().with_write(|dst| dst.copy_from_slice(data));
+                    blocks.insert(*id, b);
+                }
+            }
+            RankState {
+                cfg: base.cfg.clone(),
+                layout,
+                dir: dir.clone(),
+                objects: base.objects.clone(),
+                blocks,
+                rank,
+                n_ranks: new_n,
+                pool: BufferPool::new(),
+            }
+        })
+        .collect()
+}
+
+/// Re-derives a checkpoint's digest from its stored cell data and fails
+/// *structurally* on mismatch: a `PeerLostReport`-style JSON line on
+/// stderr, then [`vmpi::PEER_LOST_EXIT_CODE`]. Restoring from a corrupt
+/// snapshot silently would poison every digest downstream.
+fn verify_or_die(ck: &RankCheckpoint) {
+    let got = fold_blocks(ck.blocks.iter().map(|(id, d)| (id, d.as_slice())));
+    if got != ck.digest {
+        eprintln!("{}", mismatch_report_json(ck, got));
+        std::process::exit(vmpi::PEER_LOST_EXIT_CODE);
+    }
+}
+
+/// The structured checkpoint-mismatch report (stable shape, one line).
+fn mismatch_report_json(ck: &RankCheckpoint, got: u64) -> String {
+    format!(
+        "{{\"type\":\"miniamr-ckpt-mismatch\",\"job\":{},\"rank\":{},\"tstep\":{},\
+         \"stage\":{},\"expected\":\"{:016x}\",\"got\":\"{:016x}\"}}",
+        ck.cfg.job_id(),
+        ck.rank,
+        ck.tstep,
+        ck.stage,
+        ck.digest,
+        got
+    )
+}
+
+/// Per-job registry of the latest checkpoint per rank.
 #[derive(Default)]
 pub struct CheckpointStore {
     slots: Mutex<HashMap<usize, Arc<RankCheckpoint>>>,
@@ -160,10 +265,18 @@ impl CheckpointStore {
     }
 }
 
-/// The process-global checkpoint store.
-pub fn store() -> &'static CheckpointStore {
-    static STORE: OnceLock<CheckpointStore> = OnceLock::new();
-    STORE.get_or_init(CheckpointStore::default)
+/// The checkpoint store of one job. Concurrent in-process jobs get
+/// disjoint stores, so a recovery can never cross-restore another job's
+/// ranks (the former process-global store did exactly that).
+pub fn store_for(job: u64) -> Arc<CheckpointStore> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, Arc<CheckpointStore>>>> = OnceLock::new();
+    let reg = REGISTRY.get_or_init(Default::default);
+    Arc::clone(reg.lock().entry(job).or_default())
+}
+
+/// The default (job 0) checkpoint store.
+pub fn store() -> Arc<CheckpointStore> {
+    store_for(0)
 }
 
 /// Takes and publishes a checkpoint when the stage counter says one is
@@ -193,7 +306,7 @@ pub(crate) fn maybe_checkpoint(
             });
         }
     }
-    store().publish(ck);
+    store_for(state.cfg.job_id()).publish(ck);
     stats.checkpoints_taken += 1;
 }
 
@@ -204,21 +317,44 @@ fn checkpoints_counter() -> &'static obs::Counter {
 }
 
 /// Registers the chaos recovery hook: when the reliability layer gives up
-/// on a peer, restore the reporting rank's latest checkpoint, verify its
-/// digest, and contribute the outcome to the structured exit report.
-/// Idempotent (the underlying hook slot is write-once).
+/// on a peer, restore the reporting rank's latest checkpoint *from the
+/// reporting job's store*, verify its digest, and contribute the outcome
+/// to the structured exit report. A digest mismatch is a structured
+/// failure — a `miniamr-ckpt-mismatch` JSON line and
+/// [`vmpi::PEER_LOST_EXIT_CODE`] — never a silent resume from corrupt
+/// state. Idempotent (the underlying hook slot is write-once).
 pub fn install_recovery_hook() {
     vmpi::set_peer_lost_hook(|report| {
         let mut lines = Vec::new();
-        match store().latest(report.reporter) {
+        match store_for(report.job).latest(report.reporter) {
             Some(ck) => {
                 let restored = ck.restore();
                 // Restored state resumes with pre-restore block uids and
                 // plans gone: any cached task trace is structurally
-                // stale. The hook has no Runtime handle, so bump the
-                // process-global epoch (observed at scope boundaries).
-                taskrt::invalidate_all_traces();
-                let verified = digest_of(&restored) == ck.digest;
+                // stale. Bump the owning job's epoch (observed at
+                // trace-scope boundaries); with no job handle, fall back
+                // to the process-global epoch.
+                match ck.cfg.job.as_ref() {
+                    Some(job) => job.invalidate_traces(),
+                    None => taskrt::invalidate_all_traces(),
+                }
+                // Test-only fault injection: corrupt one restored cell so
+                // CI can pin the mismatch-escalation path without a way
+                // to corrupt a live store from outside the process.
+                if std::env::var_os("MINIAMR_TEST_CORRUPT_CKPT").is_some() {
+                    if let Some(b) = restored.blocks.values().next() {
+                        b.buf.full().with_write(|d| {
+                            if let Some(x) = d.first_mut() {
+                                *x += 1.0;
+                            }
+                        });
+                    }
+                }
+                let got = digest_of(&restored);
+                if got != ck.digest {
+                    eprintln!("{}", mismatch_report_json(&ck, got));
+                    std::process::exit(vmpi::PEER_LOST_EXIT_CODE);
+                }
                 lines.push(format!(
                     "recovery: rank {} restored from checkpoint (tstep {}, stage {}, {} blocks, {} bytes)",
                     ck.rank,
@@ -227,17 +363,10 @@ pub fn install_recovery_hook() {
                     ck.num_blocks(),
                     ck.bytes(),
                 ));
-                lines.push(if verified {
-                    format!(
-                        "recovery: checkpoint digest {:016x} verified after restore",
-                        ck.digest
-                    )
-                } else {
-                    format!(
-                        "recovery: checkpoint digest MISMATCH (expected {:016x})",
-                        ck.digest
-                    )
-                });
+                lines.push(format!(
+                    "recovery: checkpoint digest {:016x} verified after restore",
+                    ck.digest
+                ));
             }
             None => lines.push(
                 "recovery: no checkpoint available (--ckpt_freq 0?); \

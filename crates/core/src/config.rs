@@ -2,6 +2,46 @@
 //! new options, and the two input problems used in the evaluation.
 
 use amr_mesh::{MeshParams, Object};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identity and isolation handles of one *job* in a multi-job ("service
+/// mode") process.
+///
+/// Everything that used to be process-global state — the checkpoint
+/// store, the peer-lost recovery hook, the replay-trace invalidation
+/// epoch, the observability rank lanes — is keyed by the job so that
+/// concurrent in-process jobs (the elastic soak harness) cannot
+/// cross-restore each other's ranks or invalidate each other's traces.
+#[derive(Debug)]
+pub struct JobCtx {
+    /// Job id; 0 is the implicit single-job default.
+    pub id: u64,
+    /// Replay-trace invalidation epoch for this job's task runtimes
+    /// (bumped on resize/restore instead of the process-global epoch;
+    /// shared into each runtime's `RuntimeConfig::trace_epoch`).
+    pub trace_epoch: Arc<AtomicU64>,
+    /// Offset added to this job's rank numbers in obs events, giving
+    /// concurrent jobs disjoint rank lanes in traces and reports.
+    pub rank_base: u32,
+}
+
+impl JobCtx {
+    /// A fresh job context.
+    pub fn new(id: u64, rank_base: u32) -> Arc<JobCtx> {
+        Arc::new(JobCtx {
+            id,
+            trace_epoch: Arc::new(AtomicU64::new(0)),
+            rank_base,
+        })
+    }
+
+    /// Invalidates every replay trace of this job's runtimes (observed at
+    /// trace-scope boundaries).
+    pub fn invalidate_traces(&self) {
+        self.trace_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+}
 
 /// Which parallelization runs (§V: the three compared variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,14 +124,18 @@ pub struct Config {
     /// analysis; regrid and checkpoint restore invalidate the cache.
     pub replay: bool,
     /// Checkpoint period in stages (`--ckpt_freq`; 0 = no checkpoints).
-    /// Each rank snapshots its recoverable state into the process-global
-    /// [`crate::checkpoint::store`] so the chaos recovery hook can
+    /// Each rank snapshots its recoverable state into its job's store
+    /// ([`crate::checkpoint::store_for`]) so the chaos recovery hook can
     /// restore and verify it when a peer is declared lost.
     pub ckpt_freq: usize,
     /// Deterministic fault plan for the transport layer (`--chaos_*`
     /// flags). `None` leaves the fault-free send/receive path untouched
     /// byte for byte.
     pub chaos: Option<vmpi::ChaosConfig>,
+    /// The job this run belongs to in a multi-job process (`None`: the
+    /// implicit job 0). Keys the checkpoint store, the recovery hook and
+    /// the replay-trace epoch; see [`JobCtx`].
+    pub job: Option<Arc<JobCtx>>,
     /// Reproduce the seed's group-size-relative communication-buffer
     /// offsets in the data-flow variant (`--legacy_group_offsets`).
     ///
@@ -135,6 +179,7 @@ impl Config {
             replay: true,
             ckpt_freq: 0,
             chaos: None,
+            job: None,
             legacy_group_offsets: false,
         }
     }
@@ -206,6 +251,17 @@ impl Config {
     pub fn num_groups(&self) -> usize {
         let per = self.comm_vars.min(self.params.num_vars).max(1);
         self.params.num_vars.div_ceil(per)
+    }
+
+    /// The id of the job this run belongs to (0 unless set).
+    pub fn job_id(&self) -> u64 {
+        self.job.as_ref().map_or(0, |j| j.id)
+    }
+
+    /// The obs-lane rank of a world rank: the job's rank base plus the
+    /// rank, so concurrent jobs occupy disjoint lanes.
+    pub fn obs_rank(&self, rank: usize) -> u32 {
+        self.job.as_ref().map_or(0, |j| j.rank_base) + rank as u32
     }
 }
 

@@ -50,6 +50,7 @@ pub mod cli;
 pub mod comm_plan;
 pub mod config;
 pub mod elaborate;
+pub mod elastic;
 pub mod exchange;
 pub mod rank;
 pub mod staticcheck;
@@ -57,7 +58,8 @@ pub mod stats;
 pub mod trace;
 pub mod variant;
 
-pub use config::{BalanceKind, Config, Variant};
+pub use config::{BalanceKind, Config, JobCtx, Variant};
+pub use elastic::{ElasticOpts, PeerLostPolicy, ResizePlan};
 pub use stats::{PhaseTimes, RunStats};
 
 use vmpi::{Comm, NetworkModel, World};
@@ -77,16 +79,30 @@ pub fn block_obj(uid: u64) -> taskrt::ObjId {
 /// Runs one rank of the configured variant (call from inside
 /// [`vmpi::World::run`] or an equivalent harness).
 pub fn run_rank(cfg: &Config, comm: Comm) -> RunStats {
-    obs::set_thread_rank(comm.rank() as u32);
-    let mut stats = match cfg.variant {
-        Variant::MpiOnly => variant::mpi_only::run(cfg, comm),
-        Variant::ForkJoin => variant::fork_join::run(cfg, comm),
-        Variant::DataFlow => variant::dataflow::run(cfg, comm),
+    run_rank_span(cfg, comm, None, cfg.num_tsteps, None).0
+}
+
+/// Runs one *span* of the configured variant on one rank: from `start`
+/// (or initial conditions) up to — not including — timestep `ts_end`.
+/// The span primitive behind both [`run_rank`] (one span covering the
+/// whole run) and [`elastic::run`] (a span per world segment).
+pub(crate) fn run_rank_span(
+    cfg: &Config,
+    comm: Comm,
+    start: Option<elastic::SpanStart>,
+    ts_end: usize,
+    ectx: Option<&elastic::ElasticCtx>,
+) -> (RunStats, elastic::SpanCarry) {
+    obs::set_thread_rank(cfg.obs_rank(comm.rank()));
+    let (mut stats, carry) = match cfg.variant {
+        Variant::MpiOnly => variant::mpi_only::run_span(cfg, comm, start, ts_end, ectx),
+        Variant::ForkJoin => variant::fork_join::run_span(cfg, comm, start, ts_end, ectx),
+        Variant::DataFlow => variant::dataflow::run_span(cfg, comm, start, ts_end, ectx),
     };
     if obs::is_enabled() {
         stats.metrics = obs::metrics().snapshot();
     }
-    stats
+    (stats, carry)
 }
 
 /// Convenience: builds a world of `n_ranks` and runs the configured

@@ -113,6 +113,19 @@ impl RankState {
         self.layout.cells() as u64 * nvars * self.cfg.stencil.flops_per_cell()
     }
 
+    /// Per-block checksum contributions in id order: the block ids and
+    /// their per-variable sums, the inputs of the ownership-independent
+    /// global combination (`variant::checksum_remote_blocks`).
+    pub fn block_checksums(&self, vars: Range<usize>) -> (Vec<BlockId>, Vec<Vec<f64>>) {
+        let ids: Vec<BlockId> = self.blocks.keys().copied().collect();
+        let sums: Vec<Vec<f64>> = self
+            .blocks
+            .values()
+            .map(|b| checksum::block_sums(b, &self.layout, vars.clone()))
+            .collect();
+        (ids, sums)
+    }
+
     /// Local checksum contribution: per-block per-var sums in id order,
     /// combined in id order.
     pub fn local_checksum(&self, vars: Range<usize>) -> Vec<f64> {

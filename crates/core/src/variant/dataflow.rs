@@ -29,13 +29,14 @@
 use crate::comm_plan::CommPlan;
 use crate::config::Config;
 use crate::elaborate::{ElabCtx, Work};
+use crate::elastic::{ElasticCtx, SpanCarry, SpanStart};
 use crate::exchange::{run_refinement, BlockMover, RefineJob};
 use crate::rank::{
     apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState,
 };
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
-use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
+use crate::variant::{checksum_remote_blocks, record_validation, Buffers, Checkpoint};
 use amr_mesh::data::{BlockData, BlockLayout};
 use amr_mesh::BlockId;
 use parking_lot::Mutex;
@@ -44,30 +45,56 @@ use std::sync::Arc;
 use taskrt::{Access, BarrierKind, ObjId, Region, Runtime, Submitter, TaskSpec};
 use vmpi::Comm;
 
-/// Runs the data-flow variant on one rank.
+/// Runs the data-flow variant on one rank, start to finish.
 pub fn run(cfg: &Config, comm: Comm) -> RunStats {
+    run_span(cfg, comm, None, cfg.num_tsteps, None).0
+}
+
+/// Runs one *span* of the data-flow variant: from `start` (or initial
+/// conditions) up to — not including — timestep `ts_end`, returning the
+/// stats so far and the carry an elastic resume continues from. The span
+/// ends fully drained (taskwait + delayed-checksum flush), so its carry
+/// is a quiescent resize point.
+pub(crate) fn run_span(
+    cfg: &Config,
+    comm: Comm,
+    start: Option<SpanStart>,
+    ts_end: usize,
+    elastic: Option<&ElasticCtx>,
+) -> (RunStats, SpanCarry) {
     let rt = Arc::new(Runtime::with_config(taskrt::RuntimeConfig {
         workers: cfg.workers.max(1),
         immediate_successor: cfg.immediate_successor,
         replay: cfg.replay,
+        trace_epoch: cfg.job.as_ref().map(|j| Arc::clone(&j.trace_epoch)),
     }));
     let comm = Arc::new(comm);
-    rt.set_obs_rank(comm.rank() as u32);
-    let mut state = RankState::init(cfg, comm.rank(), comm.size());
-    let mut stats = RunStats {
-        rank: state.rank,
-        ..Default::default()
+    rt.set_obs_rank(cfg.obs_rank(comm.rank()));
+    let (
+        mut state,
+        mut stats,
+        mut stage_counter,
+        mut mesh_epoch,
+        mut prev_checksum,
+        ts_start,
+        resumed,
+    ) = SpanStart::unpack(start, cfg, &comm);
+    let trace = match stats.trace.take() {
+        t @ Some(_) => t,
+        None => cfg.trace.then(Trace::new),
     };
-    let trace = cfg.trace.then(Trace::new);
     let gmax = cfg.var_group(0).len();
+    let spawned_before = stats.tasks_spawned;
+    let replayed_before = stats.tasks_replayed;
+    let hits_before = stats.trace_hits;
+    let invalidations_before = stats.trace_invalidations;
+    let flops_before = stats.flops;
 
-    let mut prev_checksum: Option<Checkpoint> = None;
-    let mut mesh_epoch = 0u64;
     let total_sw = Stopwatch::start();
     // Initial refinement phase with load balancing, taskified like every
     // other refinement (the colorful region at the left of Fig. 1's lower
-    // trace).
-    {
+    // trace). A resumed span restores an already-balanced mesh.
+    if !resumed {
         let sw = Stopwatch::start();
         let mut mover = TaskMover {
             rt: Arc::clone(&rt),
@@ -91,8 +118,34 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     let checksum_obj = ObjId::fresh();
     let flops = Arc::new(AtomicU64::new(0));
 
-    let mut stage_counter = 0usize;
-    for ts in 0..cfg.num_tsteps {
+    for ts in ts_start..ts_end {
+        // Boundary snapshots need quiescent blocks and a flushed delayed
+        // checksum: drain the graph first. Only taken when a shrink
+        // recovery may need to rewind (the flush merely records the
+        // delayed validation a little earlier — same values, same order —
+        // so the digest is unaffected).
+        if let Some(e) = elastic {
+            if e.publish_boundaries {
+                rt.taskwait();
+                if let Some(prev) = pending.take() {
+                    validate_pending(
+                        prev,
+                        &comm,
+                        &mut stats,
+                        &mut prev_checksum,
+                        cfg.validate_tol,
+                    );
+                }
+                e.boundary(
+                    &state,
+                    &stats,
+                    stage_counter,
+                    mesh_epoch,
+                    &prev_checksum,
+                    ts,
+                );
+            }
+        }
         // Rank-0 marks delimit the perf analyzer's per-timestep windows.
         if let Some(bus) = obs::bus() {
             bus.emit_for_rank(
@@ -137,14 +190,11 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                     // waiter must only see the previous writers.
                     if let Some(prev) = pending.take() {
                         rt.taskwait_on(&[Region::whole(prev.obj)]);
-                        let local = prev.combine();
-                        let total = checksum_remote(&comm, &local);
-                        record_validation(
+                        validate_pending(
+                            prev,
+                            &comm,
                             &mut stats,
                             &mut prev_checksum,
-                            total,
-                            prev.total_cells,
-                            prev.epoch,
                             cfg.validate_tol,
                         );
                     }
@@ -166,14 +216,11 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                         checksum_obj,
                     );
                     rt.taskwait();
-                    let local = fresh.combine();
-                    let total = checksum_remote(&comm, &local);
-                    record_validation(
+                    validate_pending(
+                        fresh,
+                        &comm,
                         &mut stats,
                         &mut prev_checksum,
-                        total,
-                        fresh.total_cells,
-                        fresh.epoch,
                         cfg.validate_tol,
                     );
                 }
@@ -240,28 +287,53 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     rt.taskwait();
 
     if let Some(prev) = pending.take() {
-        let local = prev.combine();
-        let total = checksum_remote(&comm, &local);
-        record_validation(
+        validate_pending(
+            prev,
+            &comm,
             &mut stats,
             &mut prev_checksum,
-            total,
-            prev.total_cells,
-            prev.epoch,
             cfg.validate_tol,
         );
     }
     total_sw.stop(&mut stats.times.total);
-    stats.flops = flops.load(Ordering::Relaxed);
+    stats.flops = flops_before + flops.load(Ordering::Relaxed);
     let rts = rt.stats();
-    stats.tasks_spawned = rts.spawned;
-    stats.tasks_replayed = rts.replayed_tasks;
-    stats.trace_hits = rts.trace_hits;
-    stats.trace_invalidations = rts.trace_invalidations;
+    stats.tasks_spawned = spawned_before + rts.spawned;
+    stats.tasks_replayed = replayed_before + rts.replayed_tasks;
+    stats.trace_hits = hits_before + rts.trace_hits;
+    stats.trace_invalidations = invalidations_before + rts.trace_invalidations;
     stats.final_blocks = state.blocks.len();
     stats.pool = state.pool.stats();
     stats.trace = trace;
-    stats
+    let carry = SpanCarry {
+        stage_counter,
+        mesh_epoch,
+        prev_checksum: prev_checksum.as_ref().map(|c| (c.means.clone(), c.epoch)),
+        next_ts: ts_end,
+        state,
+    };
+    (stats, carry)
+}
+
+/// Combines a checkpoint's (now quiescent) per-block slots through the
+/// ownership-independent global combination and records the validation.
+fn validate_pending(
+    prev: PendingChecksum,
+    comm: &Arc<Comm>,
+    stats: &mut RunStats,
+    prev_checksum: &mut Option<Checkpoint>,
+    tol: f64,
+) {
+    let per_block = prev.per_block();
+    let total = checksum_remote_blocks(comm, &prev.ids, &per_block, prev.num_vars);
+    record_validation(
+        stats,
+        prev_checksum,
+        total,
+        prev.total_cells,
+        prev.epoch,
+        tol,
+    );
 }
 
 fn block_region(layout: &BlockLayout, block: &BlockData, vars: std::ops::Range<usize>) -> Region {
@@ -556,6 +628,10 @@ fn spawn_communicate(
 /// dependency object.
 struct PendingChecksum {
     obj: ObjId,
+    /// Owning block ids, in the same order as the slots (the i-th slot is
+    /// the i-th local block in id order — see
+    /// [`crate::elaborate::ElabCtx::checksum_locals`]).
+    ids: Vec<BlockId>,
     slots: Arc<Mutex<Vec<Vec<f64>>>>,
     num_vars: usize,
     /// Global cell count at the time the checkpoint was taken (the
@@ -567,9 +643,9 @@ struct PendingChecksum {
 }
 
 impl PendingChecksum {
-    fn combine(&self) -> Vec<f64> {
-        let slots = self.slots.lock();
-        amr_mesh::checksum::combine_block_sums(&slots, self.num_vars)
+    /// The (quiescent) per-block sums, slot order == id order.
+    fn per_block(&self) -> Vec<Vec<f64>> {
+        self.slots.lock().clone()
     }
 }
 
@@ -606,6 +682,7 @@ fn spawn_local_checksum(
     let total_cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
     PendingChecksum {
         obj,
+        ids: state.blocks.keys().copied().collect(),
         slots,
         num_vars: nv,
         total_cells,

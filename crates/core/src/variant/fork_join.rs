@@ -15,45 +15,67 @@
 
 use crate::comm_plan::{CommPlan, MsgPlan};
 use crate::config::Config;
+use crate::elastic::{ElasticCtx, SpanCarry, SpanStart};
 use crate::exchange::{run_refinement, BlockingMover, RefineJob};
 use crate::rank::{
     apply_boundary, apply_local_transfer, pack_transfer_into, unpack_transfer, RankState,
 };
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
-use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
+use crate::variant::{checksum_remote_blocks, record_validation, Buffers};
 use amr_mesh::block_id::Dir;
 use amr_mesh::data::BlockData;
+use amr_mesh::BlockId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use taskrt::{Region, Runtime};
 use vmpi::{Comm, RequestSet};
 
-/// Runs the fork-join hybrid variant on one rank.
+/// Runs the fork-join hybrid variant on one rank, start to finish.
 pub fn run(cfg: &Config, comm: Comm) -> RunStats {
+    run_span(cfg, comm, None, cfg.num_tsteps, None).0
+}
+
+/// Runs one *span* of the fork-join variant: from `start` (or initial
+/// conditions) up to — not including — timestep `ts_end`, returning the
+/// stats so far and the carry an elastic resume continues from.
+pub(crate) fn run_span(
+    cfg: &Config,
+    comm: Comm,
+    start: Option<SpanStart>,
+    ts_end: usize,
+    elastic: Option<&ElasticCtx>,
+) -> (RunStats, SpanCarry) {
     let comm = std::sync::Arc::new(comm);
     let rt = Runtime::with_config(taskrt::RuntimeConfig {
         workers: cfg.workers.max(1),
         immediate_successor: cfg.immediate_successor,
         // Fork-join opens no trace scopes; keep the machinery inert.
         replay: false,
+        trace_epoch: None,
     });
-    rt.set_obs_rank(comm.rank() as u32);
-    let mut state = RankState::init(cfg, comm.rank(), comm.size());
-    let mut stats = RunStats {
-        rank: state.rank,
-        ..Default::default()
+    rt.set_obs_rank(cfg.obs_rank(comm.rank()));
+    let (
+        mut state,
+        mut stats,
+        mut stage_counter,
+        mut mesh_epoch,
+        mut prev_checksum,
+        ts_start,
+        resumed,
+    ) = SpanStart::unpack(start, cfg, &comm);
+    let trace = match stats.trace.take() {
+        t @ Some(_) => t,
+        None => cfg.trace.then(Trace::new),
     };
-    let trace = cfg.trace.then(Trace::new);
     let gmax = cfg.var_group(0).len();
-
-    let mut prev_checksum: Option<Checkpoint> = None;
-    let mut mesh_epoch = 0u64;
+    let spawned_before = stats.tasks_spawned;
 
     let total_sw = Stopwatch::start();
-    // Initial refinement phase with load balancing (paper Fig. 1).
-    {
+    // Initial refinement phase with load balancing (paper Fig. 1). A
+    // resumed span restores an already-balanced mesh.
+    if !resumed {
         let sw = Stopwatch::start();
         let mut mover = BlockingMover::default();
         let rt_ref = &rt;
@@ -65,8 +87,19 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     }
     let mut plan = Arc::new(CommPlan::build(cfg, &state.dir, state.n_ranks));
     let mut bufs = Buffers::alloc(&plan, state.rank, gmax, cfg.separate_buffers);
-    let mut stage_counter = 0usize;
-    for ts in 0..cfg.num_tsteps {
+    for ts in ts_start..ts_end {
+        // Every fork-join phase ends in a barrier, so the rank is
+        // quiescent at every timestep top.
+        if let Some(e) = elastic {
+            e.boundary(
+                &state,
+                &stats,
+                stage_counter,
+                mesh_epoch,
+                &prev_checksum,
+                ts,
+            );
+        }
         // Rank-0 marks delimit the perf analyzer's per-timestep windows.
         if let Some(bus) = obs::bus() {
             bus.emit_for_rank(
@@ -121,8 +154,8 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
                 let sw = Stopwatch::start();
                 // Parallel local reduction into per-block slots, then the
                 // master performs the global reduction.
-                let local = parallel_local_checksum(&rt, &state, cfg, trace.as_ref());
-                let total = checksum_remote(&comm, &local);
+                let (ids, per_block) = parallel_local_checksum(&rt, &state, cfg, trace.as_ref());
+                let total = checksum_remote_blocks(&comm, &ids, &per_block, cfg.params.num_vars);
                 let cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
                 record_validation(
                     &mut stats,
@@ -156,11 +189,18 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     }
     total_sw.stop(&mut stats.times.total);
     let rts = rt.stats();
-    stats.tasks_spawned = rts.spawned;
+    stats.tasks_spawned = spawned_before + rts.spawned;
     stats.final_blocks = state.blocks.len();
     stats.pool = state.pool.stats();
     stats.trace = trace;
-    stats
+    let carry = SpanCarry {
+        stage_counter,
+        mesh_epoch,
+        prev_checksum: prev_checksum.as_ref().map(|c| (c.means.clone(), c.epoch)),
+        next_ts: ts_end,
+        state,
+    };
+    (stats, carry)
 }
 
 /// Runs split/merge data jobs as a parallel loop with a closing barrier.
@@ -191,15 +231,16 @@ fn run_jobs_parallel(
     out
 }
 
-/// Parallel per-block checksum reduction; combination stays in block
-/// order for determinism.
+/// Parallel per-block checksum reduction; slots stay in block-id order,
+/// feeding the ownership-independent global combination.
 fn parallel_local_checksum(
     rt: &Runtime,
     state: &RankState,
     cfg: &Config,
     trace: Option<&Trace>,
-) -> Vec<f64> {
+) -> (Vec<BlockId>, Vec<Vec<f64>>) {
     let nv = cfg.params.num_vars;
+    let ids: Vec<BlockId> = state.blocks.keys().copied().collect();
     let blocks: Vec<BlockData> = state.local_blocks();
     let slots: Arc<Mutex<Vec<Option<Vec<f64>>>>> = Arc::new(Mutex::new(vec![None; blocks.len()]));
     for (i, block) in blocks.into_iter().enumerate() {
@@ -221,7 +262,7 @@ fn parallel_local_checksum(
         .iter()
         .map(|s| s.clone().expect("all slots filled"))
         .collect();
-    amr_mesh::checksum::combine_block_sums(&per_block, nv)
+    (ids, per_block)
 }
 
 /// The fork-join communicate: master-thread MPI, parallel pack/copy/unpack

@@ -5,6 +5,7 @@ pub mod fork_join;
 pub mod mpi_only;
 
 use crate::comm_plan::CommPlan;
+use amr_mesh::BlockId;
 use shmem::SharedBuffer;
 use std::sync::Arc;
 use taskrt::ObjId;
@@ -61,17 +62,51 @@ impl Buffers {
     }
 }
 
-/// The global checksum combination: gather per-rank partials on rank 0,
-/// combine **in rank order** (deterministic, and — with SFC ownership —
-/// equal to the global block-ordered sum), broadcast the totals.
-pub(crate) fn checksum_remote(comm: &Comm, local: &[f64]) -> Vec<f64> {
-    let gathered = comm.gather(local, 0).expect("checksum gather");
+/// Packs a block id into one sortable word (the same packing the
+/// checkpoint digest uses): the global combination order below.
+fn packed_id(id: &BlockId) -> u64 {
+    ((id.level as u64) << 48) | ((id.x as u64) << 32) | ((id.y as u64) << 16) | id.z as u64
+}
+
+/// The global checksum combination, *ownership-independent*: every rank
+/// contributes its per-block partial sums tagged with the block id; rank
+/// 0 sorts all contributions into global block-id order and folds them in
+/// that order, then broadcasts the totals.
+///
+/// Because the floating-point fold order is a property of the mesh alone
+/// — never of which rank owns which block — the recorded checksums (and
+/// therefore [`crate::stats::RunStats::checksum_digest`]) are bitwise
+/// identical across rank counts, load balancers, and elastic resizes.
+/// That invariance is the backbone of the elastic-mode digest guarantee.
+pub(crate) fn checksum_remote_blocks(
+    comm: &Comm,
+    ids: &[BlockId],
+    per_block: &[Vec<f64>],
+    nv: usize,
+) -> Vec<f64> {
+    debug_assert_eq!(ids.len(), per_block.len());
+    // Wire format: per block, one id word (as raw f64 bits) followed by
+    // the `nv` per-variable sums.
+    let mut flat = Vec::with_capacity(ids.len() * (nv + 1));
+    for (id, sums) in ids.iter().zip(per_block) {
+        debug_assert_eq!(sums.len(), nv);
+        flat.push(f64::from_bits(packed_id(id)));
+        flat.extend_from_slice(sums);
+    }
+    let gathered = comm.gather(&flat, 0).expect("checksum gather");
     let totals = gathered.map(|parts| {
-        let mut acc = vec![0.0f64; local.len()];
-        for part in parts {
-            debug_assert_eq!(part.len(), acc.len());
-            for (a, p) in acc.iter_mut().zip(part.iter()) {
-                *a += p;
+        let mut entries: Vec<(u64, &[f64])> = parts
+            .iter()
+            .flat_map(|part| {
+                part.chunks_exact(nv + 1)
+                    .map(|chunk| (chunk[0].to_bits(), &chunk[1..]))
+            })
+            .collect();
+        entries.sort_by_key(|(key, _)| *key);
+        let mut acc = vec![0.0f64; nv];
+        for (_, sums) in entries {
+            for (a, s) in acc.iter_mut().zip(sums) {
+                *a += s;
             }
         }
         acc

@@ -8,6 +8,7 @@
 
 use crate::comm_plan::{CommPlan, MsgPlan};
 use crate::config::Config;
+use crate::elastic::{ElasticCtx, SpanCarry, SpanStart};
 use crate::exchange::{run_refinement, BlockingMover};
 use crate::rank::{
     apply_boundary, apply_local_transfer, pack_transfer_into, transfer_payload_elems,
@@ -15,29 +16,47 @@ use crate::rank::{
 };
 use crate::stats::{RunStats, Stopwatch};
 use crate::trace::{Kind, Trace};
-use crate::variant::{checksum_remote, record_validation, Buffers, Checkpoint};
+use crate::variant::{checksum_remote_blocks, record_validation, Buffers};
 use amr_mesh::block_id::Dir;
 use vmpi::{Comm, RequestSet};
 
-/// Runs the MPI-only variant on one rank.
+/// Runs the MPI-only variant on one rank, start to finish.
 pub fn run(cfg: &Config, comm: Comm) -> RunStats {
-    let comm = std::sync::Arc::new(comm);
-    let mut state = RankState::init(cfg, comm.rank(), comm.size());
-    let mut stats = RunStats {
-        rank: state.rank,
-        ..Default::default()
-    };
-    let trace = cfg.trace.then(Trace::new);
-    let gmax = cfg.var_group(0).len();
+    run_span(cfg, comm, None, cfg.num_tsteps, None).0
+}
 
-    let mut prev_checksum: Option<Checkpoint> = None;
-    let mut mesh_epoch = 0u64;
+/// Runs one *span* of the MPI-only variant: from `start` (or initial
+/// conditions) up to — not including — timestep `ts_end`, returning the
+/// stats so far and the carry an elastic resume continues from.
+pub(crate) fn run_span(
+    cfg: &Config,
+    comm: Comm,
+    start: Option<SpanStart>,
+    ts_end: usize,
+    elastic: Option<&ElasticCtx>,
+) -> (RunStats, SpanCarry) {
+    let comm = std::sync::Arc::new(comm);
+    let (
+        mut state,
+        mut stats,
+        mut stage_counter,
+        mut mesh_epoch,
+        mut prev_checksum,
+        ts_start,
+        resumed,
+    ) = SpanStart::unpack(start, cfg, &comm);
+    let trace = match stats.trace.take() {
+        t @ Some(_) => t,
+        None => cfg.trace.then(Trace::new),
+    };
+    let gmax = cfg.var_group(0).len();
 
     let total_sw = Stopwatch::start();
     // Initial refinement phase: the mesh was refined locally during init;
     // load-balance it before the main loop starts (the block exchanges
-    // visible at the left of the paper's Fig. 1).
-    {
+    // visible at the left of the paper's Fig. 1). A resumed span restores
+    // an already-balanced mesh.
+    if !resumed {
         let sw = Stopwatch::start();
         let mut mover = BlockingMover::default();
         stats.blocks_moved += run_refinement(&mut state, &comm, &mut mover, &mut |state, jobs| {
@@ -47,8 +66,18 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     }
     let mut plan = CommPlan::build(cfg, &state.dir, state.n_ranks);
     let mut bufs = Buffers::alloc(&plan, state.rank, gmax, cfg.separate_buffers);
-    let mut stage_counter = 0usize;
-    for ts in 0..cfg.num_tsteps {
+    for ts in ts_start..ts_end {
+        // Serial execution: the rank is quiescent at every timestep top.
+        if let Some(e) = elastic {
+            e.boundary(
+                &state,
+                &stats,
+                stage_counter,
+                mesh_epoch,
+                &prev_checksum,
+                ts,
+            );
+        }
         // Rank-0 marks delimit the perf analyzer's per-timestep windows.
         if let Some(bus) = obs::bus() {
             bus.emit_for_rank(
@@ -87,10 +116,13 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
             }
             if stage_counter.is_multiple_of(cfg.checksum_freq) {
                 let sw = Stopwatch::start();
-                let local = state.local_checksum(0..cfg.params.num_vars);
+                let nv = cfg.params.num_vars;
+                let (ids, per_block) = state.block_checksums(0..nv);
                 let total = match trace.as_ref() {
-                    Some(tr) => tr.record(Kind::ChecksumRemote, || checksum_remote(&comm, &local)),
-                    None => checksum_remote(&comm, &local),
+                    Some(tr) => tr.record(Kind::ChecksumRemote, || {
+                        checksum_remote_blocks(&comm, &ids, &per_block, nv)
+                    }),
+                    None => checksum_remote_blocks(&comm, &ids, &per_block, nv),
                 };
                 let cells = (state.dir.len() * cfg.params.cells_per_block()) as f64;
                 record_validation(
@@ -125,7 +157,14 @@ pub fn run(cfg: &Config, comm: Comm) -> RunStats {
     stats.final_blocks = state.blocks.len();
     stats.pool = state.pool.stats();
     stats.trace = trace;
-    stats
+    let carry = SpanCarry {
+        stage_counter,
+        mesh_epoch,
+        prev_checksum: prev_checksum.as_ref().map(|c| (c.means.clone(), c.epoch)),
+        next_ts: ts_end,
+        state,
+    };
+    (stats, carry)
 }
 
 /// Algorithm 2: per-direction exchange with a waitany consume loop.

@@ -7,13 +7,14 @@
 //!
 //! Floating-point addition is not associative, so this implementation
 //! fixes the combination order end-to-end: cells are summed in layout
-//! order within a block, block sums are combined in `BlockId` order, and
-//! rank partials are combined in rank order. Because the load balancer
-//! assigns ranks contiguous runs of the Morton-ordered block list, the
-//! rank-ordered combination equals the global block-ordered sum — which
-//! makes checksums **bitwise identical across variants and across rank
-//! counts**, a stronger property than the reference (which uses
-//! `MPI_Allreduce`) and the backbone of this repo's equivalence tests.
+//! order within a block, and the per-block sums are folded in global
+//! block-id order — independent of which rank happens to own each block
+//! (the variant layer gathers `(block id, sums)` pairs to rank 0 and
+//! sorts before folding). That makes checksums **bitwise identical
+//! across variants, load balancers, rank counts and mid-run elastic
+//! resizes**, a stronger property than the reference (which uses
+//! `MPI_Allreduce`) and the backbone of this repo's equivalence and
+//! elastic-soak tests.
 
 use crate::data::{BlockData, BlockLayout};
 use std::ops::Range;

@@ -91,7 +91,11 @@ pub fn irecv_intent(src: usize, tag: i32, elems: usize) -> CommIntent {
 /// # Panics
 ///
 /// Panics if called outside a task body, or (on the delivery thread) if
-/// the transfer later fails — mirroring MPI's fatal-error default.
+/// the transfer later fails with a protocol error — mirroring MPI's
+/// fatal-error default. World-teardown failures ([`vmpi::VmpiError::WorldDown`],
+/// [`vmpi::VmpiError::PeerLost`]) instead poison the task runtime and are
+/// rethrown by the rank's next `taskwait`, so the delivery thread
+/// survives and an elastic driver can unwind the rank cleanly.
 pub fn iwait(request: &Request) {
     if obs::is_enabled() {
         bound_requests().inc();
@@ -100,15 +104,28 @@ pub fn iwait(request: &Request) {
     let req = request.clone();
     request.on_complete(move |status| {
         if status.source == usize::MAX {
-            // The request is already complete, so this does not block; it
-            // only fetches the stored error for the panic message.
-            match req.wait_checked() {
-                Err(e) => panic!("tampi-bound transfer failed: {e}"),
-                Ok(_) => panic!("tampi-bound transfer failed"),
+            match req.error() {
+                Some(e) if world_teardown(&e) => {
+                    hold.fail(format!("tampi-bound transfer failed: {e}"));
+                    return;
+                }
+                Some(e) => panic!("tampi-bound transfer failed: {e}"),
+                None => panic!("tampi-bound transfer failed"),
             }
         }
         hold.release();
     });
+}
+
+/// Failures that mean the whole rank world is going away (elastic
+/// teardown / peer loss) rather than a per-transfer protocol error like
+/// a truncated receive. The former unwind gracefully through `taskwait`;
+/// the latter stay fatal on the delivery thread.
+fn world_teardown(e: &vmpi::VmpiError) -> bool {
+    matches!(
+        e,
+        vmpi::VmpiError::WorldDown | vmpi::VmpiError::PeerLost { .. }
+    )
 }
 
 /// Cached handle for the `tampi.bound_requests` counter.
@@ -173,7 +190,14 @@ where
     let req2 = req.clone();
     req.on_complete(move |status| {
         if status.source == usize::MAX {
-            panic!("tampi-bound receive failed");
+            match req2.error() {
+                Some(e) if world_teardown(&e) => {
+                    hold.fail(format!("tampi-bound receive failed: {e}"));
+                    return;
+                }
+                Some(e) => panic!("tampi-bound receive failed: {e}"),
+                None => panic!("tampi-bound receive failed"),
+            }
         }
         let data = req2.take_data::<T>().expect("typed payload");
         depsan::with_scope(scope, || consume(data));

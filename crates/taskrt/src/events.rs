@@ -45,6 +45,18 @@ impl EventHold {
         self.release_inner();
     }
 
+    /// Releases the hold while poisoning the owning runtime: the bound
+    /// event failed (e.g. the communication request it guarded died with
+    /// the world). The graph keeps draining, and the failure is rethrown
+    /// by the next `taskwait` on the rank's main thread instead of
+    /// killing the delivery thread that observed it.
+    pub fn fail(mut self, msg: String) {
+        if let Some(task) = &self.task {
+            task.rt.poison(msg);
+        }
+        self.release_inner();
+    }
+
     fn release_inner(&mut self) {
         if let Some(task) = self.task.take() {
             task.rt

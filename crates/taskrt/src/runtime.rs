@@ -24,6 +24,13 @@ pub struct RuntimeConfig {
     /// [`Runtime::trace_scope`]). When false, trace scopes are inert and
     /// every spawn takes fresh claim-table analysis.
     pub replay: bool,
+    /// External trace-invalidation epoch observed at trace-scope
+    /// boundaries *instead of* the process-global one (see
+    /// [`crate::invalidate_all_traces`]). A multi-job process hands each
+    /// job's runtimes the job's own epoch so one job's checkpoint
+    /// restore or resize cannot invalidate another job's traces. `None`
+    /// falls back to the process-global epoch.
+    pub trace_epoch: Option<std::sync::Arc<AtomicU64>>,
 }
 
 impl RuntimeConfig {
@@ -33,6 +40,7 @@ impl RuntimeConfig {
             workers,
             immediate_successor: true,
             replay: true,
+            trace_epoch: None,
         }
     }
 }
@@ -156,6 +164,11 @@ pub(crate) struct RtInner {
     pub(crate) obs_metrics: Option<ObsMetrics>,
     /// depsan runtime id (0 while the sanitizer is disabled).
     pub(crate) san_rt: u64,
+    /// First task-body panic, captured by [`TaskShared::execute`] so the
+    /// worker survives and the graph keeps draining; rethrown on the
+    /// rank's main thread by the next [`Runtime::taskwait`] /
+    /// [`Runtime::taskwait_on`].
+    pub(crate) poisoned: Mutex<Option<String>>,
 }
 
 impl RtInner {
@@ -293,6 +306,27 @@ impl RtInner {
             self.wait_cond.notify_all();
         }
     }
+
+    /// Records a fatal failure observed inside the graph (task-body panic,
+    /// failed event hold). First message wins; it is rethrown by the next
+    /// `taskwait`/`taskwait_on` on the rank's main thread.
+    pub(crate) fn poison(&self, msg: String) {
+        let mut p = self.poisoned.lock();
+        if p.is_none() {
+            *p = Some(msg);
+        }
+        drop(p);
+        let _guard = self.wait_lock.lock();
+        self.wait_cond.notify_all();
+    }
+
+    /// Rethrows a stored poison message (no-op on a healthy runtime).
+    pub(crate) fn rethrow_poison(&self) {
+        let poisoned = self.poisoned.lock().clone();
+        if let Some(msg) = poisoned {
+            panic!("taskrt: {msg}");
+        }
+    }
 }
 
 /// A data-flow task runtime: an OmpSs-2-like pool of workers executing
@@ -329,7 +363,7 @@ impl Runtime {
         let inner = Arc::new(RtInner {
             registry: Registry::new(),
             scheduler,
-            trace: TraceCache::new(config.replay),
+            trace: TraceCache::new(config.replay, config.trace_epoch.clone()),
             next_id: AtomicU64::new(1),
             live: AtomicUsize::new(0),
             live_set: track_live.then(LiveSet::new),
@@ -362,6 +396,7 @@ impl Runtime {
             } else {
                 0
             },
+            poisoned: Mutex::new(None),
         });
         let diag = obs::is_enabled().then(|| {
             let weak = Arc::downgrade(&inner);
@@ -543,6 +578,7 @@ impl Runtime {
             self.inner.wait_cond.wait(&mut guard);
         }
         drop(guard);
+        self.inner.rethrow_poison();
         if let (Some(start_us), Some(bus)) = (wait_from, obs::bus()) {
             bus.emit_for_rank(
                 self.inner.rank(),
@@ -585,6 +621,7 @@ impl Runtime {
             cond.wait(&mut flag);
         }
         drop(flag);
+        self.inner.rethrow_poison();
         if waiter_san != 0 {
             // The waiter (and transitively its whole ancestor closure)
             // happens-before everything spawned from now on.

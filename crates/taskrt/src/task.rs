@@ -133,7 +133,23 @@ impl TaskShared {
             // to this task (guard restores the previous scope on drop,
             // panic-safe).
             let _san = (self.san_id != 0).then(|| depsan::enter_scope(self.san_id));
-            body();
+            // A panicking body must not kill the worker thread: the graph
+            // has to keep draining so taskwait wakes and can rethrow on
+            // the rank's main thread (elastic shrink relies on this for a
+            // clean unwind when the world is torn down mid-timestep).
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+                let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                    s
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s
+                } else {
+                    "non-string panic payload"
+                };
+                self.rt.poison(format!(
+                    "task '{}' (id {}) panicked: {msg}",
+                    self.label, self.id
+                ));
+            }
         }
         if let Some(bus) = obs::bus() {
             let rank = self.rt.rank();

@@ -238,18 +238,26 @@ pub(crate) struct TraceCache {
     /// Spawns that went through fresh analysis outside the active scope
     /// (divergence guard for concurrent submitters).
     untraced_spawns: AtomicU64,
+    /// Override invalidation epoch ([`crate::RuntimeConfig::trace_epoch`]);
+    /// `None` observes the process-global [`GLOBAL_EPOCH`].
+    epoch: Option<std::sync::Arc<AtomicU64>>,
 }
 
 impl TraceCache {
-    pub(crate) fn new(enabled: bool) -> TraceCache {
+    pub(crate) fn new(enabled: bool, epoch: Option<std::sync::Arc<AtomicU64>>) -> TraceCache {
+        let seen = epoch
+            .as_deref()
+            .unwrap_or(&GLOBAL_EPOCH)
+            .load(Ordering::Acquire);
         TraceCache {
             enabled,
             keys: Mutex::new(HashMap::new()),
             generation: AtomicU64::new(0),
-            seen_global: AtomicU64::new(GLOBAL_EPOCH.load(Ordering::Acquire)),
+            seen_global: AtomicU64::new(seen),
             bypassed: Mutex::new(Vec::new()),
             bypassed_live: AtomicUsize::new(0),
             untraced_spawns: AtomicU64::new(0),
+            epoch,
         }
     }
 }
@@ -322,8 +330,13 @@ pub(crate) fn scope_begin(inner: &Arc<RtInner>, key: u64) {
     if !cache.enabled {
         return;
     }
-    // Lazily observe the process-global epoch (checkpoint restore).
-    let global = GLOBAL_EPOCH.load(Ordering::Acquire);
+    // Lazily observe the invalidation epoch (checkpoint restore, elastic
+    // resize) — the runtime's own when configured, else process-global.
+    let global = cache
+        .epoch
+        .as_deref()
+        .unwrap_or(&GLOBAL_EPOCH)
+        .load(Ordering::Acquire);
     if cache.seen_global.swap(global, Ordering::AcqRel) != global {
         invalidate(inner);
     }

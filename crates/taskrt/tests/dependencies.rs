@@ -343,6 +343,7 @@ fn immediate_successor_can_be_disabled() {
         workers: 2,
         immediate_successor: false,
         replay: true,
+        trace_epoch: None,
     });
     let obj = ObjId::fresh();
     let sum = Arc::new(AtomicUsize::new(0));

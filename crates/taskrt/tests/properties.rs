@@ -46,6 +46,7 @@ proptest! {
             workers,
             immediate_successor: immediate,
             replay: true,
+            trace_epoch: None,
         });
         let objs: Vec<ObjId> = (0..4).map(|_| ObjId::fresh()).collect();
         let n = specs.len();

@@ -68,6 +68,7 @@ fn replay_disabled_is_inert() {
         workers: 2,
         immediate_successor: true,
         replay: false,
+        trace_epoch: None,
     });
     let obj = ObjId::fresh();
     for iter in 0..6 {

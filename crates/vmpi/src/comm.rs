@@ -160,7 +160,25 @@ impl Comm {
         Ok(())
     }
 
+    /// Fast-fail for a world poisoned under
+    /// [`crate::PeerLostAction::AbortWorld`]: every new operation fails
+    /// with [`VmpiError::WorldDown`] so the rank threads unwind instead
+    /// of queueing work no one will match. A single `Option` check on
+    /// the fault-free path.
+    fn poisoned_request(&self) -> Option<Request> {
+        let fault = self.shared.fault.as_ref()?;
+        if !fault.poisoned.load(Ordering::SeqCst) {
+            return None;
+        }
+        let state = RequestState::new();
+        state.fail(VmpiError::WorldDown);
+        Some(Request::from_state(state))
+    }
+
     fn isend_impl(&self, payload: Vec<u8>, dst: usize, tag: i32) -> Request {
+        if let Some(failed) = self.poisoned_request() {
+            return failed;
+        }
         let dst_world = self.group[dst];
         let src_world = self.group[self.rank];
         // Chaos mode: cross-rank traffic goes through the reliability
@@ -361,6 +379,9 @@ impl Comm {
     // ---------------------------------------------------------------
 
     fn irecv_impl(&self, src: i32, tag: i32, target: RecvTarget, san: RecvSan) -> Request {
+        if let Some(failed) = self.poisoned_request() {
+            return failed;
+        }
         let state = RequestState::new();
         let my_world = self.group[self.rank];
         let mailbox = &self.shared.mailboxes[my_world];
@@ -590,6 +611,11 @@ impl Comm {
         let mailbox = &self.shared.mailboxes[my_world];
         let mut inner = mailbox.inner.lock();
         loop {
+            if let Some(fault) = &self.shared.fault {
+                if fault.poisoned.load(Ordering::SeqCst) {
+                    return Err(VmpiError::WorldDown);
+                }
+            }
             let now = Instant::now();
             if let Some(st) = inner.peek_available(src, tag, self.comm_id, now) {
                 return Ok(st);

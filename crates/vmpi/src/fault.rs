@@ -53,6 +53,13 @@ pub enum PeerLostAction {
     /// record the report for later inspection — the in-process test
     /// behaviour.
     FailRequests,
+    /// Record the report and *poison the whole world*: every channel
+    /// dies, every pending and future communication operation fails with
+    /// [`crate::VmpiError::WorldDown`], and the rank closures unwind.
+    /// An embedding elastic driver catches the unwind, reads
+    /// [`crate::World::peer_lost_reports`], and shrinks the job onto the
+    /// surviving ranks.
+    AbortWorld,
 }
 
 /// Seeded fault-injection plan. All probabilities are per-frame in
@@ -100,6 +107,11 @@ pub struct ChaosConfig {
     pub rto: Duration,
     /// Behaviour when the retry budget is exhausted.
     pub on_peer_lost: PeerLostAction,
+    /// Job id stamped into [`PeerLostReport`]s from this world, so a
+    /// multi-job process can key per-job recovery (checkpoint stores,
+    /// trace epochs) off the report. 0 is the implicit single-job
+    /// default.
+    pub job: u64,
 }
 
 impl Default for ChaosConfig {
@@ -122,6 +134,7 @@ impl Default for ChaosConfig {
             retry_budget: 8,
             rto: Duration::from_millis(5),
             on_peer_lost: PeerLostAction::Exit,
+            job: 0,
         }
     }
 }
@@ -349,6 +362,10 @@ pub(crate) struct FaultState {
     pub shutdown: AtomicBool,
     /// Only the first peer-lost reporter runs the exit path.
     pub peer_lost_fired: AtomicBool,
+    /// The world was poisoned under [`PeerLostAction::AbortWorld`]:
+    /// every communication op fails fast with
+    /// [`crate::VmpiError::WorldDown`] from here on.
+    pub poisoned: AtomicBool,
     pub counters: FaultCounters,
     pub obs_metrics: Option<ChaosObsMetrics>,
     /// Reports collected under [`PeerLostAction::FailRequests`].
@@ -401,6 +418,7 @@ impl FaultState {
             crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             shutdown: AtomicBool::new(false),
             peer_lost_fired: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             counters: FaultCounters::default(),
             obs_metrics: obs::is_enabled().then(|| ChaosObsMetrics {
                 faults_injected: obs::metrics().counter("vmpi.chaos.faults_injected"),
@@ -505,6 +523,9 @@ pub struct PeerLostReport {
     pub attempts: u32,
     /// Whether the peer had tripped the hard-crash schedule.
     pub peer_crashed: bool,
+    /// Job id of the world's fault plan ([`ChaosConfig::job`]), keying
+    /// per-job recovery in a multi-job process.
+    pub job: u64,
 }
 
 type PeerLostHook = Box<dyn Fn(&PeerLostReport) -> Vec<String> + Send + Sync>;

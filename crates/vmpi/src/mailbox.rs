@@ -294,6 +294,17 @@ impl MailboxInner {
         });
     }
 
+    /// World poisoning ([`crate::PeerLostAction::AbortWorld`]): drains
+    /// everything unmatched, returning the receive request states and
+    /// the rendezvous send states so the caller can fail them outside
+    /// the mailbox lock. Receive targets (payload writers) are dropped
+    /// unrun.
+    pub(crate) fn drain_for_poison(&mut self) -> (Vec<Arc<RequestState>>, Vec<Arc<RequestState>>) {
+        let recvs = self.recvs.drain(..).map(|r| r.state).collect();
+        let sends = self.msgs.drain(..).filter_map(|m| m.send_state).collect();
+        (recvs, sends)
+    }
+
     /// Queue depth snapshot: `(unmatched messages, posted receives,
     /// queued payload bytes)`. Used for counter-track events.
     pub(crate) fn depth(&self) -> (usize, usize, u64) {

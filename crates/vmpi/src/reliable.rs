@@ -108,17 +108,26 @@ pub(crate) fn chaos_isend(
     let payload = Arc::new(payload);
     let seq = {
         let mut channels = fault.channels.lock();
+        // Poison check under the channel lock: `poison_world` sets the
+        // flag *before* taking this lock to drain in-flight frames, so a
+        // frame registered here either observes the poison or is drained.
+        let poisoned = fault.poisoned.load(Ordering::SeqCst);
         let ch = channels.entry((src_world, dst_world)).or_default();
-        if ch.dead {
+        if ch.dead || poisoned {
             drop(channels);
             // The channel already exhausted its budget (FailRequests
-            // mode): fail fast instead of queueing onto a dead peer.
+            // mode) or the world was poisoned: fail fast instead of
+            // queueing onto a dead peer.
             if depsan::is_enabled() {
                 depsan::note_chaos_loss(dst_world as u32, comm_src, tag, comm_id);
             }
-            send_state.fail(VmpiError::PeerLost {
-                peer: dst_world,
-                attempts: fault.cfg.retry_budget,
+            send_state.fail(if poisoned {
+                VmpiError::WorldDown
+            } else {
+                VmpiError::PeerLost {
+                    peer: dst_world,
+                    attempts: fault.cfg.retry_budget,
+                }
             });
             return Request::from_state(send_state);
         }
@@ -201,14 +210,17 @@ fn transmit(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst:
             let patience = cfg
                 .rto
                 .saturating_mul(1u32 << cfg.retry_budget.saturating_add(1).min(16));
+            let shared_hb = Arc::clone(shared);
             let fault_hb = Arc::clone(fault);
             shared.delivery.schedule(
                 Instant::now() + patience,
                 Box::new(move || {
-                    if fault_hb.shutdown.load(Ordering::SeqCst) {
+                    if fault_hb.shutdown.load(Ordering::SeqCst)
+                        || fault_hb.poisoned.load(Ordering::SeqCst)
+                    {
                         return;
                     }
-                    heartbeat_detect(&fault_hb, src, dst, seq, rec);
+                    heartbeat_detect(&shared_hb, &fault_hb, src, dst, seq, rec);
                 }),
             );
         }
@@ -322,6 +334,12 @@ fn deliver_frame(
     match_id: u64,
     posted_us: u64,
 ) {
+    // A poisoned world accepts nothing: the mailboxes were drained and
+    // every new receive fails fast, so releasing this frame could only
+    // strand an unmatchable envelope.
+    if fault.poisoned.load(Ordering::SeqCst) {
+        return;
+    }
     if fault.is_crashed(dst) {
         // A dead rank accepts nothing and acks nothing; the sender's
         // retry budget is what eventually notices.
@@ -564,8 +582,12 @@ fn release_to_mailbox(shared: &Arc<WorldShared>, dst_world: usize, frame: HeldFr
 /// it (budget remaining) or declare the peer lost.
 fn on_rto(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64) {
     // At world teardown the delivery queue drains inline; rearming
-    // timers there would loop forever. A crashed rank does not retry.
-    if fault.shutdown.load(Ordering::SeqCst) || fault.is_crashed(src) {
+    // timers there would loop forever. A crashed rank does not retry,
+    // and a poisoned world already failed every in-flight frame.
+    if fault.shutdown.load(Ordering::SeqCst)
+        || fault.poisoned.load(Ordering::SeqCst)
+        || fault.is_crashed(src)
+    {
         return;
     }
     enum Next {
@@ -613,12 +635,19 @@ fn on_rto(shared: &Arc<WorldShared>, fault: &Arc<FaultState>, src: usize, dst: u
             }
             transmit(shared, fault, src, dst, seq);
         }
-        Next::Lost(rec) => handle_peer_lost(fault, src, dst, seq, *rec),
+        Next::Lost(rec) => handle_peer_lost(shared, fault, src, dst, seq, *rec),
     }
 }
 
 /// The retry budget is exhausted: the peer is presumed dead.
-fn handle_peer_lost(fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64, rec: Inflight) {
+fn handle_peer_lost(
+    shared: &Arc<WorldShared>,
+    fault: &Arc<FaultState>,
+    src: usize,
+    dst: usize,
+    seq: u64,
+    rec: Inflight,
+) {
     if depsan::is_enabled() {
         depsan::note_chaos_loss(dst as u32, rec.comm_src, rec.tag, rec.comm);
     }
@@ -629,12 +658,13 @@ fn handle_peer_lost(fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64, r
         seq,
         attempts: rec.attempts,
         peer_crashed: fault.crashed[dst].load(Ordering::SeqCst),
+        job: fault.cfg.job,
     };
     let headline = format!(
         "peer lost: rank {src} gave up on rank {dst} after {} retransmission attempts (frame seq {seq} tag {})",
         rec.attempts, rec.tag
     );
-    finish_peer_lost(fault, report, headline, rec.send_state);
+    finish_peer_lost(shared, fault, report, headline, rec.send_state);
 }
 
 /// Receiver-side failure detection. A crashed rank's outbound frames are
@@ -645,6 +675,7 @@ fn handle_peer_lost(fault: &Arc<FaultState>, src: usize, dst: usize, seq: u64, r
 /// sequence gets; if the world hasn't shut down by then, the destination
 /// declares the source lost.
 fn heartbeat_detect(
+    shared: &Arc<WorldShared>,
     fault: &Arc<FaultState>,
     dead: usize,
     survivor: usize,
@@ -667,6 +698,7 @@ fn heartbeat_detect(
         seq,
         attempts,
         peer_crashed: true,
+        job: fault.cfg.job,
     };
     let headline = format!(
         "peer lost: rank {survivor} detected rank {dead} dead (heartbeat timeout after {attempts} retransmission intervals; frame seq {seq} tag {} never arrived)",
@@ -674,12 +706,58 @@ fn heartbeat_detect(
     );
     // `rec.send_state` is the dead rank's own send request; failing it
     // unblocks that rank's thread if it is parked in a wait.
-    finish_peer_lost(fault, report, headline, rec.send_state);
+    finish_peer_lost(shared, fault, report, headline, rec.send_state);
+}
+
+/// Poisons the whole world under [`crate::PeerLostAction::AbortWorld`]:
+/// marks every channel dead, fails every in-flight send, every queued
+/// rendezvous send and every posted receive with
+/// [`VmpiError::WorldDown`], and wakes blocked probes. Rank threads
+/// parked in waits observe the failures and unwind; the embedding
+/// driver catches the unwind and reads
+/// [`crate::World::peer_lost_reports`]. Idempotent: only the first
+/// caller drains.
+fn poison_world(shared: &Arc<WorldShared>, fault: &Arc<FaultState>) {
+    if fault.poisoned.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Kill the channels first (under the lock, after the flag is up, so
+    // no new frame can slip past both the flag and the drain).
+    let send_states: Vec<Arc<RequestState>> = {
+        let mut channels = fault.channels.lock();
+        let mut out = Vec::new();
+        for ch in channels.values_mut() {
+            ch.dead = true;
+            for (_, rec) in ch.inflight.drain() {
+                if let Some(ss) = rec.send_state {
+                    out.push(ss);
+                }
+            }
+            ch.reorder.clear();
+            ch.ready.clear();
+        }
+        out
+    };
+    for ss in send_states {
+        ss.fail(VmpiError::WorldDown);
+    }
+    for mb in &shared.mailboxes {
+        let (recvs, sends) = mb.inner.lock().drain_for_poison();
+        for state in recvs {
+            state.fail(VmpiError::WorldDown);
+        }
+        for ss in sends {
+            ss.fail(VmpiError::WorldDown);
+        }
+        mb.arrived.notify_all();
+    }
 }
 
 /// Shared tail of both peer-lost paths: record-and-fail under
-/// `FailRequests`, or print the structured report and exit under `Exit`.
+/// `FailRequests`, record-and-poison under `AbortWorld`, or print the
+/// structured report and exit under `Exit`.
 fn finish_peer_lost(
+    shared: &Arc<WorldShared>,
     fault: &Arc<FaultState>,
     report: PeerLostReport,
     headline: String,
@@ -692,6 +770,17 @@ fn finish_peer_lost(
             if let Some(ss) = send_state {
                 ss.fail(VmpiError::PeerLost { peer, attempts });
             }
+        }
+        crate::fault::PeerLostAction::AbortWorld => {
+            let (peer, attempts) = (report.peer, report.attempts);
+            // Record the report *before* poisoning: the driver that
+            // catches the rank unwinds reads it to learn who died.
+            fault.reports.lock().push(report);
+            eprintln!("chaos: {headline}");
+            if let Some(ss) = send_state {
+                ss.fail(VmpiError::PeerLost { peer, attempts });
+            }
+            poison_world(shared, fault);
         }
         crate::fault::PeerLostAction::Exit => {
             // Several detectors can give up on the same dead peer around

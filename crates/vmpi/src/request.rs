@@ -172,6 +172,16 @@ impl Request {
         self.state.inner.lock().done
     }
 
+    /// The error of an operation that completed unsuccessfully, without
+    /// blocking or panicking (`None` while in flight or on success).
+    /// Completion callbacks receive only a [`Status`] whose `source` is
+    /// `usize::MAX` on failure; this is how they learn *which* failure,
+    /// e.g. to tell a fatal [`VmpiError::Truncated`] from the
+    /// [`VmpiError::WorldDown`] of an elastic world teardown.
+    pub fn error(&self) -> Option<VmpiError> {
+        self.state.inner.lock().error.clone()
+    }
+
     /// Registers a callback invoked exactly once when the operation
     /// completes. If it already completed, the callback runs immediately
     /// on the calling thread; otherwise it runs on the delivery thread.

@@ -205,8 +205,15 @@ impl Drop for World {
         self.shared.delivery.shutdown();
         // Finalize lint: with the delivery queue drained, anything still
         // unmatched is a leaked request (a send with no receive, or a
-        // receive whose message never came).
-        if depsan::is_enabled() {
+        // receive whose message never came). A world poisoned under
+        // `PeerLostAction::AbortWorld` is exempt — its ranks unwound
+        // mid-protocol by design, so leaks are expected, not bugs.
+        let poisoned = self
+            .shared
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.poisoned.load(std::sync::atomic::Ordering::SeqCst));
+        if depsan::is_enabled() && !poisoned {
             for (rank, mb) in self.shared.mailboxes.iter().enumerate() {
                 mb.inner.lock().san_check_finalize(rank);
             }

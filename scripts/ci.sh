@@ -351,7 +351,7 @@ norep = runs[("taskrt", "spawn_1000_chained_noreplay")]
 assert chained < norep / 2, (
     f"replay not ahead of fresh analysis: {chained:.0f} vs {norep:.0f} ns/iter")
 PY
-python3 scripts/bench_compare.py BENCH_PR6.json "$bench_json" --threshold 1.0 --quiet
+python3 scripts/bench_compare.py BENCH_PR9.json "$bench_json" --threshold 1.0 --quiet
 rm -f "$bench_json"
 
 # --- Causal perf analyzer (PR 7) -------------------------------------------
@@ -403,8 +403,122 @@ PY
 # Report-diff plumbing smoke: the same document compared to itself must
 # come out all-1.00x and exit 0 (exercises bench_compare.py's
 # perf-report path deterministically).
-python3 scripts/bench_compare.py BENCH_PR6.json BENCH_PR6.json \
+python3 scripts/bench_compare.py BENCH_PR9.json BENCH_PR9.json \
     --report-old "$perf_json" --report-new "$perf_json" --quiet >/dev/null
 rm -f "$perf_json" "$perf_trace"
+
+# --- Elastic service mode (PR 9) -------------------------------------------
+# Malleability must be physics-neutral: a run that grows and/or shrinks
+# its rank world mid-flight — by plan (--resize_at) or by failure
+# (--on_peer_lost shrink after a hard crash) — must land on the exact
+# checksum digest of the fixed-rank, fault-free run. The digest folds
+# per-block sums in global block-id order, so ownership moves are
+# invisible by construction; this stage is the end-to-end proof.
+el_mesh=(--npx 2 --npy 2 --npz 1 --nx 6 --ny 6 --nz 6 --num_vars 4
+         --num_tsteps 6 --stages_per_ts 4 --checksum_freq 2
+         --refine_freq 2 --num_refine 2)
+df_fixed=""
+for variant in mpi forkjoin dataflow; do
+  echo "==> elastic digest parity: $variant"
+  fixed_out="$(timeout 60 "$MINIAMR" --variant "$variant" "${el_mesh[@]}" 2>&1)"
+  fixed_digest="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$fixed_out")"
+  if [ -z "$fixed_digest" ]; then
+    echo "elastic: fixed-rank $variant run printed no checksum_digest" >&2
+    echo "$fixed_out" >&2
+    exit 1
+  fi
+  if [ "$variant" = dataflow ]; then df_fixed="$fixed_digest"; fi
+  # Grow 4->8; grow then shrink back 8->4; pure shrink 4->2.
+  for plan in "--resize_at 2:8" \
+              "--resize_at 2:8 --resize_at 4:4" \
+              "--resize_at 3:2"; do
+    # shellcheck disable=SC2086
+    el_out="$(timeout 60 "$MINIAMR" --variant "$variant" "${el_mesh[@]}" $plan 2>&1)"
+    el_digest="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$el_out")"
+    if ! grep -q "elastic plan" <<<"$el_out"; then
+      echo "elastic: $variant '$plan' never armed the resize plan" >&2
+      echo "$el_out" >&2
+      exit 1
+    fi
+    if [ "$el_digest" != "$fixed_digest" ]; then
+      echo "elastic: $variant '$plan' digest '$el_digest' != fixed '$fixed_digest'" >&2
+      echo "$el_out" >&2
+      exit 1
+    fi
+  done
+done
+
+# Shrink-on-failure: rank 3's NIC hard-crashes mid-run (frame 340 is
+# past the initial refinement exchange, so a coordinated boundary
+# snapshot exists). Instead of the exit-88 abort, the survivors rewind
+# to the latest coordinated boundary, the world shrinks onto them, and
+# the run must complete with the fault-free digest. The data-flow
+# variant is the hard case: the failure surfaces on the delivery thread
+# inside a tampi callback and has to unwind through the poisoned task
+# runtime to taskwait.
+echo "==> shrink-on-failure: dataflow (expect shrink + fixed digest)"
+sh_out="$(timeout 60 "$MINIAMR" --variant dataflow "${el_mesh[@]}" \
+    --chaos_seed 7 --chaos_crash_rank 3 --chaos_crash_after 340 \
+    --chaos_retry 4 --chaos_rto_us 2000 --on_peer_lost shrink 2>&1)"
+sh_digest="$(awk '$1 == "checksum_digest" { print $2 }' <<<"$sh_out")"
+if ! grep -q "shrinking 4 -> 3 ranks" <<<"$sh_out"; then
+  echo "shrink-on-failure: the world never shrank" >&2
+  echo "$sh_out" >&2
+  exit 1
+fi
+if [ "$sh_digest" != "$df_fixed" ]; then
+  echo "shrink-on-failure: digest '$sh_digest' != fixed '$df_fixed'" >&2
+  echo "$sh_out" >&2
+  exit 1
+fi
+
+# Checkpoint-mismatch regression: a corrupt restored checkpoint must be
+# a structured failure (miniamr-ckpt-mismatch JSON + exit 88), never a
+# silent "MISMATCH, continuing" resume. MINIAMR_TEST_CORRUPT_CKPT
+# flips one cell after the digest is recorded, so the recovery hook's
+# re-verification must trip.
+echo "==> checkpoint-mismatch regression (expect exit 88 + JSON report)"
+set +e
+mm_out="$(MINIAMR_TEST_CORRUPT_CKPT=1 timeout 60 "$MINIAMR" --variant mpi \
+    "${chaos_mesh[@]}" --chaos_seed 42 --chaos_crash_rank 1 \
+    --chaos_crash_after 10 --chaos_retry 3 --chaos_rto_us 1000 \
+    --ckpt_freq 1 2>&1)"
+mm_rc=$?
+set -e
+if [ "$mm_rc" -ne 88 ]; then
+  echo "ckpt-mismatch regression: expected exit 88, got $mm_rc" >&2
+  echo "$mm_out" >&2
+  exit 1
+fi
+if ! grep -q "miniamr-ckpt-mismatch" <<<"$mm_out"; then
+  echo "ckpt-mismatch regression: exit 88 but no structured JSON report" >&2
+  echo "$mm_out" >&2
+  exit 1
+fi
+
+# Sanitized multi-job soak: 4 complete scenario instances resize
+# concurrently in one process under depsan. Per-job keying of the
+# checkpoint store, boundary registry and trace epochs is what this
+# breaks without; every job's digest must equal the fixed-rank run's.
+echo "==> sanitized 4-job elastic soak: dataflow"
+soak_out="$(timeout 120 "$MINIAMR" --variant dataflow "${el_mesh[@]}" --sanitize \
+    --jobs 4 --resize_at 2:8 --resize_at 4:3 2>&1)"
+soak_digests="$(awk '$1 ~ /^job[0-9]+_checksum_digest$/ { print $2 }' <<<"$soak_out")"
+if [ "$(wc -l <<<"$soak_digests")" -ne 4 ]; then
+  echo "elastic soak: expected 4 per-job digests" >&2
+  echo "$soak_out" >&2
+  exit 1
+fi
+if [ "$(sort -u <<<"$soak_digests" | tr -d '[:space:]')" != "$df_fixed" ]; then
+  echo "elastic soak: per-job digests diverged from fixed '$df_fixed':" >&2
+  echo "$soak_digests" >&2
+  echo "$soak_out" >&2
+  exit 1
+fi
+if ! grep -q "depsan: no violations detected" <<<"$soak_out"; then
+  echo "elastic soak: sanitized run did not report a clean bill" >&2
+  echo "$soak_out" >&2
+  exit 1
+fi
 
 echo "CI OK"
