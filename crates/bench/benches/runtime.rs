@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 use taskrt::{ObjId, Region, Runtime};
-use vmpi::{NetworkModel, ReduceOp, World};
+use vmpi::{CollAlgo, NetworkModel, ReduceOp, World};
 
 fn bench_task_spawn(c: &mut Criterion) {
     let mut g = c.benchmark_group("taskrt");
@@ -107,7 +107,24 @@ fn bench_vmpi(c: &mut Criterion) {
             });
         });
     });
+    // The production collective path: topology-aware two-level trees
+    // (`--coll hier`) over 2 nodes × 4 ranks. Ranks sharing a node
+    // combine through an in-process slot instead of exchanging matched
+    // messages, so only the node leaders touch the message layer.
     g.bench_function("allreduce_8ranks", |bench| {
+        let net = NetworkModel::instant()
+            .with_ranks_per_node(4)
+            .with_coll(CollAlgo::Hier);
+        let world = World::new(8, net);
+        bench.iter(|| {
+            world.run(|comm| {
+                comm.allreduce_scalar(comm.rank() as i64, ReduceOp::Sum)
+                    .unwrap()
+            });
+        });
+    });
+    // Flat binomial reference (the pre-hier shape) for the same world.
+    g.bench_function("allreduce_8ranks_flat", |bench| {
         let world = World::new(8, NetworkModel::instant());
         bench.iter(|| {
             world.run(|comm| {

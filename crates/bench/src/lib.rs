@@ -81,7 +81,9 @@ pub fn mesh_for(
         .unwrap_or_else(|| panic!("no rank grid for {ranks} ranks over {roots:?} blocks"))
 }
 
-/// Builds a workload for an experiment.
+/// Builds a workload for an experiment. Flat collectives, no
+/// coalescing — the historical default every table uses unless it is
+/// explicitly exercising the topology-aware paths.
 #[allow(clippy::too_many_arguments)]
 pub fn build_workload(
     roots: (usize, usize, usize),
@@ -95,6 +97,41 @@ pub fn build_workload(
     stages_per_ts: usize,
     msgs_per_pair_dir: usize,
 ) -> Workload {
+    build_workload_comm(
+        roots,
+        cells,
+        num_vars,
+        num_refine,
+        ranks,
+        ranks_per_node,
+        objects,
+        num_tsteps,
+        stages_per_ts,
+        msgs_per_pair_dir,
+        false,
+        false,
+    )
+}
+
+/// [`build_workload`] with explicit collective/coalescing shape:
+/// `coll_hier` prices checksums and refinement rounds on the two-level
+/// tree, `coalesce` merges each inter-node neighbor group into one flow
+/// above the fabric's eager threshold (`--coll hier --coalesce on`).
+#[allow(clippy::too_many_arguments)]
+pub fn build_workload_comm(
+    roots: (usize, usize, usize),
+    cells: usize,
+    num_vars: usize,
+    num_refine: u8,
+    ranks: usize,
+    ranks_per_node: usize,
+    objects: Vec<Object>,
+    num_tsteps: usize,
+    stages_per_ts: usize,
+    msgs_per_pair_dir: usize,
+    coll_hier: bool,
+    coalesce: bool,
+) -> Workload {
     let mesh = mesh_for(roots, cells, num_vars, num_refine, ranks);
     Workload::generate(&WorkloadParams {
         mesh,
@@ -105,6 +142,9 @@ pub fn build_workload(
         refine_freq: 5,
         msgs_per_pair_dir,
         ranks_per_node,
+        coll_hier,
+        coalesce,
+        eager_bytes: simnet::cost::FabricParams::cluster().eager_threshold,
     })
 }
 
@@ -148,7 +188,9 @@ pub fn compare_variants(
 
     // Fork-join keeps the reference aggregation (one message per
     // neighbor and direction); the data-flow variant uses the paper's
-    // tuned `--max_comm_tasks 8` (§V-B, Table II).
+    // tuned `--max_comm_tasks 8` (§V-B, Table II) plus the runtime's
+    // topology-aware collectives (`--coll hier`). The MPI-only baseline
+    // is the unmodified reference app: flat trees, no coalescing.
     let w_fj = build_workload(
         roots,
         cells,
@@ -162,7 +204,7 @@ pub fn compare_variants(
         0,
     );
     let forkjoin = simnet::simulate(&w_fj, &ExecModel::ForkJoin { workers }, cost);
-    let w_df = build_workload(
+    let w_df = build_workload_comm(
         roots,
         cells,
         num_vars,
@@ -173,6 +215,8 @@ pub fn compare_variants(
         num_tsteps,
         stages_per_ts,
         8,
+        true,
+        false,
     );
     let dataflow = simnet::simulate(&w_df, &ExecModel::dataflow(workers), cost);
 

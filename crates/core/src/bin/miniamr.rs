@@ -51,6 +51,14 @@ fn usage() -> ! {
   --fabric_nic_us F                   per-message NIC injection overhead in µs
   --eager_kb N                        eager/rendezvous protocol threshold
                                       in KiB (default 16)
+  --coll {{flat|hier}}                  collective algorithm: flat binomial
+                                      trees over all ranks, or hierarchical
+                                      intra-node combine + inter-node stage
+                                      (digest-identical; default flat)
+  --coalesce {{on|off}}                 merge an inter-node neighbor's
+                                      per-face messages into one flow per
+                                      direction above the eager threshold
+                                      (default off)
   --replay {{on|off}}                   task-graph trace & replay cache: reuse
                                       dependency edges across identical
                                       timesteps (dataflow; default on)
@@ -134,7 +142,6 @@ fn main() {
     let mut fab = FabricParams::cluster();
     let mut latency_us = fab.latency * 1e6;
     let mut bandwidth_gbps = fab.bandwidth / 1e9;
-    let mut ranks_per_node = 0usize;
     let mut fabric_on = true;
     let mut trace = false;
     let mut trace_json: Option<String> = None;
@@ -172,7 +179,6 @@ fn main() {
         match args[i].as_str() {
             "--latency_us" => latency_us = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--bandwidth_gbps" => bandwidth_gbps = next(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--ranks_per_node" => ranks_per_node = parse(next(&mut i)),
             "--fabric" => {
                 fabric_on = match next(&mut i).as_str() {
                     "on" => true,
@@ -187,7 +193,6 @@ fn main() {
                 fab.nic_msg_overhead =
                     next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) * 1e-6
             }
-            "--eager_kb" => fab.eager_threshold = parse(next(&mut i)) * 1024,
             "--trace" => trace = true,
             "--trace-json" => trace_json = Some(next(&mut i)),
             "--metrics" => metrics = true,
@@ -293,8 +298,12 @@ fn main() {
 
     fab.latency = latency_us * 1e-6;
     fab.bandwidth = bandwidth_gbps * 1e9;
-    fab.ranks_per_node = ranks_per_node;
-    if ranks_per_node == 0 {
+    // Topology and eager threshold parse as *scenario* flags (they shape
+    // the coalesced message structure, so dfcheck must see them too); the
+    // fabric mirrors the config so both layers describe one machine.
+    fab.ranks_per_node = cfg.ranks_per_node;
+    fab.eager_threshold = cfg.eager_bytes;
+    if cfg.ranks_per_node == 0 {
         // No node grouping: every rank is its own node, so there is no
         // shared-memory path to discount.
         fab.intra_node_factor = 1.0;
@@ -305,7 +314,7 @@ fn main() {
         eprintln!("invalid network parameters: {e}");
         std::process::exit(2);
     }
-    let net = NetworkModel::from_fabric(&fab);
+    let net = NetworkModel::from_fabric(&fab).with_coll(cfg.coll);
     let net = if fabric_on {
         net.with_fabric(fab.clone())
     } else {
@@ -319,7 +328,7 @@ fn main() {
     );
     eprintln!(
         "miniamr: fabric={} latency={:.2}us bandwidth={:.1}GB/s eager={}KiB \
-         rtt={:.2}us nic={:.2}us ranks/node={}",
+         rtt={:.2}us nic={:.2}us ranks/node={} coll={} coalesce={}",
         if fabric_on { "on" } else { "off" },
         fab.latency * 1e6,
         fab.bandwidth / 1e9,
@@ -327,6 +336,12 @@ fn main() {
         fab.rendezvous_rtt * 1e6,
         fab.nic_msg_overhead * 1e6,
         fab.ranks_per_node,
+        if cfg.coll == vmpi::CollAlgo::Hier {
+            "hier"
+        } else {
+            "flat"
+        },
+        if cfg.coalesce { "on" } else { "off" },
     );
     if let Some(c) = &cfg.chaos {
         eprintln!(

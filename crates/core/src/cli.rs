@@ -50,6 +50,17 @@ pub struct ScenarioArgs {
     pub stencil: amr_mesh::stencil::StencilKind,
     /// Checkpoint period in stages.
     pub ckpt_freq: usize,
+    /// Collective algorithm family (`--coll flat|hier`).
+    pub coll: vmpi::CollAlgo,
+    /// Coalesce inter-node per-face messages (`--coalesce on|off`).
+    pub coalesce: bool,
+    /// Consecutive ranks grouped into one node (0 = every rank its own
+    /// node). A scenario flag — not just a network knob — because the
+    /// coalescer shapes the message structure from it.
+    pub ranks_per_node: usize,
+    /// Eager-protocol threshold in KiB (scenario-visible for the same
+    /// reason: the coalescer compares aggregates against it).
+    pub eager_kb: usize,
     /// Reproduce the seed's buggy group-relative buffer offsets.
     pub legacy_group_offsets: bool,
 }
@@ -88,6 +99,10 @@ impl Default for ScenarioArgs {
             replay: true,
             stencil: amr_mesh::stencil::StencilKind::SevenPoint,
             ckpt_freq: 0,
+            coll: vmpi::CollAlgo::Flat,
+            coalesce: false,
+            ranks_per_node: 0,
+            eager_kb: vmpi::FabricParams::cluster().eager_threshold / 1024,
             legacy_group_offsets: false,
         }
     }
@@ -170,6 +185,22 @@ impl ScenarioArgs {
                 }
             }
             "--ckpt_freq" => self.ckpt_freq = num(args, i, f)?,
+            "--coll" => {
+                self.coll = match val(args, i, f)?.as_str() {
+                    "flat" => vmpi::CollAlgo::Flat,
+                    "hier" => vmpi::CollAlgo::Hier,
+                    v => return Err(format!("--coll: expected flat|hier, got {v}")),
+                }
+            }
+            "--coalesce" => {
+                self.coalesce = match val(args, i, f)?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    v => return Err(format!("--coalesce: expected on|off, got {v}")),
+                }
+            }
+            "--ranks_per_node" => self.ranks_per_node = num(args, i, f)?,
+            "--eager_kb" => self.eager_kb = num(args, i, f)?,
             "--legacy_group_offsets" => self.legacy_group_offsets = true,
             _ => return Ok(false),
         }
@@ -199,6 +230,10 @@ impl ScenarioArgs {
         cfg.replay = self.replay;
         cfg.stencil = self.stencil;
         cfg.ckpt_freq = self.ckpt_freq;
+        cfg.coll = self.coll;
+        cfg.coalesce = self.coalesce;
+        cfg.ranks_per_node = self.ranks_per_node;
+        cfg.eager_bytes = self.eager_kb.saturating_mul(1024);
         cfg.legacy_group_offsets = self.legacy_group_offsets;
         cfg.params
             .validate()
@@ -253,6 +288,35 @@ mod tests {
         assert!(sc.consume(&strs(&["--nx"]), &mut i).is_err());
         let mut i = 0;
         assert!(sc.consume(&strs(&["--nx", "abc"]), &mut i).is_err());
+    }
+
+    #[test]
+    fn coll_and_coalesce_flags_reach_the_config() {
+        let args = strs(&[
+            "--coll",
+            "hier",
+            "--coalesce",
+            "on",
+            "--ranks_per_node",
+            "4",
+            "--eager_kb",
+            "32",
+        ]);
+        let mut sc = ScenarioArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            assert!(sc.consume(&args, &mut i).expect("valid flags"));
+            i += 1;
+        }
+        let cfg = sc.config().expect("valid config");
+        assert_eq!(cfg.coll, vmpi::CollAlgo::Hier);
+        assert!(cfg.coalesce);
+        assert_eq!(cfg.ranks_per_node, 4);
+        assert_eq!(cfg.eager_bytes, 32 * 1024);
+        let mut i = 0;
+        assert!(sc.consume(&strs(&["--coll", "wat"]), &mut i).is_err());
+        let mut i = 0;
+        assert!(sc.consume(&strs(&["--coalesce", "2"]), &mut i).is_err());
     }
 
     #[test]

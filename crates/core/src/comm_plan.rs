@@ -194,7 +194,20 @@ impl CommPlan {
         for ((src, dst, d), transfers) in groups {
             let dir = Dir::ALL[d];
             let n = transfers.len();
-            let n_msgs = if !cfg.send_faces {
+            // Coalescing (`--coalesce on`): merge an *inter-node* rank
+            // pair's per-face messages back into one flow per direction
+            // once the aggregate payload is past the eager threshold —
+            // one rendezvous handshake and one NIC injection instead of
+            // one per face. Intra-node pairs keep the `--send_faces` /
+            // `--max_comm_tasks` granularity: they bypass the NIC, so
+            // fine splitting still buys task parallelism for free. The
+            // byte estimate uses the full variable count (groups with
+            // `--comm_vars` only shrink it), biasing toward merging.
+            let group_elems: usize = transfers.iter().map(|t| t.elems_per_var).sum();
+            let group_bytes = group_elems * cfg.params.num_vars * std::mem::size_of::<f64>();
+            let coalesced =
+                cfg.coalesce && !cfg.same_node(src, dst) && group_bytes > cfg.eager_bytes;
+            let n_msgs = if coalesced || !cfg.send_faces {
                 1
             } else if cfg.max_comm_tasks == 0 {
                 n
@@ -359,6 +372,63 @@ mod tests {
                 assert_eq!(total, plan.send_elems[rank][d]);
             }
         }
+    }
+
+    /// With `--coalesce on`, an inter-node pair's `--send_faces` messages
+    /// collapse back into the aggregated per-(neighbor, direction) form —
+    /// the same transfer order and payload layout as the default plan.
+    #[test]
+    fn coalesce_merges_inter_node_send_faces() {
+        let mut cfg = two_rank_cfg();
+        cfg.send_faces = true;
+        cfg.coalesce = true;
+        cfg.ranks_per_node = 1; // the two ranks are on different nodes
+        cfg.eager_bytes = 0; // every aggregate is past the threshold
+        let (_, plan) = build(&cfg);
+
+        let mut agg = two_rank_cfg();
+        agg.send_faces = false;
+        let (_, reference) = build(&agg);
+
+        assert_eq!(plan.msgs.len(), reference.msgs.len());
+        for (a, b) in plan.msgs.iter().zip(reference.msgs.iter()) {
+            assert_eq!(
+                (a.src_rank, a.dst_rank, a.dir, a.tag),
+                (b.src_rank, b.dst_rank, b.dir, b.tag)
+            );
+            assert_eq!(a.elems_per_var, b.elems_per_var);
+            assert_eq!(a.transfers.len(), b.transfers.len());
+            for (ta, tb) in a.transfers.iter().zip(b.transfers.iter()) {
+                assert_eq!(ta.src_block, tb.src_block);
+                assert_eq!(ta.offset_in_msg, tb.offset_in_msg);
+            }
+        }
+    }
+
+    /// Aggregates at or below the eager threshold are left at the
+    /// configured granularity — merging them saves no handshake.
+    #[test]
+    fn coalesce_respects_eager_threshold() {
+        let mut cfg = two_rank_cfg();
+        cfg.send_faces = true;
+        cfg.coalesce = true;
+        cfg.ranks_per_node = 1;
+        cfg.eager_bytes = usize::MAX;
+        let (_, plan) = build(&cfg);
+        assert_eq!(plan.msgs.len(), 8, "sub-eager groups stay per-face");
+    }
+
+    /// Rank pairs sharing a node never coalesce: their transfers bypass
+    /// the NIC, so per-face granularity keeps its task-parallelism win.
+    #[test]
+    fn coalesce_keeps_intra_node_granularity() {
+        let mut cfg = two_rank_cfg();
+        cfg.send_faces = true;
+        cfg.coalesce = true;
+        cfg.ranks_per_node = 2; // both ranks on node 0
+        cfg.eager_bytes = 0;
+        let (_, plan) = build(&cfg);
+        assert_eq!(plan.msgs.len(), 8, "intra-node pairs keep send_faces");
     }
 
     #[test]

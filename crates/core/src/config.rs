@@ -136,6 +136,26 @@ pub struct Config {
     /// implicit job 0). Keys the checkpoint store, the recovery hook and
     /// the replay-trace epoch; see [`JobCtx`].
     pub job: Option<Arc<JobCtx>>,
+    /// Collective algorithm family (`--coll flat|hier`): `Hier` combines
+    /// inside each node through shared-memory slots before the inter-node
+    /// stage. Forwarded to [`vmpi::NetworkModel::with_coll`]; digest
+    /// parity with `Flat` is pinned by tests and CI.
+    pub coll: vmpi::CollAlgo,
+    /// Merge the per-face messages of an inter-node rank pair back into
+    /// one flow per direction when their aggregate payload is past the
+    /// eager threshold (`--coalesce on|off`). Intra-node pairs keep the
+    /// configured `--send_faces`/`--max_comm_tasks` granularity: their
+    /// transfers bypass the NIC, so splitting them still buys task
+    /// parallelism without paying per-message injection overhead.
+    pub coalesce: bool,
+    /// Consecutive ranks grouped into one node (0 = every rank its own
+    /// node). Mirrors [`vmpi::FabricParams::ranks_per_node`]; the miniamr
+    /// driver keeps the two in sync.
+    pub ranks_per_node: usize,
+    /// Eager-protocol threshold in bytes used by the coalescer to decide
+    /// which aggregates are worth merging (mirrors
+    /// [`vmpi::FabricParams::eager_threshold`]).
+    pub eager_bytes: usize,
     /// Reproduce the seed's group-size-relative communication-buffer
     /// offsets in the data-flow variant (`--legacy_group_offsets`).
     ///
@@ -180,6 +200,12 @@ impl Config {
             ckpt_freq: 0,
             chaos: None,
             job: None,
+            coll: vmpi::CollAlgo::Flat,
+            coalesce: false,
+            // Topology defaults match FabricParams::cluster(); the
+            // miniamr driver overwrites both from the actual fabric.
+            ranks_per_node: vmpi::FabricParams::cluster().ranks_per_node,
+            eager_bytes: vmpi::FabricParams::cluster().eager_threshold,
             legacy_group_offsets: false,
         }
     }
@@ -251,6 +277,19 @@ impl Config {
     pub fn num_groups(&self) -> usize {
         let per = self.comm_vars.min(self.params.num_vars).max(1);
         self.params.num_vars.div_ceil(per)
+    }
+
+    /// Node index of a rank under the configured grouping (0 ranks per
+    /// node = every rank its own node, as in [`vmpi::FabricParams`]).
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank.checked_div(self.ranks_per_node).unwrap_or(rank)
+    }
+
+    /// Whether two ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.ranks_per_node > 0 && self.node_of(a) == self.node_of(b)
     }
 
     /// The id of the job this run belongs to (0 unless set).

@@ -156,13 +156,23 @@ pub fn exchange_blocks(
             "block exchange did not converge (capacity livelock?)"
         );
 
-        // Phase A: receivers decide capacity and send ACKs.
+        // Phase A: receivers decide capacity and send ACKs. Blocks this
+        // rank is *sending away* this same round count as free capacity:
+        // without that credit, two exactly-full ranks swapping blocks
+        // NACK each other forever (each waits for the other to make
+        // room) and the round assert above fires. The credit can
+        // transiently overshoot — an outgoing move a peer NACKs doesn't
+        // actually leave — but the overshoot is bounded by the rank's
+        // outgoing moves and drains as the swap completes, which is what
+        // guarantees progress.
+        let outgoing = remaining.iter().filter(|m| m.from == state.rank).count();
         let mut decisions: Vec<Option<bool>> = vec![None; remaining.len()];
         let mut ack_sends = Vec::new();
         let mut accepted = 0usize;
         for (i, m) in remaining.iter().enumerate() {
             if m.to == state.rank {
-                let ok = state.blocks.len() + accepted < state.cfg.max_blocks;
+                let ok =
+                    state.blocks.len() + accepted < state.cfg.max_blocks.saturating_add(outgoing);
                 if ok {
                     accepted += 1;
                 }

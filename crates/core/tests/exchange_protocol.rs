@@ -139,6 +139,60 @@ fn tight_capacity_swap_converges_over_rounds() {
     });
 }
 
+/// Regression: two *exactly full* ranks swapping blocks must converge.
+/// With zero headroom (`max_blocks == blocks.len()`) the old phase-A
+/// check `blocks.len() + accepted < max_blocks` ignored blocks leaving
+/// the rank the same round, so both sides NACKed each other forever and
+/// the 1000-round assert killed the run. Crediting this round's outgoing
+/// moves lets the swap complete in one round.
+#[test]
+fn exactly_full_ranks_swap_converges() {
+    let cfg = two_rank_cfg();
+    let world = World::new(2, NetworkModel::instant());
+    world.run(|comm| {
+        let comm = Arc::new(comm);
+        let mut state = RankState::init(&cfg, comm.rank(), 2);
+        let own0 = state.dir.blocks_of(0);
+        let own1 = state.dir.blocks_of(1);
+        let n = own0.len().min(own1.len()).min(3);
+        assert!(n > 0, "fixture must give both ranks blocks");
+        let mut moves: Vec<Move> = own0
+            .into_iter()
+            .take(n)
+            .enumerate()
+            .map(|(seq, block)| Move {
+                block,
+                from: 0,
+                to: 1,
+                seq,
+            })
+            .collect();
+        moves.extend(own1.into_iter().take(n).enumerate().map(|(i, block)| Move {
+            block,
+            from: 1,
+            to: 0,
+            seq: n + i,
+        }));
+        // No headroom at all: capacity exists only because outgoing
+        // blocks are credited.
+        state.cfg.max_blocks = state.blocks.len();
+        let mut mover = BlockingMover::default();
+        let touched = exchange_blocks(&mut state, &comm, &moves, &mut mover);
+        assert_eq!(
+            touched,
+            2 * n as u64,
+            "rank {} exchanged {touched}/{}",
+            comm.rank(),
+            2 * n
+        );
+        for m in &moves {
+            state.dir.set_owner(m.block, m.to);
+        }
+        assert_eq!(state.blocks.len(), state.dir.blocks_of(comm.rank()).len());
+        assert!(state.blocks.len() <= state.cfg.max_blocks);
+    });
+}
+
 /// Merge gathering targets the first child's owner; balance moves follow
 /// the SFC partition exactly.
 #[test]

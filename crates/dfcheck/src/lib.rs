@@ -358,17 +358,54 @@ mod tests {
         r0.submit(task(
             "send",
             vec![Access::read(Region::new(o, 0..4))],
-            Some(CommIntent::send(1, i32::MAX, 4)),
+            Some(CommIntent::send(1, -7, 4)),
         ));
         let mut r1 = Recorder::new();
         r1.submit(task(
             "recv",
             vec![Access::write(Region::new(o, 0..4))],
-            Some(CommIntent::recv(0, i32::MAX, 4)),
+            Some(CommIntent::recv(0, -7, 4)),
         ));
         ingest(&mut m, 0, r0);
         ingest(&mut m, 1, r1);
         let report = check(&m);
         assert!(report.errors.iter().any(|f| f.code == "tag-out-of-range"));
+    }
+
+    #[test]
+    fn collective_space_tag_flagged_distinctly() {
+        // A tag at/above COLL_TAG_BASE is not just invalid — it could
+        // pair with the runtime's internal collective rounds, so the
+        // verifier names the reserved range explicitly.
+        let o = ObjId::fresh();
+        let mut m = Model::default();
+        let mut r0 = Recorder::new();
+        r0.submit(task(
+            "send",
+            vec![Access::read(Region::new(o, 0..4))],
+            Some(CommIntent::send(1, vmpi::COLL_TAG_BASE, 4)),
+        ));
+        let mut r1 = Recorder::new();
+        r1.submit(task(
+            "recv",
+            vec![Access::write(Region::new(o, 0..4))],
+            Some(CommIntent::recv(0, vmpi::COLL_TAG_BASE, 4)),
+        ));
+        ingest(&mut m, 0, r0);
+        ingest(&mut m, 1, r1);
+        let report = check(&m);
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|f| f.code == "tag-in-collective-space"
+                    && f.message.contains(&vmpi::COLL_TAG_BASE.to_string())),
+            "{}",
+            report.render_human()
+        );
+        assert!(
+            !report.errors.iter().any(|f| f.code == "tag-out-of-range"),
+            "collective-space tags must not double-report as plain out-of-range"
+        );
     }
 }

@@ -15,7 +15,24 @@ use taskrt::AccessMode;
 /// payload sizes for the k-th matched pair.
 pub fn check_matching(model: &Model, graph: &Graph, report: &mut Report) {
     for ((src, dst, tag), (sends, recvs)) in endpoint_groups(model) {
-        if !vmpi::valid_user_tag(tag) {
+        if vmpi::in_collective_tag_space(tag) {
+            // Distinct from a merely out-of-range tag: this one *would*
+            // match — against the runtime's own collective traffic,
+            // which runs above `COLL_TAG_BASE` on derived channels.
+            report.push_error(Finding {
+                code: "tag-in-collective-space",
+                message: format!(
+                    "tag {} from rank {} to rank {} lies in the reserved collective tag space [{}, {}] — user traffic there could pair with internal reduce/bcast/barrier rounds",
+                    tag,
+                    src,
+                    dst,
+                    vmpi::COLL_TAG_BASE,
+                    i32::MAX
+                ),
+                sites: first_sites(model, &sends, &recvs),
+                chain: vec![],
+            });
+        } else if !vmpi::valid_user_tag(tag) {
             report.push_error(Finding {
                 code: "tag-out-of-range",
                 message: format!(

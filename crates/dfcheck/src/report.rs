@@ -72,6 +72,7 @@ impl Site {
 pub struct Finding {
     /// Stable machine-readable code (`tag-collision`, `deadlock-cycle`,
     /// `size-mismatch`, `unmatched-endpoint`, `tag-out-of-range`,
+    /// `tag-in-collective-space`,
     /// `undeclared-access`, `dead-region`, `self-conflict`,
     /// `buffer-slot-overlap`, ...).
     pub code: &'static str,

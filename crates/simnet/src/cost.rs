@@ -93,9 +93,30 @@ impl CostModel {
     }
 
     /// Cost of one `log2(ranks)`-depth collective (reduce, bcast,
-    /// barrier).
+    /// barrier) over a flat binomial tree.
     pub fn collective(&self, ranks: usize) -> f64 {
         self.fabric.latency * (ranks.max(2) as f64).log2()
+    }
+
+    /// Cost of one hierarchical two-level collective (`--coll hier`):
+    /// an intra-node combine over `ranks_per_node` ranks priced at the
+    /// shared-memory discount, then an inter-node binomial stage over
+    /// the node leaders only. Falls back to the flat tree when the
+    /// grouping is degenerate (0 or 1 rank per node).
+    pub fn collective_hier(&self, ranks: usize, ranks_per_node: usize) -> f64 {
+        if ranks_per_node <= 1 || ranks <= 1 {
+            return self.collective(ranks);
+        }
+        let nodes = ranks.div_ceil(ranks_per_node);
+        let rpn = ranks_per_node.min(ranks);
+        let intra =
+            self.fabric.latency * self.fabric.intra_node_factor * (rpn.max(2) as f64).log2();
+        let inter = if nodes > 1 {
+            self.fabric.latency * (nodes.max(2) as f64).log2()
+        } else {
+            0.0
+        };
+        intra + inter
     }
 
     /// Fork-join barrier cost for a worker team.
@@ -143,6 +164,21 @@ mod tests {
         let t4096 = c.collective(4096);
         assert!(t4096 > t2);
         assert!((t4096 / t2 - 12.0).abs() < 0.01, "log2(4096)=12");
+    }
+
+    #[test]
+    fn hier_collective_beats_flat_when_grouped() {
+        let c = CostModel::default();
+        // 256 ranks at 4/node: flat pays log2(256) = 8 latencies; hier
+        // pays a discounted log2(4) intra stage plus log2(64) = 6
+        // inter-node hops.
+        assert!(c.collective_hier(256, 4) < c.collective(256));
+        // Degenerate groupings fall back to the flat tree exactly.
+        assert_eq!(c.collective_hier(256, 0), c.collective(256));
+        assert_eq!(c.collective_hier(256, 1), c.collective(256));
+        assert_eq!(c.collective_hier(1, 4), c.collective(1));
+        // Single node: only the discounted intra stage remains.
+        assert!(c.collective_hier(4, 4) < c.collective(4));
     }
 
     #[test]

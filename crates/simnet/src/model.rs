@@ -81,6 +81,17 @@ impl SimResult {
 
 const BYTES: f64 = 8.0;
 
+/// Cost of one collective under the workload's selected algorithm:
+/// hierarchical two-level when `--coll hier` was extracted into the
+/// workload, the flat binomial tree otherwise.
+fn coll_time(w: &Workload, c: &CostModel) -> f64 {
+    if w.coll_hier {
+        c.collective_hier(w.n_ranks, w.ranks_per_node)
+    } else {
+        c.collective(w.n_ranks)
+    }
+}
+
 struct StageCosts {
     /// Per-rank pack+unpack+copy+stencil compute seconds.
     work: Vec<f64>,
@@ -233,13 +244,13 @@ fn checksum_cost(w: &Workload, s: &StageStat, c: &CostModel, workers: f64) -> f6
         .map(|b| b * cells * nv * c.checksum_per_cell_var / workers)
         .fold(0.0, f64::max);
     // Gather + broadcast.
-    local + 2.0 * c.collective(w.n_ranks)
+    local + 2.0 * coll_time(w, c)
 }
 
 fn refine_cost(w: &Workload, r: &RefineStat, c: &CostModel, model: &ExecModel) -> f64 {
     let nv = w.num_vars as f64;
     let n = w.n_ranks;
-    let coll = c.collective(n) * c.collective_rounds_refine * (r.plan_rounds.max(1) as f64);
+    let coll = coll_time(w, c) * c.collective_rounds_refine * (r.plan_rounds.max(1) as f64);
     // Control code: the refinement decision scans the replicated
     // directory — every rank walks the *whole* active block list (the
     // serial, hard-to-parallelize part the paper measures at ~75% of the
@@ -399,7 +410,7 @@ fn interval_time(
             }
             out.total += t_interval;
             // Delayed checksum: only the global reduction is exposed.
-            let chk = 2.0 * c.collective(w.n_ranks);
+            let chk = 2.0 * coll_time(w, c);
             out.total += iv.checksums as f64 * chk;
             out.checksum += iv.checksums as f64 * chk;
         }
@@ -455,7 +466,31 @@ mod tests {
             refine_freq: 5,
             msgs_per_pair_dir: 0,
             ranks_per_node,
+            coll_hier: false,
+            coalesce: false,
+            eager_bytes: 16 * 1024,
         })
+    }
+
+    #[test]
+    fn hier_collectives_speed_up_grouped_runs() {
+        let mut w = workload(4);
+        let c = CostModel::default();
+        let flat = simulate(&w, &ExecModel::dataflow(4), &c);
+        w.coll_hier = true;
+        let hier = simulate(&w, &ExecModel::dataflow(4), &c);
+        assert!(
+            hier.total < flat.total,
+            "hier collectives must not slow the model: {} vs {}",
+            hier.total,
+            flat.total
+        );
+        // With one rank per node the two algorithms price identically.
+        let mut solo = workload(0);
+        let base = simulate(&solo, &ExecModel::MpiOnly, &c);
+        solo.coll_hier = true;
+        let same = simulate(&solo, &ExecModel::MpiOnly, &c);
+        assert_eq!(base.total, same.total);
     }
 
     #[test]

@@ -36,6 +36,17 @@ pub struct WorkloadParams {
     pub msgs_per_pair_dir: usize,
     /// Ranks per node (for the intra-node message discount).
     pub ranks_per_node: usize,
+    /// Hierarchical two-level collectives (`--coll hier`): intra-node
+    /// combine at the shared-memory discount, then an inter-node stage
+    /// over node leaders.
+    pub coll_hier: bool,
+    /// Merge an inter-node `(src, dst, direction)` group into one
+    /// message when its aggregate payload is past the eager threshold
+    /// (`--coalesce on`) — mirrors the application's plan-level
+    /// coalescer. Intra-node groups keep `msgs_per_pair_dir`.
+    pub coalesce: bool,
+    /// Eager-protocol threshold in bytes for the coalescing decision.
+    pub eager_bytes: usize,
 }
 
 /// Per-rank statistics of one (repeated) stage.
@@ -104,6 +115,8 @@ pub struct Workload {
     pub n_ranks: usize,
     /// Ranks per node.
     pub ranks_per_node: usize,
+    /// Hierarchical collectives selected for this workload.
+    pub coll_hier: bool,
     /// Variables per cell.
     pub num_vars: usize,
     /// Cells per block.
@@ -181,6 +194,7 @@ impl Workload {
         Workload {
             n_ranks: n,
             ranks_per_node: p.ranks_per_node,
+            coll_hier: p.coll_hier,
             num_vars: p.mesh.num_vars,
             cells_per_block: p.mesh.cells_per_block(),
             intervals,
@@ -258,9 +272,21 @@ fn compute_stage(dir: &MeshDirectory, p: &WorkloadParams, layout: &BlockLayout) 
     let rpn = p.ranks_per_node.max(1);
     let mut node_pairs: std::collections::BTreeMap<(usize, usize), (f64, f64)> = Default::default();
     for ((src, dst, _d), (faces, elems)) in pairs {
-        let msgs = match p.msgs_per_pair_dir {
-            0 => 1.0,
-            k => (k as f64).min(faces),
+        // Coalescing mirrors the application's plan-level merge: an
+        // inter-node group whose aggregate payload is past the eager
+        // threshold collapses to one message, whatever the configured
+        // granularity.
+        let group_bytes = elems * p.mesh.num_vars as f64 * 8.0;
+        let merged = p.coalesce
+            && !same_node(src, dst, p.ranks_per_node)
+            && group_bytes > p.eager_bytes as f64;
+        let msgs = if merged {
+            1.0
+        } else {
+            match p.msgs_per_pair_dir {
+                0 => 1.0,
+                k => (k as f64).min(faces),
+            }
         };
         s.out_msgs[src] += msgs;
         if same_node(src, dst, p.ranks_per_node) {
@@ -429,6 +455,9 @@ mod tests {
             refine_freq: 2,
             msgs_per_pair_dir: 0,
             ranks_per_node,
+            coll_hier: false,
+            coalesce: false,
+            eager_bytes: 16 * 1024,
         }
     }
 
@@ -499,6 +528,51 @@ mod tests {
                 .sum()
         };
         assert!(msgs(&wk) > msgs(&w1));
+    }
+
+    #[test]
+    fn coalescing_collapses_inter_node_groups() {
+        // Per-face granularity, then the coalescer merges every
+        // above-threshold inter-node group back to one message.
+        let mut split = params(2);
+        split.msgs_per_pair_dir = usize::MAX;
+        let mut merged = split.clone();
+        merged.coalesce = true;
+        merged.eager_bytes = 0;
+        let ws = Workload::generate(&split);
+        let wm = Workload::generate(&merged);
+        let inter_msgs = |w: &Workload| -> f64 {
+            w.intervals
+                .iter()
+                .map(|i| i.stage.in_msgs_inter.iter().sum::<f64>())
+                .sum()
+        };
+        let intra_msgs = |w: &Workload| -> f64 {
+            w.intervals
+                .iter()
+                .map(|i| i.stage.in_msgs_intra.iter().sum::<f64>())
+                .sum()
+        };
+        let elems = |w: &Workload| -> f64 {
+            w.intervals
+                .iter()
+                .map(|i| i.stage.in_elems_inter.iter().sum::<f64>())
+                .sum()
+        };
+        assert!(
+            inter_msgs(&wm) < inter_msgs(&ws),
+            "coalescing must cut inter-node message counts"
+        );
+        assert_eq!(
+            intra_msgs(&wm),
+            intra_msgs(&ws),
+            "intra-node granularity is untouched"
+        );
+        assert_eq!(elems(&wm), elems(&ws), "payload volume is unchanged");
+        // A sky-high threshold disables the merge entirely.
+        let mut off = merged;
+        off.eager_bytes = usize::MAX;
+        assert_eq!(inter_msgs(&Workload::generate(&off)), inter_msgs(&ws));
     }
 
     #[test]

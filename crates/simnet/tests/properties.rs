@@ -43,6 +43,9 @@ fn workload(mesh: MeshParams, objects: Vec<Object>, msgs: usize) -> Workload {
         refine_freq: 3,
         msgs_per_pair_dir: msgs,
         ranks_per_node: 4,
+        coll_hier: false,
+        coalesce: false,
+        eager_bytes: 16 * 1024,
     })
 }
 

@@ -1,0 +1,163 @@
+//! Intra-node combine slots for hierarchical collectives.
+//!
+//! Ranks grouped onto the same simulated node live in the same OS
+//! process, so the intra-node stage of a hierarchical collective does not
+//! need the mailbox machinery at all: members *deposit* their
+//! contribution into a shared slot, the node leader *collects* the
+//! deposits, runs the inter-node stage, and *publishes* the result the
+//! members then *take*. This mirrors how real MPI implementations run
+//! node-local collective stages over shared memory, and on this
+//! single-process substrate it removes per-hop request allocation and
+//! most of the context switches a mailbox round-trip costs.
+//!
+//! A slot is keyed by `(channel, seq, node)`: the per-collective derived
+//! channel id plus the communicator-local collective sequence number make
+//! every invocation's slots unique, so a rank racing ahead into the next
+//! collective can never touch a slow peer's slot. Entries are created on
+//! first touch and removed by the last member to take the published
+//! result (or by the leader when the group has no members), keeping the
+//! registry empty between collectives.
+
+use crate::error::{Result, VmpiError};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Key of one node-local slot of one collective invocation.
+pub(crate) type SlotKey = (u64, u64, usize);
+
+#[derive(Default)]
+struct Slot {
+    /// Contributions deposited by non-leader members, by communicator
+    /// rank (ordered, so the leader folds in ascending rank order).
+    deposits: BTreeMap<usize, Vec<u8>>,
+    /// The leader's published result (or error), once available.
+    result: Option<std::result::Result<Arc<Vec<u8>>, VmpiError>>,
+    /// How many members have taken the result so far.
+    taken: usize,
+}
+
+/// Registry of in-flight intra-node combine slots (one per world).
+#[derive(Default)]
+pub(crate) struct CollSlots {
+    inner: Mutex<HashMap<SlotKey, Slot>>,
+    changed: Condvar,
+}
+
+impl CollSlots {
+    /// Deposits a member contribution into the slot. Never blocks.
+    pub fn deposit(&self, key: SlotKey, member_rank: usize, bytes: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        let slot = inner.entry(key).or_default();
+        let prev = slot.deposits.insert(member_rank, bytes);
+        debug_assert!(prev.is_none(), "double deposit by rank {member_rank}");
+        self.changed.notify_all();
+    }
+
+    /// Leader side: waits until all `expected` member deposits are in and
+    /// returns them in ascending communicator-rank order.
+    pub fn collect(&self, key: SlotKey, expected: usize) -> Vec<(usize, Vec<u8>)> {
+        let mut inner = self.inner.lock();
+        loop {
+            if inner
+                .get(&key)
+                .is_some_and(|s| s.deposits.len() >= expected)
+            {
+                let slot = inner.get_mut(&key).expect("slot checked above");
+                debug_assert_eq!(slot.deposits.len(), expected, "more deposits than members");
+                return std::mem::take(&mut slot.deposits).into_iter().collect();
+            }
+            if expected == 0 {
+                return Vec::new();
+            }
+            self.changed.wait(&mut inner);
+        }
+    }
+
+    /// Leader side: publishes the collective's result (or the error that
+    /// aborted it) for `takers` members to pick up. With zero takers the
+    /// slot is removed immediately.
+    pub fn publish(
+        &self,
+        key: SlotKey,
+        takers: usize,
+        result: std::result::Result<Vec<u8>, VmpiError>,
+    ) {
+        let mut inner = self.inner.lock();
+        if takers == 0 {
+            inner.remove(&key);
+            return;
+        }
+        let slot = inner.entry(key).or_default();
+        slot.result = Some(result.map(Arc::new));
+        self.changed.notify_all();
+    }
+
+    /// Member side: waits for the published result. The last of `takers`
+    /// members removes the slot.
+    pub fn take(&self, key: SlotKey, takers: usize) -> Result<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(result) = inner.get(&key).and_then(|s| s.result.clone()) {
+                let slot = inner.get_mut(&key).expect("slot checked above");
+                slot.taken += 1;
+                if slot.taken >= takers {
+                    inner.remove(&key);
+                }
+                return result;
+            }
+            self.changed.wait(&mut inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_collect_publish_take_roundtrip() {
+        let slots = Arc::new(CollSlots::default());
+        let key = (7, 3, 0);
+        let s2 = Arc::clone(&slots);
+        let member = std::thread::spawn(move || {
+            s2.deposit(key, 1, vec![1, 2]);
+            s2.take(key, 1).unwrap()
+        });
+        let deposits = slots.collect(key, 1);
+        assert_eq!(deposits, vec![(1, vec![1, 2])]);
+        slots.publish(key, 1, Ok(vec![9]));
+        assert_eq!(*member.join().unwrap(), vec![9]);
+        // Last taker removed the slot.
+        assert!(slots.inner.lock().is_empty());
+    }
+
+    #[test]
+    fn errors_propagate_to_members() {
+        let slots = CollSlots::default();
+        let key = (1, 1, 1);
+        slots.publish(
+            key,
+            1,
+            Err(VmpiError::Truncated {
+                expected: 4,
+                got: 2,
+            }),
+        );
+        assert_eq!(
+            slots.take(key, 1),
+            Err(VmpiError::Truncated {
+                expected: 4,
+                got: 2
+            })
+        );
+        assert!(slots.inner.lock().is_empty());
+    }
+
+    #[test]
+    fn zero_takers_removes_slot_immediately() {
+        let slots = CollSlots::default();
+        slots.publish((0, 0, 0), 0, Ok(vec![]));
+        assert!(slots.inner.lock().is_empty());
+    }
+}

@@ -16,8 +16,12 @@ pub const ANY_SOURCE: i32 = -1;
 pub const ANY_TAG: i32 = -2;
 
 /// First tag reserved for internal collective traffic; user tags must be
-/// in `0..TAG_UB`.
-pub(crate) const COLL_TAG_BASE: i32 = 1 << 30;
+/// in `0..TAG_UB`. Collective traffic additionally runs on a *derived
+/// channel* (a per-invocation communicator id mixed from the collective
+/// sequence number), so a tag in this range can never alias a different
+/// collective invocation no matter how many collectives a long-running
+/// job issues.
+pub const COLL_TAG_BASE: i32 = 1 << 30;
 /// Upper bound (exclusive) of the user tag space.
 pub const TAG_UB: i32 = COLL_TAG_BASE;
 
@@ -28,6 +32,15 @@ pub const TAG_UB: i32 = COLL_TAG_BASE;
 #[inline]
 pub fn valid_user_tag(tag: i32) -> bool {
     (0..TAG_UB).contains(&tag)
+}
+
+/// Whether `tag` falls in the reserved collective tag space
+/// (`[COLL_TAG_BASE, i32::MAX]`). User-declared communication can never
+/// legally use such a tag; `dfcheck` reports it distinctly from a merely
+/// negative/invalid tag.
+#[inline]
+pub fn in_collective_tag_space(tag: i32) -> bool {
+    tag >= COLL_TAG_BASE
 }
 
 /// Completion information of a receive (or probe), like `MPI_Status`.
@@ -635,6 +648,26 @@ impl Comm {
     // communicator derivation
     // ---------------------------------------------------------------
 
+    /// Derives the isolated matching channel of one collective
+    /// invocation: a lightweight clone of this communicator whose
+    /// matching-context id mixes the collective sequence number into the
+    /// communicator id. Every rank derives the same id for the same
+    /// invocation (collectives are called in the same order on all
+    /// ranks), and distinct invocations can never match each other's
+    /// traffic — which is what retires the old `(seq * 64) % 2^29`
+    /// tag-block scheme, whose blocks aliased after 2^23 collectives. The
+    /// domain-separation constant keeps the ids disjoint from `dup`/
+    /// `split` derivations.
+    pub(crate) fn coll_channel(&self, seq: u64) -> Comm {
+        let id = mix64(self.comm_id ^ mix64(seq) ^ 0xc011_ec71_4e5a_a917);
+        Comm::new(
+            Arc::clone(&self.shared),
+            id,
+            self.rank,
+            Arc::clone(&self.group),
+        )
+    }
+
     /// Duplicates the communicator into an isolated matching context
     /// (`MPI_Comm_dup`). Must be called by all ranks in the same order.
     pub fn dup(&self) -> Comm {
@@ -669,10 +702,15 @@ impl Comm {
             .iter()
             .position(|&(_, parent)| parent as usize == self.rank)
             .expect("calling rank is in its own color group");
+        // The domain separator keeps the mix input nonzero: without it,
+        // (comm 0, first split, color 0) derived id 0 — the *world*
+        // communicator's id — and the child shared the parent's matching
+        // context (collective channels collided, cross-matching traffic).
         let id = mix64(
             self.comm_id
                 ^ mix64(seq.wrapping_mul(2))
-                ^ (color as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                ^ (color as u64).wrapping_mul(0x9e3779b97f4a7c15)
+                ^ 0x5350_4c49_545f_4944,
         );
         Comm::new(Arc::clone(&self.shared), id, new_rank, Arc::new(group))
     }
@@ -757,6 +795,18 @@ mod tests {
         };
         assert_eq!(st.count::<f64>(), 4);
         assert_eq!(st.count::<u8>(), 32);
+    }
+
+    #[test]
+    fn first_split_color_zero_is_not_the_world_comm() {
+        // Regression: mix64(0 ^ mix64(0) ^ 0) == 0, so the first split's
+        // color-0 child used to inherit the world communicator's id and
+        // share its matching context.
+        let world = crate::World::new(2, crate::NetworkModel::instant());
+        world.run(|comm| {
+            let sub = comm.split(0, comm.rank() as i64);
+            assert_ne!(sub.comm_id, comm.comm_id);
+        });
     }
 
     #[test]

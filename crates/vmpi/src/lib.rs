@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod collective;
+mod collshm;
 mod comm;
 mod datatype;
 mod delivery;
@@ -64,14 +65,17 @@ mod request;
 mod world;
 
 pub use collective::Reducible;
-pub use comm::{valid_user_tag, Comm, Status, ANY_SOURCE, ANY_TAG, TAG_UB};
+pub use comm::{
+    in_collective_tag_space, valid_user_tag, Comm, Status, ANY_SOURCE, ANY_TAG, COLL_TAG_BASE,
+    TAG_UB,
+};
 pub use datatype::Pod;
 pub use error::{Result, VmpiError};
 pub use fabric::FabricParams;
 pub use fault::{
     set_peer_lost_hook, ChaosConfig, PeerLostAction, PeerLostReport, TagClass, PEER_LOST_EXIT_CODE,
 };
-pub use net::NetworkModel;
+pub use net::{CollAlgo, NetworkModel};
 pub use request::{Request, RequestSet};
 pub use shmem::{BufSlice, SharedBuffer};
 pub use world::World;

@@ -10,6 +10,29 @@
 use crate::fabric::FabricParams;
 use std::time::Duration;
 
+/// Which algorithm family the collectives use.
+///
+/// `Flat` is the PR-1 shape: binomial trees and dissemination rounds over
+/// the whole communicator, ignoring node placement. `Hier` is
+/// topology-aware: ranks sharing a simulated node (per
+/// [`NetworkModel::ranks_per_node`]) combine through an in-process shared
+/// slot first, then one *leader* per node runs the inter-node stage over
+/// a binomial tree, and the result fans back out node-locally. Both
+/// families use a fixed, deterministic combination order, so results are
+/// identical on every rank and bitwise-reproducible run to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollAlgo {
+    /// Single-level binomial/dissemination algorithms (the default).
+    #[default]
+    Flat,
+    /// Two-level node-aware algorithms (intra-node shared-memory stage,
+    /// inter-node binomial stage). Falls back to `Flat` when the world
+    /// has no node grouping (`ranks_per_node <= 1`) or when chaos
+    /// fault-injection is active (faults target the message layer, which
+    /// the intra-node stage bypasses).
+    Hier,
+}
+
 /// A linear latency/bandwidth cost model for message transfers.
 ///
 /// The availability delay of a message of `n` bytes between ranks `a` and
@@ -38,6 +61,8 @@ pub struct NetworkModel {
     /// Number of consecutive ranks grouped into one simulated node
     /// (`0` means every rank is its own node).
     pub ranks_per_node: usize,
+    /// Collective algorithm family (see [`CollAlgo`]).
+    pub coll: CollAlgo,
     /// When set, inter-node transfers go through the contention-aware
     /// [`crate::fabric::Fabric`] (NIC serialization, shared-link fair
     /// sharing, rendezvous handshake) instead of the scalar formula
@@ -55,6 +80,7 @@ impl NetworkModel {
             eager_threshold: usize::MAX,
             intra_node_factor: 1.0,
             ranks_per_node: 0,
+            coll: CollAlgo::Flat,
             fabric: None,
         }
     }
@@ -84,6 +110,7 @@ impl NetworkModel {
             eager_threshold: p.eager_threshold,
             intra_node_factor: p.intra_node_factor,
             ranks_per_node: p.ranks_per_node,
+            coll: CollAlgo::Flat,
             fabric: None,
         }
     }
@@ -97,6 +124,7 @@ impl NetworkModel {
             eager_threshold: 16 * 1024,
             intra_node_factor: 1.0,
             ranks_per_node: 0,
+            coll: CollAlgo::Flat,
             fabric: None,
         }
     }
@@ -134,6 +162,12 @@ impl NetworkModel {
     /// Sets the eager-protocol threshold in bytes.
     pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
         self.eager_threshold = bytes;
+        self
+    }
+
+    /// Selects the collective algorithm family (see [`CollAlgo`]).
+    pub fn with_coll(mut self, coll: CollAlgo) -> Self {
+        self.coll = coll;
         self
     }
 

@@ -31,6 +31,9 @@ pub(crate) struct WorldShared {
     /// was built with [`NetworkModel::with_fabric`]; `instant()` and
     /// plain scalar models never touch it.
     pub fabric: Option<Arc<crate::fabric::Fabric>>,
+    /// Intra-node combine slots for hierarchical collectives
+    /// ([`crate::CollAlgo::Hier`]); empty whenever flat collectives run.
+    pub coll_slots: crate::collshm::CollSlots,
 }
 
 /// A fixed-size group of ranks sharing one in-process "cluster".
@@ -82,6 +85,7 @@ impl World {
                 matched_at_recv: obs::metrics().counter("vmpi.matched_at_recv"),
             }),
             fault,
+            coll_slots: crate::collshm::CollSlots::default(),
         });
         let diag = obs::is_enabled().then(|| {
             let weak = Arc::downgrade(&shared);

@@ -32,6 +32,9 @@ fn main() {
                 refine_freq: 5,
                 msgs_per_pair_dir: msgs,
                 ranks_per_node: rpn,
+                coll_hier: false,
+                coalesce: false,
+                eager_bytes: CostModel::default().fabric.eager_threshold,
             })
         };
         let w_mpi = gen(48 * nodes, 48, 0);
